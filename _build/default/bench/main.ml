@@ -1,0 +1,510 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5) plus the design ablations called out in DESIGN.md.
+
+     dune exec bench/main.exe                 # quick mode (minutes)
+     dune exec bench/main.exe -- --full       # paper-scale m (hours)
+     dune exec bench/main.exe -- table1 soc   # selected sections
+
+   Sections: fig4 table1 table2 can soc ablation baseline micro.
+
+   Absolute times are not comparable to the paper's (their substrate
+   was Cryptominisat on an i7; ours is the in-repo CDCL solver) — the
+   shapes are: growth in m and k, the ordering of property-pruning
+   columns, and the experiment verdicts. EXPERIMENTS.md records the
+   comparison. *)
+
+open Timeprint
+
+(* Conflict budget per SAT query: quick mode caps runaway unpruned
+   solves at roughly a minute; --full allows paper-scale patience. *)
+let conflict_budget = ref 15_000
+
+(* ------------------------------------------------------------------ *)
+(* Timing helpers                                                      *)
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (Sys.time () -. t0, r)
+
+let pp_time ppf t =
+  if t < 0. then Format.pp_print_string ppf "  budget "
+  else if t >= 60. then
+    Format.fprintf ppf "%2dm%05.2fs" (int_of_float t / 60) (Float.rem t 60.)
+  else Format.fprintf ppf "%8.3fs" t
+
+(* one reconstruction timing: first solution and 10th solution *)
+let solve_times pb =
+  let t1, r1 = time (fun () -> Reconstruct.first ~conflict_budget:!conflict_budget pb) in
+  let t1 = match r1 with `Unknown -> -1. | _ -> t1 in
+  let t10, r10 =
+    time (fun () -> Reconstruct.enumerate ~max_solutions:10 ~conflict_budget:!conflict_budget pb)
+  in
+  let t10 =
+    if r10.Reconstruct.complete || List.length r10.Reconstruct.signals = 10 then
+      t10
+    else -1.
+  in
+  (t1, t10)
+
+(* A signal with k changes that satisfies P2 and Dk (count<=3, D=32):
+   an adjacent pair early, a third early change, the rest random. *)
+let constrained_signal ~m ~k =
+  let st = Random.State.make [| 0xbeef; m; k |] in
+  if k < 3 then Signal.random st ~m ~k
+  else begin
+    let fixed = [ 5; 6; 20 ] in
+    let rec draw acc need =
+      if need = 0 then acc
+      else begin
+        let c = Random.State.int st m in
+        if List.mem c acc then draw acc need else draw (c :: acc) (need - 1)
+      end
+    in
+    Signal.of_changes ~m (draw fixed (k - 3))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4                                                            *)
+
+let fig4_timestamps =
+  [|
+    "00010100"; "00111010"; "00001111"; "01000100";
+    "00000010"; "10101110"; "01100000"; "11110101";
+    "00010111"; "11100111"; "10100000"; "10101000";
+    "10011110"; "10001111"; "01110000"; "01101100";
+  |]
+
+let fig4 () =
+  Format.printf "@.== Figure 4: didactic example (m=16, b=8) ==@.";
+  let enc = Encoding.custom (Array.map Tp_bitvec.Bitvec.of_string fig4_timestamps) in
+  let actual = Signal.of_string "0001100001100000" in
+  let entry = Logger.abstract enc actual in
+  Format.printf "logged entry: %a@." Log_entry.pp entry;
+  Format.printf "preimages ignoring k : %d   (paper: 256)@."
+    (Linear_reconstruct.preimage_size_unbounded enc entry);
+  let with_k = Reconstruct.enumerate (Reconstruct.problem enc entry) in
+  Format.printf "preimages with k = 4 : %d   (paper: 8)@."
+    (List.length with_k.Reconstruct.signals);
+  let pruned =
+    Reconstruct.enumerate
+      (Reconstruct.problem ~assume:[ Property.pulse_pairs ] enc entry)
+  in
+  Format.printf "with pulse property  : %d   (paper: 1)@."
+    (List.length pruned.Reconstruct.signals);
+  Format.printf "deadline i=8 check   : %a   (paper: met by all)@."
+    Reconstruct.pp_check_result
+    (Reconstruct.check (Reconstruct.problem enc entry)
+       (Property.deadline ~count:1 ~before:8))
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+
+let table1_rows ~full =
+  if full then
+    [
+      (64, [ 3; 4; 8; 32 ]);
+      (128, [ 3; 4; 8; 16 ]);
+      (512, [ 3; 4; 8 ]);
+      (1024, [ 3; 4; 8 ]);
+    ]
+  else [ (64, [ 3; 4; 8; 32 ]); (128, [ 3; 4; 8; 16 ]) ]
+
+(* random-constrained greedy generation cannot reach LI-4 beyond
+   roughly C(n,3) < 2^b; for the paper-scale rows we use the BCH
+   construction (guaranteed LI-4, b = 2*ceil(log2(m+1))) *)
+let encoding_for m =
+  if m >= 512 then Encoding.bch ~m
+  else Encoding.random_constrained_auto ~m ~seed:0x7155 ()
+
+let table1 ~full () =
+  Format.printf
+    "@.== Table 1: reconstruction time vs (m, k), random-constrained LI-4 ==@.";
+  Format.printf "%-9s %3s %9s %9s %9s %9s %9s %9s %9s %9s %10s@." "m/k" "b"
+    "c-SAT.1" "c-SAT.10" "c+P2.1" "c+P2.10" "c+Dk.1" "c+Dk.10" "c+DkP2.1"
+    "c+DkP2.10" "R@100MHz";
+  List.iter
+    (fun (m, ks) ->
+      let enc = encoding_for m in
+      let rate = Design.log_rate_hz enc ~clock_hz:100e6 /. 1e6 in
+      List.iter
+        (fun k ->
+          let s = constrained_signal ~m ~k in
+          let entry = Logger.abstract enc s in
+          let p2 = Property.p2 in
+          let dk = Property.deadline ~count:(min 3 k) ~before:32 in
+          let col assume = solve_times (Reconstruct.problem ~assume enc entry) in
+          let c1, c10 = col [] in
+          let p1, p10 = col [ p2 ] in
+          let d1, d10 = col [ dk ] in
+          let pd1, pd10 = col [ dk; p2 ] in
+          Format.printf "%-9s %3d %a %a %a %a %a %a %a %a %7.2fMHz@."
+            (Printf.sprintf "%d/%d" m k)
+            (Encoding.b enc) pp_time c1 pp_time c10 pp_time p1 pp_time p10
+            pp_time d1 pp_time d10 pp_time pd1 pp_time pd10 rate)
+        ks)
+    (table1_rows ~full)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+
+let table2 ~full () =
+  Format.printf
+    "@.== Table 2: timestamp encoding schemes (random-constrained vs incremental) ==@.";
+  let cases =
+    if full then [ (512, 3); (512, 4); (1024, 3) ]
+    else [ (128, 3); (128, 4); (256, 3) ]
+  in
+  Format.printf "%-10s %-20s %3s %9s %9s %9s %9s@." "m/k" "encoding" "b" "c-SAT"
+    "c+P2" "c+Dk" "c+Dk+P2";
+  List.iter
+    (fun (m, k) ->
+      let run name enc =
+        let s = constrained_signal ~m ~k in
+        let entry = Logger.abstract enc s in
+        let p2 = Property.p2 in
+        let dk = Property.deadline ~count:(min 3 k) ~before:32 in
+        let first assume =
+          let t, r =
+            time (fun () ->
+                Reconstruct.first ~conflict_budget:!conflict_budget
+                  (Reconstruct.problem ~assume enc entry))
+          in
+          match r with `Unknown -> -1. | _ -> t
+        in
+        let c = first [] in
+        let p = first [ p2 ] in
+        let d = first [ dk ] in
+        let pd = first [ dk; p2 ] in
+        Format.printf "%-10s %-20s %3d %a %a %a %a@."
+          (Printf.sprintf "%d/%d" m k)
+          name (Encoding.b enc) pp_time c pp_time p pp_time d pp_time pd
+      in
+      run "random-constrained" (encoding_for m);
+      run "incremental" (Encoding.incremental_auto ~m ()))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Experiment 5.2.1: CAN                                               *)
+
+let can ~full () =
+  let open Tp_canbus in
+  Format.printf "@.== Experiment 5.2.1: CAN bus forensics ==@.";
+  let m = if full then 1000 else 250 in
+  let b = 24 in
+  let enc = Encoding.random_constrained ~m ~b ~seed:2019 () in
+  Format.printf
+    "m=%d b=%d: log rate %.0f bps at 5 Mbps (paper: 170 bps at m=1000)@." m b
+    (Design.log_rate_hz enc ~clock_hz:5e6);
+  let periodics =
+    [
+      Scheduler.periodic Message.engine_data ~period:(4 * m) ~offset:40;
+      (* single instance, in a different trace-cycle than the suspect *)
+      Scheduler.periodic Message.gearbox_info ~period:(8 * m) ~offset:320;
+    ]
+  in
+  let duration = 8 * m in
+  let delay = 61 in
+  let requests =
+    Scheduler.requests ~duration ~delays:[ ("EngineData", 1, delay) ] periodics
+  in
+  let tl = Bus.simulate ~bitrate:5_000_000 ~duration requests in
+  let entries = Forensics.log_timeline enc tl in
+  let release = 40 + (4 * m) + delay in
+  let tc = release / m in
+  let entry = List.nth entries tc in
+  Format.printf "suspect trace-cycle %d: %a@." tc Log_entry.pp entry;
+  let flen = Signal.length (Forensics.change_pattern Message.engine_data) in
+
+  (* whole trace-cycle window (paper: 38.279 s) *)
+  let t_whole, whole =
+    time (fun () ->
+        Forensics.locate_transmission ~window:(0, m - flen) enc entry
+          Message.engine_data)
+  in
+  (match whole with
+  | Ok { Forensics.start_cycle; end_cycle } ->
+      Format.printf "whole-cycle reconstruction: cycles %d..%d in %a@."
+        start_cycle end_cycle pp_time t_whole
+  | Error e ->
+      Format.printf "whole-cycle reconstruction failed (%s) %a@." e pp_time
+        t_whole);
+
+  (* restricted failure window (paper: 3.082 s) *)
+  let wlo = max 0 ((release mod m) - 30)
+  and whi = min (m - flen) ((release mod m) + 30) in
+  let t_win, win =
+    time (fun () ->
+        Forensics.locate_transmission ~window:(wlo, whi) enc entry
+          Message.engine_data)
+  in
+  (match win with
+  | Ok { Forensics.start_cycle; _ } ->
+      Format.printf "failure-window reconstruction: starts at %d in %a@."
+        start_cycle pp_time t_win
+  | Error e -> Format.printf "failure-window reconstruction failed (%s)@." e);
+
+  (* deadline property, one-sided as in the paper: assuming the
+     transmission completed before the deadline, is any reconstruction
+     consistent?  UNSAT assigns liability (paper: 1.597 s) *)
+  let deadline = (release mod m) + flen - 10 in
+  let t_dl, verdict =
+    time (fun () ->
+        Reconstruct.first ~conflict_budget:!conflict_budget
+          (Reconstruct.problem
+             ~assume:[ Forensics.completed_before Message.engine_data ~deadline ]
+             enc entry))
+  in
+  Format.printf "\"completed before deadline\" query: %s in %a (paper: UNSAT)@."
+    (match verdict with
+    | `Unsat -> "UNSAT"
+    | `Signal _ -> "SAT"
+    | `Unknown -> "budget exhausted")
+    pp_time t_dl
+
+(* ------------------------------------------------------------------ *)
+(* Experiment 5.2.2: SoC                                               *)
+
+let soc ~full () =
+  let open Tp_soc in
+  Format.printf
+    "@.== Experiment 5.2.2: temperature-compensated refresh detection ==@.";
+  let m = if full then 1024 else 256 in
+  let b = if full then 24 else 20 in
+  let enc = Encoding.random_constrained ~m ~b ~seed:5 () in
+  let image =
+    Isa.stride_walker ~steps:(if full then 2400 else 600) ~base:0x8000 ~stride:3
+  in
+  let hw = Soc_system.run (Soc_system.hardware_config ~ambient:55.0 enc) image in
+  let sim_buggy =
+    Soc_system.run (Soc_system.simulation_config ~wait_states:0 enc) image
+  in
+  let sim = Soc_system.run (Soc_system.simulation_config ~wait_states:1 enc) image in
+  let pp_mm ppf = function
+    | `K i -> Format.fprintf ppf "k mismatch at trace-cycle %d" i
+    | `Tp i -> Format.fprintf ppf "TP mismatch at trace-cycle %d" i
+    | `None -> Format.pp_print_string ppf "no mismatch"
+  in
+  Format.printf "hw vs buggy sim (wrong wait states): %a (paper: k mismatch)@."
+    pp_mm
+    (Soc_system.first_mismatch hw sim_buggy);
+  let mismatch = Soc_system.first_mismatch hw sim in
+  Format.printf "hw vs fixed sim: %a (paper: TP-only mismatch)@." pp_mm mismatch;
+  (match mismatch with
+  | `Tp tc ->
+      let hw_entry = List.nth hw.Soc_system.entries tc in
+      let sim_signal = List.nth sim.Soc_system.signals tc in
+      let t, result =
+        time (fun () ->
+            Reconstruct.enumerate ~conflict_budget:!conflict_budget
+              (Reconstruct.problem
+                 ~assume:[ Property.delayed_once sim_signal ]
+                 enc hw_entry))
+      in
+      Format.printf "delayed-once localization: %d solution(s) in %a@."
+        (List.length result.Reconstruct.signals)
+        pp_time t;
+      List.iter
+        (fun (tc', c) ->
+          if tc' = tc then Format.printf "  ground-truth delay: cycle %d@." c)
+        hw.Soc_system.delayed_changes
+  | _ -> ());
+  Format.printf
+    "@.ambient sweep (first mismatching trace-cycle; paper: 3rd..28th):@.";
+  List.iter
+    (fun ambient ->
+      let hw = Soc_system.run (Soc_system.hardware_config ~ambient enc) image in
+      Format.printf "  %5.1f degC -> %a@." ambient pp_mm
+        (Soc_system.first_mismatch hw sim))
+    [ 25.0; 40.0; 55.0; 70.0; 85.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let ablation () =
+  Format.printf "@.== Ablations: design choices of the reduction ==@.";
+  let m = 96 and k = 8 in
+  let enc = Encoding.random_constrained ~m ~b:15 ~seed:4 () in
+  let s = constrained_signal ~m ~k in
+  let entry = Logger.abstract enc s in
+
+  (* 1. native XOR vs CNF-expanded XOR *)
+  let solve_cnf cnf =
+    time (fun () ->
+        Tp_sat.Solver.solve ~conflict_budget:!conflict_budget (Tp_sat.Solver.of_cnf cnf))
+  in
+  let base_cnf, _ = Reconstruct.to_cnf (Reconstruct.problem enc entry) in
+  let t_native, r1 = solve_cnf base_cnf in
+  let t_expanded, r2 = solve_cnf (Tp_sat.Cnf.expand_xors base_cnf) in
+  assert (r1 = r2);
+  Format.printf "xor handling      : native %a   cnf-expanded %a@." pp_time
+    t_native pp_time t_expanded;
+
+  (* 2. chunked vs monolithic xor rows *)
+  let with_rows add_row =
+    let cnf = Tp_sat.Cnf.create () in
+    let xvars = Array.init m (fun _ -> Tp_sat.Cnf.new_var cnf) in
+    let tp = Log_entry.tp entry in
+    for j = 0 to Encoding.b enc - 1 do
+      let vars = ref [] in
+      for i = 0 to m - 1 do
+        if Tp_bitvec.Bitvec.get (Encoding.timestamp enc i) j then
+          vars := xvars.(i) :: !vars
+      done;
+      add_row cnf ~vars:!vars ~parity:(Tp_bitvec.Bitvec.get tp j)
+    done;
+    Tp_sat.Cardinality.exactly cnf
+      (Array.to_list (Array.map Tp_sat.Lit.pos xvars))
+      (Log_entry.k entry);
+    cnf
+  in
+  let t_mono, _ = solve_cnf (with_rows Tp_sat.Cnf.add_xor) in
+  let t_chunk, _ =
+    solve_cnf (with_rows (Tp_sat.Cnf.add_xor_chunked ?chunk:None))
+  in
+  Format.printf "xor row splitting : chunked %a   monolithic %a@." pp_time
+    t_chunk pp_time t_mono;
+
+  (* 3. Sinz sequential counter vs naive pairwise cardinality *)
+  let small_m = 24 and small_k = 3 in
+  let enc_s = Encoding.random_constrained ~m:small_m ~b:10 ~seed:4 () in
+  let s_s = constrained_signal ~m:small_m ~k:small_k in
+  let entry_s = Logger.abstract enc_s s_s in
+  let build card =
+    let cnf = Tp_sat.Cnf.create () in
+    let xvars = Array.init small_m (fun _ -> Tp_sat.Cnf.new_var cnf) in
+    let tp = Log_entry.tp entry_s in
+    for j = 0 to Encoding.b enc_s - 1 do
+      let vars = ref [] in
+      for i = 0 to small_m - 1 do
+        if Tp_bitvec.Bitvec.get (Encoding.timestamp enc_s i) j then
+          vars := xvars.(i) :: !vars
+      done;
+      Tp_sat.Cnf.add_xor cnf ~vars:!vars ~parity:(Tp_bitvec.Bitvec.get tp j)
+    done;
+    card cnf (Array.to_list (Array.map Tp_sat.Lit.pos xvars)) small_k;
+    cnf
+  in
+  let t_sinz, _ = solve_cnf (build (Tp_sat.Cardinality.exactly ?guard:None)) in
+  let t_pair, _ = solve_cnf (build Tp_sat.Cardinality.exactly_pairwise) in
+  Format.printf "cardinality (m=%d): sinz %a   pairwise %a@." small_m pp_time
+    t_sinz pp_time t_pair;
+
+  (* 4. encoding depth: reconstruction ambiguity of LI-2 vs LI-4 *)
+  let count_at depth =
+    let e = Encoding.random_constrained_auto ~depth ~m:14 ~seed:21 () in
+    let s = Signal.random (Random.State.make [| 3 |]) ~m:14 ~k:4 in
+    (Encoding.b e, List.length (Linear_reconstruct.preimage e (Logger.abstract e s)))
+  in
+  let b2, n2 = count_at 2 in
+  let b4, n4 = count_at 4 in
+  Format.printf
+    "LI depth (m=14,k=4): LI-2 b=%d %d preimages   LI-4 b=%d %d preimages@." b2
+    n2 b4 n4
+
+(* ------------------------------------------------------------------ *)
+(* Baseline: conventional trace buffer vs timeprints                    *)
+
+let baseline () =
+  Format.printf
+    "@.== Baseline: precise-timestamp trace buffer vs timeprints (s1/s3 argument) ==@.";
+  let m = 1024 in
+  let enc = Encoding.bch ~m in
+  let trace_cycles = 2_000 in
+  (* bursty workload: calm stretches punctuated by heavy activity *)
+  let st = Random.State.make [| 0xca7 |] in
+  let workload =
+    List.init trace_cycles (fun i ->
+        let k = if i mod 50 < 45 then 4 + Random.State.int st 8 else 120 + Random.State.int st 60 in
+        Signal.random st ~m ~k)
+  in
+  let timeprint_bits = trace_cycles * Design.bits_per_trace_cycle enc in
+  Format.printf "workload: %d trace-cycles of m=%d (bursty activity)@."
+    trace_cycles m;
+  Format.printf "timeprints: %d bits total (%d per trace-cycle), coverage 1.00@."
+    timeprint_bits
+    (Design.bits_per_trace_cycle enc);
+  List.iter
+    (fun budget_factor ->
+      let capacity_bits = timeprint_bits * budget_factor in
+      let buf = Trace_buffer.create ~capacity_bits ~m in
+      List.iter (fun s -> ignore (Trace_buffer.record_trace_cycle buf s)) workload;
+      Format.printf
+        "trace buffer %2dx the storage: coverage %.2f%s@."
+        budget_factor (Trace_buffer.coverage buf)
+        (if Trace_buffer.overflowed buf then "  (overflowed)" else ""))
+    [ 1; 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the hot kernels                        *)
+
+let micro () =
+  Format.printf "@.== Micro-benchmarks (Bechamel) ==@.";
+  let open Bechamel in
+  let enc = Encoding.bch ~m:1024 in
+  let s = constrained_signal ~m:1024 ~k:32 in
+  let entry = Logger.abstract enc s in
+  let fig4_enc =
+    Encoding.custom (Array.map Tp_bitvec.Bitvec.of_string fig4_timestamps)
+  in
+  let fig4_entry = Logger.abstract fig4_enc (Signal.of_string "0001100001100000") in
+  let tests =
+    Test.make_grouped ~name:"kernels"
+      [
+        Test.make ~name:"logger.abstract m=1024 (one trace-cycle)"
+          (Staged.stage (fun () -> ignore (Logger.abstract enc s)));
+        Test.make ~name:"xor accumulate (one change)"
+          (Staged.stage
+             (let tp = Tp_bitvec.Bitvec.create (Encoding.b enc) in
+              let ts = Encoding.timestamp enc 137 in
+              fun () -> Tp_bitvec.Bitvec.xor_in_place tp ts));
+        Test.make ~name:"encoding generation m=256 LI-4"
+          (Staged.stage (fun () ->
+               ignore (Encoding.random_constrained ~m:256 ~b:20 ~seed:1 ())));
+        Test.make ~name:"reduction to CNF m=1024 k=32"
+          (Staged.stage (fun () ->
+               ignore (Reconstruct.to_cnf (Reconstruct.problem enc entry))));
+        Test.make ~name:"fig4 full reconstruction (8 solutions)"
+          (Staged.stage (fun () ->
+               ignore
+                 (Reconstruct.enumerate (Reconstruct.problem fig4_enc fig4_entry))));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+          if est > 1e6 then Format.printf "  %-55s %10.3f ms/run@." name (est /. 1e6)
+          else Format.printf "  %-55s %10.1f ns/run@." name est
+      | _ -> Format.printf "  %-55s (no estimate)@." name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let full = List.mem "--full" argv in
+  if full then conflict_budget := 5_000_000;
+  let sections =
+    List.filter
+      (fun a -> String.length a > 0 && a.[0] <> '-')
+      (List.tl argv)
+  in
+  let want s = sections = [] || List.mem s sections in
+  if want "fig4" then fig4 ();
+  if want "table1" then table1 ~full ();
+  if want "table2" then table2 ~full ();
+  if want "can" then can ~full ();
+  if want "soc" then soc ~full ();
+  if want "ablation" then ablation ();
+  if want "baseline" then baseline ();
+  if want "micro" then micro ();
+  Format.printf "@.done.@."

@@ -1,0 +1,1 @@
+bin/timeprint_cli.mli:

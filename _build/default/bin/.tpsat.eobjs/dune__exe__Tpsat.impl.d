@@ -1,0 +1,1 @@
+bin/tpsat.ml: Array Buffer In_channel List Printf Sys Tp_sat

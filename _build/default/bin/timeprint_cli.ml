@@ -1,0 +1,325 @@
+(* timeprint — command-line front end to the timeprints library.
+
+   Encodings are deterministic in (scheme, m, b, seed, depth), so the
+   same flags reproduce the same timestamps across `log`,
+   `reconstruct`, `check` and `dimacs` invocations. *)
+
+open Cmdliner
+open Timeprint
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let m_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "m"; "trace-len" ] ~docv:"M" ~doc:"Trace-cycle length in clock-cycles.")
+
+let b_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "b"; "width" ] ~docv:"B"
+        ~doc:"Timestamp width in bits (default: smallest feasible).")
+
+let seed_arg =
+  Arg.(value & opt int 0x7155 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let depth_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "depth" ] ~docv:"D" ~doc:"Linear-independence depth of the encoding.")
+
+let scheme_arg =
+  let schemes =
+    [
+      ("one-hot", `One_hot);
+      ("random", `Random);
+      ("incremental", `Incremental);
+      ("bch", `Bch);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum schemes) `Random
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:
+          "Timestamp scheme: $(b,one-hot), $(b,random), $(b,incremental) or \
+           $(b,bch).")
+
+let make_encoding scheme m b seed depth =
+  match scheme with
+  | `One_hot -> Encoding.one_hot ~m
+  | `Random -> (
+      match b with
+      | Some b -> Encoding.random_constrained ~depth ~seed ~m ~b ()
+      | None -> Encoding.random_constrained_auto ~depth ~seed ~m ())
+  | `Incremental -> (
+      match b with
+      | Some b -> Encoding.incremental ~depth ~m ~b ()
+      | None -> Encoding.incremental_auto ~depth ~m ())
+  | `Bch -> Encoding.bch ~m
+
+(* property flags shared by reconstruct/check/dimacs *)
+let p2_flag =
+  Arg.(value & flag & info [ "p2" ] ~doc:"Assume P2: some two adjacent changes.")
+
+let pulse_flag =
+  Arg.(
+    value & flag
+    & info [ "pulse-pairs" ]
+        ~doc:"Assume all changes come as disjoint adjacent pairs.")
+
+let deadline_opt =
+  Arg.(
+    value
+    & opt (some (pair ~sep:',' int int)) None
+    & info [ "deadline" ] ~docv:"K,D"
+        ~doc:"Assume at least $(i,K) changes before cycle $(i,D).")
+
+let window_opt =
+  Arg.(
+    value
+    & opt (some (pair ~sep:',' int int)) None
+    & info [ "window" ] ~docv:"LO,HI"
+        ~doc:"Assume all changes lie within cycles $(i,LO)..$(i,HI).")
+
+let assume_of p2 pulse deadline window =
+  List.concat
+    [
+      (if p2 then [ Property.p2 ] else []);
+      (if pulse then [ Property.pulse_pairs ] else []);
+      (match deadline with
+      | Some (count, before) -> [ Property.deadline ~count ~before ]
+      | None -> []);
+      (match window with
+      | Some (lo, hi) -> [ Property.window ~lo ~hi ]
+      | None -> []);
+    ]
+
+let entry_args =
+  let tp =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "tp" ] ~docv:"BITS"
+          ~doc:"Logged timeprint as a binary string (MSB first).")
+  in
+  let k =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "k"; "changes" ] ~docv:"K" ~doc:"Logged number of changes.")
+  in
+  Term.(
+    const (fun tp k -> Log_entry.make ~tp:(Tp_bitvec.Bitvec.of_string tp) ~k)
+    $ tp $ k)
+
+let enc_term =
+  Term.(const make_encoding $ scheme_arg $ m_arg $ b_arg $ seed_arg $ depth_arg)
+
+(* ------------------------------------------------------------------ *)
+(* encode                                                              *)
+
+let encode_cmd =
+  let run enc verbose =
+    Format.printf "%a@." Encoding.pp enc;
+    Format.printf "bits per trace-cycle: %d@." (Design.bits_per_trace_cycle enc);
+    Format.printf "log rate at 100 MHz: %.3f Mbit/s@."
+      (Design.log_rate_hz enc ~clock_hz:100e6 /. 1e6);
+    if verbose then
+      Array.iteri
+        (fun i ts -> Format.printf "TS(%d) = %a@." (i + 1) Tp_bitvec.Bitvec.pp ts)
+        (Encoding.timestamps enc)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every timestamp.")
+  in
+  Cmd.v
+    (Cmd.info "encode" ~doc:"Generate a timestamp encoding and report its cost.")
+    Term.(const run $ enc_term $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* log                                                                 *)
+
+let signal_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SIGNAL"
+        ~doc:"Change signal as a 0/1 string, cycle 0 leftmost.")
+
+let log_cmd =
+  let run enc sig_str =
+    let s = Signal.of_string sig_str in
+    if Signal.length s <> Encoding.m enc then (
+      Format.eprintf "error: signal length %d but m = %d@." (Signal.length s)
+        (Encoding.m enc);
+      exit 1);
+    let e = Logger.abstract enc s in
+    Format.printf "TP = %a@.k  = %d@." Tp_bitvec.Bitvec.pp (Log_entry.tp e)
+      (Log_entry.k e)
+  in
+  Cmd.v
+    (Cmd.info "log" ~doc:"Abstract a signal into its (TP, k) log entry.")
+    Term.(const run $ enc_term $ signal_arg)
+
+(* ------------------------------------------------------------------ *)
+(* reconstruct                                                         *)
+
+let reconstruct_cmd =
+  let run enc entry p2 pulse deadline window max_solutions =
+    let pb = Reconstruct.problem ~assume:(assume_of p2 pulse deadline window) enc entry in
+    let { Reconstruct.signals; complete } =
+      Reconstruct.enumerate ~max_solutions pb
+    in
+    List.iter (fun s -> Format.printf "%a@." Signal.pp s) signals;
+    Format.printf "%d solution(s)%s@." (List.length signals)
+      (if complete then "" else Printf.sprintf " (capped at %d)" max_solutions)
+  in
+  let max_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "max" ] ~docv:"N" ~doc:"Stop after $(i,N) solutions.")
+  in
+  Cmd.v
+    (Cmd.info "reconstruct"
+       ~doc:"Enumerate the signals consistent with a logged entry.")
+    Term.(
+      const run $ enc_term $ entry_args $ p2_flag $ pulse_flag $ deadline_opt
+      $ window_opt $ max_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+
+let check_cmd =
+  let run enc entry p2 pulse deadline window q_deadline =
+    let pb = Reconstruct.problem ~assume:(assume_of p2 pulse deadline window) enc entry in
+    let prop =
+      match q_deadline with
+      | Some (count, before) -> Property.deadline ~count ~before
+      | None -> Property.p2
+    in
+    Format.printf "%a@." Reconstruct.pp_check_result (Reconstruct.check pb prop)
+  in
+  let q_deadline =
+    Arg.(
+      value
+      & opt (some (pair ~sep:',' int int)) None
+      & info [ "holds-deadline" ] ~docv:"K,D"
+          ~doc:
+            "Property to decide: at least $(i,K) changes before cycle $(i,D) \
+             (default: P2).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Decide whether a property holds in all/some reconstructions.")
+    Term.(
+      const run $ enc_term $ entry_args $ p2_flag $ pulse_flag $ deadline_opt
+      $ window_opt $ q_deadline)
+
+(* ------------------------------------------------------------------ *)
+(* dimacs                                                              *)
+
+let dimacs_cmd =
+  let run enc entry p2 pulse deadline window =
+    let pb = Reconstruct.problem ~assume:(assume_of p2 pulse deadline window) enc entry in
+    let cnf, _ = Reconstruct.to_cnf pb in
+    print_string (Tp_sat.Dimacs.to_string cnf)
+  in
+  Cmd.v
+    (Cmd.info "dimacs"
+       ~doc:
+         "Print the SR instance in extended DIMACS (Cryptominisat xor lines).")
+    Term.(
+      const run $ enc_term $ entry_args $ p2_flag $ pulse_flag $ deadline_opt
+      $ window_opt)
+
+(* ------------------------------------------------------------------ *)
+(* can-demo / soc-demo                                                 *)
+
+let can_demo_cmd =
+  let run m delay =
+    let enc = Encoding.random_constrained ~m ~b:24 ~seed:2019 () in
+    let open Tp_canbus in
+    let periodics =
+      [
+        Scheduler.periodic Message.engine_data ~period:(4 * m) ~offset:40;
+        Scheduler.periodic Message.gearbox_info ~period:(3 * m + 150) ~offset:320;
+      ]
+    in
+    let duration = 8 * m in
+    let requests =
+      Scheduler.requests ~duration ~delays:[ ("EngineData", 1, delay) ] periodics
+    in
+    let tl = Bus.simulate ~bitrate:5_000_000 ~duration requests in
+    List.iter
+      (fun e -> Format.printf "%s@." (Msglog.to_string e))
+      (Msglog.of_timeline tl);
+    let entries = Forensics.log_timeline enc tl in
+    List.iteri
+      (fun i e -> Format.printf "trace-cycle %d: %a@." i Log_entry.pp e)
+      entries;
+    let release = 40 + (4 * m) + delay in
+    let tc = release / m in
+    match
+      Forensics.locate_transmission enc (List.nth entries tc) Message.engine_data
+    with
+    | Ok { Forensics.start_cycle; end_cycle } ->
+        Format.printf "EngineData reconstructed at cycles %d..%d of trace-cycle %d@."
+          start_cycle end_cycle tc
+    | Error e -> Format.printf "reconstruction failed: %s@." e
+  in
+  let m_arg =
+    Arg.(value & opt int 250 & info [ "m"; "trace-len" ] ~docv:"M" ~doc:"Trace-cycle length.")
+  in
+  let delay_arg =
+    Arg.(
+      value & opt int 61
+      & info [ "delay" ] ~docv:"BITS" ~doc:"Injected delay on EngineData #1.")
+  in
+  Cmd.v
+    (Cmd.info "can-demo" ~doc:"Run the CAN forensics scenario end to end.")
+    Term.(const run $ m_arg $ delay_arg)
+
+let soc_demo_cmd =
+  let run ambient =
+    let open Tp_soc in
+    let enc = Encoding.random_constrained ~m:256 ~b:20 ~seed:5 () in
+    let image = Isa.stride_walker ~steps:600 ~base:0x8000 ~stride:3 in
+    let hw = Soc_system.run (Soc_system.hardware_config ~ambient enc) image in
+    let sim = Soc_system.run (Soc_system.simulation_config enc) image in
+    Format.printf "hardware: %d refreshes, %.1f degC final@."
+      hw.Soc_system.refresh_count hw.Soc_system.final_celsius;
+    (match Soc_system.first_mismatch hw sim with
+    | `K i -> Format.printf "k mismatch at trace-cycle %d@." i
+    | `Tp i -> Format.printf "TP mismatch (equal k) at trace-cycle %d@." i
+    | `None -> Format.printf "no mismatch@.")
+  in
+  let ambient_arg =
+    Arg.(
+      value & opt float 55.0
+      & info [ "ambient" ] ~docv:"C" ~doc:"Ambient temperature in Celsius.")
+  in
+  Cmd.v
+    (Cmd.info "soc-demo" ~doc:"Run the SoC refresh-detection scenario.")
+    Term.(const run $ ambient_arg)
+
+let () =
+  let info =
+    Cmd.info "timeprint" ~version:"1.0.0"
+      ~doc:"Cycle-accurate temporal tracing of on-chip signals using timeprints."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            encode_cmd;
+            log_cmd;
+            reconstruct_cmd;
+            check_cmd;
+            dimacs_cmd;
+            can_demo_cmd;
+            soc_demo_cmd;
+          ]))

@@ -1,0 +1,83 @@
+(* tpsat — the bundled CDCL solver as a standalone tool.
+
+   Reads extended DIMACS (CNF plus Cryptominisat-style `x…` XOR lines,
+   the format `timeprint dimacs` emits) from a file or stdin and prints
+   a standard s/v answer. *)
+
+let usage = "usage: tpsat [-budget N] [-models N] [FILE | -]"
+
+let () =
+  let budget = ref max_int in
+  let max_models = ref 1 in
+  let path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "-budget" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some b when b > 0 -> budget := b
+        | _ ->
+            prerr_endline usage;
+            exit 2);
+        parse rest
+    | "-models" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some m when m > 0 -> max_models := m
+        | _ ->
+            prerr_endline usage;
+            exit 2);
+        parse rest
+    | [ p ] -> path := Some p
+    | _ ->
+        prerr_endline usage;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let text =
+    match !path with
+    | None | Some "-" -> In_channel.input_all stdin
+    | Some p -> In_channel.with_open_text p In_channel.input_all
+  in
+  match Tp_sat.Dimacs.parse_string text with
+  | exception Failure e ->
+      Printf.eprintf "c parse error: %s\n" e;
+      exit 2
+  | cnf -> (
+      let solver = Tp_sat.Solver.of_cnf cnf in
+      let nvars = Tp_sat.Cnf.nvars cnf in
+      let print_model () =
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf "v";
+        for v = 0 to nvars - 1 do
+          Buffer.add_string buf
+            (Printf.sprintf " %d" (if Tp_sat.Solver.value solver v then v + 1 else -(v + 1)))
+        done;
+        Buffer.add_string buf " 0";
+        print_endline (Buffer.contents buf)
+      in
+      match Tp_sat.Solver.solve ~conflict_budget:!budget solver with
+      | Unsat ->
+          print_endline "s UNSATISFIABLE";
+          exit 20
+      | Unknown ->
+          print_endline "s UNKNOWN";
+          exit 0
+      | Sat ->
+          print_endline "s SATISFIABLE";
+          print_model ();
+          (* optional further models via blocking clauses *)
+          let rec more found =
+            if found < !max_models then begin
+              let blocking =
+                List.init nvars (fun v ->
+                    Tp_sat.Lit.make v (not (Tp_sat.Solver.value solver v)))
+              in
+              Tp_sat.Solver.add_clause solver blocking;
+              match Tp_sat.Solver.solve ~conflict_budget:!budget solver with
+              | Sat ->
+                  print_model ();
+                  more (found + 1)
+              | Unsat | Unknown -> ()
+            end
+          in
+          more 1;
+          exit 10)

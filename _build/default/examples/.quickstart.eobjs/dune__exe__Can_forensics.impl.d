@@ -1,0 +1,1 @@
+examples/can_forensics.ml: Bus Design Encoding Forensics Format List Log_entry Message Msglog Reconstruct Scheduler Signal String Timeprint Tp_canbus

@@ -1,0 +1,1 @@
+examples/can_forensics.mli:

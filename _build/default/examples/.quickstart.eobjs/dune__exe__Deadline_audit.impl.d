@@ -1,0 +1,1 @@
+examples/deadline_audit.ml: Encoding Format List Log_entry Logger Monitor Property Reconstruct Signal Timeprint Tp_rv

@@ -1,0 +1,1 @@
+examples/didactic.ml: Array Bitvec Encoding Format Linear_reconstruct List Log_entry Logger Property Reconstruct Signal Timeprint Tp_bitvec

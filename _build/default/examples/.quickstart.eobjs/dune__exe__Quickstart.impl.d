@@ -1,0 +1,1 @@
+examples/quickstart.ml: Design Encoding Format List Log_entry Logger Property Reconstruct Signal Timeprint

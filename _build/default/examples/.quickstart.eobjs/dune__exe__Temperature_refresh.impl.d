@@ -1,0 +1,1 @@
+examples/temperature_refresh.ml: Encoding Format Isa List Property Reconstruct Signal Soc_system Timeprint Tp_soc

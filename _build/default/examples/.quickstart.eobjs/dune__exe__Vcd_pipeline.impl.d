@@ -1,0 +1,1 @@
+examples/vcd_pipeline.ml: Encoding Format List Log_entry Logger Property Reconstruct Signal String Timeprint Tp_vcd

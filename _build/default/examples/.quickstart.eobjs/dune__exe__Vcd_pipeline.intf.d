@@ -1,0 +1,1 @@
+examples/vcd_pipeline.mli:

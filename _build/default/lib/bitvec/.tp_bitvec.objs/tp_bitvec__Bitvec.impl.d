@@ -1,0 +1,1 @@
+lib/bitvec/bitvec.ml: Array Format List Random Stdlib String

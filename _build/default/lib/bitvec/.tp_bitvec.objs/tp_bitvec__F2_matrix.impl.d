@@ -1,0 +1,1 @@
+lib/bitvec/f2_matrix.ml: Array Bitvec Format Fun List

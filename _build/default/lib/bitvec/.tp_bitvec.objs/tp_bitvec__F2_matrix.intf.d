@@ -1,0 +1,1 @@
+lib/bitvec/f2_matrix.mli: Bitvec Format

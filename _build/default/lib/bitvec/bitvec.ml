@@ -1,0 +1,195 @@
+(* Bitvectors over F2, packed 62 bits per OCaml int word.
+
+   62 (not 63) bits per word keeps [succ_in_place] carry detection a
+   plain comparison against [1 lsl 62] without touching the sign bit. *)
+
+let bits_per_word = 62
+let word_mask = (1 lsl bits_per_word) - 1
+
+type t = { width : int; words : int array }
+
+let width v = v.width
+
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n <= 0 then invalid_arg "Bitvec.create: width must be positive";
+  { width = n; words = Array.make (words_for n) 0 }
+
+let copy v = { v with words = Array.copy v.words }
+
+let check_index v i =
+  if i < 0 || i >= v.width then invalid_arg "Bitvec: index out of range"
+
+let get v i =
+  check_index v i;
+  (v.words.(i / bits_per_word) lsr (i mod bits_per_word)) land 1 = 1
+
+let set v i b =
+  check_index v i;
+  let w = i / bits_per_word and o = i mod bits_per_word in
+  if b then v.words.(w) <- v.words.(w) lor (1 lsl o)
+  else v.words.(w) <- v.words.(w) land lnot (1 lsl o)
+
+let with_bit v i b =
+  let v' = copy v in
+  set v' i b;
+  v'
+
+let is_zero v = Array.for_all (fun w -> w = 0) v.words
+
+let equal a b =
+  a.width = b.width
+  && Array.length a.words = Array.length b.words
+  &&
+  let rec go i = i < 0 || (a.words.(i) = b.words.(i) && go (i - 1)) in
+  go (Array.length a.words - 1)
+
+let compare a b =
+  let c = Stdlib.compare a.width b.width in
+  if c <> 0 then c
+  else
+    (* most-significant word first for numeric order *)
+    let rec go i =
+      if i < 0 then 0
+      else
+        let c = Stdlib.compare a.words.(i) b.words.(i) in
+        if c <> 0 then c else go (i - 1)
+    in
+    go (Array.length a.words - 1)
+
+let hash v =
+  Array.fold_left (fun acc w -> (acc * 0x9e3779b1) lxor w) v.width v.words
+
+let check_same_width a b =
+  if a.width <> b.width then invalid_arg "Bitvec: width mismatch"
+
+let logxor a b =
+  check_same_width a b;
+  { width = a.width; words = Array.map2 ( lxor ) a.words b.words }
+
+let logand a b =
+  check_same_width a b;
+  { width = a.width; words = Array.map2 ( land ) a.words b.words }
+
+let xor_in_place dst src =
+  check_same_width dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lxor src.words.(i)
+  done
+
+let nibble_popcount = [| 0; 1; 1; 2; 1; 2; 2; 3; 1; 2; 2; 3; 2; 3; 3; 4 |]
+
+let popcount_word w =
+  let rec go w acc =
+    if w = 0 then acc else go (w lsr 4) (acc + nibble_popcount.(w land 0xf))
+  in
+  go w 0
+
+let popcount v = Array.fold_left (fun acc w -> acc + popcount_word w) 0 v.words
+
+let of_int ~width:n x =
+  if x < 0 then invalid_arg "Bitvec.of_int: negative";
+  let v = create n in
+  let rec go i x =
+    if x <> 0 && i < Array.length v.words then begin
+      v.words.(i) <- x land word_mask;
+      go (i + 1) (x lsr bits_per_word)
+    end
+  in
+  go 0 x;
+  (* mask bits beyond width *)
+  let last = Array.length v.words - 1 in
+  let used = n - (last * bits_per_word) in
+  if used < bits_per_word then v.words.(last) <- v.words.(last) land ((1 lsl used) - 1);
+  v
+
+let to_int v =
+  if v.width > 62 && not (Array.for_all (fun w -> w = 0) (Array.sub v.words 1 (Array.length v.words - 1)))
+  then failwith "Bitvec.to_int: value does not fit in an int"
+  else v.words.(0)
+
+let mask_last v =
+  let last = Array.length v.words - 1 in
+  let used = v.width - (last * bits_per_word) in
+  if used < bits_per_word then v.words.(last) <- v.words.(last) land ((1 lsl used) - 1)
+
+let succ_in_place v =
+  let n = Array.length v.words in
+  (* NB: a full word is max_int (62 ones), so [w + 1] overflows the
+     OCaml int; mask first, then test for wrap-around. *)
+  let rec go i =
+    if i < n then begin
+      let w = (v.words.(i) + 1) land word_mask in
+      v.words.(i) <- w;
+      if w = 0 then go (i + 1)
+    end
+  in
+  go 0;
+  mask_last v
+
+let succ v =
+  let v' = copy v in
+  succ_in_place v';
+  v'
+
+let random st n =
+  let v = create n in
+  for i = 0 to Array.length v.words - 1 do
+    (* 62 random bits from three 30-bit draws *)
+    let lo = Random.State.bits st in
+    let mid = Random.State.bits st in
+    let hi = Random.State.bits st land 0x3 in
+    v.words.(i) <- lo lor (mid lsl 30) lor (hi lsl 60)
+  done;
+  mask_last v;
+  v
+
+let to_string v =
+  String.init v.width (fun i -> if get v (v.width - 1 - i) then '1' else '0')
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bitvec.of_string: empty string";
+  let v = create n in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '0' -> ()
+      | '1' -> set v (n - 1 - i) true
+      | _ -> invalid_arg "Bitvec.of_string: expected '0' or '1'")
+    s;
+  v
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let iter_set f v =
+  for i = 0 to v.width - 1 do
+    if get v i then f i
+  done
+
+let fold_set f init v =
+  let acc = ref init in
+  iter_set (fun i -> acc := f !acc i) v;
+  !acc
+
+let indices v = List.rev (fold_set (fun acc i -> i :: acc) [] v)
+
+let of_indices ~width:n idx =
+  let v = create n in
+  List.iter (fun i -> set v i true) idx;
+  v
+
+let append lo hi =
+  let v = create (lo.width + hi.width) in
+  iter_set (fun i -> set v i true) lo;
+  iter_set (fun i -> set v (lo.width + i) true) hi;
+  v
+
+let extract v ~pos ~len =
+  if pos < 0 || len <= 0 || pos + len > v.width then invalid_arg "Bitvec.extract";
+  let r = create len in
+  for i = 0 to len - 1 do
+    if get v (pos + i) then set r i true
+  done;
+  r

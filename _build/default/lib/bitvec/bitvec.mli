@@ -1,0 +1,98 @@
+(** Fixed-width bitvectors over the field [F₂].
+
+    A value of type {!t} is a vector in [F₂ⁿ] where [n] is its {!width}.
+    Addition in [F₂ⁿ] is bitwise XOR ({!logxor}); there is no carry.
+    Bit [0] is the least-significant bit; {!to_string} prints the
+    most-significant bit first, matching the timestamp figures of the
+    paper.
+
+    Vectors are backed by mutable word arrays for speed inside the
+    aggregation and solver loops; every mutating operation is suffixed
+    [_in_place], everything else is observationally pure. *)
+
+type t
+
+val width : t -> int
+(** Number of bits (dimension of the vector). *)
+
+val create : int -> t
+(** [create n] is the zero vector of width [n]. Raises
+    [Invalid_argument] if [n <= 0]. *)
+
+val copy : t -> t
+
+val get : t -> int -> bool
+(** [get v i] is bit [i]. Raises [Invalid_argument] when out of range. *)
+
+val set : t -> int -> bool -> unit
+(** [set v i b] updates bit [i] in place. *)
+
+val with_bit : t -> int -> bool -> t
+(** Pure version of {!set}: returns an updated copy. *)
+
+val is_zero : t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order: lexicographic on the underlying integer value,
+    width-major (vectors of different widths compare by width first). *)
+
+val hash : t -> int
+
+val logxor : t -> t -> t
+(** [logxor a b] is the vector sum [a + b] in [F₂ⁿ]. Raises
+    [Invalid_argument] on width mismatch. *)
+
+val logand : t -> t -> t
+
+val xor_in_place : t -> t -> unit
+(** [xor_in_place dst src] sets [dst <- dst + src]. This is the
+    hardware aggregation step: one XOR per traced change. *)
+
+val popcount : t -> int
+(** Number of set bits (Hamming weight). *)
+
+val of_int : width:int -> int -> t
+(** [of_int ~width x] takes the low [width] bits of [x] ([x >= 0]). *)
+
+val to_int : t -> int
+(** Inverse of {!of_int} when the width is at most 62 bits; raises
+    [Failure] otherwise. *)
+
+val succ_in_place : t -> unit
+(** Increment the vector interpreted as an unsigned integer, wrapping
+    modulo [2^width]. Used by the incremental timestamp encoding. *)
+
+val succ : t -> t
+
+val random : Random.State.t -> int -> t
+(** [random st n] draws a uniform vector of width [n]. *)
+
+val to_string : t -> string
+(** Binary string, most-significant bit first, e.g. ["00010100"]. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}. Raises [Invalid_argument] on characters
+    other than ['0']/['1'] or on the empty string. *)
+
+val pp : Format.formatter -> t -> unit
+
+val iter_set : (int -> unit) -> t -> unit
+(** [iter_set f v] calls [f i] for every set bit, in increasing order. *)
+
+val fold_set : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val indices : t -> int list
+(** Indices of the set bits, increasing. *)
+
+val of_indices : width:int -> int list -> t
+(** Build a vector with exactly the given bits set. *)
+
+val append : t -> t -> t
+(** [append lo hi] concatenates: bits of [lo] occupy positions
+    [0 .. width lo - 1], bits of [hi] follow. *)
+
+val extract : t -> pos:int -> len:int -> t
+(** [extract v ~pos ~len] is the slice of [len] bits starting at
+    bit [pos]. *)

@@ -1,0 +1,208 @@
+type t = { nrows : int; ncols : int; data : Bitvec.t array (* one per row *) }
+
+let make ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "F2_matrix.make";
+  { nrows = rows; ncols = cols; data = Array.init rows (fun _ -> Bitvec.create cols) }
+
+let rows m = m.nrows
+let cols m = m.ncols
+
+let check m i j =
+  if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols then
+    invalid_arg "F2_matrix: index out of range"
+
+let get m i j =
+  check m i j;
+  Bitvec.get m.data.(i) j
+
+let set m i j b =
+  check m i j;
+  Bitvec.set m.data.(i) j b
+
+let row m i =
+  if i < 0 || i >= m.nrows then invalid_arg "F2_matrix.row";
+  Bitvec.copy m.data.(i)
+
+let of_rows rs =
+  if Array.length rs = 0 then invalid_arg "F2_matrix.of_rows: empty";
+  let w = Bitvec.width rs.(0) in
+  Array.iter
+    (fun r -> if Bitvec.width r <> w then invalid_arg "F2_matrix.of_rows: ragged")
+    rs;
+  { nrows = Array.length rs; ncols = w; data = Array.map Bitvec.copy rs }
+
+let of_columns ~rows:nr cs =
+  if Array.length cs = 0 then invalid_arg "F2_matrix.of_columns: empty";
+  let m = make ~rows:nr ~cols:(Array.length cs) in
+  Array.iteri
+    (fun j c ->
+      if Bitvec.width c <> nr then invalid_arg "F2_matrix.of_columns: bad width";
+      Bitvec.iter_set (fun i -> set m i j true) c)
+    cs;
+  m
+
+let column m j =
+  if j < 0 || j >= m.ncols then invalid_arg "F2_matrix.column";
+  let c = Bitvec.create m.nrows in
+  for i = 0 to m.nrows - 1 do
+    if Bitvec.get m.data.(i) j then Bitvec.set c i true
+  done;
+  c
+
+let transpose m =
+  let t = make ~rows:m.ncols ~cols:m.nrows in
+  for i = 0 to m.nrows - 1 do
+    Bitvec.iter_set (fun j -> set t j i true) m.data.(i)
+  done;
+  t
+
+let mul_vec m x =
+  if Bitvec.width x <> m.ncols then invalid_arg "F2_matrix.mul_vec: width";
+  let r = Bitvec.create m.nrows in
+  for i = 0 to m.nrows - 1 do
+    (* row · x = parity of popcount of the AND *)
+    if Bitvec.popcount (Bitvec.logand m.data.(i) x) land 1 = 1 then
+      Bitvec.set r i true
+  done;
+  r
+
+(* Row-reduce [rows] (destructively on the copied array), returning the
+   list of (pivot_row, pivot_col) in elimination order. *)
+let eliminate rows_arr ncols =
+  let nrows = Array.length rows_arr in
+  let pivots = ref [] in
+  let r = ref 0 in
+  (try
+     for c = 0 to ncols - 1 do
+       if !r >= nrows then raise Exit;
+       (* find a pivot in column c at row >= !r *)
+       let p = ref (-1) in
+       (try
+          for i = !r to nrows - 1 do
+            if Bitvec.get rows_arr.(i) c then begin
+              p := i;
+              raise Exit
+            end
+          done
+        with Exit -> ());
+       if !p >= 0 then begin
+         let tmp = rows_arr.(!r) in
+         rows_arr.(!r) <- rows_arr.(!p);
+         rows_arr.(!p) <- tmp;
+         for i = 0 to nrows - 1 do
+           if i <> !r && Bitvec.get rows_arr.(i) c then
+             Bitvec.xor_in_place rows_arr.(i) rows_arr.(!r)
+         done;
+         pivots := (!r, c) :: !pivots;
+         incr r
+       end
+     done
+   with Exit -> ());
+  List.rev !pivots
+
+let rank m =
+  let rs = Array.map Bitvec.copy m.data in
+  List.length (eliminate rs m.ncols)
+
+(* Reduce the augmented system [A | b]; shared by solve / nullspace. *)
+let reduced_augmented m b =
+  if Bitvec.width b <> m.nrows then invalid_arg "F2_matrix: rhs width";
+  let aug =
+    Array.init m.nrows (fun i ->
+        Bitvec.append m.data.(i) (Bitvec.of_indices ~width:1 (if Bitvec.get b i then [ 0 ] else [])))
+  in
+  let pivots = eliminate aug m.ncols in
+  (aug, pivots)
+
+let solve m b =
+  let aug, pivots = reduced_augmented m b in
+  (* Inconsistent iff some reduced row is 0 … 0 | 1. *)
+  let inconsistent =
+    Array.exists
+      (fun r ->
+        Bitvec.get r m.ncols
+        && Bitvec.popcount (Bitvec.extract r ~pos:0 ~len:m.ncols) = 0)
+      aug
+  in
+  if inconsistent then None
+  else begin
+    let x = Bitvec.create m.ncols in
+    List.iter
+      (fun (r, c) -> if Bitvec.get aug.(r) m.ncols then Bitvec.set x c true)
+      pivots;
+    Some x
+  end
+
+let nullspace m =
+  let rs = Array.map Bitvec.copy m.data in
+  let pivots = eliminate rs m.ncols in
+  let pivot_cols = List.map snd pivots in
+  let is_pivot c = List.mem c pivot_cols in
+  let free_cols =
+    List.filter (fun c -> not (is_pivot c)) (List.init m.ncols Fun.id)
+  in
+  let basis_for f =
+    let v = Bitvec.create m.ncols in
+    Bitvec.set v f true;
+    List.iter
+      (fun (r, c) -> if Bitvec.get rs.(r) f then Bitvec.set v c true)
+      pivots;
+    v
+  in
+  List.map basis_for free_cols
+
+let solve_all ?max_solutions m b =
+  match solve m b with
+  | None -> []
+  | Some x0 ->
+      let basis = Array.of_list (nullspace m) in
+      let dim = Array.length basis in
+      let cap = match max_solutions with Some c -> c | None -> max_int in
+      if dim >= 62 then invalid_arg "F2_matrix.solve_all: nullspace too large";
+      let out = ref [] and count = ref 0 in
+      (try
+         for mask = 0 to (1 lsl dim) - 1 do
+           if !count >= cap then raise Exit;
+           let x = Bitvec.copy x0 in
+           for j = 0 to dim - 1 do
+             if (mask lsr j) land 1 = 1 then Bitvec.xor_in_place x basis.(j)
+           done;
+           out := x :: !out;
+           incr count
+         done
+       with Exit -> ());
+      List.rev !out
+
+let solve_all_with_weight ?max_solutions m b ~weight =
+  match solve m b with
+  | None -> []
+  | Some x0 ->
+      let basis = Array.of_list (nullspace m) in
+      let dim = Array.length basis in
+      let cap = match max_solutions with Some c -> c | None -> max_int in
+      if dim >= 62 then
+        invalid_arg "F2_matrix.solve_all_with_weight: nullspace too large";
+      let out = ref [] and count = ref 0 in
+      (try
+         for mask = 0 to (1 lsl dim) - 1 do
+           if !count >= cap then raise Exit;
+           let x = Bitvec.copy x0 in
+           for j = 0 to dim - 1 do
+             if (mask lsr j) land 1 = 1 then Bitvec.xor_in_place x basis.(j)
+           done;
+           if Bitvec.popcount x = weight then begin
+             out := x :: !out;
+             incr count
+           end
+         done
+       with Exit -> ());
+      List.rev !out
+
+let independent = function
+  | [] -> true
+  | vs -> rank (of_rows (Array.of_list vs)) = List.length vs
+
+let pp ppf m =
+  for i = 0 to m.nrows - 1 do
+    Format.fprintf ppf "%a@." Bitvec.pp m.data.(i)
+  done

@@ -1,0 +1,67 @@
+(** Dense matrices over [F₂] with row-packed {!Bitvec.t} storage.
+
+    The reconstruction problem of the paper (§4.2) is the linear system
+    [A·x = TP] over [F₂] with a Hamming-weight side condition, where
+    [A = [TS(1) | … | TS(m)]] stacks the timestamps as columns. This
+    module provides the exact linear-algebra machinery: Gaussian
+    elimination, rank, a particular solution, and a nullspace basis —
+    used both by the encoding generators (linear-independence-depth
+    checks) and by {!Timeprint.Linear_reconstruct}, the brute-force
+    cross-check for the SAT path. *)
+
+type t
+
+val make : rows:int -> cols:int -> t
+(** All-zero matrix. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> bool
+(** [get m i j] is entry (row [i], column [j]). *)
+
+val set : t -> int -> int -> bool -> unit
+
+val row : t -> int -> Bitvec.t
+(** Copy of row [i] as a vector of width [cols]. *)
+
+val of_rows : Bitvec.t array -> t
+(** Rows must share a common width. *)
+
+val of_columns : rows:int -> Bitvec.t array -> t
+(** [of_columns ~rows cs] builds the [rows × Array.length cs] matrix
+    whose [j]-th column is [cs.(j)]; each [cs.(j)] must have width
+    [rows]. This is exactly the paper's [A = [TS(1) | … | TS(m)]]. *)
+
+val column : t -> int -> Bitvec.t
+
+val transpose : t -> t
+
+val mul_vec : t -> Bitvec.t -> Bitvec.t
+(** [mul_vec a x] is [A·x]; [x] must have width [cols a]. *)
+
+val rank : t -> int
+
+val solve : t -> Bitvec.t -> Bitvec.t option
+(** [solve a b] returns a particular solution of [A·x = b], or [None]
+    when the system is inconsistent. *)
+
+val nullspace : t -> Bitvec.t list
+(** A basis of the kernel [{x | A·x = 0}]; the list has
+    [cols a - rank a] elements. *)
+
+val solve_all : ?max_solutions:int -> t -> Bitvec.t -> Bitvec.t list
+(** Every solution of [A·x = b] (particular solution + span of the
+    nullspace), enumerated exhaustively. The number of solutions is
+    [2^(cols - rank)]; intended for small instances and tests.
+    [max_solutions] truncates the enumeration. *)
+
+val solve_all_with_weight :
+  ?max_solutions:int -> t -> Bitvec.t -> weight:int -> Bitvec.t list
+(** {!solve_all} restricted to solutions of Hamming weight [weight] —
+    the exact preimage of a log entry [(TP, k)]. *)
+
+val independent : Bitvec.t list -> bool
+(** Whether the vectors are linearly independent. *)
+
+val pp : Format.formatter -> t -> unit

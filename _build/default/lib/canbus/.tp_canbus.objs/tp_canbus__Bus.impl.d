@@ -1,0 +1,1 @@
+lib/canbus/bus.ml: Array Float Frame Int List Message

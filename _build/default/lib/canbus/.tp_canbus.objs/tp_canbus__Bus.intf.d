@@ -1,0 +1,1 @@
+lib/canbus/bus.mli: Message

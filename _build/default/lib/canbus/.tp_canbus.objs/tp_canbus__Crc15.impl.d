@@ -1,0 +1,1 @@
+lib/canbus/crc15.ml: List

@@ -1,0 +1,1 @@
+lib/canbus/forensics.ml: Array Bus Encoding Frame List Logger Property Reconstruct Signal Timeprint

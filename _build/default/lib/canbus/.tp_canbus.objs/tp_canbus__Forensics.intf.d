@@ -1,0 +1,1 @@
+lib/canbus/forensics.mli: Bus Message Timeprint

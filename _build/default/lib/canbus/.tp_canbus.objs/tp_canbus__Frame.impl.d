@@ -1,0 +1,1 @@
+lib/canbus/frame.ml: Array Crc15 Format List Message Printf Result

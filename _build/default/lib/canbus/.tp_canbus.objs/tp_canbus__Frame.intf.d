@@ -1,0 +1,1 @@
+lib/canbus/frame.mli: Format Message

@@ -1,0 +1,1 @@
+lib/canbus/message.ml: Array Format

@@ -1,0 +1,1 @@
+lib/canbus/message.mli: Format

@@ -1,0 +1,1 @@
+lib/canbus/msglog.ml: Array Bus Format Hashtbl List Message Printf Scanf String

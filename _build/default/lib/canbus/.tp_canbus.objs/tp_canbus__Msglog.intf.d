@@ -1,0 +1,1 @@
+lib/canbus/msglog.mli: Bus Format Message

@@ -1,0 +1,1 @@
+lib/canbus/scheduler.ml: Bus List Message Random

@@ -1,0 +1,1 @@
+lib/canbus/scheduler.mli: Bus Message

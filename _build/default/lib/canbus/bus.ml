@@ -1,0 +1,53 @@
+type request = { message : Message.t; release : int }
+type transmission = { message : Message.t; start_bit : int; end_bit : int }
+type timeline = { wire : bool array; transmissions : transmission list; bitrate : int }
+
+let simulate ?(stuffed = false) ?(ifs = 3) ~bitrate ~duration requests =
+  if duration <= 0 then invalid_arg "Bus.simulate: duration";
+  let wire = Array.make duration true in
+  let pending =
+    ref (List.stable_sort (fun a b -> Int.compare a.release b.release) requests)
+  in
+  let transmissions = ref [] in
+  let now = ref 0 in
+  let rec step () =
+    match !pending with
+    | [] -> ()
+    | _ ->
+        let ready, not_ready =
+          List.partition (fun r -> r.release <= !now) !pending
+        in
+        (match ready with
+        | [] ->
+            (* bus idle until the next release *)
+            let next =
+              List.fold_left (fun acc r -> min acc r.release) max_int not_ready
+            in
+            now := next
+        | _ ->
+            (* arbitration: lowest identifier wins *)
+            let winner =
+              List.fold_left
+                (fun (best : request) (r : request) ->
+                  if r.message.Message.id < best.message.Message.id then r else best)
+                (List.hd ready) (List.tl ready)
+            in
+            pending :=
+              not_ready @ List.filter (fun r -> r != winner) ready;
+            let bits = Frame.to_bits ~stuffed (Frame.of_message winner.message) in
+            let len = List.length bits in
+            if !now + len <= duration then begin
+              List.iteri (fun i b -> wire.(!now + i) <- b) bits;
+              transmissions :=
+                { message = winner.message; start_bit = !now; end_bit = !now + len }
+                :: !transmissions;
+              now := !now + len + ifs
+            end
+            else now := duration (* frame does not fit: drop *));
+        if !now < duration then step ()
+  in
+  step ();
+  { wire; transmissions = List.rev !transmissions; bitrate }
+
+let time_of_bit t bit = float_of_int bit /. float_of_int t.bitrate
+let bit_of_time t s = int_of_float (Float.round (s *. float_of_int t.bitrate))

@@ -1,0 +1,40 @@
+(** Single-segment CAN bus simulation at bit-time resolution.
+
+    Transmissions are serialized: the bus is either idle (recessive,
+    [true]) or carrying one frame; pending requests arbitrate by
+    identifier priority (lower id wins), the CSMA/CR behaviour of CAN.
+    Time is measured in bit times; at the paper's 5 Mbps a bit time is
+    200 ns and one m = 1000 trace-cycle spans 200 µs. *)
+
+type request = {
+  message : Message.t;
+  release : int;  (** earliest bit time the node tries to send *)
+}
+
+type transmission = {
+  message : Message.t;
+  start_bit : int;  (** bit time of the SOF edge *)
+  end_bit : int;  (** first bit time after the frame (before IFS) *)
+}
+
+type timeline = {
+  wire : bool array;  (** bus value per bit time; [true] = recessive *)
+  transmissions : transmission list;  (** in start order *)
+  bitrate : int;  (** bits per second *)
+}
+
+val simulate :
+  ?stuffed:bool ->
+  ?ifs:int ->
+  bitrate:int ->
+  duration:int ->
+  request list ->
+  timeline
+(** [simulate ~bitrate ~duration reqs] plays out the requests over
+    [duration] bit times. [ifs] is the inter-frame space (default 3).
+    Requests that cannot finish within the duration are dropped. *)
+
+val time_of_bit : timeline -> int -> float
+(** Bit index to seconds. *)
+
+val bit_of_time : timeline -> float -> int

@@ -1,0 +1,15 @@
+let polynomial = 0x4599
+
+let compute bits =
+  let crc = ref 0 in
+  List.iter
+    (fun b ->
+      let crcnxt = b <> ((!crc lsr 14) land 1 = 1) in
+      crc := (!crc lsl 1) land 0x7fff;
+      if crcnxt then crc := !crc lxor polynomial)
+    bits;
+  !crc
+
+let to_bits crc = List.init 15 (fun i -> (crc lsr (14 - i)) land 1 = 1)
+
+let check bits = compute bits = 0

@@ -1,0 +1,20 @@
+(** CAN CRC-15.
+
+    Generator polynomial
+    [x¹⁵ + x¹⁴ + x¹⁰ + x⁸ + x⁷ + x⁴ + x³ + 1] (ISO 11898-1), computed
+    over the frame bits from SOF through the last data bit, before bit
+    stuffing. *)
+
+val polynomial : int
+(** [0x4599], the polynomial's low 15 bits. *)
+
+val compute : bool list -> int
+(** CRC of the bit sequence (first bit transmitted first). The result
+    fits in 15 bits. *)
+
+val to_bits : int -> bool list
+(** The 15 CRC bits in transmission order (MSB first). *)
+
+val check : bool list -> bool
+(** [check bits] verifies a sequence that already has its 15 CRC bits
+    appended: the CRC of the whole sequence is then zero. *)

@@ -1,0 +1,63 @@
+open Timeprint
+
+let trace_signals (tl : Bus.timeline) ~m =
+  let n = Array.length tl.Bus.wire / m in
+  let prev = ref true (* bus idle before time 0 *) in
+  List.init n (fun j ->
+      let chunk = Array.sub tl.Bus.wire (j * m) m in
+      let s = Signal.of_values ~initial:!prev chunk in
+      prev := chunk.(m - 1);
+      s)
+
+let log_timeline enc tl =
+  List.map (Logger.abstract enc) (trace_signals tl ~m:(Encoding.m enc))
+
+let change_pattern ?(stuffed = false) msg =
+  let bits = Array.of_list (Frame.to_bits ~stuffed (Frame.of_message msg)) in
+  Signal.of_values ~initial:true bits
+
+let transmission_in_window ?stuffed msg ~lo ~hi =
+  Property.Pattern_at { pattern = change_pattern ?stuffed msg; lo; hi }
+
+let completed_before ?stuffed msg ~deadline =
+  let pattern = change_pattern ?stuffed msg in
+  Property.Pattern_at
+    { pattern; lo = 0; hi = deadline - Signal.length pattern }
+
+type finding = { start_cycle : int; end_cycle : int }
+
+let matches_at sol pattern c =
+  let lp = Signal.length pattern in
+  c >= 0
+  && c + lp <= Signal.length sol
+  &&
+  let rec go j =
+    j >= lp
+    || (Signal.change_at sol (c + j) = Signal.change_at pattern j && go (j + 1))
+  in
+  go 0
+
+let locate_transmission ?stuffed ?window enc entry msg =
+  let m = Encoding.m enc in
+  let pattern = change_pattern ?stuffed msg in
+  let lo, hi =
+    match window with
+    | Some (lo, hi) -> (lo, hi)
+    | None -> (0, m - Signal.length pattern)
+  in
+  let pb =
+    Reconstruct.problem
+      ~assume:[ Property.Pattern_at { pattern; lo; hi } ]
+      enc entry
+  in
+  match Reconstruct.first pb with
+  | `Unsat -> Error "no reconstruction places the message in the window"
+  | `Unknown -> Error "solver budget exhausted"
+  | `Signal sol ->
+      let rec scan c =
+        if c > hi then Error "internal: constrained solution lacks the pattern"
+        else if matches_at sol pattern c then
+          Ok { start_cycle = c; end_cycle = c + Signal.length pattern }
+        else scan (c + 1)
+      in
+      scan (max 0 lo)

@@ -1,0 +1,53 @@
+(** CAN forensics: the full §5.2.1 pipeline.
+
+    The traced on-chip signal is the bus wire itself; a "change" is a
+    recessive/dominant edge between consecutive bit times. During the
+    drive, an agg-log unit on the bus logs one [(TP, k)] pair per
+    trace-cycle (m = 1000 bits, b = 24 in the paper — 170 bps at
+    5 Mbps). After the incident, the suspected message's known payload
+    pins its exact wire pattern, and SAT reconstruction of the relevant
+    trace-cycle answers where the transmission really happened — or
+    proves (UNSAT) that it cannot have completed before the deadline. *)
+
+val trace_signals : Bus.timeline -> m:int -> Timeprint.Signal.t list
+(** Split the wire into consecutive trace-cycles of [m] bit times and
+    derive each cycle's change signal (bus assumed idle before time 0;
+    the value carries across cycle boundaries). The trailing partial
+    cycle is dropped. *)
+
+val log_timeline :
+  Timeprint.Encoding.t -> Bus.timeline -> Timeprint.Log_entry.t list
+(** What the in-field agg-log hardware would have recorded: one entry
+    per complete trace-cycle. *)
+
+val change_pattern : ?stuffed:bool -> Message.t -> Timeprint.Signal.t
+(** The change signal a transmission of this message produces, starting
+    from idle: index 0 is the SOF edge. *)
+
+val transmission_in_window :
+  ?stuffed:bool -> Message.t -> lo:int -> hi:int -> Timeprint.Property.t
+(** "The message's pattern starts at some cycle in [lo..hi]" — the
+    failure-window pruning property that cut reconstruction from 38 s
+    to 3 s in the paper. *)
+
+val completed_before :
+  ?stuffed:bool -> Message.t -> deadline:int -> Timeprint.Property.t
+(** "The whole transmission finished before cycle [deadline] of the
+    trace-cycle" — the property whose UNSAT answer assigned liability. *)
+
+type finding = {
+  start_cycle : int;  (** cycle of the SOF edge within the trace-cycle *)
+  end_cycle : int;  (** first cycle after the frame *)
+}
+
+val locate_transmission :
+  ?stuffed:bool ->
+  ?window:int * int ->
+  Timeprint.Encoding.t ->
+  Timeprint.Log_entry.t ->
+  Message.t ->
+  (finding, string) result
+(** Reconstruct the trace-cycle under the constraint that the message
+    pattern occurs (optionally within [window]) and report where. Uses
+    one SAT query; fails when the entry is inconsistent with any
+    placement. *)

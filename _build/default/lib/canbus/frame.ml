@@ -1,0 +1,124 @@
+(* Wire bits: true = recessive (1), false = dominant (0). *)
+
+type t = { message : Message.t }
+
+let of_message message = { message }
+
+let int_bits ~width v = List.init width (fun i -> (v lsr (width - 1 - i)) land 1 = 1)
+
+(* SOF through last data bit: the CRC-covered span. *)
+let covered_bits { message = m } =
+  let open Message in
+  [ false ] (* SOF: dominant *)
+  @ int_bits ~width:11 m.id
+  @ [ false; false; false ] (* RTR = 0 (data), IDE = 0 (standard), r0 *)
+  @ int_bits ~width:4 (dlc m)
+  @ List.concat_map (fun b -> int_bits ~width:8 b) (Array.to_list m.data)
+
+let crc f = Crc15.compute (covered_bits f)
+
+(* Insert a complement bit after five consecutive equal bits; stuff
+   bits participate in the run-length count. *)
+let stuff bits =
+  let rec go run_val run_len = function
+    | [] -> []
+    | b :: rest ->
+        if run_len = 5 then
+          (* emit stuff bit first, then re-examine b with reset count *)
+          let sb = not run_val in
+          sb :: go sb 1 (b :: rest)
+        else if b = run_val then b :: go run_val (run_len + 1) rest
+        else b :: go b 1 rest
+  in
+  match bits with [] -> [] | b :: rest -> b :: go b 1 rest
+
+let destuff bits =
+  let rec go run_val run_len = function
+    | [] -> Ok []
+    | b :: rest ->
+        if run_len = 5 then
+          if b = run_val then Error "stuffing violation: six equal bits"
+          else go b 1 rest (* b is the stuff bit: drop it *)
+        else if b = run_val then
+          Result.map (fun tl -> b :: tl) (go run_val (run_len + 1) rest)
+        else Result.map (fun tl -> b :: tl) (go b 1 rest)
+  in
+  match bits with
+  | [] -> Ok []
+  | b :: rest -> Result.map (fun tl -> b :: tl) (go b 1 rest)
+
+let tail_bits =
+  [ true ] (* CRC delimiter *)
+  @ [ false ] (* ACK slot: driven dominant by a receiving node *)
+  @ [ true ] (* ACK delimiter *)
+  @ [ true; true; true; true; true; true; true ] (* EOF *)
+
+let to_bits ?(stuffed = false) f =
+  let body = covered_bits f @ Crc15.to_bits (crc f) in
+  (if stuffed then stuff body else body) @ tail_bits
+
+let length ?stuffed f = List.length (to_bits ?stuffed f)
+
+let bits_to_int bits = List.fold_left (fun acc b -> (acc lsl 1) lor (if b then 1 else 0)) 0 bits
+
+let rec take n = function
+  | [] -> if n = 0 then [] else invalid_arg "take"
+  | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+
+let rec drop n xs =
+  if n = 0 then xs
+  else match xs with [] -> invalid_arg "drop" | _ :: rest -> drop (n - 1) rest
+
+let decode ?(stuffed = false) bits =
+  (* split off the un-stuffed tail: delimiter + ACK + delimiter + EOF *)
+  let tail_len = List.length tail_bits in
+  if List.length bits < tail_len + 19 then Error "frame too short"
+  else begin
+    let body_wire = take (List.length bits - tail_len) bits in
+    let tail = drop (List.length bits - tail_len) bits in
+    let body = if stuffed then destuff body_wire else Ok body_wire in
+    match body with
+    | Error e -> Error e
+    | Ok body ->
+        if List.length body < 19 + 15 then Error "frame body too short"
+        else begin
+          match body with
+          | sof :: rest ->
+              if sof then Error "missing dominant SOF"
+              else begin
+                let id = bits_to_int (take 11 rest) in
+                let rest = drop 11 rest in
+                match rest with
+                | rtr :: ide :: _r0 :: rest ->
+                    if rtr then Error "RTR frames not supported"
+                    else if ide then Error "extended frames not supported"
+                    else begin
+                      let dlc = bits_to_int (take 4 rest) in
+                      let rest = drop 4 rest in
+                      if dlc > 8 then Error "DLC out of range"
+                      else if List.length rest <> (8 * dlc) + 15 then
+                        Error "length mismatch"
+                      else begin
+                        let data =
+                          Array.init dlc (fun i ->
+                              bits_to_int (take 8 (drop (8 * i) rest)))
+                        in
+                        if not (Crc15.check body) then Error "CRC mismatch"
+                        else if
+                          not (List.for_all2 ( = ) tail tail_bits)
+                        then Error "malformed frame tail"
+                        else
+                          Ok
+                            (Message.make
+                               ~name:(Printf.sprintf "id%d" id)
+                               ~id ~data)
+                      end
+                    end
+                | _ -> Error "truncated header"
+              end
+          | [] -> Error "empty frame"
+        end
+  end
+
+let pp_bits ppf bits =
+  List.iter (fun b -> Format.pp_print_char ppf (if b then '1' else '0')) bits

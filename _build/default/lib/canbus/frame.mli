@@ -1,0 +1,35 @@
+(** CAN 2.0A data-frame bit encoding.
+
+    Wire convention (§5.2.1): [true] is the recessive bus state (idle),
+    [false] the dominant state; the start-of-frame bit is dominant, so
+    a frame begins with a [1 → 0] edge out of idle. Layout:
+
+    {v
+    SOF | ID[10:0] | RTR | IDE | r0 | DLC[3:0] | data | CRC15 |
+    CRC-delim | ACK | ACK-delim | EOF (7 recessive)
+    v}
+
+    The CRC covers SOF through the last data bit. Bit stuffing (a
+    complement bit after five equal bits, SOF through CRC) is optional,
+    mirroring the paper's "we ignore bit-stuffing here for simplicity"
+    — both paths are implemented and tested. *)
+
+type t = { message : Message.t }
+
+val of_message : Message.t -> t
+
+val to_bits : ?stuffed:bool -> t -> bool list
+(** Wire bits in transmission order ([stuffed] defaults to [false]). *)
+
+val length : ?stuffed:bool -> t -> int
+
+val decode : ?stuffed:bool -> bool list -> (Message.t, string) result
+(** Parse wire bits back into a message (name is synthesized as
+    ["id<n>"]); checks structure and CRC. *)
+
+val crc : t -> int
+(** The 15-bit CRC of the frame header + payload. *)
+
+val pp_bits : Format.formatter -> bool list -> unit
+(** ['0']/['1'] string, transmission order — the rendering used for
+    the [m1] listing in §5.2.1. *)

@@ -1,0 +1,29 @@
+type t = { name : string; id : int; data : int array }
+
+let make ~name ~id ~data =
+  if id < 0 || id > 0x7ff then invalid_arg "Message.make: 11-bit id required";
+  if Array.length data > 8 then invalid_arg "Message.make: at most 8 data bytes";
+  Array.iter
+    (fun b -> if b < 0 || b > 0xff then invalid_arg "Message.make: byte range")
+    data;
+  { name; id; data }
+
+let dlc m = Array.length m.data
+
+let equal a b = a.name = b.name && a.id = b.id && a.data = b.data
+
+let pp ppf m =
+  Format.fprintf ppf "%s(%d)d %d" m.name m.id (dlc m);
+  Array.iter (fun b -> Format.fprintf ppf " %02X" b) m.data
+
+(* The messages appearing in the §5.2.1 log listing. *)
+let gearbox_info = make ~name:"GearBoxInfo" ~id:1020 ~data:[| 0x01 |]
+
+let engine_data =
+  make ~name:"EngineData" ~id:100
+    ~data:[| 0x00; 0x00; 0x19; 0x00; 0x00; 0x00; 0x00; 0x00 |]
+
+let abs_data =
+  make ~name:"ABSdata" ~id:201 ~data:[| 0x00; 0x00; 0x00; 0x00; 0x00; 0x00 |]
+
+let ignition_info = make ~name:"Ignition_Info" ~id:103 ~data:[| 0x01; 0x00 |]

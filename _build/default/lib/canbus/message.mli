@@ -1,0 +1,24 @@
+(** Application-level CAN messages: what ECUs exchange and what the
+    software log reports. The didactic scenario of §5.2.1 uses four of
+    these (GearBoxInfo, EngineData, ABSdata, Ignition_Info). *)
+
+type t = {
+  name : string;
+  id : int;  (** 11-bit standard identifier, [0 .. 0x7ff] *)
+  data : int array;  (** 0–8 payload bytes, each [0 .. 255] *)
+}
+
+val make : name:string -> id:int -> data:int array -> t
+(** Validates the identifier range and payload length. *)
+
+val dlc : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Paper-style rendering: [EngineData(100)d 8 00 00 19 00 00 00 00 00]. *)
+
+(* The four messages of the paper's CANoe-style scenario. *)
+val gearbox_info : t
+val engine_data : t
+val abs_data : t
+val ignition_info : t

@@ -1,0 +1,53 @@
+type entry = { time : float; message : Message.t }
+
+let of_timeline ?(latency = fun _ _ -> 0.) (tl : Bus.timeline) =
+  let counts = Hashtbl.create 8 in
+  List.map
+    (fun { Bus.message; end_bit; _ } ->
+      let inst =
+        match Hashtbl.find_opt counts message.Message.name with
+        | Some n -> n
+        | None -> 0
+      in
+      Hashtbl.replace counts message.Message.name (inst + 1);
+      { time = Bus.time_of_bit tl end_bit +. latency message inst; message })
+    tl.Bus.transmissions
+
+let to_string e =
+  let m = e.message in
+  let data =
+    String.concat " "
+      (List.map (Printf.sprintf "%02X") (Array.to_list m.Message.data))
+  in
+  Printf.sprintf "%.6fs %s(%d)d %d%s" e.time m.Message.name m.Message.id
+    (Message.dlc m)
+    (if data = "" then "" else " " ^ data)
+
+let parse line =
+  try
+    Scanf.sscanf line "%fs %[^(](%d)d %d %[0-9A-Fa-f ]"
+      (fun time name id dlc hex ->
+        let bytes =
+          List.filter_map
+            (fun tok ->
+              if tok = "" then None else Some (int_of_string ("0x" ^ tok)))
+            (String.split_on_char ' ' hex)
+        in
+        if List.length bytes <> dlc then Error "dlc/data mismatch"
+        else
+          Ok
+            {
+              time;
+              message = Message.make ~name ~id ~data:(Array.of_list bytes);
+            })
+  with
+  | Scanf.Scan_failure _ | End_of_file | Failure _ -> (
+      (* retry without data bytes (dlc = 0) *)
+      try
+        Scanf.sscanf line "%fs %[^(](%d)d %d" (fun time name id dlc ->
+            if dlc <> 0 then Error "missing data bytes"
+            else Ok { time; message = Message.make ~name ~id ~data:[||] })
+      with Scanf.Scan_failure _ | End_of_file | Failure _ ->
+        Error ("unparseable log line: " ^ line))
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

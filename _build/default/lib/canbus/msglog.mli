@@ -1,0 +1,24 @@
+(** Software-level message logs: the coarse record ECUs keep.
+
+    The §5.2.1 listing is exactly this artifact — per-message receive
+    timestamps with millisecond-ish trustworthiness, far from the
+    bit-accurate wire truth. The forensic question arises because such
+    logs disagree across nodes; the timeprint is the independent
+    arbiter. Entries carry an optional reporting latency to model the
+    software path between the CAN controller and the logger. *)
+
+type entry = { time : float; message : Message.t }
+(** [time] in seconds: when software recorded the message. *)
+
+val of_timeline :
+  ?latency:(Message.t -> int -> float) -> Bus.timeline -> entry list
+(** One entry per completed transmission, stamped at frame end plus
+    [latency msg instance_index] seconds (default 0). *)
+
+val to_string : entry -> string
+(** Paper-style line: ["2.253552s EngineData(100)d 8 00 00 19 …"]. *)
+
+val parse : string -> (entry, string) result
+(** Inverse of {!to_string}. *)
+
+val pp : Format.formatter -> entry -> unit

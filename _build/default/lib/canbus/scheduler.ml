@@ -1,0 +1,40 @@
+type periodic = { message : Message.t; period : int; offset : int; jitter : int }
+
+let periodic ?(offset = 0) ?(jitter = 0) message ~period =
+  if period <= 0 then invalid_arg "Scheduler.periodic: period";
+  { message; period; offset; jitter }
+
+let requests ?(seed = 1) ~duration ?(delays = []) periodics =
+  let rng = Random.State.make [| seed |] in
+  let reqs = ref [] in
+  List.iter
+    (fun p ->
+      let rec instance i =
+        let base = p.offset + (i * p.period) in
+        if base < duration then begin
+          let j = if p.jitter > 0 then Random.State.int rng (p.jitter + 1) else 0 in
+          let extra =
+            List.fold_left
+              (fun acc (name, inst, d) ->
+                if name = p.message.Message.name && inst = i then acc + d else acc)
+              0 delays
+          in
+          reqs := { Bus.message = p.message; release = base + j + extra } :: !reqs;
+          instance (i + 1)
+        end
+      in
+      instance 0)
+    periodics;
+  List.rev !reqs
+
+let demo_scenario =
+  [ Message.engine_data; Message.ignition_info; Message.abs_data; Message.gearbox_info ]
+
+(* Periods in bit times at 5 Mbps: 10 ms = 50_000 bits, etc. *)
+let demo_periodics =
+  [
+    periodic Message.engine_data ~period:5_000 ~offset:400 ~jitter:60;
+    periodic Message.ignition_info ~period:7_500 ~offset:900 ~jitter:60;
+    periodic Message.abs_data ~period:6_000 ~offset:1_700 ~jitter:60;
+    periodic Message.gearbox_info ~period:9_000 ~offset:2_600 ~jitter:60;
+  ]

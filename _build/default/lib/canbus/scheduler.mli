@@ -1,0 +1,36 @@
+(** CANoe-style scenario generation: periodic messages with jitter and
+    injected delays.
+
+    The paper generated its exchange with the Vector CANoe "Demo9"
+    scenario and "applied manual delays" on top; this module plays that
+    role — it produces the {!Bus.request} list for a set of periodic
+    messages, with optional per-release jitter and targeted extra
+    delays on selected instances. *)
+
+type periodic = {
+  message : Message.t;
+  period : int;  (** bit times between releases *)
+  offset : int;  (** release of instance 0 *)
+  jitter : int;  (** uniform release jitter in [0..jitter] bit times *)
+}
+
+val periodic :
+  ?offset:int -> ?jitter:int -> Message.t -> period:int -> periodic
+
+val requests :
+  ?seed:int ->
+  duration:int ->
+  ?delays:(string * int * int) list ->
+  periodic list ->
+  Bus.request list
+(** All releases falling inside [duration]. [delays] entries
+    [(name, instance, extra)] push instance [instance] of the message
+    named [name] by [extra] bit times — the paper's manual delay on
+    EngineData. *)
+
+val demo_scenario : Message.t list
+(** The four §5.2.1 messages. *)
+
+val demo_periodics : periodic list
+(** The demo messages with realistic automotive periods (10–100 ms
+    ranges scaled to bit times at 5 Mbps). *)

@@ -1,0 +1,1 @@
+lib/rv/monitor.ml: Format List Timeprint

@@ -1,0 +1,1 @@
+lib/rv/monitor.mli: Format Timeprint

@@ -1,0 +1,158 @@
+type spec =
+  | Deadline of { count : int; before : int }
+  | Max_changes of int
+  | Min_separation of int
+  | Pulse_pairs
+  | Window of { lo : int; hi : int }
+
+type verdict = Pass | Fail
+
+type state = {
+  mutable count : int; (* changes seen this trace-cycle *)
+  mutable count_before : int; (* changes seen before the deadline *)
+  mutable last_change : int; (* cycle of previous change, -1 if none *)
+  mutable expecting_pair : bool; (* Pulse_pairs: previous cycle opened a pair *)
+  mutable bad : bool; (* safety violation latched *)
+}
+
+type t = {
+  spec : spec;
+  m : int;
+  mutable cycle : int;
+  st : state;
+  mutable verdicts : verdict list; (* reversed *)
+}
+
+let create ~m spec =
+  if m <= 0 then invalid_arg "Monitor.create";
+  (match spec with
+  | Deadline { count; before } ->
+      if count < 0 || before < 0 then invalid_arg "Monitor.create: Deadline"
+  | Max_changes n -> if n < 0 then invalid_arg "Monitor.create: Max_changes"
+  | Min_separation n -> if n < 0 then invalid_arg "Monitor.create: Min_separation"
+  | Window { lo; hi } -> if lo > hi then invalid_arg "Monitor.create: Window"
+  | Pulse_pairs -> ());
+  {
+    spec;
+    m;
+    cycle = 0;
+    st =
+      {
+        count = 0;
+        count_before = 0;
+        last_change = -1;
+        expecting_pair = false;
+        bad = false;
+      };
+    verdicts = [];
+  }
+
+let spec t = t.spec
+let m t = t.m
+
+let reset_state t =
+  t.st.count <- 0;
+  t.st.count_before <- 0;
+  t.st.last_change <- -1;
+  t.st.expecting_pair <- false;
+  t.st.bad <- false;
+  t.cycle <- 0
+
+let observe t change =
+  let st = t.st and c = t.cycle in
+  if change then begin
+    st.count <- st.count + 1;
+    (match t.spec with
+    | Deadline { before; _ } -> if c < before then st.count_before <- st.count_before + 1
+    | Max_changes n -> if st.count > n then st.bad <- true
+    | Min_separation n ->
+        if st.last_change >= 0 && c - st.last_change - 1 < n then st.bad <- true
+    | Pulse_pairs -> st.expecting_pair <- not st.expecting_pair
+    | Window { lo; hi } -> if c < lo || c > hi then st.bad <- true);
+    st.last_change <- c
+  end
+  else
+    match t.spec with
+    | Pulse_pairs -> if st.expecting_pair then st.bad <- true
+    | Deadline _ | Max_changes _ | Min_separation _ | Window _ -> ()
+
+let final_verdict t =
+  let st = t.st in
+  let ok =
+    (not st.bad)
+    &&
+    match t.spec with
+    | Deadline { count; _ } -> st.count_before >= count
+    | Pulse_pairs -> not st.expecting_pair
+    | Max_changes _ | Min_separation _ | Window _ -> true
+  in
+  if ok then Pass else Fail
+
+let violated_so_far t =
+  t.st.bad
+  ||
+  match t.spec with
+  | Deadline { count; before } -> t.cycle >= before && t.st.count_before < count
+  | Max_changes _ | Min_separation _ | Pulse_pairs | Window _ -> false
+
+let step t ~change =
+  observe t change;
+  t.cycle <- t.cycle + 1;
+  if t.cycle = t.m then begin
+    let v = final_verdict t in
+    t.verdicts <- v :: t.verdicts;
+    reset_state t;
+    Some v
+  end
+  else None
+
+let verdicts t = List.rev t.verdicts
+
+let run ~m spec s =
+  if Timeprint.Signal.length s <> m then invalid_arg "Monitor.run: length";
+  let t = create ~m spec in
+  let out = ref Pass in
+  for i = 0 to m - 1 do
+    match step t ~change:(Timeprint.Signal.change_at s i) with
+    | Some v -> out := v
+    | None -> ()
+  done;
+  !out
+
+let to_property (spec : spec) : Timeprint.Property.t =
+  match spec with
+  | Deadline { count; before } -> Timeprint.Property.Deadline { count; before }
+  | Max_changes n ->
+      (* at most n changes overall = not (at least n+1 before the end) *)
+      Timeprint.Property.(Not (Deadline { count = n + 1; before = max_int }))
+  | Min_separation n -> Timeprint.Property.Min_separation n
+  | Pulse_pairs -> Timeprint.Property.Pulse_pairs
+  | Window { lo; hi } -> Timeprint.Property.Window { lo; hi }
+
+type cost = { registers : int; comparators : int; adders : int }
+
+let bits n =
+  let rec go b = if 1 lsl b >= n + 1 then b else go (b + 1) in
+  go 1
+
+let cost ~m spec =
+  let cycle_counter = bits m in
+  match spec with
+  | Deadline { count; _ } ->
+      { registers = cycle_counter + bits count; comparators = 2; adders = 2 }
+  | Max_changes n -> { registers = cycle_counter + bits n; comparators = 1; adders = 2 }
+  | Min_separation n ->
+      { registers = cycle_counter + bits (max n m); comparators = 1; adders = 2 }
+  | Pulse_pairs -> { registers = cycle_counter + 1; comparators = 0; adders = 1 }
+  | Window _ -> { registers = cycle_counter; comparators = 2; adders = 1 }
+
+let pp_spec ppf = function
+  | Deadline { count; before } -> Format.fprintf ppf "deadline(k=%d,D=%d)" count before
+  | Max_changes n -> Format.fprintf ppf "max-changes(%d)" n
+  | Min_separation n -> Format.fprintf ppf "min-separation(%d)" n
+  | Pulse_pairs -> Format.pp_print_string ppf "pulse-pairs"
+  | Window { lo; hi } -> Format.fprintf ppf "window[%d..%d]" lo hi
+
+let pp_verdict ppf = function
+  | Pass -> Format.pp_print_string ppf "PASS"
+  | Fail -> Format.pp_print_string ppf "FAIL"

@@ -1,0 +1,59 @@
+(** Synthesizable-style runtime-verification monitors.
+
+    The taxonomy of Figures 1–3: a subset of the {e defined} properties
+    is compiled to on-chip monitors that check every trace-cycle during
+    deployment. Their verdicts do double duty — they raise alarms
+    online, and a [Pass] verdict licenses adding the property to the
+    reconstruction assumptions ({!to_property}), pruning the SAT search
+    exactly as the dashed arrows of Figure 3 describe.
+
+    Each monitor is a small Mealy machine over the per-cycle change
+    bit, resetting at trace-cycle boundaries; {!cost} estimates its
+    hardware footprint, the quantity that limits how many monitors fit
+    on chip (§1). *)
+
+type spec =
+  | Deadline of { count : int; before : int }
+      (** at least [count] changes strictly before cycle [before] *)
+  | Max_changes of int  (** at most [n] changes per trace-cycle *)
+  | Min_separation of int
+      (** at least [n] quiet cycles between consecutive changes *)
+  | Pulse_pairs  (** changes arrive as disjoint adjacent pairs *)
+  | Window of { lo : int; hi : int }  (** changes only inside [lo..hi] *)
+
+type verdict = Pass | Fail
+
+type t
+
+val create : m:int -> spec -> t
+(** Monitor for trace-cycles of [m] clock-cycles. *)
+
+val spec : t -> spec
+val m : t -> int
+
+val step : t -> change:bool -> verdict option
+(** Clock the monitor one cycle; returns the verdict when this step
+    closes a trace-cycle. *)
+
+val violated_so_far : t -> bool
+(** Early detection: [true] as soon as the current trace-cycle can no
+    longer pass (safety prefix violation). *)
+
+val verdicts : t -> verdict list
+(** Verdicts of completed trace-cycles, oldest first. *)
+
+val run : m:int -> spec -> Timeprint.Signal.t -> verdict
+(** One-shot evaluation over a full trace-cycle. *)
+
+val to_property : spec -> Timeprint.Property.t
+(** The property a [Pass] verdict establishes, in reconstruction form.
+    [run ~m spec s = Pass ⇔ Property.eval (to_property spec) s]. *)
+
+type cost = { registers : int; comparators : int; adders : int }
+(** Rough synthesis estimate: state bits, magnitude comparators and
+    counters/incrementers. *)
+
+val cost : m:int -> spec -> cost
+
+val pp_spec : Format.formatter -> spec -> unit
+val pp_verdict : Format.formatter -> verdict -> unit

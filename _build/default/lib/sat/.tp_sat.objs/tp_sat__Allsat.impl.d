@@ -1,0 +1,1 @@
+lib/sat/allsat.ml: Array List Lit Solver

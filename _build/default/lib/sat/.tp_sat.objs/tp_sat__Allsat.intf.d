@@ -1,0 +1,1 @@
+lib/sat/allsat.mli: Solver

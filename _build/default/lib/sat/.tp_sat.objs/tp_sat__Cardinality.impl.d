@@ -1,0 +1,1 @@
+lib/sat/cardinality.ml: Array Cnf List Lit

@@ -1,0 +1,1 @@
+lib/sat/drat.ml: Cnf Fun Hashtbl List Lit Printf Solver String

@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Buffer Cnf Float Hashtbl Heap Int List Lit Vec

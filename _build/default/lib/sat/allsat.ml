@@ -1,0 +1,33 @@
+type outcome = { models : bool array list; complete : bool }
+
+let iter ?(max_models = max_int) ?(conflict_budget = max_int) f s ~project =
+  let vars = Array.of_list project in
+  let rec go found =
+    if found >= max_models then false
+    else
+      match Solver.solve ~conflict_budget s with
+      | Unsat -> true
+      | Unknown -> false
+      | Sat ->
+          let m = Array.map (Solver.value s) vars in
+          f m;
+          (* block this projected model *)
+          let blocking =
+            Array.to_list (Array.mapi (fun i v -> Lit.make v (not m.(i))) vars)
+          in
+          Solver.add_clause s blocking;
+          go (found + 1)
+  in
+  go 0
+
+let enumerate ?max_models ?conflict_budget s ~project =
+  let acc = ref [] in
+  let complete =
+    iter ?max_models ?conflict_budget (fun m -> acc := m :: !acc) s ~project
+  in
+  { models = List.rev !acc; complete }
+
+let count ?max_models s ~project =
+  let n = ref 0 in
+  ignore (iter ?max_models (fun _ -> incr n) s ~project);
+  !n

@@ -1,0 +1,38 @@
+(** Model enumeration (All-SAT) by blocking clauses.
+
+    Reconstruction needs {e all} signals abstracting to a log entry
+    (§4.2), or the first few, or a yes/no answer under a property. We
+    enumerate models projected onto the [m] signal variables: after
+    each model, a blocking clause over the projection variables forbids
+    it and the (incremental) solver continues. *)
+
+type outcome = {
+  models : bool array list;  (** projected models, in discovery order *)
+  complete : bool;
+      (** [true] when enumeration provably exhausted the solution space
+          (final answer was UNSAT), [false] when stopped by [max_models]
+          or by the conflict budget *)
+}
+
+val enumerate :
+  ?max_models:int ->
+  ?conflict_budget:int ->
+  Solver.t ->
+  project:int list ->
+  outcome
+(** [enumerate s ~project] repeatedly solves, records each model
+    restricted to the variables [project] (in the given order), blocks
+    it, and continues. The solver is left with the blocking clauses
+    installed. *)
+
+val count : ?max_models:int -> Solver.t -> project:int list -> int
+(** Number of projected models (capped by [max_models] if given). *)
+
+val iter :
+  ?max_models:int ->
+  ?conflict_budget:int ->
+  (bool array -> unit) ->
+  Solver.t ->
+  project:int list ->
+  bool
+(** Streaming variant; returns the [complete] flag. *)

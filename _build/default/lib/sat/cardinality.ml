@@ -1,0 +1,84 @@
+(* Sinz, "Towards an Optimal CNF Encoding of Boolean Cardinality
+   Constraints", CP 2005 — the LT_SEQ sequential counter.
+
+   Registers s_{i,j} (1-based in the literature) hold "at least j of
+   x_1..x_i are true". Clauses for AtMost-k over x_1..x_n:
+
+     (¬x_1 ∨ s_{1,1})
+     (¬s_{1,j})                        for 2 <= j <= k
+     (¬x_i ∨ s_{i,1})                  for 2 <= i < n
+     (¬s_{i-1,1} ∨ s_{i,1})            for 2 <= i < n
+     (¬x_i ∨ ¬s_{i-1,j-1} ∨ s_{i,j})   for 2 <= i < n, 2 <= j <= k
+     (¬s_{i-1,j} ∨ s_{i,j})            for 2 <= i < n, 2 <= j <= k
+     (¬x_i ∨ ¬s_{i-1,k})               for 2 <= i <= n *)
+
+let at_most ?guard p lits k =
+  if k < 0 then invalid_arg "Cardinality.at_most: negative bound";
+  let add_clause p cl =
+    Cnf.add_clause p (match guard with Some g -> Lit.negate g :: cl | None -> cl)
+  in
+  let xs = Array.of_list lits in
+  let n = Array.length xs in
+  if k = 0 then Array.iter (fun l -> add_clause p [ Lit.negate l ]) xs
+  else if n > k then begin
+    (* s.(i).(j) for 0-based i in [0..n-2], j in [0..k-1] *)
+    let s =
+      Array.init (n - 1) (fun _ -> Array.init k (fun _ -> Cnf.new_var p))
+    in
+    let reg i j = Lit.pos s.(i).(j) in
+    add_clause p [ Lit.negate xs.(0); reg 0 0 ];
+    for j = 1 to k - 1 do
+      add_clause p [ Lit.negate (reg 0 j) ]
+    done;
+    for i = 1 to n - 2 do
+      add_clause p [ Lit.negate xs.(i); reg i 0 ];
+      add_clause p [ Lit.negate (reg (i - 1) 0); reg i 0 ];
+      for j = 1 to k - 1 do
+        add_clause p
+          [ Lit.negate xs.(i); Lit.negate (reg (i - 1) (j - 1)); reg i j ];
+        add_clause p [ Lit.negate (reg (i - 1) j); reg i j ]
+      done;
+      add_clause p [ Lit.negate xs.(i); Lit.negate (reg (i - 1) (k - 1)) ]
+    done;
+    if n >= 2 then
+      add_clause p
+        [ Lit.negate xs.(n - 1); Lit.negate (reg (n - 2) (k - 1)) ]
+  end
+
+let guarded_empty ?guard p =
+  Cnf.add_clause p (match guard with Some g -> [ Lit.negate g ] | None -> [])
+
+let at_least ?guard p lits k =
+  let n = List.length lits in
+  if k > n then guarded_empty ?guard p (* unsatisfiable *)
+  else if k > 0 then at_most ?guard p (List.map Lit.negate lits) (n - k)
+
+let exactly ?guard p lits k =
+  let n = List.length lits in
+  if k < 0 || k > n then guarded_empty ?guard p
+  else begin
+    at_most ?guard p lits k;
+    at_least ?guard p lits k
+  end
+
+(* Naive: forbid every (k+1)-subset from being simultaneously true. *)
+let rec subsets n = function
+  | _ when n = 0 -> [ [] ]
+  | [] -> []
+  | x :: rest ->
+      List.map (fun s -> x :: s) (subsets (n - 1) rest) @ subsets n rest
+
+let at_most_pairwise p lits k =
+  if k < 0 then invalid_arg "Cardinality.at_most_pairwise";
+  List.iter
+    (fun subset -> Cnf.add_clause p (List.map Lit.negate subset))
+    (subsets (k + 1) lits)
+
+let exactly_pairwise p lits k =
+  let n = List.length lits in
+  if k < 0 || k > n then Cnf.add_clause p []
+  else begin
+    at_most_pairwise p lits k;
+    (* at least k: every (n-k+1)-subset contains a true literal *)
+    List.iter (fun subset -> Cnf.add_clause p subset) (subsets (n - k + 1) lits)
+  end

@@ -1,0 +1,27 @@
+(** CNF encodings of Boolean cardinality constraints.
+
+    The reconstruction problem fixes the number of signal changes to
+    exactly [k] (§4.2). A naive encoding needs [C(m, k+1) + C(m, m-k+1)]
+    clauses; following the paper we use Sinz's sequential-counter
+    encoding [20], which introduces [O(m·k)] auxiliary variables and
+    [O(m·k)] clauses. The naive pairwise encoding is kept for the
+    encoding ablation and for cross-checks on small instances. *)
+
+val at_most : ?guard:Lit.t -> Cnf.t -> Lit.t list -> int -> unit
+(** [at_most p lits k] constrains at most [k] of [lits] to be true
+    (sequential counter). [k >= 0]; [k = 0] emits unit clauses.
+    With [?guard:g], the constraint is only enforced in models where
+    [g] is true (every emitted clause carries [¬g]). *)
+
+val at_least : ?guard:Lit.t -> Cnf.t -> Lit.t list -> int -> unit
+(** At least [k] true, via [at_most] on the negations. *)
+
+val exactly : ?guard:Lit.t -> Cnf.t -> Lit.t list -> int -> unit
+(** Exactly [k] true. With [k] out of range [0 .. length lits] the
+    problem becomes unsatisfiable. *)
+
+val at_most_pairwise : Cnf.t -> Lit.t list -> int -> unit
+(** Naive encoding: one clause per [(k+1)]-subset. Exponential; only
+    sensible for small inputs (ablation baseline). *)
+
+val exactly_pairwise : Cnf.t -> Lit.t list -> int -> unit

@@ -1,0 +1,151 @@
+type xor_constraint = { vars : int list; parity : bool }
+
+type t = {
+  mutable nvars : int;
+  mutable cls : Lit.t list list; (* reversed *)
+  mutable nclauses : int;
+  mutable xs : xor_constraint list; (* reversed *)
+  mutable nxors : int;
+}
+
+let create () = { nvars = 0; cls = []; nclauses = 0; xs = []; nxors = 0 }
+
+let new_var p =
+  let v = p.nvars in
+  p.nvars <- v + 1;
+  v
+
+let ensure_vars p n = if n > p.nvars then p.nvars <- n
+let nvars p = p.nvars
+
+let add_clause p lits =
+  List.iter (fun l -> ensure_vars p (Lit.var l + 1)) lits;
+  p.cls <- lits :: p.cls;
+  p.nclauses <- p.nclauses + 1
+
+(* Cancel duplicate variables pairwise: v XOR v = 0. *)
+let normalize_xor_vars vars =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt tbl v with
+      | Some () -> Hashtbl.remove tbl v
+      | None -> Hashtbl.add tbl v ())
+    vars;
+  List.filter (Hashtbl.mem tbl) (List.sort_uniq Int.compare vars)
+
+let add_xor p ~vars ~parity =
+  List.iter (fun v -> ensure_vars p (v + 1)) vars;
+  let vars = normalize_xor_vars vars in
+  match (vars, parity) with
+  | [], false -> () (* 0 = 0: trivially true *)
+  | [], true ->
+      (* 0 = 1: trivially false *)
+      p.cls <- [] :: p.cls;
+      p.nclauses <- p.nclauses + 1
+  | _ ->
+      p.xs <- { vars; parity } :: p.xs;
+      p.nxors <- p.nxors + 1
+
+let add_xor_chunked ?(chunk = 6) p ~vars ~parity =
+  if chunk < 3 then invalid_arg "Cnf.add_xor_chunked: chunk must be >= 3";
+  let vars = normalize_xor_vars vars in
+  let rec go head vars =
+    let head_len = match head with Some _ -> 1 | None -> 0 in
+    if List.length vars + head_len <= chunk then
+      add_xor p
+        ~vars:(match head with Some a -> a :: vars | None -> vars)
+        ~parity
+    else begin
+      let take = chunk - 1 - head_len in
+      let rec split i = function
+        | rest when i = 0 -> ([], rest)
+        | [] -> ([], [])
+        | x :: tl ->
+            let a, b = split (i - 1) tl in
+            (x :: a, b)
+      in
+      let now, rest = split take vars in
+      let aux = new_var p in
+      add_xor p
+        ~vars:((match head with Some a -> a :: now | None -> now) @ [ aux ])
+        ~parity:false;
+      go (Some aux) rest
+    end
+  in
+  go None vars
+
+let clauses p = List.rev p.cls
+let xors p = List.rev p.xs
+let nclauses p = p.nclauses
+let nxors p = p.nxors
+
+(* All clauses forbidding assignments of [vars] whose parity differs
+   from [parity]: 2^(n-1) clauses of width n. *)
+let xor_direct_cnf vars parity =
+  let vs = Array.of_list vars in
+  let n = Array.length vs in
+  let out = ref [] in
+  for mask = 0 to (1 lsl n) - 1 do
+    let pc = ref 0 in
+    for i = 0 to n - 1 do
+      if (mask lsr i) land 1 = 1 then incr pc
+    done;
+    let bad_parity = !pc land 1 = 1 in
+    if bad_parity <> parity then begin
+      (* the assignment (v_i = bit i of mask) violates the xor; forbid it *)
+      let clause =
+        List.init n (fun i -> Lit.make vs.(i) ((mask lsr i) land 1 = 0))
+      in
+      out := clause :: !out
+    end
+  done;
+  !out
+
+let expand_xors ?(chunk = 4) p =
+  if chunk < 3 then invalid_arg "Cnf.expand_xors: chunk must be >= 3";
+  let q = create () in
+  ensure_vars q p.nvars;
+  List.iter (add_clause q) (clauses p);
+  let expand { vars; parity } =
+    (* Split v1 ⊕ … ⊕ vn = parity into chained chunks through fresh
+       auxiliaries: (v1 ⊕ … ⊕ v_c ⊕ a1 = 0), (a1 ⊕ v_{c+1} … ⊕ a2 = 0),
+       …, last chunk closes with = parity. *)
+    let rec go acc_head vars =
+      let n = List.length vars in
+      if n + (match acc_head with Some _ -> 1 | None -> 0) <= chunk then begin
+        let all = match acc_head with Some a -> a :: vars | None -> vars in
+        List.iter (add_clause q) (xor_direct_cnf all parity)
+      end
+      else begin
+        let takeable = chunk - 1 - (match acc_head with Some _ -> 1 | None -> 0) in
+        let rec split i = function
+          | xs when i = 0 -> ([], xs)
+          | [] -> ([], [])
+          | x :: xs ->
+              let a, b = split (i - 1) xs in
+              (x :: a, b)
+        in
+        let now, rest = split takeable vars in
+        let aux = new_var q in
+        let all = (match acc_head with Some a -> a :: now | None -> now) @ [ aux ] in
+        List.iter (add_clause q) (xor_direct_cnf all false);
+        go (Some aux) rest
+      end
+    in
+    go None vars
+  in
+  List.iter expand (xors p);
+  q
+
+let eval p a =
+  if Array.length a < p.nvars then invalid_arg "Cnf.eval: assignment too short";
+  let lit_true l = if Lit.sign l then a.(Lit.var l) else not a.(Lit.var l) in
+  List.for_all (fun c -> List.exists lit_true c) (clauses p)
+  && List.for_all
+       (fun { vars; parity } ->
+         List.fold_left (fun acc v -> acc <> a.(v)) false vars = parity)
+       (xors p)
+
+let copy p =
+  { nvars = p.nvars; cls = p.cls; nclauses = p.nclauses; xs = p.xs; nxors = p.nxors }

@@ -1,0 +1,59 @@
+(** Pure problem container: CNF clauses plus native XOR constraints.
+
+    This is the input fragment of Cryptominisat that the paper's
+    reconstruction reduction targets (§4.2): ordinary disjunctive
+    clauses, XOR clauses for the linear system [A·x = TP], and (via
+    {!Cardinality}) the exactly-[k] side condition. A {!t} is a plain
+    description — hand it to {!Solver.of_cnf} to solve, to {!Dimacs} for
+    I/O, or to {!eval} for brute-force checking in tests. *)
+
+type t
+
+type xor_constraint = { vars : int list; parity : bool }
+(** [vars] XOR together to [parity]. The list is free of duplicates. *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Fresh variable index ([0]-based). *)
+
+val ensure_vars : t -> int -> unit
+(** Grow the variable universe so indices [0 .. n-1] are valid. *)
+
+val nvars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+
+val add_xor : t -> vars:int list -> parity:bool -> unit
+(** Duplicated variables cancel pairwise before storage (XOR algebra);
+    an empty constraint with [parity = true] registers as the trivially
+    false clause. *)
+
+val add_xor_chunked : ?chunk:int -> t -> vars:int list -> parity:bool -> unit
+(** Equivalent to {!add_xor}, but long constraints are split into a
+    chain of native XOR constraints of at most [chunk] variables
+    (default 6) through fresh auxiliaries. Short, local XOR constraints
+    propagate earlier and keep learnt clauses small — the same
+    treatment Cryptominisat applies internally; measurably faster on
+    the reconstruction instances, where each timeprint bit touches
+    around [m/2] cycle variables. *)
+
+val clauses : t -> Lit.t list list
+(** In insertion order. *)
+
+val xors : t -> xor_constraint list
+
+val nclauses : t -> int
+val nxors : t -> int
+
+val expand_xors : ?chunk:int -> t -> t
+(** A logically equivalent problem where every XOR constraint has been
+    compiled to plain CNF, chunked through fresh auxiliary variables so
+    the expansion stays linear ([2^(chunk-1)] clauses per chunk;
+    default [chunk = 4]). Used by the native-XOR-vs-CNF ablation. *)
+
+val eval : t -> bool array -> bool
+(** Truth of the whole problem under a total assignment (indexed by
+    variable). Raises [Invalid_argument] if the array is too short. *)
+
+val copy : t -> t

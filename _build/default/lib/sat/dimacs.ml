@@ -1,0 +1,89 @@
+let to_buffer buf p =
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" (Cnf.nvars p) (Cnf.nclauses p + Cnf.nxors p));
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l -> Buffer.add_string buf (string_of_int (Lit.to_dimacs l) ^ " "))
+        clause;
+      Buffer.add_string buf "0\n")
+    (Cnf.clauses p);
+  List.iter
+    (fun { Cnf.vars; parity } ->
+      (* encode parity by negating the first literal when parity=false *)
+      Buffer.add_char buf 'x';
+      (match vars with
+      | [] -> ()
+      | v0 :: rest ->
+          Buffer.add_string buf (string_of_int (if parity then v0 + 1 else -(v0 + 1)));
+          List.iter
+            (fun v -> Buffer.add_string buf (" " ^ string_of_int (v + 1)))
+            rest);
+      Buffer.add_string buf " 0\n")
+    (Cnf.xors p)
+
+let to_string p =
+  let buf = Buffer.create 4096 in
+  to_buffer buf p;
+  Buffer.contents buf
+
+let output oc p = output_string oc (to_string p)
+
+let parse_string text =
+  let p = Cnf.create () in
+  let lines = String.split_on_char '\n' text in
+  let fail lineno msg = failwith (Printf.sprintf "Dimacs: line %d: %s" lineno msg) in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; nv; _nc ] -> (
+            match int_of_string_opt nv with
+            | Some n when n >= 0 -> Cnf.ensure_vars p n
+            | _ -> fail lineno "bad variable count")
+        | _ -> fail lineno "bad problem line"
+      end
+      else begin
+        let is_xor = line.[0] = 'x' in
+        let body =
+          if is_xor then String.sub line 1 (String.length line - 1) else line
+        in
+        let nums =
+          String.split_on_char ' ' body
+          |> List.filter (( <> ) "")
+          |> List.map (fun tok ->
+                 match int_of_string_opt tok with
+                 | Some n -> n
+                 | None -> fail lineno ("bad literal " ^ tok))
+        in
+        match List.rev nums with
+        | 0 :: rev_lits ->
+            let lits = List.rev rev_lits in
+            if is_xor then begin
+              let parity = ref true in
+              let vars =
+                List.map
+                  (fun n ->
+                    if n = 0 then fail lineno "zero literal in xor"
+                    else begin
+                      if n < 0 then parity := not !parity;
+                      abs n - 1
+                    end)
+                  lits
+              in
+              Cnf.add_xor p ~vars ~parity:!parity
+            end
+            else Cnf.add_clause p (List.map Lit.of_dimacs lits)
+        | _ -> fail lineno "clause not terminated by 0"
+      end)
+    lines;
+  p
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,17 @@
+(** Extended DIMACS I/O.
+
+    Standard [p cnf] bodies plus Cryptominisat-style XOR lines: a line
+    beginning with [x] lists literals whose XOR must be {e true}; a
+    negated leading literal flips the required parity, e.g.
+    [x1 2 -3 0] asserts [v1 ⊕ v2 ⊕ ¬v3 = 1]. This lets instances
+    produced by the reconstruction reduction be exported to (and
+    cross-checked against) external solvers. *)
+
+val to_string : Cnf.t -> string
+
+val output : out_channel -> Cnf.t -> unit
+
+val parse_string : string -> Cnf.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val parse_file : string -> Cnf.t

@@ -1,0 +1,115 @@
+(* Naive RUP checker: clause database as int-list lists, unit
+   propagation by repeated scanning. Quadratic and proud — the point is
+   independence from the solver, not speed. *)
+
+type db = { mutable clauses : Lit.t list list }
+
+(* unit-propagate the given assumptions over the database; true iff a
+   conflict is reached *)
+let propagates_to_conflict db assumptions =
+  let assign : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let set l =
+    let v = Lit.var l and b = Lit.sign l in
+    match Hashtbl.find_opt assign v with
+    | Some b' -> if b <> b' then raise Exit
+    | None -> Hashtbl.replace assign v b
+  in
+  try
+    List.iter set assumptions;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun clause ->
+          (* find the clause's status under the current assignment *)
+          let unassigned = ref [] in
+          let satisfied = ref false in
+          List.iter
+            (fun l ->
+              match Hashtbl.find_opt assign (Lit.var l) with
+              | Some b -> if b = Lit.sign l then satisfied := true
+              | None -> unassigned := l :: !unassigned)
+            clause;
+          if not !satisfied then begin
+            match List.sort_uniq Lit.compare !unassigned with
+            | [] -> raise Exit (* conflict *)
+            | [ unit_lit ] ->
+                set unit_lit;
+                changed := true
+            | _ -> ()
+          end)
+        db.clauses
+    done;
+    false
+  with Exit -> true
+
+let rup db clause =
+  propagates_to_conflict db (List.map Lit.negate clause)
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" then `Blank
+  else begin
+    let deletion = String.length line > 1 && line.[0] = 'd' in
+    let body = if deletion then String.sub line 1 (String.length line - 1) else line in
+    let nums =
+      String.split_on_char ' ' body
+      |> List.filter (( <> ) "")
+      |> List.map int_of_string_opt
+    in
+    if List.exists (( = ) None) nums then `Malformed
+    else begin
+      let nums = List.filter_map Fun.id nums in
+      match List.rev nums with
+      | 0 :: rev -> (
+          let lits = List.rev_map Lit.of_dimacs rev in
+          let lits = List.rev lits in
+          if deletion then `Delete lits else `Add lits)
+      | _ -> `Malformed
+    end
+  end
+
+let same_clause a b =
+  List.sort Lit.compare a = List.sort Lit.compare b
+
+let check cnf proof =
+  if Cnf.nxors cnf > 0 then
+    Error "Drat.check: formula has XOR constraints; expand them first"
+  else begin
+    let db = { clauses = Cnf.clauses cnf } in
+    let refuted = ref (List.exists (( = ) []) db.clauses) in
+    let rec go lineno = function
+      | [] ->
+          if !refuted then Ok ()
+          else Error "proof ends without deriving the empty clause"
+      | line :: rest -> (
+          match parse_line line with
+          | `Blank -> go (lineno + 1) rest
+          | `Malformed -> Error (Printf.sprintf "line %d: malformed" lineno)
+          | `Delete lits ->
+              let found = ref false in
+              db.clauses <-
+                List.filter
+                  (fun c ->
+                    if (not !found) && same_clause c lits then begin
+                      found := true;
+                      false
+                    end
+                    else true)
+                  db.clauses;
+              (* deleting a clause never endangers soundness *)
+              go (lineno + 1) rest
+          | `Add lits ->
+              if not (rup db lits) then
+                Error
+                  (Printf.sprintf "line %d: clause is not RUP" lineno)
+              else begin
+                db.clauses <- lits :: db.clauses;
+                if lits = [] then refuted := true;
+                go (lineno + 1) rest
+              end)
+    in
+    go 1 (String.split_on_char '\n' proof)
+  end
+
+let check_refutation cnf solver = check cnf (Solver.proof solver)

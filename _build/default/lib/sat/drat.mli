@@ -1,0 +1,24 @@
+(** DRAT proof checking (RUP fragment).
+
+    Verifies the certificates emitted by {!Solver.enable_proof}: each
+    addition line must be derivable by {e reverse unit propagation}
+    (asserting the negation of every literal in the added clause and
+    unit-propagating over the input formula plus all previously added
+    clauses must yield a conflict); deletion lines ([d …]) remove
+    clauses. The proof refutes the formula when it derives the empty
+    clause.
+
+    The checker is deliberately independent of the solver — a naive
+    counter-free unit propagator over a plain clause list — so a bug in
+    the CDCL machinery cannot vouch for itself. *)
+
+val check : Cnf.t -> string -> (unit, string) result
+(** [check cnf proof] validates [proof] as a DRAT refutation of [cnf].
+    [Ok ()] means every addition was RUP and the empty clause was
+    derived. Raises nothing; malformed lines are reported in the
+    error. The formula must be pure CNF (XOR constraints make the
+    certificate unsound and are rejected). *)
+
+val check_refutation : Cnf.t -> Solver.t -> (unit, string) result
+(** Convenience: take the proof out of a solver that answered [Unsat]
+    and check it against the problem it solved. *)

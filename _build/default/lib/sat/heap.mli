@@ -1,0 +1,31 @@
+(** Indexed binary max-heap keyed by variable activity (VSIDS order).
+
+    Elements are variable indices in [0 .. n-1]; the heap maintains a
+    position index so that {!decrease}/{!increase} after an activity
+    bump and {!mem} are O(log n) / O(1). *)
+
+type t
+
+val create : int -> score:(int -> float) -> t
+(** [create n ~score] builds an empty heap over elements [0 .. n-1];
+    [score] is consulted on every comparison, so bumping an activity
+    requires a follow-up {!update} of that element (if present). *)
+
+val grow : t -> int -> unit
+(** Extend the element universe to [0 .. n-1]. *)
+
+val is_empty : t -> bool
+val size : t -> int
+val mem : t -> int -> bool
+val insert : t -> int -> unit
+(** No-op when already present. *)
+
+val update : t -> int -> unit
+(** Restore heap order around [x] after its score changed. No-op when
+    absent. *)
+
+val remove_max : t -> int
+(** Raises [Not_found] when empty. *)
+
+val rebuild : t -> int list -> unit
+(** Clear and re-insert the given elements. *)

@@ -1,0 +1,23 @@
+type t = int
+
+let make v sign =
+  if v < 0 then invalid_arg "Lit.make: negative variable";
+  (v lsl 1) lor (if sign then 0 else 1)
+
+let pos v = make v true
+let neg_of v = make v false
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let negate l = l lxor 1
+let to_index l = l
+let of_index i = if i < 0 then invalid_arg "Lit.of_index" else i
+
+let of_dimacs n =
+  if n = 0 then invalid_arg "Lit.of_dimacs: zero"
+  else if n > 0 then pos (n - 1)
+  else neg_of (-n - 1)
+
+let to_dimacs l = if sign l then var l + 1 else -(var l + 1)
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf l = Format.fprintf ppf "%s%d" (if sign l then "" else "-") (var l + 1)

@@ -1,0 +1,39 @@
+(** Propositional literals.
+
+    Variables are non-negative integers; a literal packs a variable and
+    a sign into a single int ([2*var] positive, [2*var+1] negative), the
+    classic MiniSat layout, so literals index watch lists directly. *)
+
+type t = private int
+
+val make : int -> bool -> t
+(** [make v sign] is the literal on variable [v]; [sign = true] means
+    the positive literal. Raises [Invalid_argument] if [v < 0]. *)
+
+val pos : int -> t
+(** Positive literal of a variable. *)
+
+val neg_of : int -> t
+(** Negative literal of a variable. *)
+
+val var : t -> int
+val sign : t -> bool
+(** [sign l] is [true] for a positive literal. *)
+
+val negate : t -> t
+
+val to_index : t -> int
+(** The packed int, usable as an array index in [0 .. 2*nvars-1]. *)
+
+val of_index : int -> t
+(** Inverse of {!to_index}. *)
+
+val of_dimacs : int -> t
+(** DIMACS convention: positive ints are positive literals on variable
+    [n-1], negative ints negative literals. Raises on [0]. *)
+
+val to_dimacs : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

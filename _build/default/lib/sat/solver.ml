@@ -1,0 +1,698 @@
+(* CDCL with two-watched literals, native XOR propagation, 1UIP
+   learning, VSIDS, phase saving, Luby restarts, DB reduction.
+
+   Literal/assignment conventions:
+   - literals are [Lit.t] stored as raw ints (MiniSat packing);
+   - [assigns.(v)] is -1 (unassigned), 0 (false) or 1 (true);
+   - a clause watches [lits.(0)] and [lits.(1)] and sits in the watch
+     lists indexed by the *negations* of those literals, so the list
+     [watches.(Lit.to_index p)] holds exactly the clauses that must be
+     visited when [p] becomes true. *)
+
+type clause = {
+  mutable lits : Lit.t array;
+  mutable activity : float;
+  learnt : bool;
+  mutable deleted : bool;
+}
+
+type xclause = {
+  xvars : int array; (* watch positions are indices 0 and 1 *)
+  xparity : bool;
+}
+
+type result = Sat | Unsat | Unknown
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learnt : int;
+  restarts : int;
+}
+
+type t = {
+  mutable nvars : int;
+  (* per-variable state, indexed by var *)
+  mutable assigns : int array;
+  mutable levels : int array;
+  mutable reasons : clause option array;
+  mutable activity : float array;
+  mutable phase : bool array;
+  mutable seen : bool array;
+  (* watch lists *)
+  mutable watches : clause Vec.t array; (* indexed by lit *)
+  mutable xwatches : xclause Vec.t array; (* indexed by var *)
+  (* clause DB *)
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  xors : xclause Vec.t;
+  (* trail *)
+  trail : Lit.t Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  (* heuristics *)
+  mutable order : Heap.t;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  (* status *)
+  mutable ok : bool;
+  mutable proof : Buffer.t option;
+  mutable model : bool array;
+  mutable model_valid : bool;
+  (* stats *)
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_restarts : int;
+}
+
+let dummy_clause = { lits = [||]; activity = 0.; learnt = false; deleted = false }
+let mk_clause ?(learnt = false) lits = { lits; activity = 0.; learnt; deleted = false }
+let dummy_xclause = { xvars = [||]; xparity = false }
+
+let var_decay = 1.0 /. 0.95
+let clause_decay = 1.0 /. 0.999
+
+let create () =
+  let s =
+    {
+      nvars = 0;
+      assigns = [||];
+      levels = [||];
+      reasons = [||];
+      activity = [||];
+      phase = [||];
+      seen = [||];
+      watches = [||];
+      xwatches = [||];
+      clauses = Vec.create ~dummy:dummy_clause ();
+      learnts = Vec.create ~dummy:dummy_clause ();
+      xors = Vec.create ~dummy:dummy_xclause ();
+      trail = Vec.create ~dummy:(Lit.pos 0) ();
+      trail_lim = Vec.create ~dummy:0 ();
+      qhead = 0;
+      order = Heap.create 16 ~score:(fun _ -> 0.);
+      var_inc = 1.0;
+      cla_inc = 1.0;
+      ok = true;
+      proof = None;
+      model = [||];
+      model_valid = false;
+      n_conflicts = 0;
+      n_decisions = 0;
+      n_propagations = 0;
+      n_restarts = 0;
+    }
+  in
+  (* tie the heap's score to this very record so growing [activity]
+     stays visible to the comparison function *)
+  s.order <- Heap.create 16 ~score:(fun v -> s.activity.(v));
+  s
+
+let nvars s = s.nvars
+
+let grow_arrays s n =
+  let old = Array.length s.assigns in
+  if n > old then begin
+    let cap = max n (max 16 (2 * old)) in
+    let extend a fill =
+      let b = Array.make cap fill in
+      Array.blit a 0 b 0 old;
+      b
+    in
+    s.assigns <- extend s.assigns (-1);
+    s.levels <- extend s.levels (-1);
+    s.reasons <- extend s.reasons None;
+    s.activity <- extend s.activity 0.;
+    s.phase <- extend s.phase false;
+    s.seen <- extend s.seen false;
+    let xw = Array.init cap (fun i ->
+        if i < old then s.xwatches.(i) else Vec.create ~dummy:dummy_xclause ())
+    in
+    s.xwatches <- xw;
+    let w = Array.init (2 * cap) (fun i ->
+        if i < 2 * old then s.watches.(i) else Vec.create ~dummy:dummy_clause ())
+    in
+    (* NB: old watch lists live at lit indices < 2*old which are the
+       same indices in the new array, so a plain copy is correct. *)
+    for i = 0 to (2 * old) - 1 do
+      w.(i) <- s.watches.(i)
+    done;
+    s.watches <- w;
+    Heap.grow s.order cap
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  grow_arrays s s.nvars;
+  Heap.insert s.order v;
+  v
+
+let new_vars s n =
+  if n <= 0 then invalid_arg "Solver.new_vars";
+  let first = new_var s in
+  for _ = 2 to n do
+    ignore (new_var s)
+  done;
+  first
+
+let ensure_vars s n =
+  while s.nvars < n do
+    ignore (new_var s)
+  done
+
+let decision_level s = Vec.size s.trail_lim
+
+(* -1 unassigned / 0 false / 1 true *)
+let lit_value s l =
+  let a = s.assigns.(Lit.var l) in
+  if a < 0 then -1 else if Lit.sign l then a else 1 - a
+
+let enqueue s l reason =
+  let v = Lit.var l in
+  s.assigns.(v) <- (if Lit.sign l then 1 else 0);
+  s.levels.(v) <- decision_level s;
+  s.reasons.(v) <- reason;
+  s.phase.(v) <- Lit.sign l;
+  Vec.push s.trail l
+
+(* ------------------------------------------------------------------ *)
+(* Watches                                                             *)
+
+let watch_clause s c =
+  Vec.push s.watches.(Lit.to_index (Lit.negate c.lits.(0))) c;
+  Vec.push s.watches.(Lit.to_index (Lit.negate c.lits.(1))) c
+
+let xor_assigned_parity s xc skip =
+  (* XOR of the boolean values of all assigned vars except index [skip] *)
+  let p = ref false in
+  Array.iteri
+    (fun i v -> if i <> skip && s.assigns.(v) >= 0 then p := !p <> (s.assigns.(v) = 1))
+    xc.xvars;
+  !p
+
+(* Reason / conflict clause materialized from an XOR constraint: the
+   propagated literal (if any) plus the falsified current assignments
+   of every other variable. *)
+let xor_reason_clause s xc ~propagated =
+  let lits = ref [] in
+  Array.iter
+    (fun v ->
+      let is_prop = match propagated with Some l -> Lit.var l = v | None -> false in
+      if not is_prop then begin
+        assert (s.assigns.(v) >= 0);
+        lits := Lit.make v (s.assigns.(v) = 0) :: !lits
+      end)
+    xc.xvars;
+  let lits = match propagated with Some l -> l :: !lits | None -> !lits in
+  mk_clause (Array.of_list lits)
+
+(* ------------------------------------------------------------------ *)
+(* Propagation                                                         *)
+
+exception Conflict of clause
+
+let propagate_clauses s p =
+  (* p just became true; visit clauses watching ¬p *)
+  let wl = s.watches.(Lit.to_index p) in
+  let i = ref 0 in
+  while !i < Vec.size wl do
+    let c = Vec.get wl !i in
+    let false_lit = Lit.negate p in
+    (* normalize: put the false literal at position 1 *)
+    if Lit.equal c.lits.(0) false_lit then begin
+      c.lits.(0) <- c.lits.(1);
+      c.lits.(1) <- false_lit
+    end;
+    if lit_value s c.lits.(0) = 1 then incr i (* satisfied *)
+    else begin
+      (* look for a new literal to watch *)
+      let n = Array.length c.lits in
+      let found = ref false in
+      let j = ref 2 in
+      while (not !found) && !j < n do
+        if lit_value s c.lits.(!j) <> 0 then begin
+          let l = c.lits.(!j) in
+          c.lits.(!j) <- c.lits.(1);
+          c.lits.(1) <- l;
+          Vec.push s.watches.(Lit.to_index (Lit.negate l)) c;
+          Vec.swap_remove wl !i;
+          found := true
+        end
+        else incr j
+      done;
+      if not !found then
+        if lit_value s c.lits.(0) = 0 then raise (Conflict c)
+        else begin
+          (* unit: propagate lits.(0) *)
+          s.n_propagations <- s.n_propagations + 1;
+          enqueue s c.lits.(0) (Some c);
+          incr i
+        end
+    end
+  done
+
+let propagate_xors s v =
+  let wl = s.xwatches.(v) in
+  let i = ref 0 in
+  while !i < Vec.size wl do
+    let xc = Vec.get wl !i in
+    (* put v at watch position 1 *)
+    if xc.xvars.(0) = v then begin
+      xc.xvars.(0) <- xc.xvars.(1);
+      xc.xvars.(1) <- v
+    end;
+    let n = Array.length xc.xvars in
+    (* find an unassigned replacement at position >= 2 *)
+    let found = ref false in
+    let j = ref 2 in
+    while (not !found) && !j < n do
+      if s.assigns.(xc.xvars.(!j)) < 0 then begin
+        let w = xc.xvars.(!j) in
+        xc.xvars.(!j) <- xc.xvars.(1);
+        xc.xvars.(1) <- w;
+        Vec.push s.xwatches.(w) xc;
+        Vec.swap_remove wl !i;
+        found := true
+      end
+      else incr j
+    done;
+    if not !found then begin
+      let other = xc.xvars.(0) in
+      if s.assigns.(other) < 0 then begin
+        (* unit on [other]: other must make total parity = xparity *)
+        let needed = xc.xparity <> xor_assigned_parity s xc 0 in
+        let l = Lit.make other needed in
+        let reason = xor_reason_clause s xc ~propagated:(Some l) in
+        s.n_propagations <- s.n_propagations + 1;
+        enqueue s l (Some reason)
+      end
+      else if xor_assigned_parity s xc (-1) <> xc.xparity then
+        raise (Conflict (xor_reason_clause s xc ~propagated:None));
+      incr i
+    end
+  done
+
+let propagate s =
+  try
+    while s.qhead < Vec.size s.trail do
+      let p = Vec.get s.trail s.qhead in
+      s.qhead <- s.qhead + 1;
+      propagate_clauses s p;
+      propagate_xors s (Lit.var p)
+    done;
+    None
+  with Conflict c -> Some c
+
+(* ------------------------------------------------------------------ *)
+(* Backtracking                                                        *)
+
+let cancel_until s level =
+  if decision_level s > level then begin
+    let bound = Vec.get s.trail_lim level in
+    for i = Vec.size s.trail - 1 downto bound do
+      let v = Lit.var (Vec.get s.trail i) in
+      s.assigns.(v) <- -1;
+      s.reasons.(v) <- None;
+      s.levels.(v) <- -1;
+      if not (Heap.mem s.order v) then Heap.insert s.order v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim level;
+    s.qhead <- Vec.size s.trail
+  end
+
+(* ------------------------------------------------------------------ *)
+(* DRAT proof logging                                                  *)
+
+let proof_line s prefix lits =
+  match s.proof with
+  | None -> ()
+  | Some buf ->
+      Buffer.add_string buf prefix;
+      List.iter
+        (fun l -> Buffer.add_string buf (string_of_int (Lit.to_dimacs l) ^ " "))
+        lits;
+      Buffer.add_string buf "0\n"
+
+let proof_add s lits = proof_line s "" lits
+let proof_delete s lits = proof_line s "d " lits
+
+(* ------------------------------------------------------------------ *)
+(* Activity                                                            *)
+
+let rescale_var_activity s =
+  for v = 0 to s.nvars - 1 do
+    s.activity.(v) <- s.activity.(v) *. 1e-100
+  done;
+  s.var_inc <- s.var_inc *. 1e-100
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then rescale_var_activity s;
+  Heap.update s.order v
+
+let decay_var_activity s = s.var_inc <- s.var_inc *. var_decay
+
+let bump_clause s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let decay_clause_activity s = s.cla_inc <- s.cla_inc *. clause_decay
+
+(* ------------------------------------------------------------------ *)
+(* Conflict analysis (first UIP)                                       *)
+
+let analyze s confl =
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref None in
+  let index = ref (Vec.size s.trail - 1) in
+  let confl = ref confl in
+  let continue = ref true in
+  while !continue do
+    let c : clause = !confl in
+    if c.learnt then bump_clause s c;
+    Array.iter
+      (fun q ->
+        let skip = match !p with Some p -> Lit.equal p q | None -> false in
+        let v = Lit.var q in
+        if (not skip) && (not s.seen.(v)) && s.levels.(v) > 0 then begin
+          s.seen.(v) <- true;
+          bump_var s v;
+          if s.levels.(v) >= decision_level s then incr counter
+          else learnt := q :: !learnt
+        end)
+      c.lits;
+    (* pick the next seen literal from the trail *)
+    let rec next_seen i =
+      if s.seen.(Lit.var (Vec.get s.trail i)) then i else next_seen (i - 1)
+    in
+    index := next_seen !index;
+    let pl = Vec.get s.trail !index in
+    decr index;
+    p := Some pl;
+    s.seen.(Lit.var pl) <- false;
+    decr counter;
+    if !counter > 0 then
+      match s.reasons.(Lit.var pl) with
+      | Some r -> confl := r
+      | None -> assert false
+    else continue := false
+  done;
+  let uip = match !p with Some p -> Lit.negate p | None -> assert false in
+  (* local minimization: drop literals implied by the rest *)
+  let seen_lits = uip :: !learnt in
+  List.iter (fun l -> s.seen.(Lit.var l) <- true) seen_lits;
+  let redundant q =
+    match s.reasons.(Lit.var q) with
+    | None -> false
+    | Some r ->
+        Array.for_all
+          (fun l ->
+            Lit.var l = Lit.var q || s.seen.(Lit.var l) || s.levels.(Lit.var l) = 0)
+          r.lits
+  in
+  let kept = List.filter (fun q -> not (redundant q)) !learnt in
+  List.iter (fun l -> s.seen.(Lit.var l) <- false) seen_lits;
+  (* backtrack level: highest level among kept literals *)
+  let blevel = List.fold_left (fun acc q -> max acc s.levels.(Lit.var q)) 0 kept in
+  (uip :: kept, blevel)
+
+let record_learnt s lits =
+  proof_add s lits;
+  match lits with
+  | [] -> s.ok <- false
+  | [ l ] ->
+      cancel_until s 0;
+      if lit_value s l = -1 then begin
+        enqueue s l None;
+        if propagate s <> None then begin
+          s.ok <- false;
+          proof_add s []
+        end
+      end
+      else if lit_value s l = 0 then begin
+        s.ok <- false;
+        proof_add s []
+      end
+  | uip :: rest ->
+      (* put a literal of the backtrack level in watch position 1 *)
+      let arr = Array.of_list (uip :: rest) in
+      let max_i = ref 1 in
+      for i = 2 to Array.length arr - 1 do
+        if s.levels.(Lit.var arr.(i)) > s.levels.(Lit.var arr.(!max_i)) then max_i := i
+      done;
+      let tmp = arr.(1) in
+      arr.(1) <- arr.(!max_i);
+      arr.(!max_i) <- tmp;
+      let c = mk_clause ~learnt:true arr in
+      bump_clause s c;
+      Vec.push s.learnts c;
+      watch_clause s c;
+      enqueue s uip (Some c)
+
+(* ------------------------------------------------------------------ *)
+(* Learnt DB reduction                                                 *)
+
+let locked s c =
+  Array.length c.lits > 0
+  &&
+  let v = Lit.var c.lits.(0) in
+  match s.reasons.(v) with Some r -> r == c | None -> false
+
+let reduce_db s =
+  let n = Vec.size s.learnts in
+  if n > 0 then begin
+    let arr = Array.init n (Vec.get s.learnts) in
+    Array.sort (fun (a : clause) (b : clause) -> Float.compare a.activity b.activity) arr;
+    let target = n / 2 in
+    let removed = ref 0 in
+    Array.iter
+      (fun c ->
+        if !removed < target && (not (locked s c)) && Array.length c.lits > 2 then begin
+          c.deleted <- true;
+          proof_delete s (Array.to_list c.lits);
+          incr removed
+        end)
+      arr;
+    Vec.filter_in_place (fun c -> not c.deleted) s.learnts;
+    Array.iter (fun wl -> Vec.filter_in_place (fun c -> not c.deleted) wl) s.watches
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Adding constraints                                                  *)
+
+let add_clause s lits =
+  cancel_until s 0;
+  s.model_valid <- false;
+  if s.ok then begin
+    List.iter (fun l -> ensure_vars s (Lit.var l + 1)) lits;
+    (* remove duplicates, detect tautologies, drop root-false literals *)
+    let lits = List.sort_uniq Lit.compare lits in
+    let tautology =
+      List.exists (fun l -> List.exists (Lit.equal (Lit.negate l)) lits) lits
+      || List.exists (fun l -> lit_value s l = 1) lits
+    in
+    if not tautology then begin
+      let lits = List.filter (fun l -> lit_value s l <> 0) lits in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] ->
+          enqueue s l None;
+          if propagate s <> None then s.ok <- false
+      | _ ->
+          let c = mk_clause (Array.of_list lits) in
+          Vec.push s.clauses c;
+          watch_clause s c
+    end
+  end
+
+let add_xor s ~vars ~parity =
+  if s.proof <> None then
+    invalid_arg "Solver.add_xor: proof logging is restricted to pure CNF";
+  cancel_until s 0;
+  s.model_valid <- false;
+  if s.ok then begin
+    List.iter (fun v -> ensure_vars s (v + 1)) vars;
+    (* cancel duplicate vars pairwise; fold root assignments into parity *)
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun v ->
+        if Hashtbl.mem tbl v then Hashtbl.remove tbl v else Hashtbl.add tbl v ())
+      vars;
+    let vars = List.filter (Hashtbl.mem tbl) (List.sort_uniq Int.compare vars) in
+    let parity = ref parity in
+    let vars =
+      List.filter
+        (fun v ->
+          if s.assigns.(v) >= 0 then begin
+            if s.assigns.(v) = 1 then parity := not !parity;
+            false
+          end
+          else true)
+        vars
+    in
+    match vars with
+    | [] -> if !parity then s.ok <- false
+    | [ v ] ->
+        enqueue s (Lit.make v !parity) None;
+        if propagate s <> None then s.ok <- false
+    | v0 :: v1 :: _ ->
+        let xc = { xvars = Array.of_list vars; xparity = !parity } in
+        Vec.push s.xors xc;
+        Vec.push s.xwatches.(v0) xc;
+        Vec.push s.xwatches.(v1) xc
+  end
+
+let enable_proof s =
+  if Vec.size s.xors > 0 then
+    invalid_arg "Solver.enable_proof: instance has XOR constraints";
+  if s.proof = None then s.proof <- Some (Buffer.create 4096)
+
+let proof s = match s.proof with Some buf -> Buffer.contents buf | None -> ""
+
+let boost s vars =
+  List.iter
+    (fun v ->
+      if v >= 0 && v < s.nvars then begin
+        s.activity.(v) <- s.activity.(v) +. 1.0;
+        Heap.update s.order v
+      end)
+    vars
+
+let of_cnf p =
+  let s = create () in
+  ensure_vars s (Cnf.nvars p);
+  List.iter (add_clause s) (Cnf.clauses p);
+  List.iter
+    (fun { Cnf.vars; parity } -> add_xor s ~vars ~parity)
+    (Cnf.xors p);
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+
+let luby y x =
+  (* Finite subsequences of the Luby sequence: 1,1,2,1,1,2,4,… *)
+  let rec go size seq x =
+    if size - 1 = x then (seq, x)
+    else if x >= size / 2 then go (size / 2) (seq - 1) (x - (size / 2))
+    else go (size / 2) (seq - 1) x
+  in
+  let rec find size seq = if size >= x + 1 then (size, seq) else find ((2 * size) + 1) (seq + 1) in
+  let size, seq = find 1 0 in
+  let seq, _ = go size seq x in
+  y ** float_of_int seq
+
+let pick_branch_var s =
+  let rec go () =
+    if Heap.is_empty s.order then None
+    else
+      let v = Heap.remove_max s.order in
+      if s.assigns.(v) < 0 then Some v else go ()
+  in
+  go ()
+
+let search s ~max_conflicts =
+  let conflicts = ref 0 in
+  let result = ref None in
+  while !result = None do
+    match propagate s with
+    | Some confl ->
+        s.n_conflicts <- s.n_conflicts + 1;
+        incr conflicts;
+        if decision_level s = 0 then begin
+          s.ok <- false;
+          proof_add s [];
+          result := Some Unsat
+        end
+        else begin
+          let learnt, blevel = analyze s confl in
+          cancel_until s blevel;
+          record_learnt s learnt;
+          if not s.ok then result := Some Unsat;
+          decay_var_activity s;
+          decay_clause_activity s
+        end
+    | None ->
+        if !conflicts >= max_conflicts then begin
+          cancel_until s 0;
+          result := Some Unknown
+        end
+        else begin
+          if Vec.size s.learnts - Vec.size s.trail > 4000 + (300 * s.n_restarts)
+          then reduce_db s;
+          match pick_branch_var s with
+          | None ->
+              (* complete assignment: a model *)
+              s.model <- Array.init s.nvars (fun v -> s.assigns.(v) = 1);
+              s.model_valid <- true;
+              result := Some Sat
+          | Some v ->
+              s.n_decisions <- s.n_decisions + 1;
+              Vec.push s.trail_lim (Vec.size s.trail);
+              enqueue s (Lit.make v s.phase.(v)) None
+        end
+  done;
+  match !result with Some r -> r | None -> assert false
+
+let solve ?(conflict_budget = max_int) s =
+  s.model_valid <- false;
+  if not s.ok then begin
+    (* the root contradiction was found by unit propagation over the
+       input, so the empty clause is RUP outright *)
+    proof_add s [];
+    Unsat
+  end
+  else begin
+    cancel_until s 0;
+    if propagate s <> None then begin
+      s.ok <- false;
+      proof_add s [];
+      Unsat
+    end
+    else begin
+      let budget_left = ref conflict_budget in
+      let rec loop i =
+        if !budget_left <= 0 then Unknown
+        else begin
+          let max_conflicts =
+            min !budget_left (int_of_float (luby 2.0 i *. 100.0))
+          in
+          match search s ~max_conflicts with
+          | Unknown ->
+              budget_left := !budget_left - max_conflicts;
+              s.n_restarts <- s.n_restarts + 1;
+              loop (i + 1)
+          | r -> r
+        end
+      in
+      loop 0
+    end
+  end
+
+let value s v =
+  if not s.model_valid then failwith "Solver.value: no model available";
+  if v < 0 || v >= s.nvars then invalid_arg "Solver.value";
+  s.model.(v)
+
+let model s =
+  if not s.model_valid then failwith "Solver.model: no model available";
+  Array.copy s.model
+
+let ok s = s.ok
+
+let stats s =
+  {
+    conflicts = s.n_conflicts;
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    learnt = Vec.size s.learnts;
+    restarts = s.n_restarts;
+  }

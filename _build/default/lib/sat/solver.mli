@@ -1,0 +1,88 @@
+(** CDCL SAT solver with native XOR-clause propagation.
+
+    This is the in-repo stand-in for Cryptominisat [21]: it accepts the
+    same input fragment the paper's reconstruction reduction emits —
+    CNF clauses, XOR clauses (the rows of [A·x = TP]), and the
+    CNF-encoded cardinality constraint — and decides satisfiability
+    with conflict-driven clause learning.
+
+    Implemented techniques: two-watched-literal propagation, lazy XOR
+    watching with on-demand reason clauses, first-UIP conflict analysis
+    with local clause minimization, VSIDS variable activity with an
+    indexed heap, phase saving, Luby restarts, and activity-based
+    learnt-clause database reduction.
+
+    The solver is incremental in the AllSAT sense: after a [Sat]
+    answer, further clauses (e.g. blocking clauses) may be added and
+    the solver re-run; learnt clauses are kept. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+(** [Unknown] is only returned when a conflict budget was exhausted. *)
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learnt : int;  (** learnt clauses currently in the database *)
+  restarts : int;
+}
+
+val create : unit -> t
+
+val of_cnf : Cnf.t -> t
+(** Solver primed with every clause and XOR constraint of the problem. *)
+
+val new_var : t -> int
+val new_vars : t -> int -> int
+(** [new_vars s n] allocates [n] fresh variables, returning the first. *)
+
+val ensure_vars : t -> int -> unit
+val nvars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** May be called at any time; the solver first backtracks to the root
+    level. An empty (or root-falsified) clause makes the instance
+    permanently unsatisfiable. *)
+
+val add_xor : t -> vars:int list -> parity:bool -> unit
+
+val enable_proof : t -> unit
+(** Start recording a DRAT proof: every clause the solver learns (and
+    deletes) is appended to an in-memory log; an [Unsat] answer ends it
+    with the empty clause. The resulting certificate is independently
+    checkable with {!Drat.check} — which matters when an UNSAT answer
+    carries legal weight, as in the deadline-liability scenario of the
+    paper's §5.2.1.
+
+    Restriction: proofs are only sound for pure-CNF instances (native
+    XOR propagation steps are not RUP over the clause database); raises
+    [Invalid_argument] when the solver already holds XOR constraints,
+    and {!add_xor} raises once proof logging is on. Compile XOR
+    constraints with {!Cnf.expand_xors} for proof-carrying runs. *)
+
+val proof : t -> string
+(** The DRAT log recorded so far ([""] when not enabled). *)
+
+val boost : t -> int list -> unit
+(** Raise the branching activity of the given variables so the search
+    decides them first. On reconstruction instances, branching on the
+    signal variables before the cardinality-counter auxiliaries prunes
+    markedly faster. *)
+
+val solve : ?conflict_budget:int -> t -> result
+(** [conflict_budget] bounds the number of conflicts before giving up
+    with [Unknown] (default: unbounded). *)
+
+val value : t -> int -> bool
+(** Model value of a variable after a [Sat] answer. Raises [Failure]
+    when the last call did not return [Sat]. *)
+
+val model : t -> bool array
+(** Complete model (length {!nvars}) after a [Sat] answer. *)
+
+val ok : t -> bool
+(** [false] once the instance is known unsatisfiable at the root. *)
+
+val stats : t -> stats

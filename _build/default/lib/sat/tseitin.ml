@@ -1,0 +1,109 @@
+type formula =
+  | True
+  | False
+  | Var of int
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Xor of formula list
+  | Imp of formula * formula
+  | Iff of formula * formula
+
+let var v = Var v
+let ( &&& ) a b = And [ a; b ]
+let ( ||| ) a b = Or [ a; b ]
+let not_ f = Not f
+let conj fs = And fs
+let disj fs = Or fs
+
+(* A literal for the constant true, created once per problem on demand
+   would need state; instead we encode constants with a unit-clause
+   variable allocated per call site. Cheap and simple. *)
+let const_lit p b =
+  let v = Cnf.new_var p in
+  Cnf.add_clause p [ Lit.make v b ];
+  Lit.pos v
+
+let rec to_lit p = function
+  | True -> const_lit p true
+  | False -> const_lit p false
+  | Var v ->
+      Cnf.ensure_vars p (v + 1);
+      Lit.pos v
+  | Not f -> Lit.negate (to_lit p f)
+  | And [] -> const_lit p true
+  | And [ f ] -> to_lit p f
+  | And fs ->
+      let ls = List.map (to_lit p) fs in
+      let a = Lit.pos (Cnf.new_var p) in
+      (* a -> l_i ; (l_1 & … & l_n) -> a *)
+      List.iter (fun l -> Cnf.add_clause p [ Lit.negate a; l ]) ls;
+      Cnf.add_clause p (a :: List.map Lit.negate ls);
+      a
+  | Or [] -> const_lit p false
+  | Or [ f ] -> to_lit p f
+  | Or fs ->
+      let ls = List.map (to_lit p) fs in
+      let a = Lit.pos (Cnf.new_var p) in
+      (* l_i -> a ; a -> (l_1 | … | l_n) *)
+      List.iter (fun l -> Cnf.add_clause p [ Lit.negate l; a ]) ls;
+      Cnf.add_clause p (Lit.negate a :: ls);
+      a
+  | Xor fs ->
+      let ls = List.map (to_lit p) fs in
+      let a = Cnf.new_var p in
+      (* a ⊕ l_1 ⊕ … ⊕ l_n = 0, with negative literals folded into the
+         parity: ¬v = v ⊕ 1. *)
+      let parity = ref false in
+      let vars =
+        a
+        :: List.map
+             (fun l ->
+               if not (Lit.sign l) then parity := not !parity;
+               Lit.var l)
+             ls
+      in
+      Cnf.add_xor p ~vars ~parity:!parity;
+      Lit.pos a
+  | Imp (f, g) -> to_lit p (Or [ Not f; g ])
+  | Iff (f, g) ->
+      let lf = to_lit p f and lg = to_lit p g in
+      let a = Lit.pos (Cnf.new_var p) in
+      Cnf.add_clause p [ Lit.negate a; Lit.negate lf; lg ];
+      Cnf.add_clause p [ Lit.negate a; lf; Lit.negate lg ];
+      Cnf.add_clause p [ a; lf; lg ];
+      Cnf.add_clause p [ a; Lit.negate lf; Lit.negate lg ];
+      a
+
+let assert_formula p f =
+  match f with
+  | True -> ()
+  | And fs when List.for_all (function Var _ | Not (Var _) -> true | _ -> false) fs ->
+      (* fast path: a conjunction of literals becomes unit clauses *)
+      List.iter
+        (function
+          | Var v -> Cnf.add_clause p [ Lit.pos v ]
+          | Not (Var v) -> Cnf.add_clause p [ Lit.neg_of v ]
+          | _ -> assert false)
+        fs
+  | Or fs when List.for_all (function Var _ | Not (Var _) -> true | _ -> false) fs ->
+      (* fast path: a disjunction of literals is a single clause *)
+      Cnf.add_clause p
+        (List.map
+           (function
+             | Var v -> Lit.pos v
+             | Not (Var v) -> Lit.neg_of v
+             | _ -> assert false)
+           fs)
+  | f -> Cnf.add_clause p [ to_lit p f ]
+
+let rec eval env = function
+  | True -> true
+  | False -> false
+  | Var v -> env v
+  | Not f -> not (eval env f)
+  | And fs -> List.for_all (eval env) fs
+  | Or fs -> List.exists (eval env) fs
+  | Xor fs -> List.fold_left (fun acc f -> acc <> eval env f) false fs
+  | Imp (f, g) -> (not (eval env f)) || eval env g
+  | Iff (f, g) -> eval env f = eval env g

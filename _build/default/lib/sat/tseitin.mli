@@ -1,0 +1,34 @@
+(** Tseitin transformation: Boolean formulas to equisatisfiable CNF.
+
+    Temporal properties (§5.1.3) arrive as arbitrary Boolean structure
+    over the per-cycle change variables — e.g. P2 is a disjunction of
+    conjunctions of adjacent cycles. This module compiles such formulas
+    into the clause database with one fresh variable per connective. *)
+
+type formula =
+  | True
+  | False
+  | Var of int  (** problem variable index *)
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Xor of formula list  (** parity: true iff an odd number hold *)
+  | Imp of formula * formula
+  | Iff of formula * formula
+
+val var : int -> formula
+val ( &&& ) : formula -> formula -> formula
+val ( ||| ) : formula -> formula -> formula
+val not_ : formula -> formula
+val conj : formula list -> formula
+val disj : formula list -> formula
+
+val to_lit : Cnf.t -> formula -> Lit.t
+(** [to_lit p f] adds defining clauses for [f] to [p] and returns a
+    literal equivalent to [f] in every model of the added clauses. *)
+
+val assert_formula : Cnf.t -> formula -> unit
+(** Constrain [f] to hold. *)
+
+val eval : (int -> bool) -> formula -> bool
+(** Reference semantics, for testing. *)

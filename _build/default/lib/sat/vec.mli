@@ -1,0 +1,30 @@
+(** Growable arrays, the workhorse container of the solver hot loops. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills unused capacity (never observable). *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a
+(** Removes and returns the last element. Raises [Invalid_argument]
+    when empty. *)
+
+val last : 'a t -> 'a
+val clear : 'a t -> unit
+val shrink : 'a t -> int -> unit
+(** [shrink v n] truncates to the first [n] elements. *)
+
+val swap_remove : 'a t -> int -> unit
+(** Remove index [i] in O(1) by moving the last element into its slot. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val of_list : dummy:'a -> 'a list -> 'a t
+val filter_in_place : ('a -> bool) -> 'a t -> unit

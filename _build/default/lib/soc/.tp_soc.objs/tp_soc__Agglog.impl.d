@@ -1,0 +1,1 @@
+lib/soc/agglog.ml: Bitvec Encoding List Log_entry Option Queue Seq Timeprint Tp_bitvec

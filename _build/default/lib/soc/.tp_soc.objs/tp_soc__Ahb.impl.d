@@ -1,0 +1,1 @@
+lib/soc/ahb.ml: Array Cpu

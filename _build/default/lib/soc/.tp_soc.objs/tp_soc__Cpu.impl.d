@@ -1,0 +1,1 @@
+lib/soc/cpu.ml: Array Hashtbl Isa List

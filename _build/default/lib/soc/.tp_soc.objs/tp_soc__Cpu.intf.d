@@ -1,0 +1,1 @@
+lib/soc/cpu.mli: Hashtbl Isa

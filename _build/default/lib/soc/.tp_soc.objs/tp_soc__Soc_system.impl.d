@@ -1,0 +1,1 @@
+lib/soc/soc_system.ml: Agglog Ahb Array Cpu Design Dma Encoding Fun List Log_entry Signal Sram Temperature Timeprint Tp_bitvec Uart

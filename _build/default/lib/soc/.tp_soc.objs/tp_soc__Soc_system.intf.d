@@ -1,0 +1,1 @@
+lib/soc/soc_system.mli: Dma Isa Sram Temperature Timeprint

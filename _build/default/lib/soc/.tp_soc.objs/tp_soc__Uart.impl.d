@@ -1,0 +1,1 @@
+lib/soc/uart.ml: Array Bitvec List Queue Timeprint Tp_bitvec

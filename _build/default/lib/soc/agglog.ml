@@ -1,0 +1,50 @@
+open Tp_bitvec
+open Timeprint
+
+type t = {
+  enc : Encoding.t;
+  fifo_depth : int;
+  tp : Bitvec.t; (* XOR accumulator *)
+  mutable k : int;
+  mutable cycle : int;
+  fifo : Log_entry.t Queue.t;
+  mutable overflow : bool;
+}
+
+let create ?(fifo_depth = 8) enc =
+  if fifo_depth <= 0 then invalid_arg "Agglog.create: fifo_depth";
+  {
+    enc;
+    fifo_depth;
+    tp = Bitvec.create (Encoding.b enc);
+    k = 0;
+    cycle = 0;
+    fifo = Queue.create ();
+    overflow = false;
+  }
+
+let clock t ~change =
+  if change then begin
+    Bitvec.xor_in_place t.tp (Encoding.timestamp t.enc t.cycle);
+    t.k <- t.k + 1
+  end;
+  t.cycle <- t.cycle + 1;
+  if t.cycle = Encoding.m t.enc then begin
+    let entry = Log_entry.make ~tp:(Bitvec.copy t.tp) ~k:t.k in
+    if Queue.length t.fifo < t.fifo_depth then Queue.push entry t.fifo
+    else t.overflow <- true;
+    (* reset the accumulator and counters for the next trace-cycle *)
+    Bitvec.xor_in_place t.tp t.tp;
+    t.k <- 0;
+    t.cycle <- 0
+  end
+
+let fifo_level t = Queue.length t.fifo
+let pop t = Queue.take_opt t.fifo
+let drain t = List.of_seq (Seq.unfold (fun () -> Option.map (fun e -> (e, ())) (pop t)) ())
+let overflowed t = t.overflow
+
+let registers_bits t =
+  let m = Encoding.m t.enc in
+  let rec bits n = if n <= 1 then 1 else 1 + bits (n / 2) in
+  Encoding.b t.enc (* accumulator *) + bits m (* k counter *) + bits m (* cycle counter *)

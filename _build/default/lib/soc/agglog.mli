@@ -1,0 +1,31 @@
+(** Behavioural RTL model of the timeprints agg-log hardware (§5.2.2).
+
+    Registers: a [b]-bit XOR-accumulator, a change counter and a cycle
+    counter; combinational: the ROM (or LFSR) holding the per-cycle
+    timestamp and the XOR tree folding it into the accumulator on a
+    change. At the trace-cycle boundary the [(TP, k)] pair is latched
+    into a FIFO drained by the UART. Functionally equivalent to the
+    reference {!Timeprint.Logger} — an equivalence the test suite
+    checks cycle by cycle. *)
+
+type t
+
+val create : ?fifo_depth:int -> Timeprint.Encoding.t -> t
+
+val clock : t -> change:bool -> unit
+(** One clock edge with the change trigger sampled high or low. *)
+
+val fifo_level : t -> int
+
+val pop : t -> Timeprint.Log_entry.t option
+(** Drain one latched entry (oldest first). *)
+
+val drain : t -> Timeprint.Log_entry.t list
+
+val overflowed : t -> bool
+(** A boundary arrived with the FIFO full; the entry was dropped (and
+    the condition latched) — the failure mode trace buffers hit that
+    timeprints are designed to avoid. *)
+
+val registers_bits : t -> int
+(** Width of all state registers: the hardware cost of the unit. *)

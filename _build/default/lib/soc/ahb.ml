@@ -1,0 +1,42 @@
+type t = { mutable held : int; mutable pending : int option }
+
+let create () = { held = 0; pending = None }
+let drive t ~addr = t.pending <- Some addr
+
+let clock t =
+  match t.pending with
+  | None -> false
+  | Some a ->
+      t.pending <- None;
+      let changed = a <> t.held in
+      t.held <- a;
+      changed
+
+let address t = t.held
+
+let waveform accesses ~cycles =
+  if cycles <= 0 then invalid_arg "Ahb.waveform: cycles";
+  let wave = Array.make cycles 0 in
+  let bus = create () in
+  let remaining = ref accesses in
+  for c = 0 to cycles - 1 do
+    (match !remaining with
+    | { Cpu.cycle; addr } :: rest when cycle = c ->
+        drive bus ~addr;
+        remaining := rest
+    | _ -> ());
+    ignore (clock bus);
+    wave.(c) <- address bus
+  done;
+  wave
+
+let change_bits accesses ~cycles =
+  let wave = waveform accesses ~cycles in
+  let bits = Array.make cycles false in
+  let prev = ref 0 in
+  Array.iteri
+    (fun c a ->
+      bits.(c) <- a <> !prev;
+      prev := a)
+    wave;
+  bits

@@ -1,0 +1,30 @@
+(** AHB-lite address-bus model: the traced signals of §5.2.2.
+
+    The experiment connects the agg-log hardware to the address lines
+    of the AMBA bus. Between transfers the bus holds its last address
+    (as real AHB masters do), so the traced change event is "the
+    address bus took a new value this cycle". This module replays a
+    scheduled access trace into a per-cycle address waveform and the
+    resulting change signal. *)
+
+type t
+
+val create : unit -> t
+
+val drive : t -> addr:int -> unit
+(** Present a new address in the current cycle. *)
+
+val clock : t -> bool
+(** Close the cycle; returns [true] when the address value changed
+    during this cycle (the agg-log trigger). *)
+
+val address : t -> int
+(** Currently held address. *)
+
+val waveform : Cpu.access list -> cycles:int -> int array
+(** Per-cycle address values for a scheduled trace: the bus takes each
+    access's address at its [cycle] and holds it until the next one. *)
+
+val change_bits : Cpu.access list -> cycles:int -> bool array
+(** Per-cycle change indicator of the waveform (cycle 0 changes iff the
+    first access is driven at cycle 0 with a non-initial address). *)

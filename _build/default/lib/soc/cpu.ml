@@ -1,0 +1,72 @@
+type access = { cycle : int; addr : int }
+
+type result = {
+  accesses : access list;
+  halted_at : int option;
+  memory : (int, int) Hashtbl.t;
+}
+
+let code_base = 0x10000
+
+let run ?(wait_states = 1) ?(max_cycles = 100_000) prog =
+  (match Isa.validate prog with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Cpu.run: " ^ e));
+  if wait_states < 0 then invalid_arg "Cpu.run: wait_states";
+  let mem = Hashtbl.create 256 in
+  let regs = Array.make 8 0 in
+  let accesses = ref [] in
+  let latency = 1 + wait_states in
+  let cycle = ref 0 in
+  let pc = ref 0 in
+  let halted = ref None in
+  let access addr =
+    accesses := { cycle = !cycle; addr } :: !accesses;
+    cycle := !cycle + latency
+  in
+  let load addr = match Hashtbl.find_opt mem addr with Some v -> v | None -> 0 in
+  (try
+     while !halted = None && !cycle < max_cycles do
+       if !pc < 0 || !pc >= Array.length prog then raise Exit;
+       let instr = prog.(!pc) in
+       access (code_base + !pc);
+       (* execute stage *)
+       incr cycle;
+       (match instr with
+       | Isa.Li { rd; imm } ->
+           regs.(rd) <- imm;
+           incr pc
+       | Isa.Ld { rd; addr } ->
+           access addr;
+           regs.(rd) <- load addr;
+           incr pc
+       | Isa.St { rs; addr } ->
+           access addr;
+           Hashtbl.replace mem addr regs.(rs);
+           incr pc
+       | Isa.Ldr { rd; ra } ->
+           let addr = regs.(ra) in
+           access addr;
+           regs.(rd) <- load addr;
+           incr pc
+       | Isa.Str { rs; ra } ->
+           let addr = regs.(ra) in
+           access addr;
+           Hashtbl.replace mem addr regs.(rs);
+           incr pc
+       | Isa.Add { rd; ra; rb } ->
+           regs.(rd) <- regs.(ra) + regs.(rb);
+           incr pc
+       | Isa.Addi { rd; ra; imm } ->
+           regs.(rd) <- regs.(ra) + imm;
+           incr pc
+       | Isa.Sub { rd; ra; rb } ->
+           regs.(rd) <- regs.(ra) - regs.(rb);
+           incr pc
+       | Isa.Jnz { r; target } -> if regs.(r) <> 0 then pc := target else incr pc
+       | Isa.Jmp target -> pc := target
+       | Isa.Nop -> incr pc
+       | Isa.Halt -> halted := Some !cycle)
+     done
+   with Exit -> ());
+  { accesses = List.rev !accesses; halted_at = !halted; memory = mem }

@@ -1,0 +1,32 @@
+(** Cycle-accurate interpreter for the {!Isa} core.
+
+    Timing model (a simplified in-order pipeline):
+    - instruction fetch: one bus access of [1 + wait_states] cycles at
+      [code_base + pc];
+    - execute: 1 cycle;
+    - memory instructions add a data access of [1 + wait_states] cycles.
+
+    The product is the {e scheduled bus-access trace} — the ground
+    truth the AHB address bus replays. Wait-state configuration changes
+    this schedule wholesale, which is exactly why the mis-configured
+    Questa/Gaisler SRAM model of §5.2.2 showed up as a per-trace-cycle
+    [k] mismatch. *)
+
+type access = { cycle : int; addr : int }
+(** [cycle] is the bus cycle in which the address is driven (the
+    address-phase start). *)
+
+type result = {
+  accesses : access list;  (** chronological *)
+  halted_at : int option;  (** cycle of [Halt] retirement, if reached *)
+  memory : (int, int) Hashtbl.t;  (** final data memory *)
+}
+
+val code_base : int
+(** Base address of instruction storage (distinct from data). *)
+
+val run :
+  ?wait_states:int -> ?max_cycles:int -> Isa.program -> result
+(** Execute from instruction 0. Stops at [Halt] or [max_cycles]
+    (default 100_000). Raises [Invalid_argument] on an invalid
+    program. *)

@@ -1,0 +1,45 @@
+type config = {
+  base : int;
+  burst : int;
+  interval : int;
+  start : int;
+  stride : int;
+}
+
+let default = { base = 0xA000; burst = 4; interval = 97; start = 13; stride = 1 }
+
+let schedule cfg ~until =
+  if cfg.burst <= 0 || cfg.interval <= 0 then invalid_arg "Dma.schedule";
+  let out = ref [] in
+  let rec bursts n =
+    let t0 = cfg.start + (n * cfg.interval) in
+    if t0 < until then begin
+      for i = 0 to cfg.burst - 1 do
+        if t0 + i < until then
+          out :=
+            { Cpu.cycle = t0 + i; addr = cfg.base + ((n * cfg.burst + i) * cfg.stride) }
+            :: !out
+      done;
+      bursts (n + 1)
+    end
+  in
+  bursts 0;
+  List.rev !out
+
+let merge ~dma ~cpu =
+  (* occupied cycles are claimed by DMA outright; CPU accesses fill the
+     next free cycle at or after their scheduled time *)
+  let taken = Hashtbl.create 256 in
+  List.iter (fun { Cpu.cycle; _ } -> Hashtbl.replace taken cycle ()) dma;
+  let shifted_cpu =
+    List.map
+      (fun { Cpu.cycle; addr } ->
+        let rec free c = if Hashtbl.mem taken c then free (c + 1) else c in
+        let c = free cycle in
+        Hashtbl.replace taken c ();
+        { Cpu.cycle = c; addr })
+      cpu
+  in
+  List.sort
+    (fun (a : Cpu.access) (b : Cpu.access) -> Int.compare a.cycle b.cycle)
+    (dma @ shifted_cpu)

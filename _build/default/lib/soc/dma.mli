@@ -1,0 +1,30 @@
+(** Burst DMA master contending for the AHB.
+
+    The traced address bus of §5.2.2 belongs to whichever master owns
+    the bus, not to the CPU alone. This module models a simple
+    descriptor-driven DMA engine: every [interval] cycles it claims the
+    bus for a burst of [burst] back-to-back word transfers from a
+    rising source address. {!merge} arbitrates its schedule against the
+    CPU's access stream (DMA has priority; a colliding CPU access slips
+    one cycle, cascading as needed) — producing the combined stream the
+    agg-log hardware actually observes. *)
+
+type config = {
+  base : int;  (** first source address *)
+  burst : int;  (** transfers per burst *)
+  interval : int;  (** cycles between burst starts *)
+  start : int;  (** cycle of the first burst *)
+  stride : int;  (** address step between consecutive transfers *)
+}
+
+val default : config
+(** 4-beat bursts from 0xA000 every 97 cycles, starting at cycle 13. *)
+
+val schedule : config -> until:int -> Cpu.access list
+(** The DMA engine's own access stream up to cycle [until] (exclusive).
+    Within a burst, transfers land on consecutive cycles. *)
+
+val merge : dma:Cpu.access list -> cpu:Cpu.access list -> Cpu.access list
+(** Arbitrated union, chronological. Both inputs must be sorted by
+    cycle. DMA accesses keep their slots; a CPU access whose cycle is
+    taken moves to the next free cycle (preserving CPU order). *)

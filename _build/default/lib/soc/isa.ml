@@ -1,0 +1,114 @@
+type reg = int
+
+type instr =
+  | Li of { rd : reg; imm : int }
+  | Ld of { rd : reg; addr : int }
+  | St of { rs : reg; addr : int }
+  | Ldr of { rd : reg; ra : reg }
+  | Str of { rs : reg; ra : reg }
+  | Add of { rd : reg; ra : reg; rb : reg }
+  | Addi of { rd : reg; ra : reg; imm : int }
+  | Sub of { rd : reg; ra : reg; rb : reg }
+  | Jnz of { r : reg; target : int }
+  | Jmp of int
+  | Nop
+  | Halt
+
+type program = instr array
+
+let reg_ok r = r >= 0 && r < 8
+
+let validate prog =
+  let n = Array.length prog in
+  let check i instr =
+    let bad msg = Error (Printf.sprintf "instr %d: %s" i msg) in
+    let regs =
+      match instr with
+      | Li { rd; _ } -> [ rd ]
+      | Ld { rd; _ } -> [ rd ]
+      | St { rs; _ } -> [ rs ]
+      | Ldr { rd; ra } -> [ rd; ra ]
+      | Str { rs; ra } -> [ rs; ra ]
+      | Add { rd; ra; rb } | Sub { rd; ra; rb } -> [ rd; ra; rb ]
+      | Addi { rd; ra; _ } -> [ rd; ra ]
+      | Jnz { r; _ } -> [ r ]
+      | Jmp _ | Nop | Halt -> []
+    in
+    if not (List.for_all reg_ok regs) then bad "register out of range"
+    else
+      match instr with
+      | Jnz { target; _ } | Jmp target ->
+          if target < 0 || target >= n then bad "branch target out of range"
+          else Ok ()
+      | _ -> Ok ()
+  in
+  let rec go i =
+    if i >= n then Ok ()
+    else match check i prog.(i) with Ok () -> go (i + 1) | e -> e
+  in
+  go 0
+
+let pp_instr ppf = function
+  | Li { rd; imm } -> Format.fprintf ppf "li r%d, %d" rd imm
+  | Ld { rd; addr } -> Format.fprintf ppf "ld r%d, [0x%x]" rd addr
+  | St { rs; addr } -> Format.fprintf ppf "st r%d, [0x%x]" rs addr
+  | Ldr { rd; ra } -> Format.fprintf ppf "ldr r%d, [r%d]" rd ra
+  | Str { rs; ra } -> Format.fprintf ppf "str r%d, [r%d]" rs ra
+  | Add { rd; ra; rb } -> Format.fprintf ppf "add r%d, r%d, r%d" rd ra rb
+  | Addi { rd; ra; imm } -> Format.fprintf ppf "addi r%d, r%d, %d" rd ra imm
+  | Sub { rd; ra; rb } -> Format.fprintf ppf "sub r%d, r%d, r%d" rd ra rb
+  | Jnz { r; target } -> Format.fprintf ppf "jnz r%d, %d" r target
+  | Jmp t -> Format.fprintf ppf "jmp %d" t
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Halt -> Format.pp_print_string ppf "halt"
+
+let pp ppf prog =
+  Array.iteri (fun i instr -> Format.fprintf ppf "%3d: %a@." i pp_instr instr) prog
+
+(* r0 = src pointer, r1 = dst pointer, r2 = counter, r3 = scratch *)
+let memcpy ~words ~src ~dst =
+  [|
+    Li { rd = 0; imm = src };
+    Li { rd = 1; imm = dst };
+    Li { rd = 2; imm = words };
+    Li { rd = 4; imm = 1 };
+    (* loop: *)
+    Ldr { rd = 3; ra = 0 };
+    Str { rs = 3; ra = 1 };
+    Addi { rd = 0; ra = 0; imm = 1 };
+    Addi { rd = 1; ra = 1; imm = 1 };
+    Sub { rd = 2; ra = 2; rb = 4 };
+    Jnz { r = 2; target = 4 };
+    Halt;
+  |]
+
+(* r0 = pointer, r1 = accumulator, r2 = counter *)
+let checksum ~words ~src =
+  [|
+    Li { rd = 0; imm = src };
+    Li { rd = 1; imm = 0 };
+    Li { rd = 2; imm = words };
+    Li { rd = 4; imm = 1 };
+    (* loop: *)
+    Ldr { rd = 3; ra = 0 };
+    Add { rd = 1; ra = 1; rb = 3 };
+    Addi { rd = 0; ra = 0; imm = 1 };
+    Sub { rd = 2; ra = 2; rb = 4 };
+    Jnz { r = 2; target = 4 };
+    Halt;
+  |]
+
+(* r0 = pointer, r2 = counter: load then bump by stride *)
+let stride_walker ~steps ~base ~stride =
+  [|
+    Li { rd = 0; imm = base };
+    Li { rd = 2; imm = steps };
+    Li { rd = 4; imm = 1 };
+    (* loop: *)
+    Ldr { rd = 3; ra = 0 };
+    Addi { rd = 0; ra = 0; imm = stride };
+    Nop;
+    Sub { rd = 2; ra = 2; rb = 4 };
+    Jnz { r = 2; target = 3 };
+    Halt;
+  |]

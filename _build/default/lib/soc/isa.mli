@@ -1,0 +1,44 @@
+(** A small load/store ISA standing in for the LEON3's integer unit.
+
+    Only the shape of the memory traffic matters for the experiment —
+    which addresses appear on the AHB bus, and when — so the ISA is a
+    minimal RISC: 8 registers, direct and register-indirect loads and
+    stores, ALU ops, branches. Instruction fetches are bus accesses
+    too (code lives in the same SRAM), as on the real system. *)
+
+type reg = int
+(** Register index [0 .. 7]; register 0 is writable (no hardwired zero). *)
+
+type instr =
+  | Li of { rd : reg; imm : int }  (** rd := imm *)
+  | Ld of { rd : reg; addr : int }  (** rd := mem[addr] *)
+  | St of { rs : reg; addr : int }  (** mem[addr] := rs *)
+  | Ldr of { rd : reg; ra : reg }  (** rd := mem[ra] *)
+  | Str of { rs : reg; ra : reg }  (** mem[ra] := rs *)
+  | Add of { rd : reg; ra : reg; rb : reg }
+  | Addi of { rd : reg; ra : reg; imm : int }
+  | Sub of { rd : reg; ra : reg; rb : reg }
+  | Jnz of { r : reg; target : int }  (** branch to instruction index *)
+  | Jmp of int
+  | Nop
+  | Halt
+
+type program = instr array
+
+val validate : program -> (unit, string) result
+(** Check register indices and branch targets. *)
+
+val pp_instr : Format.formatter -> instr -> unit
+val pp : Format.formatter -> program -> unit
+
+(** Sample images exercising distinct memory-access shapes. *)
+
+val memcpy : words:int -> src:int -> dst:int -> program
+(** Word-by-word copy loop: two data accesses per iteration. *)
+
+val checksum : words:int -> src:int -> program
+(** Read-accumulate loop: one load per iteration. *)
+
+val stride_walker : steps:int -> base:int -> stride:int -> program
+(** Pointer chase with a fixed stride: the pattern used for the
+    §5.2.2 temperature runs (long, regular, refresh-sensitive). *)

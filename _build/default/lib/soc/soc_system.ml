@@ -1,0 +1,149 @@
+open Timeprint
+
+type config = {
+  encoding : Encoding.t;
+  wait_states : int;
+  refresh : Sram.refresh_config option;
+  thermal : Temperature.config;
+  dma : Dma.config option;
+}
+
+let hardware_config ?(ambient = 30.0) ?(wait_states = 1) ?dma encoding =
+  {
+    encoding;
+    wait_states;
+    refresh = Some Sram.default_refresh;
+    thermal = Temperature.default ~ambient;
+    dma;
+  }
+
+let simulation_config ?(wait_states = 1) ?dma encoding =
+  {
+    encoding;
+    wait_states;
+    refresh = None;
+    thermal = Temperature.default ~ambient:25.0;
+    dma;
+  }
+
+type run_result = {
+  signals : Signal.t list;
+  entries : Log_entry.t list;
+  uart_entries : Log_entry.t list;
+  delayed_changes : (int * int) list;
+  final_celsius : float;
+  refresh_count : int;
+  cycles : int;
+}
+
+let run ?(max_cycles = 200_000) config prog =
+  let m = Encoding.m config.encoding in
+  let cpu = Cpu.run ~wait_states:config.wait_states ~max_cycles prog in
+  let accesses =
+    match config.dma with
+    | None -> cpu.Cpu.accesses
+    | Some dcfg ->
+        let horizon =
+          List.fold_left (fun acc { Cpu.cycle; _ } -> max acc cycle) 0
+            cpu.Cpu.accesses
+          + 1
+        in
+        Dma.merge ~dma:(Dma.schedule dcfg ~until:horizon) ~cpu:cpu.Cpu.accesses
+  in
+  let sram = Sram.create ?refresh:config.refresh ~wait_states:config.wait_states () in
+  let temp = Temperature.create config.thermal in
+  let agg = Agglog.create ~fifo_depth:1024 config.encoding in
+  let bus = Ahb.create () in
+  let latency = Sram.access_latency sram in
+  (* simulate whole trace-cycles covering the program execution *)
+  let last_cycle =
+    List.fold_left (fun acc { Cpu.cycle; _ } -> max acc cycle) 0 accesses
+  in
+  let total = min max_cycles ((last_cycle + latency + m) / m * m) in
+  let change_bits = Array.make total false in
+  let delayed = ref [] in
+  let pending = ref accesses in
+  let busy_until = ref 0 in
+  for c = 0 to total - 1 do
+    Sram.step sram ~celsius:(Temperature.celsius temp);
+    (* issue the scheduled access, delayed on a refresh collision;
+       cascaded delays keep the stream ordered *)
+    (match !pending with
+    | { Cpu.cycle; addr } :: rest when cycle <= c ->
+        if Sram.consume_refresh sram then begin
+          delayed := (c / m, c mod m) :: !delayed;
+          (* push this and any access colliding with the slip one cycle *)
+          let rec shift shift_from = function
+            | { Cpu.cycle; addr } :: tl when cycle <= shift_from ->
+                { Cpu.cycle = shift_from + 1; addr } :: shift (shift_from + 1) tl
+            | tl -> tl
+          in
+          pending := shift c ({ Cpu.cycle; addr } :: rest)
+        end
+        else begin
+          Ahb.drive bus ~addr;
+          busy_until := c + latency;
+          pending := rest
+        end
+    | _ -> ());
+    change_bits.(c) <- Ahb.clock bus;
+    Temperature.step temp ~active:(c < !busy_until);
+    Agglog.clock agg ~change:change_bits.(c)
+  done;
+  let n_cycles = total / m in
+  let signals =
+    List.init n_cycles (fun j ->
+        Signal.of_bitvec
+          (Tp_bitvec.Bitvec.of_indices ~width:m
+             (List.filter
+                (fun i -> change_bits.((j * m) + i))
+                (List.init m Fun.id))))
+  in
+  let entries = Agglog.drain agg in
+  (* stream every entry through the UART and decode on the host side *)
+  let bytes = List.concat_map (Uart.Codec.entry_bytes ~m) entries in
+  let line = Uart.transmit_all ~divisor:4 bytes in
+  let received = Uart.decode_line ~divisor:4 line in
+  let per_entry = (Encoding.b config.encoding + Design.counter_bits ~m + 7) / 8 in
+  let rec chunk = function
+    | [] -> []
+    | bs ->
+        let rec split i = function
+          | rest when i = 0 -> ([], rest)
+          | [] -> ([], [])
+          | x :: tl ->
+              let a, b = split (i - 1) tl in
+              (x :: a, b)
+        in
+        let now, rest = split per_entry bs in
+        if List.length now < per_entry then []
+        else now :: chunk rest
+  in
+  let uart_entries =
+    List.filter_map
+      (fun bs ->
+        match Uart.Codec.entry_of_bytes ~m ~b:(Encoding.b config.encoding) bs with
+        | Ok e -> Some e
+        | Error _ -> None)
+      (chunk received)
+  in
+  {
+    signals;
+    entries;
+    uart_entries;
+    delayed_changes = List.rev !delayed;
+    final_celsius = Temperature.celsius temp;
+    refresh_count = Sram.refresh_count sram;
+    cycles = total;
+  }
+
+let first_mismatch a b =
+  let rec go i ea eb =
+    match (ea, eb) with
+    | [], _ | _, [] -> `None
+    | x :: xs, y :: ys ->
+        if Log_entry.k x <> Log_entry.k y then `K i
+        else if not (Log_entry.equal x y) then `Tp i
+        else go (i + 1) xs ys
+  in
+  go 0 a.entries b.entries

@@ -1,0 +1,56 @@
+(** The full §5.2.2 system: CPU + AHB + SRAM(+refresh) + thermal model
+    + agg-log hardware + UART, clocked cycle by cycle.
+
+    One {!run} plays a program image and returns everything the
+    experiment compares: the ground-truth change signal of the address
+    bus per trace-cycle, the agg-log hardware's [(TP, k)] entries, and
+    the same entries round-tripped through the UART byte stream. A run
+    with [refresh = None] and the (possibly wrong) simulator wait
+    states is the "Questa simulation"; a run with refresh enabled is
+    the "FPGA hardware". *)
+
+type config = {
+  encoding : Timeprint.Encoding.t;
+  wait_states : int;
+  refresh : Sram.refresh_config option;
+  thermal : Temperature.config;
+  dma : Dma.config option;
+      (** optional second bus master; its bursts interleave with the
+          CPU's traffic on the traced address bus *)
+}
+
+val hardware_config :
+  ?ambient:float -> ?wait_states:int -> ?dma:Dma.config ->
+  Timeprint.Encoding.t -> config
+(** Refresh enabled with {!Sram.default_refresh} (default
+    [wait_states = 1], [ambient = 30] °C). *)
+
+val simulation_config :
+  ?wait_states:int -> ?dma:Dma.config -> Timeprint.Encoding.t -> config
+(** No refresh — the RTL simulation never models it. The Gaisler-bug
+    reproduction passes the wrong [wait_states] here (default [1] =
+    correct). *)
+
+type run_result = {
+  signals : Timeprint.Signal.t list;
+      (** ground-truth change signal of each complete trace-cycle *)
+  entries : Timeprint.Log_entry.t list;
+      (** as latched by the agg-log hardware model *)
+  uart_entries : Timeprint.Log_entry.t list;
+      (** decoded from the UART line — what the host actually stores *)
+  delayed_changes : (int * int) list;
+      (** refresh collisions: (trace_cycle_index, cycle_within) of each
+          address change that slipped one cycle *)
+  final_celsius : float;
+  refresh_count : int;
+  cycles : int;  (** total simulated cycles (complete trace-cycles) *)
+}
+
+val run : ?max_cycles:int -> config -> Isa.program -> run_result
+
+val first_mismatch :
+  run_result -> run_result -> [ `K of int | `Tp of int | `None ]
+(** Compare two runs entry-by-entry: [`K i] — change counts diverge
+    first at trace-cycle [i] (the wait-state configuration bug
+    signature); [`Tp i] — counts agree but timeprints diverge at [i]
+    (the sporadic-delay signature); [`None] — identical prefixes. *)

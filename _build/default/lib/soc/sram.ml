@@ -1,0 +1,68 @@
+type refresh_config = {
+  base_interval : int;
+  reference_celsius : float;
+  cycles_per_degree : float;
+  min_interval : int;
+  duration : int;
+}
+
+let default_refresh =
+  {
+    base_interval = 2_000;
+    reference_celsius = 25.0;
+    cycles_per_degree = 20.0;
+    min_interval = 200;
+    duration = 1;
+  }
+
+type t = {
+  ws : int;
+  refresh : refresh_config option;
+  mutable elapsed : int; (* cycles since the last refresh request *)
+  mutable pending : bool; (* a refresh waits to steal an array cycle *)
+  mutable count : int;
+}
+
+let interval_at rc celsius =
+  let shrink = rc.cycles_per_degree *. (celsius -. rc.reference_celsius) in
+  max rc.min_interval (rc.base_interval - int_of_float shrink)
+
+let create ?refresh ~wait_states () =
+  if wait_states < 0 then invalid_arg "Sram.create: wait_states";
+  (match refresh with
+  | Some rc ->
+      if rc.base_interval <= 0 || rc.min_interval <= 0 || rc.duration <= 0 then
+        invalid_arg "Sram.create: refresh config"
+  | None -> ());
+  { ws = wait_states; refresh; elapsed = 0; pending = false; count = 0 }
+
+let wait_states t = t.ws
+let access_latency t = 1 + t.ws
+
+let step t ~celsius =
+  match t.refresh with
+  | None -> ()
+  | Some rc ->
+      (* the threshold tracks the die temperature continuously, so a
+         hotter die reaches its (shorter) interval sooner — including
+         the very first refresh of the run *)
+      t.elapsed <- t.elapsed + 1;
+      if t.elapsed >= interval_at rc celsius then begin
+        t.pending <- true;
+        t.count <- t.count + 1;
+        t.elapsed <- 0
+      end
+
+let refreshing t = t.pending
+
+let consume_refresh t =
+  if t.pending then begin
+    t.pending <- false;
+    true
+  end
+  else false
+
+let refresh_count t = t.count
+
+let delay_cycles t =
+  match t.refresh with Some rc -> rc.duration | None -> 0

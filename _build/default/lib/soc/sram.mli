@@ -1,0 +1,50 @@
+(** SRAM timing model: wait states plus temperature-compensated refresh.
+
+    Two knobs reproduce the two §5.2.2 findings:
+
+    - [wait_states] stretches every access; the Gaisler library bug was
+      a wrong value here, visible as a changed access {e schedule}
+      (k mismatch between "hardware" and "simulation");
+    - the refresh controller periodically steals the array for
+      [duration] cycles. Its interval {e shrinks as the die heats up}
+      (temperature-compensated refresh, per the memory datasheet), so
+      an access colliding with a refresh is delayed — the sporadic
+      one-cycle delays whose onset moves earlier at higher temperature. *)
+
+type refresh_config = {
+  base_interval : int;  (** cycles between refreshes at the reference temperature *)
+  reference_celsius : float;
+  cycles_per_degree : float;  (** interval shrink per °C above reference *)
+  min_interval : int;
+  duration : int;  (** cycles the colliding access is pushed; 1 reproduces the paper *)
+}
+
+val default_refresh : refresh_config
+
+type t
+
+val create : ?refresh:refresh_config -> wait_states:int -> unit -> t
+
+val wait_states : t -> int
+
+val access_latency : t -> int
+(** [1 + wait_states]. *)
+
+val step : t -> celsius:float -> unit
+(** Advance the refresh controller one cycle: the countdown runs at the
+    temperature-dependent interval and raises a pending refresh request
+    on expiry. *)
+
+val refreshing : t -> bool
+(** A refresh request is pending (the array will steal a cycle from the
+    next access). *)
+
+val consume_refresh : t -> bool
+(** Called by the memory controller when an access is about to issue:
+    returns [true] (and clears the request) when a pending refresh
+    steals the array, delaying that access by {!delay_cycles}. *)
+
+val delay_cycles : t -> int
+
+val refresh_count : t -> int
+(** Refresh requests raised so far. *)

@@ -1,0 +1,19 @@
+type config = {
+  ambient : float;
+  heat_per_active_cycle : float;
+  cooling_rate : float;
+}
+
+let default ~ambient =
+  { ambient; heat_per_active_cycle = 0.002; cooling_rate = 0.00004 }
+
+type t = { config : config; mutable celsius : float }
+
+let create config = { config; celsius = config.ambient }
+let celsius t = t.celsius
+
+let step t ~active =
+  let c = t.config in
+  let heat = if active then c.heat_per_active_cycle else 0. in
+  t.celsius <-
+    t.celsius +. heat -. (c.cooling_rate *. (t.celsius -. c.ambient))

@@ -1,0 +1,23 @@
+(** First-order thermal model of the memory die.
+
+    §5.2.2 observed that the chip "increases [temperature] on its own
+    by the execution itself; i.e. it even differs for different
+    instruction sequences being run" — so the model couples die
+    temperature to bus activity: each active memory cycle adds heat,
+    and the die relaxes exponentially toward ambient. *)
+
+type config = {
+  ambient : float;  (** °C *)
+  heat_per_active_cycle : float;  (** °C added per busy memory cycle *)
+  cooling_rate : float;  (** fraction of (T − ambient) shed per cycle *)
+}
+
+val default : ambient:float -> config
+
+type t
+
+val create : config -> t
+val celsius : t -> float
+
+val step : t -> active:bool -> unit
+(** Advance one clock cycle. *)

@@ -1,0 +1,105 @@
+open Tp_bitvec
+
+type t = {
+  divisor : int;
+  queue : int Queue.t;
+  mutable shifting : bool list; (* bits left of the current frame *)
+  mutable phase : int; (* cycles left for the current bit *)
+  mutable line : bool;
+}
+
+let create ?(divisor = 4) () =
+  if divisor <= 0 then invalid_arg "Uart.create: divisor";
+  { divisor; queue = Queue.create (); shifting = []; phase = 0; line = true }
+
+let send t byte =
+  if byte < 0 || byte > 0xff then invalid_arg "Uart.send: byte";
+  Queue.push byte t.queue
+
+let busy t = t.shifting <> [] || not (Queue.is_empty t.queue)
+
+let frame_bits byte =
+  (false :: List.init 8 (fun i -> (byte lsr i) land 1 = 1)) @ [ true ]
+
+let clock t =
+  if t.phase > 0 then begin
+    t.phase <- t.phase - 1;
+    t.line
+  end
+  else begin
+    (match t.shifting with
+    | b :: rest ->
+        t.line <- b;
+        t.shifting <- rest;
+        t.phase <- t.divisor - 1
+    | [] -> (
+        match Queue.take_opt t.queue with
+        | Some byte ->
+            let bits = frame_bits byte in
+            t.line <- List.hd bits;
+            t.shifting <- List.tl bits;
+            t.phase <- t.divisor - 1
+        | None -> t.line <- true));
+    t.line
+  end
+
+let transmit_all ?(divisor = 4) bytes =
+  let u = create ~divisor () in
+  List.iter (send u) bytes;
+  let total = (List.length bytes * 10 * divisor) + divisor in
+  Array.init total (fun _ -> clock u)
+
+let decode_line ?(divisor = 4) line =
+  let n = Array.length line in
+  let bytes = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if not line.(!i) then begin
+      (* start bit found; sample each bit at its centre *)
+      let sample k = line.(!i + (k * divisor) + (divisor / 2)) in
+      if !i + (9 * divisor) + (divisor / 2) < n then begin
+        let byte = ref 0 in
+        for bit = 0 to 7 do
+          if sample (1 + bit) then byte := !byte lor (1 lsl bit)
+        done;
+        bytes := !byte :: !bytes;
+        i := !i + (10 * divisor)
+      end
+      else i := n
+    end
+    else incr i
+  done;
+  List.rev !bytes
+
+module Codec = struct
+  let entry_bytes ~m entry =
+    let bits = Timeprint.Log_entry.serialize ~m entry in
+    let w = Bitvec.width bits in
+    let nbytes = (w + 7) / 8 in
+    List.init nbytes (fun byte ->
+        let v = ref 0 in
+        for bit = 0 to 7 do
+          let idx = (byte * 8) + bit in
+          if idx < w && Bitvec.get bits idx then v := !v lor (1 lsl bit)
+        done;
+        !v)
+
+  let entry_of_bytes ~m ~b bytes =
+    let cb =
+      let rec go c = if 1 lsl c >= m + 1 then c else go (c + 1) in
+      go 1
+    in
+    let w = b + cb in
+    let nbytes = (w + 7) / 8 in
+    if List.length bytes <> nbytes then Error "wrong byte count"
+    else begin
+      let arr = Array.of_list bytes in
+      let bits = Bitvec.create w in
+      for idx = 0 to w - 1 do
+        if (arr.(idx / 8) lsr (idx mod 8)) land 1 = 1 then Bitvec.set bits idx true
+      done;
+      match Timeprint.Log_entry.deserialize ~m ~b bits with
+      | entry -> Ok entry
+      | exception Invalid_argument e -> Error e
+    end
+end

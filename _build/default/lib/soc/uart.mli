@@ -1,0 +1,34 @@
+(** Simplified USB-UART transmitter (8N1) used to stream timeprints off
+    chip in §5.2.2.
+
+    Frame: one start bit (low), eight data bits LSB-first, one stop bit
+    (high); the line idles high. [divisor] clock cycles per bit. The
+    receiver side ({!decode_line}) recovers the byte stream from a
+    sampled line trace, and {!Codec} packs log entries into bytes. *)
+
+type t
+
+val create : ?divisor:int -> unit -> t
+
+val send : t -> int -> unit
+(** Enqueue one byte ([0 .. 255]). *)
+
+val busy : t -> bool
+
+val clock : t -> bool
+(** Advance one clock cycle; returns the TX line level. *)
+
+val transmit_all : ?divisor:int -> int list -> bool array
+(** Line trace of sending all bytes back-to-back (plus trailing idle). *)
+
+val decode_line : ?divisor:int -> bool array -> int list
+(** Recover bytes from a line trace (ideal sampling). *)
+
+module Codec : sig
+  val entry_bytes : m:int -> Timeprint.Log_entry.t -> int list
+  (** Wire format: the [b + ⌈log₂(m+1)⌉] serialized bits, padded to
+      whole bytes, LSB-first within each byte. *)
+
+  val entry_of_bytes :
+    m:int -> b:int -> int list -> (Timeprint.Log_entry.t, string) result
+end

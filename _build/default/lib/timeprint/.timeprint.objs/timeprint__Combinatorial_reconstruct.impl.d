@@ -1,0 +1,1 @@
+lib/timeprint/combinatorial_reconstruct.ml: Bitvec Encoding Hashtbl List Log_entry Property Signal Tp_bitvec

@@ -1,0 +1,1 @@
+lib/timeprint/combinatorial_reconstruct.mli: Encoding Log_entry Property Signal

@@ -1,0 +1,1 @@
+lib/timeprint/design.ml: Encoding

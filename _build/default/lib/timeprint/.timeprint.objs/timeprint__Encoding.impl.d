@@ -1,0 +1,1 @@
+lib/timeprint/encoding.ml: Array Bitvec F2_matrix Format Hashtbl List Printf Random Tp_bitvec

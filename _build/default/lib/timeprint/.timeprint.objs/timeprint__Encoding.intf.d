@@ -1,0 +1,1 @@
+lib/timeprint/encoding.mli: Format Tp_bitvec

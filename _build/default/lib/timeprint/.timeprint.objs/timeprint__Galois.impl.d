@@ -1,0 +1,1 @@
+lib/timeprint/galois.ml: Linear_reconstruct List Log_entry Logger Signal

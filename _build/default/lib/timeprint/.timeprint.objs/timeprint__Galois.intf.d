@@ -1,0 +1,1 @@
+lib/timeprint/galois.mli: Encoding Log_entry Signal

@@ -1,0 +1,1 @@
+lib/timeprint/linear_reconstruct.ml: Encoding F2_matrix List Log_entry Property Signal Tp_bitvec

@@ -1,0 +1,1 @@
+lib/timeprint/linear_reconstruct.mli: Encoding Log_entry Property Signal

@@ -1,0 +1,1 @@
+lib/timeprint/log_entry.ml: Bitvec Format Int Tp_bitvec

@@ -1,0 +1,1 @@
+lib/timeprint/log_entry.mli: Format Tp_bitvec

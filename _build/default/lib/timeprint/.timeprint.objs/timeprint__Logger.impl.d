@@ -1,0 +1,1 @@
+lib/timeprint/logger.ml: Array Bitvec Encoding List Log_entry Signal Tp_bitvec

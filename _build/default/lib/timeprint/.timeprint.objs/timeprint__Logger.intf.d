@@ -1,0 +1,1 @@
+lib/timeprint/logger.mli: Encoding Log_entry Signal

@@ -1,0 +1,1 @@
+lib/timeprint/property.ml: Array Cardinality Cnf Format Fun Int List Lit Printf Signal String Tp_sat Tseitin

@@ -1,0 +1,1 @@
+lib/timeprint/property.mli: Format Signal Tp_sat

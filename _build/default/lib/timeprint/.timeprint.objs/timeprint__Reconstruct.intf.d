@@ -1,0 +1,1 @@
+lib/timeprint/reconstruct.mli: Encoding Format Log_entry Property Signal Tp_sat

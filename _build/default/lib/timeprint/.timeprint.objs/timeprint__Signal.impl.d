@@ -1,0 +1,1 @@
+lib/timeprint/signal.ml: Array Bitvec Format Fun List Random String Tp_bitvec

@@ -1,0 +1,1 @@
+lib/timeprint/signal.mli: Format Random Tp_bitvec

@@ -1,0 +1,1 @@
+lib/timeprint/tcl.ml: Format Fun List Printf Property Signal String

@@ -1,0 +1,1 @@
+lib/timeprint/tcl.mli: Format Property Signal

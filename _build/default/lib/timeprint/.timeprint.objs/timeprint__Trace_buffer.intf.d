@@ -1,0 +1,1 @@
+lib/timeprint/trace_buffer.mli: Signal

@@ -1,0 +1,1 @@
+lib/timeprint/trace_db.ml: Array Design Encoding Float Log_entry Tp_bitvec

@@ -1,0 +1,1 @@
+lib/timeprint/trace_db.mli: Encoding Log_entry

@@ -1,0 +1,80 @@
+open Tp_bitvec
+
+module H = Hashtbl.Make (struct
+  type t = Bitvec.t
+
+  let equal = Bitvec.equal
+  let hash = Bitvec.hash
+end)
+
+let supported ~k = k >= 0 && k <= 4
+
+(* pair table: v -> list of (i, j), i < j, with TS(i) ⊕ TS(j) = v *)
+let pair_table enc =
+  let m = Encoding.m enc in
+  let tbl = H.create (m * m / 2) in
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      let v = Bitvec.logxor (Encoding.timestamp enc i) (Encoding.timestamp enc j) in
+      H.replace tbl v ((i, j) :: (try H.find tbl v with Not_found -> []))
+    done
+  done;
+  tbl
+
+let preimage ?max_solutions enc entry =
+  let k = Log_entry.k entry in
+  if not (supported ~k) then
+    invalid_arg "Combinatorial_reconstruct: k > 4 unsupported";
+  let m = Encoding.m enc in
+  let tp = Log_entry.tp entry in
+  let out = ref [] in
+  let emit changes = out := Signal.of_changes ~m changes :: !out in
+  (match k with
+  | 0 -> if Bitvec.is_zero tp then emit []
+  | 1 ->
+      for i = 0 to m - 1 do
+        if Bitvec.equal (Encoding.timestamp enc i) tp then emit [ i ]
+      done
+  | 2 ->
+      let pairs = pair_table enc in
+      List.iter (fun (i, j) -> emit [ i; j ]) (try H.find pairs tp with Not_found -> [])
+  | 3 ->
+      (* TP = TS(i) ⊕ (pair): one lookup per i, deduplicated by i < pair *)
+      let pairs = pair_table enc in
+      for i = 0 to m - 1 do
+        let rest = Bitvec.logxor tp (Encoding.timestamp enc i) in
+        List.iter
+          (fun (a, b) -> if i < a then emit [ i; a; b ])
+          (try H.find pairs rest with Not_found -> [])
+      done
+  | 4 ->
+      (* TP = pair ⊕ pair with all four indices distinct; canonical
+         order: first pair's low index below the second pair's low
+         index, and no index shared *)
+      let pairs = pair_table enc in
+      H.iter
+        (fun v lhs ->
+          let rest = Bitvec.logxor tp v in
+          match H.find_opt pairs rest with
+          | None -> ()
+          | Some rhs ->
+              List.iter
+                (fun (a, b) ->
+                  List.iter
+                    (fun (c, d) ->
+                      if a < c && b <> c && b <> d then emit [ a; b; c; d ])
+                    rhs)
+                lhs)
+        pairs
+  | _ -> assert false);
+  let sols = List.sort_uniq Signal.compare !out in
+  match max_solutions with
+  | None -> sols
+  | Some n -> List.filteri (fun i _ -> i < n) sols
+
+let preimage_with ?max_solutions enc entry ~assume =
+  let keep s = List.for_all (fun p -> Property.eval p s) assume in
+  let all = List.filter keep (preimage enc entry) in
+  match max_solutions with
+  | None -> all
+  | Some n -> List.filteri (fun i _ -> i < n) all

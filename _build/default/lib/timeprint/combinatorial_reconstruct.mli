@@ -1,0 +1,26 @@
+(** Meet-in-the-middle reconstruction for small change counts.
+
+    For [k ≤ 4] the preimage of a log entry can be enumerated directly
+    by hashing XOR combinations — [O(m)] for [k ≤ 2] and [O(m²)] for
+    [k ≤ 4] — instead of a SAT search. This is practical exactly in the
+    regime the paper's Table 1 stresses (k = 3, 4), serves as a third
+    independent oracle next to {!Reconstruct} (SAT) and
+    {!Linear_reconstruct} (coset enumeration), and is the natural
+    engine behind the LI-d guarantee: with an LI-4 encoding and
+    [k ≤ 2], the result is provably a singleton. *)
+
+val supported : k:int -> bool
+(** [k <= 4]. *)
+
+val preimage :
+  ?max_solutions:int -> Encoding.t -> Log_entry.t -> Signal.t list
+(** All signals with [α̃(S) = entry], sorted. Raises [Invalid_argument]
+    when [not (supported ~k)]. *)
+
+val preimage_with :
+  ?max_solutions:int ->
+  Encoding.t ->
+  Log_entry.t ->
+  assume:Property.t list ->
+  Signal.t list
+(** {!preimage} filtered by reference property semantics. *)

@@ -1,0 +1,20 @@
+let counter_bits ~m =
+  let rec go b = if 1 lsl b >= m + 1 then b else go (b + 1) in
+  go 1
+
+let log2_ceil n =
+  let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+  go 1
+
+let bits_per_trace_cycle enc = Encoding.b enc + counter_bits ~m:(Encoding.m enc)
+
+let log_rate_hz enc ~clock_hz =
+  float_of_int (bits_per_trace_cycle enc) /. float_of_int (Encoding.m enc) *. clock_hz
+
+let naive_bits ~m ~k = k * log2_ceil m
+
+let naive_max_changes ~m = m / log2_ceil m
+
+let compression_ratio enc ~k =
+  float_of_int (naive_bits ~m:(Encoding.m enc) ~k)
+  /. float_of_int (bits_per_trace_cycle enc)

@@ -1,0 +1,27 @@
+(** Design-parameter arithmetic of §5.1.1 and §3.
+
+    The logging bit-rate is [(b + ⌈log₂ m⌉)/m] bits per clock-cycle;
+    Table 1's [R] column multiplies it by a 100 MHz clock. The naive
+    cycle-accurate alternative logs [⌈log₂ m⌉] bits per change — linear
+    in the activity [k] and bounded by the single-pin budget of [m]
+    bits per trace-cycle ([m/⌈log₂ m⌉] changes at most, §3). *)
+
+val counter_bits : m:int -> int
+(** [⌈log₂ (m+1)⌉]: bits needed for the change counter [k ∈ 0..m]. *)
+
+val bits_per_trace_cycle : Encoding.t -> int
+(** Constant logging cost: [b + counter_bits]. *)
+
+val log_rate_hz : Encoding.t -> clock_hz:float -> float
+(** Sustained logging bit-rate for a signal clocked at [clock_hz]. *)
+
+val naive_bits : m:int -> k:int -> int
+(** Precise-timing logging cost for a trace-cycle with [k] changes:
+    [k·⌈log₂ m⌉]. *)
+
+val naive_max_changes : m:int -> int
+(** Most changes a one-pin (m bits per trace-cycle) precise-timing
+    logger can record: [⌊m/⌈log₂ m⌉⌋]. *)
+
+val compression_ratio : Encoding.t -> k:int -> float
+(** [naive_bits / bits_per_trace_cycle] at activity [k]. *)

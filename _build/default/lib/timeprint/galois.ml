@@ -1,0 +1,23 @@
+let dedup_entries es = List.sort_uniq Log_entry.compare es
+let dedup_signals ss = List.sort_uniq Signal.compare ss
+
+let abstract enc signals =
+  dedup_entries (List.map (Logger.abstract enc) signals)
+
+let concretize ?max_per_entry enc entries =
+  dedup_signals
+    (List.concat_map
+       (fun e -> Linear_reconstruct.preimage ?max_solutions:max_per_entry enc e)
+       entries)
+
+let insertion_left enc signals =
+  let closure = concretize enc (abstract enc signals) in
+  List.for_all (fun s -> List.exists (Signal.equal s) closure) signals
+
+let insertion_right enc entries =
+  let entries = dedup_entries entries in
+  let back = abstract enc (concretize enc entries) in
+  List.length back = List.length entries
+  && List.for_all2 (fun a b -> Log_entry.equal a b) back entries
+
+let realizable enc entry = Linear_reconstruct.preimage ~max_solutions:1 enc entry <> []

@@ -1,0 +1,28 @@
+(** The Galois insertion of §4.1 between signal sets and log-entry sets.
+
+    [α] lifts the logging procedure [α̃] to sets of signals; [γ] maps a
+    set of log entries to the union of their preimages. Lemma 1 states
+    [F ⊆ γ(α(F))] and [V = α(γ(V))] — both are exercised as executable
+    tests (property-based, exhaustive for small [m]).
+
+    Set arguments and results are duplicate-free lists. *)
+
+val abstract : Encoding.t -> Signal.t list -> Log_entry.t list
+(** [α]: the set of log entries of the given signals. *)
+
+val concretize :
+  ?max_per_entry:int -> Encoding.t -> Log_entry.t list -> Signal.t list
+(** [γ]: the union of the preimages (exact; exponential in the nullity
+    of the encoding matrix — small [m] only). *)
+
+val insertion_left : Encoding.t -> Signal.t list -> bool
+(** [F ⊆ γ(α(F))] for the given [F]. *)
+
+val insertion_right : Encoding.t -> Log_entry.t list -> bool
+(** [V = α(γ(V))] for the given [V] — entries with empty preimage are
+    required to be absent from [α(γ(V))], so feeding unrealizable
+    entries makes this [false]; Lemma 1 quantifies over realizable
+    entry sets [V ⊆ α(Sig)]. *)
+
+val realizable : Encoding.t -> Log_entry.t -> bool
+(** Whether the entry has at least one concretization. *)

@@ -1,0 +1,29 @@
+open Tp_bitvec
+
+let preimage ?max_solutions enc entry =
+  let a = Encoding.matrix enc in
+  List.map Signal.of_bitvec
+    (F2_matrix.solve_all_with_weight ?max_solutions a (Log_entry.tp entry)
+       ~weight:(Log_entry.k entry))
+
+let preimage_with ?max_solutions enc entry ~assume =
+  let keep s = List.for_all (fun p -> Property.eval p s) assume in
+  let all = preimage enc entry in
+  let filtered = List.filter keep all in
+  match max_solutions with
+  | None -> filtered
+  | Some n -> List.filteri (fun i _ -> i < n) filtered
+
+let preimage_size_unbounded enc entry =
+  let a = Encoding.matrix enc in
+  match F2_matrix.solve a (Log_entry.tp entry) with
+  | None -> 0
+  | Some _ ->
+      let nullity = Encoding.m enc - F2_matrix.rank a in
+      if nullity >= 62 then invalid_arg "Linear_reconstruct: preimage too large";
+      1 lsl nullity
+
+let ambiguous enc entry =
+  match preimage ~max_solutions:2 enc entry with
+  | [] | [ _ ] -> false
+  | _ -> true

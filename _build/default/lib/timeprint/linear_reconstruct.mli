@@ -1,0 +1,31 @@
+(** Exact reconstruction by linear algebra (reference oracle).
+
+    SR restated over [F₂] (§4.2): the solutions of [A·x = TP] form a
+    coset [x₀ + ker A] of dimension [m − rank A]; the preimage of
+    [(TP, k)] is the weight-[k] slice of that coset. Enumerating the
+    coset is exponential in the nullity, so this path only scales to
+    small [m] — it exists as the independent oracle the SAT path is
+    cross-checked against, and to compute exact ambiguity counts such
+    as the 256 → 8 → 1 funnel of Figure 4. *)
+
+val preimage :
+  ?max_solutions:int -> Encoding.t -> Log_entry.t -> Signal.t list
+(** All signals with [α̃(S) = entry], in increasing change-vector
+    order… of coset enumeration. Raises [Invalid_argument] when the
+    nullity exceeds 61 (enumeration would not terminate anyway). *)
+
+val preimage_with :
+  ?max_solutions:int ->
+  Encoding.t ->
+  Log_entry.t ->
+  assume:Property.t list ->
+  Signal.t list
+(** {!preimage} filtered by the properties (reference semantics). *)
+
+val preimage_size_unbounded : Encoding.t -> Log_entry.t -> int
+(** Number of solutions of [A·x = TP] {e ignoring} the change counter
+    [k] — Figure 4's "256 possible change combinations". Computed as
+    [2^(m − rank A)] when the system is consistent, [0] otherwise. *)
+
+val ambiguous : Encoding.t -> Log_entry.t -> bool
+(** Whether more than one signal abstracts to the entry. *)

@@ -1,0 +1,36 @@
+open Tp_bitvec
+
+type t = { tp : Bitvec.t; k : int }
+
+let make ~tp ~k =
+  if k < 0 then invalid_arg "Log_entry.make: negative k";
+  { tp; k }
+
+let tp e = e.tp
+let k e = e.k
+let equal a b = Bitvec.equal a.tp b.tp && a.k = b.k
+
+let compare a b =
+  let c = Bitvec.compare a.tp b.tp in
+  if c <> 0 then c else Int.compare a.k b.k
+
+let pp ppf e = Format.fprintf ppf "(TP=%a, k=%d)" Bitvec.pp e.tp e.k
+
+let counter_bits ~m =
+  let rec go b = if 1 lsl b >= m + 1 then b else go (b + 1) in
+  go 1
+
+let bits ~m e = Bitvec.width e.tp + counter_bits ~m
+
+let serialize ~m e =
+  let cb = counter_bits ~m in
+  if e.k > (1 lsl cb) - 1 then invalid_arg "Log_entry.serialize: k too large";
+  Bitvec.append e.tp (Bitvec.of_int ~width:cb e.k)
+
+let deserialize ~m ~b v =
+  let cb = counter_bits ~m in
+  if Bitvec.width v <> b + cb then invalid_arg "Log_entry.deserialize: width";
+  {
+    tp = Bitvec.extract v ~pos:0 ~len:b;
+    k = Bitvec.to_int (Bitvec.extract v ~pos:b ~len:cb);
+  }

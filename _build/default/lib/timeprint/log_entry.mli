@@ -1,0 +1,28 @@
+(** Log entries: the pair [(TP, k)] emitted once per trace-cycle.
+
+    [TP ∈ F₂ᵇ] is the timeprint — the XOR of the timestamps of every
+    cycle in which the traced signal changed — and [k] the exact number
+    of changes. Per §3.1 the logging cost is a constant
+    [b + ⌈log₂ m⌉] bits per trace-cycle regardless of activity. *)
+
+type t = { tp : Tp_bitvec.Bitvec.t; k : int }
+
+val make : tp:Tp_bitvec.Bitvec.t -> k:int -> t
+(** Raises [Invalid_argument] when [k < 0]. *)
+
+val tp : t -> Tp_bitvec.Bitvec.t
+val k : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val bits : m:int -> t -> int
+(** Serialized size in bits: [b + ⌈log₂ m⌉]. *)
+
+val serialize : m:int -> t -> Tp_bitvec.Bitvec.t
+(** Wire layout: timeprint in the low [b] bits, counter above. *)
+
+val deserialize : m:int -> b:int -> Tp_bitvec.Bitvec.t -> t
+(** Inverse of {!serialize}. Raises [Invalid_argument] on a width
+    mismatch. *)

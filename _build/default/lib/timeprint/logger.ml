@@ -1,0 +1,62 @@
+open Tp_bitvec
+
+let abstract enc s =
+  if Signal.length s <> Encoding.m enc then
+    invalid_arg "Logger.abstract: signal length <> encoding m";
+  let tp = Bitvec.create (Encoding.b enc) in
+  List.iter
+    (fun i -> Bitvec.xor_in_place tp (Encoding.timestamp enc i))
+    (Signal.changes s);
+  Log_entry.make ~tp ~k:(Signal.num_changes s)
+
+let abstract_run enc = List.map (abstract enc)
+
+type t = {
+  enc : Encoding.t;
+  mutable cycle : int;
+  mutable k : int;
+  tp : Bitvec.t; (* running register, reset at trace-cycle boundary *)
+  mutable prev_value : bool;
+  mutable entries : Log_entry.t list; (* reversed *)
+}
+
+let create enc =
+  {
+    enc;
+    cycle = 0;
+    k = 0;
+    tp = Bitvec.create (Encoding.b enc);
+    prev_value = false;
+    entries = [];
+  }
+
+let encoding t = t.enc
+let cycle t = t.cycle
+let completed t = List.rev t.entries
+
+let step t ~change =
+  if change then begin
+    Bitvec.xor_in_place t.tp (Encoding.timestamp t.enc t.cycle);
+    t.k <- t.k + 1
+  end;
+  t.cycle <- t.cycle + 1;
+  if t.cycle = Encoding.m t.enc then begin
+    let entry = Log_entry.make ~tp:(Bitvec.copy t.tp) ~k:t.k in
+    t.entries <- entry :: t.entries;
+    t.cycle <- 0;
+    t.k <- 0;
+    Bitvec.xor_in_place t.tp t.tp;
+    Some entry
+  end
+  else None
+
+let step_value t v =
+  let change = v <> t.prev_value in
+  t.prev_value <- v;
+  step t ~change
+
+let run_values enc ?(initial = false) values =
+  let t = create enc in
+  t.prev_value <- initial;
+  Array.iter (fun v -> ignore (step_value t v)) values;
+  completed t

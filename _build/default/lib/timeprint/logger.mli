@@ -1,0 +1,43 @@
+(** The logging procedure [α̃ : Sig → Log] (§4) and its streaming form.
+
+    {!abstract} is the one-shot mathematical definition:
+    [α̃(S) = (Σ_{i : S(i)=1} TS(i), |{i | S(i)=1}|)].
+
+    {!t} is the running form that mirrors the agg-log hardware: a
+    [b]-bit XOR register plus a change counter, clocked once per cycle,
+    emitting one {!Log_entry.t} at each trace-cycle boundary. It is the
+    functional reference the {!Tp_soc.Agglog} RTL-level model is tested
+    against. *)
+
+val abstract : Encoding.t -> Signal.t -> Log_entry.t
+(** [α̃] for one trace-cycle. Raises [Invalid_argument] when the signal
+    length differs from the encoding's [m]. *)
+
+val abstract_run : Encoding.t -> Signal.t list -> Log_entry.t list
+(** Back-to-back trace-cycles. *)
+
+type t
+(** Streaming logger state. *)
+
+val create : Encoding.t -> t
+
+val encoding : t -> Encoding.t
+
+val cycle : t -> int
+(** Cycle index within the current trace-cycle, [0 .. m-1]. *)
+
+val completed : t -> Log_entry.t list
+(** Entries of completed trace-cycles so far, oldest first. *)
+
+val step : t -> change:bool -> Log_entry.t option
+(** Advance one clock-cycle; [change] tells whether the traced signal
+    changed this cycle. Returns the finished entry when this step
+    closes a trace-cycle. *)
+
+val step_value : t -> bool -> Log_entry.t option
+(** Like {!step} but fed with raw signal {e values}: a change is
+    detected against the previously seen value (initially [false]). *)
+
+val run_values : Encoding.t -> ?initial:bool -> bool array -> Log_entry.t list
+(** Feed a whole waveform through a fresh logger and collect the
+    entries of every {e completed} trace-cycle. *)

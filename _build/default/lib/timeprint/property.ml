@@ -1,0 +1,395 @@
+open Tp_sat
+
+type t =
+  | P2
+  | Pulse_pairs
+  | Deadline of { count : int; before : int }
+  | Window of { lo : int; hi : int }
+  | Change_at of int
+  | No_change_at of int
+  | Pattern_at of { pattern : Signal.t; lo : int; hi : int }
+  | Min_separation of int
+  | Max_separation of int
+  | At_least_in of { lo : int; hi : int; n : int }
+  | At_most_in of { lo : int; hi : int; n : int }
+  | Allowed of (int * int) list
+  | Delayed_once of Signal.t
+  | Exact of Signal.t
+  | Not of t
+  | And of t list
+  | Or of t list
+
+let p2 = P2
+let pulse_pairs = Pulse_pairs
+let deadline ~count ~before = Deadline { count; before }
+let window ~lo ~hi = Window { lo; hi }
+let delayed_once s = Delayed_once s
+
+(* ------------------------------------------------------------------ *)
+(* Reference semantics                                                 *)
+
+let count_changes_before s before =
+  List.length (List.filter (fun i -> i < before) (Signal.changes s))
+
+(* greedy pairing: the first change must pair with its successor *)
+let rec pulses_ok s i =
+  let m = Signal.length s in
+  if i >= m then true
+  else if not (Signal.change_at s i) then pulses_ok s (i + 1)
+  else i + 1 < m && Signal.change_at s (i + 1) && pulses_ok s (i + 2)
+
+let matches_at s pattern c =
+  let lp = Signal.length pattern in
+  c + lp <= Signal.length s
+  &&
+  let rec go j =
+    j >= lp || (Signal.change_at s (c + j) = Signal.change_at pattern j && go (j + 1))
+  in
+  go 0
+
+let delayed_candidates ref_signal =
+  let m = Signal.length ref_signal in
+  List.filter
+    (fun i -> i + 1 < m && not (Signal.change_at ref_signal (i + 1)))
+    (Signal.changes ref_signal)
+
+let rec eval prop s =
+  let m = Signal.length s in
+  match prop with
+  | P2 ->
+      let rec go i =
+        i + 1 < m && ((Signal.change_at s i && Signal.change_at s (i + 1)) || go (i + 1))
+      in
+      go 0
+  | Pulse_pairs -> pulses_ok s 0
+  | Deadline { count; before } -> count_changes_before s before >= count
+  | Window { lo; hi } ->
+      List.for_all (fun i -> i >= lo && i <= hi) (Signal.changes s)
+  | Change_at i -> i >= 0 && i < m && Signal.change_at s i
+  | No_change_at i -> not (i >= 0 && i < m && Signal.change_at s i)
+  | Pattern_at { pattern; lo; hi } ->
+      let rec go c = c <= hi && (matches_at s pattern c || go (c + 1)) in
+      go (max 0 lo)
+  | Min_separation n ->
+      let rec ok = function
+        | i :: (j :: _ as rest) -> j - i - 1 >= n && ok rest
+        | _ -> true
+      in
+      ok (Signal.changes s)
+  | Max_separation n ->
+      (* violation: a change, then n quiet cycles, then some later
+         change — the final change is exempt (its successor belongs to
+         the next trace-cycle) *)
+      let changes = Signal.changes s in
+      List.for_all
+        (fun i ->
+          List.exists (fun j -> j > i && j <= i + n) changes
+          || not (List.exists (fun j -> j > i + n) changes))
+        changes
+  | At_least_in { lo; hi; n } ->
+      List.length (List.filter (fun i -> i >= lo && i <= hi) (Signal.changes s))
+      >= n
+  | At_most_in { lo; hi; n } ->
+      List.length (List.filter (fun i -> i >= lo && i <= hi) (Signal.changes s))
+      <= n
+  | Allowed windows ->
+      List.for_all
+        (fun i -> List.exists (fun (lo, hi) -> i >= lo && i <= hi) windows)
+        (Signal.changes s)
+  | Delayed_once ref_signal ->
+      Signal.length ref_signal = m
+      && List.exists
+           (fun i -> Signal.equal s (Signal.delay_change ref_signal ~at:i))
+           (delayed_candidates ref_signal)
+  | Exact s' -> Signal.equal s s'
+  | Not p -> not (eval p s)
+  | And ps -> List.for_all (fun p -> eval p s) ps
+  | Or ps -> List.exists (fun p -> eval p s) ps
+
+(* ------------------------------------------------------------------ *)
+(* SAT encoding                                                        *)
+(*
+   Every leaf is encoded in both polarities under an optional guard
+   literal g: emitted clauses carry ¬g, so the constraint binds exactly
+   in models where g is true. Disjunction introduces one fresh guard
+   per disjunct; negation is pushed to the leaves. The leaf encodings
+   are exact under an asserted guard: when g holds, the auxiliary
+   variables can be completed iff the property holds of the x-variables
+   — so enumeration projected onto the x-variables is unaffected. *)
+
+type ctx = {
+  cnf : Cnf.t;
+  m : int;
+  xvar : int -> int;
+  guard : Lit.t option;
+}
+
+let add ctx cl =
+  Cnf.add_clause ctx.cnf
+    (match ctx.guard with Some g -> Lit.negate g :: cl | None -> cl)
+
+let x ctx i = Lit.pos (ctx.xvar i)
+let nx ctx i = Lit.neg_of (ctx.xvar i)
+
+(* literal asserting x_i = value *)
+let xeq ctx i value = if value then x ctx i else nx ctx i
+
+(* A fresh literal equivalent (unguarded, definitional) to a formula. *)
+let define ctx f = Tseitin.to_lit ctx.cnf f
+
+(* Deterministic pair-start chain for Pulse_pairs:
+   p_i <-> x_i ∧ ¬p_{i-1}  (p_{-1} = false).
+   The signal is a disjoint union of adjacent change pairs iff
+   ¬p_{m-1} ∧ ∀i<m-1. p_i -> x_{i+1}. *)
+let pulse_violation_lit ctx =
+  let open Tseitin in
+  let m = ctx.m in
+  let p = Array.make m (Lit.pos 0) in
+  for i = 0 to m - 1 do
+    let def =
+      if i = 0 then Var (ctx.xvar 0)
+      else And [ Var (ctx.xvar i); Not (Var (Lit.var p.(i - 1))) ]
+    in
+    (* all p definitions are unguarded: they are total functions of x *)
+    p.(i) <- define ctx def
+  done;
+  let violations =
+    Var (Lit.var p.(m - 1))
+    :: List.init (m - 1) (fun i ->
+           And [ Var (Lit.var p.(i)); Not (Var (ctx.xvar (i + 1))) ])
+  in
+  define ctx (Or violations)
+
+let guard_of_cardinality ctx = ctx.guard
+
+let rec encode ctx ~pos prop =
+  let m = ctx.m in
+  match prop with
+  | P2 ->
+      let open Tseitin in
+      let l =
+        define ctx
+          (Or
+             (List.init (max 0 (m - 1)) (fun i ->
+                  And [ Var (ctx.xvar i); Var (ctx.xvar (i + 1)) ])))
+      in
+      add ctx [ (if pos then l else Lit.negate l) ]
+  | Pulse_pairs ->
+      let v = pulse_violation_lit ctx in
+      add ctx [ (if pos then Lit.negate v else v) ]
+  | Deadline { count; before } ->
+      if count <= 0 then begin
+        (* trivially true: nothing to assert; its negation is false *)
+        if not pos then add ctx []
+      end
+      else begin
+        let before = max 0 (min before m) in
+        let lits = List.init before (fun i -> x ctx i) in
+        if pos then
+          Cardinality.at_least ?guard:(guard_of_cardinality ctx) ctx.cnf lits count
+        else
+          Cardinality.at_most ?guard:(guard_of_cardinality ctx) ctx.cnf lits (count - 1)
+      end
+  | Window { lo; hi } ->
+      let outside = List.filter (fun i -> i < lo || i > hi) (List.init m Fun.id) in
+      if pos then List.iter (fun i -> add ctx [ nx ctx i ]) outside
+      else if outside = [] then add ctx [] (* negation is unsatisfiable *)
+      else add ctx (List.map (x ctx) outside)
+  | Change_at i ->
+      if i < 0 || i >= m then (if pos then add ctx [])
+      else add ctx [ (if pos then x ctx i else nx ctx i) ]
+  | No_change_at i -> encode ctx ~pos:(not pos) (Change_at i)
+  | Exact s ->
+      if Signal.length s <> m then (if pos then add ctx [])
+      else if pos then
+        for i = 0 to m - 1 do
+          add ctx [ xeq ctx i (Signal.change_at s i) ]
+        done
+      else
+        add ctx (List.init m (fun i -> xeq ctx i (not (Signal.change_at s i))))
+  | Pattern_at { pattern; lo; hi } ->
+      let lp = Signal.length pattern in
+      let candidates =
+        List.filter (fun c -> c >= 0 && c + lp <= m) (List.init (max 0 (hi - lo + 1)) (fun i -> lo + i))
+      in
+      if pos then begin
+        match candidates with
+        | [] -> add ctx []
+        | _ ->
+            let sel = List.map (fun c -> (c, Cnf.new_var ctx.cnf)) candidates in
+            add ctx (List.map (fun (_, v) -> Lit.pos v) sel);
+            List.iter
+              (fun (c, v) ->
+                for j = 0 to lp - 1 do
+                  add ctx [ Lit.neg_of v; xeq ctx (c + j) (Signal.change_at pattern j) ]
+                done)
+              sel
+      end
+      else
+        (* no candidate position may match *)
+        List.iter
+          (fun c ->
+            add ctx
+              (List.init lp (fun j -> xeq ctx (c + j) (not (Signal.change_at pattern j)))))
+          candidates
+  | Min_separation n ->
+      if pos then
+        (* no two changes within n cycles of each other *)
+        for i = 0 to m - 1 do
+          for j = i + 1 to min (m - 1) (i + n) do
+            add ctx [ nx ctx i; nx ctx j ]
+          done
+        done
+      else begin
+        (* some pair of changes too close together *)
+        let open Tseitin in
+        let close_pairs = ref [] in
+        for i = 0 to m - 1 do
+          for j = i + 1 to min (m - 1) (i + n) do
+            close_pairs := And [ Var (ctx.xvar i); Var (ctx.xvar j) ] :: !close_pairs
+          done
+        done;
+        let l = define ctx (Or !close_pairs) in
+        add ctx [ l ]
+      end
+  | Max_separation n ->
+      (* suffix chain t_j = "some change at cycle >= j" (deterministic
+         auxiliary, so both polarities stay exact) *)
+      let open Tseitin in
+      let suffix = Array.make (m + 1) (Lit.pos 0) in
+      let false_var = Cnf.new_var ctx.cnf in
+      Cnf.add_clause ctx.cnf [ Lit.neg_of false_var ];
+      suffix.(m) <- Lit.pos false_var;
+      for j = m - 1 downto 0 do
+        suffix.(j) <-
+          define ctx (Or [ Var (ctx.xvar j); Var (Lit.var suffix.(j + 1)) ])
+      done;
+      if pos then
+        (* no change may be followed by n quiet cycles and then more
+           activity *)
+        for i = 0 to m - 1 do
+          if i + n + 1 <= m then
+            add ctx
+              ((nx ctx i :: List.init (min n (m - 1 - i)) (fun d -> x ctx (i + 1 + d)))
+              @ [ Lit.negate suffix.(min m (i + n + 1)) ])
+        done
+      else begin
+        let viols = ref [] in
+        for i = 0 to m - 1 do
+          if i + n + 1 <= m then
+            viols :=
+              And
+                ((Var (ctx.xvar i)
+                 :: List.init (min n (m - 1 - i)) (fun d ->
+                        Not (Var (ctx.xvar (i + 1 + d)))))
+                @ [ Var (Lit.var suffix.(min m (i + n + 1))) ])
+              :: !viols
+        done;
+        let l = define ctx (Or !viols) in
+        add ctx [ l ]
+      end
+  | At_least_in { lo; hi; n } ->
+      if n <= 0 then begin
+        if not pos then add ctx []
+      end
+      else begin
+        let lo = max 0 lo and hi = min (m - 1) hi in
+        let lits = List.init (max 0 (hi - lo + 1)) (fun d -> x ctx (lo + d)) in
+        if pos then
+          Cardinality.at_least ?guard:(guard_of_cardinality ctx) ctx.cnf lits n
+        else Cardinality.at_most ?guard:(guard_of_cardinality ctx) ctx.cnf lits (n - 1)
+      end
+  | At_most_in { lo; hi; n } ->
+      encode ctx ~pos:(not pos) (At_least_in { lo; hi; n = n + 1 })
+  | Allowed windows ->
+      let allowed i = List.exists (fun (lo, hi) -> i >= lo && i <= hi) windows in
+      let outside = List.filter (fun i -> not (allowed i)) (List.init m Fun.id) in
+      if pos then List.iter (fun i -> add ctx [ nx ctx i ]) outside
+      else if outside = [] then add ctx []
+      else add ctx (List.map (x ctx) outside)
+  | Delayed_once ref_signal ->
+      if Signal.length ref_signal <> m then (if pos then add ctx [])
+      else begin
+        let candidates = delayed_candidates ref_signal in
+        let diff_positions =
+          List.sort_uniq Int.compare
+            (List.concat_map (fun i -> [ i; i + 1 ]) candidates)
+        in
+        if pos then begin
+          match candidates with
+          | [] -> add ctx []
+          | _ ->
+              (* off-diff positions agree with the reference outright *)
+              for j = 0 to m - 1 do
+                if not (List.mem j diff_positions) then
+                  add ctx [ xeq ctx j (Signal.change_at ref_signal j) ]
+              done;
+              let sel = List.map (fun c -> (c, Cnf.new_var ctx.cnf)) candidates in
+              add ctx (List.map (fun (_, v) -> Lit.pos v) sel);
+              List.iter
+                (fun (c, v) ->
+                  let expected = Signal.delay_change ref_signal ~at:c in
+                  List.iter
+                    (fun j ->
+                      add ctx [ Lit.neg_of v; xeq ctx j (Signal.change_at expected j) ])
+                    diff_positions)
+                sel
+        end
+        else
+          List.iter
+            (fun c ->
+              let expected = Signal.delay_change ref_signal ~at:c in
+              add ctx
+                (List.init m (fun j -> xeq ctx j (not (Signal.change_at expected j)))))
+            candidates
+      end
+  | Not p -> encode ctx ~pos:(not pos) p
+  | And ps -> if pos then List.iter (encode ctx ~pos) ps else encode_disj ctx ~pos:false ps
+  | Or ps -> if pos then encode_disj ctx ~pos:true ps else List.iter (encode ctx ~pos) ps
+
+and encode_disj ctx ~pos ps =
+  (* assert the disjunction of [ps] (polarity [pos] applied to each) *)
+  match ps with
+  | [] -> add ctx [] (* empty disjunction is false *)
+  | [ p ] -> encode ctx ~pos p
+  | _ ->
+      let guards =
+        List.map
+          (fun p ->
+            let g = Lit.pos (Cnf.new_var ctx.cnf) in
+            encode { ctx with guard = Some g } ~pos p;
+            g)
+          ps
+      in
+      add ctx guards
+
+let assert_holds cnf ~m ~xvar prop = encode { cnf; m; xvar; guard = None } ~pos:true prop
+
+let assert_violated cnf ~m ~xvar prop =
+  encode { cnf; m; xvar; guard = None } ~pos:false prop
+
+let rec pp ppf = function
+  | P2 -> Format.pp_print_string ppf "P2"
+  | Pulse_pairs -> Format.pp_print_string ppf "pulse-pairs"
+  | Deadline { count; before } -> Format.fprintf ppf "D(k=%d,D=%d)" count before
+  | Window { lo; hi } -> Format.fprintf ppf "window[%d..%d]" lo hi
+  | Change_at i -> Format.fprintf ppf "change@%d" i
+  | No_change_at i -> Format.fprintf ppf "no-change@%d" i
+  | Pattern_at { pattern; lo; hi } ->
+      Format.fprintf ppf "pattern(%d changes)@[%d..%d]"
+        (Signal.num_changes pattern) lo hi
+  | Min_separation n -> Format.fprintf ppf "min-separation(%d)" n
+  | Max_separation n -> Format.fprintf ppf "max-separation(%d)" n
+  | At_least_in { lo; hi; n } -> Format.fprintf ppf ">=%d in [%d..%d]" n lo hi
+  | At_most_in { lo; hi; n } -> Format.fprintf ppf "<=%d in [%d..%d]" n lo hi
+  | Allowed ws ->
+      Format.fprintf ppf "allowed(%s)"
+        (String.concat ","
+           (List.map (fun (lo, hi) -> Printf.sprintf "%d..%d" lo hi) ws))
+  | Delayed_once _ -> Format.pp_print_string ppf "delayed-once"
+  | Exact _ -> Format.pp_print_string ppf "exact"
+  | Not p -> Format.fprintf ppf "not(%a)" pp p
+  | And ps ->
+      Format.fprintf ppf "and(%a)" (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp) ps
+  | Or ps ->
+      Format.fprintf ppf "or(%a)" (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp) ps

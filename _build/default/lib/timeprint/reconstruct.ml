@@ -1,0 +1,122 @@
+open Tp_bitvec
+open Tp_sat
+
+type problem = {
+  encoding : Encoding.t;
+  entry : Log_entry.t;
+  assume : Property.t list;
+}
+
+let problem ?(assume = []) encoding entry =
+  if Bitvec.width (Log_entry.tp entry) <> Encoding.b encoding then
+    invalid_arg "Reconstruct.problem: timeprint width <> encoding b";
+  { encoding; entry; assume }
+
+let to_cnf { encoding; entry; assume } =
+  let m = Encoding.m encoding and b = Encoding.b encoding in
+  let cnf = Cnf.create () in
+  let xvars = Array.init m (fun _ -> Cnf.new_var cnf) in
+  (* rows of A·x = TP: bit j of the timeprint is the XOR of x_i over
+     cycles i whose timestamp has bit j set *)
+  let tp = Log_entry.tp entry in
+  for j = 0 to b - 1 do
+    let vars = ref [] in
+    for i = 0 to m - 1 do
+      if Bitvec.get (Encoding.timestamp encoding i) j then
+        vars := xvars.(i) :: !vars
+    done;
+    Cnf.add_xor_chunked cnf ~vars:!vars ~parity:(Bitvec.get tp j)
+  done;
+  (* exactly k changes *)
+  Cardinality.exactly cnf (Array.to_list (Array.map Lit.pos xvars)) (Log_entry.k entry);
+  (* verified properties prune the space *)
+  List.iter
+    (fun p -> Property.assert_holds cnf ~m ~xvar:(fun i -> xvars.(i)) p)
+    assume;
+  (cnf, xvars)
+
+let signal_of_model m xvars value =
+  Signal.of_bitvec
+    (Bitvec.of_indices ~width:m
+       (List.filter (fun i -> value xvars.(i)) (List.init m Fun.id)))
+
+type verdict = [ `Signal of Signal.t | `Unsat | `Unknown ]
+
+let first ?conflict_budget pb =
+  let cnf, xvars = to_cnf pb in
+  let s = Solver.of_cnf cnf in
+  match Solver.solve ?conflict_budget s with
+  | Sat -> `Signal (signal_of_model (Encoding.m pb.encoding) xvars (Solver.value s))
+  | Unsat -> `Unsat
+  | Unknown -> `Unknown
+
+type certified =
+  [ `Signal of Signal.t | `Unsat_certified of string | `Unknown ]
+
+let first_certified ?conflict_budget pb : certified =
+  let cnf, xvars = to_cnf pb in
+  let clausal = Cnf.expand_xors cnf in
+  let s = Solver.of_cnf clausal in
+  Solver.enable_proof s;
+  match Solver.solve ?conflict_budget s with
+  | Sat -> `Signal (signal_of_model (Encoding.m pb.encoding) xvars (Solver.value s))
+  | Unknown -> `Unknown
+  | Unsat -> (
+      let proof = Solver.proof s in
+      match Drat.check clausal proof with
+      | Ok () -> `Unsat_certified proof
+      | Error e -> failwith ("Reconstruct.first_certified: bad certificate: " ^ e))
+
+type enumeration = { signals : Signal.t list; complete : bool }
+
+let enumerate ?max_solutions ?conflict_budget pb =
+  let m = Encoding.m pb.encoding in
+  let cnf, xvars = to_cnf pb in
+  let s = Solver.of_cnf cnf in
+  let { Allsat.models; complete } =
+    Allsat.enumerate ?max_models:max_solutions ?conflict_budget s
+      ~project:(Array.to_list xvars)
+  in
+  let signal_of model =
+    Signal.of_bitvec
+      (Bitvec.of_indices ~width:m
+         (List.filter (fun i -> model.(i)) (List.init m Fun.id)))
+  in
+  { signals = List.map signal_of models; complete }
+
+let count ?max_solutions pb =
+  List.length (enumerate ?max_solutions pb).signals
+
+type check_result =
+  [ `Holds_in_all | `Violated_in_all | `Mixed | `Vacuous | `Unknown ]
+
+let exists_with ?conflict_budget pb extra_polarity prop =
+  let cnf, xvars = to_cnf pb in
+  let m = Encoding.m pb.encoding in
+  let xvar i = xvars.(i) in
+  (match extra_polarity with
+  | `Holds -> Property.assert_holds cnf ~m ~xvar prop
+  | `Violated -> Property.assert_violated cnf ~m ~xvar prop);
+  match Solver.solve ?conflict_budget (Solver.of_cnf cnf) with
+  | Sat -> `Yes
+  | Unsat -> `No
+  | Unknown -> `Unknown
+
+let check ?conflict_budget pb prop =
+  let some_sat = exists_with ?conflict_budget pb `Holds prop in
+  let some_viol = exists_with ?conflict_budget pb `Violated prop in
+  match (some_sat, some_viol) with
+  | `Yes, `Yes -> `Mixed
+  | `Yes, `No -> `Holds_in_all
+  | `No, `Yes -> `Violated_in_all
+  | `No, `No -> `Vacuous
+  | `Unknown, _ | _, `Unknown -> `Unknown
+
+let pp_check_result ppf r =
+  Format.pp_print_string ppf
+    (match r with
+    | `Holds_in_all -> "holds in all reconstructions"
+    | `Violated_in_all -> "violated in all reconstructions"
+    | `Mixed -> "holds in some reconstructions, violated in others"
+    | `Vacuous -> "no reconstruction exists"
+    | `Unknown -> "unknown (budget exhausted)")

@@ -1,0 +1,70 @@
+(** Signal Reconstruction (SR): the SAT-based preimage computation of §4.2.
+
+    Given an encoding [TS], a log entry [(TP, k)] and a set of verified
+    properties, find the signals [S] with [α̃(S) = (TP, k)] that satisfy
+    the properties. The reduction introduces one variable per clock
+    cycle, one XOR clause per timeprint bit (the rows of [A·x = TP]),
+    the Sinz-encoded [exactly-k] cardinality constraint, and the
+    property clauses — precisely the Cryptominisat input fragment used
+    by the paper. *)
+
+type problem = {
+  encoding : Encoding.t;
+  entry : Log_entry.t;
+  assume : Property.t list;
+      (** properties known to hold (RV verdicts, diagnostics, failure
+          analysis) — they prune the search space *)
+}
+
+val problem : ?assume:Property.t list -> Encoding.t -> Log_entry.t -> problem
+(** Raises [Invalid_argument] when the timeprint width differs from the
+    encoding's [b]. *)
+
+val to_cnf : problem -> Tp_sat.Cnf.t * int array
+(** The reduction; the array maps cycle [i] to its CNF variable. *)
+
+type verdict = [ `Signal of Signal.t | `Unsat | `Unknown ]
+
+val first : ?conflict_budget:int -> problem -> verdict
+(** One reconstruction (the paper's [.1] columns), or [`Unsat] when no
+    signal abstracts to the entry under the assumptions. *)
+
+type certified =
+  [ `Signal of Signal.t
+  | `Unsat_certified of string  (** a DRAT refutation, already verified *)
+  | `Unknown ]
+
+val first_certified : ?conflict_budget:int -> problem -> certified
+(** Like {!first}, but an [`Unsat] answer comes with an independently
+    checked DRAT certificate — the artifact to archive when the answer
+    assigns liability (§5.2.1's "UNSAT in 1.597 s" becomes a verifiable
+    statement rather than the solver's word). The reduction's XOR rows
+    are compiled to plain CNF for this query, since DRAT covers only
+    clausal reasoning. Raises [Failure] in the (never-observed) event
+    that the produced certificate fails its check. *)
+
+type enumeration = {
+  signals : Signal.t list;  (** discovery order *)
+  complete : bool;  (** [true] iff provably all solutions were found *)
+}
+
+val enumerate :
+  ?max_solutions:int -> ?conflict_budget:int -> problem -> enumeration
+(** All reconstructions, or the first [max_solutions] (the paper's
+    [.10] columns use [max_solutions = 10]). *)
+
+val count : ?max_solutions:int -> problem -> int
+
+type check_result =
+  [ `Holds_in_all  (** every reconstruction satisfies the property *)
+  | `Violated_in_all  (** no reconstruction satisfies it *)
+  | `Mixed  (** some do, some do not — the log cannot decide *)
+  | `Vacuous  (** no reconstruction exists at all *)
+  | `Unknown ]
+
+val check : ?conflict_budget:int -> problem -> Property.t -> check_result
+(** Decide a suspected property against the log entry with two SAT
+    queries (§3.3: "often we only want to know whether there is a trace
+    that satisfies or breaks a certain temporal property"). *)
+
+val pp_check_result : Format.formatter -> check_result -> unit

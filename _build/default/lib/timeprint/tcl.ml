@@ -1,0 +1,110 @@
+type t =
+  | Separation of { min : int option; max : int option }
+  | Count_in of { lo : int; hi : int; min : int option; max : int option }
+  | Periodic of { offset : int; period : int; jitter : int }
+  | Within of (int * int) list
+  | All of t list
+
+let separation ?min ?max () = Separation { min; max }
+let count_in ~lo ~hi ?min ?max () = Count_in { lo; hi; min; max }
+let periodic ?(offset = 0) ?(jitter = 0) ~period () =
+  Periodic { offset; period; jitter }
+
+let rec eval ~m c s =
+  match c with
+  | Separation { min; max } ->
+      let changes = Signal.changes s in
+      let min_ok =
+        match min with
+        | None -> true
+        | Some n ->
+            let rec go = function
+              | i :: (j :: _ as rest) -> j - i - 1 >= n && go rest
+              | _ -> true
+            in
+            go changes
+      in
+      let max_ok =
+        match max with
+        | None -> true
+        | Some n ->
+            ignore m;
+            List.for_all
+              (fun i ->
+                List.exists (fun j -> j > i && j <= i + n) changes
+                || not (List.exists (fun j -> j > i + n) changes))
+              changes
+      in
+      min_ok && max_ok
+  | Count_in { lo; hi; min; max } ->
+      let n =
+        List.length (List.filter (fun i -> i >= lo && i <= hi) (Signal.changes s))
+      in
+      (match min with None -> true | Some v -> n >= v)
+      && (match max with None -> true | Some v -> n <= v)
+  | Periodic { offset; period; jitter } ->
+      List.for_all Fun.id
+        (List.mapi
+           (fun i c -> abs (c - (offset + (i * period))) <= jitter)
+           (Signal.changes s))
+  | Within windows ->
+      List.for_all
+        (fun i -> List.exists (fun (lo, hi) -> i >= lo && i <= hi) windows)
+        (Signal.changes s)
+  | All cs -> List.for_all (fun c -> eval ~m c s) cs
+
+let rec compile ~m ~k c =
+  match c with
+  | Separation { min; max } ->
+      Property.And
+        (List.concat
+           [
+             (match min with Some n -> [ Property.Min_separation n ] | None -> []);
+             (match max with Some n -> [ Property.Max_separation n ] | None -> []);
+           ])
+  | Count_in { lo; hi; min; max } ->
+      Property.And
+        (List.concat
+           [
+             (match min with
+             | Some n -> [ Property.At_least_in { lo; hi; n } ]
+             | None -> []);
+             (match max with
+             | Some n -> [ Property.At_most_in { lo; hi; n } ]
+             | None -> []);
+           ])
+  | Periodic { offset; period; jitter } ->
+      if 2 * jitter >= period then
+        invalid_arg "Tcl.compile: Periodic requires 2*jitter < period";
+      let window i =
+        (max 0 (offset + (i * period) - jitter), offset + (i * period) + jitter)
+      in
+      let windows = List.init k window in
+      Property.And
+        (Property.Allowed windows
+        :: List.map
+             (fun (lo, hi) -> Property.At_least_in { lo; hi; n = 1 })
+             windows)
+  | Within windows -> Property.Allowed windows
+  | All cs -> Property.And (List.map (compile ~m ~k) cs)
+
+let rec pp ppf = function
+  | Separation { min; max } ->
+      Format.fprintf ppf "separation(min=%s,max=%s)"
+        (match min with Some n -> string_of_int n | None -> "_")
+        (match max with Some n -> string_of_int n | None -> "_")
+  | Count_in { lo; hi; min; max } ->
+      Format.fprintf ppf "count[%d..%d] in [%s,%s]" lo hi
+        (match min with Some n -> string_of_int n | None -> "0")
+        (match max with Some n -> string_of_int n | None -> "inf")
+  | Periodic { offset; period; jitter } ->
+      Format.fprintf ppf "periodic(offset=%d,period=%d,jitter=%d)" offset period
+        jitter
+  | Within ws ->
+      Format.fprintf ppf "within(%s)"
+        (String.concat ","
+           (List.map (fun (lo, hi) -> Printf.sprintf "%d..%d" lo hi) ws))
+  | All cs ->
+      Format.fprintf ppf "all(%a)"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ") pp)
+        cs

@@ -1,0 +1,46 @@
+(** Timing constraints in the style of Lisper & Nordlander's Timing
+    Constraint Logic (TCL), which §5.1.3 cites as the property language
+    timeprints can model.
+
+    A constraint speaks about the {e occurrence times} of the traced
+    signal's changes within one trace-cycle. {!compile} lowers a
+    constraint to a {!Property.t} for reconstruction pruning or
+    checking; {!eval} is the independent reference semantics the
+    compilation is tested against.
+
+    [Periodic] is the one constraint whose natural reading is ordinal
+    ("the i-th occurrence lies in the i-th window"), so its compilation
+    needs the logged change count [k] — always available from the log
+    entry under analysis. *)
+
+type t =
+  | Separation of { min : int option; max : int option }
+      (** consecutive changes at least [min] and/or at most [max]
+          cycles apart (gap measured in quiet cycles for [min], as
+          cycle distance for [max]; a trailing change whose successor
+          would fall beyond the trace-cycle is exempt from [max]) *)
+  | Count_in of { lo : int; hi : int; min : int option; max : int option }
+      (** between [min] and [max] changes inside cycles [lo..hi] *)
+  | Periodic of { offset : int; period : int; jitter : int }
+      (** the i-th change (0-based) occurs within
+          [offset + i·period ± jitter]; requires [jitter < period/2]
+          so the windows stay disjoint *)
+  | Within of (int * int) list
+      (** changes only inside the union of the windows *)
+  | All of t list
+
+val separation : ?min:int -> ?max:int -> unit -> t
+val count_in : lo:int -> hi:int -> ?min:int -> ?max:int -> unit -> t
+val periodic : ?offset:int -> ?jitter:int -> period:int -> unit -> t
+
+val eval : m:int -> t -> Signal.t -> bool
+(** Reference semantics. For [Periodic], every change must fall in its
+    ordinal window. *)
+
+val compile : m:int -> k:int -> t -> Property.t
+(** Lower to a reconstruction property for a trace-cycle whose log
+    entry recorded [k] changes. Sound and complete with respect to
+    {!eval} on signals with exactly [k] changes (tested). Raises
+    [Invalid_argument] on [Periodic] with [2·jitter >= period]. *)
+
+val pp : Format.formatter -> t -> unit

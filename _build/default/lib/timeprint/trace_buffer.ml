@@ -1,0 +1,60 @@
+type t = {
+  m : int;
+  capacity_bits : int;
+  bits_per_change : int;
+  mutable used : int;
+  mutable offered : int; (* trace-cycles presented *)
+  mutable stored : (int * int list) list; (* reversed *)
+  mutable overflow : bool;
+}
+
+let log2_ceil n =
+  let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+  go 1
+
+let create ~capacity_bits ~m =
+  if capacity_bits <= 0 then invalid_arg "Trace_buffer.create: capacity";
+  if m <= 1 then invalid_arg "Trace_buffer.create: m";
+  {
+    m;
+    capacity_bits;
+    bits_per_change = log2_ceil m;
+    used = 0;
+    offered = 0;
+    stored = [];
+    overflow = false;
+  }
+
+let m t = t.m
+let capacity_bits t = t.capacity_bits
+let bits_per_change t = t.bits_per_change
+
+let record_trace_cycle t s =
+  if Signal.length s <> t.m then
+    invalid_arg "Trace_buffer.record_trace_cycle: length";
+  let idx = t.offered in
+  t.offered <- t.offered + 1;
+  if t.overflow then false
+  else begin
+    let cost = Signal.num_changes s * t.bits_per_change in
+    if t.used + cost <= t.capacity_bits then begin
+      t.used <- t.used + cost;
+      t.stored <- (idx, Signal.changes s) :: t.stored;
+      true
+    end
+    else begin
+      (* a partial trace-cycle is useless for cycle-accurate replay:
+         count the bits as burned and latch the overflow *)
+      t.used <- t.capacity_bits;
+      t.overflow <- true;
+      false
+    end
+  end
+
+let used_bits t = t.used
+let overflowed t = t.overflow
+let captured t = List.rev t.stored
+
+let coverage t =
+  if t.offered = 0 then 1.0
+  else float_of_int (List.length t.stored) /. float_of_int t.offered

@@ -1,0 +1,47 @@
+type t = {
+  enc : Encoding.t;
+  capacity : int;
+  ring : Log_entry.t option array;
+  mutable total : int;
+}
+
+let create ~capacity enc =
+  if capacity <= 0 then invalid_arg "Trace_db.create: capacity";
+  { enc; capacity; ring = Array.make capacity None; total = 0 }
+
+let encoding db = db.enc
+let capacity db = db.capacity
+
+let append db e =
+  if Tp_bitvec.Bitvec.width (Log_entry.tp e) <> Encoding.b db.enc then
+    invalid_arg "Trace_db.append: timeprint width mismatch";
+  db.ring.(db.total mod db.capacity) <- Some e;
+  db.total <- db.total + 1
+
+let total db = db.total
+let oldest db = max 0 (db.total - db.capacity)
+
+let entry db i =
+  if i < oldest db || i >= db.total then None else db.ring.(i mod db.capacity)
+
+let window db ~from_cycle ~to_cycle =
+  let lo = max from_cycle (oldest db) and hi = min to_cycle (db.total - 1) in
+  let rec go i acc =
+    if i < lo then acc
+    else
+      go (i - 1) (match entry db i with Some e -> (i, e) :: acc | None -> acc)
+  in
+  go hi []
+
+let entry_at_time db ~clock_hz time =
+  if time < 0. || clock_hz <= 0. then None
+  else begin
+    (* guard against float round-off for times on a cycle boundary *)
+    let cycles = time *. clock_hz /. float_of_int (Encoding.m db.enc) in
+    let i = int_of_float (Float.floor (cycles +. 1e-9)) in
+    match entry db i with Some e -> Some (i, e) | None -> None
+  end
+
+let bits_stored db =
+  min db.total db.capacity
+  * (Encoding.b db.enc + Design.counter_bits ~m:(Encoding.m db.enc))

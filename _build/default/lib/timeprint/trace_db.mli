@@ -1,0 +1,49 @@
+(** The central timeprint store of Figure 3.
+
+    During deployment, log entries stream at a constant (tiny) rate to
+    a database where they are "stored until they wear out": a bounded
+    ring buffer holding the most recent [capacity] trace-cycles. At 34
+    bits per entry (the §5.2.1 design point), hours of full-rate
+    tracing fit in a few megabytes — {!bits_stored} makes the paper's
+    storage argument concrete.
+
+    Entries are addressed by their absolute trace-cycle index; asking
+    for a worn-out (overwritten) or future index yields [None]. *)
+
+type t
+
+val create : capacity:int -> Encoding.t -> t
+(** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val encoding : t -> Encoding.t
+val capacity : t -> int
+
+val append : t -> Log_entry.t -> unit
+(** Store the entry for the next trace-cycle index, evicting the oldest
+    entry when full. Raises [Invalid_argument] on a timeprint width
+    mismatch with the encoding. *)
+
+val total : t -> int
+(** Number of trace-cycles ever appended. *)
+
+val oldest : t -> int
+(** Smallest trace-cycle index still retrievable ([total - capacity]
+    clamped at 0). When empty, equals {!total}. *)
+
+val entry : t -> int -> Log_entry.t option
+(** [entry db i] is trace-cycle [i]'s entry, unless worn out or not yet
+    appended. *)
+
+val window : t -> from_cycle:int -> to_cycle:int -> (int * Log_entry.t) list
+(** Retrievable entries with indices in [from_cycle .. to_cycle]
+    (inclusive), oldest first. *)
+
+val entry_at_time : t -> clock_hz:float -> float -> (int * Log_entry.t) option
+(** [entry_at_time db ~clock_hz t] finds the trace-cycle covering
+    absolute time [t] seconds (trace-cycle 0 starting at time 0) — the
+    §5.2.1 retrieval step "the timeprint corresponding to the
+    trace-cycle which started at 2.253400 s". *)
+
+val bits_stored : t -> int
+(** Current storage footprint in bits:
+    [min total capacity × (b + ⌈log₂(m+1)⌉)]. *)

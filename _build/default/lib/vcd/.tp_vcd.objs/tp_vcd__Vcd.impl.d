@@ -1,0 +1,1 @@
+lib/vcd/vcd.ml: Array Buffer Fun Hashtbl List Printf Seq String Timeprint

@@ -1,0 +1,1 @@
+lib/vcd/vcd.mli: Timeprint

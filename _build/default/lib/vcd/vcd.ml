@@ -1,0 +1,263 @@
+type value = V0 | V1 | VX | VZ
+
+type var = { id : string; name : string; width : int }
+
+type t = {
+  timescale_fs : int;
+  vars : var list;
+  events : (string, (int * value) list) Hashtbl.t; (* id -> reversed events *)
+  end_time : int; (* largest #time marker in the dump *)
+}
+
+let timescale_fs w = w.timescale_fs
+let vars w = w.vars
+
+let find_var w name =
+  match List.find_opt (fun v -> v.name = name) w.vars with
+  | Some v -> Some v
+  | None -> (
+      (* fall back to the unqualified trailing component *)
+      let matches =
+        List.filter
+          (fun v ->
+            match String.rindex_opt v.name '.' with
+            | Some i -> String.sub v.name (i + 1) (String.length v.name - i - 1) = name
+            | None -> v.name = name)
+          w.vars
+      in
+      match matches with [ v ] -> Some v | _ -> None)
+
+let changes w ~id =
+  match Hashtbl.find_opt w.events id with
+  | Some evs -> List.rev evs
+  | None ->
+      if List.exists (fun v -> v.id = id) w.vars then []
+      else raise Not_found
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+let timescale_of_string s =
+  (* e.g. "1ns", "10 ps", "100us" *)
+  let s = String.concat "" (String.split_on_char ' ' (String.trim s)) in
+  let num = String.to_seq s |> Seq.take_while (fun c -> c >= '0' && c <= '9')
+            |> String.of_seq in
+  let unit_str = String.sub s (String.length num) (String.length s - String.length num) in
+  match (int_of_string_opt num, unit_str) with
+  | Some n, "fs" -> Ok n
+  | Some n, "ps" -> Ok (n * 1_000)
+  | Some n, "ns" -> Ok (n * 1_000_000)
+  | Some n, "us" -> Ok (n * 1_000_000_000)
+  | Some n, "ms" -> Ok (n * 1_000_000_000_000)
+  | Some n, "s" -> Ok (n * 1_000_000_000_000_000)
+  | _ -> Error ("bad timescale: " ^ s)
+
+let value_of_char = function
+  | '0' -> Some V0
+  | '1' -> Some V1
+  | 'x' | 'X' -> Some VX
+  | 'z' | 'Z' -> Some VZ
+  | _ -> None
+
+let parse text =
+  let tokens =
+    String.split_on_char '\n' text
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (( <> ) "")
+  in
+  let timescale = ref 1_000_000 (* default 1ns *) in
+  let vars = ref [] in
+  let events : (string, (int * value) list) Hashtbl.t = Hashtbl.create 16 in
+  let scope = ref [] in
+  let time = ref 0 in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  let record id v =
+    Hashtbl.replace events id
+      ((!time, v) :: (try Hashtbl.find events id with Not_found -> []))
+  in
+  let rec skip_to_end = function
+    | "$end" :: rest -> rest
+    | _ :: rest -> skip_to_end rest
+    | [] -> []
+  in
+  let rec go = function
+    | [] -> ()
+    | "$timescale" :: rest ->
+        let body, rest =
+          let rec take acc = function
+            | "$end" :: r -> (List.rev acc, r)
+            | x :: r -> take (x :: acc) r
+            | [] -> (List.rev acc, [])
+          in
+          take [] rest
+        in
+        (match timescale_of_string (String.concat "" body) with
+        | Ok n -> timescale := n
+        | Error e -> fail e);
+        go rest
+    | "$scope" :: _kind :: name :: "$end" :: rest ->
+        scope := name :: !scope;
+        go rest
+    | "$upscope" :: "$end" :: rest ->
+        (match !scope with [] -> () | _ :: up -> scope := up);
+        go rest
+    | "$var" :: _kind :: width :: id :: name :: rest ->
+        let rest = skip_to_end rest (* swallow optional [msb:lsb] and $end *) in
+        (match int_of_string_opt width with
+        | Some w ->
+            let qual =
+              String.concat "." (List.rev (name :: !scope))
+            in
+            vars := { id; name = qual; width = w } :: !vars
+        | None -> fail ("bad var width: " ^ width));
+        go rest
+    | ("$comment" | "$date" | "$version") :: rest ->
+        (* free-text body up to $end *)
+        go (skip_to_end rest)
+    | ("$dumpvars" | "$dumpall" | "$dumpoff" | "$dumpon") :: rest ->
+        (* these sections contain ordinary value changes; their closing
+           $end is handled by the generic $end case *)
+        go rest
+    | "$end" :: rest -> go rest
+    | "$enddefinitions" :: rest -> go (skip_to_end ("x" :: rest))
+    | tok :: rest when tok.[0] = '#' -> (
+        match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+        | Some t ->
+            time := max t !time;
+            go rest
+        | None ->
+            fail ("bad time: " ^ tok);
+            go rest)
+    | tok :: rest when tok.[0] = 'b' || tok.[0] = 'B' -> (
+        (* vector change: "b1010 id" *)
+        match rest with
+        | id :: rest' ->
+            let bits = String.sub tok 1 (String.length tok - 1) in
+            let lsb = if bits = "" then 'x' else bits.[String.length bits - 1] in
+            (match value_of_char lsb with
+            | Some v -> record id v
+            | None -> fail ("bad vector value: " ^ tok));
+            go rest'
+        | [] -> fail "truncated vector change")
+    | tok :: rest -> (
+        (* scalar change: value char immediately followed by the id *)
+        match value_of_char tok.[0] with
+        | Some v when String.length tok > 1 ->
+            record (String.sub tok 1 (String.length tok - 1)) v;
+            go rest
+        | _ ->
+            fail ("unrecognized token: " ^ tok);
+            go rest)
+  in
+  go tokens;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      Ok
+        {
+          timescale_fs = !timescale;
+          vars = List.rev !vars;
+          events;
+          end_time = !time;
+        }
+
+let parse_file path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* ------------------------------------------------------------------ *)
+(* Sampling                                                            *)
+
+let sample w ~name ~clock_period ?offset ~samples () =
+  let offset = match offset with Some o -> o | None -> clock_period in
+  match find_var w name with
+  | None -> Error ("no such variable: " ^ name)
+  | Some v ->
+      let evs = changes w ~id:v.id in
+      let out = Array.make samples false in
+      let rec go evs current i =
+        if i < samples then begin
+          let t = offset + (i * clock_period) in
+          (* advance through events with time <= t *)
+          let rec advance evs current =
+            match evs with
+            | (te, ve) :: rest when te <= t ->
+                advance rest (match ve with V1 -> true | V0 | VX | VZ -> false)
+            | _ -> (evs, current)
+          in
+          let evs, current = advance evs current in
+          out.(i) <- current;
+          go evs current (i + 1)
+        end
+      in
+      go evs false 0;
+      Ok out
+
+let to_signal w ~name ~clock_period ?offset ~m () =
+  let start = match offset with Some o -> o | None -> clock_period in
+  match find_var w name with
+  | None -> Error ("no such variable: " ^ name)
+  | Some v ->
+      let last = w.end_time in
+      ignore v;
+      let n_samples =
+        if last < start then 0 else ((last - start) / clock_period) + 1
+      in
+      let n_cycles = n_samples / m in
+      if n_cycles = 0 then Ok []
+      else begin
+        match sample w ~name ~clock_period ?offset ~samples:(n_cycles * m) () with
+        | Error e -> Error e
+        | Ok values ->
+            let prev = ref false in
+            Ok
+              (List.init n_cycles (fun j ->
+                   let chunk = Array.sub values (j * m) m in
+                   let s = Timeprint.Signal.of_values ~initial:!prev chunk in
+                   prev := chunk.(m - 1);
+                   s))
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+
+let header ?(timescale_ns = 1) () =
+  Printf.sprintf
+    "$date\n  timeprints\n$end\n$version\n  timeprints vcd writer\n$end\n$timescale %dns $end\n"
+    timescale_ns
+
+let of_values ?timescale_ns ~name ~clock_period values =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (header ?timescale_ns ());
+  Buffer.add_string buf
+    (Printf.sprintf "$scope module top $end\n$var wire 1 ! %s $end\n$upscope $end\n$enddefinitions $end\n"
+       name);
+  Buffer.add_string buf "#0\n";
+  let prev = ref None in
+  Array.iteri
+    (fun i v ->
+      if !prev <> Some v then begin
+        let t = (i + 1) * clock_period in
+        Buffer.add_string buf (Printf.sprintf "#%d\n%c!\n" t (if v then '1' else '0'));
+        prev := Some v
+      end)
+    values;
+  (* closing time marker so readers know the dump's extent *)
+  Buffer.add_string buf (Printf.sprintf "#%d\n" (Array.length values * clock_period));
+  Buffer.contents buf
+
+let of_signal ?timescale_ns ~name ~clock_period ~initial s =
+  let m = Timeprint.Signal.length s in
+  let values = Array.make m false in
+  let cur = ref initial in
+  for i = 0 to m - 1 do
+    if Timeprint.Signal.change_at s i then cur := not !cur;
+    values.(i) <- !cur
+  done;
+  of_values ?timescale_ns ~name ~clock_period values

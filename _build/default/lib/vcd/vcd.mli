@@ -1,0 +1,66 @@
+(** Value Change Dump (IEEE 1364) reader/writer.
+
+    The practical on-ramp for the library: RTL simulators (Questa,
+    Verilator, GHDL, Icarus) dump VCD, so a user can take an existing
+    waveform, sample the signal they care about at its clock, and feed
+    the samples straight into {!Timeprint.Logger} — or dump a
+    reconstructed change signal back out for viewing in GTKWave.
+
+    Supported subset: [$timescale], [$scope]/[$upscope], [$var] for
+    scalar wires and vectors, [$dumpvars], scalar value changes
+    ([0!]/[1!]/[x!]/[z!]) and vector changes ([b1010 !]). [x]/[z]
+    sample as [false]. *)
+
+type value = V0 | V1 | VX | VZ
+
+type var = {
+  id : string;  (** the short identifier code used in the value section *)
+  name : string;  (** hierarchical name, [scope.subscope.name] *)
+  width : int;
+}
+
+type t
+
+val timescale_fs : t -> int
+(** Timescale unit in femtoseconds (e.g. [1ns] → 1_000_000). *)
+
+val vars : t -> var list
+
+val find_var : t -> string -> var option
+(** Lookup by hierarchical name, or by plain name when unambiguous. *)
+
+val changes : t -> id:string -> (int * value) list
+(** Scalar change events [(time, value)] of a variable, in time order,
+    times in timescale units. For vector variables, the value of bit 0.
+    Raises [Not_found] for an unknown id. *)
+
+val parse : string -> (t, string) result
+val parse_file : string -> (t, string) result
+
+val sample :
+  t -> name:string -> clock_period:int -> ?offset:int -> samples:int ->
+  unit -> (bool array, string) result
+(** [sample w ~name ~clock_period ~samples] reads the variable's value
+    at times [offset + i·clock_period] for [i = 0 .. samples-1] —
+    exactly what a clocked change-detector sees. [offset] defaults to
+    [clock_period] (first sample at the end of cycle 0). *)
+
+val to_signal :
+  t -> name:string -> clock_period:int -> ?offset:int -> m:int ->
+  unit -> (Timeprint.Signal.t list, string) result
+(** Sample the waveform and split it into consecutive trace-cycle
+    change signals (initial value taken from the waveform itself). *)
+
+val of_values :
+  ?timescale_ns:int -> name:string -> clock_period:int -> bool array -> string
+(** Render a sampled waveform as VCD text (one scalar wire). *)
+
+val of_signal :
+  ?timescale_ns:int ->
+  name:string ->
+  clock_period:int ->
+  initial:bool ->
+  Timeprint.Signal.t ->
+  string
+(** Render a reconstructed change signal as the value waveform it
+    implies, for viewing next to the original dump. *)

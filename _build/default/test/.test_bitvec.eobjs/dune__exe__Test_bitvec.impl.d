@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Array Bitvec F2_matrix Format List QCheck QCheck_alcotest Tp_bitvec

@@ -1,0 +1,1 @@
+test/test_canbus.ml: Alcotest Array Bus Crc15 Encoding Forensics Format Frame List Log_entry Logger Message Msglog Printf QCheck QCheck_alcotest Reconstruct Scheduler String Timeprint Tp_canbus

@@ -1,0 +1,1 @@
+test/test_rv.ml: Alcotest Encoding Format List Logger Monitor Property QCheck QCheck_alcotest Reconstruct Signal String Timeprint Tp_bitvec Tp_rv

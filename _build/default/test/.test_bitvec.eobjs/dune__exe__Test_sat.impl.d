@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Allsat Array Cardinality Cnf Dimacs Drat Format Fun List Lit Printf QCheck QCheck_alcotest Solver String Tp_sat Tseitin

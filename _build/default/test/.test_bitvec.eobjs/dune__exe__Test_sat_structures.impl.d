@@ -1,0 +1,1 @@
+test/test_sat_structures.ml: Alcotest Array Float Fun Heap List QCheck QCheck_alcotest Tp_sat Vec

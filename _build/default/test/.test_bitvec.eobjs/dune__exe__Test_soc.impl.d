@@ -1,0 +1,1 @@
+test/test_soc.ml: Agglog Ahb Alcotest Array Cpu Encoding Hashtbl Isa List Log_entry Logger Option Printf Property Random Reconstruct Signal Soc_system Sram Temperature Timeprint Tp_bitvec Tp_soc Uart

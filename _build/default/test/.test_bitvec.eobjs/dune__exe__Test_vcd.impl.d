@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Array Encoding List Logger Printf Property Reconstruct Signal Timeprint Tp_vcd

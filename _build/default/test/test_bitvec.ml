@@ -1,0 +1,322 @@
+(* Unit and property tests for the F2 bitvector and matrix substrate. *)
+
+open Tp_bitvec
+
+let bv = Alcotest.testable Bitvec.pp Bitvec.equal
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec units                                                        *)
+
+let test_create_zero () =
+  let v = Bitvec.create 100 in
+  Alcotest.(check bool) "zero" true (Bitvec.is_zero v);
+  Alcotest.(check int) "width" 100 (Bitvec.width v);
+  Alcotest.(check int) "popcount" 0 (Bitvec.popcount v)
+
+let test_set_get () =
+  let v = Bitvec.create 70 in
+  Bitvec.set v 0 true;
+  Bitvec.set v 63 true;
+  Bitvec.set v 69 true;
+  Alcotest.(check bool) "bit 0" true (Bitvec.get v 0);
+  Alcotest.(check bool) "bit 1" false (Bitvec.get v 1);
+  Alcotest.(check bool) "bit 63" true (Bitvec.get v 63);
+  Alcotest.(check bool) "bit 69" true (Bitvec.get v 69);
+  Alcotest.(check int) "popcount" 3 (Bitvec.popcount v);
+  Bitvec.set v 63 false;
+  Alcotest.(check bool) "bit 63 cleared" false (Bitvec.get v 63);
+  Alcotest.(check int) "popcount after clear" 2 (Bitvec.popcount v)
+
+let test_bounds () =
+  let v = Bitvec.create 8 in
+  Alcotest.check_raises "get -1" (Invalid_argument "Bitvec: index out of range")
+    (fun () -> ignore (Bitvec.get v (-1)));
+  Alcotest.check_raises "get 8" (Invalid_argument "Bitvec: index out of range")
+    (fun () -> ignore (Bitvec.get v 8));
+  Alcotest.check_raises "width 0" (Invalid_argument "Bitvec.create: width must be positive")
+    (fun () -> ignore (Bitvec.create 0))
+
+let test_of_to_string () =
+  let s = "00010100" in
+  let v = Bitvec.of_string s in
+  Alcotest.(check string) "round trip" s (Bitvec.to_string v);
+  (* MSB-first: bit 2 and bit 4 are set in 00010100 *)
+  Alcotest.(check bool) "bit 2" true (Bitvec.get v 2);
+  Alcotest.(check bool) "bit 4" true (Bitvec.get v 4);
+  Alcotest.(check int) "popcount" 2 (Bitvec.popcount v)
+
+let test_of_int () =
+  let v = Bitvec.of_int ~width:8 0x14 in
+  Alcotest.check bv "0x14 = 00010100" (Bitvec.of_string "00010100") v;
+  Alcotest.(check int) "to_int" 0x14 (Bitvec.to_int v);
+  (* truncation beyond the width *)
+  let w = Bitvec.of_int ~width:4 0xff in
+  Alcotest.(check int) "truncated" 0xf (Bitvec.to_int w)
+
+let test_xor () =
+  let a = Bitvec.of_string "1100" and b = Bitvec.of_string "1010" in
+  Alcotest.check bv "xor" (Bitvec.of_string "0110") (Bitvec.logxor a b);
+  let c = Bitvec.copy a in
+  Bitvec.xor_in_place c b;
+  Alcotest.check bv "xor in place" (Bitvec.of_string "0110") c;
+  Alcotest.check bv "self-inverse" (Bitvec.create 4) (Bitvec.logxor a a)
+
+let test_succ () =
+  let v = Bitvec.of_int ~width:8 255 in
+  Alcotest.check bv "wrap" (Bitvec.create 8) (Bitvec.succ v);
+  let w = Bitvec.of_int ~width:8 41 in
+  Alcotest.(check int) "succ 41" 42 (Bitvec.to_int (Bitvec.succ w));
+  (* carry across a word boundary *)
+  let big = Bitvec.create 70 in
+  for i = 0 to 63 do
+    Bitvec.set big i true
+  done;
+  let next = Bitvec.succ big in
+  Alcotest.(check bool) "bit 64 after carry" true (Bitvec.get next 64);
+  Alcotest.(check int) "only bit 64" 1 (Bitvec.popcount next)
+
+let test_indices () =
+  let v = Bitvec.of_indices ~width:16 [ 3; 4; 9; 10 ] in
+  Alcotest.(check (list int)) "indices" [ 3; 4; 9; 10 ] (Bitvec.indices v);
+  Alcotest.(check int) "popcount" 4 (Bitvec.popcount v)
+
+let test_append_extract () =
+  let lo = Bitvec.of_string "101" and hi = Bitvec.of_string "01" in
+  let v = Bitvec.append lo hi in
+  Alcotest.(check int) "width" 5 (Bitvec.width v);
+  Alcotest.check bv "low part" lo (Bitvec.extract v ~pos:0 ~len:3);
+  Alcotest.check bv "high part" hi (Bitvec.extract v ~pos:3 ~len:2)
+
+let test_compare_order () =
+  let a = Bitvec.of_int ~width:8 3 and b = Bitvec.of_int ~width:8 5 in
+  Alcotest.(check bool) "3 < 5" true (Bitvec.compare a b < 0);
+  Alcotest.(check bool) "5 > 3" true (Bitvec.compare b a > 0);
+  Alcotest.(check int) "equal" 0 (Bitvec.compare a (Bitvec.copy a));
+  (* numeric order across word boundaries *)
+  let x = Bitvec.of_indices ~width:70 [ 65 ] and y = Bitvec.of_indices ~width:70 [ 5 ] in
+  Alcotest.(check bool) "high bit dominates" true (Bitvec.compare x y > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec properties                                                   *)
+
+let gen_bitvec =
+  QCheck.Gen.(
+    int_range 1 150 >>= fun w ->
+    list_size (int_bound (w - 1) >|= fun n -> n + 1) (int_bound (w - 1)) >|= fun idx ->
+    Bitvec.of_indices ~width:w idx)
+
+let arb_bitvec = QCheck.make ~print:Bitvec.to_string gen_bitvec
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"of_string (to_string v) = v" ~count:500 arb_bitvec
+    (fun v -> Bitvec.equal (Bitvec.of_string (Bitvec.to_string v)) v)
+
+let prop_xor_assoc_comm =
+  QCheck.Test.make ~name:"xor is commutative and self-inverse" ~count:500
+    QCheck.(pair arb_bitvec arb_bitvec)
+    (fun (a, b) ->
+      let b = Bitvec.of_indices ~width:(Bitvec.width a) (List.filter (fun i -> i < Bitvec.width a) (Bitvec.indices b)) in
+      Bitvec.equal (Bitvec.logxor a b) (Bitvec.logxor b a)
+      && Bitvec.equal (Bitvec.logxor (Bitvec.logxor a b) b) a)
+
+let prop_popcount_indices =
+  QCheck.Test.make ~name:"popcount = |indices|" ~count:500 arb_bitvec (fun v ->
+      Bitvec.popcount v = List.length (Bitvec.indices v))
+
+let prop_succ_is_increment =
+  QCheck.Test.make ~name:"succ matches integer increment (width <= 30)" ~count:500
+    QCheck.(pair (int_range 1 30) (int_bound 1000000))
+    (fun (w, n) ->
+      let n = n mod (1 lsl w) in
+      let v = Bitvec.of_int ~width:w n in
+      Bitvec.to_int (Bitvec.succ v) = (n + 1) mod (1 lsl w))
+
+(* ------------------------------------------------------------------ *)
+(* F2_matrix units                                                     *)
+
+let test_mul_vec () =
+  (* A = [1 0 1; 0 1 1], x = (1,1,0) -> Ax = (1,1) *)
+  let m = F2_matrix.make ~rows:2 ~cols:3 in
+  F2_matrix.set m 0 0 true;
+  F2_matrix.set m 0 2 true;
+  F2_matrix.set m 1 1 true;
+  F2_matrix.set m 1 2 true;
+  let x = Bitvec.of_indices ~width:3 [ 0; 1 ] in
+  let r = F2_matrix.mul_vec m x in
+  Alcotest.(check bool) "r0" true (Bitvec.get r 0);
+  Alcotest.(check bool) "r1" true (Bitvec.get r 1)
+
+let test_rank () =
+  let rows = [| Bitvec.of_string "110"; Bitvec.of_string "011"; Bitvec.of_string "101" |] in
+  (* third row = sum of first two *)
+  Alcotest.(check int) "rank 2" 2 (F2_matrix.rank (F2_matrix.of_rows rows));
+  let id = [| Bitvec.of_string "100"; Bitvec.of_string "010"; Bitvec.of_string "001" |] in
+  Alcotest.(check int) "rank 3" 3 (F2_matrix.rank (F2_matrix.of_rows id))
+
+let test_solve_consistent () =
+  let m = F2_matrix.of_rows [| Bitvec.of_string "110"; Bitvec.of_string "011" |] in
+  let b = Bitvec.of_string "10" in
+  (* careful: row 0 printed MSB-first is "110" = bits {1,2} *)
+  match F2_matrix.solve m b with
+  | None -> Alcotest.fail "expected a solution"
+  | Some x ->
+      Alcotest.check bv "Ax = b" b (F2_matrix.mul_vec m x)
+
+let test_solve_inconsistent () =
+  (* rows: x0 = 0 and x0 = 1 *)
+  let m = F2_matrix.of_rows [| Bitvec.of_string "001"; Bitvec.of_string "001" |] in
+  let b = Bitvec.of_string "01" in
+  Alcotest.(check bool) "inconsistent" true (F2_matrix.solve m b = None)
+
+let test_nullspace () =
+  let m = F2_matrix.of_rows [| Bitvec.of_string "110"; Bitvec.of_string "011" |] in
+  let ns = F2_matrix.nullspace m in
+  Alcotest.(check int) "dimension" 1 (List.length ns);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "in kernel" true (Bitvec.is_zero (F2_matrix.mul_vec m v)))
+    ns
+
+let test_solve_all () =
+  let m = F2_matrix.of_rows [| Bitvec.of_string "110"; Bitvec.of_string "011" |] in
+  let b = Bitvec.of_string "10" in
+  let sols = F2_matrix.solve_all m b in
+  Alcotest.(check int) "2^(3-2) solutions" 2 (List.length sols);
+  List.iter (fun x -> Alcotest.check bv "valid" b (F2_matrix.mul_vec m x)) sols
+
+let test_of_columns () =
+  let cols = [| Bitvec.of_string "01"; Bitvec.of_string "10"; Bitvec.of_string "11" |] in
+  let m = F2_matrix.of_columns ~rows:2 cols in
+  Alcotest.(check int) "rows" 2 (F2_matrix.rows m);
+  Alcotest.(check int) "cols" 3 (F2_matrix.cols m);
+  for j = 0 to 2 do
+    Alcotest.check bv "column round trip" cols.(j) (F2_matrix.column m j)
+  done
+
+let test_transpose () =
+  let m = F2_matrix.of_rows [| Bitvec.of_string "110"; Bitvec.of_string "011" |] in
+  let t = F2_matrix.transpose m in
+  Alcotest.(check int) "rows" 3 (F2_matrix.rows t);
+  for i = 0 to 1 do
+    for j = 0 to 2 do
+      Alcotest.(check bool) "entry" (F2_matrix.get m i j) (F2_matrix.get t j i)
+    done
+  done
+
+let test_independent () =
+  Alcotest.(check bool) "empty independent" true (F2_matrix.independent []);
+  Alcotest.(check bool) "basis" true
+    (F2_matrix.independent [ Bitvec.of_string "10"; Bitvec.of_string "01" ]);
+  Alcotest.(check bool) "dependent" false
+    (F2_matrix.independent
+       [ Bitvec.of_string "10"; Bitvec.of_string "01"; Bitvec.of_string "11" ])
+
+(* ------------------------------------------------------------------ *)
+(* F2_matrix properties                                                *)
+
+let gen_matrix =
+  QCheck.Gen.(
+    int_range 1 8 >>= fun r ->
+    int_range 1 10 >>= fun c ->
+    array_size (return r) (int_bound ((1 lsl c) - 1)) >|= fun rows ->
+    F2_matrix.of_rows (Array.map (fun n -> Bitvec.of_int ~width:c n) rows))
+
+let arb_matrix =
+  QCheck.make
+    ~print:(fun m -> Format.asprintf "%a" F2_matrix.pp m)
+    gen_matrix
+
+let prop_solve_sound =
+  QCheck.Test.make ~name:"solve returns a genuine solution" ~count:300
+    QCheck.(pair arb_matrix (int_bound 255))
+    (fun (m, seed) ->
+      let b = Bitvec.of_int ~width:(F2_matrix.rows m) (seed land ((1 lsl F2_matrix.rows m) - 1)) in
+      match F2_matrix.solve m b with
+      | None ->
+          (* verify by brute force that no solution exists *)
+          let c = F2_matrix.cols m in
+          c > 16
+          ||
+          let found = ref false in
+          for x = 0 to (1 lsl c) - 1 do
+            if Bitvec.equal (F2_matrix.mul_vec m (Bitvec.of_int ~width:c x)) b then
+              found := true
+          done;
+          not !found
+      | Some x -> Bitvec.equal (F2_matrix.mul_vec m x) b)
+
+let prop_nullspace_dim =
+  QCheck.Test.make ~name:"dim(nullspace) = cols - rank" ~count:300 arb_matrix
+    (fun m ->
+      List.length (F2_matrix.nullspace m) = F2_matrix.cols m - F2_matrix.rank m)
+
+let prop_nullspace_members =
+  QCheck.Test.make ~name:"nullspace basis maps to zero and is independent" ~count:300
+    arb_matrix (fun m ->
+      let ns = F2_matrix.nullspace m in
+      List.for_all (fun v -> Bitvec.is_zero (F2_matrix.mul_vec m v)) ns
+      && F2_matrix.independent ns)
+
+let prop_solve_all_exact =
+  QCheck.Test.make ~name:"solve_all = brute-force solution set" ~count:100
+    QCheck.(pair arb_matrix (int_bound 255))
+    (fun (m, seed) ->
+      let c = F2_matrix.cols m in
+      QCheck.assume (c <= 10);
+      let b = Bitvec.of_int ~width:(F2_matrix.rows m) (seed land ((1 lsl F2_matrix.rows m) - 1)) in
+      let brute = ref [] in
+      for x = (1 lsl c) - 1 downto 0 do
+        let v = Bitvec.of_int ~width:c x in
+        if Bitvec.equal (F2_matrix.mul_vec m v) b then brute := v :: !brute
+      done;
+      let mine = List.sort Bitvec.compare (F2_matrix.solve_all m b) in
+      let theirs = List.sort Bitvec.compare !brute in
+      List.length mine = List.length theirs
+      && List.for_all2 Bitvec.equal mine theirs)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "bitvec"
+    [
+      ( "bitvec-unit",
+        [
+          Alcotest.test_case "create is zero" `Quick test_create_zero;
+          Alcotest.test_case "set/get across words" `Quick test_set_get;
+          Alcotest.test_case "bounds checking" `Quick test_bounds;
+          Alcotest.test_case "string round trip" `Quick test_of_to_string;
+          Alcotest.test_case "of_int/to_int" `Quick test_of_int;
+          Alcotest.test_case "xor" `Quick test_xor;
+          Alcotest.test_case "succ with carry" `Quick test_succ;
+          Alcotest.test_case "indices" `Quick test_indices;
+          Alcotest.test_case "append/extract" `Quick test_append_extract;
+          Alcotest.test_case "compare is numeric" `Quick test_compare_order;
+        ] );
+      ( "bitvec-prop",
+        qt
+          [
+            prop_string_roundtrip;
+            prop_xor_assoc_comm;
+            prop_popcount_indices;
+            prop_succ_is_increment;
+          ] );
+      ( "f2-matrix-unit",
+        [
+          Alcotest.test_case "mul_vec" `Quick test_mul_vec;
+          Alcotest.test_case "rank" `Quick test_rank;
+          Alcotest.test_case "solve consistent" `Quick test_solve_consistent;
+          Alcotest.test_case "solve inconsistent" `Quick test_solve_inconsistent;
+          Alcotest.test_case "nullspace" `Quick test_nullspace;
+          Alcotest.test_case "solve_all" `Quick test_solve_all;
+          Alcotest.test_case "of_columns" `Quick test_of_columns;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "independent" `Quick test_independent;
+        ] );
+      ( "f2-matrix-prop",
+        qt
+          [
+            prop_solve_sound;
+            prop_nullspace_dim;
+            prop_nullspace_members;
+            prop_solve_all_exact;
+          ] );
+    ]

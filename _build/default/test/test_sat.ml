@@ -1,0 +1,534 @@
+(* Tests for the CDCL solver substrate: units on crafted instances,
+   brute-force cross-checks on random CNF/XOR/cardinality problems. *)
+
+open Tp_sat
+
+let l p v = Lit.make v p
+let pos = Lit.pos
+let neg = Lit.neg_of
+
+(* Brute force model count of a Cnf problem. *)
+let brute_models p =
+  let n = Cnf.nvars p in
+  assert (n <= 20);
+  let out = ref [] in
+  for mask = 0 to (1 lsl n) - 1 do
+    let a = Array.init n (fun i -> (mask lsr i) land 1 = 1) in
+    if Cnf.eval p a then out := a :: !out
+  done;
+  List.rev !out
+
+let check_result = Alcotest.testable (fun ppf (r : Solver.result) ->
+    Format.pp_print_string ppf
+      (match r with Sat -> "SAT" | Unsat -> "UNSAT" | Unknown -> "UNKNOWN"))
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Units                                                               *)
+
+let test_trivial_sat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ pos v ];
+  Alcotest.check check_result "sat" Sat (Solver.solve s);
+  Alcotest.(check bool) "model" true (Solver.value s v)
+
+let test_trivial_unsat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ pos v ];
+  Solver.add_clause s [ neg v ];
+  Alcotest.check check_result "unsat" Unsat (Solver.solve s);
+  Alcotest.(check bool) "ok false" false (Solver.ok s)
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  Solver.add_clause s [];
+  Alcotest.check check_result "unsat" Unsat (Solver.solve s)
+
+let test_unit_propagation_chain () =
+  (* x0 ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2) ∧ … forces all true *)
+  let s = Solver.create () in
+  let n = 50 in
+  let vs = Array.init n (fun _ -> Solver.new_var s) in
+  Solver.add_clause s [ pos vs.(0) ];
+  for i = 0 to n - 2 do
+    Solver.add_clause s [ neg vs.(i); pos vs.(i + 1) ]
+  done;
+  Alcotest.check check_result "sat" Sat (Solver.solve s);
+  Array.iter (fun v -> Alcotest.(check bool) "forced" true (Solver.value s v)) vs
+
+let test_tautology_ignored () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ pos v; neg v ];
+  Alcotest.check check_result "sat" Sat (Solver.solve s)
+
+let pigeonhole pigeons holes =
+  (* var p*holes + h: pigeon p in hole h *)
+  let s = Solver.create () in
+  ignore (Solver.new_vars s (pigeons * holes));
+  let v p h = (p * holes) + h in
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (List.init holes (fun h -> pos (v p h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Solver.add_clause s [ neg (v p1 h); neg (v p2 h) ]
+      done
+    done
+  done;
+  s
+
+let test_pigeonhole_unsat () =
+  Alcotest.check check_result "php(5,4)" Unsat (Solver.solve (pigeonhole 5 4));
+  Alcotest.check check_result "php(6,5)" Unsat (Solver.solve (pigeonhole 6 5))
+
+let test_pigeonhole_sat () =
+  Alcotest.check check_result "php(4,4)" Sat (Solver.solve (pigeonhole 4 4))
+
+let test_xor_chain_sat () =
+  (* x0⊕x1=1, x1⊕x2=1, x0⊕x2=0 is consistent *)
+  let s = Solver.create () in
+  let x = Solver.new_vars s 3 in
+  Solver.add_xor s ~vars:[ x; x + 1 ] ~parity:true;
+  Solver.add_xor s ~vars:[ x + 1; x + 2 ] ~parity:true;
+  Solver.add_xor s ~vars:[ x; x + 2 ] ~parity:false;
+  Alcotest.check check_result "sat" Sat (Solver.solve s);
+  let m = Solver.model s in
+  Alcotest.(check bool) "x0 <> x1" true (m.(x) <> m.(x + 1));
+  Alcotest.(check bool) "x1 <> x2" true (m.(x + 1) <> m.(x + 2));
+  Alcotest.(check bool) "x0 = x2" true (m.(x) = m.(x + 2))
+
+let test_xor_chain_unsat () =
+  let s = Solver.create () in
+  let x = Solver.new_vars s 3 in
+  Solver.add_xor s ~vars:[ x; x + 1 ] ~parity:true;
+  Solver.add_xor s ~vars:[ x + 1; x + 2 ] ~parity:true;
+  Solver.add_xor s ~vars:[ x; x + 2 ] ~parity:true;
+  Alcotest.check check_result "odd cycle" Unsat (Solver.solve s)
+
+let test_xor_with_cnf () =
+  (* x0⊕x1⊕x2 = 1, plus clauses forcing x0=1, x1=1 => x2 = 1 *)
+  let s = Solver.create () in
+  let x = Solver.new_vars s 3 in
+  Solver.add_xor s ~vars:[ x; x + 1; x + 2 ] ~parity:true;
+  Solver.add_clause s [ pos x ];
+  Solver.add_clause s [ pos (x + 1) ];
+  Alcotest.check check_result "sat" Sat (Solver.solve s);
+  Alcotest.(check bool) "x2 forced" true (Solver.value s (x + 2))
+
+let test_xor_duplicate_vars_cancel () =
+  (* v ⊕ v = 0, so the constraint [v; v] with parity=1 is unsat *)
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_xor s ~vars:[ v; v ] ~parity:true;
+  Alcotest.check check_result "unsat" Unsat (Solver.solve s);
+  let s2 = Solver.create () in
+  let v2 = Solver.new_var s2 in
+  Solver.add_xor s2 ~vars:[ v2; v2 ] ~parity:false;
+  Alcotest.check check_result "sat" Sat (Solver.solve s2)
+
+let test_incremental_blocking () =
+  (* 2 free vars: 4 models, block them one by one *)
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ pos a; pos b; neg a; neg b ];
+  (* tautology: no constraint *)
+  let seen = ref 0 in
+  let rec go () =
+    match Solver.solve s with
+    | Sat ->
+        incr seen;
+        let ma = Solver.value s a and mb = Solver.value s b in
+        Solver.add_clause s [ l (not ma) a; l (not mb) b ];
+        go ()
+    | Unsat -> ()
+    | Unknown -> Alcotest.fail "unexpected unknown"
+  in
+  go ();
+  Alcotest.(check int) "4 models" 4 !seen
+
+let test_conflict_budget () =
+  (* A hard instance with a tiny budget must answer Unknown *)
+  let s = pigeonhole 8 7 in
+  match Solver.solve ~conflict_budget:5 s with
+  | Unknown -> ()
+  | Sat -> Alcotest.fail "php(8,7) cannot be SAT"
+  | Unsat -> () (* solved within budget: fine, but unlikely *)
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality                                                         *)
+
+let binom n k =
+  let num = ref 1 and den = ref 1 in
+  for i = 0 to k - 1 do
+    num := !num * (n - i);
+    den := !den * (i + 1)
+  done;
+  !num / !den
+
+let count_models_cnf p ~project =
+  let s = Solver.of_cnf p in
+  Allsat.count s ~project
+
+let test_exactly_model_count () =
+  List.iter
+    (fun (n, k) ->
+      let p = Cnf.create () in
+      let vars = List.init n (fun _ -> Cnf.new_var p) in
+      Cardinality.exactly p (List.map pos vars) k;
+      let count = count_models_cnf p ~project:vars in
+      Alcotest.(check int)
+        (Printf.sprintf "C(%d,%d) models" n k)
+        (binom n k) count)
+    [ (5, 0); (5, 2); (6, 3); (7, 1); (7, 7); (8, 4) ]
+
+let test_at_most_model_count () =
+  let p = Cnf.create () in
+  let n = 6 and k = 2 in
+  let vars = List.init n (fun _ -> Cnf.new_var p) in
+  Cardinality.at_most p (List.map pos vars) k;
+  let expect = binom n 0 + binom n 1 + binom n 2 in
+  Alcotest.(check int) "at most 2 of 6" expect (count_models_cnf p ~project:vars)
+
+let test_at_least_model_count () =
+  let p = Cnf.create () in
+  let n = 6 and k = 4 in
+  let vars = List.init n (fun _ -> Cnf.new_var p) in
+  Cardinality.at_least p (List.map pos vars) k;
+  let expect = binom n 4 + binom n 5 + binom n 6 in
+  Alcotest.(check int) "at least 4 of 6" expect (count_models_cnf p ~project:vars)
+
+let test_cardinality_infeasible () =
+  let p = Cnf.create () in
+  let vars = List.init 3 (fun _ -> Cnf.new_var p) in
+  Cardinality.exactly p (List.map pos vars) 5;
+  Alcotest.check check_result "k > n" Unsat (Solver.solve (Solver.of_cnf p))
+
+let test_sinz_equals_pairwise () =
+  (* both encodings accept exactly the same projected models *)
+  List.iter
+    (fun (n, k) ->
+      let run enc =
+        let p = Cnf.create () in
+        let vars = List.init n (fun _ -> Cnf.new_var p) in
+        enc p (List.map pos vars) k;
+        let s = Solver.of_cnf p in
+        let { Allsat.models; complete } = Allsat.enumerate s ~project:vars in
+        assert complete;
+        List.sort compare (List.map Array.to_list models)
+      in
+      Alcotest.(check (list (list bool)))
+        (Printf.sprintf "n=%d k=%d" n k)
+        (run Cardinality.exactly_pairwise)
+        (run Cardinality.exactly))
+    [ (4, 2); (5, 3); (6, 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* AllSAT                                                              *)
+
+let test_allsat_exhaustive_vs_brute () =
+  let p = Cnf.create () in
+  let a = Cnf.new_var p and b = Cnf.new_var p and c = Cnf.new_var p in
+  Cnf.add_clause p [ pos a; pos b ];
+  Cnf.add_clause p [ neg b; pos c ];
+  Cnf.add_xor p ~vars:[ a; c ] ~parity:false;
+  let brute = brute_models p in
+  let s = Solver.of_cnf p in
+  let { Allsat.models; complete } = Allsat.enumerate s ~project:[ a; b; c ] in
+  Alcotest.(check bool) "complete" true complete;
+  Alcotest.(check int) "same count" (List.length brute) (List.length models);
+  let norm ms = List.sort compare (List.map Array.to_list ms) in
+  Alcotest.(check (list (list bool))) "same set" (norm brute) (norm models)
+
+let test_allsat_max_models () =
+  let p = Cnf.create () in
+  let vars = List.init 5 (fun _ -> Cnf.new_var p) in
+  let s = Solver.of_cnf p in
+  let { Allsat.models; complete } = Allsat.enumerate ~max_models:7 s ~project:vars in
+  Alcotest.(check int) "capped" 7 (List.length models);
+  Alcotest.(check bool) "incomplete" false complete
+
+(* ------------------------------------------------------------------ *)
+(* Dimacs                                                              *)
+
+let test_dimacs_roundtrip () =
+  let p = Cnf.create () in
+  let a = Cnf.new_var p and b = Cnf.new_var p and c = Cnf.new_var p in
+  Cnf.add_clause p [ pos a; neg b ];
+  Cnf.add_clause p [ pos c ];
+  Cnf.add_xor p ~vars:[ a; b; c ] ~parity:true;
+  Cnf.add_xor p ~vars:[ a; c ] ~parity:false;
+  let text = Dimacs.to_string p in
+  let q = Dimacs.parse_string text in
+  Alcotest.(check int) "nvars" (Cnf.nvars p) (Cnf.nvars q);
+  Alcotest.(check int) "nclauses" (Cnf.nclauses p) (Cnf.nclauses q);
+  Alcotest.(check int) "nxors" (Cnf.nxors p) (Cnf.nxors q);
+  (* same models *)
+  let norm prob = List.sort compare (List.map Array.to_list (brute_models prob)) in
+  Alcotest.(check (list (list bool))) "same models" (norm p) (norm q)
+
+let test_dimacs_parse_errors () =
+  Alcotest.check_raises "unterminated"
+    (Failure "Dimacs: line 1: clause not terminated by 0") (fun () ->
+      ignore (Dimacs.parse_string "1 2 3"));
+  Alcotest.check_raises "bad literal"
+    (Failure "Dimacs: line 2: bad literal foo") (fun () ->
+      ignore (Dimacs.parse_string "p cnf 2 1\n1 foo 0"))
+
+(* ------------------------------------------------------------------ *)
+(* Tseitin                                                             *)
+
+let test_tseitin_basic () =
+  let open Tseitin in
+  let p = Cnf.create () in
+  let a = Cnf.new_var p and b = Cnf.new_var p in
+  assert_formula p (var a &&& not_ (var b));
+  let s = Solver.of_cnf p in
+  Alcotest.check check_result "sat" Sat (Solver.solve s);
+  Alcotest.(check bool) "a" true (Solver.value s a);
+  Alcotest.(check bool) "b" false (Solver.value s b)
+
+let test_tseitin_projected_models () =
+  (* (a ∨ b) ∧ (a → c) should have models matching direct evaluation *)
+  let open Tseitin in
+  let p = Cnf.create () in
+  let a = Cnf.new_var p and b = Cnf.new_var p and c = Cnf.new_var p in
+  let f = And [ Or [ var a; var b ]; Imp (var a, var c) ] in
+  assert_formula p f;
+  let s = Solver.of_cnf p in
+  let { Allsat.models; complete } = Allsat.enumerate s ~project:[ a; b; c ] in
+  Alcotest.(check bool) "complete" true complete;
+  let expected = ref 0 in
+  for mask = 0 to 7 do
+    let env v = if v = a then mask land 1 = 1 else if v = b then mask land 2 = 2 else mask land 4 = 4 in
+    if eval env f then incr expected
+  done;
+  Alcotest.(check int) "model count" !expected (List.length models)
+
+(* ------------------------------------------------------------------ *)
+(* Random cross-checks                                                 *)
+
+let gen_problem =
+  QCheck.Gen.(
+    int_range 3 9 >>= fun nv ->
+    int_range 1 25 >>= fun ncl ->
+    int_range 0 4 >>= fun nx ->
+    let gen_lit = map2 (fun v s -> l s v) (int_bound (nv - 1)) bool in
+    let gen_clause = list_size (int_range 1 4) gen_lit in
+    let gen_xor =
+      pair (list_size (int_range 1 4) (int_bound (nv - 1))) bool
+    in
+    triple (return nv) (list_repeat ncl gen_clause) (list_repeat nx gen_xor))
+
+let problem_of (nv, cls, xors) =
+  let p = Cnf.create () in
+  Cnf.ensure_vars p nv;
+  List.iter (Cnf.add_clause p) cls;
+  List.iter (fun (vars, parity) -> Cnf.add_xor p ~vars ~parity) xors;
+  p
+
+let print_problem (nv, cls, xors) =
+  Printf.sprintf "nv=%d cls=%s xors=%s" nv
+    (String.concat ","
+       (List.map
+          (fun c -> "[" ^ String.concat " " (List.map (fun li -> string_of_int (Lit.to_dimacs li)) c) ^ "]")
+          cls))
+    (String.concat ","
+       (List.map
+          (fun (vs, par) ->
+            "x[" ^ String.concat " " (List.map string_of_int vs) ^ "]=" ^ string_of_bool par)
+          xors))
+
+let prop_solver_vs_brute =
+  QCheck.Test.make ~name:"solver agrees with brute force" ~count:400
+    (QCheck.make ~print:print_problem gen_problem) (fun spec ->
+      let p = problem_of spec in
+      let expected = brute_models p <> [] in
+      let s = Solver.of_cnf p in
+      match Solver.solve s with
+      | Sat ->
+          expected
+          &&
+          (* the model must actually satisfy the problem *)
+          let m = Solver.model s in
+          let a = Array.init (Cnf.nvars p) (fun i -> if i < Array.length m then m.(i) else false) in
+          Cnf.eval p a
+      | Unsat -> not expected
+      | Unknown -> false)
+
+let prop_allsat_vs_brute =
+  QCheck.Test.make ~name:"allsat enumerates the exact model set" ~count:150
+    (QCheck.make ~print:print_problem gen_problem) (fun spec ->
+      let p = problem_of spec in
+      let nv = Cnf.nvars p in
+      let project = List.init nv Fun.id in
+      let brute = List.sort compare (List.map Array.to_list (brute_models p)) in
+      let s = Solver.of_cnf p in
+      let { Allsat.models; complete } = Allsat.enumerate s ~project in
+      complete && List.sort compare (List.map Array.to_list models) = brute)
+
+let prop_xor_expansion_equiv =
+  QCheck.Test.make ~name:"expand_xors preserves projected satisfiability" ~count:200
+    (QCheck.make ~print:print_problem gen_problem) (fun spec ->
+      let p = problem_of spec in
+      let q = Cnf.expand_xors p in
+      let sat prob = Solver.solve (Solver.of_cnf prob) = Solver.Sat in
+      sat p = sat q)
+
+let prop_dimacs_roundtrip =
+  QCheck.Test.make ~name:"dimacs round trip preserves models" ~count:150
+    (QCheck.make ~print:print_problem gen_problem) (fun spec ->
+      let p = problem_of spec in
+      let q = Dimacs.parse_string (Dimacs.to_string p) in
+      let norm prob = List.sort compare (List.map Array.to_list (brute_models prob)) in
+      (* note: xor normalization may shrink variable count references,
+         but nvars is pinned by the p-line *)
+      norm p = norm q)
+
+(* ------------------------------------------------------------------ *)
+(* DRAT proofs                                                         *)
+
+let cnf_of_solverless_pigeonhole pigeons holes =
+  let p = Cnf.create () in
+  Cnf.ensure_vars p (pigeons * holes);
+  let v pg h = (pg * holes) + h in
+  for pg = 0 to pigeons - 1 do
+    Cnf.add_clause p (List.init holes (fun h -> pos (v pg h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Cnf.add_clause p [ neg (v p1 h); neg (v p2 h) ]
+      done
+    done
+  done;
+  p
+
+let test_drat_pigeonhole () =
+  let cnf = cnf_of_solverless_pigeonhole 5 4 in
+  let s = Solver.of_cnf cnf in
+  Solver.enable_proof s;
+  Alcotest.check check_result "unsat" Unsat (Solver.solve s);
+  match Drat.check_refutation cnf s with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_drat_xor_instance_via_expansion () =
+  (* an UNSAT xor system, compiled to CNF so the proof is checkable *)
+  let p = Cnf.create () in
+  let x = Cnf.new_var p and y = Cnf.new_var p and z = Cnf.new_var p in
+  Cnf.add_xor p ~vars:[ x; y ] ~parity:true;
+  Cnf.add_xor p ~vars:[ y; z ] ~parity:true;
+  Cnf.add_xor p ~vars:[ x; z ] ~parity:true;
+  let cnf = Cnf.expand_xors p in
+  let s = Solver.of_cnf cnf in
+  Solver.enable_proof s;
+  Alcotest.check check_result "unsat" Unsat (Solver.solve s);
+  match Drat.check_refutation cnf s with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_drat_rejects_tampered_proof () =
+  let cnf = cnf_of_solverless_pigeonhole 4 3 in
+  let s = Solver.of_cnf cnf in
+  Solver.enable_proof s;
+  Alcotest.check check_result "unsat" Unsat (Solver.solve s);
+  let proof = Solver.proof s in
+  (* claim a bogus clause out of thin air at the start *)
+  let tampered = "5 0\n" ^ proof in
+  (match Drat.check cnf tampered with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "tampered proof accepted");
+  (* truncated proof: no empty clause *)
+  match Drat.check cnf "" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "empty proof accepted"
+
+let test_drat_guards () =
+  let p = Cnf.create () in
+  let a = Cnf.new_var p and b = Cnf.new_var p in
+  Cnf.add_xor p ~vars:[ a; b ] ~parity:true;
+  (match Drat.check p "0\n" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "xor formula accepted by checker");
+  let s = Solver.of_cnf p in
+  Alcotest.check_raises "enable_proof on xor instance"
+    (Invalid_argument "Solver.enable_proof: instance has XOR constraints")
+    (fun () -> Solver.enable_proof s)
+
+let prop_drat_random_unsat =
+  (* random instances: when the solver answers UNSAT, its proof checks *)
+  QCheck.Test.make ~count:150 ~name:"every UNSAT answer carries a valid proof"
+    (QCheck.make ~print:print_problem gen_problem)
+    (fun spec ->
+      let p = problem_of spec in
+      let cnf = Cnf.expand_xors p in
+      let s = Solver.of_cnf cnf in
+      Solver.enable_proof s;
+      match Solver.solve s with
+      | Sat | Unknown -> QCheck.assume_fail ()
+      | Unsat -> Drat.check_refutation cnf s = Ok ())
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "sat"
+    [
+      ( "solver-unit",
+        [
+          Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+          Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "unit propagation chain" `Quick test_unit_propagation_chain;
+          Alcotest.test_case "tautology ignored" `Quick test_tautology_ignored;
+          Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+          Alcotest.test_case "pigeonhole sat" `Quick test_pigeonhole_sat;
+          Alcotest.test_case "xor chain sat" `Quick test_xor_chain_sat;
+          Alcotest.test_case "xor chain unsat" `Quick test_xor_chain_unsat;
+          Alcotest.test_case "xor with cnf" `Quick test_xor_with_cnf;
+          Alcotest.test_case "xor duplicates cancel" `Quick test_xor_duplicate_vars_cancel;
+          Alcotest.test_case "incremental blocking" `Quick test_incremental_blocking;
+          Alcotest.test_case "conflict budget" `Quick test_conflict_budget;
+        ] );
+      ( "cardinality",
+        [
+          Alcotest.test_case "exactly-k model counts" `Quick test_exactly_model_count;
+          Alcotest.test_case "at-most model count" `Quick test_at_most_model_count;
+          Alcotest.test_case "at-least model count" `Quick test_at_least_model_count;
+          Alcotest.test_case "infeasible bound" `Quick test_cardinality_infeasible;
+          Alcotest.test_case "sinz = pairwise" `Quick test_sinz_equals_pairwise;
+        ] );
+      ( "allsat",
+        [
+          Alcotest.test_case "exhaustive vs brute force" `Quick test_allsat_exhaustive_vs_brute;
+          Alcotest.test_case "max_models cap" `Quick test_allsat_max_models;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "round trip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_dimacs_parse_errors;
+        ] );
+      ( "tseitin",
+        [
+          Alcotest.test_case "basic" `Quick test_tseitin_basic;
+          Alcotest.test_case "projected models" `Quick test_tseitin_projected_models;
+        ] );
+      ( "drat",
+        [
+          Alcotest.test_case "pigeonhole proof checks" `Quick test_drat_pigeonhole;
+          Alcotest.test_case "xor-expanded proof checks" `Quick test_drat_xor_instance_via_expansion;
+          Alcotest.test_case "tampered proof rejected" `Quick test_drat_rejects_tampered_proof;
+          Alcotest.test_case "guards" `Quick test_drat_guards;
+          QCheck_alcotest.to_alcotest prop_drat_random_unsat;
+        ] );
+      ( "random-crosschecks",
+        qt
+          [
+            prop_solver_vs_brute;
+            prop_allsat_vs_brute;
+            prop_xor_expansion_equiv;
+            prop_dimacs_roundtrip;
+          ] );
+    ]
