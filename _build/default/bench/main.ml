@@ -5,7 +5,8 @@
      dune exec bench/main.exe -- --full       # paper-scale m (hours)
      dune exec bench/main.exe -- table1 soc   # selected sections
 
-   Sections: fig4 table1 table2 can soc ablation baseline micro.
+   Sections: fig4 table1 table2 can incremental soc ablation baseline
+   micro.
 
    Absolute times are not comparable to the paper's (their substrate
    was Cryptominisat on an i7; ours is the in-repo CDCL solver) — the
@@ -263,6 +264,115 @@ let can ~full () =
     pp_time t_dl
 
 (* ------------------------------------------------------------------ *)
+(* Incremental vs cold solving                                         *)
+
+(* Reconstruct every trace-cycle of a multi-cycle CAN log twice: cold
+   (a fresh solver per entry, as the pre-session code did) and batched
+   (one incremental solver, timestamp rows shared in parity-select
+   form, per-entry timeprint bits and k-group pinned by assumptions).
+   Same verdicts, one learned clause database. *)
+let incremental ~full () =
+  let open Tp_canbus in
+  Format.printf "@.== Incremental vs cold reconstruction (CAN log) ==@.";
+  (* generous per-query budget so both paths decide every entry and the
+     comparison is verdict-for-verdict *)
+  let budget = max !conflict_budget 50_000 in
+  let m = if full then 256 else 128 in
+  let b = if full then 20 else 16 in
+  let enc = Encoding.random_constrained ~m ~b ~seed:2019 () in
+  (* periods are multiples of the trace-cycle length, so each message
+     recurs at the same in-cycle alignment: the log mixes idle cycles
+     with a handful of recurring entry shapes, as a real periodic bus
+     does, and the incremental solver gets to replay what it learned *)
+  let periodics =
+    [
+      Scheduler.periodic Message.engine_data ~period:(4 * m) ~offset:25;
+      Scheduler.periodic Message.gearbox_info ~period:(6 * m) ~offset:(m / 2);
+    ]
+  in
+  let duration = (if full then 96 else 48) * m in
+  let requests = Scheduler.requests ~duration periodics in
+  let tl = Bus.simulate ~bitrate:5_000_000 ~duration requests in
+  let entries = Forensics.log_timeline enc tl in
+  Format.printf "m=%d b=%d, %d trace-cycles@." m b (List.length entries);
+
+  let t_cold, cold =
+    time (fun () ->
+        List.map
+          (fun e ->
+            Reconstruct.first ~conflict_budget:budget (Reconstruct.problem enc e))
+          entries)
+  in
+  let t_inc, inc =
+    time (fun () -> Reconstruct.batch ~conflict_budget:budget enc entries)
+  in
+  List.iteri
+    (fun i (v, st) ->
+      if i < 12 then
+        Format.printf
+          "  entry %2d: %-7s conflicts=%-5d decisions=%-6d propagations=%-8d learnt=%d@."
+          i
+          (match v with
+          | `Signal _ -> "SAT"
+          | `Unsat -> "UNSAT"
+          | `Unknown -> "unknown")
+          st.Tp_sat.Solver.conflicts st.Tp_sat.Solver.decisions
+          st.Tp_sat.Solver.propagations st.Tp_sat.Solver.learnt)
+    inc;
+  let total_conflicts =
+    List.fold_left (fun acc (_, st) -> acc + st.Tp_sat.Solver.conflicts) 0 inc
+  in
+  Format.printf "  … (%d entries total, %d conflicts across the batch)@."
+    (List.length inc) total_conflicts;
+  let agree =
+    List.for_all2
+      (fun c (v, _) ->
+        match (c, v) with
+        | `Signal _, `Signal _ | `Unsat, `Unsat | `Unknown, `Unknown -> true
+        | _ -> false)
+      cold inc
+  in
+  Format.printf "verdicts agree: %b@." agree;
+  Format.printf "cold (fresh solver per entry): %a@." pp_time t_cold;
+  Format.printf "incremental (one solver)     : %a@." pp_time t_inc;
+
+  (* session: repeated property checks against one suspect entry *)
+  let entry = List.nth entries (List.length entries / 2) in
+  let props =
+    [
+      Property.p2;
+      Property.deadline ~count:1 ~before:(m / 2);
+      Property.window ~lo:0 ~hi:(m - 1);
+      Property.deadline ~count:2 ~before:m;
+    ]
+  in
+  let t_ccheck, cold_verdicts =
+    time (fun () ->
+        List.map
+          (fun p ->
+            Reconstruct.check ~conflict_budget:budget
+              (Reconstruct.problem enc entry) p)
+          props)
+  in
+  let t_scheck, session_verdicts =
+    time (fun () ->
+        let session = Reconstruct.Session.create (Reconstruct.problem enc entry) in
+        List.map
+          (fun p ->
+            let r = Reconstruct.Session.check ~conflict_budget:budget session p in
+            let st = Reconstruct.Session.last_stats session in
+            Format.printf "  check %-18s conflicts=%-5d decisions=%-6d learnt=%d@."
+              (Format.asprintf "%a:" Property.pp p)
+              st.Tp_sat.Solver.conflicts st.Tp_sat.Solver.decisions
+              st.Tp_sat.Solver.learnt;
+            r)
+          props)
+  in
+  Format.printf "check verdicts agree: %b@." (cold_verdicts = session_verdicts);
+  Format.printf "cold checks    : %a@." pp_time t_ccheck;
+  Format.printf "session checks : %a@." pp_time t_scheck
+
+(* ------------------------------------------------------------------ *)
 (* Experiment 5.2.2: SoC                                               *)
 
 let soc ~full () =
@@ -358,9 +468,9 @@ let ablation () =
       (Log_entry.k entry);
     cnf
   in
-  let t_mono, _ = solve_cnf (with_rows Tp_sat.Cnf.add_xor) in
+  let t_mono, _ = solve_cnf (with_rows (Tp_sat.Cnf.add_xor ?guard:None)) in
   let t_chunk, _ =
-    solve_cnf (with_rows (Tp_sat.Cnf.add_xor_chunked ?chunk:None))
+    solve_cnf (with_rows (Tp_sat.Cnf.add_xor_chunked ?chunk:None ?guard:None))
   in
   Format.printf "xor row splitting : chunked %a   monolithic %a@." pp_time
     t_chunk pp_time t_mono;
@@ -503,6 +613,7 @@ let () =
   if want "table1" then table1 ~full ();
   if want "table2" then table2 ~full ();
   if want "can" then can ~full ();
+  if want "incremental" then incremental ~full ();
   if want "soc" then soc ~full ();
   if want "ablation" then ablation ();
   if want "baseline" then baseline ();

@@ -1,1 +1,1 @@
-bin/tpsat.ml: Array Buffer In_channel List Printf Sys Tp_sat
+bin/tpsat.ml: Array Buffer In_channel List Printf String Sys Tp_sat

@@ -2,13 +2,20 @@
 
    Reads extended DIMACS (CNF plus Cryptominisat-style `x…` XOR lines,
    the format `timeprint dimacs` emits) from a file or stdin and prints
-   a standard s/v answer. *)
+   a standard s/v answer. With [-models N], further models are produced
+   through blocking clauses on the same (incremental) solver; [-stats]
+   prints the solver-work delta each query cost as `c` comment lines.
+   [-assume "LITS"] solves under DIMACS assumption literals and, on an
+   UNSAT answer, reports the final-conflict core. *)
 
-let usage = "usage: tpsat [-budget N] [-models N] [FILE | -]"
+let usage =
+  "usage: tpsat [-budget N] [-models N] [-assume \"LITS\"] [-stats] [FILE | -]"
 
 let () =
   let budget = ref max_int in
   let max_models = ref 1 in
+  let assumptions = ref [] in
+  let show_stats = ref false in
   let path = ref None in
   let rec parse = function
     | [] -> ()
@@ -26,12 +33,27 @@ let () =
             prerr_endline usage;
             exit 2);
         parse rest
+    | "-assume" :: lits :: rest ->
+        String.split_on_char ' ' lits
+        |> List.filter (( <> ) "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | Some n when n <> 0 ->
+                   assumptions := Tp_sat.Lit.of_dimacs n :: !assumptions
+               | _ ->
+                   prerr_endline usage;
+                   exit 2);
+        parse rest
+    | "-stats" :: rest ->
+        show_stats := true;
+        parse rest
     | [ p ] -> path := Some p
     | _ ->
         prerr_endline usage;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let assumptions = List.rev !assumptions in
   let text =
     match !path with
     | None | Some "-" -> In_channel.input_all stdin
@@ -44,6 +66,24 @@ let () =
   | cnf -> (
       let solver = Tp_sat.Solver.of_cnf cnf in
       let nvars = Tp_sat.Cnf.nvars cnf in
+      let query = ref 0 in
+      let solve () =
+        let before = Tp_sat.Solver.stats solver in
+        let r = Tp_sat.Solver.solve ~conflict_budget:!budget ~assumptions solver in
+        incr query;
+        if !show_stats then begin
+          let a = Tp_sat.Solver.stats solver in
+          Printf.printf
+            "c query %d: conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d\n"
+            !query
+            (a.conflicts - before.conflicts)
+            (a.decisions - before.decisions)
+            (a.propagations - before.propagations)
+            (a.restarts - before.restarts)
+            a.learnt
+        end;
+        r
+      in
       let print_model () =
         let buf = Buffer.create 256 in
         Buffer.add_string buf "v";
@@ -54,8 +94,20 @@ let () =
         Buffer.add_string buf " 0";
         print_endline (Buffer.contents buf)
       in
-      match Tp_sat.Solver.solve ~conflict_budget:!budget solver with
+      let print_core () =
+        if assumptions <> [] then begin
+          let core = Tp_sat.Solver.unsat_core solver in
+          print_endline
+            ("c core:"
+            ^ String.concat ""
+                (List.map
+                   (fun l -> " " ^ string_of_int (Tp_sat.Lit.to_dimacs l))
+                   core))
+        end
+      in
+      match solve () with
       | Unsat ->
+          print_core ();
           print_endline "s UNSATISFIABLE";
           exit 20
       | Unknown ->
@@ -72,7 +124,7 @@ let () =
                     Tp_sat.Lit.make v (not (Tp_sat.Solver.value solver v)))
               in
               Tp_sat.Solver.add_clause solver blocking;
-              match Tp_sat.Solver.solve ~conflict_budget:!budget solver with
+              match solve () with
               | Sat ->
                   print_model ();
                   more (found + 1)

@@ -1,1 +1,1 @@
-lib/sat/allsat.mli: Solver
+lib/sat/allsat.mli: Lit Solver

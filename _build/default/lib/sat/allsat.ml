@@ -1,33 +1,55 @@
 type outcome = { models : bool array list; complete : bool }
 
-let iter ?(max_models = max_int) ?(conflict_budget = max_int) f s ~project =
+let iter ?(max_models = max_int) ?(conflict_budget = max_int) ?(assumptions = [])
+    ?guard f s ~project =
   let vars = Array.of_list project in
+  let assumptions =
+    match guard with Some g -> g :: assumptions | None -> assumptions
+  in
+  (* the budget is global across the whole enumeration: each solve call
+     gets whatever is left, measured by the solver's conflict counter *)
+  let remaining = ref conflict_budget in
+  let block m =
+    let blocking =
+      Array.to_list (Array.mapi (fun i v -> Lit.make v (not m.(i))) vars)
+    in
+    let blocking =
+      match guard with Some g -> Lit.negate g :: blocking | None -> blocking
+    in
+    Solver.add_clause s blocking
+  in
   let rec go found =
-    if found >= max_models then false
-    else
-      match Solver.solve ~conflict_budget s with
+    if found >= max_models || !remaining <= 0 then false
+    else begin
+      let before = (Solver.stats s).conflicts in
+      let r = Solver.solve ~conflict_budget:!remaining ~assumptions s in
+      remaining := !remaining - ((Solver.stats s).conflicts - before);
+      match r with
       | Unsat -> true
       | Unknown -> false
       | Sat ->
           let m = Array.map (Solver.value s) vars in
           f m;
-          (* block this projected model *)
-          let blocking =
-            Array.to_list (Array.mapi (fun i v -> Lit.make v (not m.(i))) vars)
-          in
-          Solver.add_clause s blocking;
+          block m;
           go (found + 1)
+    end
   in
   go 0
 
-let enumerate ?max_models ?conflict_budget s ~project =
+let enumerate ?max_models ?conflict_budget ?assumptions ?guard s ~project =
   let acc = ref [] in
   let complete =
-    iter ?max_models ?conflict_budget (fun m -> acc := m :: !acc) s ~project
+    iter ?max_models ?conflict_budget ?assumptions ?guard
+      (fun m -> acc := m :: !acc)
+      s ~project
   in
   { models = List.rev !acc; complete }
 
-let count ?max_models s ~project =
+let count ?max_models ?conflict_budget ?assumptions ?guard s ~project =
   let n = ref 0 in
-  ignore (iter ?max_models (fun _ -> incr n) s ~project);
-  !n
+  let complete =
+    iter ?max_models ?conflict_budget ?assumptions ?guard
+      (fun _ -> incr n)
+      s ~project
+  in
+  (!n, if complete then `Exact else `Lower_bound)

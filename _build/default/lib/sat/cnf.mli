@@ -9,8 +9,10 @@
 
 type t
 
-type xor_constraint = { vars : int list; parity : bool }
-(** [vars] XOR together to [parity]. The list is free of duplicates. *)
+type xor_constraint = { vars : int list; parity : bool; guard : Lit.t option }
+(** [vars] XOR together to [parity]. The list is free of duplicates.
+    With [guard = Some g] the constraint binds only in models where [g]
+    is true (a removable row, see {!add_xor}). *)
 
 val create : unit -> t
 
@@ -24,19 +26,26 @@ val nvars : t -> int
 
 val add_clause : t -> Lit.t list -> unit
 
-val add_xor : t -> vars:int list -> parity:bool -> unit
+val add_xor : ?guard:Lit.t -> t -> vars:int list -> parity:bool -> unit
 (** Duplicated variables cancel pairwise before storage (XOR algebra);
     an empty constraint with [parity = true] registers as the trivially
-    false clause. *)
+    false clause. With [?guard:g] the constraint reads
+    [g -> (vars ⊕ = parity)] — enforced only in models where [g] is
+    true, mirroring the [?guard] of {!Cardinality.at_most}, so an XOR
+    row can be enabled per query via a solver assumption and retired
+    with a unit [¬g] clause. *)
 
-val add_xor_chunked : ?chunk:int -> t -> vars:int list -> parity:bool -> unit
+val add_xor_chunked :
+  ?chunk:int -> ?guard:Lit.t -> t -> vars:int list -> parity:bool -> unit
 (** Equivalent to {!add_xor}, but long constraints are split into a
     chain of native XOR constraints of at most [chunk] variables
     (default 6) through fresh auxiliaries. Short, local XOR constraints
     propagate earlier and keep learnt clauses small — the same
     treatment Cryptominisat applies internally; measurably faster on
     the reconstruction instances, where each timeprint bit touches
-    around [m/2] cycle variables. *)
+    around [m/2] cycle variables. [?guard] applies to every chunk, so
+    switching the guard off releases the whole chain (the auxiliaries
+    become unconstrained). *)
 
 val clauses : t -> Lit.t list list
 (** In insertion order. *)

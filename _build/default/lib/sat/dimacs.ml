@@ -9,7 +9,11 @@ let to_buffer buf p =
       Buffer.add_string buf "0\n")
     (Cnf.clauses p);
   List.iter
-    (fun { Cnf.vars; parity } ->
+    (fun { Cnf.vars; parity; guard } ->
+      (* guarded rows are a solver-side construct (removable groups);
+         the x-line format has no way to express the implication *)
+      if guard <> None then
+        invalid_arg "Dimacs.to_buffer: guarded XOR constraints cannot be serialized";
       (* encode parity by negating the first literal when parity=false *)
       Buffer.add_char buf 'x';
       (match vars with
@@ -29,10 +33,62 @@ let to_string p =
 
 let output oc p = output_string oc (to_string p)
 
+(* Tokenizing parser. Standard DIMACS is a token stream: clauses may
+   span several lines or share one; only comment and problem lines are
+   line-oriented. We therefore split into lines solely to recognize
+   `c`/`p` lines and to report positions, and feed everything else into
+   a running clause accumulator that a `0` token closes. The
+   Cryptominisat `x` prefix (glued to the first literal, e.g. `x-3 1 0`)
+   switches the open clause to an XOR constraint. *)
 let parse_string text =
   let p = Cnf.create () in
-  let lines = String.split_on_char '\n' text in
   let fail lineno msg = failwith (Printf.sprintf "Dimacs: line %d: %s" lineno msg) in
+  (* accumulator for the clause currently being read *)
+  let pending = ref [] in (* literals, reversed *)
+  let pending_xor = ref false in
+  let open_clause = ref false in
+  let start_line = ref 0 in
+  let emit () =
+    let lits = List.rev !pending in
+    if !pending_xor then begin
+      let parity = ref true in
+      let vars =
+        List.map
+          (fun n ->
+            if n < 0 then parity := not !parity;
+            abs n - 1)
+          lits
+      in
+      Cnf.add_xor p ~vars ~parity:!parity
+    end
+    else Cnf.add_clause p (List.map Lit.of_dimacs lits);
+    pending := [];
+    pending_xor := false;
+    open_clause := false
+  in
+  let token lineno tok =
+    if not !open_clause then begin
+      open_clause := true;
+      start_line := lineno
+    end;
+    let tok =
+      if String.length tok > 0 && tok.[0] = 'x' then begin
+        if !pending <> [] || !pending_xor then
+          fail lineno "x prefix inside a clause";
+        pending_xor := true;
+        String.sub tok 1 (String.length tok - 1)
+      end
+      else tok
+    in
+    if tok <> "" then
+      match int_of_string_opt tok with
+      | None -> fail lineno ("bad literal " ^ tok)
+      | Some 0 -> emit ()
+      | Some n ->
+          if !pending_xor && n = 0 then fail lineno "zero literal in xor";
+          pending := n :: !pending
+  in
+  let lines = String.split_on_char '\n' text in
   List.iteri
     (fun i line ->
       let lineno = i + 1 in
@@ -46,40 +102,13 @@ let parse_string text =
             | _ -> fail lineno "bad variable count")
         | _ -> fail lineno "bad problem line"
       end
-      else begin
-        let is_xor = line.[0] = 'x' in
-        let body =
-          if is_xor then String.sub line 1 (String.length line - 1) else line
-        in
-        let nums =
-          String.split_on_char ' ' body
-          |> List.filter (( <> ) "")
-          |> List.map (fun tok ->
-                 match int_of_string_opt tok with
-                 | Some n -> n
-                 | None -> fail lineno ("bad literal " ^ tok))
-        in
-        match List.rev nums with
-        | 0 :: rev_lits ->
-            let lits = List.rev rev_lits in
-            if is_xor then begin
-              let parity = ref true in
-              let vars =
-                List.map
-                  (fun n ->
-                    if n = 0 then fail lineno "zero literal in xor"
-                    else begin
-                      if n < 0 then parity := not !parity;
-                      abs n - 1
-                    end)
-                  lits
-              in
-              Cnf.add_xor p ~vars ~parity:!parity
-            end
-            else Cnf.add_clause p (List.map Lit.of_dimacs lits)
-        | _ -> fail lineno "clause not terminated by 0"
-      end)
+      else
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (( <> ) "")
+        |> List.iter (token lineno))
     lines;
+  if !open_clause then fail !start_line "clause not terminated by 0";
   p
 
 let parse_file path =

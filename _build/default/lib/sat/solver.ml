@@ -19,6 +19,11 @@ type clause = {
 type xclause = {
   xvars : int array; (* watch positions are indices 0 and 1 *)
   xparity : bool;
+  xguard : Lit.t option;
+      (* [Some g]: the constraint reads g -> (xvars ⊕ = xparity); a
+         false guard switches the row off. The guard variable is not
+         watched — a missed propagation through it only delays the
+         conflict to the leaf, where the var watches catch it. *)
 }
 
 type result = Sat | Unsat | Unknown
@@ -60,16 +65,23 @@ type t = {
   mutable proof : Buffer.t option;
   mutable model : bool array;
   mutable model_valid : bool;
+  mutable last_core : Lit.t list option;
+      (* assumption subset blamed by the last [Unsat] answer *)
   (* stats *)
   mutable n_conflicts : int;
   mutable n_decisions : int;
   mutable n_propagations : int;
   mutable n_restarts : int;
+  mutable restarts_base : int;
+      (* [n_restarts] at the start of the current solve call: the
+         learnt-DB reduction slack must track restarts of this search,
+         not the solver's lifetime, or incremental sessions inflate the
+         threshold until reduction never fires *)
 }
 
 let dummy_clause = { lits = [||]; activity = 0.; learnt = false; deleted = false }
 let mk_clause ?(learnt = false) lits = { lits; activity = 0.; learnt; deleted = false }
-let dummy_xclause = { xvars = [||]; xparity = false }
+let dummy_xclause = { xvars = [||]; xparity = false; xguard = None }
 
 let var_decay = 1.0 /. 0.95
 let clause_decay = 1.0 /. 0.999
@@ -99,10 +111,12 @@ let create () =
       proof = None;
       model = [||];
       model_valid = false;
+      last_core = None;
       n_conflicts = 0;
       n_decisions = 0;
       n_propagations = 0;
       n_restarts = 0;
+      restarts_base = 0;
     }
   in
   (* tie the heap's score to this very record so growing [activity]
@@ -195,7 +209,8 @@ let xor_assigned_parity s xc skip =
 
 (* Reason / conflict clause materialized from an XOR constraint: the
    propagated literal (if any) plus the falsified current assignments
-   of every other variable. *)
+   of every other variable, plus the guard's negation when the row is
+   guarded (unless ¬g is itself the propagated literal). *)
 let xor_reason_clause s xc ~propagated =
   let lits = ref [] in
   Array.iter
@@ -207,6 +222,16 @@ let xor_reason_clause s xc ~propagated =
       end)
     xc.xvars;
   let lits = match propagated with Some l -> l :: !lits | None -> !lits in
+  let lits =
+    match xc.xguard with
+    | Some g
+      when not
+             (match propagated with
+             | Some l -> Lit.equal l (Lit.negate g)
+             | None -> false) ->
+        Lit.negate g :: lits
+    | _ -> lits
+  in
   mk_clause (Array.of_list lits)
 
 (* ------------------------------------------------------------------ *)
@@ -280,18 +305,37 @@ let propagate_xors s v =
       else incr j
     done;
     if not !found then begin
-      let other = xc.xvars.(0) in
-      if s.assigns.(other) < 0 then begin
-        (* unit on [other]: other must make total parity = xparity *)
-        let needed = xc.xparity <> xor_assigned_parity s xc 0 in
-        let l = Lit.make other needed in
-        let reason = xor_reason_clause s xc ~propagated:(Some l) in
-        s.n_propagations <- s.n_propagations + 1;
-        enqueue s l (Some reason)
+      (* -1 unassigned / 0 false / 1 true; unguarded rows act as g = 1 *)
+      let gval = match xc.xguard with None -> 1 | Some g -> lit_value s g in
+      if gval = 0 then incr i (* row switched off: satisfied *)
+      else begin
+        let other = xc.xvars.(0) in
+        if s.assigns.(other) < 0 then begin
+          if gval = 1 then begin
+            (* unit on [other]: other must make total parity = xparity *)
+            let needed = xc.xparity <> xor_assigned_parity s xc 0 in
+            let l = Lit.make other needed in
+            let reason = xor_reason_clause s xc ~propagated:(Some l) in
+            s.n_propagations <- s.n_propagations + 1;
+            enqueue s l (Some reason)
+          end
+          (* guard and one variable both free: nothing forced yet *)
+        end
+        else if xor_assigned_parity s xc (-1) <> xc.xparity then begin
+          if gval = 1 then
+            raise (Conflict (xor_reason_clause s xc ~propagated:None))
+          else begin
+            (* every variable assigned with the wrong parity: the only
+               way out is switching the row off *)
+            let g = match xc.xguard with Some g -> g | None -> assert false in
+            let l = Lit.negate g in
+            let reason = xor_reason_clause s xc ~propagated:(Some l) in
+            s.n_propagations <- s.n_propagations + 1;
+            enqueue s l (Some reason)
+          end
+        end;
+        incr i
       end
-      else if xor_assigned_parity s xc (-1) <> xc.xparity then
-        raise (Conflict (xor_reason_clause s xc ~propagated:None));
-      incr i
     end
   done
 
@@ -513,41 +557,54 @@ let add_clause s lits =
     end
   end
 
-let add_xor s ~vars ~parity =
+let add_xor ?guard s ~vars ~parity =
   if s.proof <> None then
     invalid_arg "Solver.add_xor: proof logging is restricted to pure CNF";
   cancel_until s 0;
   s.model_valid <- false;
   if s.ok then begin
     List.iter (fun v -> ensure_vars s (v + 1)) vars;
-    (* cancel duplicate vars pairwise; fold root assignments into parity *)
-    let tbl = Hashtbl.create 16 in
-    List.iter
-      (fun v ->
-        if Hashtbl.mem tbl v then Hashtbl.remove tbl v else Hashtbl.add tbl v ())
-      vars;
-    let vars = List.filter (Hashtbl.mem tbl) (List.sort_uniq Int.compare vars) in
-    let parity = ref parity in
-    let vars =
-      List.filter
-        (fun v ->
-          if s.assigns.(v) >= 0 then begin
-            if s.assigns.(v) = 1 then parity := not !parity;
-            false
-          end
-          else true)
-        vars
+    (match guard with Some g -> ensure_vars s (Lit.var g + 1) | None -> ());
+    (* a root-decided guard degenerates to unguarded / vacuous *)
+    let guard =
+      match guard with Some g when lit_value s g = 1 -> None | g -> g
     in
-    match vars with
-    | [] -> if !parity then s.ok <- false
-    | [ v ] ->
-        enqueue s (Lit.make v !parity) None;
-        if propagate s <> None then s.ok <- false
-    | v0 :: v1 :: _ ->
-        let xc = { xvars = Array.of_list vars; xparity = !parity } in
-        Vec.push s.xors xc;
-        Vec.push s.xwatches.(v0) xc;
-        Vec.push s.xwatches.(v1) xc
+    let vacuous =
+      match guard with Some g -> lit_value s g = 0 | None -> false
+    in
+    if not vacuous then begin
+      (* cancel duplicate vars pairwise; fold root assignments into
+         parity (sound under any guard: root facts are global) *)
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun v ->
+          if Hashtbl.mem tbl v then Hashtbl.remove tbl v else Hashtbl.add tbl v ())
+        vars;
+      let vars = List.filter (Hashtbl.mem tbl) (List.sort_uniq Int.compare vars) in
+      let parity = ref parity in
+      let vars =
+        List.filter
+          (fun v ->
+            if s.assigns.(v) >= 0 then begin
+              if s.assigns.(v) = 1 then parity := not !parity;
+              false
+            end
+            else true)
+          vars
+      in
+      match (vars, guard) with
+      | [], None -> if !parity then s.ok <- false
+      | [], Some g -> if !parity then add_clause s [ Lit.negate g ]
+      | [ v ], None ->
+          enqueue s (Lit.make v !parity) None;
+          if propagate s <> None then s.ok <- false
+      | [ v ], Some g -> add_clause s [ Lit.negate g; Lit.make v !parity ]
+      | v0 :: v1 :: _, _ ->
+          let xc = { xvars = Array.of_list vars; xparity = !parity; xguard = guard } in
+          Vec.push s.xors xc;
+          Vec.push s.xwatches.(v0) xc;
+          Vec.push s.xwatches.(v1) xc
+    end
   end
 
 let enable_proof s =
@@ -571,9 +628,19 @@ let of_cnf p =
   ensure_vars s (Cnf.nvars p);
   List.iter (add_clause s) (Cnf.clauses p);
   List.iter
-    (fun { Cnf.vars; parity } -> add_xor s ~vars ~parity)
+    (fun { Cnf.vars; parity; guard } -> add_xor ?guard s ~vars ~parity)
     (Cnf.xors p);
   s
+
+(* Load everything of [p] beyond the first [nclauses]/[nxors] entries —
+   the session layer grows one Cnf incrementally and flushes deltas. *)
+let add_cnf_from s p ~nclauses ~nxors =
+  ensure_vars s (Cnf.nvars p);
+  let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+  List.iter (add_clause s) (drop nclauses (Cnf.clauses p));
+  List.iter
+    (fun { Cnf.vars; parity; guard } -> add_xor ?guard s ~vars ~parity)
+    (drop nxors (Cnf.xors p))
 
 (* ------------------------------------------------------------------ *)
 (* Search                                                              *)
@@ -599,7 +666,39 @@ let pick_branch_var s =
   in
   go ()
 
-let search s ~max_conflicts =
+(* Final-conflict analysis (MiniSat's analyzeFinal): [p] is an
+   assumption found false under the earlier assumption levels. Walk the
+   trail above the first decision and collect the assumption decisions
+   the implication of ¬p rests on; together with [p] they form a subset
+   A' of the assumptions such that F ∧ A' is unsatisfiable. *)
+let analyze_final s p =
+  let v0 = Lit.var p in
+  if s.levels.(v0) <= 0 then [ p ]
+  else begin
+    let core = ref [ p ] in
+    s.seen.(v0) <- true;
+    let bound = if Vec.size s.trail_lim = 0 then 0 else Vec.get s.trail_lim 0 in
+    for i = Vec.size s.trail - 1 downto bound do
+      let q = Vec.get s.trail i in
+      let v = Lit.var q in
+      if s.seen.(v) then begin
+        (match s.reasons.(v) with
+        | None ->
+            (* an assumption decision; [q] is that assumption literal *)
+            core := q :: !core
+        | Some r ->
+            Array.iter
+              (fun l ->
+                let w = Lit.var l in
+                if w <> v && s.levels.(w) > 0 then s.seen.(w) <- true)
+              r.lits);
+        s.seen.(v) <- false
+      end
+    done;
+    !core
+  end
+
+let search s ~assumptions ~max_conflicts =
   let conflicts = ref 0 in
   let result = ref None in
   while !result = None do
@@ -626,56 +725,96 @@ let search s ~max_conflicts =
           result := Some Unknown
         end
         else begin
-          if Vec.size s.learnts - Vec.size s.trail > 4000 + (300 * s.n_restarts)
+          if
+            Vec.size s.learnts - Vec.size s.trail
+            > 4000 + (300 * (s.n_restarts - s.restarts_base))
           then reduce_db s;
-          match pick_branch_var s with
-          | None ->
-              (* complete assignment: a model *)
-              s.model <- Array.init s.nvars (fun v -> s.assigns.(v) = 1);
-              s.model_valid <- true;
-              result := Some Sat
-          | Some v ->
-              s.n_decisions <- s.n_decisions + 1;
-              Vec.push s.trail_lim (Vec.size s.trail);
-              enqueue s (Lit.make v s.phase.(v)) None
+          let dl = decision_level s in
+          if dl < Array.length assumptions then begin
+            (* next assumption: decided before any free variable and
+               never learned over *)
+            let p = assumptions.(dl) in
+            match lit_value s p with
+            | 1 ->
+                (* already implied: open a dummy level so the indices
+                   of trail_lim keep tracking assumption ranks *)
+                Vec.push s.trail_lim (Vec.size s.trail)
+            | 0 ->
+                s.last_core <- Some (analyze_final s p);
+                cancel_until s 0;
+                result := Some Unsat
+            | _ ->
+                s.n_decisions <- s.n_decisions + 1;
+                Vec.push s.trail_lim (Vec.size s.trail);
+                enqueue s p None
+          end
+          else
+            match pick_branch_var s with
+            | None ->
+                (* complete assignment: a model *)
+                s.model <- Array.init s.nvars (fun v -> s.assigns.(v) = 1);
+                s.model_valid <- true;
+                result := Some Sat
+            | Some v ->
+                s.n_decisions <- s.n_decisions + 1;
+                Vec.push s.trail_lim (Vec.size s.trail);
+                enqueue s (Lit.make v s.phase.(v)) None
         end
   done;
   match !result with Some r -> r | None -> assert false
 
-let solve ?(conflict_budget = max_int) s =
+let solve ?(conflict_budget = max_int) ?(assumptions = []) s =
   s.model_valid <- false;
-  if not s.ok then begin
-    (* the root contradiction was found by unit propagation over the
-       input, so the empty clause is RUP outright *)
-    proof_add s [];
-    Unsat
-  end
-  else begin
-    cancel_until s 0;
-    if propagate s <> None then begin
-      s.ok <- false;
+  s.last_core <- None;
+  s.restarts_base <- s.n_restarts;
+  List.iter (fun l -> ensure_vars s (Lit.var l + 1)) assumptions;
+  let assumptions = Array.of_list assumptions in
+  let r =
+    if not s.ok then begin
+      (* the root contradiction was found by unit propagation over the
+         input, so the empty clause is RUP outright *)
       proof_add s [];
       Unsat
     end
     else begin
-      let budget_left = ref conflict_budget in
-      let rec loop i =
-        if !budget_left <= 0 then Unknown
-        else begin
-          let max_conflicts =
-            min !budget_left (int_of_float (luby 2.0 i *. 100.0))
-          in
-          match search s ~max_conflicts with
-          | Unknown ->
-              budget_left := !budget_left - max_conflicts;
-              s.n_restarts <- s.n_restarts + 1;
-              loop (i + 1)
-          | r -> r
-        end
-      in
-      loop 0
+      cancel_until s 0;
+      if propagate s <> None then begin
+        s.ok <- false;
+        proof_add s [];
+        Unsat
+      end
+      else begin
+        let budget_left = ref conflict_budget in
+        let rec loop i =
+          if !budget_left <= 0 then Unknown
+          else begin
+            let max_conflicts =
+              min !budget_left (int_of_float (luby 2.0 i *. 100.0))
+            in
+            match search s ~assumptions ~max_conflicts with
+            | Unknown ->
+                budget_left := !budget_left - max_conflicts;
+                s.n_restarts <- s.n_restarts + 1;
+                loop (i + 1)
+            | r -> r
+          end
+        in
+        loop 0
+      end
     end
-  end
+  in
+  (* leave the solver at the root so the next query (or constraint)
+     starts clean; the model was already captured *)
+  cancel_until s 0;
+  (if r = Unsat && s.last_core = None then
+     (* unsatisfiable independently of the assumptions *)
+     s.last_core <- Some []);
+  r
+
+let unsat_core s =
+  match s.last_core with
+  | Some core -> core
+  | None -> failwith "Solver.unsat_core: last solve did not return Unsat"
 
 let value s v =
   if not s.model_valid then failwith "Solver.value: no model available";

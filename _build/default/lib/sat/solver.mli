@@ -12,9 +12,16 @@
     indexed heap, phase saving, Luby restarts, and activity-based
     learnt-clause database reduction.
 
-    The solver is incremental in the AllSAT sense: after a [Sat]
-    answer, further clauses (e.g. blocking clauses) may be added and
-    the solver re-run; learnt clauses are kept. *)
+    The solver is incremental in two senses. In the AllSAT sense: after
+    a [Sat] answer, further clauses (e.g. blocking clauses) may be added
+    and the solver re-run; learnt clauses are kept. And in the
+    MiniSat/Cryptominisat sense: {!solve} accepts {e assumption}
+    literals that are decided before the search and never learned over,
+    so one solver can answer many related queries while retaining all
+    learnt clauses and VSIDS state. Combined with the guard literals of
+    {!add_xor} and {!Cardinality.at_most}, assumptions give removable
+    constraint groups: emit a group under a fresh guard [g], enable it
+    by assuming [g], retire it for good with [add_clause [¬g]]. *)
 
 type t
 
@@ -34,6 +41,12 @@ val create : unit -> t
 val of_cnf : Cnf.t -> t
 (** Solver primed with every clause and XOR constraint of the problem. *)
 
+val add_cnf_from : t -> Cnf.t -> nclauses:int -> nxors:int -> unit
+(** [add_cnf_from s p ~nclauses ~nxors] loads every clause and XOR
+    constraint of [p] {e beyond} the first [nclauses] / [nxors] — the
+    flush primitive for callers that grow one {!Cnf.t} incrementally
+    alongside a live solver (see {!Reconstruct.Session}). *)
+
 val new_var : t -> int
 val new_vars : t -> int -> int
 (** [new_vars s n] allocates [n] fresh variables, returning the first. *)
@@ -46,7 +59,11 @@ val add_clause : t -> Lit.t list -> unit
     level. An empty (or root-falsified) clause makes the instance
     permanently unsatisfiable. *)
 
-val add_xor : t -> vars:int list -> parity:bool -> unit
+val add_xor : ?guard:Lit.t -> t -> vars:int list -> parity:bool -> unit
+(** With [?guard:g] the constraint reads [g -> (vars ⊕ = parity)]: it
+    binds only in models where [g] is true, so a whole XOR row can be
+    switched on per query (assume [g]) or retired permanently
+    ([add_clause [¬g]]). Unguarded rows behave as before. *)
 
 val enable_proof : t -> unit
 (** Start recording a DRAT proof: every clause the solver learns (and
@@ -71,9 +88,25 @@ val boost : t -> int list -> unit
     signal variables before the cardinality-counter auxiliaries prunes
     markedly faster. *)
 
-val solve : ?conflict_budget:int -> t -> result
+val solve : ?conflict_budget:int -> ?assumptions:Lit.t list -> t -> result
 (** [conflict_budget] bounds the number of conflicts before giving up
-    with [Unknown] (default: unbounded). *)
+    with [Unknown] (default: unbounded).
+
+    [assumptions] are literals decided (in order) before the search and
+    never learned over, exactly MiniSat's [solve(assumptions)]: a [Sat]
+    model satisfies all of them; an [Unsat] answer means the instance
+    is unsatisfiable {e under the assumptions}, and {!unsat_core} names
+    the subset to blame. The solver state (learnt clauses, activities,
+    phases) survives across calls, which is what makes closely related
+    queries cheap. *)
+
+val unsat_core : t -> Lit.t list
+(** After {!solve} returned [Unsat]: a subset [A'] of the assumption
+    literals such that the instance is already unsatisfiable under
+    [A'] (the final-conflict clause, as in MiniSat's [analyzeFinal]).
+    [[]] means the instance is unsatisfiable regardless of the
+    assumptions. Raises [Failure] when the last call did not return
+    [Unsat]. *)
 
 val value : t -> int -> bool
 (** Model value of a variable after a [Sat] answer. Raises [Failure]

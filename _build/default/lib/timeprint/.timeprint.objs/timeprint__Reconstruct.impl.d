@@ -1,1 +1,1 @@
-lib/timeprint/reconstruct.ml: Allsat Array Bitvec Cardinality Cnf Drat Encoding Format Fun List Lit Log_entry Property Signal Solver Tp_bitvec Tp_sat
+lib/timeprint/reconstruct.ml: Allsat Array Bitvec Cardinality Cnf Drat Encoding Format Fun Hashtbl List Lit Log_entry Property Signal Solver Tp_bitvec Tp_sat

@@ -363,10 +363,11 @@ and encode_disj ctx ~pos ps =
       in
       add ctx guards
 
-let assert_holds cnf ~m ~xvar prop = encode { cnf; m; xvar; guard = None } ~pos:true prop
+let assert_holds ?guard cnf ~m ~xvar prop =
+  encode { cnf; m; xvar; guard } ~pos:true prop
 
-let assert_violated cnf ~m ~xvar prop =
-  encode { cnf; m; xvar; guard = None } ~pos:false prop
+let assert_violated ?guard cnf ~m ~xvar prop =
+  encode { cnf; m; xvar; guard } ~pos:false prop
 
 let rec pp ppf = function
   | P2 -> Format.pp_print_string ppf "P2"

@@ -69,6 +69,14 @@ let first_certified ?conflict_budget pb : certified =
 
 type enumeration = { signals : Signal.t list; complete : bool }
 
+let signals_of_models m models =
+  List.map
+    (fun model ->
+      Signal.of_bitvec
+        (Bitvec.of_indices ~width:m
+           (List.filter (fun i -> model.(i)) (List.init m Fun.id))))
+    models
+
 let enumerate ?max_solutions ?conflict_budget pb =
   let m = Encoding.m pb.encoding in
   let cnf, xvars = to_cnf pb in
@@ -77,15 +85,11 @@ let enumerate ?max_solutions ?conflict_budget pb =
     Allsat.enumerate ?max_models:max_solutions ?conflict_budget s
       ~project:(Array.to_list xvars)
   in
-  let signal_of model =
-    Signal.of_bitvec
-      (Bitvec.of_indices ~width:m
-         (List.filter (fun i -> model.(i)) (List.init m Fun.id)))
-  in
-  { signals = List.map signal_of models; complete }
+  { signals = signals_of_models m models; complete }
 
-let count ?max_solutions pb =
-  List.length (enumerate ?max_solutions pb).signals
+let count ?max_solutions ?conflict_budget pb =
+  let { signals; complete } = enumerate ?max_solutions ?conflict_budget pb in
+  (List.length signals, if complete then `Exact else `Lower_bound)
 
 type check_result =
   [ `Holds_in_all | `Violated_in_all | `Mixed | `Vacuous | `Unknown ]
@@ -120,3 +124,228 @@ let pp_check_result ppf r =
     | `Mixed -> "holds in some reconstructions, violated in others"
     | `Vacuous -> "no reconstruction exists"
     | `Unknown -> "unknown (budget exhausted)")
+
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions                                                *)
+
+let zero_stats =
+  { Solver.conflicts = 0; decisions = 0; propagations = 0; learnt = 0; restarts = 0 }
+
+module Session = struct
+  type t = {
+    pb : problem;
+    cnf : Cnf.t;  (** shadow problem: grows; deltas are flushed to the solver *)
+    solver : Solver.t;
+    xvars : int array;
+    mutable flushed_clauses : int;
+    mutable flushed_xors : int;
+    mutable prop_guards : ((Property.t * bool) * Lit.t) list;
+        (** cached guarded encodings, keyed by (property, polarity) *)
+    mutable last_stats : Solver.stats;
+  }
+
+  let flush t =
+    Solver.add_cnf_from t.solver t.cnf ~nclauses:t.flushed_clauses
+      ~nxors:t.flushed_xors;
+    t.flushed_clauses <- Cnf.nclauses t.cnf;
+    t.flushed_xors <- Cnf.nxors t.cnf
+
+  let create pb =
+    let cnf, xvars = to_cnf pb in
+    let t =
+      {
+        pb;
+        cnf;
+        solver = Solver.create ();
+        xvars;
+        flushed_clauses = 0;
+        flushed_xors = 0;
+        prop_guards = [];
+        last_stats = zero_stats;
+      }
+    in
+    flush t;
+    t
+
+  let problem t = t.pb
+  let last_stats t = t.last_stats
+
+  (* run a query, recording the solver-work delta it cost *)
+  let measured t f =
+    let b = Solver.stats t.solver in
+    let r = f () in
+    let a = Solver.stats t.solver in
+    t.last_stats <-
+      {
+        Solver.conflicts = a.conflicts - b.conflicts;
+        decisions = a.decisions - b.decisions;
+        propagations = a.propagations - b.propagations;
+        learnt = a.learnt;
+        restarts = a.restarts - b.restarts;
+      };
+    r
+
+  let first ?conflict_budget t =
+    measured t (fun () ->
+        match Solver.solve ?conflict_budget t.solver with
+        | Sat ->
+            `Signal
+              (signal_of_model (Encoding.m t.pb.encoding) t.xvars
+                 (Solver.value t.solver))
+        | Unsat -> `Unsat
+        | Unknown -> `Unknown)
+
+  let enumerate ?max_solutions ?conflict_budget t =
+    (* blocking clauses live under a per-enumeration guard, retired when
+       the enumeration finishes, so later queries see the full space *)
+    let g = Lit.pos (Cnf.new_var t.cnf) in
+    flush t;
+    measured t (fun () ->
+        let { Allsat.models; complete } =
+          Allsat.enumerate ?max_models:max_solutions ?conflict_budget ~guard:g
+            t.solver
+            ~project:(Array.to_list t.xvars)
+        in
+        Solver.add_clause t.solver [ Lit.negate g ];
+        (* keep the shadow problem in step with the retirement *)
+        Cnf.add_clause t.cnf [ Lit.negate g ];
+        t.flushed_clauses <- t.flushed_clauses + 1;
+        { signals = signals_of_models (Encoding.m t.pb.encoding) models; complete })
+
+  let count ?max_solutions ?conflict_budget t =
+    let { signals; complete } = enumerate ?max_solutions ?conflict_budget t in
+    (List.length signals, if complete then `Exact else `Lower_bound)
+
+  (* guarded property encoding, built once per (property, polarity) and
+     switched on by assuming its guard *)
+  let prop_guard t prop pos =
+    match List.assoc_opt (prop, pos) t.prop_guards with
+    | Some g -> g
+    | None ->
+        let g = Lit.pos (Cnf.new_var t.cnf) in
+        let m = Encoding.m t.pb.encoding in
+        let xvar i = t.xvars.(i) in
+        (if pos then Property.assert_holds ~guard:g t.cnf ~m ~xvar prop
+         else Property.assert_violated ~guard:g t.cnf ~m ~xvar prop);
+        flush t;
+        t.prop_guards <- ((prop, pos), g) :: t.prop_guards;
+        g
+
+  let exists_with ?conflict_budget t polarity prop =
+    let g = prop_guard t prop (match polarity with `Holds -> true | `Violated -> false) in
+    measured t (fun () ->
+        match Solver.solve ?conflict_budget ~assumptions:[ g ] t.solver with
+        | Sat -> `Yes
+        | Unsat -> `No
+        | Unknown -> `Unknown)
+
+  let check ?conflict_budget t prop =
+    let some_sat = exists_with ?conflict_budget t `Holds prop in
+    let stats_sat = t.last_stats in
+    let some_viol = exists_with ?conflict_budget t `Violated prop in
+    t.last_stats <-
+      {
+        Solver.conflicts = stats_sat.conflicts + t.last_stats.conflicts;
+        decisions = stats_sat.decisions + t.last_stats.decisions;
+        propagations = stats_sat.propagations + t.last_stats.propagations;
+        learnt = t.last_stats.learnt;
+        restarts = stats_sat.restarts + t.last_stats.restarts;
+      };
+    match (some_sat, some_viol) with
+    | `Yes, `Yes -> `Mixed
+    | `Yes, `No -> `Holds_in_all
+    | `No, `Yes -> `Violated_in_all
+    | `No, `No -> `Vacuous
+    | `Unknown, _ | _, `Unknown -> `Unknown
+end
+
+(* ------------------------------------------------------------------ *)
+(* Batched reconstruction over a stream of log entries                 *)
+
+(* One solver serves every trace-cycle of a log: the timestamp matrix
+   [A] is shared, so we emit each XOR row once in the parity-select
+   form [⊕ vars_j ⊕ p_j = 0] — the select variable p_j carries bit j of
+   the timeprint — and pin the p_j per entry through assumptions. The
+   per-entry cardinality [exactly k] is cached under a guard literal
+   per distinct [k]. All structure learned about [A] (and the assumed
+   properties) transfers across entries. *)
+let batch ?(assume = []) ?conflict_budget encoding entries =
+  let m = Encoding.m encoding and b = Encoding.b encoding in
+  List.iter
+    (fun e ->
+      if Bitvec.width (Log_entry.tp e) <> b then
+        invalid_arg "Reconstruct.batch: timeprint width <> encoding b")
+    entries;
+  let cnf = Cnf.create () in
+  let xvars = Array.init m (fun _ -> Cnf.new_var cnf) in
+  let pvars = Array.init b (fun _ -> Cnf.new_var cnf) in
+  for j = 0 to b - 1 do
+    let vars = ref [ pvars.(j) ] in
+    for i = 0 to m - 1 do
+      if Bitvec.get (Encoding.timestamp encoding i) j then
+        vars := xvars.(i) :: !vars
+    done;
+    Cnf.add_xor_chunked cnf ~vars:!vars ~parity:false
+  done;
+  List.iter
+    (fun p -> Property.assert_holds cnf ~m ~xvar:(fun i -> xvars.(i)) p)
+    assume;
+  let solver = Solver.create () in
+  let flushed_clauses = ref 0 and flushed_xors = ref 0 in
+  let flush () =
+    Solver.add_cnf_from solver cnf ~nclauses:!flushed_clauses ~nxors:!flushed_xors;
+    flushed_clauses := Cnf.nclauses cnf;
+    flushed_xors := Cnf.nxors cnf
+  in
+  flush ();
+  (* branch on the signal variables before select/auxiliary variables:
+     they determine everything else through the XOR rows and counters *)
+  Solver.boost solver (Array.to_list xvars);
+  let k_guards = Hashtbl.create 8 in
+  let k_guard k =
+    match Hashtbl.find_opt k_guards k with
+    | Some g -> g
+    | None ->
+        let g = Lit.pos (Cnf.new_var cnf) in
+        let first_aux = Cnf.nvars cnf in
+        Cardinality.exactly ~guard:g cnf
+          (Array.to_list (Array.map Lit.pos xvars))
+          k;
+        (* pin the group's counter auxiliaries to its guard (aux → g):
+           an entry assuming a different k turns this whole counter into
+           unit-propagated falses instead of thousands of free decisions *)
+        for v = first_aux to Cnf.nvars cnf - 1 do
+          Cnf.add_clause cnf [ g; Lit.neg_of v ]
+        done;
+        flush ();
+        Hashtbl.add k_guards k g;
+        g
+  in
+  List.map
+    (fun entry ->
+      let tp = Log_entry.tp entry in
+      let active = k_guard (Log_entry.k entry) in
+      let assumptions =
+        active
+        :: List.init b (fun j -> Lit.make pvars.(j) (Bitvec.get tp j))
+        @ Hashtbl.fold
+            (fun _ g acc -> if Lit.equal g active then acc else Lit.negate g :: acc)
+            k_guards []
+      in
+      let before = Solver.stats solver in
+      let verdict =
+        match Solver.solve ?conflict_budget ~assumptions solver with
+        | Sat -> `Signal (signal_of_model m xvars (Solver.value solver))
+        | Unsat -> `Unsat
+        | Unknown -> `Unknown
+      in
+      let after = Solver.stats solver in
+      ( verdict,
+        {
+          Solver.conflicts = after.conflicts - before.conflicts;
+          decisions = after.decisions - before.decisions;
+          propagations = after.propagations - before.propagations;
+          learnt = after.learnt;
+          restarts = after.restarts - before.restarts;
+        } ))
+    entries

@@ -53,7 +53,16 @@ val enumerate :
 (** All reconstructions, or the first [max_solutions] (the paper's
     [.10] columns use [max_solutions = 10]). *)
 
-val count : ?max_solutions:int -> problem -> int
+val count :
+  ?max_solutions:int ->
+  ?conflict_budget:int ->
+  problem ->
+  int * [ `Exact | `Lower_bound ]
+(** Number of reconstructions. [`Exact] when the enumeration provably
+    exhausted the preimage; [`Lower_bound] when it was cut short by
+    [max_solutions] or the conflict budget — the two answers were
+    previously indistinguishable, which silently under-reported
+    preimage sizes (Table 1's [|SR|] column). *)
 
 type check_result =
   [ `Holds_in_all  (** every reconstruction satisfies the property *)
@@ -68,3 +77,72 @@ val check : ?conflict_budget:int -> problem -> Property.t -> check_result
     that satisfies or breaks a certain temporal property"). *)
 
 val pp_check_result : Format.formatter -> check_result -> unit
+
+(** {1 Incremental sessions}
+
+    The cold entry points above build a fresh solver per query, so
+    nothing learned answering one question about a log entry helps the
+    next. A {!Session.t} owns a single incremental solver primed with
+    the entry's base constraints (XOR rows, cardinality, verified
+    properties); {!Session.first}, {!Session.enumerate} and
+    {!Session.check} are then assumption flips on that solver — learnt
+    clauses, variable activities and saved phases accumulate across
+    queries. Enumeration blocking clauses are emitted under a
+    per-enumeration guard and retired afterwards; suspected-property
+    encodings are cached under guards keyed by (property, polarity), so
+    [check]'s Holds/Violated pair — and any repeat of it — shares all
+    learned structure. *)
+
+module Session : sig
+  type t
+
+  val create : problem -> t
+  (** Solver primed with the problem's base constraints. *)
+
+  val problem : t -> problem
+
+  val first : ?conflict_budget:int -> t -> verdict
+  (** As {!val:first}, on the live solver. *)
+
+  val enumerate :
+    ?max_solutions:int -> ?conflict_budget:int -> t -> enumeration
+  (** As {!val:enumerate}; the blocking clauses are guarded and retired
+      when the call returns, so subsequent queries (including a repeat
+      enumeration) see the complete preimage again. *)
+
+  val count :
+    ?max_solutions:int ->
+    ?conflict_budget:int ->
+    t ->
+    int * [ `Exact | `Lower_bound ]
+
+  val check : ?conflict_budget:int -> t -> Property.t -> check_result
+  (** As {!val:check}: two assumption-solves on the shared solver. The
+      property encodings are added once (guarded) and reused on repeat
+      checks of the same property. *)
+
+  val last_stats : t -> Tp_sat.Solver.stats
+  (** Solver work spent by the most recent query on this session —
+      [conflicts], [decisions], [propagations] and [restarts] are
+      deltas over that query ([check] sums its two solves); [learnt] is
+      the current database size. *)
+end
+
+val batch :
+  ?assume:Property.t list ->
+  ?conflict_budget:int ->
+  Encoding.t ->
+  Log_entry.t list ->
+  (verdict * Tp_sat.Solver.stats) list
+(** Reconstruct a stream of trace-cycle log entries against one
+    encoding with a single solver. The timestamp-matrix structure is
+    emitted once in parity-select form — each XOR row closes on a fresh
+    select variable [p_j] instead of the constant [TP] bit, and each
+    entry pins [p_j] to its timeprint bit via assumptions — so conflict
+    clauses learned about [A] (and about the [assume] properties, which
+    must hold in every trace-cycle) transfer across entries. The
+    [exactly-k] cardinality constraint is built once per distinct [k],
+    under a guard assumed for the entries that need it. Returns, per
+    entry in order, the {!verdict} and the solver-work delta that entry
+    cost. [conflict_budget] bounds each entry's solve. Raises
+    [Invalid_argument] on a timeprint width mismatch. *)

@@ -159,6 +159,187 @@ let test_conflict_budget () =
   | Unsat -> () (* solved within budget: fine, but unlikely *)
 
 (* ------------------------------------------------------------------ *)
+(* Assumptions and unsat cores                                         *)
+
+let test_assumptions_sat () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ pos a; pos b ];
+  Alcotest.check check_result "assume a, ¬b" Sat
+    (Solver.solve ~assumptions:[ pos a; neg b ] s);
+  Alcotest.(check bool) "a true" true (Solver.value s a);
+  Alcotest.(check bool) "b false" false (Solver.value s b);
+  (* the same solver answers the flipped query *)
+  Alcotest.check check_result "assume ¬a, b" Sat
+    (Solver.solve ~assumptions:[ neg a; pos b ] s);
+  Alcotest.(check bool) "a false" false (Solver.value s a);
+  Alcotest.(check bool) "b true" true (Solver.value s b);
+  (* and the unconstrained query; unsat_core is invalid after Sat *)
+  Alcotest.check check_result "no assumptions" Sat (Solver.solve s);
+  Alcotest.check_raises "core after Sat"
+    (Failure "Solver.unsat_core: last solve did not return Unsat") (fun () ->
+      ignore (Solver.unsat_core s))
+
+let lit_mem l lits = List.exists (Lit.equal l) lits
+
+let test_assumptions_unsat_core () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s and c = Solver.new_var s in
+  Solver.add_clause s [ neg a; neg b ];
+  Alcotest.check check_result "a ∧ b contradicts" Unsat
+    (Solver.solve ~assumptions:[ pos a; pos b; pos c ] s);
+  let core = Solver.unsat_core s in
+  Alcotest.(check bool) "core ⊆ assumptions" true
+    (List.for_all (fun l -> lit_mem l [ pos a; pos b; pos c ]) core);
+  Alcotest.(check bool) "core mentions a" true (lit_mem (pos a) core);
+  Alcotest.(check bool) "core mentions b" true (lit_mem (pos b) core);
+  Alcotest.(check bool) "irrelevant c not in core" false (lit_mem (pos c) core);
+  (* the instance itself is untouched: assumptions are not learned *)
+  Alcotest.(check bool) "still ok" true (Solver.ok s);
+  Alcotest.check check_result "sat without assumptions" Sat (Solver.solve s)
+
+let test_unsat_core_root_falsified () =
+  (* an assumption contradicted at the root is its own core *)
+  let s = Solver.create () in
+  let vs = Array.init 5 (fun _ -> Solver.new_var s) in
+  Solver.add_clause s [ neg vs.(2) ];
+  Alcotest.check check_result "unsat" Unsat
+    (Solver.solve ~assumptions:(Array.to_list (Array.map pos vs)) s);
+  match Solver.unsat_core s with
+  | [ l0 ] -> Alcotest.(check bool) "core = [x2]" true (Lit.equal l0 (pos vs.(2)))
+  | core ->
+      Alcotest.failf "expected singleton core, got %d literals" (List.length core)
+
+let test_unsat_core_empty_on_global_unsat () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ pos b ];
+  Solver.add_clause s [ neg b ];
+  Alcotest.check check_result "globally unsat" Unsat
+    (Solver.solve ~assumptions:[ pos a ] s);
+  Alcotest.(check int) "empty core" 0 (List.length (Solver.unsat_core s))
+
+let test_contradictory_assumptions () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  Alcotest.check check_result "a ∧ ¬a" Unsat
+    (Solver.solve ~assumptions:[ pos a; neg a ] s);
+  let core = Solver.unsat_core s in
+  Alcotest.(check bool) "core nonempty" true (core <> []);
+  Alcotest.(check bool) "core ⊆ {a, ¬a}" true
+    (List.for_all (fun l -> lit_mem l [ pos a; neg a ]) core)
+
+(* ------------------------------------------------------------------ *)
+(* Guarded constraint groups                                           *)
+
+let test_guarded_xor_enable_disable () =
+  let s = Solver.create () in
+  let x = Solver.new_var s and y = Solver.new_var s in
+  let g = Solver.new_var s in
+  Solver.add_xor ~guard:(pos g) s ~vars:[ x; y ] ~parity:true;
+  Solver.add_clause s [ pos x ];
+  Solver.add_clause s [ pos y ];
+  (* x = y = 1 violates the row, so it only survives with the guard off *)
+  Alcotest.check check_result "guard free" Sat (Solver.solve s);
+  Alcotest.(check bool) "guard forced off" false (Solver.value s g);
+  Alcotest.check check_result "guard assumed" Unsat
+    (Solver.solve ~assumptions:[ pos g ] s);
+  (match Solver.unsat_core s with
+  | [ l0 ] -> Alcotest.(check bool) "core = [g]" true (Lit.equal l0 (pos g))
+  | core -> Alcotest.failf "expected [g] core, got %d literals" (List.length core));
+  Alcotest.check check_result "guard free again" Sat (Solver.solve s)
+
+let test_guarded_xor_propagates_under_guard () =
+  (* with the guard asserted, the row propagates like an unguarded one *)
+  let s = Solver.create () in
+  let x = Solver.new_var s and y = Solver.new_var s in
+  let g = Solver.new_var s in
+  Solver.add_xor ~guard:(pos g) s ~vars:[ x; y ] ~parity:true;
+  Solver.add_clause s [ pos g ];
+  Solver.add_clause s [ pos x ];
+  Alcotest.check check_result "sat" Sat (Solver.solve s);
+  Alcotest.(check bool) "y forced false" false (Solver.value s y)
+
+let test_guarded_xor_groups_retire () =
+  let s = Solver.create () in
+  let x = Solver.new_var s and y = Solver.new_var s in
+  let g1 = Solver.new_var s and g2 = Solver.new_var s in
+  Solver.add_xor ~guard:(pos g1) s ~vars:[ x; y ] ~parity:true;
+  Solver.add_xor ~guard:(pos g2) s ~vars:[ x; y ] ~parity:false;
+  Alcotest.check check_result "group 1 alone" Sat
+    (Solver.solve ~assumptions:[ pos g1 ] s);
+  Alcotest.(check bool) "row binds" true (Solver.value s x <> Solver.value s y);
+  Alcotest.check check_result "group 2 alone" Sat
+    (Solver.solve ~assumptions:[ pos g2 ] s);
+  Alcotest.(check bool) "row binds" true (Solver.value s x = Solver.value s y);
+  Alcotest.check check_result "both groups clash" Unsat
+    (Solver.solve ~assumptions:[ pos g1; pos g2 ] s);
+  (* retire group 2 for good; group 1 remains usable *)
+  Solver.add_clause s [ neg g2 ];
+  Alcotest.check check_result "group 1 after retirement" Sat
+    (Solver.solve ~assumptions:[ pos g1 ] s);
+  Alcotest.(check bool) "g2 dead" false (Solver.value s g2)
+
+let test_guarded_chunked_xor () =
+  (* an 8-variable guarded row built through chunking: with the guard
+     assumed, exactly the odd-parity assignments survive; with it
+     denied, the row (auxiliaries included) falls away entirely *)
+  let p = Cnf.create () in
+  let vars = List.init 8 (fun _ -> Cnf.new_var p) in
+  let g = Cnf.new_var p in
+  Cnf.add_xor_chunked ~chunk:3 ~guard:(pos g) p ~vars ~parity:true;
+  let s = Solver.of_cnf p in
+  let n_on, exact_on =
+    Allsat.count ~assumptions:[ pos g ] s ~project:vars
+  in
+  Alcotest.(check int) "guard on: odd assignments" 128 n_on;
+  Alcotest.(check bool) "exact" true (exact_on = `Exact);
+  let s2 = Solver.of_cnf p in
+  let n_off, exact_off =
+    Allsat.count ~assumptions:[ neg g ] s2 ~project:vars
+  in
+  Alcotest.(check int) "guard off: unconstrained" 256 n_off;
+  Alcotest.(check bool) "exact" true (exact_off = `Exact)
+
+let test_chunked_equals_monolithic () =
+  (* chunking preserves the projected model set *)
+  List.iter
+    (fun (n, parity) ->
+      let mono = Cnf.create () in
+      let vars = List.init n (fun _ -> Cnf.new_var mono) in
+      Cnf.add_xor mono ~vars ~parity;
+      let chunked = Cnf.create () in
+      let vars' = List.init n (fun _ -> Cnf.new_var chunked) in
+      Cnf.add_xor_chunked ~chunk:4 chunked ~vars:vars' ~parity;
+      let models prob project =
+        let s = Solver.of_cnf prob in
+        let { Allsat.models; complete } = Allsat.enumerate s ~project in
+        assert complete;
+        List.sort compare (List.map Array.to_list models)
+      in
+      Alcotest.(check (list (list bool)))
+        (Printf.sprintf "n=%d parity=%b" n parity)
+        (models mono vars) (models chunked vars'))
+    [ (5, true); (9, false); (13, true) ]
+
+let test_guarded_cardinality_groups () =
+  (* one variable set, two cached exactly-k groups switched by guards *)
+  let p = Cnf.create () in
+  let vars = List.init 5 (fun _ -> Cnf.new_var p) in
+  let g2 = Cnf.new_var p and g3 = Cnf.new_var p in
+  Cardinality.exactly ~guard:(pos g2) p (List.map pos vars) 2;
+  Cardinality.exactly ~guard:(pos g3) p (List.map pos vars) 3;
+  let s = Solver.of_cnf p in
+  let n2, _ = Allsat.count ~assumptions:[ pos g2; neg g3 ] s ~project:vars in
+  Alcotest.(check int) "C(5,2)" 10 n2;
+  let s' = Solver.of_cnf p in
+  let n3, _ = Allsat.count ~assumptions:[ neg g2; pos g3 ] s' ~project:vars in
+  Alcotest.(check int) "C(5,3)" 10 n3;
+  let s'' = Solver.of_cnf p in
+  Alcotest.check check_result "both groups clash" Unsat
+    (Solver.solve ~assumptions:[ pos g2; pos g3 ] s'')
+
+(* ------------------------------------------------------------------ *)
 (* Cardinality                                                         *)
 
 let binom n k =
@@ -171,7 +352,9 @@ let binom n k =
 
 let count_models_cnf p ~project =
   let s = Solver.of_cnf p in
-  Allsat.count s ~project
+  let n, exact = Allsat.count s ~project in
+  Alcotest.(check bool) "count is exact" true (exact = `Exact);
+  n
 
 let test_exactly_model_count () =
   List.iter
@@ -251,6 +434,50 @@ let test_allsat_max_models () =
   Alcotest.(check int) "capped" 7 (List.length models);
   Alcotest.(check bool) "incomplete" false complete
 
+let test_allsat_global_budget () =
+  (* the budget bounds the whole enumeration, not each solve: an
+     enumeration that needs many conflicts in total must stop with the
+     solver having spent at most [budget] conflicts overall — under the
+     old per-solve semantics php(6,6)'s 720 models could burn up to
+     720 × budget *)
+  let budget = 20 in
+  let s = pigeonhole 6 6 in
+  let project = List.init 36 Fun.id in
+  let { Allsat.models; complete } =
+    Allsat.enumerate ~conflict_budget:budget s ~project
+  in
+  Alcotest.(check bool) "stopped early" false complete;
+  Alcotest.(check bool) "found fewer than all 720" true (List.length models < 720);
+  Alcotest.(check bool)
+    (Printf.sprintf "total conflicts %d <= budget %d" (Solver.stats s).conflicts
+       budget)
+    true
+    ((Solver.stats s).conflicts <= budget)
+
+let test_allsat_count_reports_truncation () =
+  let p = Cnf.create () in
+  let vars = List.init 4 (fun _ -> Cnf.new_var p) in
+  let s = Solver.of_cnf p in
+  let n, exact = Allsat.count ~max_models:5 s ~project:vars in
+  Alcotest.(check int) "truncated count" 5 n;
+  Alcotest.(check bool) "lower bound" true (exact = `Lower_bound);
+  let s2 = Solver.of_cnf p in
+  let n2, exact2 = Allsat.count s2 ~project:vars in
+  Alcotest.(check int) "full count" 16 n2;
+  Alcotest.(check bool) "exact" true (exact2 = `Exact)
+
+let test_allsat_guarded_blocking () =
+  (* blocking clauses under a guard: retiring the guard restores the
+     full model set for later enumerations on the same solver *)
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  let g1 = Solver.new_var s and g2 = Solver.new_var s in
+  let n1, _ = Allsat.count ~guard:(pos g1) s ~project:[ a; b ] in
+  Alcotest.(check int) "first enumeration" 4 n1;
+  Solver.add_clause s [ neg g1 ];
+  let n2, _ = Allsat.count ~guard:(pos g2) s ~project:[ a; b ] in
+  Alcotest.(check int) "second enumeration sees all models again" 4 n2
+
 (* ------------------------------------------------------------------ *)
 (* Dimacs                                                              *)
 
@@ -276,7 +503,45 @@ let test_dimacs_parse_errors () =
       ignore (Dimacs.parse_string "1 2 3"));
   Alcotest.check_raises "bad literal"
     (Failure "Dimacs: line 2: bad literal foo") (fun () ->
-      ignore (Dimacs.parse_string "p cnf 2 1\n1 foo 0"))
+      ignore (Dimacs.parse_string "p cnf 2 1\n1 foo 0"));
+  (* the error names the line where the open clause started *)
+  Alcotest.check_raises "unterminated multi-line"
+    (Failure "Dimacs: line 3: clause not terminated by 0") (fun () ->
+      ignore (Dimacs.parse_string "p cnf 4 2\n1 2 0\n3\n4"))
+
+let test_dimacs_clause_spanning_lines () =
+  (* clauses are a token stream: they may span lines… *)
+  let p = Dimacs.parse_string "p cnf 3 2\n1 2\n3 0\n-1\n0" in
+  Alcotest.(check int) "two clauses" 2 (Cnf.nclauses p);
+  (match Cnf.clauses p with
+  | [ c1; c2 ] ->
+      Alcotest.(check (list int)) "clause 1" [ 1; 2; 3 ]
+        (List.map Lit.to_dimacs c1);
+      Alcotest.(check (list int)) "clause 2" [ -1 ] (List.map Lit.to_dimacs c2)
+  | _ -> Alcotest.fail "expected two clauses");
+  (* …or share one, with comments interleaved *)
+  let q = Dimacs.parse_string "p cnf 3 3\nc shared line\n1 2 0 -2 3 0 -1 0\n" in
+  Alcotest.(check int) "three clauses" 3 (Cnf.nclauses q)
+
+let test_dimacs_xor_spanning_lines () =
+  let p = Dimacs.parse_string "p cnf 4 2\nx1 2\n3 0\nx-1 4 0\n" in
+  Alcotest.(check int) "two xors" 2 (Cnf.nxors p);
+  match Cnf.xors p with
+  | [ x1; x2 ] ->
+      Alcotest.(check (list int)) "xor 1 vars" [ 0; 1; 2 ] x1.Cnf.vars;
+      Alcotest.(check bool) "xor 1 parity" true x1.Cnf.parity;
+      Alcotest.(check (list int)) "xor 2 vars" [ 0; 3 ] x2.Cnf.vars;
+      Alcotest.(check bool) "xor 2 parity" false x2.Cnf.parity
+  | _ -> Alcotest.fail "expected two xors"
+
+let test_dimacs_guarded_xor_unserializable () =
+  let p = Cnf.create () in
+  let a = Cnf.new_var p and b = Cnf.new_var p in
+  let g = Cnf.new_var p in
+  Cnf.add_xor ~guard:(pos g) p ~vars:[ a; b ] ~parity:true;
+  Alcotest.check_raises "guarded xor"
+    (Invalid_argument "Dimacs.to_buffer: guarded XOR constraints cannot be serialized")
+    (fun () -> ignore (Dimacs.to_string p))
 
 (* ------------------------------------------------------------------ *)
 (* Tseitin                                                             *)
@@ -377,6 +642,31 @@ let prop_xor_expansion_equiv =
       let q = Cnf.expand_xors p in
       let sat prob = Solver.solve (Solver.of_cnf prob) = Solver.Sat in
       sat p = sat q)
+
+let prop_assumptions_vs_brute =
+  (* solving under assumptions ≡ solving with the assumptions as units *)
+  QCheck.Test.make ~name:"assumptions = unit clauses" ~count:200
+    (QCheck.make ~print:print_problem gen_problem)
+    (fun spec ->
+      let p = problem_of spec in
+      let nv = Cnf.nvars p in
+      let assumptions = [ l (nv mod 2 = 0) 0; l (nv mod 3 = 0) (nv - 1) ] in
+      let expected =
+        let q = Cnf.copy p in
+        List.iter (fun li -> Cnf.add_clause q [ li ]) assumptions;
+        brute_models q <> []
+      in
+      let s = Solver.of_cnf p in
+      match Solver.solve ~assumptions s with
+      | Sat ->
+          expected
+          && List.for_all
+               (fun li -> Solver.value s (Lit.var li) = Lit.sign li)
+               assumptions
+      | Unsat ->
+          (not expected)
+          && List.for_all (fun li -> lit_mem li assumptions) (Solver.unsat_core s)
+      | Unknown -> false)
 
 let prop_dimacs_roundtrip =
   QCheck.Test.make ~name:"dimacs round trip preserves models" ~count:150
@@ -492,6 +782,27 @@ let () =
           Alcotest.test_case "incremental blocking" `Quick test_incremental_blocking;
           Alcotest.test_case "conflict budget" `Quick test_conflict_budget;
         ] );
+      ( "assumptions",
+        [
+          Alcotest.test_case "sat under assumptions" `Quick test_assumptions_sat;
+          Alcotest.test_case "unsat core" `Quick test_assumptions_unsat_core;
+          Alcotest.test_case "root-falsified core" `Quick test_unsat_core_root_falsified;
+          Alcotest.test_case "empty core on global unsat" `Quick
+            test_unsat_core_empty_on_global_unsat;
+          Alcotest.test_case "contradictory assumptions" `Quick
+            test_contradictory_assumptions;
+        ] );
+      ( "guarded-groups",
+        [
+          Alcotest.test_case "xor enable/disable" `Quick test_guarded_xor_enable_disable;
+          Alcotest.test_case "xor propagates under guard" `Quick
+            test_guarded_xor_propagates_under_guard;
+          Alcotest.test_case "xor groups retire" `Quick test_guarded_xor_groups_retire;
+          Alcotest.test_case "guarded chunked xor" `Quick test_guarded_chunked_xor;
+          Alcotest.test_case "chunked = monolithic" `Quick test_chunked_equals_monolithic;
+          Alcotest.test_case "guarded cardinality groups" `Quick
+            test_guarded_cardinality_groups;
+        ] );
       ( "cardinality",
         [
           Alcotest.test_case "exactly-k model counts" `Quick test_exactly_model_count;
@@ -504,11 +815,21 @@ let () =
         [
           Alcotest.test_case "exhaustive vs brute force" `Quick test_allsat_exhaustive_vs_brute;
           Alcotest.test_case "max_models cap" `Quick test_allsat_max_models;
+          Alcotest.test_case "global conflict budget" `Quick test_allsat_global_budget;
+          Alcotest.test_case "count reports truncation" `Quick
+            test_allsat_count_reports_truncation;
+          Alcotest.test_case "guarded blocking clauses" `Quick
+            test_allsat_guarded_blocking;
         ] );
       ( "dimacs",
         [
           Alcotest.test_case "round trip" `Quick test_dimacs_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_dimacs_parse_errors;
+          Alcotest.test_case "clause spanning lines" `Quick
+            test_dimacs_clause_spanning_lines;
+          Alcotest.test_case "xor spanning lines" `Quick test_dimacs_xor_spanning_lines;
+          Alcotest.test_case "guarded xor unserializable" `Quick
+            test_dimacs_guarded_xor_unserializable;
         ] );
       ( "tseitin",
         [
@@ -529,6 +850,7 @@ let () =
             prop_solver_vs_brute;
             prop_allsat_vs_brute;
             prop_xor_expansion_equiv;
+            prop_assumptions_vs_brute;
             prop_dimacs_roundtrip;
           ] );
     ]

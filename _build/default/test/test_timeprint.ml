@@ -742,6 +742,161 @@ let test_max_solutions_cap () =
   Alcotest.(check int) "3 of 8" 3 (List.length signals);
   Alcotest.(check bool) "incomplete" false complete
 
+let test_count_completeness () =
+  let pb = Reconstruct.problem fig4_encoding fig4_entry in
+  Alcotest.(check bool) "exact count of 8" true
+    (Reconstruct.count pb = (8, `Exact));
+  Alcotest.(check bool) "cap reported as lower bound" true
+    (Reconstruct.count ~max_solutions:3 pb = (3, `Lower_bound))
+
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions and batch reconstruction: one solver, same
+   answers as the cold path *)
+
+let test_session_first_agrees () =
+  let s = Reconstruct.Session.create (Reconstruct.problem fig4_encoding fig4_entry) in
+  (match Reconstruct.Session.first s with
+  | `Signal sol ->
+      Alcotest.check entry "a genuine preimage" fig4_entry
+        (Logger.abstract fig4_encoding sol)
+  | _ -> Alcotest.fail "expected SAT");
+  let st = Reconstruct.Session.last_stats s in
+  Alcotest.(check bool) "stats populated" true (st.Tp_sat.Solver.decisions > 0)
+
+let test_session_enumerate_equals_cold () =
+  let pb = Reconstruct.problem fig4_encoding fig4_entry in
+  let cold = Reconstruct.enumerate pb in
+  let s = Reconstruct.Session.create pb in
+  let sorted e = List.sort Signal.compare e.Reconstruct.signals in
+  let warm1 = Reconstruct.Session.enumerate s in
+  Alcotest.(check bool) "complete" true warm1.Reconstruct.complete;
+  Alcotest.(check (list signal)) "same preimage" (sorted cold) (sorted warm1);
+  (* the blocking clauses were retired with their guard: a repeat
+     enumeration on the same session sees the whole preimage again *)
+  let warm2 = Reconstruct.Session.enumerate s in
+  Alcotest.(check (list signal)) "repeat enumeration intact" (sorted cold)
+    (sorted warm2);
+  Alcotest.(check bool) "count exact" true
+    (Reconstruct.Session.count s = (8, `Exact));
+  Alcotest.(check bool) "capped count is a lower bound" true
+    (Reconstruct.Session.count ~max_solutions:3 s = (3, `Lower_bound))
+
+let test_session_check_equals_cold () =
+  let pb = Reconstruct.problem fig4_encoding fig4_entry in
+  let s = Reconstruct.Session.create pb in
+  let props =
+    [
+      Property.deadline ~count:1 ~before:8;
+      Property.pulse_pairs;
+      Property.p2;
+      Property.window ~lo:0 ~hi:15;
+      (* repeat: hits the cached guarded encoding *)
+      Property.deadline ~count:1 ~before:8;
+    ]
+  in
+  List.iter
+    (fun p ->
+      let cold = Reconstruct.check pb p in
+      let warm = Reconstruct.Session.check s p in
+      Alcotest.(check bool)
+        (Format.asprintf "%a agrees" Property.pp p)
+        true (cold = warm))
+    props;
+  (* queries after the property checks still see the unpolluted preimage *)
+  Alcotest.(check bool) "count still exact" true
+    (Reconstruct.Session.count s = (8, `Exact))
+
+let test_session_vacuous () =
+  let e = Encoding.one_hot ~m:6 in
+  let bad = Log_entry.make ~tp:(Bitvec.of_indices ~width:6 [ 0; 1 ]) ~k:3 in
+  let s = Reconstruct.Session.create (Reconstruct.problem e bad) in
+  Alcotest.(check bool) "unsat" true (Reconstruct.Session.first s = `Unsat);
+  Alcotest.(check bool) "vacuous check" true
+    (Reconstruct.Session.check s Property.p2 = `Vacuous)
+
+let test_batch_equals_cold_firsts () =
+  let e = Encoding.one_hot ~m:8 in
+  let entries =
+    List.map
+      (fun changes -> Logger.abstract e (Signal.of_changes ~m:8 changes))
+      [ [ 0; 3 ]; [ 1; 2; 5 ]; []; [ 0; 3 ]; [ 7 ] ]
+    (* an unrealizable entry: 2 TP bits set but k = 3 *)
+    @ [ Log_entry.make ~tp:(Bitvec.of_indices ~width:8 [ 0; 1 ]) ~k:3 ]
+  in
+  let batched = Reconstruct.batch e entries in
+  Alcotest.(check int) "one verdict per entry" (List.length entries)
+    (List.length batched);
+  List.iter2
+    (fun en (v, st) ->
+      (match (Reconstruct.first (Reconstruct.problem e en), v) with
+      | `Signal _, `Signal sol ->
+          Alcotest.check entry "batch solution abstracts back" en
+            (Logger.abstract e sol)
+      | `Unsat, `Unsat -> ()
+      | _ -> Alcotest.fail "batch verdict differs from cold first");
+      Alcotest.(check bool) "per-entry stats sane" true
+        (st.Tp_sat.Solver.conflicts >= 0))
+    entries batched
+
+let test_batch_with_properties () =
+  (* the assumed property constrains every entry of the stream: under
+     pulse_pairs the fig4 entry has exactly one reconstruction *)
+  let batched =
+    Reconstruct.batch ~assume:[ Property.pulse_pairs ] fig4_encoding
+      [ fig4_entry ]
+  in
+  match batched with
+  | [ (`Signal s, _) ] -> Alcotest.check signal "the actual signal" fig4_signal s
+  | _ -> Alcotest.fail "expected one SAT verdict"
+
+let test_batch_width_mismatch () =
+  let e = Encoding.one_hot ~m:8 in
+  let bad = Log_entry.make ~tp:(Bitvec.of_indices ~width:4 [ 0 ]) ~k:1 in
+  Alcotest.(check bool) "raises" true
+    (match Reconstruct.batch e [ bad ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_session_equals_cold =
+  QCheck.Test.make ~name:"session verdicts = cold verdicts" ~count:30
+    QCheck.(pair (int_range 0 ((1 lsl 10) - 1)) (int_range 8 10))
+    (fun (mask, b) ->
+      let m = 10 in
+      let e = Encoding.random_constrained ~m ~b ~seed:(mask lxor b) () in
+      let s = Signal.of_bitvec (Bitvec.of_int ~width:m mask) in
+      let en = Logger.abstract e s in
+      let pb = Reconstruct.problem e en in
+      let session = Reconstruct.Session.create pb in
+      let cold = Reconstruct.enumerate pb in
+      let warm = Reconstruct.Session.enumerate session in
+      let prop = Property.deadline ~count:1 ~before:5 in
+      cold.Reconstruct.complete && warm.Reconstruct.complete
+      && List.sort Signal.compare cold.Reconstruct.signals
+         = List.sort Signal.compare warm.Reconstruct.signals
+      && Reconstruct.Session.check session prop = Reconstruct.check pb prop
+      && Reconstruct.Session.count session
+         = (List.length cold.Reconstruct.signals, `Exact))
+
+let prop_batch_equals_cold =
+  QCheck.Test.make ~name:"batch verdicts = cold firsts" ~count:15
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 6) (int_range 0 ((1 lsl 10) - 1)))
+    (fun masks ->
+      let m = 10 in
+      let e = Encoding.random_constrained ~m ~b:9 ~seed:(List.length masks) () in
+      let entries =
+        List.map
+          (fun mask ->
+            Logger.abstract e (Signal.of_bitvec (Bitvec.of_int ~width:m mask)))
+          masks
+      in
+      let batched = Reconstruct.batch e entries in
+      List.for_all2
+        (fun en (v, _) ->
+          match v with
+          | `Signal sol -> Log_entry.equal en (Logger.abstract e sol)
+          | `Unsat | `Unknown -> false)
+        entries batched)
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "timeprint"
@@ -813,6 +968,17 @@ let () =
           Alcotest.test_case "tcl eval basics" `Quick test_tcl_eval_basics;
           Alcotest.test_case "tcl periodic jitter guard" `Quick test_tcl_periodic_jitter_guard;
           Alcotest.test_case "tcl reconstruction pruning" `Quick test_tcl_reconstruction_pruning;
+          Alcotest.test_case "count completeness" `Quick test_count_completeness;
+        ] );
+      ( "incremental-session",
+        [
+          Alcotest.test_case "session first agrees" `Quick test_session_first_agrees;
+          Alcotest.test_case "session enumerate = cold" `Quick test_session_enumerate_equals_cold;
+          Alcotest.test_case "session check = cold" `Quick test_session_check_equals_cold;
+          Alcotest.test_case "session vacuous entry" `Quick test_session_vacuous;
+          Alcotest.test_case "batch = cold firsts" `Quick test_batch_equals_cold_firsts;
+          Alcotest.test_case "batch with assumed property" `Quick test_batch_with_properties;
+          Alcotest.test_case "batch width mismatch" `Quick test_batch_width_mismatch;
         ] );
       ( "properties-qcheck",
         qt
@@ -826,5 +992,7 @@ let () =
             prop_combinatorial_equals_linear;
             prop_li4_low_k_unique;
             prop_tcl_compile_agrees;
+            prop_session_equals_cold;
+            prop_batch_equals_cold;
           ] );
     ]

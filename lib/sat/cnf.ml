@@ -1,4 +1,4 @@
-type xor_constraint = { vars : int list; parity : bool }
+type xor_constraint = { vars : int list; parity : bool; guard : Lit.t option }
 
 type t = {
   mutable nvars : int;
@@ -34,26 +34,33 @@ let normalize_xor_vars vars =
     vars;
   List.filter (Hashtbl.mem tbl) (List.sort_uniq Int.compare vars)
 
-let add_xor p ~vars ~parity =
+let add_xor ?guard p ~vars ~parity =
   List.iter (fun v -> ensure_vars p (v + 1)) vars;
+  (match guard with Some g -> ensure_vars p (Lit.var g + 1) | None -> ());
   let vars = normalize_xor_vars vars in
-  match (vars, parity) with
-  | [], false -> () (* 0 = 0: trivially true *)
-  | [], true ->
+  match (vars, parity, guard) with
+  | [], false, _ -> () (* 0 = 0: trivially true *)
+  | [], true, None ->
       (* 0 = 1: trivially false *)
       p.cls <- [] :: p.cls;
       p.nclauses <- p.nclauses + 1
+  | [], true, Some g ->
+      (* false under the guard: the guard cannot hold *)
+      p.cls <- [ Lit.negate g ] :: p.cls;
+      p.nclauses <- p.nclauses + 1
   | _ ->
-      p.xs <- { vars; parity } :: p.xs;
+      p.xs <- { vars; parity; guard } :: p.xs;
       p.nxors <- p.nxors + 1
 
-let add_xor_chunked ?(chunk = 6) p ~vars ~parity =
+let add_xor_chunked ?(chunk = 6) ?guard p ~vars ~parity =
   if chunk < 3 then invalid_arg "Cnf.add_xor_chunked: chunk must be >= 3";
   let vars = normalize_xor_vars vars in
-  let rec go head vars =
+  (* [len] is [List.length vars], threaded through the recursion so a
+     long row stays linear instead of re-measuring the tail each step *)
+  let rec go head vars len =
     let head_len = match head with Some _ -> 1 | None -> 0 in
-    if List.length vars + head_len <= chunk then
-      add_xor p
+    if len + head_len <= chunk then
+      add_xor ?guard p
         ~vars:(match head with Some a -> a :: vars | None -> vars)
         ~parity
     else begin
@@ -67,13 +74,13 @@ let add_xor_chunked ?(chunk = 6) p ~vars ~parity =
       in
       let now, rest = split take vars in
       let aux = new_var p in
-      add_xor p
+      add_xor ?guard p
         ~vars:((match head with Some a -> a :: now | None -> now) @ [ aux ])
         ~parity:false;
-      go (Some aux) rest
+      go (Some aux) rest (len - take)
     end
   in
-  go None vars
+  go None vars (List.length vars)
 
 let clauses p = List.rev p.cls
 let xors p = List.rev p.xs
@@ -107,10 +114,14 @@ let expand_xors ?(chunk = 4) p =
   let q = create () in
   ensure_vars q p.nvars;
   List.iter (add_clause q) (clauses p);
-  let expand { vars; parity } =
+  let expand { vars; parity; guard } =
     (* Split v1 ⊕ … ⊕ vn = parity into chained chunks through fresh
        auxiliaries: (v1 ⊕ … ⊕ v_c ⊕ a1 = 0), (a1 ⊕ v_{c+1} … ⊕ a2 = 0),
-       …, last chunk closes with = parity. *)
+       …, last chunk closes with = parity. A guarded row prefixes ¬g to
+       every emitted clause, preserving the switch-off semantics. *)
+    let add_clause q cl =
+      add_clause q (match guard with Some g -> Lit.negate g :: cl | None -> cl)
+    in
     let rec go acc_head vars =
       let n = List.length vars in
       if n + (match acc_head with Some _ -> 1 | None -> 0) <= chunk then begin
@@ -143,8 +154,9 @@ let eval p a =
   let lit_true l = if Lit.sign l then a.(Lit.var l) else not a.(Lit.var l) in
   List.for_all (fun c -> List.exists lit_true c) (clauses p)
   && List.for_all
-       (fun { vars; parity } ->
-         List.fold_left (fun acc v -> acc <> a.(v)) false vars = parity)
+       (fun { vars; parity; guard } ->
+         (match guard with Some g -> not (lit_true g) | None -> false)
+         || List.fold_left (fun acc v -> acc <> a.(v)) false vars = parity)
        (xors p)
 
 let copy p =

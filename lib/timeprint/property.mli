@@ -65,12 +65,17 @@ val eval : t -> Signal.t -> bool
 (** Reference semantics. *)
 
 val assert_holds :
-  Tp_sat.Cnf.t -> m:int -> xvar:(int -> int) -> t -> unit
+  ?guard:Tp_sat.Lit.t -> Tp_sat.Cnf.t -> m:int -> xvar:(int -> int) -> t -> unit
 (** Add clauses forcing the property to hold of the signal whose
-    change-variable for cycle [i] is [xvar i]. *)
+    change-variable for cycle [i] is [xvar i]. With [?guard:g] the
+    encoding binds only in models where [g] is true (every emitted
+    clause carries [¬g], and cardinality counters are built guarded),
+    so a property can be switched on per query via a solver assumption
+    — the leaf encodings are exact under an asserted guard. *)
 
 val assert_violated :
-  Tp_sat.Cnf.t -> m:int -> xvar:(int -> int) -> t -> unit
-(** Add clauses forcing the property to be false. *)
+  ?guard:Tp_sat.Lit.t -> Tp_sat.Cnf.t -> m:int -> xvar:(int -> int) -> t -> unit
+(** Add clauses forcing the property to be false. [?guard] as in
+    {!assert_holds}. *)
 
 val pp : Format.formatter -> t -> unit
