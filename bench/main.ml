@@ -21,18 +21,127 @@ open Timeprint
 let conflict_budget = ref 15_000
 
 (* ------------------------------------------------------------------ *)
-(* Timing helpers                                                      *)
+(* Timing helpers — monotonic wall clock. [Sys.time] measures process
+   CPU time, which is blind to anything that blocks and drifts against
+   the wall-clock figures the paper reports.                           *)
 
 let time f =
-  let t0 = Sys.time () in
+  let t0 = Monotonic_clock.now () in
   let r = f () in
-  (Sys.time () -. t0, r)
+  (Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9, r)
 
 let pp_time ppf t =
   if t < 0. then Format.pp_print_string ppf "  budget "
   else if t >= 60. then
     Format.fprintf ppf "%2dm%05.2fs" (int_of_float t / 60) (Float.rem t 60.)
   else Format.fprintf ppf "%8.3fs" t
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: every Gauss/presolve ablation run is
+   recorded and written to BENCH_pr2.json, with per-section median
+   speedups (both-on over both-off), so the claimed effect is a number
+   in the repo rather than a sentence in a doc. The headline
+   "speedups" median ranges over the pairs where the auto policy
+   enables the engine — the shipped default — since forcing it on
+   needle instances is a configuration nothing ships;
+   "speedups_all_pairs" keeps the unfiltered median for transparency. *)
+
+type bench_row = {
+  section : string;
+  m : int;
+  k : int option; (* None: mixed per-entry k (batched sections) *)
+  b : int;
+  encoding_name : string;
+  gauss_on : bool; (* true: gauss + presolve on; false: both off *)
+  engaged : bool; (* would the auto policy enable the engine here? *)
+  median_s : float;
+  times_s : float list; (* negative = budget-exhausted, excluded *)
+  conflicts : int;
+  propagations : int;
+}
+
+let bench_rows : bench_row list ref = ref []
+let add_bench_row r = bench_rows := r :: !bench_rows
+
+let median l =
+  match List.sort compare (List.filter (fun t -> t >= 0.) l) with
+  | [] -> -1.
+  | l ->
+      let a = Array.of_list l in
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let write_bench_json () =
+  match List.rev !bench_rows with
+  | [] -> ()
+  | rows ->
+      let buf = Buffer.create 4096 in
+      let fstr f = if f < 0. then "null" else Printf.sprintf "%.6f" f in
+      Buffer.add_string buf "{\n  \"rows\": [\n";
+      let last = List.length rows - 1 in
+      List.iteri
+        (fun i r ->
+          Printf.bprintf buf
+            "    {\"section\": %S, \"m\": %d, \"k\": %s, \"b\": %d, \
+             \"encoding\": %S, \"gauss\": %b, \"engaged\": %b, \
+             \"median_s\": %s, \"times_s\": [%s], \"conflicts\": %d, \
+             \"propagations\": %d}%s\n"
+            r.section r.m
+            (match r.k with Some k -> string_of_int k | None -> "null")
+            r.b r.encoding_name r.gauss_on r.engaged (fstr r.median_s)
+            (String.concat ", " (List.map fstr r.times_s))
+            r.conflicts r.propagations
+            (if i = last then "" else ","))
+        rows;
+      let key r = (r.m, r.k, r.b, r.encoding_name) in
+      let sections =
+        List.sort_uniq compare (List.map (fun r -> r.section) rows)
+      in
+      let speedups_where keep =
+        List.filter_map
+          (fun sec ->
+            let secrows = List.filter (fun r -> r.section = sec) rows in
+            let ratios =
+              List.filter_map
+                (fun on ->
+                  if (not on.gauss_on) || not (keep on) then None
+                  else
+                    match
+                      List.find_opt
+                        (fun off -> (not off.gauss_on) && key off = key on)
+                        secrows
+                    with
+                    | Some off when on.median_s > 0. && off.median_s >= 0. ->
+                        Some (off.median_s /. on.median_s)
+                    | _ -> None)
+                secrows
+            in
+            if ratios = [] then None else Some (sec, median ratios))
+          sections
+      in
+      let emit name speedups terminal =
+        Printf.bprintf buf "  %S: {\n" name;
+        let last = List.length speedups - 1 in
+        List.iteri
+          (fun i (sec, sp) ->
+            Printf.bprintf buf "    %S: %.3f%s\n" sec sp
+              (if i = last then "" else ","))
+          speedups;
+        Buffer.add_string buf (if terminal then "  }\n" else "  },\n")
+      in
+      Buffer.add_string buf "  ],\n";
+      let headline = speedups_where (fun r -> r.engaged) in
+      emit "speedups" headline false;
+      emit "speedups_all_pairs" (speedups_where (fun _ -> true)) true;
+      Buffer.add_string buf "}\n";
+      Out_channel.with_open_text "BENCH_pr2.json" (fun oc ->
+          Out_channel.output_string oc (Buffer.contents buf));
+      Format.printf "@.wrote BENCH_pr2.json (%d rows;%s)@."
+        (List.length rows)
+        (String.concat ","
+           (List.map
+              (fun (sec, sp) -> Printf.sprintf " %s speedup %.2fx" sec sp)
+              headline))
 
 (* one reconstruction timing: first solution and 10th solution *)
 let solve_times pb =
@@ -143,6 +252,67 @@ let table1 ~full () =
             (Printf.sprintf "%d/%d" m k)
             (Encoding.b enc) pp_time c1 pp_time c10 pp_time p1 pp_time p10
             pp_time d1 pp_time d10 pp_time pd1 pp_time pd10 rate)
+        ks)
+    (table1_rows ~full)
+
+(* Gauss engine + F₂ presolve on vs off, over the Table 1 grid. The
+   on-configuration is what {!table1} now runs by default; the
+   off-configuration is the seed's path (chunked XOR rows, lazy watch
+   scheme, no presolve). Recorded to BENCH_pr2.json. *)
+let table1_gauss ~full () =
+  Format.printf
+    "@.== Table 1 ablation: gauss+presolve on vs off ==@.";
+  Format.printf "   (* = the auto policy engages the engine by default)@.";
+  Format.printf "%-9s %3s %9s %9s %9s %9s %9s@." "m/k" "b" "on.1" "on.10"
+    "off.1" "off.10" "speedup";
+  List.iter
+    (fun (m, ks) ->
+      let enc = encoding_for m in
+      List.iter
+        (fun k ->
+          let s = constrained_signal ~m ~k in
+          let entry = Logger.abstract enc s in
+          let engaged = Reconstruct.auto_gauss (Reconstruct.problem enc entry) in
+          let run gauss_on =
+            let pb =
+              if gauss_on then
+                Reconstruct.problem ~presolve:true ~gauss:true enc entry
+              else Reconstruct.problem ~presolve:false ~gauss:false enc entry
+            in
+            let t1, t10 = solve_times pb in
+            (* solver-work counters for the record: one more
+               first-query on a session with the same settings *)
+            let sess = Reconstruct.Session.create pb in
+            ignore
+              (Reconstruct.Session.first ~conflict_budget:!conflict_budget sess);
+            let st = Reconstruct.Session.last_stats sess in
+            add_bench_row
+              {
+                section = "table1";
+                m;
+                k = Some k;
+                b = Encoding.b enc;
+                encoding_name =
+                  (if m >= 512 then "bch" else "random-constrained");
+                gauss_on;
+                engaged;
+                median_s = median [ t1; t10 ];
+                times_s = [ t1; t10 ];
+                conflicts = st.Tp_sat.Solver.conflicts;
+                propagations = st.Tp_sat.Solver.propagations;
+              };
+            (t1, t10)
+          in
+          let on1, on10 = run true in
+          let off1, off10 = run false in
+          let m_on = median [ on1; on10 ] and m_off = median [ off1; off10 ] in
+          Format.printf "%-9s %3d %a %a %a %a "
+            (Printf.sprintf "%d/%d%s" m k (if engaged then "*" else ""))
+            (Encoding.b enc) pp_time on1 pp_time on10 pp_time off1 pp_time
+            off10;
+          if m_on > 0. && m_off >= 0. then
+            Format.printf "%8.2fx@." (m_off /. m_on)
+          else Format.printf "%9s@." "-")
         ks)
     (table1_rows ~full)
 
@@ -304,7 +474,11 @@ let incremental ~full () =
           entries)
   in
   let t_inc, inc =
-    time (fun () -> Reconstruct.batch ~conflict_budget:budget enc entries)
+    time (fun () -> Reconstruct.batch ~conflict_budget:budget ~gauss:true enc entries)
+  in
+  let t_inc_off, inc_off =
+    time (fun () ->
+        Reconstruct.batch ~conflict_budget:budget ~gauss:false enc entries)
   in
   List.iteri
     (fun i (v, st) ->
@@ -332,9 +506,44 @@ let incremental ~full () =
         | _ -> false)
       cold inc
   in
-  Format.printf "verdicts agree: %b@." agree;
-  Format.printf "cold (fresh solver per entry): %a@." pp_time t_cold;
-  Format.printf "incremental (one solver)     : %a@." pp_time t_inc;
+  let agree_off =
+    List.for_all2
+      (fun (v, _) (v', _) ->
+        match (v, v') with
+        | `Signal _, `Signal _ | `Unsat, `Unsat | `Unknown, `Unknown -> true
+        | _ -> false)
+      inc inc_off
+  in
+  Format.printf "verdicts agree: %b (gauss off: %b)@." agree agree_off;
+  Format.printf "cold (fresh solver per entry)    : %a@." pp_time t_cold;
+  Format.printf "incremental (one solver, gauss)  : %a@." pp_time t_inc;
+  Format.printf "incremental (one solver, no gauss): %a@." pp_time t_inc_off;
+  let totals rs =
+    List.fold_left
+      (fun (c, p) (_, st) ->
+        (c + st.Tp_sat.Solver.conflicts, p + st.Tp_sat.Solver.propagations))
+      (0, 0) rs
+  in
+  let row gauss_on t rs =
+    let c, p = totals rs in
+    add_bench_row
+      {
+        section = "incremental";
+        m;
+        k = None;
+        b;
+        encoding_name = "random-constrained";
+        gauss_on;
+        (* the batched parity-select structure always engages *)
+        engaged = true;
+        median_s = t;
+        times_s = [ t ];
+        conflicts = c;
+        propagations = p;
+      }
+  in
+  row true t_inc inc;
+  row false t_inc_off inc_off;
 
   (* session: repeated property checks against one suspect entry *)
   let entry = List.nth entries (List.length entries / 2) in
@@ -610,7 +819,10 @@ let () =
   in
   let want s = sections = [] || List.mem s sections in
   if want "fig4" then fig4 ();
-  if want "table1" then table1 ~full ();
+  if want "table1" then begin
+    table1 ~full ();
+    table1_gauss ~full ()
+  end;
   if want "table2" then table2 ~full ();
   if want "can" then can ~full ();
   if want "incremental" then incremental ~full ();
@@ -618,4 +830,5 @@ let () =
   if want "ablation" then ablation ();
   if want "baseline" then baseline ();
   if want "micro" then micro ();
+  write_bench_json ();
   Format.printf "@.done.@."

@@ -4,18 +4,58 @@
    the format `timeprint dimacs` emits) from a file or stdin and prints
    a standard s/v answer. With [-models N], further models are produced
    through blocking clauses on the same (incremental) solver; [-stats]
-   prints the solver-work delta each query cost as `c` comment lines.
-   [-assume "LITS"] solves under DIMACS assumption literals and, on an
-   UNSAT answer, reports the final-conflict core. *)
+   prints the solver-work delta each query cost as `c` comment lines
+   (including the Gauss engine's matrix size and work). [-assume
+   "LITS"] solves under DIMACS assumption literals and, on an UNSAT
+   answer, reports the final-conflict core.
+
+   The unguarded XOR rows are Gauss–Jordan-presolved before the solver
+   sees them — rank-refuted instances answer UNSAT immediately, and
+   implied units/equivalences re-enter the formula as unit clauses and
+   binary XORs so every DIMACS variable stays reportable in `v` lines.
+   [-no-presolve] skips that; [-no-gauss] turns the in-solver Gauss
+   engine off (it is otherwise in auto mode). *)
 
 let usage =
-  "usage: tpsat [-budget N] [-models N] [-assume \"LITS\"] [-stats] [FILE | -]"
+  "usage: tpsat [-budget N] [-models N] [-assume \"LITS\"] [-stats] \
+   [-no-gauss] [-no-presolve] [FILE | -]"
+
+(* Gauss–Jordan-reduce the unguarded XOR rows of [cnf] at the formula
+   level. Units and aliases are added back as unit clauses / binary
+   XORs (rather than substituted out), so the variable space — and
+   hence model printing — is unchanged. *)
+let presolve cnf =
+  let module C = Tp_sat.Cnf in
+  let unguarded, guarded =
+    List.partition (fun (x : C.xor_constraint) -> x.guard = None) (C.xors cnf)
+  in
+  let rows = List.map (fun (x : C.xor_constraint) -> (x.vars, x.parity)) unguarded in
+  match Tp_sat.Xor_simp.reduce rows with
+  | `Unsat -> `Unsat
+  | `Reduced r ->
+      let out = C.create () in
+      C.ensure_vars out (C.nvars cnf);
+      List.iter (C.add_clause out) (C.clauses cnf);
+      List.iter
+        (fun (v, b) -> C.add_clause out [ Tp_sat.Lit.make v b ])
+        r.Tp_sat.Xor_simp.units;
+      List.iter
+        (fun (x, rep, c) -> C.add_xor out ~vars:[ x; rep ] ~parity:c)
+        r.aliases;
+      List.iter (fun (vars, parity) -> C.add_xor out ~vars ~parity) r.rows;
+      List.iter
+        (fun (x : C.xor_constraint) ->
+          C.add_xor ?guard:x.guard out ~vars:x.vars ~parity:x.parity)
+        guarded;
+      `Reduced (out, r)
 
 let () =
   let budget = ref max_int in
   let max_models = ref 1 in
   let assumptions = ref [] in
   let show_stats = ref false in
+  let gauss = ref None in
+  let use_presolve = ref true in
   let path = ref None in
   let rec parse = function
     | [] -> ()
@@ -47,6 +87,12 @@ let () =
     | "-stats" :: rest ->
         show_stats := true;
         parse rest
+    | "-no-gauss" :: rest ->
+        gauss := Some false;
+        parse rest
+    | "-no-presolve" :: rest ->
+        use_presolve := false;
+        parse rest
     | [ p ] -> path := Some p
     | _ ->
         prerr_endline usage;
@@ -64,8 +110,27 @@ let () =
       Printf.eprintf "c parse error: %s\n" e;
       exit 2
   | cnf -> (
-      let solver = Tp_sat.Solver.of_cnf cnf in
       let nvars = Tp_sat.Cnf.nvars cnf in
+      let cnf =
+        if not !use_presolve then cnf
+        else
+          match presolve cnf with
+          | `Unsat ->
+              (* the XOR rows alone are inconsistent over F₂ —
+                 unsatisfiable under any assumptions *)
+              print_endline "c presolve: XOR system rank-refuted";
+              if assumptions <> [] then print_endline "c core:";
+              print_endline "s UNSATISFIABLE";
+              exit 20
+          | `Reduced (out, r) ->
+              if !show_stats then
+                Printf.printf
+                  "c presolve: rank=%d dropped=%d units=%d aliases=%d\n"
+                  r.Tp_sat.Xor_simp.rank r.dropped (List.length r.units)
+                  (List.length r.aliases);
+              out
+      in
+      let solver = Tp_sat.Solver.of_cnf ?gauss:!gauss cnf in
       let query = ref 0 in
       let solve () =
         let before = Tp_sat.Solver.stats solver in
@@ -80,7 +145,12 @@ let () =
             (a.decisions - before.decisions)
             (a.propagations - before.propagations)
             (a.restarts - before.restarts)
-            a.learnt
+            a.learnt;
+          Printf.printf
+            "c gauss %d: rows=%d elims=%d propagations=%d conflicts=%d\n"
+            !query a.gauss_rows a.gauss_elims
+            (a.gauss_props - before.gauss_props)
+            (a.gauss_conflicts - before.gauss_conflicts)
         end;
         r
       in

@@ -66,9 +66,29 @@ let mul_vec m x =
   done;
   r
 
-(* Row-reduce [rows] (destructively on the copied array), returning the
-   list of (pivot_row, pivot_col) in elimination order. *)
-let eliminate rows_arr ncols =
+(* ---- Incremental row operations ------------------------------------ *)
+
+let swap_rows m i j =
+  if i < 0 || i >= m.nrows || j < 0 || j >= m.nrows then
+    invalid_arg "F2_matrix.swap_rows";
+  if i <> j then begin
+    let tmp = m.data.(i) in
+    m.data.(i) <- m.data.(j);
+    m.data.(j) <- tmp
+  end
+
+let xor_rows m ~src ~dst =
+  if src < 0 || src >= m.nrows || dst < 0 || dst >= m.nrows then
+    invalid_arg "F2_matrix.xor_rows";
+  if src = dst then invalid_arg "F2_matrix.xor_rows: src = dst";
+  Bitvec.xor_in_place m.data.(dst) m.data.(src)
+
+(* Gauss–Jordan on a raw row array (destructive), returning the list of
+   (pivot_row, pivot_col) in elimination order. Only the first [cols]
+   columns are eligible as pivots, so an augmented system [A | b] can be
+   reduced by passing rows of width [cols + extra]. After the call every
+   pivot column has a single 1 (full reduction, not just echelon). *)
+let rref_rows rows_arr ~cols:ncols =
   let nrows = Array.length rows_arr in
   let pivots = ref [] in
   let r = ref 0 in
@@ -99,6 +119,10 @@ let eliminate rows_arr ncols =
      done
    with Exit -> ());
   List.rev !pivots
+
+let eliminate rows_arr ncols = rref_rows rows_arr ~cols:ncols
+
+let rref m = rref_rows m.data ~cols:m.ncols
 
 let rank m =
   let rs = Array.map Bitvec.copy m.data in

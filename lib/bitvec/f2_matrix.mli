@@ -40,6 +40,28 @@ val transpose : t -> t
 val mul_vec : t -> Bitvec.t -> Bitvec.t
 (** [mul_vec a x] is [A·x]; [x] must have width [cols a]. *)
 
+val swap_rows : t -> int -> int -> unit
+(** Exchange two rows in place. *)
+
+val xor_rows : t -> src:int -> dst:int -> unit
+(** [xor_rows m ~src ~dst] adds (XORs) row [src] into row [dst] in
+    place. [src] and [dst] must differ. Together with {!swap_rows}
+    these are the elementary F₂ row operations; both preserve the row
+    space, so rank and solution sets are unchanged. *)
+
+val rref : t -> (int * int) list
+(** In-place Gauss–Jordan to reduced row-echelon form. Returns the
+    pivots as [(row, col)] pairs in elimination order: after the call,
+    each pivot column contains a single 1, at its pivot row. The rank
+    is the number of pivots; rows beyond the last pivot row are zero. *)
+
+val rref_rows : Bitvec.t array -> cols:int -> (int * int) list
+(** {!rref} on a raw row array (destructive). Only the first [cols]
+    columns are eligible as pivots, so an augmented system [A | b] can
+    be reduced by passing rows of width [cols + w] — the trailing [w]
+    columns ride along under the row operations. This is the workhorse
+    behind the SAT-side XOR presolve and the in-solver Gauss engine. *)
+
 val rank : t -> int
 
 val solve : t -> Bitvec.t -> Bitvec.t option

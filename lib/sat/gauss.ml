@@ -1,0 +1,228 @@
+open Tp_bitvec
+
+(* In-solver Gauss–Jordan XOR engine (CryptoMiniSat-style, dense).
+
+   At build time the unguarded XOR rows — with root-level assignments
+   folded into their parities — are Gauss–Jordan-reduced ({!Xor_simp}):
+   an inconsistent system is refuted outright, single-variable rows
+   become root units, and what remains is an independent basis kept as
+   a dense bit matrix over the participating variables (columns).
+
+   During search each row maintains two counters under the trail:
+   [unassigned] (how many of its variables are free) and [par] (the XOR
+   of the values of its assigned variables). [on_assign]/[on_unassign]
+   keep them synchronized in O(rows-containing-var) per trail event via
+   per-column occurrence lists. A row with one free variable forces it
+   (eager propagation — no watch-walk latency); a fully assigned row
+   with the wrong parity is a conflict. Reasons and conflicts are
+   materialized eagerly as literal arrays, so the engine's internal
+   state can never be invalidated by 1UIP resolution reading a reason
+   after further trail movement.
+
+   The engine never sees guarded rows: a guard can switch a row off,
+   which would invalidate anything eliminated through it. Those stay on
+   the solver's lazy 2-watched XOR scheme. *)
+
+type row = {
+  bits : Bitvec.t; (* membership over columns *)
+  rhs : bool; (* target parity *)
+  mutable unassigned : int;
+  mutable par : bool; (* XOR of values of currently assigned vars *)
+}
+
+type t = {
+  value : int -> int; (* solver view: -1 unassigned / 0 false / 1 true *)
+  col_of_var : int array; (* var -> column, or -1 *)
+  var_of_col : int array;
+  rows : row array;
+  occ : int array array; (* column -> indices of rows containing it *)
+  applied : bool array; (* column counted as assigned in the counters *)
+}
+
+type event = Nothing | Props of (Lit.t * Lit.t array) list | Confl of Lit.t array
+
+type built = {
+  engine : t option; (* None when no matrix rows remain *)
+  root_units : Lit.t list;
+  matrix_rows : int;
+  eliminated : int; (* redundant rows dropped + rows turned into units *)
+}
+
+let n_rows g = Array.length g.rows
+let n_cols g = Array.length g.var_of_col
+
+let build ~value rows_in =
+  (* Fold current root-level assignments into the parities, so every
+     matrix column starts unassigned. *)
+  let folded =
+    List.map
+      (fun (vars, parity) ->
+        let parity = ref parity in
+        let vars =
+          List.filter
+            (fun v ->
+              if value v >= 0 then begin
+                if value v = 1 then parity := not !parity;
+                false
+              end
+              else true)
+            vars
+        in
+        (vars, !parity))
+      rows_in
+  in
+  match Xor_simp.reduce ~extract_aliases:false folded with
+  | `Unsat -> `Unsat
+  | `Reduced { rows; units; aliases; rank = _; dropped } ->
+      assert (aliases = []);
+      let root_units = List.map (fun (v, b) -> Lit.make v b) units in
+      let nrows = List.length rows in
+      if nrows = 0 then
+        `Ok
+          {
+            engine = None;
+            root_units;
+            matrix_rows = 0;
+            eliminated = dropped + List.length units;
+          }
+      else begin
+        (* compress participating variables into columns *)
+        let tbl = Hashtbl.create 64 in
+        let cols = ref [] and ncols = ref 0 in
+        List.iter
+          (fun (vs, _) ->
+            List.iter
+              (fun v ->
+                if not (Hashtbl.mem tbl v) then begin
+                  Hashtbl.add tbl v !ncols;
+                  cols := v :: !cols;
+                  incr ncols
+                end)
+              vs)
+          rows;
+        let ncols = !ncols in
+        let var_of_col = Array.of_list (List.rev !cols) in
+        let max_var = Array.fold_left max 0 var_of_col in
+        let col_of_var = Array.make (max_var + 1) (-1) in
+        Array.iteri (fun c v -> col_of_var.(v) <- c) var_of_col;
+        let rows_arr =
+          Array.of_list
+            (List.map
+               (fun (vs, p) ->
+                 let bits = Bitvec.create ncols in
+                 List.iter (fun v -> Bitvec.set bits (Hashtbl.find tbl v) true) vs;
+                 { bits; rhs = p; unassigned = List.length vs; par = false })
+               rows)
+        in
+        let occ_n = Array.make ncols 0 in
+        Array.iter
+          (fun r -> Bitvec.iter_set (fun c -> occ_n.(c) <- occ_n.(c) + 1) r.bits)
+          rows_arr;
+        let occ = Array.map (fun n -> Array.make n (-1)) occ_n in
+        let fill = Array.make ncols 0 in
+        Array.iteri
+          (fun i r ->
+            Bitvec.iter_set
+              (fun c ->
+                occ.(c).(fill.(c)) <- i;
+                fill.(c) <- fill.(c) + 1)
+              r.bits)
+          rows_arr;
+        `Ok
+          {
+            engine =
+              Some
+                {
+                  value;
+                  col_of_var;
+                  var_of_col;
+                  rows = rows_arr;
+                  occ;
+                  applied = Array.make ncols false;
+                };
+            root_units;
+            matrix_rows = nrows;
+            eliminated = dropped + List.length units;
+          }
+      end
+
+let tracks g v = v < Array.length g.col_of_var && g.col_of_var.(v) >= 0
+
+(* The literal of [v] that is false under the current assignment —
+   conflict/reason clauses are built from these. *)
+let false_lit g v = Lit.make v (g.value v = 0)
+
+let row_conflict g row =
+  let lits = ref [] in
+  Bitvec.iter_set (fun c -> lits := false_lit g g.var_of_col.(c) :: !lits) row.bits;
+  Array.of_list !lits
+
+(* Row has exactly one uncounted variable: force it. The counters lag
+   the assignment by the propagation queue — a variable is counted when
+   the solver dequeues it, but its value is visible from the moment it
+   was enqueued — so the uncounted variable is found through [applied],
+   not through the value. If it is already enqueued there is nothing to
+   do: once it is dequeued the row's counter reaches zero and the
+   parity check fires if needed. Otherwise returns [Some (lit, reason)]
+   with the reason materialized now (the counted variables all have
+   stable values). *)
+let row_propagation g row =
+  let free = ref (-1) in
+  let lits = ref [] in
+  Bitvec.iter_set
+    (fun c ->
+      if g.applied.(c) then lits := false_lit g g.var_of_col.(c) :: !lits
+      else free := g.var_of_col.(c))
+    row.bits;
+  assert (!free >= 0);
+  if g.value !free >= 0 then None
+  else begin
+    let needed = row.rhs <> row.par in
+    let l = Lit.make !free needed in
+    Some (l, Array.of_list (l :: !lits))
+  end
+
+let on_assign g v =
+  if not (tracks g v) then Nothing
+  else begin
+    let c = g.col_of_var.(v) in
+    g.applied.(c) <- true;
+    let is_true = g.value v = 1 in
+    let confl = ref None and props = ref [] in
+    Array.iter
+      (fun ri ->
+        let row = g.rows.(ri) in
+        row.unassigned <- row.unassigned - 1;
+        if is_true then row.par <- not row.par;
+        (* keep updating the remaining rows even after a conflict: the
+           counters must reflect the assignment, because backtracking
+           will reverse it for every row *)
+        if !confl = None then
+          if row.unassigned = 0 then begin
+            if row.par <> row.rhs then confl := Some (row_conflict g row)
+          end
+          else if row.unassigned = 1 then
+            match row_propagation g row with
+            | Some p -> props := p :: !props
+            | None -> ())
+      g.occ.(c);
+    match !confl with
+    | Some lits -> Confl lits
+    | None -> ( match !props with [] -> Nothing | ps -> Props ps)
+  end
+
+let on_unassign g v =
+  if tracks g v then begin
+    let c = g.col_of_var.(v) in
+    if g.applied.(c) then begin
+      g.applied.(c) <- false;
+      (* the solver calls this before clearing the assignment *)
+      let was_true = g.value v = 1 in
+      Array.iter
+        (fun ri ->
+          let row = g.rows.(ri) in
+          row.unassigned <- row.unassigned + 1;
+          if was_true then row.par <- not row.par)
+        g.occ.(c)
+    end
+  end

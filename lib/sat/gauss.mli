@@ -1,0 +1,69 @@
+(** In-solver Gauss–Jordan propagation over the XOR rows.
+
+    The reconstruction instances are dominated by the linear system
+    [A·x = TP]; this engine gives the CDCL loop the same decisive
+    treatment Cryptominisat applies to XOR-heavy inputs. The unguarded
+    XOR rows are reduced to an independent basis at build time (UNSAT
+    by rank is detected before any search), then maintained as a dense
+    bit matrix under the trail: every assignment updates per-row
+    free-variable and parity counters through occurrence lists, so a
+    row with a single free variable propagates it {e eagerly} — the
+    moment its penultimate variable is assigned — and a fully assigned
+    row with the wrong parity conflicts immediately. Reasons and
+    conflict clauses are materialized as plain literal arrays and feed
+    the ordinary 1UIP analysis.
+
+    Guarded (removable) rows are out of scope by design — a switchable
+    row cannot soundly participate in elimination — and stay on the
+    solver's lazy watch scheme. The engine is owned and driven by
+    {!Solver}; it is exposed for tests. *)
+
+type t
+
+type event =
+  | Nothing
+  | Props of (Lit.t * Lit.t array) list
+      (** Forced literals with their (eagerly materialized) reason
+          clauses. A literal may already be assigned by the time the
+          caller drains the list — enqueue if free, conflict on the
+          reason if false. *)
+  | Confl of Lit.t array  (** A fully falsified row, as a conflict clause. *)
+
+type built = {
+  engine : t option;  (** [None] when no matrix rows remain. *)
+  root_units : Lit.t list;
+      (** Single-variable reduced rows: forced at the root. Their
+          variables are unassigned at build time (assigned variables
+          are folded out first). *)
+  matrix_rows : int;
+  eliminated : int;
+      (** Input rows absorbed by the reduction: linearly redundant
+          ones plus those that collapsed to units. *)
+}
+
+val build :
+  value:(int -> int) -> (int list * bool) list -> [ `Unsat | `Ok of built ]
+(** [build ~value rows] folds current root assignments (via [value]:
+    -1 unassigned / 0 false / 1 true) into the rows, Gauss–Jordan
+    reduces the system, and returns the engine. Must be called at
+    decision level 0 with propagation complete; [value] is retained
+    and consulted on every counter update, so it must keep reading the
+    live solver assignment. [`Unsat] means the rows alone are
+    contradictory. *)
+
+val tracks : t -> int -> bool
+(** Whether the variable is a matrix column. *)
+
+val on_assign : t -> int -> event
+(** Must be called exactly once for every variable the solver dequeues
+    from the trail (after its assignment is visible through [value]),
+    in trail order. No-op for untracked variables. *)
+
+val on_unassign : t -> int -> unit
+(** Must be called for every variable popped off the trail on
+    backtracking, {e before} its assignment is cleared. Assignments
+    that were never seen by {!on_assign} are ignored, so it is safe to
+    call for every popped trail entry. *)
+
+val n_rows : t -> int
+val n_cols : t -> int

@@ -12,9 +12,18 @@
 type clause = {
   mutable lits : Lit.t array;
   mutable activity : float;
+  mutable lbd : int;
+      (* literal block distance: number of distinct decision levels in
+         the clause when learnt (glucose); refreshed downward when the
+         clause serves as a reason in later conflicts *)
   learnt : bool;
   mutable deleted : bool;
 }
+
+type watcher = { wc : clause; mutable blocker : Lit.t }
+(* A clause in a watch list paired with one of its other literals: if
+   the blocker is true the clause is satisfied and the visit costs one
+   array read instead of touching the (cold) clause at all. *)
 
 type xclause = {
   xvars : int array; (* watch positions are indices 0 and 1 *)
@@ -24,6 +33,9 @@ type xclause = {
          false guard switches the row off. The guard variable is not
          watched — a missed propagation through it only delays the
          conflict to the leaf, where the var watches catch it. *)
+  mutable xcovered : bool;
+      (* absorbed by the Gauss matrix: removed from the watch lists and
+         inert until a rebuild resurrects or re-covers it *)
 }
 
 type result = Sat | Unsat | Unknown
@@ -34,6 +46,10 @@ type stats = {
   propagations : int;
   learnt : int;
   restarts : int;
+  gauss_rows : int;
+  gauss_elims : int;
+  gauss_props : int;
+  gauss_conflicts : int;
 }
 
 type t = {
@@ -46,7 +62,7 @@ type t = {
   mutable phase : bool array;
   mutable seen : bool array;
   (* watch lists *)
-  mutable watches : clause Vec.t array; (* indexed by lit *)
+  mutable watches : watcher Vec.t array; (* indexed by lit *)
   mutable xwatches : xclause Vec.t array; (* indexed by var *)
   (* clause DB *)
   clauses : clause Vec.t;
@@ -77,16 +93,44 @@ type t = {
          learnt-DB reduction slack must track restarts of this search,
          not the solver's lifetime, or incremental sessions inflate the
          threshold until reduction never fires *)
+  (* LBD computation scratch: distinct decision levels are counted by
+     stamping [lbd_marks.(level)] with a fresh generation *)
+  mutable lbd_marks : int array;
+  mutable lbd_gen : int;
+  (* Gauss–Jordan XOR engine *)
+  mutable gauss : Gauss.t option;
+  mutable gauss_mode : bool option; (* None = auto by row-count threshold *)
+  mutable gauss_dirty : bool; (* XOR rows changed since the last build *)
+  mutable n_gauss_rows : int;
+  mutable n_gauss_elims : int;
+  mutable n_gauss_props : int;
+  mutable n_gauss_conflicts : int;
 }
 
-let dummy_clause = { lits = [||]; activity = 0.; learnt = false; deleted = false }
-let mk_clause ?(learnt = false) lits = { lits; activity = 0.; learnt; deleted = false }
-let dummy_xclause = { xvars = [||]; xparity = false; xguard = None }
+let dummy_clause =
+  { lits = [||]; activity = 0.; lbd = 0; learnt = false; deleted = false }
+
+let mk_clause ?(learnt = false) lits =
+  { lits; activity = 0.; lbd = 0; learnt; deleted = false }
+
+let dummy_xclause = { xvars = [||]; xparity = false; xguard = None; xcovered = false }
+let dummy_watcher = { wc = dummy_clause; blocker = Lit.pos 0 }
 
 let var_decay = 1.0 /. 0.95
 let clause_decay = 1.0 /. 0.999
 
-let create () =
+(* auto mode switches the Gauss engine on from this many unguarded rows *)
+let gauss_threshold = 4
+
+(* …and back off above this many: Gauss–Jordan over a large system of
+   short chained rows (e.g. chunked XOR chains) densifies the matrix,
+   and the dense reasons/learnts cost far more than lazy watches save.
+   The engine's sweet spot is the natural shape of the reconstruction
+   instances: a few dozen long rows. An explicit [gauss:true] bypasses
+   the cap. *)
+let gauss_auto_max_rows = 128
+
+let create ?gauss () =
   let s =
     {
       nvars = 0;
@@ -117,6 +161,15 @@ let create () =
       n_propagations = 0;
       n_restarts = 0;
       restarts_base = 0;
+      lbd_marks = [||];
+      lbd_gen = 0;
+      gauss = None;
+      gauss_mode = gauss;
+      gauss_dirty = false;
+      n_gauss_rows = 0;
+      n_gauss_elims = 0;
+      n_gauss_props = 0;
+      n_gauss_conflicts = 0;
     }
   in
   (* tie the heap's score to this very record so growing [activity]
@@ -141,12 +194,16 @@ let grow_arrays s n =
     s.activity <- extend s.activity 0.;
     s.phase <- extend s.phase false;
     s.seen <- extend s.seen false;
+    (* decision levels range over 0 .. nvars, hence cap + 1 *)
+    let lm = Array.make (cap + 1) 0 in
+    Array.blit s.lbd_marks 0 lm 0 (Array.length s.lbd_marks);
+    s.lbd_marks <- lm;
     let xw = Array.init cap (fun i ->
         if i < old then s.xwatches.(i) else Vec.create ~dummy:dummy_xclause ())
     in
     s.xwatches <- xw;
     let w = Array.init (2 * cap) (fun i ->
-        if i < 2 * old then s.watches.(i) else Vec.create ~dummy:dummy_clause ())
+        if i < 2 * old then s.watches.(i) else Vec.create ~dummy:dummy_watcher ())
     in
     (* NB: old watch lists live at lit indices < 2*old which are the
        same indices in the new array, so a plain copy is correct. *)
@@ -196,8 +253,8 @@ let enqueue s l reason =
 (* Watches                                                             *)
 
 let watch_clause s c =
-  Vec.push s.watches.(Lit.to_index (Lit.negate c.lits.(0))) c;
-  Vec.push s.watches.(Lit.to_index (Lit.negate c.lits.(1))) c
+  Vec.push s.watches.(Lit.to_index (Lit.negate c.lits.(0))) { wc = c; blocker = c.lits.(1) };
+  Vec.push s.watches.(Lit.to_index (Lit.negate c.lits.(1))) { wc = c; blocker = c.lits.(0) }
 
 let xor_assigned_parity s xc skip =
   (* XOR of the boolean values of all assigned vars except index [skip] *)
@@ -244,38 +301,46 @@ let propagate_clauses s p =
   let wl = s.watches.(Lit.to_index p) in
   let i = ref 0 in
   while !i < Vec.size wl do
-    let c = Vec.get wl !i in
-    let false_lit = Lit.negate p in
-    (* normalize: put the false literal at position 1 *)
-    if Lit.equal c.lits.(0) false_lit then begin
-      c.lits.(0) <- c.lits.(1);
-      c.lits.(1) <- false_lit
-    end;
-    if lit_value s c.lits.(0) = 1 then incr i (* satisfied *)
+    let w = Vec.get wl !i in
+    if lit_value s w.blocker = 1 then incr i (* satisfied; clause untouched *)
     else begin
-      (* look for a new literal to watch *)
-      let n = Array.length c.lits in
-      let found = ref false in
-      let j = ref 2 in
-      while (not !found) && !j < n do
-        if lit_value s c.lits.(!j) <> 0 then begin
-          let l = c.lits.(!j) in
-          c.lits.(!j) <- c.lits.(1);
-          c.lits.(1) <- l;
-          Vec.push s.watches.(Lit.to_index (Lit.negate l)) c;
-          Vec.swap_remove wl !i;
-          found := true
-        end
-        else incr j
-      done;
-      if not !found then
-        if lit_value s c.lits.(0) = 0 then raise (Conflict c)
-        else begin
-          (* unit: propagate lits.(0) *)
-          s.n_propagations <- s.n_propagations + 1;
-          enqueue s c.lits.(0) (Some c);
-          incr i
-        end
+      let c = w.wc in
+      let false_lit = Lit.negate p in
+      (* normalize: put the false literal at position 1 *)
+      if Lit.equal c.lits.(0) false_lit then begin
+        c.lits.(0) <- c.lits.(1);
+        c.lits.(1) <- false_lit
+      end;
+      if lit_value s c.lits.(0) = 1 then begin
+        (* satisfied by the other watch: remember it as the blocker *)
+        w.blocker <- c.lits.(0);
+        incr i
+      end
+      else begin
+        (* look for a new literal to watch *)
+        let n = Array.length c.lits in
+        let found = ref false in
+        let j = ref 2 in
+        while (not !found) && !j < n do
+          if lit_value s c.lits.(!j) <> 0 then begin
+            let l = c.lits.(!j) in
+            c.lits.(!j) <- c.lits.(1);
+            c.lits.(1) <- l;
+            Vec.push s.watches.(Lit.to_index (Lit.negate l)) { wc = c; blocker = c.lits.(0) };
+            Vec.swap_remove wl !i;
+            found := true
+          end
+          else incr j
+        done;
+        if not !found then
+          if lit_value s c.lits.(0) = 0 then raise (Conflict c)
+          else begin
+            (* unit: propagate lits.(0) *)
+            s.n_propagations <- s.n_propagations + 1;
+            enqueue s c.lits.(0) (Some c);
+            incr i
+          end
+      end
     end
   done
 
@@ -339,13 +404,39 @@ let propagate_xors s v =
     end
   done
 
+let propagate_gauss s v =
+  match s.gauss with
+  | None -> ()
+  | Some g -> (
+      match Gauss.on_assign g v with
+      | Gauss.Nothing -> ()
+      | Gauss.Confl lits ->
+          s.n_gauss_conflicts <- s.n_gauss_conflicts + 1;
+          raise (Conflict (mk_clause lits))
+      | Gauss.Props ps ->
+          List.iter
+            (fun (l, reason) ->
+              match lit_value s l with
+              | 1 -> () (* another row already forced it *)
+              | -1 ->
+                  s.n_propagations <- s.n_propagations + 1;
+                  s.n_gauss_props <- s.n_gauss_props + 1;
+                  enqueue s l (Some (mk_clause reason))
+              | _ ->
+                  (* forced both ways by two rows: the reason clause,
+                     whose head is now false, is the conflict *)
+                  s.n_gauss_conflicts <- s.n_gauss_conflicts + 1;
+                  raise (Conflict (mk_clause reason)))
+            ps)
+
 let propagate s =
   try
     while s.qhead < Vec.size s.trail do
       let p = Vec.get s.trail s.qhead in
       s.qhead <- s.qhead + 1;
       propagate_clauses s p;
-      propagate_xors s (Lit.var p)
+      propagate_xors s (Lit.var p);
+      propagate_gauss s (Lit.var p)
     done;
     None
   with Conflict c -> Some c
@@ -358,6 +449,8 @@ let cancel_until s level =
     let bound = Vec.get s.trail_lim level in
     for i = Vec.size s.trail - 1 downto bound do
       let v = Lit.var (Vec.get s.trail i) in
+      (* the Gauss counters read the assignment, so unwind them first *)
+      (match s.gauss with Some g -> Gauss.on_unassign g v | None -> ());
       s.assigns.(v) <- -1;
       s.reasons.(v) <- None;
       s.levels.(v) <- -1;
@@ -409,6 +502,21 @@ let bump_clause s (c : clause) =
 
 let decay_clause_activity s = s.cla_inc <- s.cla_inc *. clause_decay
 
+(* Literal block distance: number of distinct decision levels among the
+   literals (level-0 literals do not count). *)
+let compute_lbd s lits =
+  s.lbd_gen <- s.lbd_gen + 1;
+  let n = ref 0 in
+  Array.iter
+    (fun l ->
+      let lev = s.levels.(Lit.var l) in
+      if lev > 0 && s.lbd_marks.(lev) <> s.lbd_gen then begin
+        s.lbd_marks.(lev) <- s.lbd_gen;
+        incr n
+      end)
+    lits;
+  !n
+
 (* ------------------------------------------------------------------ *)
 (* Conflict analysis (first UIP)                                       *)
 
@@ -421,7 +529,13 @@ let analyze s confl =
   let continue = ref true in
   while !continue do
     let c : clause = !confl in
-    if c.learnt then bump_clause s c;
+    if c.learnt then begin
+      bump_clause s c;
+      (* glucose: a reason clause seen in conflict analysis gets its
+         LBD refreshed; keep the smaller (better) value *)
+      let l = compute_lbd s c.lits in
+      if l < c.lbd then c.lbd <- l
+    end;
     Array.iter
       (fun q ->
         let skip = match !p with Some p -> Lit.equal p q | None -> false in
@@ -496,6 +610,7 @@ let record_learnt s lits =
       arr.(1) <- arr.(!max_i);
       arr.(!max_i) <- tmp;
       let c = mk_clause ~learnt:true arr in
+      c.lbd <- compute_lbd s arr;
       bump_clause s c;
       Vec.push s.learnts c;
       watch_clause s c;
@@ -514,19 +629,28 @@ let reduce_db s =
   let n = Vec.size s.learnts in
   if n > 0 then begin
     let arr = Array.init n (Vec.get s.learnts) in
-    Array.sort (fun (a : clause) (b : clause) -> Float.compare a.activity b.activity) arr;
+    (* glucose ordering: flush high-LBD clauses first, ties broken by
+       low activity; "glue" clauses (LBD <= 2) are kept unconditionally *)
+    Array.sort
+      (fun (a : clause) (b : clause) ->
+        if a.lbd <> b.lbd then Int.compare b.lbd a.lbd
+        else Float.compare a.activity b.activity)
+      arr;
     let target = n / 2 in
     let removed = ref 0 in
     Array.iter
       (fun c ->
-        if !removed < target && (not (locked s c)) && Array.length c.lits > 2 then begin
+        if
+          !removed < target && c.lbd > 2 && (not (locked s c))
+          && Array.length c.lits > 2
+        then begin
           c.deleted <- true;
           proof_delete s (Array.to_list c.lits);
           incr removed
         end)
       arr;
     Vec.filter_in_place (fun c -> not c.deleted) s.learnts;
-    Array.iter (fun wl -> Vec.filter_in_place (fun c -> not c.deleted) wl) s.watches
+    Array.iter (fun wl -> Vec.filter_in_place (fun w -> not w.wc.deleted) wl) s.watches
   end
 
 (* ------------------------------------------------------------------ *)
@@ -600,11 +724,105 @@ let add_xor ?guard s ~vars ~parity =
           if propagate s <> None then s.ok <- false
       | [ v ], Some g -> add_clause s [ Lit.negate g; Lit.make v !parity ]
       | v0 :: v1 :: _, _ ->
-          let xc = { xvars = Array.of_list vars; xparity = !parity; xguard = guard } in
+          let xc =
+            { xvars = Array.of_list vars; xparity = !parity; xguard = guard;
+              xcovered = false }
+          in
           Vec.push s.xors xc;
           Vec.push s.xwatches.(v0) xc;
-          Vec.push s.xwatches.(v1) xc
+          Vec.push s.xwatches.(v1) xc;
+          (* only unguarded rows participate in the Gauss matrix *)
+          if guard = None then s.gauss_dirty <- true
     end
+  end
+
+(* Put a previously Gauss-covered row back on the lazy watch scheme.
+   At level 0 its variables may have become assigned while it was off
+   the lists, so re-establish the watch invariant by hand: watch two
+   unassigned variables, or propagate/refute right away. *)
+let resurrect_xor s xc =
+  let n = Array.length xc.xvars in
+  let w = ref 0 in
+  (try
+     for j = 0 to n - 1 do
+       if s.assigns.(xc.xvars.(j)) < 0 then begin
+         let tmp = xc.xvars.(!w) in
+         xc.xvars.(!w) <- xc.xvars.(j);
+         xc.xvars.(j) <- tmp;
+         incr w;
+         if !w = 2 then raise Exit
+       end
+     done
+   with Exit -> ());
+  if !w >= 2 then begin
+    Vec.push s.xwatches.(xc.xvars.(0)) xc;
+    Vec.push s.xwatches.(xc.xvars.(1)) xc
+  end
+  else if !w = 1 then begin
+    let needed = xc.xparity <> xor_assigned_parity s xc 0 in
+    enqueue s (Lit.make xc.xvars.(0) needed) None
+  end
+  else if xor_assigned_parity s xc (-1) <> xc.xparity then s.ok <- false
+
+(* (Re)build the Gauss engine from the unguarded XOR rows. Called from
+   [solve] at decision level 0 (with propagation complete) whenever
+   rows were added or the mode changed. *)
+let rebuild_gauss s =
+  s.gauss_dirty <- false;
+  s.gauss <- None;
+  let rows = ref [] and count = ref 0 in
+  Vec.iter
+    (fun xc ->
+      if xc.xguard = None then begin
+        incr count;
+        rows := (Array.to_list xc.xvars, xc.xparity) :: !rows
+      end)
+    s.xors;
+  let enabled =
+    match s.gauss_mode with
+    | Some b -> b
+    | None -> !count >= gauss_threshold && !count <= gauss_auto_max_rows
+  in
+  if enabled && !count > 0 then begin
+    match Gauss.build ~value:(fun v -> s.assigns.(v)) (List.rev !rows) with
+    | `Unsat ->
+        s.ok <- false;
+        s.n_gauss_rows <- 0;
+        s.n_gauss_elims <- !count
+    | `Ok { engine; root_units; matrix_rows; eliminated } ->
+        s.gauss <- engine;
+        s.n_gauss_rows <- matrix_rows;
+        s.n_gauss_elims <- eliminated;
+        (* every unguarded row is absorbed — matrix rows plus root
+           units carry exactly the same solutions *)
+        Vec.iter (fun xc -> if xc.xguard = None then xc.xcovered <- true) s.xors;
+        Array.iter
+          (fun wl -> Vec.filter_in_place (fun xc -> not xc.xcovered) wl)
+          s.xwatches;
+        List.iter
+          (fun l ->
+            match lit_value s l with
+            | -1 -> enqueue s l None
+            | 0 -> s.ok <- false
+            | _ -> ())
+          root_units
+  end
+  else begin
+    s.n_gauss_rows <- 0;
+    s.n_gauss_elims <- 0;
+    Vec.iter
+      (fun xc ->
+        if xc.xcovered then begin
+          xc.xcovered <- false;
+          if s.ok then resurrect_xor s xc
+        end)
+      s.xors
+  end
+
+let set_gauss s mode =
+  if s.gauss_mode <> mode then begin
+    s.gauss_mode <- mode;
+    s.gauss_dirty <- true
   end
 
 let enable_proof s =
@@ -623,8 +841,8 @@ let boost s vars =
       end)
     vars
 
-let of_cnf p =
-  let s = create () in
+let of_cnf ?gauss p =
+  let s = create ?gauss () in
   ensure_vars s (Cnf.nvars p);
   List.iter (add_clause s) (Cnf.clauses p);
   List.iter
@@ -778,7 +996,12 @@ let solve ?(conflict_budget = max_int) ?(assumptions = []) s =
     end
     else begin
       cancel_until s 0;
-      if propagate s <> None then begin
+      if s.gauss_dirty then rebuild_gauss s;
+      if not s.ok then begin
+        proof_add s [];
+        Unsat
+      end
+      else if propagate s <> None then begin
         s.ok <- false;
         proof_add s [];
         Unsat
@@ -834,4 +1057,8 @@ let stats s =
     propagations = s.n_propagations;
     learnt = Vec.size s.learnts;
     restarts = s.n_restarts;
+    gauss_rows = s.n_gauss_rows;
+    gauss_elims = s.n_gauss_elims;
+    gauss_props = s.n_gauss_props;
+    gauss_conflicts = s.n_gauss_conflicts;
   }

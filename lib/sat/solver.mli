@@ -6,11 +6,15 @@
     CNF-encoded cardinality constraint — and decides satisfiability
     with conflict-driven clause learning.
 
-    Implemented techniques: two-watched-literal propagation, lazy XOR
-    watching with on-demand reason clauses, first-UIP conflict analysis
-    with local clause minimization, VSIDS variable activity with an
-    indexed heap, phase saving, Luby restarts, and activity-based
-    learnt-clause database reduction.
+    Implemented techniques: two-watched-literal propagation with
+    blocker literals, lazy XOR watching with on-demand reason clauses,
+    in-solver Gauss–Jordan elimination over the unguarded XOR rows
+    ({!Gauss}, Cryptominisat's decisive trick on XOR-heavy instances —
+    switchable via [?gauss], auto-enabled from a small row-count
+    threshold), first-UIP conflict analysis with local clause
+    minimization, VSIDS variable activity with an indexed heap, phase
+    saving, Luby restarts, and glucose-style LBD-aware learnt-clause
+    database reduction.
 
     The solver is incremental in two senses. In the AllSAT sense: after
     a [Sat] answer, further clauses (e.g. blocking clauses) may be added
@@ -34,12 +38,27 @@ type stats = {
   propagations : int;
   learnt : int;  (** learnt clauses currently in the database *)
   restarts : int;
+  gauss_rows : int;  (** rows in the current Gauss matrix *)
+  gauss_elims : int;
+      (** XOR rows absorbed by the last Gauss build: linearly redundant
+          rows plus rows that collapsed to root units *)
+  gauss_props : int;  (** literals propagated by the Gauss engine *)
+  gauss_conflicts : int;  (** conflicts detected by the Gauss engine *)
 }
 
-val create : unit -> t
+val create : ?gauss:bool -> unit -> t
+(** [gauss] controls the in-solver Gauss–Jordan XOR engine:
+    [Some true] forces it on, [Some false] off; omitted means auto —
+    enabled once the instance holds at least a handful of unguarded
+    XOR rows. The engine subsumes the lazy watch scheme for unguarded
+    rows; guarded (removable) rows always stay on the watch scheme. *)
 
-val of_cnf : Cnf.t -> t
+val of_cnf : ?gauss:bool -> Cnf.t -> t
 (** Solver primed with every clause and XOR constraint of the problem. *)
+
+val set_gauss : t -> bool option -> unit
+(** Change the Gauss mode ([None] = auto) between queries; takes
+    effect at the next {!solve}. *)
 
 val add_cnf_from : t -> Cnf.t -> nclauses:int -> nxors:int -> unit
 (** [add_cnf_from s p ~nclauses ~nxors] loads every clause and XOR

@@ -1,0 +1,100 @@
+open Tp_bitvec
+
+(* F₂ presolve over a system of XOR rows: Gauss–Jordan to RREF, then
+   read the reduced rows back as units / equivalences / kernel rows. *)
+
+type result = {
+  rows : (int list * bool) list;
+  units : (int * bool) list;
+  aliases : (int * int * bool) list;
+  rank : int;
+  dropped : int;
+}
+
+(* Sort and cancel duplicate variables pairwise (x ⊕ x = 0). *)
+let normalize vars =
+  let sorted = List.sort compare vars in
+  let rec dedup = function
+    | a :: b :: rest when a = b -> dedup rest
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+let reduce ?(extract_aliases = true) input =
+  let input = List.map (fun (vs, p) -> (normalize vs, p)) input in
+  (* Compress the used variables into contiguous columns. *)
+  let col_of = Hashtbl.create 64 in
+  let var_of = ref [] in
+  let ncols = ref 0 in
+  List.iter
+    (fun (vs, _) ->
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem col_of v) then begin
+            Hashtbl.add col_of v !ncols;
+            var_of := v :: !var_of;
+            incr ncols
+          end)
+        vs)
+    input;
+  let ncols = !ncols in
+  let var_of = Array.of_list (List.rev !var_of) in
+  if ncols = 0 then
+    (* Only empty rows: each is 0 = parity. *)
+    if List.exists snd input then `Unsat
+    else
+      `Reduced
+        { rows = []; units = []; aliases = []; rank = 0;
+          dropped = List.length input }
+  else begin
+    let rows_arr =
+      Array.of_list
+        (List.map
+           (fun (vs, p) ->
+             let r = Bitvec.create (ncols + 1) in
+             List.iter (fun v -> Bitvec.set r (Hashtbl.find col_of v) true) vs;
+             if p then Bitvec.set r ncols true;
+             r)
+           input)
+    in
+    let pivots = F2_matrix.rref_rows rows_arr ~cols:ncols in
+    let rank = List.length pivots in
+    let nrows = Array.length rows_arr in
+    let unsat = ref false in
+    let units = ref [] and aliases = ref [] and rows = ref [] in
+    (* Rows past the last pivot row are zero in the var columns; a set
+       parity bit there means 0 = 1. *)
+    for i = rank to nrows - 1 do
+      if Bitvec.get rows_arr.(i) ncols then unsat := true
+    done;
+    if !unsat then `Unsat
+    else begin
+      List.iter
+        (fun (r, pivot_col) ->
+          let row = rows_arr.(r) in
+          let parity = Bitvec.get row ncols in
+          let vs = ref [] in
+          for c = ncols - 1 downto 0 do
+            if Bitvec.get row c then vs := var_of.(c) :: !vs
+          done;
+          match !vs with
+          | [ v ] -> units := (v, parity) :: !units
+          | [ a; b ] when extract_aliases ->
+              (* Pivot column holds the eliminated variable; it equals
+                 the other (free) variable XOR the parity. *)
+              let pv = var_of.(pivot_col) in
+              let other = if pv = a then b else a in
+              aliases := (pv, other, parity) :: !aliases
+          | vs -> rows := (vs, parity) :: !rows)
+        pivots;
+      `Reduced
+        {
+          rows = List.rev !rows;
+          units = List.rev !units;
+          aliases = List.rev !aliases;
+          rank;
+          dropped = nrows - rank;
+        }
+    end
+  end

@@ -1,0 +1,38 @@
+(** Offline F₂ presolve for systems of XOR rows.
+
+    The reconstruction instances are mostly linear: [A·x = TP] plus a
+    cardinality side condition. Before anything reaches the CDCL loop,
+    Gauss–Jordan over the packed rows ({!Tp_bitvec.F2_matrix.rref_rows})
+    decides the linear part outright: an inconsistent system is UNSAT by
+    rank, and a consistent one reduces to an equivalent independent
+    basis from which single-variable rows (units) and two-variable rows
+    (equivalences [x = rep ⊕ c]) can be read off directly. Callers feed
+    the solver only the reduced kernel.
+
+    Guarded (removable) rows must not be passed here — switching a
+    guard off would invalidate anything derived from the row. *)
+
+type result = {
+  rows : (int list * bool) list;
+      (** Reduced independent rows (each [≥ 3] vars when
+          [extract_aliases], [≥ 2] otherwise), as [(vars, parity)]. *)
+  units : (int * bool) list;  (** Forced assignments [(var, value)]. *)
+  aliases : (int * int * bool) list;
+      (** Equivalences [(x, rep, c)] meaning [x = rep ⊕ c]; [x] is a
+          pivot variable and never appears in [rows] or other aliases,
+          so substituting aliases then units eliminates them. *)
+  rank : int;  (** Rank of the input system. *)
+  dropped : int;  (** Input rows that were linearly redundant. *)
+}
+
+val reduce :
+  ?extract_aliases:bool -> (int list * bool) list -> [ `Unsat | `Reduced of result ]
+(** [reduce rows] Gauss–Jordan-reduces the system. [`Unsat] means the
+    rows are contradictory on their own (rank deficit on the augmented
+    system). Otherwise [rows ∪ units ∪ aliases] of the result is
+    equivalent to (and implies no more than) the input system.
+    Duplicate variables inside a row cancel pairwise first.
+    [extract_aliases] (default [true]) controls whether two-variable
+    rows are reported as [aliases] or kept in [rows] — keep them as
+    rows when feeding an engine that wants the full matrix, e.g. the
+    in-solver {!Gauss} engine. *)

@@ -1,0 +1,52 @@
+open Tp_bitvec
+open Tp_sat
+
+type elim = Fixed of bool | Aliased of { rep : int; negate : bool }
+
+type stats = { rank : int; dropped : int; units : int; aliases : int }
+
+type t = {
+  elim : elim option array;
+  rows : (int list * bool) list;
+  units_true : int;
+  stats : stats;
+}
+
+let system encoding entry =
+  let m = Encoding.m encoding and b = Encoding.b encoding in
+  let tp = Log_entry.tp entry in
+  List.init b (fun j ->
+      let vars = ref [] in
+      for i = m - 1 downto 0 do
+        if Bitvec.get (Encoding.timestamp encoding i) j then vars := i :: !vars
+      done;
+      (!vars, Bitvec.get tp j))
+
+let run encoding entry =
+  match Xor_simp.reduce ~extract_aliases:true (system encoding entry) with
+  | `Unsat -> `Unsat
+  | `Reduced { Xor_simp.rows; units; aliases; rank; dropped } ->
+      let m = Encoding.m encoding in
+      let elim = Array.make m None in
+      let units_true = ref 0 in
+      List.iter
+        (fun (i, b) ->
+          elim.(i) <- Some (Fixed b);
+          if b then incr units_true)
+        units;
+      List.iter
+        (fun (i, rep, c) -> elim.(i) <- Some (Aliased { rep; negate = c }))
+        aliases;
+      `Reduced
+        {
+          elim;
+          rows;
+          units_true = !units_true;
+          stats =
+            {
+              rank;
+              dropped;
+              units = List.length units;
+              aliases = List.length aliases;
+            };
+        }

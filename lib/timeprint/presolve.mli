@@ -1,0 +1,50 @@
+(** Offline F₂ presolve of the reconstruction system [A·x = TP].
+
+    Before anything is encoded for the SAT solver, the [b] XOR rows of
+    the linear system — one per timeprint bit, over the [m] cycle
+    variables — are Gauss–Jordan-reduced over F₂ ({!Tp_sat.Xor_simp}).
+    Three things fall out:
+
+    - a rank check: if the augmented system [A | TP] is inconsistent,
+      the whole reconstruction is UNSAT with no solver call at all;
+    - implied assignments: a pivot row with a single variable fixes
+      that cycle ([Fixed]), and a two-variable pivot row ties a cycle
+      to a representative ([Aliased]: [x = rep ⊕ negate]);
+    - a reduced kernel: the remaining independent rows, over fewer
+      variables, which is all the solver ever needs to see.
+
+    {!Reconstruct} substitutes the eliminations out of the CNF and
+    cardinality encoding and maps solver witnesses back through
+    [elim], so callers observe exactly the same models as without
+    presolve. *)
+
+type elim =
+  | Fixed of bool  (** the cycle's signal value is forced *)
+  | Aliased of { rep : int; negate : bool }
+      (** cycle equals cycle [rep], inverted when [negate];
+          [rep] is itself never eliminated *)
+
+type stats = {
+  rank : int;  (** rank of [A] over the participating variables *)
+  dropped : int;  (** linearly dependent (redundant) input rows *)
+  units : int;  (** cycles fixed by single-variable pivot rows *)
+  aliases : int;  (** cycles tied to a representative *)
+}
+
+type t = {
+  elim : elim option array;  (** length [m]; [None] = survives *)
+  rows : (int list * bool) list;
+      (** the reduced kernel, over surviving cycle indices *)
+  units_true : int;
+      (** how many [Fixed true] cycles — the cardinality bound on the
+          surviving variables drops by this much *)
+  stats : stats;
+}
+
+val system : Encoding.t -> Log_entry.t -> (int list * bool) list
+(** The raw rows of [A·x = TP]: for each timeprint bit [j], the cycle
+    indices whose timestamp has bit [j] set, with parity [TP_j]. *)
+
+val run : Encoding.t -> Log_entry.t -> [ `Unsat | `Reduced of t ]
+(** [`Unsat] exactly when the linear system alone is inconsistent
+    (the cardinality constraint is not consulted here). *)

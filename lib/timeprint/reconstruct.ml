@@ -5,14 +5,20 @@ type problem = {
   encoding : Encoding.t;
   entry : Log_entry.t;
   assume : Property.t list;
+  presolve : bool;
+  gauss : bool option;
 }
 
-let problem ?(assume = []) encoding entry =
+let problem ?(assume = []) ?(presolve = true) ?gauss encoding entry =
   if Bitvec.width (Log_entry.tp entry) <> Encoding.b encoding then
     invalid_arg "Reconstruct.problem: timeprint width <> encoding b";
-  { encoding; entry; assume }
+  { encoding; entry; assume; presolve; gauss }
 
-let to_cnf { encoding; entry; assume } =
+(* The legacy monolithic encoding — chunked XOR rows, no presolve, all
+   [m] signal variables materialized first. Kept verbatim: it is the
+   shape external consumers (DIMACS export, certified runs, encoding
+   ablations) rely on. *)
+let to_cnf { encoding; entry; assume; _ } =
   let m = Encoding.m encoding and b = Encoding.b encoding in
   let cnf = Cnf.create () in
   let xvars = Array.init m (fun _ -> Cnf.new_var cnf) in
@@ -40,15 +46,177 @@ let signal_of_model m xvars value =
     (Bitvec.of_indices ~width:m
        (List.filter (fun i -> value xvars.(i)) (List.init m Fun.id)))
 
+(* ------------------------------------------------------------------ *)
+(* The rank-aware encoder.
+
+   When [pb.presolve] is on, the linear system [A·x = TP] is
+   Gauss–Jordan-reduced offline first ({!Presolve}): an inconsistent
+   system short-circuits to UNSAT before any solver exists, implied
+   units and aliases are substituted out, and only the reduced kernel
+   is encoded. Two encodings cover the callers:
+
+   - the {e substituted} form (property-free one-shot queries): only
+     surviving cycles get variables, the cardinality counter runs over
+     representative literals with the bound lowered by the fixed-true
+     cycles, and [e_extract] rebuilds the full signal through the
+     elimination map — witnesses and AllSAT model sets are exactly
+     those of the legacy encoding;
+   - the {e materialized} form (properties, {!Session}): all [m]
+     signal variables exist so property encodings and cached guard
+     groups can refer to any cycle; the eliminations are strengthening
+     facts (unit clauses / binary XORs) on top of the reduced kernel.
+
+   XOR rows are emitted monolithically — one row per timeprint bit —
+   unless Gauss is explicitly off, in which case the legacy chunked
+   form keeps the lazy watch scheme fed with short rows. *)
+
+type encoded = {
+  e_cnf : Cnf.t;
+  e_xvars : int array option;  (* Some: all m signal vars, indices 0..m-1 *)
+  e_proj : int list;  (* projection variables for AllSAT *)
+  e_extract : (int -> bool) -> Signal.t;
+}
+
+let log2_choose m k =
+  let k = min k (m - k) in
+  if k < 0 then neg_infinity
+  else begin
+    let acc = ref 0. in
+    for i = 1 to k do
+      acc := !acc +. (log (float_of_int (m - k + i) /. float_of_int i) /. log 2.)
+    done;
+    !acc
+  end
+
+(* Auto policy for the in-solver Gauss engine, resolved here because
+   this layer knows [k]. The engine pays off when the preimage is
+   populous — eager XOR propagation then closes one of the many models
+   in a handful of conflicts (observed ~100× on such instances) — and
+   costs ~2× when the entry pins a needle, because the dense rows feed
+   long, weak learnt clauses into an already hard search. The estimate
+   is the paper's preimage-size heuristic: log₂|SR| ≈ log₂ C(m,k) − b.
+   The 10-bit threshold is calibrated on the bench grid: at 8 estimated
+   bits (m = 128, k = 4) the engine still loses ~2×, from ~20 estimated
+   bits up it wins 5–40×. Assumed properties invalidate the estimate —
+   a single pattern property can pin the populous preimage down to a
+   needle — so auto engages only on bare (TP, k) problems. *)
+let gauss_choice pb =
+  match pb.gauss with
+  | Some g -> g
+  | None ->
+      pb.assume = []
+      &&
+      let m = Encoding.m pb.encoding and b = Encoding.b pb.encoding in
+      let k = Log_entry.k pb.entry in
+      log2_choose m k -. float_of_int b >= 10.
+
+let auto_gauss pb = gauss_choice { pb with gauss = None }
+
+let encode ?(materialize = false) pb =
+  let m = Encoding.m pb.encoding in
+  let k = Log_entry.k pb.entry in
+  let materialize = materialize || pb.assume <> [] in
+  let gauss = gauss_choice pb in
+  let add_rows cnf rows var_of =
+    List.iter
+      (fun (cycles, parity) ->
+        let vars = List.map var_of cycles in
+        if gauss then Cnf.add_xor cnf ~vars ~parity
+        else Cnf.add_xor_chunked cnf ~vars ~parity)
+      rows
+  in
+  let materialized rows elim =
+    let cnf = Cnf.create () in
+    let xvars = Array.init m (fun _ -> Cnf.new_var cnf) in
+    (match elim with
+    | None -> ()
+    | Some e ->
+        Array.iteri
+          (fun i -> function
+            | Some (Presolve.Fixed v) ->
+                Cnf.add_clause cnf [ Lit.make xvars.(i) v ]
+            | Some (Presolve.Aliased { rep; negate }) ->
+                Cnf.add_xor cnf ~vars:[ xvars.(i); xvars.(rep) ] ~parity:negate
+            | None -> ())
+          e);
+    add_rows cnf rows (fun i -> xvars.(i));
+    Cardinality.exactly cnf (Array.to_list (Array.map Lit.pos xvars)) k;
+    List.iter
+      (fun p -> Property.assert_holds cnf ~m ~xvar:(fun i -> xvars.(i)) p)
+      pb.assume;
+    {
+      e_cnf = cnf;
+      e_xvars = Some xvars;
+      e_proj = Array.to_list xvars;
+      e_extract = (fun value -> signal_of_model m xvars value);
+    }
+  in
+  if not pb.presolve then
+    `Enc (materialized (Presolve.system pb.encoding pb.entry) None)
+  else
+    match Presolve.run pb.encoding pb.entry with
+    | `Unsat -> `Unsat
+    | `Reduced r ->
+        if materialize then `Enc (materialized r.Presolve.rows (Some r.elim))
+        else begin
+          let cnf = Cnf.create () in
+          let map = Array.make m (-1) in
+          for i = 0 to m - 1 do
+            if r.Presolve.elim.(i) = None then map.(i) <- Cnf.new_var cnf
+          done;
+          add_rows cnf r.rows (fun i -> map.(i));
+          (* each alias still counts toward [exactly k], through the
+             literal of its representative that makes it true *)
+          let card_lits =
+            List.filter_map
+              (fun i ->
+                match r.elim.(i) with
+                | None -> Some (Lit.pos map.(i))
+                | Some (Presolve.Aliased { rep; negate }) ->
+                    Some (Lit.make map.(rep) (not negate))
+                | Some (Presolve.Fixed _) -> None)
+              (List.init m Fun.id)
+          in
+          Cardinality.exactly cnf card_lits (k - r.units_true);
+          let extract value =
+            Signal.of_bitvec
+              (Bitvec.of_indices ~width:m
+                 (List.filter
+                    (fun i ->
+                      match r.elim.(i) with
+                      | Some (Presolve.Fixed v) -> v
+                      | Some (Presolve.Aliased { rep; negate }) ->
+                          value map.(rep) <> negate
+                      | None -> value map.(i))
+                    (List.init m Fun.id)))
+          in
+          let proj =
+            List.filter_map
+              (fun i -> if map.(i) >= 0 then Some map.(i) else None)
+              (List.init m Fun.id)
+          in
+          `Enc { e_cnf = cnf; e_xvars = None; e_proj = proj; e_extract = extract }
+        end
+
 type verdict = [ `Signal of Signal.t | `Unsat | `Unknown ]
 
+(* branch on the (surviving) signal variables before the cardinality
+   auxiliaries — same heuristic [batch] uses, and what lets the Gauss
+   rows do the propagating *)
+let solver_for pb e =
+  let s = Solver.of_cnf ~gauss:(gauss_choice pb) e.e_cnf in
+  Solver.boost s e.e_proj;
+  s
+
 let first ?conflict_budget pb =
-  let cnf, xvars = to_cnf pb in
-  let s = Solver.of_cnf cnf in
-  match Solver.solve ?conflict_budget s with
-  | Sat -> `Signal (signal_of_model (Encoding.m pb.encoding) xvars (Solver.value s))
-  | Unsat -> `Unsat
-  | Unknown -> `Unknown
+  match encode pb with
+  | `Unsat -> `Unsat
+  | `Enc e -> (
+      let s = solver_for pb e in
+      match Solver.solve ?conflict_budget s with
+      | Sat -> `Signal (e.e_extract (Solver.value s))
+      | Unsat -> `Unsat
+      | Unknown -> `Unknown)
 
 type certified =
   [ `Signal of Signal.t | `Unsat_certified of string | `Unknown ]
@@ -78,14 +246,19 @@ let signals_of_models m models =
     models
 
 let enumerate ?max_solutions ?conflict_budget pb =
-  let m = Encoding.m pb.encoding in
-  let cnf, xvars = to_cnf pb in
-  let s = Solver.of_cnf cnf in
-  let { Allsat.models; complete } =
-    Allsat.enumerate ?max_models:max_solutions ?conflict_budget s
-      ~project:(Array.to_list xvars)
-  in
-  { signals = signals_of_models m models; complete }
+  match encode pb with
+  | `Unsat -> { signals = []; complete = true }
+  | `Enc e ->
+      let s = solver_for pb e in
+      let { Allsat.models; complete } =
+        Allsat.enumerate ?max_models:max_solutions ?conflict_budget s
+          ~project:e.e_proj
+      in
+      {
+        signals =
+          List.map (fun model -> e.e_extract (fun v -> model.(v))) models;
+        complete;
+      }
 
 let count ?max_solutions ?conflict_budget pb =
   let { signals; complete } = enumerate ?max_solutions ?conflict_budget pb in
@@ -95,16 +268,22 @@ type check_result =
   [ `Holds_in_all | `Violated_in_all | `Mixed | `Vacuous | `Unknown ]
 
 let exists_with ?conflict_budget pb extra_polarity prop =
-  let cnf, xvars = to_cnf pb in
-  let m = Encoding.m pb.encoding in
-  let xvar i = xvars.(i) in
-  (match extra_polarity with
-  | `Holds -> Property.assert_holds cnf ~m ~xvar prop
-  | `Violated -> Property.assert_violated cnf ~m ~xvar prop);
-  match Solver.solve ?conflict_budget (Solver.of_cnf cnf) with
-  | Sat -> `Yes
-  | Unsat -> `No
-  | Unknown -> `Unknown
+  match encode ~materialize:true pb with
+  | `Unsat -> `No
+  | `Enc e -> (
+      let cnf = e.e_cnf in
+      let xvars =
+        match e.e_xvars with Some x -> x | None -> assert false
+      in
+      let m = Encoding.m pb.encoding in
+      let xvar i = xvars.(i) in
+      (match extra_polarity with
+      | `Holds -> Property.assert_holds cnf ~m ~xvar prop
+      | `Violated -> Property.assert_violated cnf ~m ~xvar prop);
+      match Solver.solve ?conflict_budget (solver_for pb e) with
+      | Sat -> `Yes
+      | Unsat -> `No
+      | Unknown -> `Unknown)
 
 let check ?conflict_budget pb prop =
   let some_sat = exists_with ?conflict_budget pb `Holds prop in
@@ -129,7 +308,17 @@ let pp_check_result ppf r =
 (* Incremental sessions                                                *)
 
 let zero_stats =
-  { Solver.conflicts = 0; decisions = 0; propagations = 0; learnt = 0; restarts = 0 }
+  {
+    Solver.conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    learnt = 0;
+    restarts = 0;
+    gauss_rows = 0;
+    gauss_elims = 0;
+    gauss_props = 0;
+    gauss_conflicts = 0;
+  }
 
 module Session = struct
   type t = {
@@ -151,12 +340,25 @@ module Session = struct
     t.flushed_xors <- Cnf.nxors t.cnf
 
   let create pb =
-    let cnf, xvars = to_cnf pb in
+    let cnf, xvars =
+      match encode ~materialize:true pb with
+      | `Enc e ->
+          (e.e_cnf, match e.e_xvars with Some x -> x | None -> assert false)
+      | `Unsat ->
+          (* refuted by rank alone: a root empty clause makes every
+             query answer Unsat while keeping the session API alive *)
+          let cnf = Cnf.create () in
+          let xvars =
+            Array.init (Encoding.m pb.encoding) (fun _ -> Cnf.new_var cnf)
+          in
+          Cnf.add_clause cnf [];
+          (cnf, xvars)
+    in
     let t =
       {
         pb;
         cnf;
-        solver = Solver.create ();
+        solver = Solver.create ~gauss:(gauss_choice pb) ();
         xvars;
         flushed_clauses = 0;
         flushed_xors = 0;
@@ -165,6 +367,7 @@ module Session = struct
       }
     in
     flush t;
+    Solver.boost t.solver (Array.to_list xvars);
     t
 
   let problem t = t.pb
@@ -182,6 +385,10 @@ module Session = struct
         propagations = a.propagations - b.propagations;
         learnt = a.learnt;
         restarts = a.restarts - b.restarts;
+        gauss_rows = a.gauss_rows;
+        gauss_elims = a.gauss_elims;
+        gauss_props = a.gauss_props - b.gauss_props;
+        gauss_conflicts = a.gauss_conflicts - b.gauss_conflicts;
       };
     r
 
@@ -250,6 +457,10 @@ module Session = struct
         propagations = stats_sat.propagations + t.last_stats.propagations;
         learnt = t.last_stats.learnt;
         restarts = stats_sat.restarts + t.last_stats.restarts;
+        gauss_rows = t.last_stats.gauss_rows;
+        gauss_elims = t.last_stats.gauss_elims;
+        gauss_props = stats_sat.gauss_props + t.last_stats.gauss_props;
+        gauss_conflicts = stats_sat.gauss_conflicts + t.last_stats.gauss_conflicts;
       };
     match (some_sat, some_viol) with
     | `Yes, `Yes -> `Mixed
@@ -269,7 +480,7 @@ end
    per-entry cardinality [exactly k] is cached under a guard literal
    per distinct [k]. All structure learned about [A] (and the assumed
    properties) transfers across entries. *)
-let batch ?(assume = []) ?conflict_budget encoding entries =
+let batch ?(assume = []) ?conflict_budget ?gauss encoding entries =
   let m = Encoding.m encoding and b = Encoding.b encoding in
   List.iter
     (fun e ->
@@ -285,12 +496,16 @@ let batch ?(assume = []) ?conflict_budget encoding entries =
       if Bitvec.get (Encoding.timestamp encoding i) j then
         vars := xvars.(i) :: !vars
     done;
-    Cnf.add_xor_chunked cnf ~vars:!vars ~parity:false
+    (* monolithic rows feed the in-solver Gauss engine (the select
+       variables p_j are ordinary matrix columns to it); chunked rows
+       only when the engine is explicitly off *)
+    if gauss = Some false then Cnf.add_xor_chunked cnf ~vars:!vars ~parity:false
+    else Cnf.add_xor cnf ~vars:!vars ~parity:false
   done;
   List.iter
     (fun p -> Property.assert_holds cnf ~m ~xvar:(fun i -> xvars.(i)) p)
     assume;
-  let solver = Solver.create () in
+  let solver = Solver.create ?gauss () in
   let flushed_clauses = ref 0 and flushed_xors = ref 0 in
   let flush () =
     Solver.add_cnf_from solver cnf ~nclauses:!flushed_clauses ~nxors:!flushed_xors;
@@ -347,5 +562,9 @@ let batch ?(assume = []) ?conflict_budget encoding entries =
           propagations = after.propagations - before.propagations;
           learnt = after.learnt;
           restarts = after.restarts - before.restarts;
+          gauss_rows = after.gauss_rows;
+          gauss_elims = after.gauss_elims;
+          gauss_props = after.gauss_props - before.gauss_props;
+          gauss_conflicts = after.gauss_conflicts - before.gauss_conflicts;
         } ))
     entries

@@ -14,14 +14,46 @@ type problem = {
   assume : Property.t list;
       (** properties known to hold (RV verdicts, diagnostics, failure
           analysis) — they prune the search space *)
+  presolve : bool;
+      (** Gauss–Jordan-reduce [A·x = TP] over F₂ before encoding
+          ({!Presolve}): rank-refute without a solver call, substitute
+          implied units/aliases out of the CNF and cardinality encoding,
+          and hand the solver only the reduced kernel. Witnesses are
+          mapped back through the elimination, so every query observes
+          exactly the legacy answers. Default [true]. *)
+  gauss : bool option;
+      (** in-solver Gauss–Jordan engine ({!Tp_sat.Solver.create}):
+          [Some true] on, [Some false] off (and XOR rows are emitted in
+          the legacy chunked form), [None] auto — on exactly when
+          [assume] is empty and the preimage-size estimate
+          [log₂ C(m,k) − b] says the entry has many reconstructions,
+          the regime where the engine is worth orders of magnitude
+          (assumed properties can pin a populous preimage down to a
+          needle, where the engine loses). Default [None]. *)
 }
 
-val problem : ?assume:Property.t list -> Encoding.t -> Log_entry.t -> problem
+val problem :
+  ?assume:Property.t list ->
+  ?presolve:bool ->
+  ?gauss:bool ->
+  Encoding.t ->
+  Log_entry.t ->
+  problem
 (** Raises [Invalid_argument] when the timeprint width differs from the
     encoding's [b]. *)
 
+val auto_gauss : problem -> bool
+(** What [gauss = None] resolves to for this problem: [true] exactly
+    when the preimage-size estimate [log₂ C(m,k) − b] clears the
+    engine's pay-off threshold. Exposed so benchmarks and diagnostics
+    can report which regime an instance falls in. *)
+
 val to_cnf : problem -> Tp_sat.Cnf.t * int array
-(** The reduction; the array maps cycle [i] to its CNF variable. *)
+(** The reduction in its legacy monolithic form — all [m] cycle
+    variables, chunked XOR rows, no presolve — regardless of the
+    problem's [presolve]/[gauss] settings; the array maps cycle [i] to
+    its CNF variable. This is the stable shape for DIMACS export and
+    encoding ablations. *)
 
 type verdict = [ `Signal of Signal.t | `Unsat | `Unknown ]
 
@@ -131,6 +163,7 @@ end
 val batch :
   ?assume:Property.t list ->
   ?conflict_budget:int ->
+  ?gauss:bool ->
   Encoding.t ->
   Log_entry.t list ->
   (verdict * Tp_sat.Solver.stats) list

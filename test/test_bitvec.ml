@@ -203,6 +203,42 @@ let test_transpose () =
     done
   done
 
+let test_swap_xor_rows () =
+  let m =
+    F2_matrix.of_rows
+      [| Bitvec.of_int ~width:4 0b0011; Bitvec.of_int ~width:4 0b0101 |]
+  in
+  F2_matrix.swap_rows m 0 1;
+  Alcotest.check bv "swapped row 0" (Bitvec.of_int ~width:4 0b0101)
+    (F2_matrix.row m 0);
+  Alcotest.check bv "swapped row 1" (Bitvec.of_int ~width:4 0b0011)
+    (F2_matrix.row m 1);
+  F2_matrix.xor_rows m ~src:0 ~dst:1;
+  Alcotest.check bv "dst = old dst xor src" (Bitvec.of_int ~width:4 0b0110)
+    (F2_matrix.row m 1);
+  Alcotest.check bv "src untouched" (Bitvec.of_int ~width:4 0b0101)
+    (F2_matrix.row m 0)
+
+let test_rref_rows_augmented () =
+  (* [A | b] with rows x0 = 1 and x0 = 0: the reduction must expose the
+     inconsistency as a zero-coefficient row with its augmented bit set,
+     and no pivot may enter the augmented column. *)
+  let rows =
+    [| Bitvec.of_indices ~width:5 [ 0; 4 ]; Bitvec.of_indices ~width:5 [ 0 ] |]
+  in
+  let pivots = F2_matrix.rref_rows rows ~cols:4 in
+  List.iter
+    (fun (_, c) -> Alcotest.(check bool) "pivot in A" true (c < 4))
+    pivots;
+  let contradiction =
+    Array.exists
+      (fun r ->
+        Bitvec.get r 4
+        && not (List.exists (Bitvec.get r) [ 0; 1; 2; 3 ]))
+      rows
+  in
+  Alcotest.(check bool) "0 = 1 row surfaced" true contradiction
+
 let test_independent () =
   Alcotest.(check bool) "empty independent" true (F2_matrix.independent []);
   Alcotest.(check bool) "basis" true
@@ -274,6 +310,51 @@ let prop_solve_all_exact =
       List.length mine = List.length theirs
       && List.for_all2 Bitvec.equal mine theirs)
 
+let prop_rref_pivot_structure =
+  QCheck.Test.make ~name:"rref pivots have canonical columns" ~count:300
+    arb_matrix (fun m ->
+      let rank = F2_matrix.rank m in
+      let pivots = F2_matrix.rref m in
+      List.length pivots = rank
+      && List.for_all
+           (fun (pr, pc) ->
+             F2_matrix.get m pr pc
+             &&
+             (* the pivot column holds a single 1, at the pivot row *)
+             let ones = ref 0 in
+             for i = 0 to F2_matrix.rows m - 1 do
+               if F2_matrix.get m i pc then incr ones
+             done;
+             !ones = 1)
+           pivots)
+
+let prop_rref_preserves_rank =
+  QCheck.Test.make ~name:"rref preserves the row space rank" ~count:300
+    arb_matrix (fun m ->
+      let before = F2_matrix.rank m in
+      ignore (F2_matrix.rref m : (int * int) list);
+      F2_matrix.rank m = before)
+
+let prop_rref_rows_solves_augmented =
+  (* reduce [A | A·x] with rref_rows: the system is consistent, so no
+     row may degenerate to 0 = 1, and back-substitution of the pivot
+     rows must reproduce a genuine solution *)
+  QCheck.Test.make ~name:"rref_rows solves the augmented system" ~count:300
+    QCheck.(pair arb_matrix (int_bound ((1 lsl 10) - 1)))
+    (fun (m, seed) ->
+      let c = F2_matrix.cols m in
+      let x = Bitvec.of_int ~width:c (seed land ((1 lsl c) - 1)) in
+      let b = F2_matrix.mul_vec m x in
+      let aug =
+        Array.init (F2_matrix.rows m) (fun i ->
+            Bitvec.append (F2_matrix.row m i)
+              (Bitvec.of_int ~width:1 (if Bitvec.get b i then 1 else 0)))
+      in
+      let pivots = F2_matrix.rref_rows aug ~cols:c in
+      let y = Bitvec.create c in
+      List.iter (fun (pr, pc) -> Bitvec.set y pc (Bitvec.get aug.(pr) c)) pivots;
+      Bitvec.equal (F2_matrix.mul_vec m y) b)
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "bitvec"
@@ -309,6 +390,8 @@ let () =
           Alcotest.test_case "solve_all" `Quick test_solve_all;
           Alcotest.test_case "of_columns" `Quick test_of_columns;
           Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "row operations" `Quick test_swap_xor_rows;
+          Alcotest.test_case "rref_rows augmented" `Quick test_rref_rows_augmented;
           Alcotest.test_case "independent" `Quick test_independent;
         ] );
       ( "f2-matrix-prop",
@@ -318,5 +401,8 @@ let () =
             prop_nullspace_dim;
             prop_nullspace_members;
             prop_solve_all_exact;
+            prop_rref_pivot_structure;
+            prop_rref_preserves_rank;
+            prop_rref_rows_solves_augmented;
           ] );
     ]

@@ -679,6 +679,140 @@ let prop_dimacs_roundtrip =
       norm p = norm q)
 
 (* ------------------------------------------------------------------ *)
+(* Gauss engine and XOR presolve cross-checks                          *)
+
+(* XOR-heavy instances: enough rows that the matrix actually has rank
+   structure worth eliminating; [~gauss:true] forces the engine on. *)
+let gen_xor_heavy =
+  QCheck.Gen.(
+    int_range 4 10 >>= fun nv ->
+    int_range 0 6 >>= fun ncl ->
+    int_range 4 12 >>= fun nx ->
+    let gen_lit = map2 (fun v s -> l s v) (int_bound (nv - 1)) bool in
+    let gen_clause = list_size (int_range 1 4) gen_lit in
+    let gen_xor =
+      pair (list_size (int_range 1 6) (int_bound (nv - 1))) bool
+    in
+    triple (return nv) (list_repeat ncl gen_clause) (list_repeat nx gen_xor))
+
+let prop_gauss_vs_brute =
+  QCheck.Test.make ~name:"gauss engine agrees with brute force" ~count:400
+    (QCheck.make ~print:print_problem gen_xor_heavy) (fun spec ->
+      let p = problem_of spec in
+      let expected = brute_models p <> [] in
+      let s = Solver.of_cnf ~gauss:true p in
+      match Solver.solve s with
+      | Sat ->
+          expected
+          &&
+          let m = Solver.model s in
+          let a =
+            Array.init (Cnf.nvars p) (fun i ->
+                if i < Array.length m then m.(i) else false)
+          in
+          Cnf.eval p a
+      | Unsat -> not expected
+      | Unknown -> false)
+
+let prop_gauss_allsat =
+  QCheck.Test.make ~name:"allsat model set is gauss-invariant" ~count:150
+    (QCheck.make ~print:print_problem gen_xor_heavy) (fun spec ->
+      let p = problem_of spec in
+      let nv = Cnf.nvars p in
+      let project = List.init nv Fun.id in
+      let run gauss =
+        let s = Solver.of_cnf ~gauss p in
+        let { Allsat.models; complete } = Allsat.enumerate s ~project in
+        (complete, List.sort compare (List.map Array.to_list models))
+      in
+      run true = run false)
+
+(* Brute-force satisfying masks of a bare XOR system over [nv] vars. *)
+let xor_masks nv rows =
+  let holds mask (vars, parity) =
+    List.fold_left
+      (fun acc v -> acc <> (mask land (1 lsl v) <> 0))
+      false vars
+    = parity
+  in
+  List.filter
+    (fun mask -> List.for_all (holds mask) rows)
+    (List.init (1 lsl nv) Fun.id)
+
+let prop_xor_simp_equiv =
+  QCheck.Test.make ~name:"xor_simp preserves the solution set" ~count:300
+    (QCheck.make ~print:print_problem gen_xor_heavy)
+    (fun (nv, _, xors) ->
+      let before = xor_masks nv xors in
+      match Xor_simp.reduce xors with
+      | `Unsat -> before = []
+      | `Reduced r ->
+          let reduced =
+            r.Xor_simp.rows
+            @ List.map (fun (v, b) -> ([ v ], b)) r.units
+            @ List.map (fun (x, rep, c) -> ([ x; rep ], c)) r.aliases
+          in
+          before <> [] && xor_masks nv reduced = before)
+
+let test_gauss_guarded () =
+  (* guarded rows must stay on the watch scheme: retiring the guard has
+     to release the constraint even with the engine forced on *)
+  let s = Solver.create ~gauss:true () in
+  let x = Solver.new_var s and y = Solver.new_var s in
+  let z = Solver.new_var s and w = Solver.new_var s in
+  (* unguarded backbone so the matrix is non-trivial *)
+  Solver.add_xor s ~vars:[ x; z ] ~parity:false;
+  Solver.add_xor s ~vars:[ z; w ] ~parity:false;
+  let g = Solver.new_var s in
+  Solver.add_xor ~guard:(pos g) s ~vars:[ x; y ] ~parity:true;
+  Solver.add_clause s [ pos x ];
+  Solver.add_clause s [ pos y ];
+  (* x = y = 1 violates the guarded row, so it survives only guard-off *)
+  Alcotest.check check_result "guard free" Sat (Solver.solve s);
+  Alcotest.(check bool) "backbone x=z" true (Solver.value s z);
+  Alcotest.(check bool) "backbone z=w" true (Solver.value s w);
+  Alcotest.check check_result "guard assumed" Unsat
+    (Solver.solve ~assumptions:[ pos g ] s);
+  Alcotest.check check_result "guard free again" Sat (Solver.solve s)
+
+let test_gauss_rebuild_unsat () =
+  (* rows added after a solve must enter the matrix on the rebuild *)
+  let s = Solver.create ~gauss:true () in
+  let a = Solver.new_var s and b = Solver.new_var s and c = Solver.new_var s in
+  Solver.add_xor s ~vars:[ a; b ] ~parity:false;
+  Solver.add_xor s ~vars:[ b; c ] ~parity:false;
+  Alcotest.check check_result "consistent chain" Sat (Solver.solve s);
+  Solver.add_xor s ~vars:[ a; c ] ~parity:true;
+  Alcotest.check check_result "odd cycle" Unsat (Solver.solve s)
+
+let test_gauss_toggle () =
+  (* set_gauss switches the engine on/off/auto between solves without
+     changing any answer *)
+  let s = Solver.create ~gauss:false () in
+  let vs = Array.init 6 (fun _ -> Solver.new_var s) in
+  for i = 0 to 4 do
+    Solver.add_xor s ~vars:[ vs.(i); vs.(i + 1) ] ~parity:true
+  done;
+  Solver.add_clause s [ pos vs.(0) ];
+  let check_model msg =
+    Alcotest.check check_result msg Sat (Solver.solve s);
+    for i = 0 to 5 do
+      Alcotest.(check bool)
+        (Printf.sprintf "%s v%d" msg i)
+        (i mod 2 = 0)
+        (Solver.value s vs.(i))
+    done
+  in
+  check_model "engine off";
+  Alcotest.(check int) "no matrix when off" 0 (Solver.stats s).gauss_rows;
+  Solver.set_gauss s (Some true);
+  check_model "engine forced on";
+  Alcotest.(check bool) "matrix built when on" true
+    ((Solver.stats s).gauss_rows > 0 || (Solver.stats s).gauss_elims > 0);
+  Solver.set_gauss s None;
+  check_model "engine auto"
+
+(* ------------------------------------------------------------------ *)
 (* DRAT proofs                                                         *)
 
 let cnf_of_solverless_pigeonhole pigeons holes =
@@ -803,6 +937,13 @@ let () =
           Alcotest.test_case "guarded cardinality groups" `Quick
             test_guarded_cardinality_groups;
         ] );
+      ( "gauss-engine",
+        [
+          Alcotest.test_case "guarded rows stay clausal" `Quick test_gauss_guarded;
+          Alcotest.test_case "rebuild picks up new rows" `Quick
+            test_gauss_rebuild_unsat;
+          Alcotest.test_case "set_gauss toggles safely" `Quick test_gauss_toggle;
+        ] );
       ( "cardinality",
         [
           Alcotest.test_case "exactly-k model counts" `Quick test_exactly_model_count;
@@ -852,5 +993,8 @@ let () =
             prop_xor_expansion_equiv;
             prop_assumptions_vs_brute;
             prop_dimacs_roundtrip;
+            prop_gauss_vs_brute;
+            prop_gauss_allsat;
+            prop_xor_simp_equiv;
           ] );
     ]

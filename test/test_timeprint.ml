@@ -897,6 +897,118 @@ let prop_batch_equals_cold =
           | `Unsat | `Unknown -> false)
         entries batched)
 
+(* ------------------------------------------------------------------ *)
+(* F₂ presolve and Gauss-engine cross-checks                           *)
+
+let test_presolve_one_hot () =
+  (* one-hot timestamps make A the identity: the presolve fixes every
+     cycle to its timeprint bit and leaves an empty kernel *)
+  let e = Encoding.one_hot ~m:6 in
+  let s = Signal.of_bitvec (Bitvec.of_int ~width:6 0b101001) in
+  let en = Logger.abstract e s in
+  match Presolve.run e en with
+  | `Unsat -> Alcotest.fail "one-hot system is consistent"
+  | `Reduced r ->
+      Alcotest.(check int) "full rank" 6 r.Presolve.stats.rank;
+      Alcotest.(check int) "empty kernel" 0 (List.length r.Presolve.rows);
+      Alcotest.(check int) "units_true = k" (Log_entry.k en)
+        r.Presolve.units_true;
+      Array.iteri
+        (fun i elim ->
+          match elim with
+          | Some (Presolve.Fixed v) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "cycle %d fixed to the signal" i)
+                (Signal.change_at s i) v
+          | _ -> Alcotest.failf "cycle %d not fixed" i)
+        r.Presolve.elim
+
+let test_presolve_rank_refuted () =
+  (* ts₀ = {0,1}, ts₁ = {1,2}: rows x₀ = tp₀, x₀⊕x₁ = tp₁, x₁ = tp₂
+     are linearly dependent, and tp = {0} makes the augmented system
+     inconsistent — the reconstruction is UNSAT with no solver call *)
+  let e =
+    Encoding.custom
+      [|
+        Bitvec.of_indices ~width:3 [ 0; 1 ]; Bitvec.of_indices ~width:3 [ 1; 2 ];
+      |]
+  in
+  let en = Log_entry.make ~tp:(Bitvec.of_indices ~width:3 [ 0 ]) ~k:1 in
+  (match Presolve.run e en with
+  | `Unsat -> ()
+  | `Reduced _ -> Alcotest.fail "expected a rank refutation");
+  (match Reconstruct.first (Reconstruct.problem e en) with
+  | `Unsat -> ()
+  | _ -> Alcotest.fail "first must be UNSAT");
+  let { Reconstruct.signals; complete } =
+    Reconstruct.enumerate (Reconstruct.problem e en)
+  in
+  Alcotest.(check bool) "complete" true complete;
+  Alcotest.(check (list signal)) "empty preimage" [] signals;
+  (* the materialized (session) path reaches the same verdict *)
+  match
+    Reconstruct.Session.first
+      (Reconstruct.Session.create (Reconstruct.problem e en))
+  with
+  | `Unsat -> ()
+  | _ -> Alcotest.fail "session first must be UNSAT"
+
+let test_batch_gauss_modes_agree () =
+  let m = 12 in
+  let e = Encoding.random_constrained ~m ~b:10 ~seed:7 () in
+  let entries =
+    List.map
+      (fun mask ->
+        Logger.abstract e (Signal.of_bitvec (Bitvec.of_int ~width:m mask)))
+      [ 0b000011001100; 0b000000000101; 0b111100001111; 0b000000000000 ]
+  in
+  let check label verdicts =
+    List.iter2
+      (fun en (v, _) ->
+        match v with
+        | `Signal w ->
+            Alcotest.check entry
+              (label ^ ": witness abstracts back")
+              en (Logger.abstract e w)
+        | `Unsat | `Unknown -> Alcotest.fail (label ^ ": expected a witness"))
+      entries verdicts
+  in
+  check "gauss on" (Reconstruct.batch ~gauss:true e entries);
+  check "gauss off" (Reconstruct.batch ~gauss:false e entries)
+
+let prop_gauss_presolve_configs_agree =
+  QCheck.Test.make
+    ~name:"presolve/gauss configurations agree on the preimage" ~count:40
+    QCheck.(pair (int_range 0 ((1 lsl 12) - 1)) (int_range 9 12))
+    (fun (mask, b) ->
+      let m = 12 in
+      let e = Encoding.random_constrained ~m ~b ~seed:(mask lxor (b * 131)) () in
+      let s = Signal.of_bitvec (Bitvec.of_int ~width:m mask) in
+      let en = Logger.abstract e s in
+      let run ~presolve ~gauss =
+        let pb = Reconstruct.problem ~presolve ~gauss e en in
+        let { Reconstruct.signals; complete } = Reconstruct.enumerate pb in
+        (complete, List.sort Signal.compare signals)
+      in
+      let reference = run ~presolve:false ~gauss:false in
+      let agree (complete, sigs) =
+        complete
+        && List.length sigs = List.length (snd reference)
+        && List.for_all2 Signal.equal sigs (snd reference)
+      in
+      let witness_ok ~presolve ~gauss =
+        match Reconstruct.first (Reconstruct.problem ~presolve ~gauss e en) with
+        | `Signal w -> Log_entry.equal en (Logger.abstract e w)
+        | `Unsat | `Unknown -> false
+      in
+      agree reference
+      && List.exists (Signal.equal s) (snd reference)
+      && agree (run ~presolve:true ~gauss:false)
+      && agree (run ~presolve:false ~gauss:true)
+      && agree (run ~presolve:true ~gauss:true)
+      && witness_ok ~presolve:true ~gauss:true
+      && witness_ok ~presolve:true ~gauss:false)
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "timeprint"
@@ -970,6 +1082,14 @@ let () =
           Alcotest.test_case "tcl reconstruction pruning" `Quick test_tcl_reconstruction_pruning;
           Alcotest.test_case "count completeness" `Quick test_count_completeness;
         ] );
+      ( "presolve-gauss",
+        [
+          Alcotest.test_case "one-hot fixes every cycle" `Quick
+            test_presolve_one_hot;
+          Alcotest.test_case "rank refutation" `Quick test_presolve_rank_refuted;
+          Alcotest.test_case "batch gauss modes agree" `Quick
+            test_batch_gauss_modes_agree;
+        ] );
       ( "incremental-session",
         [
           Alcotest.test_case "session first agrees" `Quick test_session_first_agrees;
@@ -994,5 +1114,6 @@ let () =
             prop_tcl_compile_agrees;
             prop_session_equals_cold;
             prop_batch_equals_cold;
+            prop_gauss_presolve_configs_agree;
           ] );
     ]
