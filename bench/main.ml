@@ -5,8 +5,9 @@
      dune exec bench/main.exe -- --full       # paper-scale m (hours)
      dune exec bench/main.exe -- table1 soc   # selected sections
 
-   Sections: fig4 table1 table2 can incremental soc ablation baseline
-   micro.
+   Sections: fig4 table1 table2 can incremental soc engines ablation
+   baseline micro. [--smoke] shrinks the engines grid and budgets for
+   the tier1 alias's smoke run.
 
    Absolute times are not comparable to the paper's (their substrate
    was Cryptominisat on an i7; ours is the in-repo CDCL solver) — the
@@ -142,6 +143,80 @@ let write_bench_json () =
            (List.map
               (fun (sec, sp) -> Printf.sprintf " %s speedup %.2fx" sec sp)
               headline))
+
+(* ------------------------------------------------------------------ *)
+(* Engine crossover grid → BENCH_pr3.json: per-(m,k) medians for the
+   planner and each forced engine on the same enumerate-up-to-10
+   query, plus which engine the planner chose. The acceptance bar:
+   the planner matches or beats forced SAT on every cell, and some
+   cell has a non-SAT engine ahead by >= 2x. *)
+
+type engine_cell = {
+  ec_m : int;
+  ec_k : int;
+  ec_b : int;
+  ec_nullity : int;
+  ec_chosen : string;
+  ec_planner_s : float;
+  ec_sat_s : float;
+  ec_linear_s : float option; (* None: capability/policy-skipped *)
+  ec_mitm_s : float option;
+}
+
+let engine_cells : engine_cell list ref = ref []
+
+let write_engines_json () =
+  match List.rev !engine_cells with
+  | [] -> ()
+  | cells ->
+      let buf = Buffer.create 4096 in
+      let fopt = function
+        | None -> "null"
+        | Some f when f < 0. -> "null"
+        | Some f -> Printf.sprintf "%.6f" f
+      in
+      Buffer.add_string buf "{\n  \"grid\": [\n";
+      let last = List.length cells - 1 in
+      List.iteri
+        (fun i c ->
+          Printf.bprintf buf
+            "    {\"m\": %d, \"k\": %d, \"b\": %d, \"nullity\": %d, \
+             \"planner_engine\": %S, \"planner_s\": %s, \"sat_s\": %s, \
+             \"linear_s\": %s, \"mitm_s\": %s}%s\n"
+            c.ec_m c.ec_k c.ec_b c.ec_nullity c.ec_chosen
+            (fopt (Some c.ec_planner_s))
+            (fopt (Some c.ec_sat_s))
+            (fopt c.ec_linear_s) (fopt c.ec_mitm_s)
+            (if i = last then "" else ","))
+        cells;
+      Buffer.add_string buf "  ],\n";
+      let usable =
+        List.filter (fun c -> c.ec_planner_s >= 0. && c.ec_sat_s >= 0.) cells
+      in
+      let matches =
+        (* "matching" allows measurement noise on sub-millisecond cells *)
+        List.filter
+          (fun c -> c.ec_planner_s <= (c.ec_sat_s *. 1.15) +. 0.002)
+          usable
+      in
+      let best_nonsat =
+        List.fold_left
+          (fun acc c ->
+            if c.ec_chosen <> "sat" && c.ec_planner_s > 0. then
+              max acc (c.ec_sat_s /. c.ec_planner_s)
+            else acc)
+          0. usable
+      in
+      Printf.bprintf buf
+        "  \"summary\": {\"cells\": %d, \"planner_matches_or_beats_sat\": %d, \
+         \"best_nonsat_speedup\": %.3f}\n}\n"
+        (List.length usable) (List.length matches) best_nonsat;
+      Out_channel.with_open_text "BENCH_pr3.json" (fun oc ->
+          Out_channel.output_string oc (Buffer.contents buf));
+      Format.printf
+        "@.wrote BENCH_pr3.json (%d cells; planner matches/beats SAT on %d; \
+         best non-SAT speedup %.1fx)@."
+        (List.length usable) (List.length matches) best_nonsat
 
 (* one reconstruction timing: first solution and 10th solution *)
 let solve_times pb =
@@ -806,12 +881,96 @@ let micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Engine crossover grid (section "engines")                           *)
+
+let engines_grid ~full ~smoke () =
+  Format.printf
+    "@.== Engine crossover: planner vs forced engines (enumerate <=10) ==@.";
+  (* the small-m low-nullity row is the coset engine's regime: b close
+     to m leaves a kernel the linear oracle sweeps in microseconds *)
+  let rows =
+    if smoke then [ (`Small, 24, [ 2; 8 ]); (`Auto, 64, [ 3; 8 ]) ]
+    else
+      let base =
+        [
+          (`Small, 24, [ 2; 3; 4; 8; 12 ]);
+          (`Auto, 64, [ 2; 3; 4; 8; 16 ]);
+          (`Auto, 128, [ 2; 3; 4; 8; 16 ]);
+        ]
+      in
+      if full then base @ [ (`Auto, 512, [ 2; 3; 4 ]) ] else base
+  in
+  let reps = if smoke then 1 else 3 in
+  Format.printf "%-9s %3s %4s %-8s %10s %10s %10s %10s@." "m/k" "b" "null"
+    "chosen" "planner" "sat" "linear" "mitm";
+  let pp_opt ppf = function
+    | None -> Format.fprintf ppf "%10s" "-"
+    | Some t -> pp_time ppf t
+  in
+  List.iter
+    (fun (kind, m, ks) ->
+      let enc =
+        match kind with
+        | `Small -> Encoding.random_constrained ~m ~b:18 ~seed:0x7155 ()
+        | `Auto -> encoding_for m
+      in
+      let nullity = Linear_reconstruct.nullity enc in
+      List.iter
+        (fun k ->
+          let s = constrained_signal ~m ~k in
+          let entry = Logger.abstract enc s in
+          let q =
+            Query.make ~conflict_budget:!conflict_budget
+              ~answer:(Query.Enumerate { max_solutions = Some 10 })
+              enc entry
+          in
+          let time_engine engine =
+            median
+              (List.init reps (fun _ ->
+                   fst (time (fun () -> ignore (Plan.run ~engine q)))))
+          in
+          let chosen = (snd (Plan.run q)).Plan.chosen in
+          let planner_s = time_engine `Auto in
+          let sat_s = time_engine `Sat in
+          let linear_s =
+            (* a forced coset sweep beyond ~2^20 points is pointless to
+               sit through; the capability guard itself cuts at 61 *)
+            if nullity <= 20 then Some (time_engine `Linear) else None
+          in
+          let mitm_s =
+            if Combinatorial_reconstruct.supported ~k then
+              Some (time_engine `Mitm)
+            else None
+          in
+          Format.printf "%-9s %3d %4d %-8s %a %a %a %a@."
+            (Printf.sprintf "%d/%d" m k)
+            (Encoding.b enc) nullity chosen pp_time planner_s pp_time sat_s
+            pp_opt linear_s pp_opt mitm_s;
+          engine_cells :=
+            {
+              ec_m = m;
+              ec_k = k;
+              ec_b = Encoding.b enc;
+              ec_nullity = nullity;
+              ec_chosen = chosen;
+              ec_planner_s = planner_s;
+              ec_sat_s = sat_s;
+              ec_linear_s = linear_s;
+              ec_mitm_s = mitm_s;
+            }
+            :: !engine_cells)
+        ks)
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let () =
   let argv = Array.to_list Sys.argv in
   let full = List.mem "--full" argv in
+  let smoke = List.mem "--smoke" argv in
   if full then conflict_budget := 5_000_000;
+  if smoke then conflict_budget := 5_000;
   let sections =
     List.filter
       (fun a -> String.length a > 0 && a.[0] <> '-')
@@ -827,8 +986,10 @@ let () =
   if want "can" then can ~full ();
   if want "incremental" then incremental ~full ();
   if want "soc" then soc ~full ();
+  if want "engines" then engines_grid ~full ~smoke ();
   if want "ablation" then ablation ();
   if want "baseline" then baseline ();
   if want "micro" then micro ();
   write_bench_json ();
+  write_engines_json ();
   Format.printf "@.done.@."

@@ -119,6 +119,31 @@ let entry_args =
 let enc_term =
   Term.(const make_encoding $ scheme_arg $ m_arg $ b_arg $ seed_arg $ depth_arg)
 
+(* planner flags shared by reconstruct/check *)
+let engine_arg =
+  let engines =
+    [ ("auto", `Auto); ("sat", `Sat); ("linear", `Linear); ("mitm", `Mitm) ]
+  in
+  Arg.(
+    value
+    & opt (enum engines) `Auto
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Reconstruction engine: $(b,auto) (cost-model planner, default), \
+           or force $(b,sat), $(b,linear), $(b,mitm). A forced engine that \
+           cannot answer the query falls through to SAT.")
+
+let explain_flag =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print the plan: chosen engine, preimage-size estimate, presolve \
+           outcome and per-stage solver stats.")
+
+let maybe_explain explain report =
+  if explain then Format.printf "%a@." Plan.pp_report report
+
 (* ------------------------------------------------------------------ *)
 (* encode                                                              *)
 
@@ -169,14 +194,22 @@ let log_cmd =
 (* reconstruct                                                         *)
 
 let reconstruct_cmd =
-  let run enc entry p2 pulse deadline window max_solutions =
-    let pb = Reconstruct.problem ~assume:(assume_of p2 pulse deadline window) enc entry in
-    let { Reconstruct.signals; complete } =
-      Reconstruct.enumerate ~max_solutions pb
+  let run enc entry p2 pulse deadline window max_solutions engine explain =
+    let q =
+      Query.make
+        ~assume:(assume_of p2 pulse deadline window)
+        ~answer:(Query.Enumerate { max_solutions = Some max_solutions })
+        enc entry
     in
-    List.iter (fun s -> Format.printf "%a@." Signal.pp s) signals;
-    Format.printf "%d solution(s)%s@." (List.length signals)
-      (if complete then "" else Printf.sprintf " (capped at %d)" max_solutions)
+    let outcome, report = Plan.run ~engine q in
+    maybe_explain explain report;
+    match outcome with
+    | Engine.Enumeration { signals; complete } ->
+        List.iter (fun s -> Format.printf "%a@." Signal.pp s) signals;
+        Format.printf "%d solution(s)%s [engine: %s]@." (List.length signals)
+          (if complete then "" else Printf.sprintf " (capped at %d)" max_solutions)
+          report.Plan.chosen
+    | _ -> assert false
   in
   let max_arg =
     Arg.(
@@ -188,20 +221,28 @@ let reconstruct_cmd =
        ~doc:"Enumerate the signals consistent with a logged entry.")
     Term.(
       const run $ enc_term $ entry_args $ p2_flag $ pulse_flag $ deadline_opt
-      $ window_opt $ max_arg)
+      $ window_opt $ max_arg $ engine_arg $ explain_flag)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
 
 let check_cmd =
-  let run enc entry p2 pulse deadline window q_deadline =
-    let pb = Reconstruct.problem ~assume:(assume_of p2 pulse deadline window) enc entry in
+  let run enc entry p2 pulse deadline window q_deadline engine explain =
     let prop =
       match q_deadline with
       | Some (count, before) -> Property.deadline ~count ~before
       | None -> Property.p2
     in
-    Format.printf "%a@." Reconstruct.pp_check_result (Reconstruct.check pb prop)
+    let q =
+      Query.make
+        ~assume:(assume_of p2 pulse deadline window)
+        ~answer:(Query.Check prop) enc entry
+    in
+    let outcome, report = Plan.run ~engine q in
+    maybe_explain explain report;
+    match outcome with
+    | Engine.Check r -> Format.printf "%a@." Reconstruct.pp_check_result r
+    | _ -> assert false
   in
   let q_deadline =
     Arg.(
@@ -217,7 +258,7 @@ let check_cmd =
        ~doc:"Decide whether a property holds in all/some reconstructions.")
     Term.(
       const run $ enc_term $ entry_args $ p2_flag $ pulse_flag $ deadline_opt
-      $ window_opt $ q_deadline)
+      $ window_opt $ q_deadline $ engine_arg $ explain_flag)
 
 (* ------------------------------------------------------------------ *)
 (* dimacs                                                              *)

@@ -119,6 +119,10 @@ let () =
               (* the XOR rows alone are inconsistent over F₂ —
                  unsatisfiable under any assumptions *)
               print_endline "c presolve: XOR system rank-refuted";
+              if !show_stats then
+                print_endline
+                  "c planner: delegated away from SAT search (presolve \
+                   answered; conflicts=0 decisions=0 propagations=0)";
               if assumptions <> [] then print_endline "c core:";
               print_endline "s UNSATISFIABLE";
               exit 20

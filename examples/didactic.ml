@@ -39,10 +39,15 @@ let () =
   Format.printf "Signals with exactly k = 4 changes: %d@." (List.length with_k);
   List.iter (fun s -> Format.printf "  %a@." Signal.pp s) with_k;
 
-  (* The SAT path agrees with linear algebra. *)
+  (* The planned path agrees with the reference oracle — and, with
+     k = 4 and no properties, it never even starts a SAT search. *)
   let pb = Reconstruct.problem enc entry in
   let { Reconstruct.signals; _ } = Reconstruct.enumerate pb in
   assert (List.length signals = List.length with_k);
+  let _, report =
+    Plan.run (Query.make ~answer:(Query.Enumerate { max_solutions = None }) enc entry)
+  in
+  Format.printf "(answered by the %s engine)@." report.Plan.chosen;
 
   (* Step 3: the verified property "writes last one cycle, so changes
      always come as two consecutive ones" leaves the actual signal. *)

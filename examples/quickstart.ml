@@ -43,6 +43,15 @@ let () =
   let verdict = Reconstruct.check pb (Property.deadline ~count:1 ~before:16) in
   Format.printf "@.\"Some change before cycle 16\" — %a@."
     Reconstruct.pp_check_result verdict;
+
+  (* 6. All of the above went through the query planner: with k = 4 it
+        answered by meet-in-the-middle hashing, no SAT solver at all.
+        Ask it to explain itself. *)
+  let _, report =
+    Plan.run (Query.make ~answer:(Query.Enumerate { max_solutions = Some 10 }) enc entry)
+  in
+  Format.printf "@.%a@." Plan.pp_report report;
+
   match List.exists (Signal.equal actual) pruned with
   | true -> Format.printf "@.The actual signal was recovered exactly.@."
   | false -> assert false

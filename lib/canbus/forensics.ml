@@ -45,12 +45,17 @@ let locate_transmission ?stuffed ?window enc entry msg =
     | Some (lo, hi) -> (lo, hi)
     | None -> (0, m - Signal.length pattern)
   in
-  let pb =
-    Reconstruct.problem
+  let q =
+    Query.make
       ~assume:[ Property.Pattern_at { pattern; lo; hi } ]
-      enc entry
+      ~answer:Query.First enc entry
   in
-  match Reconstruct.first pb with
+  let verdict =
+    match Plan.run q with
+    | Engine.Verdict v, _ -> v
+    | _ -> assert false
+  in
+  match verdict with
   | `Unsat -> Error "no reconstruction places the message in the window"
   | `Unknown -> Error "solver budget exhausted"
   | `Signal sol ->

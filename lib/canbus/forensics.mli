@@ -48,6 +48,7 @@ val locate_transmission :
   Message.t ->
   (finding, string) result
 (** Reconstruct the trace-cycle under the constraint that the message
-    pattern occurs (optionally within [window]) and report where. Uses
-    one SAT query; fails when the entry is inconsistent with any
-    placement. *)
+    pattern occurs (optionally within [window]) and report where. One
+    witness query through the planner ({!Timeprint.Plan.run}) — the
+    rank check can refute a tampered entry with zero solver work;
+    fails when the entry is inconsistent with any placement. *)

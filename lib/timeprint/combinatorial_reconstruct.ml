@@ -78,3 +78,63 @@ let preimage_with ?max_solutions enc entry ~assume =
   match max_solutions with
   | None -> all
   | Some n -> List.filteri (fun i _ -> i < n) all
+
+exception Found of Signal.t
+
+let first ?(assume = []) enc entry =
+  let k = Log_entry.k entry in
+  if not (supported ~k) then
+    invalid_arg "Combinatorial_reconstruct: k > 4 unsupported";
+  (* [preimage ~max_solutions:1] still materializes every combination
+     before truncating; witness queries want the early exit *)
+  let keep s = List.for_all (fun p -> Property.eval p s) assume in
+  if assume <> [] then
+    match preimage_with ~max_solutions:1 enc entry ~assume with
+    | s :: _ -> Some s
+    | [] -> None
+  else
+    let m = Encoding.m enc in
+    let tp = Log_entry.tp entry in
+    let emit changes =
+      let s = Signal.of_changes ~m changes in
+      if keep s then raise (Found s)
+    in
+    try
+      (match k with
+      | 0 -> if Bitvec.is_zero tp then emit []
+      | 1 ->
+          for i = 0 to m - 1 do
+            if Bitvec.equal (Encoding.timestamp enc i) tp then emit [ i ]
+          done
+      | 2 ->
+          let pairs = pair_table enc in
+          List.iter
+            (fun (i, j) -> emit [ i; j ])
+            (try H.find pairs tp with Not_found -> [])
+      | 3 ->
+          let pairs = pair_table enc in
+          for i = 0 to m - 1 do
+            let rest = Bitvec.logxor tp (Encoding.timestamp enc i) in
+            List.iter
+              (fun (a, b) -> if i < a then emit [ i; a; b ])
+              (try H.find pairs rest with Not_found -> [])
+          done
+      | 4 ->
+          let pairs = pair_table enc in
+          H.iter
+            (fun v lhs ->
+              let rest = Bitvec.logxor tp v in
+              match H.find_opt pairs rest with
+              | None -> ()
+              | Some rhs ->
+                  List.iter
+                    (fun (a, b) ->
+                      List.iter
+                        (fun (c, d) ->
+                          if a < c && b <> c && b <> d then emit [ a; b; c; d ])
+                        rhs)
+                    lhs)
+            pairs
+      | _ -> assert false);
+      None
+    with Found s -> Some s

@@ -24,3 +24,9 @@ val preimage_with :
   assume:Property.t list ->
   Signal.t list
 (** {!preimage} filtered by reference property semantics. *)
+
+val first :
+  ?assume:Property.t list -> Encoding.t -> Log_entry.t -> Signal.t option
+(** One witness, with an early exit as soon as a combination matches —
+    a [`Signal]/[`Unsat] verdict without materializing the preimage.
+    Raises [Invalid_argument] when [not (supported ~k)]. *)

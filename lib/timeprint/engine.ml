@@ -1,0 +1,222 @@
+open Tp_bitvec
+
+type outcome =
+  | Verdict of [ `Signal of Signal.t | `Unsat | `Unknown ]
+  | Enumeration of { signals : Signal.t list; complete : bool }
+  | Count of int * [ `Exact | `Lower_bound ]
+  | Check of [ `Holds_in_all | `Violated_in_all | `Mixed | `Vacuous | `Unknown ]
+  | Certified of
+      [ `Signal of Signal.t | `Unsat_certified of string | `Unknown ]
+
+type stage = {
+  stage : string;
+  detail : string;
+  stats : Tp_sat.Solver.stats option;
+}
+
+type ctx = { rank : int; nullity : int; preimage_bits : float }
+
+type t = {
+  name : string;
+  capable : ctx -> Query.t -> (unit, string) result;
+  cost_bits : ctx -> Query.t -> float;
+  run : ctx -> Query.t -> outcome * stage list;
+}
+
+let log2_choose m k =
+  if k < 0 || k > m then neg_infinity
+  else (
+    let acc = ref 0. in
+    for i = 0 to k - 1 do
+      acc := !acc +. (log (float_of_int (m - i) /. float_of_int (i + 1)) /. log 2.)
+    done;
+    !acc)
+
+let context (q : Query.t) =
+  let m = Encoding.m q.encoding and b = Encoding.b q.encoding in
+  let rank = F2_matrix.rank (Encoding.matrix q.encoding) in
+  {
+    rank;
+    nullity = m - rank;
+    preimage_bits = log2_choose m (Log_entry.k q.entry) -. float_of_int b;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shared outcome construction for the two exact (list-producing)
+   oracles: both enumerate the assume-filtered preimage, so First /
+   Enumerate / Count / Check all reduce to one list computation. To
+   tell `Exact from `Lower_bound under a cap, one extra solution beyond
+   the cap is requested. *)
+
+let exact_outcome (q : Query.t)
+    ~(preimage : ?max_solutions:int -> unit -> Signal.t list)
+    ~(first : unit -> Signal.t option) =
+  match q.answer with
+  | Query.First -> (
+      match first () with
+      | Some s -> Verdict (`Signal s)
+      | None -> Verdict `Unsat)
+  | Query.Enumerate { max_solutions = None } ->
+      Enumeration { signals = preimage (); complete = true }
+  | Query.Enumerate { max_solutions = Some n } ->
+      let probe = preimage ~max_solutions:(n + 1) () in
+      if List.length probe <= n then
+        Enumeration { signals = probe; complete = true }
+      else
+        Enumeration
+          { signals = List.filteri (fun i _ -> i < n) probe; complete = false }
+  | Query.Count { max_solutions = None } ->
+      Count (List.length (preimage ()), `Exact)
+  | Query.Count { max_solutions = Some n } ->
+      let probe = preimage ~max_solutions:(n + 1) () in
+      if List.length probe <= n then Count (List.length probe, `Exact)
+      else Count (n, `Lower_bound)
+  | Query.Check p ->
+      let all = preimage () in
+      Check
+        (match all with
+        | [] -> `Vacuous
+        | _ ->
+            let holds = List.filter (Property.eval p) all in
+            if List.length holds = List.length all then `Holds_in_all
+            else if holds = [] then `Violated_in_all
+            else `Mixed)
+  | Query.Certified ->
+      invalid_arg "Engine: exact oracles cannot certify; guarded by capable"
+
+let no_certificate = "cannot produce a DRAT certificate"
+
+(* ------------------------------------------------------------------ *)
+(* SAT adapter *)
+
+let sat_problem (q : Query.t) =
+  Sat_reconstruct.problem ~assume:q.assume q.encoding q.entry
+
+let sat =
+  {
+    name = "sat";
+    capable = (fun _ _ -> Ok ());
+    (* no clean analytic model for CDCL work; a flat baseline places
+       SAT as the fallback once the exact engines price themselves out *)
+    cost_bits = (fun _ _ -> 20.);
+    run =
+      (fun _ctx q ->
+        let pb = sat_problem q in
+        let budget = q.conflict_budget in
+        let gauss_detail =
+          if Sat_reconstruct.auto_gauss pb then "presolve+gauss(auto:on)"
+          else "presolve+gauss(auto:off)"
+        in
+        let stage ?stats name =
+          { stage = name; detail = gauss_detail; stats }
+        in
+        match q.answer with
+        | Query.First ->
+            let v, stats = Sat_reconstruct.solve_first ?conflict_budget:budget pb in
+            (Verdict v, [ stage ?stats "sat.first" ])
+        | Query.Enumerate { max_solutions } ->
+            let e, stats =
+              Sat_reconstruct.solve_enumerate ?max_solutions
+                ?conflict_budget:budget pb
+            in
+            ( Enumeration { signals = e.Sat_reconstruct.signals; complete = e.complete },
+              [ stage ?stats "sat.enumerate" ] )
+        | Query.Count { max_solutions } ->
+            let e, stats =
+              Sat_reconstruct.solve_enumerate ?max_solutions
+                ?conflict_budget:budget pb
+            in
+            ( Count
+                ( List.length e.Sat_reconstruct.signals,
+                  if e.complete then `Exact else `Lower_bound ),
+              [ stage ?stats "sat.count" ] )
+        | Query.Check p ->
+            let r, stats = Sat_reconstruct.solve_check ?conflict_budget:budget pb p in
+            (Check r, [ stage ?stats "sat.check" ])
+        | Query.Certified ->
+            let c = Sat_reconstruct.first_certified ?conflict_budget:budget pb in
+            (Certified c, [ stage "sat.certified" ]));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Linear (coset enumeration) adapter *)
+
+let linear =
+  {
+    name = "linear";
+    capable =
+      (fun ctx q ->
+        match q.answer with
+        | Query.Certified -> Error no_certificate
+        | _ ->
+            if ctx.nullity > Linear_reconstruct.max_nullity then
+              Error
+                (Printf.sprintf "nullity %d > %d" ctx.nullity
+                   Linear_reconstruct.max_nullity)
+            else Ok ());
+    (* 2^nullity coset points, O(m) work each *)
+    cost_bits =
+      (fun ctx q ->
+        float_of_int ctx.nullity
+        +. (log (float_of_int (Encoding.m q.encoding)) /. log 2.));
+    run =
+      (fun ctx q ->
+        let preimage ?max_solutions () =
+          Linear_reconstruct.preimage_with ?max_solutions q.encoding q.entry
+            ~assume:q.assume
+        in
+        let first () =
+          match preimage ~max_solutions:1 () with s :: _ -> Some s | [] -> None
+        in
+        ( exact_outcome q ~preimage ~first,
+          [
+            {
+              stage = "linear.coset";
+              detail = Printf.sprintf "nullity=%d" ctx.nullity;
+              stats = None;
+            };
+          ] ));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Meet-in-the-middle adapter *)
+
+let mitm =
+  {
+    name = "mitm";
+    capable =
+      (fun _ q ->
+        match q.answer with
+        | Query.Certified -> Error no_certificate
+        | _ ->
+            let k = Log_entry.k q.entry in
+            if Combinatorial_reconstruct.supported ~k then Ok ()
+            else Error (Printf.sprintf "k=%d > 4" k));
+    (* one hash pass for k<=2, a pair table for k<=4 *)
+    cost_bits =
+      (fun _ q ->
+        let lg_m = log (float_of_int (Encoding.m q.encoding)) /. log 2. in
+        if Log_entry.k q.entry <= 2 then lg_m else 2. *. lg_m);
+    run =
+      (fun _ q ->
+        let k = Log_entry.k q.entry in
+        let preimage ?max_solutions () =
+          Combinatorial_reconstruct.preimage_with ?max_solutions q.encoding
+            q.entry ~assume:q.assume
+        in
+        let first () =
+          Combinatorial_reconstruct.first ~assume:q.assume q.encoding q.entry
+        in
+        ( exact_outcome q ~preimage ~first,
+          [
+            {
+              stage = "mitm.hash";
+              detail =
+                (if k <= 2 then Printf.sprintf "k=%d, O(m) scan" k
+                 else Printf.sprintf "k=%d, O(m^2) pair table" k);
+              stats = None;
+            };
+          ] ));
+  }
+
+let all = [ mitm; linear; sat ]

@@ -1,0 +1,68 @@
+(** The reconstruction backend signature, and the three adapters.
+
+    An engine is a named triple: a capability predicate (can it answer
+    this {!Query.t} at all?), a cost estimate in bits (log₂ of expected
+    elementary steps — comparable across engines), and a runner that
+    produces an {!outcome} plus the per-stage work it spent. The three
+    values {!sat}, {!linear} and {!mitm} wrap the existing oracles
+    ({!Sat_reconstruct}, {!Linear_reconstruct},
+    {!Combinatorial_reconstruct}) without changing their semantics; any
+    future backend — portfolio, parallel domains, remote solving — is
+    one more value of {!t}. *)
+
+type outcome =
+  | Verdict of [ `Signal of Signal.t | `Unsat | `Unknown ]
+  | Enumeration of { signals : Signal.t list; complete : bool }
+  | Count of int * [ `Exact | `Lower_bound ]
+  | Check of [ `Holds_in_all | `Violated_in_all | `Mixed | `Vacuous | `Unknown ]
+  | Certified of
+      [ `Signal of Signal.t | `Unsat_certified of string | `Unknown ]
+
+type stage = {
+  stage : string;  (** e.g. ["sat.enumerate"], ["mitm.pair-table"] *)
+  detail : string;
+  stats : Tp_sat.Solver.stats option;  (** solver work, for SAT stages *)
+}
+
+type ctx = {
+  rank : int;  (** rank of [A] over F₂ *)
+  nullity : int;  (** [m − rank]: coset dimension *)
+  preimage_bits : float;
+      (** [log₂ C(m,k) − b], the expected-preimage-size estimate that
+          already drives [auto_gauss] *)
+}
+(** Instance facts the planner computes once and hands to every
+    engine's [capable]/[cost_bits]/[run] — engines never re-derive
+    them. *)
+
+type t = {
+  name : string;
+  capable : ctx -> Query.t -> (unit, string) result;
+      (** [Error reason] when the engine cannot answer the query;
+          the planner records the reason and moves on *)
+  cost_bits : ctx -> Query.t -> float;
+      (** log₂ of expected elementary steps; only consulted among
+          capable engines *)
+  run : ctx -> Query.t -> outcome * stage list;
+}
+
+val context : Query.t -> ctx
+(** Rank/nullity via one Gauss reduction of [A]; cheap relative to any
+    solve. *)
+
+val sat : t
+(** The CDCL + XOR + cardinality oracle. Capable of everything,
+    including [Certified]; runs with [presolve = true] and the
+    [auto_gauss] policy. *)
+
+val linear : t
+(** Coset enumeration over [x₀ + ker A]. Capable when the nullity is at
+    most {!Linear_reconstruct.max_nullity} and the query is not
+    [Certified]; cost grows as [2^nullity]. *)
+
+val mitm : t
+(** Meet-in-the-middle hashing. Capable when [k ≤ 4] and the query is
+    not [Certified]; [O(m)] for [k ≤ 2], [O(m²)] for [k ≤ 4]. *)
+
+val all : t list
+(** [[mitm; linear; sat]] — cheapest-regime first. *)

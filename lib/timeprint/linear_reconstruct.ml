@@ -1,6 +1,18 @@
 open Tp_bitvec
 
+let nullity enc =
+  let a = Encoding.matrix enc in
+  Encoding.m enc - F2_matrix.rank a
+
+let max_nullity = 61
+
 let preimage ?max_solutions enc entry =
+  if nullity enc > max_nullity then
+    invalid_arg
+      (Printf.sprintf
+         "Linear_reconstruct.preimage: nullity %d exceeds %d (coset \
+          enumeration would not terminate); use the SAT oracle"
+         (nullity enc) max_nullity);
   let a = Encoding.matrix enc in
   List.map Signal.of_bitvec
     (F2_matrix.solve_all_with_weight ?max_solutions a (Log_entry.tp entry)

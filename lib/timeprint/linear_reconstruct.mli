@@ -8,11 +8,21 @@
     cross-checked against, and to compute exact ambiguity counts such
     as the 256 → 8 → 1 funnel of Figure 4. *)
 
+val nullity : Encoding.t -> int
+(** [m − rank A]: the dimension of the solution coset, and the
+    exponent of this oracle's cost. The planner consults it before
+    ever calling {!preimage}. *)
+
+val max_nullity : int
+(** Hard capability cap (61): beyond it the coset does not even fit a
+    machine-word index and {!preimage} raises. *)
+
 val preimage :
   ?max_solutions:int -> Encoding.t -> Log_entry.t -> Signal.t list
 (** All signals with [α̃(S) = entry], in increasing change-vector
     order… of coset enumeration. Raises [Invalid_argument] when the
-    nullity exceeds 61 (enumeration would not terminate anyway). *)
+    nullity exceeds {!max_nullity} (enumeration would not terminate
+    anyway). *)
 
 val preimage_with :
   ?max_solutions:int ->

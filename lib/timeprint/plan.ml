@@ -1,0 +1,182 @@
+type engine_choice = [ `Auto | `Sat | `Linear | `Mitm ]
+
+let linear_nullity_threshold = 14
+
+type report = {
+  chosen : string;
+  presolve : [ `Refuted | `Reduced of Presolve.stats | `Skipped ];
+  nullity : int;
+  preimage_bits : float;
+  considered : (string * [ `Cost of float | `Rejected of string ]) list;
+  fallbacks : (string * string) list;
+  stages : Engine.stage list;
+}
+
+(* The outcome a rank-refuted entry gets for each answer kind — the
+   empty preimage, phrased in that answer's vocabulary. *)
+let refuted_outcome (q : Query.t) =
+  match q.answer with
+  | Query.First -> Engine.Verdict `Unsat
+  | Query.Enumerate _ -> Engine.Enumeration { signals = []; complete = true }
+  | Query.Count _ -> Engine.Count (0, `Exact)
+  | Query.Check _ -> Engine.Check `Vacuous
+  | Query.Certified -> assert false (* presolve is skipped for Certified *)
+
+(* Policy eligibility on top of raw capability: the auto planner only
+   hands MITM property-free queries (the filter is exact but defeats
+   the O(m) early exit) and only hands linear a coset it can sweep
+   faster than a SAT warm-up. *)
+let policy_eligible (ctx : Engine.ctx) (q : Query.t) (e : Engine.t) =
+  match e.Engine.capable ctx q with
+  | Error reason -> Error reason
+  | Ok () ->
+      if e.Engine.name = "mitm" && q.assume <> [] then
+        Error "policy: properties assumed"
+      else if
+        e.Engine.name = "linear" && ctx.Engine.nullity > linear_nullity_threshold
+      then
+        Error
+          (Printf.sprintf "policy: nullity %d > %d" ctx.Engine.nullity
+             linear_nullity_threshold)
+      else Ok ()
+
+let run ?(engine = `Auto) (q : Query.t) =
+  let ctx = Engine.context q in
+  let base chosen presolve considered fallbacks stages =
+    {
+      chosen;
+      presolve;
+      nullity = ctx.Engine.nullity;
+      preimage_bits = ctx.Engine.preimage_bits;
+      considered;
+      fallbacks;
+      stages;
+    }
+  in
+  let forced name =
+    List.find_opt (fun e -> e.Engine.name = name) Engine.all
+  in
+  let run_engine ?(fallbacks = []) presolve considered (e : Engine.t) =
+    let outcome, stages = e.Engine.run ctx q in
+    (outcome, base e.Engine.name presolve considered fallbacks stages)
+  in
+  match engine with
+  | (`Sat | `Linear | `Mitm) as f -> (
+      let name =
+        match f with `Sat -> "sat" | `Linear -> "linear" | `Mitm -> "mitm"
+      in
+      let e = Option.get (forced name) in
+      match e.Engine.capable ctx q with
+      | Ok () -> run_engine `Skipped [ (name, `Cost (e.Engine.cost_bits ctx q)) ] e
+      | Error reason ->
+          (* an incapable forced engine silently falls through to SAT *)
+          run_engine
+            ~fallbacks:[ (name, reason) ]
+            `Skipped
+            [ (name, `Rejected reason) ]
+            Engine.sat)
+  | `Auto -> (
+      let presolve =
+        match q.answer with
+        | Query.Certified -> `Skipped
+        | _ -> (
+            match Presolve.run q.encoding q.entry with
+            | `Unsat -> `Refuted
+            | `Reduced p -> `Reduced p.Presolve.stats)
+      in
+      match presolve with
+      | `Refuted ->
+          ( refuted_outcome q,
+            base "presolve" `Refuted
+              [ ("presolve", `Cost 0.) ]
+              [] [] )
+      | `Reduced _ | `Skipped -> (
+          let considered =
+            List.map
+              (fun e ->
+                ( e.Engine.name,
+                  match policy_eligible ctx q e with
+                  | Ok () -> `Cost (e.Engine.cost_bits ctx q)
+                  | Error reason -> `Rejected reason ))
+              Engine.all
+          in
+          let eligible =
+            List.filter_map
+              (fun (name, v) ->
+                match v with
+                | `Cost c when name <> "sat" -> Some (name, c)
+                | _ -> None)
+              considered
+          in
+          match
+            List.sort (fun (_, a) (_, b) -> Float.compare a b) eligible
+          with
+          | (winner, _) :: _ ->
+              run_engine presolve considered (Option.get (forced winner))
+          | [] -> run_engine presolve considered Engine.sat))
+
+let run_stream ?(assume = []) ?conflict_budget ?gauss encoding entries =
+  let entries = Array.of_list entries in
+  let n = Array.length entries in
+  let out = Array.make n None in
+  let sat_idx = ref [] in
+  Array.iteri
+    (fun i e ->
+      if Presolve.refutes encoding e then out.(i) <- Some (`Unsat, `Presolve)
+      else if
+        assume = []
+        && Combinatorial_reconstruct.supported ~k:(Log_entry.k e)
+      then
+        let v =
+          match Combinatorial_reconstruct.first encoding e with
+          | Some s -> `Signal s
+          | None -> `Unsat
+        in
+        out.(i) <- Some (v, `Mitm)
+      else sat_idx := i :: !sat_idx)
+    entries;
+  let sat_idx = List.rev !sat_idx in
+  let sat_results =
+    match sat_idx with
+    | [] -> []
+    | _ ->
+        (* the per-entry presolve already ran above *)
+        Sat_reconstruct.batch ~assume ~presolve:false ?conflict_budget ?gauss
+          encoding
+          (List.map (fun i -> entries.(i)) sat_idx)
+  in
+  List.iter2
+    (fun i (v, st) -> out.(i) <- Some (v, `Sat st))
+    sat_idx sat_results;
+  Array.to_list (Array.map Option.get out)
+
+let pp_report ppf r =
+  let open Format in
+  fprintf ppf "@[<v>plan: engine=%s  nullity=%d  |preimage|~2^%.1f@," r.chosen
+    r.nullity r.preimage_bits;
+  (match r.presolve with
+  | `Refuted -> fprintf ppf "presolve: rank-refuted (zero solver work)@,"
+  | `Skipped -> fprintf ppf "presolve: skipped@,"
+  | `Reduced s ->
+      fprintf ppf "presolve: rank=%d dropped=%d units=%d aliases=%d@,"
+        s.Presolve.rank s.dropped s.units s.aliases);
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | `Cost c -> fprintf ppf "  %-7s cost~2^%.1f@," name c
+      | `Rejected why -> fprintf ppf "  %-7s rejected: %s@," name why)
+    r.considered;
+  List.iter
+    (fun (name, why) -> fprintf ppf "fallback: %s unavailable (%s) -> sat@," name why)
+    r.fallbacks;
+  List.iter
+    (fun (st : Engine.stage) ->
+      match st.Engine.stats with
+      | None -> fprintf ppf "stage %s: %s@," st.stage st.detail
+      | Some s ->
+          fprintf ppf
+            "stage %s: %s  conflicts=%d decisions=%d propagations=%d@,"
+            st.stage st.detail s.Tp_sat.Solver.conflicts s.decisions
+            s.propagations)
+    r.stages;
+  fprintf ppf "@]"

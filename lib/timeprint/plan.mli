@@ -1,0 +1,67 @@
+(** The query planner: one entry point for every reconstruction.
+
+    Dispatch policy, generalizing PR 2's per-instance [auto_gauss] from
+    a knob inside the SAT backend to a choice {e between} backends:
+
+    + {b rank-refute}: the F₂ presolve runs first; an inconsistent
+      [A | TP] answers the query with zero solver work (skipped for
+      [Certified] queries, which must produce a DRAT refutation);
+    + {b MITM} when [k ≤ 4] and no properties are assumed —
+      [O(m)]–[O(m²)] hashing beats any search;
+    + {b coset enumeration} when the nullity is at most
+      {!linear_nullity_threshold} — the whole solution space is smaller
+      than a SAT solver's warm-up (when both MITM and linear apply, the
+      cheaper {!Engine.t.cost_bits} wins);
+    + {b SAT} otherwise, with presolve on and the [auto_gauss] policy.
+
+    Every answer carries a {!report} — which engine ran, why the others
+    did not, the instance estimates, and per-stage solver stats — so a
+    surprising answer is always explainable. *)
+
+type engine_choice = [ `Auto | `Sat | `Linear | `Mitm ]
+
+val linear_nullity_threshold : int
+(** Auto-policy cutoff (14) for the coset engine: [2^14] coset points
+    enumerate in well under a millisecond, while the hard capability
+    cap {!Linear_reconstruct.max_nullity} is only about termination. *)
+
+type report = {
+  chosen : string;
+      (** engine that produced the outcome; ["presolve"] when the rank
+          check refuted the entry before any engine ran *)
+  presolve : [ `Refuted | `Reduced of Presolve.stats | `Skipped ];
+  nullity : int;
+  preimage_bits : float;  (** [log₂ C(m,k) − b] *)
+  considered : (string * [ `Cost of float | `Rejected of string ]) list;
+      (** every engine, with its cost estimate or the reason it was
+          ruled out (capability or policy) *)
+  fallbacks : (string * string) list;
+      (** forced engines that could not run: [(name, reason)]; the
+          query silently fell through to SAT *)
+  stages : Engine.stage list;
+}
+
+val run : ?engine:engine_choice -> Query.t -> Engine.outcome * report
+(** Answer the query. [`Auto] (default) applies the dispatch policy
+    above; forcing an engine bypasses the policy but not the
+    capability guards — an incapable forced engine is recorded in
+    [fallbacks] and the query runs on SAT instead (never an
+    exception). *)
+
+val run_stream :
+  ?assume:Property.t list ->
+  ?conflict_budget:int ->
+  ?gauss:bool ->
+  Encoding.t ->
+  Log_entry.t list ->
+  (Sat_reconstruct.verdict
+  * [ `Presolve | `Mitm | `Sat of Tp_sat.Solver.stats ])
+  list
+(** Planned witness reconstruction of a log stream, in order: each
+    entry is rank-refuted for free when inconsistent, answered by MITM
+    when [k ≤ 4] and no properties are assumed, and the rest share one
+    incremental parity-select solver ({!Sat_reconstruct.batch} — the
+    stream capability the planner exploits). The tag says which path
+    answered each entry. *)
+
+val pp_report : Format.formatter -> report -> unit

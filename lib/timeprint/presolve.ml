@@ -22,6 +22,11 @@ let system encoding entry =
       done;
       (!vars, Bitvec.get tp j))
 
+let refutes encoding entry =
+  match Xor_simp.reduce ~extract_aliases:false (system encoding entry) with
+  | `Unsat -> true
+  | `Reduced _ -> false
+
 let run encoding entry =
   match Xor_simp.reduce ~extract_aliases:true (system encoding entry) with
   | `Unsat -> `Unsat

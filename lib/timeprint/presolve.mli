@@ -48,3 +48,8 @@ val system : Encoding.t -> Log_entry.t -> (int list * bool) list
 val run : Encoding.t -> Log_entry.t -> [ `Unsat | `Reduced of t ]
 (** [`Unsat] exactly when the linear system alone is inconsistent
     (the cardinality constraint is not consulted here). *)
+
+val refutes : Encoding.t -> Log_entry.t -> bool
+(** Rank check alone: [true] iff the augmented system [A | TP] is
+    inconsistent over F₂. Cheaper than {!run} (no alias extraction);
+    used to refute stream entries with zero solver work. *)

@@ -1,0 +1,31 @@
+open Tp_bitvec
+
+type answer =
+  | First
+  | Enumerate of { max_solutions : int option }
+  | Count of { max_solutions : int option }
+  | Check of Property.t
+  | Certified
+
+type t = {
+  encoding : Encoding.t;
+  entry : Log_entry.t;
+  assume : Property.t list;
+  conflict_budget : int option;
+  answer : answer;
+}
+
+let make ?(assume = []) ?conflict_budget ~answer encoding entry =
+  if Bitvec.width (Log_entry.tp entry) <> Encoding.b encoding then
+    invalid_arg "Query.make: timeprint width <> encoding b";
+  { encoding; entry; assume; conflict_budget; answer }
+
+let pp_answer ppf = function
+  | First -> Format.pp_print_string ppf "first"
+  | Enumerate { max_solutions = None } -> Format.pp_print_string ppf "enumerate"
+  | Enumerate { max_solutions = Some n } ->
+      Format.fprintf ppf "enumerate[<=%d]" n
+  | Count { max_solutions = None } -> Format.pp_print_string ppf "count"
+  | Count { max_solutions = Some n } -> Format.fprintf ppf "count[<=%d]" n
+  | Check p -> Format.fprintf ppf "check(%a)" Property.pp p
+  | Certified -> Format.pp_print_string ppf "certified"

@@ -1,0 +1,42 @@
+(** The unified reconstruction query IR.
+
+    Every question the toolkit answers about a log entry — a witness, a
+    preimage enumeration, a count, a property check, a certified
+    verdict — is one value of {!t}: the encoding, the entry, the
+    assumed properties, the budgets, and the requested {!answer}. The
+    {!Engine} adapters consume this IR; the {!Plan} layer picks which
+    of them runs it. Nothing here solves anything. *)
+
+type answer =
+  | First  (** one witness, or [`Unsat] *)
+  | Enumerate of { max_solutions : int option }
+      (** the preimage, possibly truncated *)
+  | Count of { max_solutions : int option }
+      (** the preimage size, [`Exact] when provably exhausted *)
+  | Check of Property.t
+      (** the four-way verdict of a suspected property *)
+  | Certified
+      (** like [First], but an UNSAT answer must carry a verified DRAT
+          certificate — only the SAT engine can produce one *)
+
+type t = {
+  encoding : Encoding.t;
+  entry : Log_entry.t;
+  assume : Property.t list;
+      (** properties known to hold; they prune every answer *)
+  conflict_budget : int option;
+      (** bound on each SAT solve, when a SAT engine runs the query *)
+  answer : answer;
+}
+
+val make :
+  ?assume:Property.t list ->
+  ?conflict_budget:int ->
+  answer:answer ->
+  Encoding.t ->
+  Log_entry.t ->
+  t
+(** Raises [Invalid_argument] when the timeprint width differs from the
+    encoding's [b]. *)
+
+val pp_answer : Format.formatter -> answer -> unit

@@ -1,570 +1,44 @@
-open Tp_bitvec
-open Tp_sat
+(* The legacy SR entry points, now a facade over the query planner.
 
-type problem = {
-  encoding : Encoding.t;
-  entry : Log_entry.t;
-  assume : Property.t list;
-  presolve : bool;
-  gauss : bool option;
-}
+   A problem built with the default knobs (presolve on, gauss auto) is
+   a plain question — it goes through Plan, which may answer it with
+   MITM hashing or coset enumeration instead of a SAT search. A
+   problem with an explicit [presolve]/[gauss] override is pinned to
+   the SAT oracle: those knobs exist to ablate and benchmark that
+   oracle, and the planner must never silently measure a different
+   engine. *)
 
-let problem ?(assume = []) ?(presolve = true) ?gauss encoding entry =
-  if Bitvec.width (Log_entry.tp entry) <> Encoding.b encoding then
-    invalid_arg "Reconstruct.problem: timeprint width <> encoding b";
-  { encoding; entry; assume; presolve; gauss }
+include Sat_reconstruct
 
-(* The legacy monolithic encoding — chunked XOR rows, no presolve, all
-   [m] signal variables materialized first. Kept verbatim: it is the
-   shape external consumers (DIMACS export, certified runs, encoding
-   ablations) rely on. *)
-let to_cnf { encoding; entry; assume; _ } =
-  let m = Encoding.m encoding and b = Encoding.b encoding in
-  let cnf = Cnf.create () in
-  let xvars = Array.init m (fun _ -> Cnf.new_var cnf) in
-  (* rows of A·x = TP: bit j of the timeprint is the XOR of x_i over
-     cycles i whose timestamp has bit j set *)
-  let tp = Log_entry.tp entry in
-  for j = 0 to b - 1 do
-    let vars = ref [] in
-    for i = 0 to m - 1 do
-      if Bitvec.get (Encoding.timestamp encoding i) j then
-        vars := xvars.(i) :: !vars
-    done;
-    Cnf.add_xor_chunked cnf ~vars:!vars ~parity:(Bitvec.get tp j)
-  done;
-  (* exactly k changes *)
-  Cardinality.exactly cnf (Array.to_list (Array.map Lit.pos xvars)) (Log_entry.k entry);
-  (* verified properties prune the space *)
-  List.iter
-    (fun p -> Property.assert_holds cnf ~m ~xvar:(fun i -> xvars.(i)) p)
-    assume;
-  (cnf, xvars)
+let planned (pb : problem) = pb.presolve && pb.gauss = None
 
-let signal_of_model m xvars value =
-  Signal.of_bitvec
-    (Bitvec.of_indices ~width:m
-       (List.filter (fun i -> value xvars.(i)) (List.init m Fun.id)))
-
-(* ------------------------------------------------------------------ *)
-(* The rank-aware encoder.
-
-   When [pb.presolve] is on, the linear system [A·x = TP] is
-   Gauss–Jordan-reduced offline first ({!Presolve}): an inconsistent
-   system short-circuits to UNSAT before any solver exists, implied
-   units and aliases are substituted out, and only the reduced kernel
-   is encoded. Two encodings cover the callers:
-
-   - the {e substituted} form (property-free one-shot queries): only
-     surviving cycles get variables, the cardinality counter runs over
-     representative literals with the bound lowered by the fixed-true
-     cycles, and [e_extract] rebuilds the full signal through the
-     elimination map — witnesses and AllSAT model sets are exactly
-     those of the legacy encoding;
-   - the {e materialized} form (properties, {!Session}): all [m]
-     signal variables exist so property encodings and cached guard
-     groups can refer to any cycle; the eliminations are strengthening
-     facts (unit clauses / binary XORs) on top of the reduced kernel.
-
-   XOR rows are emitted monolithically — one row per timeprint bit —
-   unless Gauss is explicitly off, in which case the legacy chunked
-   form keeps the lazy watch scheme fed with short rows. *)
-
-type encoded = {
-  e_cnf : Cnf.t;
-  e_xvars : int array option;  (* Some: all m signal vars, indices 0..m-1 *)
-  e_proj : int list;  (* projection variables for AllSAT *)
-  e_extract : (int -> bool) -> Signal.t;
-}
-
-let log2_choose m k =
-  let k = min k (m - k) in
-  if k < 0 then neg_infinity
-  else begin
-    let acc = ref 0. in
-    for i = 1 to k do
-      acc := !acc +. (log (float_of_int (m - k + i) /. float_of_int i) /. log 2.)
-    done;
-    !acc
-  end
-
-(* Auto policy for the in-solver Gauss engine, resolved here because
-   this layer knows [k]. The engine pays off when the preimage is
-   populous — eager XOR propagation then closes one of the many models
-   in a handful of conflicts (observed ~100× on such instances) — and
-   costs ~2× when the entry pins a needle, because the dense rows feed
-   long, weak learnt clauses into an already hard search. The estimate
-   is the paper's preimage-size heuristic: log₂|SR| ≈ log₂ C(m,k) − b.
-   The 10-bit threshold is calibrated on the bench grid: at 8 estimated
-   bits (m = 128, k = 4) the engine still loses ~2×, from ~20 estimated
-   bits up it wins 5–40×. Assumed properties invalidate the estimate —
-   a single pattern property can pin the populous preimage down to a
-   needle — so auto engages only on bare (TP, k) problems. *)
-let gauss_choice pb =
-  match pb.gauss with
-  | Some g -> g
-  | None ->
-      pb.assume = []
-      &&
-      let m = Encoding.m pb.encoding and b = Encoding.b pb.encoding in
-      let k = Log_entry.k pb.entry in
-      log2_choose m k -. float_of_int b >= 10.
-
-let auto_gauss pb = gauss_choice { pb with gauss = None }
-
-let encode ?(materialize = false) pb =
-  let m = Encoding.m pb.encoding in
-  let k = Log_entry.k pb.entry in
-  let materialize = materialize || pb.assume <> [] in
-  let gauss = gauss_choice pb in
-  let add_rows cnf rows var_of =
-    List.iter
-      (fun (cycles, parity) ->
-        let vars = List.map var_of cycles in
-        if gauss then Cnf.add_xor cnf ~vars ~parity
-        else Cnf.add_xor_chunked cnf ~vars ~parity)
-      rows
-  in
-  let materialized rows elim =
-    let cnf = Cnf.create () in
-    let xvars = Array.init m (fun _ -> Cnf.new_var cnf) in
-    (match elim with
-    | None -> ()
-    | Some e ->
-        Array.iteri
-          (fun i -> function
-            | Some (Presolve.Fixed v) ->
-                Cnf.add_clause cnf [ Lit.make xvars.(i) v ]
-            | Some (Presolve.Aliased { rep; negate }) ->
-                Cnf.add_xor cnf ~vars:[ xvars.(i); xvars.(rep) ] ~parity:negate
-            | None -> ())
-          e);
-    add_rows cnf rows (fun i -> xvars.(i));
-    Cardinality.exactly cnf (Array.to_list (Array.map Lit.pos xvars)) k;
-    List.iter
-      (fun p -> Property.assert_holds cnf ~m ~xvar:(fun i -> xvars.(i)) p)
-      pb.assume;
-    {
-      e_cnf = cnf;
-      e_xvars = Some xvars;
-      e_proj = Array.to_list xvars;
-      e_extract = (fun value -> signal_of_model m xvars value);
-    }
-  in
-  if not pb.presolve then
-    `Enc (materialized (Presolve.system pb.encoding pb.entry) None)
-  else
-    match Presolve.run pb.encoding pb.entry with
-    | `Unsat -> `Unsat
-    | `Reduced r ->
-        if materialize then `Enc (materialized r.Presolve.rows (Some r.elim))
-        else begin
-          let cnf = Cnf.create () in
-          let map = Array.make m (-1) in
-          for i = 0 to m - 1 do
-            if r.Presolve.elim.(i) = None then map.(i) <- Cnf.new_var cnf
-          done;
-          add_rows cnf r.rows (fun i -> map.(i));
-          (* each alias still counts toward [exactly k], through the
-             literal of its representative that makes it true *)
-          let card_lits =
-            List.filter_map
-              (fun i ->
-                match r.elim.(i) with
-                | None -> Some (Lit.pos map.(i))
-                | Some (Presolve.Aliased { rep; negate }) ->
-                    Some (Lit.make map.(rep) (not negate))
-                | Some (Presolve.Fixed _) -> None)
-              (List.init m Fun.id)
-          in
-          Cardinality.exactly cnf card_lits (k - r.units_true);
-          let extract value =
-            Signal.of_bitvec
-              (Bitvec.of_indices ~width:m
-                 (List.filter
-                    (fun i ->
-                      match r.elim.(i) with
-                      | Some (Presolve.Fixed v) -> v
-                      | Some (Presolve.Aliased { rep; negate }) ->
-                          value map.(rep) <> negate
-                      | None -> value map.(i))
-                    (List.init m Fun.id)))
-          in
-          let proj =
-            List.filter_map
-              (fun i -> if map.(i) >= 0 then Some map.(i) else None)
-              (List.init m Fun.id)
-          in
-          `Enc { e_cnf = cnf; e_xvars = None; e_proj = proj; e_extract = extract }
-        end
-
-type verdict = [ `Signal of Signal.t | `Unsat | `Unknown ]
-
-(* branch on the (surviving) signal variables before the cardinality
-   auxiliaries — same heuristic [batch] uses, and what lets the Gauss
-   rows do the propagating *)
-let solver_for pb e =
-  let s = Solver.of_cnf ~gauss:(gauss_choice pb) e.e_cnf in
-  Solver.boost s e.e_proj;
-  s
+let query ?conflict_budget answer (pb : problem) =
+  Query.make ~assume:pb.assume ?conflict_budget ~answer pb.encoding pb.entry
 
 let first ?conflict_budget pb =
-  match encode pb with
-  | `Unsat -> `Unsat
-  | `Enc e -> (
-      let s = solver_for pb e in
-      match Solver.solve ?conflict_budget s with
-      | Sat -> `Signal (e.e_extract (Solver.value s))
-      | Unsat -> `Unsat
-      | Unknown -> `Unknown)
-
-type certified =
-  [ `Signal of Signal.t | `Unsat_certified of string | `Unknown ]
-
-let first_certified ?conflict_budget pb : certified =
-  let cnf, xvars = to_cnf pb in
-  let clausal = Cnf.expand_xors cnf in
-  let s = Solver.of_cnf clausal in
-  Solver.enable_proof s;
-  match Solver.solve ?conflict_budget s with
-  | Sat -> `Signal (signal_of_model (Encoding.m pb.encoding) xvars (Solver.value s))
-  | Unknown -> `Unknown
-  | Unsat -> (
-      let proof = Solver.proof s in
-      match Drat.check clausal proof with
-      | Ok () -> `Unsat_certified proof
-      | Error e -> failwith ("Reconstruct.first_certified: bad certificate: " ^ e))
-
-type enumeration = { signals : Signal.t list; complete : bool }
-
-let signals_of_models m models =
-  List.map
-    (fun model ->
-      Signal.of_bitvec
-        (Bitvec.of_indices ~width:m
-           (List.filter (fun i -> model.(i)) (List.init m Fun.id))))
-    models
+  if planned pb then
+    match Plan.run (query ?conflict_budget Query.First pb) with
+    | Engine.Verdict v, _ -> v
+    | _ -> assert false
+  else Sat_reconstruct.first ?conflict_budget pb
 
 let enumerate ?max_solutions ?conflict_budget pb =
-  match encode pb with
-  | `Unsat -> { signals = []; complete = true }
-  | `Enc e ->
-      let s = solver_for pb e in
-      let { Allsat.models; complete } =
-        Allsat.enumerate ?max_models:max_solutions ?conflict_budget s
-          ~project:e.e_proj
-      in
-      {
-        signals =
-          List.map (fun model -> e.e_extract (fun v -> model.(v))) models;
-        complete;
-      }
+  if planned pb then
+    match Plan.run (query ?conflict_budget (Query.Enumerate { max_solutions }) pb) with
+    | Engine.Enumeration { signals; complete }, _ -> { signals; complete }
+    | _ -> assert false
+  else Sat_reconstruct.enumerate ?max_solutions ?conflict_budget pb
 
 let count ?max_solutions ?conflict_budget pb =
-  let { signals; complete } = enumerate ?max_solutions ?conflict_budget pb in
-  (List.length signals, if complete then `Exact else `Lower_bound)
-
-type check_result =
-  [ `Holds_in_all | `Violated_in_all | `Mixed | `Vacuous | `Unknown ]
-
-let exists_with ?conflict_budget pb extra_polarity prop =
-  match encode ~materialize:true pb with
-  | `Unsat -> `No
-  | `Enc e -> (
-      let cnf = e.e_cnf in
-      let xvars =
-        match e.e_xvars with Some x -> x | None -> assert false
-      in
-      let m = Encoding.m pb.encoding in
-      let xvar i = xvars.(i) in
-      (match extra_polarity with
-      | `Holds -> Property.assert_holds cnf ~m ~xvar prop
-      | `Violated -> Property.assert_violated cnf ~m ~xvar prop);
-      match Solver.solve ?conflict_budget (solver_for pb e) with
-      | Sat -> `Yes
-      | Unsat -> `No
-      | Unknown -> `Unknown)
+  if planned pb then
+    match Plan.run (query ?conflict_budget (Query.Count { max_solutions }) pb) with
+    | Engine.Count (n, exactness), _ -> (n, exactness)
+    | _ -> assert false
+  else Sat_reconstruct.count ?max_solutions ?conflict_budget pb
 
 let check ?conflict_budget pb prop =
-  let some_sat = exists_with ?conflict_budget pb `Holds prop in
-  let some_viol = exists_with ?conflict_budget pb `Violated prop in
-  match (some_sat, some_viol) with
-  | `Yes, `Yes -> `Mixed
-  | `Yes, `No -> `Holds_in_all
-  | `No, `Yes -> `Violated_in_all
-  | `No, `No -> `Vacuous
-  | `Unknown, _ | _, `Unknown -> `Unknown
-
-let pp_check_result ppf r =
-  Format.pp_print_string ppf
-    (match r with
-    | `Holds_in_all -> "holds in all reconstructions"
-    | `Violated_in_all -> "violated in all reconstructions"
-    | `Mixed -> "holds in some reconstructions, violated in others"
-    | `Vacuous -> "no reconstruction exists"
-    | `Unknown -> "unknown (budget exhausted)")
-
-(* ------------------------------------------------------------------ *)
-(* Incremental sessions                                                *)
-
-let zero_stats =
-  {
-    Solver.conflicts = 0;
-    decisions = 0;
-    propagations = 0;
-    learnt = 0;
-    restarts = 0;
-    gauss_rows = 0;
-    gauss_elims = 0;
-    gauss_props = 0;
-    gauss_conflicts = 0;
-  }
-
-module Session = struct
-  type t = {
-    pb : problem;
-    cnf : Cnf.t;  (** shadow problem: grows; deltas are flushed to the solver *)
-    solver : Solver.t;
-    xvars : int array;
-    mutable flushed_clauses : int;
-    mutable flushed_xors : int;
-    mutable prop_guards : ((Property.t * bool) * Lit.t) list;
-        (** cached guarded encodings, keyed by (property, polarity) *)
-    mutable last_stats : Solver.stats;
-  }
-
-  let flush t =
-    Solver.add_cnf_from t.solver t.cnf ~nclauses:t.flushed_clauses
-      ~nxors:t.flushed_xors;
-    t.flushed_clauses <- Cnf.nclauses t.cnf;
-    t.flushed_xors <- Cnf.nxors t.cnf
-
-  let create pb =
-    let cnf, xvars =
-      match encode ~materialize:true pb with
-      | `Enc e ->
-          (e.e_cnf, match e.e_xvars with Some x -> x | None -> assert false)
-      | `Unsat ->
-          (* refuted by rank alone: a root empty clause makes every
-             query answer Unsat while keeping the session API alive *)
-          let cnf = Cnf.create () in
-          let xvars =
-            Array.init (Encoding.m pb.encoding) (fun _ -> Cnf.new_var cnf)
-          in
-          Cnf.add_clause cnf [];
-          (cnf, xvars)
-    in
-    let t =
-      {
-        pb;
-        cnf;
-        solver = Solver.create ~gauss:(gauss_choice pb) ();
-        xvars;
-        flushed_clauses = 0;
-        flushed_xors = 0;
-        prop_guards = [];
-        last_stats = zero_stats;
-      }
-    in
-    flush t;
-    Solver.boost t.solver (Array.to_list xvars);
-    t
-
-  let problem t = t.pb
-  let last_stats t = t.last_stats
-
-  (* run a query, recording the solver-work delta it cost *)
-  let measured t f =
-    let b = Solver.stats t.solver in
-    let r = f () in
-    let a = Solver.stats t.solver in
-    t.last_stats <-
-      {
-        Solver.conflicts = a.conflicts - b.conflicts;
-        decisions = a.decisions - b.decisions;
-        propagations = a.propagations - b.propagations;
-        learnt = a.learnt;
-        restarts = a.restarts - b.restarts;
-        gauss_rows = a.gauss_rows;
-        gauss_elims = a.gauss_elims;
-        gauss_props = a.gauss_props - b.gauss_props;
-        gauss_conflicts = a.gauss_conflicts - b.gauss_conflicts;
-      };
-    r
-
-  let first ?conflict_budget t =
-    measured t (fun () ->
-        match Solver.solve ?conflict_budget t.solver with
-        | Sat ->
-            `Signal
-              (signal_of_model (Encoding.m t.pb.encoding) t.xvars
-                 (Solver.value t.solver))
-        | Unsat -> `Unsat
-        | Unknown -> `Unknown)
-
-  let enumerate ?max_solutions ?conflict_budget t =
-    (* blocking clauses live under a per-enumeration guard, retired when
-       the enumeration finishes, so later queries see the full space *)
-    let g = Lit.pos (Cnf.new_var t.cnf) in
-    flush t;
-    measured t (fun () ->
-        let { Allsat.models; complete } =
-          Allsat.enumerate ?max_models:max_solutions ?conflict_budget ~guard:g
-            t.solver
-            ~project:(Array.to_list t.xvars)
-        in
-        Solver.add_clause t.solver [ Lit.negate g ];
-        (* keep the shadow problem in step with the retirement *)
-        Cnf.add_clause t.cnf [ Lit.negate g ];
-        t.flushed_clauses <- t.flushed_clauses + 1;
-        { signals = signals_of_models (Encoding.m t.pb.encoding) models; complete })
-
-  let count ?max_solutions ?conflict_budget t =
-    let { signals; complete } = enumerate ?max_solutions ?conflict_budget t in
-    (List.length signals, if complete then `Exact else `Lower_bound)
-
-  (* guarded property encoding, built once per (property, polarity) and
-     switched on by assuming its guard *)
-  let prop_guard t prop pos =
-    match List.assoc_opt (prop, pos) t.prop_guards with
-    | Some g -> g
-    | None ->
-        let g = Lit.pos (Cnf.new_var t.cnf) in
-        let m = Encoding.m t.pb.encoding in
-        let xvar i = t.xvars.(i) in
-        (if pos then Property.assert_holds ~guard:g t.cnf ~m ~xvar prop
-         else Property.assert_violated ~guard:g t.cnf ~m ~xvar prop);
-        flush t;
-        t.prop_guards <- ((prop, pos), g) :: t.prop_guards;
-        g
-
-  let exists_with ?conflict_budget t polarity prop =
-    let g = prop_guard t prop (match polarity with `Holds -> true | `Violated -> false) in
-    measured t (fun () ->
-        match Solver.solve ?conflict_budget ~assumptions:[ g ] t.solver with
-        | Sat -> `Yes
-        | Unsat -> `No
-        | Unknown -> `Unknown)
-
-  let check ?conflict_budget t prop =
-    let some_sat = exists_with ?conflict_budget t `Holds prop in
-    let stats_sat = t.last_stats in
-    let some_viol = exists_with ?conflict_budget t `Violated prop in
-    t.last_stats <-
-      {
-        Solver.conflicts = stats_sat.conflicts + t.last_stats.conflicts;
-        decisions = stats_sat.decisions + t.last_stats.decisions;
-        propagations = stats_sat.propagations + t.last_stats.propagations;
-        learnt = t.last_stats.learnt;
-        restarts = stats_sat.restarts + t.last_stats.restarts;
-        gauss_rows = t.last_stats.gauss_rows;
-        gauss_elims = t.last_stats.gauss_elims;
-        gauss_props = stats_sat.gauss_props + t.last_stats.gauss_props;
-        gauss_conflicts = stats_sat.gauss_conflicts + t.last_stats.gauss_conflicts;
-      };
-    match (some_sat, some_viol) with
-    | `Yes, `Yes -> `Mixed
-    | `Yes, `No -> `Holds_in_all
-    | `No, `Yes -> `Violated_in_all
-    | `No, `No -> `Vacuous
-    | `Unknown, _ | _, `Unknown -> `Unknown
-end
-
-(* ------------------------------------------------------------------ *)
-(* Batched reconstruction over a stream of log entries                 *)
-
-(* One solver serves every trace-cycle of a log: the timestamp matrix
-   [A] is shared, so we emit each XOR row once in the parity-select
-   form [⊕ vars_j ⊕ p_j = 0] — the select variable p_j carries bit j of
-   the timeprint — and pin the p_j per entry through assumptions. The
-   per-entry cardinality [exactly k] is cached under a guard literal
-   per distinct [k]. All structure learned about [A] (and the assumed
-   properties) transfers across entries. *)
-let batch ?(assume = []) ?conflict_budget ?gauss encoding entries =
-  let m = Encoding.m encoding and b = Encoding.b encoding in
-  List.iter
-    (fun e ->
-      if Bitvec.width (Log_entry.tp e) <> b then
-        invalid_arg "Reconstruct.batch: timeprint width <> encoding b")
-    entries;
-  let cnf = Cnf.create () in
-  let xvars = Array.init m (fun _ -> Cnf.new_var cnf) in
-  let pvars = Array.init b (fun _ -> Cnf.new_var cnf) in
-  for j = 0 to b - 1 do
-    let vars = ref [ pvars.(j) ] in
-    for i = 0 to m - 1 do
-      if Bitvec.get (Encoding.timestamp encoding i) j then
-        vars := xvars.(i) :: !vars
-    done;
-    (* monolithic rows feed the in-solver Gauss engine (the select
-       variables p_j are ordinary matrix columns to it); chunked rows
-       only when the engine is explicitly off *)
-    if gauss = Some false then Cnf.add_xor_chunked cnf ~vars:!vars ~parity:false
-    else Cnf.add_xor cnf ~vars:!vars ~parity:false
-  done;
-  List.iter
-    (fun p -> Property.assert_holds cnf ~m ~xvar:(fun i -> xvars.(i)) p)
-    assume;
-  let solver = Solver.create ?gauss () in
-  let flushed_clauses = ref 0 and flushed_xors = ref 0 in
-  let flush () =
-    Solver.add_cnf_from solver cnf ~nclauses:!flushed_clauses ~nxors:!flushed_xors;
-    flushed_clauses := Cnf.nclauses cnf;
-    flushed_xors := Cnf.nxors cnf
-  in
-  flush ();
-  (* branch on the signal variables before select/auxiliary variables:
-     they determine everything else through the XOR rows and counters *)
-  Solver.boost solver (Array.to_list xvars);
-  let k_guards = Hashtbl.create 8 in
-  let k_guard k =
-    match Hashtbl.find_opt k_guards k with
-    | Some g -> g
-    | None ->
-        let g = Lit.pos (Cnf.new_var cnf) in
-        let first_aux = Cnf.nvars cnf in
-        Cardinality.exactly ~guard:g cnf
-          (Array.to_list (Array.map Lit.pos xvars))
-          k;
-        (* pin the group's counter auxiliaries to its guard (aux → g):
-           an entry assuming a different k turns this whole counter into
-           unit-propagated falses instead of thousands of free decisions *)
-        for v = first_aux to Cnf.nvars cnf - 1 do
-          Cnf.add_clause cnf [ g; Lit.neg_of v ]
-        done;
-        flush ();
-        Hashtbl.add k_guards k g;
-        g
-  in
-  List.map
-    (fun entry ->
-      let tp = Log_entry.tp entry in
-      let active = k_guard (Log_entry.k entry) in
-      let assumptions =
-        active
-        :: List.init b (fun j -> Lit.make pvars.(j) (Bitvec.get tp j))
-        @ Hashtbl.fold
-            (fun _ g acc -> if Lit.equal g active then acc else Lit.negate g :: acc)
-            k_guards []
-      in
-      let before = Solver.stats solver in
-      let verdict =
-        match Solver.solve ?conflict_budget ~assumptions solver with
-        | Sat -> `Signal (signal_of_model m xvars (Solver.value solver))
-        | Unsat -> `Unsat
-        | Unknown -> `Unknown
-      in
-      let after = Solver.stats solver in
-      ( verdict,
-        {
-          Solver.conflicts = after.conflicts - before.conflicts;
-          decisions = after.decisions - before.decisions;
-          propagations = after.propagations - before.propagations;
-          learnt = after.learnt;
-          restarts = after.restarts - before.restarts;
-          gauss_rows = after.gauss_rows;
-          gauss_elims = after.gauss_elims;
-          gauss_props = after.gauss_props - before.gauss_props;
-          gauss_conflicts = after.gauss_conflicts - before.gauss_conflicts;
-        } ))
-    entries
+  if planned pb then
+    match Plan.run (query ?conflict_budget (Query.Check prop) pb) with
+    | Engine.Check r, _ -> r
+    | _ -> assert false
+  else Sat_reconstruct.check ?conflict_budget pb prop

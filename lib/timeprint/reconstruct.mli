@@ -1,35 +1,31 @@
-(** Signal Reconstruction (SR): the SAT-based preimage computation of §4.2.
+(** Signal Reconstruction (SR): the legacy entry points of §4.2, now a
+    facade over the query planner.
 
-    Given an encoding [TS], a log entry [(TP, k)] and a set of verified
-    properties, find the signals [S] with [α̃(S) = (TP, k)] that satisfy
-    the properties. The reduction introduces one variable per clock
-    cycle, one XOR clause per timeprint bit (the rows of [A·x = TP]),
-    the Sinz-encoded [exactly-k] cardinality constraint, and the
-    property clauses — precisely the Cryptominisat input fragment used
-    by the paper. *)
+    [first]/[enumerate]/[count]/[check] build a {!Query.t} and hand it
+    to {!Plan.run}: the rank check may refute it for free, MITM hashing
+    or coset enumeration may answer it outright, and only otherwise
+    does the SAT oracle run — all transparently, with identical
+    answers. Exception: a {!problem} whose [presolve]/[gauss] knobs
+    were set explicitly is pinned to the SAT oracle
+    ({!Sat_reconstruct}), because those knobs exist to ablate that
+    oracle and must keep measuring it. [Session], [batch], [to_cnf] and
+    [first_certified] are the SAT oracle's own capabilities, re-exported
+    unchanged ([batch] is what {!Plan.run_stream} builds on). *)
 
-type problem = {
+type problem = Sat_reconstruct.problem = {
   encoding : Encoding.t;
   entry : Log_entry.t;
   assume : Property.t list;
       (** properties known to hold (RV verdicts, diagnostics, failure
           analysis) — they prune the search space *)
   presolve : bool;
-      (** Gauss–Jordan-reduce [A·x = TP] over F₂ before encoding
-          ({!Presolve}): rank-refute without a solver call, substitute
-          implied units/aliases out of the CNF and cardinality encoding,
-          and hand the solver only the reduced kernel. Witnesses are
-          mapped back through the elimination, so every query observes
-          exactly the legacy answers. Default [true]. *)
+      (** SAT-oracle knob ({!Presolve}); setting it explicitly (or
+          [gauss]) pins the problem to the SAT oracle. Default
+          [true]. *)
   gauss : bool option;
-      (** in-solver Gauss–Jordan engine ({!Tp_sat.Solver.create}):
-          [Some true] on, [Some false] off (and XOR rows are emitted in
-          the legacy chunked form), [None] auto — on exactly when
-          [assume] is empty and the preimage-size estimate
-          [log₂ C(m,k) − b] says the entry has many reconstructions,
-          the regime where the engine is worth orders of magnitude
-          (assumed properties can pin a populous preimage down to a
-          needle, where the engine loses). Default [None]. *)
+      (** in-solver Gauss–Jordan engine knob: [Some true] on,
+          [Some false] off, [None] auto ({!auto_gauss}). Default
+          [None]. *)
 }
 
 val problem :
@@ -43,23 +39,18 @@ val problem :
     encoding's [b]. *)
 
 val auto_gauss : problem -> bool
-(** What [gauss = None] resolves to for this problem: [true] exactly
-    when the preimage-size estimate [log₂ C(m,k) − b] clears the
-    engine's pay-off threshold. Exposed so benchmarks and diagnostics
-    can report which regime an instance falls in. *)
+(** What [gauss = None] resolves to inside the SAT oracle. *)
 
 val to_cnf : problem -> Tp_sat.Cnf.t * int array
 (** The reduction in its legacy monolithic form — all [m] cycle
-    variables, chunked XOR rows, no presolve — regardless of the
-    problem's [presolve]/[gauss] settings; the array maps cycle [i] to
-    its CNF variable. This is the stable shape for DIMACS export and
-    encoding ablations. *)
+    variables, chunked XOR rows, no presolve — the stable shape for
+    DIMACS export and encoding ablations. *)
 
 type verdict = [ `Signal of Signal.t | `Unsat | `Unknown ]
 
 val first : ?conflict_budget:int -> problem -> verdict
 (** One reconstruction (the paper's [.1] columns), or [`Unsat] when no
-    signal abstracts to the entry under the assumptions. *)
+    signal abstracts to the entry under the assumptions. Planned. *)
 
 type certified =
   [ `Signal of Signal.t
@@ -68,33 +59,29 @@ type certified =
 
 val first_certified : ?conflict_budget:int -> problem -> certified
 (** Like {!first}, but an [`Unsat] answer comes with an independently
-    checked DRAT certificate — the artifact to archive when the answer
-    assigns liability (§5.2.1's "UNSAT in 1.597 s" becomes a verifiable
-    statement rather than the solver's word). The reduction's XOR rows
-    are compiled to plain CNF for this query, since DRAT covers only
-    clausal reasoning. Raises [Failure] in the (never-observed) event
-    that the produced certificate fails its check. *)
+    checked DRAT certificate. Always the SAT oracle — no other engine
+    can produce the artifact. *)
 
-type enumeration = {
-  signals : Signal.t list;  (** discovery order *)
+type enumeration = Sat_reconstruct.enumeration = {
+  signals : Signal.t list;
   complete : bool;  (** [true] iff provably all solutions were found *)
 }
 
 val enumerate :
   ?max_solutions:int -> ?conflict_budget:int -> problem -> enumeration
 (** All reconstructions, or the first [max_solutions] (the paper's
-    [.10] columns use [max_solutions = 10]). *)
+    [.10] columns use [max_solutions = 10]). Planned; the exact engines
+    return the preimage sorted rather than in solver discovery
+    order. *)
 
 val count :
   ?max_solutions:int ->
   ?conflict_budget:int ->
   problem ->
   int * [ `Exact | `Lower_bound ]
-(** Number of reconstructions. [`Exact] when the enumeration provably
-    exhausted the preimage; [`Lower_bound] when it was cut short by
-    [max_solutions] or the conflict budget — the two answers were
-    previously indistinguishable, which silently under-reported
-    preimage sizes (Table 1's [|SR|] column). *)
+(** Number of reconstructions. [`Exact] when the preimage was provably
+    exhausted; [`Lower_bound] when cut short by [max_solutions] or the
+    conflict budget. Planned. *)
 
 type check_result =
   [ `Holds_in_all  (** every reconstruction satisfies the property *)
@@ -104,43 +91,22 @@ type check_result =
   | `Unknown ]
 
 val check : ?conflict_budget:int -> problem -> Property.t -> check_result
-(** Decide a suspected property against the log entry with two SAT
-    queries (§3.3: "often we only want to know whether there is a trace
-    that satisfies or breaks a certain temporal property"). *)
+(** Decide a suspected property against the log entry (§3.3).
+    Planned. *)
 
 val pp_check_result : Format.formatter -> check_result -> unit
 
-(** {1 Incremental sessions}
-
-    The cold entry points above build a fresh solver per query, so
-    nothing learned answering one question about a log entry helps the
-    next. A {!Session.t} owns a single incremental solver primed with
-    the entry's base constraints (XOR rows, cardinality, verified
-    properties); {!Session.first}, {!Session.enumerate} and
-    {!Session.check} are then assumption flips on that solver — learnt
-    clauses, variable activities and saved phases accumulate across
-    queries. Enumeration blocking clauses are emitted under a
-    per-enumeration guard and retired afterwards; suspected-property
-    encodings are cached under guards keyed by (property, polarity), so
-    [check]'s Holds/Violated pair — and any repeat of it — shares all
-    learned structure. *)
+(** {1 Incremental sessions} — see {!Sat_reconstruct.Session}. *)
 
 module Session : sig
-  type t
+  type t = Sat_reconstruct.Session.t
 
   val create : problem -> t
-  (** Solver primed with the problem's base constraints. *)
-
   val problem : t -> problem
-
   val first : ?conflict_budget:int -> t -> verdict
-  (** As {!val:first}, on the live solver. *)
 
   val enumerate :
     ?max_solutions:int -> ?conflict_budget:int -> t -> enumeration
-  (** As {!val:enumerate}; the blocking clauses are guarded and retired
-      when the call returns, so subsequent queries (including a repeat
-      enumeration) see the complete preimage again. *)
 
   val count :
     ?max_solutions:int ->
@@ -149,33 +115,16 @@ module Session : sig
     int * [ `Exact | `Lower_bound ]
 
   val check : ?conflict_budget:int -> t -> Property.t -> check_result
-  (** As {!val:check}: two assumption-solves on the shared solver. The
-      property encodings are added once (guarded) and reused on repeat
-      checks of the same property. *)
-
   val last_stats : t -> Tp_sat.Solver.stats
-  (** Solver work spent by the most recent query on this session —
-      [conflicts], [decisions], [propagations] and [restarts] are
-      deltas over that query ([check] sums its two solves); [learnt] is
-      the current database size. *)
 end
 
 val batch :
   ?assume:Property.t list ->
+  ?presolve:bool ->
   ?conflict_budget:int ->
   ?gauss:bool ->
   Encoding.t ->
   Log_entry.t list ->
   (verdict * Tp_sat.Solver.stats) list
-(** Reconstruct a stream of trace-cycle log entries against one
-    encoding with a single solver. The timestamp-matrix structure is
-    emitted once in parity-select form — each XOR row closes on a fresh
-    select variable [p_j] instead of the constant [TP] bit, and each
-    entry pins [p_j] to its timeprint bit via assumptions — so conflict
-    clauses learned about [A] (and about the [assume] properties, which
-    must hold in every trace-cycle) transfer across entries. The
-    [exactly-k] cardinality constraint is built once per distinct [k],
-    under a guard assumed for the entries that need it. Returns, per
-    entry in order, the {!verdict} and the solver-work delta that entry
-    cost. [conflict_budget] bounds each entry's solve. Raises
-    [Invalid_argument] on a timeprint width mismatch. *)
+(** See {!Sat_reconstruct.batch}: one parity-select solver for a whole
+    stream, per-entry presolve rank refutation included. *)

@@ -1,0 +1,205 @@
+(** Signal Reconstruction (SR): the SAT-based preimage computation of §4.2.
+
+    Given an encoding [TS], a log entry [(TP, k)] and a set of verified
+    properties, find the signals [S] with [α̃(S) = (TP, k)] that satisfy
+    the properties. The reduction introduces one variable per clock
+    cycle, one XOR clause per timeprint bit (the rows of [A·x = TP]),
+    the Sinz-encoded [exactly-k] cardinality constraint, and the
+    property clauses — precisely the Cryptominisat input fragment used
+    by the paper. *)
+
+type problem = {
+  encoding : Encoding.t;
+  entry : Log_entry.t;
+  assume : Property.t list;
+      (** properties known to hold (RV verdicts, diagnostics, failure
+          analysis) — they prune the search space *)
+  presolve : bool;
+      (** Gauss–Jordan-reduce [A·x = TP] over F₂ before encoding
+          ({!Presolve}): rank-refute without a solver call, substitute
+          implied units/aliases out of the CNF and cardinality encoding,
+          and hand the solver only the reduced kernel. Witnesses are
+          mapped back through the elimination, so every query observes
+          exactly the legacy answers. Default [true]. *)
+  gauss : bool option;
+      (** in-solver Gauss–Jordan engine ({!Tp_sat.Solver.create}):
+          [Some true] on, [Some false] off (and XOR rows are emitted in
+          the legacy chunked form), [None] auto — on exactly when
+          [assume] is empty and the preimage-size estimate
+          [log₂ C(m,k) − b] says the entry has many reconstructions,
+          the regime where the engine is worth orders of magnitude
+          (assumed properties can pin a populous preimage down to a
+          needle, where the engine loses). Default [None]. *)
+}
+
+val problem :
+  ?assume:Property.t list ->
+  ?presolve:bool ->
+  ?gauss:bool ->
+  Encoding.t ->
+  Log_entry.t ->
+  problem
+(** Raises [Invalid_argument] when the timeprint width differs from the
+    encoding's [b]. *)
+
+val auto_gauss : problem -> bool
+(** What [gauss = None] resolves to for this problem: [true] exactly
+    when the preimage-size estimate [log₂ C(m,k) − b] clears the
+    engine's pay-off threshold. Exposed so benchmarks and diagnostics
+    can report which regime an instance falls in. *)
+
+val to_cnf : problem -> Tp_sat.Cnf.t * int array
+(** The reduction in its legacy monolithic form — all [m] cycle
+    variables, chunked XOR rows, no presolve — regardless of the
+    problem's [presolve]/[gauss] settings; the array maps cycle [i] to
+    its CNF variable. This is the stable shape for DIMACS export and
+    encoding ablations. *)
+
+type verdict = [ `Signal of Signal.t | `Unsat | `Unknown ]
+
+val first : ?conflict_budget:int -> problem -> verdict
+(** One reconstruction (the paper's [.1] columns), or [`Unsat] when no
+    signal abstracts to the entry under the assumptions. *)
+
+val solve_first :
+  ?conflict_budget:int -> problem -> verdict * Tp_sat.Solver.stats option
+(** {!first} plus the solver work it cost; [None] when the presolve
+    refuted the entry without a solver call. The [Engine] adapters
+    thread these stats into plan reports. *)
+
+type certified =
+  [ `Signal of Signal.t
+  | `Unsat_certified of string  (** a DRAT refutation, already verified *)
+  | `Unknown ]
+
+val first_certified : ?conflict_budget:int -> problem -> certified
+(** Like {!first}, but an [`Unsat] answer comes with an independently
+    checked DRAT certificate — the artifact to archive when the answer
+    assigns liability (§5.2.1's "UNSAT in 1.597 s" becomes a verifiable
+    statement rather than the solver's word). The reduction's XOR rows
+    are compiled to plain CNF for this query, since DRAT covers only
+    clausal reasoning. Raises [Failure] in the (never-observed) event
+    that the produced certificate fails its check. *)
+
+type enumeration = {
+  signals : Signal.t list;  (** discovery order *)
+  complete : bool;  (** [true] iff provably all solutions were found *)
+}
+
+val enumerate :
+  ?max_solutions:int -> ?conflict_budget:int -> problem -> enumeration
+(** All reconstructions, or the first [max_solutions] (the paper's
+    [.10] columns use [max_solutions = 10]). *)
+
+val solve_enumerate :
+  ?max_solutions:int ->
+  ?conflict_budget:int ->
+  problem ->
+  enumeration * Tp_sat.Solver.stats option
+(** {!enumerate} plus the solver work it cost. *)
+
+val count :
+  ?max_solutions:int ->
+  ?conflict_budget:int ->
+  problem ->
+  int * [ `Exact | `Lower_bound ]
+(** Number of reconstructions. [`Exact] when the enumeration provably
+    exhausted the preimage; [`Lower_bound] when it was cut short by
+    [max_solutions] or the conflict budget — the two answers were
+    previously indistinguishable, which silently under-reported
+    preimage sizes (Table 1's [|SR|] column). *)
+
+type check_result =
+  [ `Holds_in_all  (** every reconstruction satisfies the property *)
+  | `Violated_in_all  (** no reconstruction satisfies it *)
+  | `Mixed  (** some do, some do not — the log cannot decide *)
+  | `Vacuous  (** no reconstruction exists at all *)
+  | `Unknown ]
+
+val check : ?conflict_budget:int -> problem -> Property.t -> check_result
+(** Decide a suspected property against the log entry with two SAT
+    queries (§3.3: "often we only want to know whether there is a trace
+    that satisfies or breaks a certain temporal property"). *)
+
+val solve_check :
+  ?conflict_budget:int ->
+  problem ->
+  Property.t ->
+  check_result * Tp_sat.Solver.stats option
+(** {!check} plus the summed work of its two solves. *)
+
+val pp_check_result : Format.formatter -> check_result -> unit
+
+(** {1 Incremental sessions}
+
+    The cold entry points above build a fresh solver per query, so
+    nothing learned answering one question about a log entry helps the
+    next. A {!Session.t} owns a single incremental solver primed with
+    the entry's base constraints (XOR rows, cardinality, verified
+    properties); {!Session.first}, {!Session.enumerate} and
+    {!Session.check} are then assumption flips on that solver — learnt
+    clauses, variable activities and saved phases accumulate across
+    queries. Enumeration blocking clauses are emitted under a
+    per-enumeration guard and retired afterwards; suspected-property
+    encodings are cached under guards keyed by (property, polarity), so
+    [check]'s Holds/Violated pair — and any repeat of it — shares all
+    learned structure. *)
+
+module Session : sig
+  type t
+
+  val create : problem -> t
+  (** Solver primed with the problem's base constraints. *)
+
+  val problem : t -> problem
+
+  val first : ?conflict_budget:int -> t -> verdict
+  (** As {!val:first}, on the live solver. *)
+
+  val enumerate :
+    ?max_solutions:int -> ?conflict_budget:int -> t -> enumeration
+  (** As {!val:enumerate}; the blocking clauses are guarded and retired
+      when the call returns, so subsequent queries (including a repeat
+      enumeration) see the complete preimage again. *)
+
+  val count :
+    ?max_solutions:int ->
+    ?conflict_budget:int ->
+    t ->
+    int * [ `Exact | `Lower_bound ]
+
+  val check : ?conflict_budget:int -> t -> Property.t -> check_result
+  (** As {!val:check}: two assumption-solves on the shared solver. The
+      property encodings are added once (guarded) and reused on repeat
+      checks of the same property. *)
+
+  val last_stats : t -> Tp_sat.Solver.stats
+  (** Solver work spent by the most recent query on this session —
+      [conflicts], [decisions], [propagations] and [restarts] are
+      deltas over that query ([check] sums its two solves); [learnt] is
+      the current database size. *)
+end
+
+val batch :
+  ?assume:Property.t list ->
+  ?presolve:bool ->
+  ?conflict_budget:int ->
+  ?gauss:bool ->
+  Encoding.t ->
+  Log_entry.t list ->
+  (verdict * Tp_sat.Solver.stats) list
+(** Reconstruct a stream of trace-cycle log entries against one
+    encoding with a single solver. The timestamp-matrix structure is
+    emitted once in parity-select form — each XOR row closes on a fresh
+    select variable [p_j] instead of the constant [TP] bit, and each
+    entry pins [p_j] to its timeprint bit via assumptions — so conflict
+    clauses learned about [A] (and about the [assume] properties, which
+    must hold in every trace-cycle) transfer across entries. The
+    [exactly-k] cardinality constraint is built once per distinct [k],
+    under a guard assumed for the entries that need it. When [presolve]
+    (default [true]), each entry first takes the F₂ rank check
+    ({!Presolve.refutes}): an inconsistent [A | TP] is answered
+    [`Unsat] with an all-zero stats record and no solver call. Returns,
+    per entry in order, the {!verdict} and the solver-work delta that
+    entry cost. [conflict_budget] bounds each entry's solve. Raises
+    [Invalid_argument] on a timeprint width mismatch. *)

@@ -1,0 +1,289 @@
+(* Query planner: cross-engine agreement, capability guards, stream
+   dispatch. The three engines are independent implementations of the
+   same preimage semantics; the planner must be invisible in the
+   answers and explicit in the reports. *)
+
+open Tp_bitvec
+open Timeprint
+
+let signal_set signals = List.sort Signal.compare signals
+
+let enumeration_of = function
+  | Engine.Enumeration { signals; complete } -> (signal_set signals, complete)
+  | _ -> Alcotest.fail "expected an enumeration outcome"
+
+let count_of = function
+  | Engine.Count (n, e) -> (n, e)
+  | _ -> Alcotest.fail "expected a count outcome"
+
+let check_of = function
+  | Engine.Check r -> r
+  | _ -> Alcotest.fail "expected a check outcome"
+
+let engines = [ `Auto; `Sat; `Linear; `Mitm ]
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: all engines agree on sets, verdicts and counts              *)
+
+let instance ?(with_props = false) (mask, b) =
+  let m = 10 in
+  let e = Encoding.random_constrained ~m ~b ~seed:(mask + (13 * b)) () in
+  let s = Signal.of_bitvec (Bitvec.of_int ~width:m mask) in
+  let en = Logger.abstract e s in
+  let assume =
+    if with_props then [ Property.deadline ~count:2 ~before:7 ] else []
+  in
+  (e, en, assume)
+
+let prop_cross_engine_sets with_props =
+  let name =
+    if with_props then "engines agree on preimage sets (with properties)"
+    else "engines agree on preimage sets"
+  in
+  QCheck.Test.make ~name ~count:40
+    QCheck.(pair (int_range 0 ((1 lsl 10) - 1)) (int_range 8 10))
+    (fun (mask, b) ->
+      let e, en, assume = instance ~with_props (mask, b) in
+      let q =
+        Query.make ~assume ~answer:(Query.Enumerate { max_solutions = None })
+          e en
+      in
+      let results =
+        List.map
+          (fun engine -> enumeration_of (fst (Plan.run ~engine q)))
+          engines
+      in
+      match results with
+      | (ref_set, ref_complete) :: rest ->
+          ref_complete
+          && List.for_all
+               (fun (set, complete) ->
+                 complete
+                 && List.length set = List.length ref_set
+                 && List.for_all2 Signal.equal set ref_set)
+               rest
+      | [] -> false)
+
+let prop_cross_engine_check =
+  QCheck.Test.make ~name:"engines agree on check verdicts" ~count:40
+    QCheck.(
+      triple (int_range 0 ((1 lsl 10) - 1)) (int_range 8 10) (int_range 1 6))
+    (fun (mask, b, before) ->
+      let e, en, assume = instance ~with_props:(mask mod 2 = 0) (mask, b) in
+      let q =
+        Query.make ~assume
+          ~answer:(Query.Check (Property.deadline ~count:1 ~before))
+          e en
+      in
+      let verdicts =
+        List.map (fun engine -> check_of (fst (Plan.run ~engine q))) engines
+      in
+      match verdicts with
+      | v :: rest -> List.for_all (fun v' -> v' = v) rest
+      | [] -> false)
+
+(* Capped counts need not agree on `Exact vs `Lower_bound across
+   engines (AllSAT cannot tell "hit the cap exactly at the last model"
+   from "more remain"), but each answer must be sound against the
+   reference oracle's true size. *)
+let prop_cross_engine_counts =
+  QCheck.Test.make ~name:"engine counts consistent vs true preimage size"
+    ~count:40
+    QCheck.(pair (int_range 0 ((1 lsl 10) - 1)) (int_range 8 10))
+    (fun (mask, b) ->
+      let e, en, assume = instance (mask, b) in
+      let truth = List.length (Linear_reconstruct.preimage e en) in
+      let uncapped =
+        List.for_all
+          (fun engine ->
+            let q =
+              Query.make ~assume
+                ~answer:(Query.Count { max_solutions = None })
+                e en
+            in
+            count_of (fst (Plan.run ~engine q)) = (truth, `Exact))
+          engines
+      in
+      let cap = 2 in
+      let capped =
+        List.for_all
+          (fun engine ->
+            let q =
+              Query.make ~assume
+                ~answer:(Query.Count { max_solutions = Some cap })
+                e en
+            in
+            match count_of (fst (Plan.run ~engine q)) with
+            | n, `Exact -> n = truth
+            | n, `Lower_bound -> n <= truth && n = min cap truth)
+          engines
+      in
+      uncapped && capped)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: huge nullity falls through to SAT, never raises          *)
+
+let huge_nullity_encoding () =
+  (* 70 distinct nonzero 7-bit timestamps: rank <= 7, nullity >= 63 —
+     far beyond both the planner threshold and the hard cap *)
+  Encoding.custom (Array.init 70 (fun i -> Bitvec.of_int ~width:7 (i + 1)))
+
+let test_huge_nullity_falls_through () =
+  let e = huge_nullity_encoding () in
+  let s = Signal.of_changes ~m:70 [ 3; 11; 19; 33; 52 ] in
+  let en = Logger.abstract e s in
+  Alcotest.(check int) "k = 5 (mitm incapable)" 5 (Log_entry.k en);
+  let q = Query.make ~answer:Query.First e en in
+  (* forced linear: incapable, must silently fall through to SAT *)
+  let outcome, report = Plan.run ~engine:`Linear q in
+  Alcotest.(check string) "fell through to sat" "sat" report.Plan.chosen;
+  Alcotest.(check bool)
+    "fallback recorded" true
+    (List.exists (fun (n, _) -> n = "linear") report.Plan.fallbacks);
+  (match outcome with
+  | Engine.Verdict (`Signal w) ->
+      Alcotest.(check bool) "witness abstracts back" true
+        (Log_entry.equal en (Logger.abstract e w))
+  | _ -> Alcotest.fail "expected a witness");
+  (* auto: the policy must avoid linear by construction *)
+  let _, report = Plan.run q in
+  Alcotest.(check string) "auto avoids linear" "sat" report.Plan.chosen;
+  (* and the legacy facade (planned path) must not raise either *)
+  match Reconstruct.first (Reconstruct.problem e en) with
+  | `Signal _ -> ()
+  | _ -> Alcotest.fail "facade expected a witness"
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: batch rank-refutes inconsistent entries for free         *)
+
+let rank_deficient_encoding () =
+  (* column space {001, 010, 011} has dimension 2 < b = 4: timeprints
+     outside it are linearly inconsistent *)
+  Encoding.custom
+    [|
+      Bitvec.of_int ~width:4 1; Bitvec.of_int ~width:4 2;
+      Bitvec.of_int ~width:4 3;
+    |]
+
+let test_batch_presolve_refutes () =
+  let e = rank_deficient_encoding () in
+  let good = Logger.abstract e (Signal.of_changes ~m:3 [ 0 ]) in
+  let bad = Log_entry.make ~tp:(Bitvec.of_int ~width:4 8) ~k:1 in
+  let results = Reconstruct.batch e [ good; bad ] in
+  (match results with
+  | [ (`Signal _, _); (`Unsat, st) ] ->
+      Alcotest.(check int) "zero conflicts" 0 st.Tp_sat.Solver.conflicts;
+      Alcotest.(check int) "zero decisions" 0 st.Tp_sat.Solver.decisions;
+      Alcotest.(check int) "zero propagations" 0 st.Tp_sat.Solver.propagations
+  | _ -> Alcotest.fail "expected [witness; refuted]");
+  (* same verdicts with the presolve disabled (the solver ground it out) *)
+  match Reconstruct.batch ~presolve:false e [ good; bad ] with
+  | [ (`Signal _, _); (`Unsat, _) ] -> ()
+  | _ -> Alcotest.fail "presolve must not change batch verdicts"
+
+let test_plan_refutes_for_free () =
+  let e = rank_deficient_encoding () in
+  let bad = Log_entry.make ~tp:(Bitvec.of_int ~width:4 8) ~k:1 in
+  let outcome, report =
+    Plan.run (Query.make ~answer:(Query.Count { max_solutions = None }) e bad)
+  in
+  Alcotest.(check string) "presolve answered" "presolve" report.Plan.chosen;
+  Alcotest.(check bool) "refuted" true (report.Plan.presolve = `Refuted);
+  Alcotest.(check bool) "count 0 exact" true
+    (count_of outcome = (0, `Exact))
+
+(* ------------------------------------------------------------------ *)
+(* Planner choices and stream dispatch                                 *)
+
+let test_planner_choices () =
+  let m = 10 in
+  let e = Encoding.random_constrained ~m ~b:8 ~seed:42 () in
+  let run ?assume ~k_changes () =
+    let s = Signal.of_changes ~m k_changes in
+    let en = Logger.abstract e s in
+    let q = Query.make ?assume ~answer:Query.First e en in
+    (snd (Plan.run q)).Plan.chosen
+  in
+  Alcotest.(check string) "k<=4, no properties -> mitm" "mitm"
+    (run ~k_changes:[ 1; 4 ] ());
+  Alcotest.(check string) "k>4, small nullity -> linear" "linear"
+    (run ~k_changes:[ 0; 2; 4; 6; 8 ] ());
+  Alcotest.(check string) "properties veto mitm" "linear"
+    (run ~assume:[ Property.deadline ~count:2 ~before:9 ] ~k_changes:[ 1; 4 ] ())
+
+let test_run_stream () =
+  let e = rank_deficient_encoding () in
+  let good1 = Logger.abstract e (Signal.of_changes ~m:3 [ 0 ]) in
+  let good2 = Logger.abstract e (Signal.of_changes ~m:3 [ 0; 1; 2 ]) in
+  let bad = Log_entry.make ~tp:(Bitvec.of_int ~width:4 12) ~k:2 in
+  let entries = [ good1; bad; good2 ] in
+  let results = Plan.run_stream e entries in
+  Alcotest.(check int) "one result per entry" 3 (List.length results);
+  List.iter2
+    (fun entry (verdict, tag) ->
+      (* verdicts match the cold single-entry path *)
+      let cold = Reconstruct.first (Reconstruct.problem e entry) in
+      (match (verdict, cold) with
+      | `Signal _, `Signal _ | `Unsat, `Unsat -> ()
+      | _ -> Alcotest.fail "stream verdict <> cold verdict");
+      match tag with
+      | `Presolve ->
+          Alcotest.(check bool) "refuted entries tagged presolve" true
+            (verdict = `Unsat)
+      | `Mitm | `Sat _ -> ())
+    entries results;
+  (* all three entries have k <= 4 and no properties: the refuted one
+     is tagged presolve, the rest mitm — no SAT work at all *)
+  List.iter
+    (fun (_, tag) ->
+      match tag with
+      | `Sat _ -> Alcotest.fail "stream burned SAT work on a mitm-able entry"
+      | `Presolve | `Mitm -> ())
+    results
+
+let test_explain_report () =
+  let e = Encoding.random_constrained ~m:10 ~b:8 ~seed:7 () in
+  let en = Logger.abstract e (Signal.of_changes ~m:10 [ 2; 5 ]) in
+  let _, report = Plan.run (Query.make ~answer:Query.First e en) in
+  Alcotest.(check int) "all engines considered" 3
+    (List.length report.Plan.considered);
+  let rendered = Format.asprintf "%a" Plan.pp_report report in
+  let contains haystack needle =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  Alcotest.(check bool) "report renders engine name" true
+    (report.Plan.chosen <> "" && contains rendered report.Plan.chosen)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "plan"
+    [
+      ( "cross-engine",
+        qt
+          [
+            prop_cross_engine_sets false;
+            prop_cross_engine_sets true;
+            prop_cross_engine_check;
+            prop_cross_engine_counts;
+          ] );
+      ( "capabilities",
+        [
+          Alcotest.test_case "huge nullity falls through to SAT" `Quick
+            test_huge_nullity_falls_through;
+        ] );
+      ( "batch-presolve",
+        [
+          Alcotest.test_case "batch rank-refutes for free" `Quick
+            test_batch_presolve_refutes;
+          Alcotest.test_case "planner rank-refutes for free" `Quick
+            test_plan_refutes_for_free;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "policy choices" `Quick test_planner_choices;
+          Alcotest.test_case "stream dispatch" `Quick test_run_stream;
+          Alcotest.test_case "explainable report" `Quick test_explain_report;
+        ] );
+    ]
