@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- --full       # paper-scale m (hours)
      dune exec bench/main.exe -- table1 soc   # selected sections
 
-   Sections: fig4 table1 table2 can incremental soc engines ablation
+   Sections: fig4 table1 table2 can incremental faults soc engines ablation
    baseline micro. [--smoke] shrinks the engines grid and budgets for
    the tier1 alias's smoke run.
 
@@ -469,7 +469,7 @@ let can ~full () =
           Message.engine_data)
   in
   (match whole with
-  | Ok { Forensics.start_cycle; end_cycle } ->
+  | Ok { Forensics.start_cycle; end_cycle; _ } ->
       Format.printf "whole-cycle reconstruction: cycles %d..%d in %a@."
         start_cycle end_cycle pp_time t_whole
   | Error e ->
@@ -556,7 +556,7 @@ let incremental ~full () =
         Reconstruct.batch ~conflict_budget:budget ~gauss:false enc entries)
   in
   List.iteri
-    (fun i (v, st) ->
+    (fun i (v, _, st) ->
       if i < 12 then
         Format.printf
           "  entry %2d: %-7s conflicts=%-5d decisions=%-6d propagations=%-8d learnt=%d@."
@@ -569,13 +569,13 @@ let incremental ~full () =
           st.Tp_sat.Solver.propagations st.Tp_sat.Solver.learnt)
     inc;
   let total_conflicts =
-    List.fold_left (fun acc (_, st) -> acc + st.Tp_sat.Solver.conflicts) 0 inc
+    List.fold_left (fun acc (_, _, st) -> acc + st.Tp_sat.Solver.conflicts) 0 inc
   in
   Format.printf "  … (%d entries total, %d conflicts across the batch)@."
     (List.length inc) total_conflicts;
   let agree =
     List.for_all2
-      (fun c (v, _) ->
+      (fun c (v, _, _) ->
         match (c, v) with
         | `Signal _, `Signal _ | `Unsat, `Unsat | `Unknown, `Unknown -> true
         | _ -> false)
@@ -583,7 +583,7 @@ let incremental ~full () =
   in
   let agree_off =
     List.for_all2
-      (fun (v, _) (v', _) ->
+      (fun (v, _, _) (v', _, _) ->
         match (v, v') with
         | `Signal _, `Signal _ | `Unsat, `Unsat | `Unknown, `Unknown -> true
         | _ -> false)
@@ -595,7 +595,7 @@ let incremental ~full () =
   Format.printf "incremental (one solver, no gauss): %a@." pp_time t_inc_off;
   let totals rs =
     List.fold_left
-      (fun (c, p) (_, st) ->
+      (fun (c, p) (_, _, st) ->
         (c + st.Tp_sat.Solver.conflicts, p + st.Tp_sat.Solver.propagations))
       (0, 0) rs
   in
@@ -655,6 +655,114 @@ let incremental ~full () =
   Format.printf "check verdicts agree: %b@." (cold_verdicts = session_verdicts);
   Format.printf "cold checks    : %a@." pp_time t_ccheck;
   Format.printf "session checks : %a@." pp_time t_scheck
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection → BENCH_pr4.json: repair-ladder cost and health mix
+   on a periodic CAN log with a corrupted trace channel, as a function
+   of the per-entry flip budget e. The e = 0 row is the plain
+   quarantine path (no error literals), so the delta over it is the
+   price of tolerance. *)
+
+type fault_row = {
+  f_repair : int;
+  f_time_s : float;
+  f_clean : int;
+  f_repaired : int;
+  f_quarantined : int;
+  f_conflicts : int;
+}
+
+let fault_rows : fault_row list ref = ref []
+let fault_meta = ref (0, 0, 0, 0) (* m, b, entries, faulty entries *)
+
+let write_faults_json () =
+  match List.rev !fault_rows with
+  | [] -> ()
+  | rows ->
+      let m, b, n, faulty = !fault_meta in
+      let buf = Buffer.create 1024 in
+      Printf.bprintf buf
+        "{\n  \"m\": %d, \"b\": %d, \"entries\": %d, \"faulty\": %d,\n\
+        \  \"rows\": [\n"
+        m b n faulty;
+      let last = List.length rows - 1 in
+      List.iteri
+        (fun i r ->
+          Printf.bprintf buf
+            "    {\"repair\": %d, \"time_s\": %.6f, \"clean\": %d, \
+             \"repaired\": %d, \"quarantined\": %d, \"conflicts\": %d}%s\n"
+            r.f_repair r.f_time_s r.f_clean r.f_repaired r.f_quarantined
+            r.f_conflicts
+            (if i = last then "" else ","))
+        rows;
+      Buffer.add_string buf "  ]\n}\n";
+      Out_channel.with_open_text "BENCH_pr4.json" (fun oc ->
+          Out_channel.output_string oc (Buffer.contents buf));
+      Format.printf "@.wrote BENCH_pr4.json (%d budgets)@." (List.length rows)
+
+let faults ~full ~smoke () =
+  let open Tp_canbus in
+  Format.printf
+    "@.== Fault injection: repair time and quarantine rate vs budget ==@.";
+  (* corrupted-but-consistent entries are random-XOR instances — much
+     harder than clean ones — so the smoke run keeps its small budget
+     and accepts an Unknown-quarantine or two *)
+  let budget = if smoke then !conflict_budget else max !conflict_budget 50_000 in
+  let m = if full then 256 else if smoke then 48 else 128 in
+  let b = if full then 20 else 16 in
+  let enc = Encoding.random_constrained ~m ~b ~seed:2019 () in
+  let periodics =
+    [
+      Scheduler.periodic Message.engine_data ~period:(4 * m) ~offset:25;
+      Scheduler.periodic Message.gearbox_info ~period:(6 * m) ~offset:(m / 2);
+    ]
+  in
+  let duration = (if full then 96 else if smoke then 24 else 48) * m in
+  let requests = Scheduler.requests ~duration periodics in
+  let tl = Bus.simulate ~bitrate:5_000_000 ~duration requests in
+  let clean_log = Forensics.log_timeline enc tl in
+  (* flips only — same entry count for every budget, so the health
+     columns are comparable across rows *)
+  let spec = Fault.spec ~rate:0.3 ~max_flips:2 () in
+  let corrupted, events = Fault.inject ~seed:0xfa17 spec ~m clean_log in
+  let faulty = List.length (Fault.indices events) in
+  fault_meta := (m, b, List.length corrupted, faulty);
+  Format.printf "m=%d b=%d, %d trace-cycles, %d corrupted (<=2 flips each)@." m
+    b (List.length corrupted) faulty;
+  List.iter
+    (fun e ->
+      let t, results =
+        time (fun () ->
+            Plan.run_stream ~conflict_budget:budget ~repair:e enc corrupted)
+      in
+      let clean, repaired, quarantined, conflicts =
+        List.fold_left
+          (fun (c, r, q, cf) (_, health, tag) ->
+            let cf =
+              match tag with
+              | `Sat st -> cf + st.Tp_sat.Solver.conflicts
+              | `Presolve | `Mitm -> cf
+            in
+            match health with
+            | Reconstruct.Clean -> (c + 1, r, q, cf)
+            | Reconstruct.Repaired _ -> (c, r + 1, q, cf)
+            | Reconstruct.Quarantined -> (c, r, q + 1, cf))
+          (0, 0, 0, 0) results
+      in
+      Format.printf
+        "  repair<=%d: %a  %d clean / %d repaired / %d quarantined@." e pp_time
+        t clean repaired quarantined;
+      fault_rows :=
+        {
+          f_repair = e;
+          f_time_s = t;
+          f_clean = clean;
+          f_repaired = repaired;
+          f_quarantined = quarantined;
+          f_conflicts = conflicts;
+        }
+        :: !fault_rows)
+    [ 0; 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
 (* Experiment 5.2.2: SoC                                               *)
@@ -985,6 +1093,7 @@ let () =
   if want "table2" then table2 ~full ();
   if want "can" then can ~full ();
   if want "incremental" then incremental ~full ();
+  if want "faults" then faults ~full ~smoke ();
   if want "soc" then soc ~full ();
   if want "engines" then engines_grid ~full ~smoke ();
   if want "ablation" then ablation ();
@@ -992,4 +1101,5 @@ let () =
   if want "micro" then micro ();
   write_bench_json ();
   write_engines_json ();
+  write_faults_json ();
   Format.printf "@.done.@."

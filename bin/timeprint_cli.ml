@@ -193,23 +193,58 @@ let log_cmd =
 (* ------------------------------------------------------------------ *)
 (* reconstruct                                                         *)
 
+let repair_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "repair" ] ~docv:"E"
+        ~doc:
+          "Tolerate up to $(i,E) flipped timeprint bits: answer with the \
+           minimal-error repair instead of failing on a corrupted entry.")
+
+let k_slack_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "k-slack" ] ~docv:"D"
+        ~doc:
+          "With $(b,--repair), also tolerate a logged change count off by \
+           up to $(i,D).")
+
 let reconstruct_cmd =
-  let run enc entry p2 pulse deadline window max_solutions engine explain =
-    let q =
-      Query.make
-        ~assume:(assume_of p2 pulse deadline window)
-        ~answer:(Query.Enumerate { max_solutions = Some max_solutions })
-        enc entry
-    in
-    let outcome, report = Plan.run ~engine q in
-    maybe_explain explain report;
-    match outcome with
-    | Engine.Enumeration { signals; complete } ->
-        List.iter (fun s -> Format.printf "%a@." Signal.pp s) signals;
-        Format.printf "%d solution(s)%s [engine: %s]@." (List.length signals)
-          (if complete then "" else Printf.sprintf " (capped at %d)" max_solutions)
-          report.Plan.chosen
-    | _ -> assert false
+  let run enc entry p2 pulse deadline window max_solutions engine repair
+      k_slack explain =
+    let assume = assume_of p2 pulse deadline window in
+    if repair > 0 || k_slack > 0 then (
+      let q =
+        Query.make ~assume
+          ~answer:(Query.Repair { max_flips = repair; k_slack })
+          enc entry
+      in
+      let outcome, report = Plan.run ~engine q in
+      maybe_explain explain report;
+      match outcome with
+      | Engine.Repair v ->
+          Format.printf "%a [engine: %s]@." Reconstruct.pp_repair_verdict v
+            report.Plan.chosen;
+          (match v with
+          | `Clean s | `Repaired { Reconstruct.r_signal = s; _ } ->
+              Format.printf "%a@." Signal.pp s
+          | `Unrepairable | `Unknown -> ())
+      | _ -> assert false)
+    else
+      let q =
+        Query.make ~assume
+          ~answer:(Query.Enumerate { max_solutions = Some max_solutions })
+          enc entry
+      in
+      let outcome, report = Plan.run ~engine q in
+      maybe_explain explain report;
+      match outcome with
+      | Engine.Enumeration { signals; complete } ->
+          List.iter (fun s -> Format.printf "%a@." Signal.pp s) signals;
+          Format.printf "%d solution(s)%s [engine: %s]@." (List.length signals)
+            (if complete then "" else Printf.sprintf " (capped at %d)" max_solutions)
+            report.Plan.chosen
+      | _ -> assert false
   in
   let max_arg =
     Arg.(
@@ -218,10 +253,149 @@ let reconstruct_cmd =
   in
   Cmd.v
     (Cmd.info "reconstruct"
-       ~doc:"Enumerate the signals consistent with a logged entry.")
+       ~doc:
+         "Enumerate the signals consistent with a logged entry, or repair a \
+          corrupted one with $(b,--repair).")
     Term.(
       const run $ enc_term $ entry_args $ p2_flag $ pulse_flag $ deadline_opt
-      $ window_opt $ max_arg $ engine_arg $ explain_flag)
+      $ window_opt $ max_arg $ engine_arg $ repair_arg $ k_slack_arg
+      $ explain_flag)
+
+(* ------------------------------------------------------------------ *)
+(* stream / corrupt: whole-log commands over "<tp-bits> <k>" lines      *)
+
+let read_log path =
+  let ic = if path = "-" then stdin else open_in path in
+  let parse line =
+    match
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun s -> s <> "")
+    with
+    | [ tp; k ] -> (
+        try
+          Some (Log_entry.make ~tp:(Tp_bitvec.Bitvec.of_string tp)
+                  ~k:(int_of_string k))
+        with _ ->
+          Format.eprintf "error: malformed log line %S@." line;
+          exit 1)
+    | [] -> None
+    | _ ->
+        if String.length (String.trim line) > 0 && (String.trim line).[0] = '#'
+        then None
+        else (
+          Format.eprintf "error: malformed log line %S@." line;
+          exit 1)
+  in
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file ->
+        if ic != stdin then close_in ic;
+        List.rev acc
+    | line -> go (match parse line with Some e -> e :: acc | None -> acc)
+  in
+  go []
+
+let log_file_arg =
+  Arg.(
+    value
+    & pos 0 string "-"
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Log file, one $(i,TP-BITS K) pair per line ($(b,-) for stdin); \
+           $(b,#) starts a comment.")
+
+let stream_cmd =
+  let run enc path p2 pulse deadline window repair explain =
+    let entries = read_log path in
+    let results =
+      Plan.run_stream ~assume:(assume_of p2 pulse deadline window) ~repair enc
+        entries
+    in
+    let clean = ref 0 and repaired = ref 0 and quarantined = ref 0 in
+    List.iteri
+      (fun i (verdict, health, tag) ->
+        (match health with
+        | Reconstruct.Clean -> incr clean
+        | Reconstruct.Repaired _ -> incr repaired
+        | Reconstruct.Quarantined -> incr quarantined);
+        let path_tag =
+          match tag with
+          | `Presolve -> "presolve"
+          | `Mitm -> "mitm"
+          | `Sat _ -> "sat"
+        in
+        (match verdict with
+        | `Signal s ->
+            Format.printf "entry %d: %a  %a" i Reconstruct.pp_health health
+              Signal.pp s
+        | `Unsat -> Format.printf "entry %d: %a" i Reconstruct.pp_health health
+        | `Unknown ->
+            Format.printf "entry %d: %a (solver budget exhausted)" i
+              Reconstruct.pp_health health);
+        if explain then Format.printf "  [%s]" path_tag;
+        Format.printf "@.")
+      results;
+    Format.printf "%d clean, %d repaired, %d quarantined@." !clean !repaired
+      !quarantined;
+    if !quarantined > 0 then exit 2
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Reconstruct a whole log through the planner's streaming path, \
+          quarantining entries no repair within budget can explain. Exits 2 \
+          when anything was quarantined.")
+    Term.(
+      const run $ enc_term $ log_file_arg $ p2_flag $ pulse_flag $ deadline_opt
+      $ window_opt $ repair_arg $ explain_flag)
+
+let corrupt_cmd =
+  let run enc path rate max_flips max_delta drop_rate seed =
+    let entries = read_log path in
+    let spec = Fault.spec ~rate ~max_flips ~max_delta ~drop_rate () in
+    let log, faults = Fault.inject ~seed spec ~m:(Encoding.m enc) entries in
+    List.iter
+      (fun e ->
+        Format.printf "%s %d@."
+          (Tp_bitvec.Bitvec.to_string (Log_entry.tp e))
+          (Log_entry.k e))
+      log;
+    List.iter (fun f -> Format.eprintf "%a@." Fault.pp_fault f) faults
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.1
+      & info [ "rate" ] ~docv:"P" ~doc:"Per-entry corruption probability.")
+  in
+  let flips =
+    Arg.(
+      value & opt int 1
+      & info [ "flips" ] ~docv:"E" ~doc:"Max timeprint bit flips per faulty entry.")
+  in
+  let delta =
+    Arg.(
+      value & opt int 0
+      & info [ "delta" ] ~docv:"D" ~doc:"Max change-count perturbation.")
+  in
+  let drop =
+    Arg.(
+      value & opt float 0.
+      & info [ "drop-rate" ] ~docv:"P"
+          ~doc:"Probability a faulty entry is dropped entirely.")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 0xfa17
+      & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Fault-injection seed.")
+  in
+  Cmd.v
+    (Cmd.info "corrupt"
+       ~doc:
+         "Inject deterministic faults into a log: corrupted log on stdout, \
+          fault events on stderr.")
+    Term.(
+      const run $ enc_term $ log_file_arg $ rate $ flips $ delta $ drop
+      $ fault_seed)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
@@ -307,7 +481,7 @@ let can_demo_cmd =
     match
       Forensics.locate_transmission enc (List.nth entries tc) Message.engine_data
     with
-    | Ok { Forensics.start_cycle; end_cycle } ->
+    | Ok { Forensics.start_cycle; end_cycle; _ } ->
         Format.printf "EngineData reconstructed at cycles %d..%d of trace-cycle %d@."
           start_cycle end_cycle tc
     | Error e -> Format.printf "reconstruction failed: %s@." e
@@ -359,6 +533,8 @@ let () =
             encode_cmd;
             log_cmd;
             reconstruct_cmd;
+            stream_cmd;
+            corrupt_cmd;
             check_cmd;
             dimacs_cmd;
             can_demo_cmd;

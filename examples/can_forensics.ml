@@ -68,7 +68,7 @@ let () =
   (* 1. Locate the transmission inside the trace-cycle. *)
   let window = (0, m - Signal.length (Forensics.change_pattern Message.engine_data)) in
   (match Forensics.locate_transmission ~window enc entry Message.engine_data with
-  | Ok { Forensics.start_cycle; end_cycle } ->
+  | Ok { Forensics.start_cycle; end_cycle; _ } ->
       Format.printf "Reconstruction: EngineData on the wire from cycle %d to %d@."
         start_cycle end_cycle;
       Format.printf "  (absolute %.1f us to %.1f us)@."

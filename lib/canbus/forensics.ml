@@ -24,7 +24,7 @@ let completed_before ?stuffed msg ~deadline =
   Property.Pattern_at
     { pattern; lo = 0; hi = deadline - Signal.length pattern }
 
-type finding = { start_cycle : int; end_cycle : int }
+type finding = { start_cycle : int; end_cycle : int; repaired : int }
 
 let matches_at sol pattern c =
   let lp = Signal.length pattern in
@@ -37,7 +37,7 @@ let matches_at sol pattern c =
   in
   go 0
 
-let locate_transmission ?stuffed ?window enc entry msg =
+let locate_transmission ?stuffed ?window ?(repair = 0) enc entry msg =
   let m = Encoding.m enc in
   let pattern = change_pattern ?stuffed msg in
   let lo, hi =
@@ -45,24 +45,43 @@ let locate_transmission ?stuffed ?window enc entry msg =
     | Some (lo, hi) -> (lo, hi)
     | None -> (0, m - Signal.length pattern)
   in
-  let q =
-    Query.make
-      ~assume:[ Property.Pattern_at { pattern; lo; hi } ]
-      ~answer:Query.First enc entry
+  let assume = [ Property.Pattern_at { pattern; lo; hi } ] in
+  let scan ~repaired sol =
+    let rec go c =
+      if c > hi then Error "internal: constrained solution lacks the pattern"
+      else if matches_at sol pattern c then
+        Ok { start_cycle = c; end_cycle = c + Signal.length pattern; repaired }
+      else go (c + 1)
+    in
+    go (max 0 lo)
   in
-  let verdict =
-    match Plan.run q with
-    | Engine.Verdict v, _ -> v
-    | _ -> assert false
-  in
-  match verdict with
-  | `Unsat -> Error "no reconstruction places the message in the window"
-  | `Unknown -> Error "solver budget exhausted"
-  | `Signal sol ->
-      let rec scan c =
-        if c > hi then Error "internal: constrained solution lacks the pattern"
-        else if matches_at sol pattern c then
-          Ok { start_cycle = c; end_cycle = c + Signal.length pattern }
-        else scan (c + 1)
-      in
-      scan (max 0 lo)
+  if repair > 0 then
+    let q =
+      Query.make ~assume
+        ~answer:(Query.Repair { max_flips = repair; k_slack = 0 })
+        enc entry
+    in
+    let verdict =
+      match Plan.run q with Engine.Repair r, _ -> r | _ -> assert false
+    in
+    match verdict with
+    | `Clean sol -> scan ~repaired:0 sol
+    | `Repaired r ->
+        scan
+          ~repaired:(List.length r.Sat_reconstruct.r_flips)
+          r.Sat_reconstruct.r_signal
+    | `Unrepairable ->
+        Error
+          "trace-cycle quarantined: no placement within the repair budget"
+    | `Unknown -> Error "solver budget exhausted"
+  else
+    let q = Query.make ~assume ~answer:Query.First enc entry in
+    let verdict =
+      match Plan.run q with
+      | Engine.Verdict v, _ -> v
+      | _ -> assert false
+    in
+    match verdict with
+    | `Unsat -> Error "no reconstruction places the message in the window"
+    | `Unknown -> Error "solver budget exhausted"
+    | `Signal sol -> scan ~repaired:0 sol

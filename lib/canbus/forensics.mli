@@ -38,11 +38,15 @@ val completed_before :
 type finding = {
   start_cycle : int;  (** cycle of the SOF edge within the trace-cycle *)
   end_cycle : int;  (** first cycle after the frame *)
+  repaired : int;
+      (** timeprint bits the repair path had to invert to make the
+          entry consistent — [0] on an intact log *)
 }
 
 val locate_transmission :
   ?stuffed:bool ->
   ?window:int * int ->
+  ?repair:int ->
   Timeprint.Encoding.t ->
   Timeprint.Log_entry.t ->
   Message.t ->
@@ -51,4 +55,10 @@ val locate_transmission :
     pattern occurs (optionally within [window]) and report where. One
     witness query through the planner ({!Timeprint.Plan.run}) — the
     rank check can refute a tampered entry with zero solver work;
-    fails when the entry is inconsistent with any placement. *)
+    fails when the entry is inconsistent with any placement.
+
+    [repair] (default [0]) tolerates up to that many flipped timeprint
+    bits in the entry (a corrupted trace channel): the query becomes a
+    minimal-error {!Timeprint.Query.Repair}, the finding records the
+    error weight, and an entry beyond the budget fails with a
+    quarantine message instead of a bare UNSAT. *)

@@ -7,6 +7,7 @@ type outcome =
   | Check of [ `Holds_in_all | `Violated_in_all | `Mixed | `Vacuous | `Unknown ]
   | Certified of
       [ `Signal of Signal.t | `Unsat_certified of string | `Unknown ]
+  | Repair of Sat_reconstruct.repair_verdict
 
 type stage = {
   stage : string;
@@ -83,8 +84,11 @@ let exact_outcome (q : Query.t)
             else `Mixed)
   | Query.Certified ->
       invalid_arg "Engine: exact oracles cannot certify; guarded by capable"
+  | Query.Repair _ ->
+      invalid_arg "Engine: exact oracles cannot repair; guarded by capable"
 
 let no_certificate = "cannot produce a DRAT certificate"
+let no_repair = "cannot repair corrupted entries"
 
 (* ------------------------------------------------------------------ *)
 (* SAT adapter *)
@@ -97,8 +101,13 @@ let sat =
     name = "sat";
     capable = (fun _ _ -> Ok ());
     (* no clean analytic model for CDCL work; a flat baseline places
-       SAT as the fallback once the exact engines price themselves out *)
-    cost_bits = (fun _ _ -> 20.);
+       SAT as the fallback once the exact engines price themselves out.
+       Repair adds a solve per budget split on top of the baseline *)
+    cost_bits =
+      (fun _ q ->
+        match q.answer with
+        | Query.Repair { max_flips; _ } -> 20. +. float_of_int max_flips
+        | _ -> 20.);
     run =
       (fun _ctx q ->
         let pb = sat_problem q in
@@ -135,7 +144,13 @@ let sat =
             (Check r, [ stage ?stats "sat.check" ])
         | Query.Certified ->
             let c = Sat_reconstruct.first_certified ?conflict_budget:budget pb in
-            (Certified c, [ stage "sat.certified" ]));
+            (Certified c, [ stage "sat.certified" ])
+        | Query.Repair { max_flips; k_slack } ->
+            let r, stats =
+              Sat_reconstruct.solve_repair ?conflict_budget:budget ~k_slack
+                ~max_flips pb
+            in
+            (Repair r, [ stage ?stats "sat.repair" ]));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -148,6 +163,7 @@ let linear =
       (fun ctx q ->
         match q.answer with
         | Query.Certified -> Error no_certificate
+        | Query.Repair _ -> Error no_repair
         | _ ->
             if ctx.nullity > Linear_reconstruct.max_nullity then
               Error
@@ -188,6 +204,7 @@ let mitm =
       (fun _ q ->
         match q.answer with
         | Query.Certified -> Error no_certificate
+        | Query.Repair _ -> Error no_repair
         | _ ->
             let k = Log_entry.k q.entry in
             if Combinatorial_reconstruct.supported ~k then Ok ()

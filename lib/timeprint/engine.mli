@@ -17,6 +17,7 @@ type outcome =
   | Check of [ `Holds_in_all | `Violated_in_all | `Mixed | `Vacuous | `Unknown ]
   | Certified of
       [ `Signal of Signal.t | `Unsat_certified of string | `Unknown ]
+  | Repair of Sat_reconstruct.repair_verdict
 
 type stage = {
   stage : string;  (** e.g. ["sat.enumerate"], ["mitm.pair-table"] *)
@@ -52,17 +53,19 @@ val context : Query.t -> ctx
 
 val sat : t
 (** The CDCL + XOR + cardinality oracle. Capable of everything,
-    including [Certified]; runs with [presolve = true] and the
-    [auto_gauss] policy. *)
+    including [Certified] and [Repair]; runs with [presolve = true] and
+    the [auto_gauss] policy. *)
 
 val linear : t
 (** Coset enumeration over [x₀ + ker A]. Capable when the nullity is at
-    most {!Linear_reconstruct.max_nullity} and the query is not
-    [Certified]; cost grows as [2^nullity]. *)
+    most {!Linear_reconstruct.max_nullity} and the query is neither
+    [Certified] nor [Repair] (the exact oracles solve [A·x = TP] as
+    given — they cannot relax it); cost grows as [2^nullity]. *)
 
 val mitm : t
 (** Meet-in-the-middle hashing. Capable when [k ≤ 4] and the query is
-    not [Certified]; [O(m)] for [k ≤ 2], [O(m²)] for [k ≤ 4]. *)
+    neither [Certified] nor [Repair]; [O(m)] for [k ≤ 2], [O(m²)] for
+    [k ≤ 4]. *)
 
 val all : t list
 (** [[mitm; linear; sat]] — cheapest-regime first. *)

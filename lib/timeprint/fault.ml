@@ -1,0 +1,101 @@
+open Tp_bitvec
+
+type fault =
+  | Flip_tp of { index : int; bits : int list }
+  | Perturb_k of { index : int; delta : int }
+  | Drop of { index : int }
+
+type spec = {
+  rate : float;
+  max_flips : int;
+  max_delta : int;
+  drop_rate : float;
+}
+
+let spec ?(rate = 0.1) ?(max_flips = 1) ?(max_delta = 0) ?(drop_rate = 0.) () =
+  if rate < 0. || rate > 1. then invalid_arg "Fault.spec: rate out of [0,1]";
+  if drop_rate < 0. || drop_rate > 1. then
+    invalid_arg "Fault.spec: drop_rate out of [0,1]";
+  if max_flips < 0 then invalid_arg "Fault.spec: negative max_flips";
+  if max_delta < 0 then invalid_arg "Fault.spec: negative max_delta";
+  { rate; max_flips; max_delta; drop_rate }
+
+let flip_tp entry ~bits =
+  let tp = Bitvec.copy (Log_entry.tp entry) in
+  List.iter
+    (fun j ->
+      if j < 0 || j >= Bitvec.width tp then
+        invalid_arg "Fault.flip_tp: bit out of range";
+      Bitvec.set tp j (not (Bitvec.get tp j)))
+    bits;
+  Log_entry.make ~tp ~k:(Log_entry.k entry)
+
+let perturb_k ~m entry ~delta =
+  let k = max 0 (min m (Log_entry.k entry + delta)) in
+  Log_entry.make ~tp:(Log_entry.tp entry) ~k
+
+(* [n] distinct bit positions below [b], sorted — the flip set of one
+   corrupted entry *)
+let distinct_bits st ~b n =
+  let rec go acc need =
+    if need = 0 then acc
+    else
+      let j = Random.State.int st b in
+      if List.mem j acc then go acc need else go (j :: acc) (need - 1)
+  in
+  List.sort compare (go [] (min n b))
+
+let inject ~seed spec ~m entries =
+  let st = Random.State.make [| 0xfa17; seed |] in
+  let events = ref [] in
+  let record ev = events := ev :: !events in
+  let out =
+    List.mapi
+      (fun index e ->
+        if Random.State.float st 1.0 >= spec.rate then Some e
+        else if spec.drop_rate > 0. && Random.State.float st 1.0 < spec.drop_rate
+        then begin
+          record (Drop { index });
+          None
+        end
+        else begin
+          let e =
+            if spec.max_flips = 0 then e
+            else begin
+              let n = 1 + Random.State.int st spec.max_flips in
+              let bits = distinct_bits st ~b:(Bitvec.width (Log_entry.tp e)) n in
+              record (Flip_tp { index; bits });
+              flip_tp e ~bits
+            end
+          in
+          if spec.max_delta = 0 then Some e
+          else begin
+            let delta =
+              (if Random.State.bool st then 1 else -1)
+              * (1 + Random.State.int st spec.max_delta)
+            in
+            let e' = perturb_k ~m e ~delta in
+            let applied = Log_entry.k e' - Log_entry.k e in
+            if applied <> 0 then record (Perturb_k { index; delta = applied });
+            Some e'
+          end
+        end)
+      entries
+  in
+  (List.filter_map Fun.id out, List.rev !events)
+
+let indices faults =
+  List.sort_uniq Int.compare
+    (List.map
+       (function
+         | Flip_tp { index; _ } | Perturb_k { index; _ } | Drop { index } ->
+             index)
+       faults)
+
+let pp_fault ppf = function
+  | Flip_tp { index; bits } ->
+      Format.fprintf ppf "entry %d: TP bits {%s} flipped" index
+        (String.concat "," (List.map string_of_int bits))
+  | Perturb_k { index; delta } ->
+      Format.fprintf ppf "entry %d: counter off by %+d" index delta
+  | Drop { index } -> Format.fprintf ppf "entry %d: dropped" index

@@ -1,0 +1,51 @@
+(** Seeded, deterministic fault injection over timeprint logs.
+
+    Models the three ways a [(TP, k)] record gets damaged between the
+    on-chip logger and the offline solver: flipped timeprint bits on the
+    trace channel, an off-by-δ change counter, and dropped trace-cycles.
+    The injector is a pure function of [(seed, spec, entries)], so tests
+    and benchmarks can replay the exact same corruption. *)
+
+type fault =
+  | Flip_tp of { index : int; bits : int list }
+      (** TP bits [bits] of entry [index] were inverted. *)
+  | Perturb_k of { index : int; delta : int }
+      (** The counter of entry [index] was shifted by [delta] (after
+          clamping to [\[0, m\]]; [delta] is the applied shift). *)
+  | Drop of { index : int }  (** Entry [index] was removed. *)
+
+type spec = private {
+  rate : float;       (** Probability an entry is corrupted at all. *)
+  max_flips : int;    (** Flip 1..max_flips distinct TP bits. *)
+  max_delta : int;    (** Shift k by ±(1..max_delta). *)
+  drop_rate : float;  (** Given corruption, probability of a drop. *)
+}
+
+val spec :
+  ?rate:float ->
+  ?max_flips:int ->
+  ?max_delta:int ->
+  ?drop_rate:float ->
+  unit ->
+  spec
+(** Defaults: [rate = 0.1], [max_flips = 1], [max_delta = 0],
+    [drop_rate = 0.]. Raises [Invalid_argument] on rates outside
+    [\[0,1\]] or negative budgets. *)
+
+val flip_tp : Log_entry.t -> bits:int list -> Log_entry.t
+(** Invert the given TP bit positions (pure; the input is untouched).
+    Raises [Invalid_argument] on an out-of-range position. *)
+
+val perturb_k : m:int -> Log_entry.t -> delta:int -> Log_entry.t
+(** Shift the change counter by [delta], clamped to [\[0, m\]]. *)
+
+val inject :
+  seed:int -> spec -> m:int -> Log_entry.t list -> Log_entry.t list * fault list
+(** Corrupt a log. Returns the damaged log (drops removed) and the list
+    of injected faults in entry order; fault indices refer to positions
+    in the {e original} log. Deterministic in [seed]. *)
+
+val indices : fault list -> int list
+(** Distinct original-log indices touched by the faults, increasing. *)
+
+val pp_fault : Format.formatter -> fault -> unit

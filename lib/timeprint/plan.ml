@@ -4,7 +4,11 @@ let linear_nullity_threshold = 14
 
 type report = {
   chosen : string;
-  presolve : [ `Refuted | `Reduced of Presolve.stats | `Skipped ];
+  presolve :
+    [ `Refuted
+    | `Refuted_but_repairable
+    | `Reduced of Presolve.stats
+    | `Skipped ];
   nullity : int;
   preimage_bits : float;
   considered : (string * [ `Cost of float | `Rejected of string ]) list;
@@ -20,6 +24,10 @@ let refuted_outcome (q : Query.t) =
   | Query.Enumerate _ -> Engine.Enumeration { signals = []; complete = true }
   | Query.Count _ -> Engine.Count (0, `Exact)
   | Query.Check _ -> Engine.Check `Vacuous
+  | Query.Repair _ ->
+      (* only with a zero flip budget: the rank refutation is exactly
+         the statement that no zero-error explanation exists *)
+      Engine.Repair `Unrepairable
   | Query.Certified -> assert false (* presolve is skipped for Certified *)
 
 (* Policy eligibility on top of raw capability: the auto planner only
@@ -85,11 +93,28 @@ let run ?(engine = `Auto) (q : Query.t) =
             | `Reduced p -> `Reduced p.Presolve.stats)
       in
       match presolve with
-      | `Refuted ->
-          ( refuted_outcome q,
-            base "presolve" `Refuted
-              [ ("presolve", `Cost 0.) ]
-              [] [] )
+      | `Refuted -> (
+          match q.answer with
+          | Query.Repair { max_flips; _ } when max_flips > 0 ->
+              (* the clean system is inconsistent, but the query brought
+                 an error budget: only SAT can search the relaxation.
+                 The rank refutation still pays for itself — the repair
+                 encoding skips every zero-flip split. *)
+              let considered =
+                [ ("sat", `Cost (Engine.sat.Engine.cost_bits ctx q)) ]
+              in
+              let outcome, stages = Engine.sat.Engine.run ctx q in
+              let presolve =
+                match outcome with
+                | Engine.Repair (`Repaired _) -> `Refuted_but_repairable
+                | _ -> `Refuted
+              in
+              (outcome, base "sat" presolve considered [] stages)
+          | _ ->
+              ( refuted_outcome q,
+                base "presolve" `Refuted
+                  [ ("presolve", `Cost 0.) ]
+                  [] [] ))
       | `Reduced _ | `Skipped -> (
           let considered =
             List.map
@@ -115,24 +140,33 @@ let run ?(engine = `Auto) (q : Query.t) =
               run_engine presolve considered (Option.get (forced winner))
           | [] -> run_engine presolve considered Engine.sat))
 
-let run_stream ?(assume = []) ?conflict_budget ?gauss encoding entries =
+let run_stream ?(assume = []) ?conflict_budget ?gauss ?(repair = 0) encoding
+    entries =
+  if repair < 0 then invalid_arg "Plan.run_stream: negative repair budget";
   let entries = Array.of_list entries in
   let n = Array.length entries in
   let out = Array.make n None in
   let sat_idx = ref [] in
   Array.iteri
     (fun i e ->
-      if Presolve.refutes encoding e then out.(i) <- Some (`Unsat, `Presolve)
+      if Presolve.refutes encoding e then
+        (* inconsistent as logged: quarantined outright without a
+           budget, SAT's repair ladder with one *)
+        if repair = 0 then
+          out.(i) <- Some (`Unsat, Sat_reconstruct.Quarantined, `Presolve)
+        else sat_idx := i :: !sat_idx
       else if
         assume = []
         && Combinatorial_reconstruct.supported ~k:(Log_entry.k e)
       then
-        let v =
-          match Combinatorial_reconstruct.first encoding e with
-          | Some s -> `Signal s
-          | None -> `Unsat
-        in
-        out.(i) <- Some (v, `Mitm)
+        match Combinatorial_reconstruct.first encoding e with
+        | Some s -> out.(i) <- Some (`Signal s, Sat_reconstruct.Clean, `Mitm)
+        | None ->
+            (* linearly consistent yet no exact-k witness: cardinality
+               UNSAT, which only the repair ladder can explain away *)
+            if repair = 0 then
+              out.(i) <- Some (`Unsat, Sat_reconstruct.Quarantined, `Mitm)
+            else sat_idx := i :: !sat_idx
       else sat_idx := i :: !sat_idx)
     entries;
   let sat_idx = List.rev !sat_idx in
@@ -140,13 +174,15 @@ let run_stream ?(assume = []) ?conflict_budget ?gauss encoding entries =
     match sat_idx with
     | [] -> []
     | _ ->
-        (* the per-entry presolve already ran above *)
-        Sat_reconstruct.batch ~assume ~presolve:false ?conflict_budget ?gauss
-          encoding
+        (* with a repair budget the batch re-runs the rank check so its
+           ladder can skip the zero-flip rung of refuted entries; with
+           none, every surviving entry already passed it above *)
+        Sat_reconstruct.batch ~assume ~presolve:(repair > 0) ?conflict_budget
+          ?gauss ~repair encoding
           (List.map (fun i -> entries.(i)) sat_idx)
   in
   List.iter2
-    (fun i (v, st) -> out.(i) <- Some (v, `Sat st))
+    (fun i (v, h, st) -> out.(i) <- Some (v, h, `Sat st))
     sat_idx sat_results;
   Array.to_list (Array.map Option.get out)
 
@@ -156,6 +192,9 @@ let pp_report ppf r =
     r.nullity r.preimage_bits;
   (match r.presolve with
   | `Refuted -> fprintf ppf "presolve: rank-refuted (zero solver work)@,"
+  | `Refuted_but_repairable ->
+      fprintf ppf
+        "presolve: rank-refuted as logged, but repairable within budget@,"
   | `Skipped -> fprintf ppf "presolve: skipped@,"
   | `Reduced s ->
       fprintf ppf "presolve: rank=%d dropped=%d units=%d aliases=%d@,"

@@ -29,7 +29,14 @@ type report = {
   chosen : string;
       (** engine that produced the outcome; ["presolve"] when the rank
           check refuted the entry before any engine ran *)
-  presolve : [ `Refuted | `Reduced of Presolve.stats | `Skipped ];
+  presolve :
+    [ `Refuted
+    | `Refuted_but_repairable
+      (** the clean system is rank-inconsistent, yet a repair within
+          the query's error budget exists — the diagnosis that tells a
+          corrupted-but-recoverable entry from a truly impossible one *)
+    | `Reduced of Presolve.stats
+    | `Skipped ];
   nullity : int;
   preimage_bits : float;  (** [log₂ C(m,k) − b] *)
   considered : (string * [ `Cost of float | `Rejected of string ]) list;
@@ -52,9 +59,11 @@ val run_stream :
   ?assume:Property.t list ->
   ?conflict_budget:int ->
   ?gauss:bool ->
+  ?repair:int ->
   Encoding.t ->
   Log_entry.t list ->
   (Sat_reconstruct.verdict
+  * Sat_reconstruct.health
   * [ `Presolve | `Mitm | `Sat of Tp_sat.Solver.stats ])
   list
 (** Planned witness reconstruction of a log stream, in order: each
@@ -62,6 +71,16 @@ val run_stream :
     when [k ≤ 4] and no properties are assumed, and the rest share one
     incremental parity-select solver ({!Sat_reconstruct.batch} — the
     stream capability the planner exploits). The tag says which path
-    answered each entry. *)
+    answered each entry.
+
+    [repair] (default [0]) is the per-entry flip budget: entries the
+    fast paths cannot explain as logged — rank-refuted, or consistent
+    but with no exact-[k] witness — are routed to the batch solver's
+    repair ladder instead of being failed outright. The {!type:
+    Sat_reconstruct.health} column tags each entry [Clean],
+    [Repaired w] (reconstructed after inverting [w] timeprint bits) or
+    [Quarantined] (no explanation within budget — one corrupted
+    trace-cycle no longer poisons the log). Raises [Invalid_argument]
+    on a negative budget. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -18,6 +18,11 @@ type answer =
   | Certified
       (** like [First], but an UNSAT answer must carry a verified DRAT
           certificate — only the SAT engine can produce one *)
+  | Repair of { max_flips : int; k_slack : int }
+      (** minimal-error explanation of a possibly corrupted entry: up
+          to [max_flips] timeprint bit errors and a change counter off
+          by at most [k_slack] — only the SAT engine can relax its
+          constraints this way *)
 
 type t = {
   encoding : Encoding.t;
@@ -37,6 +42,6 @@ val make :
   Log_entry.t ->
   t
 (** Raises [Invalid_argument] when the timeprint width differs from the
-    encoding's [b]. *)
+    encoding's [b], or on a [Repair] answer with a negative budget. *)
 
 val pp_answer : Format.formatter -> answer -> unit

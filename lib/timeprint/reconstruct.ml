@@ -8,6 +8,7 @@
    oracle, and the planner must never silently measure a different
    engine. *)
 
+open Tp_bitvec
 include Sat_reconstruct
 
 let planned (pb : problem) = pb.presolve && pb.gauss = None
@@ -22,6 +23,27 @@ let first ?conflict_budget pb =
     | _ -> assert false
   else Sat_reconstruct.first ?conflict_budget pb
 
+let repair ?conflict_budget ?(k_slack = 0) ~max_flips pb =
+  if planned pb then
+    match
+      Plan.run (query ?conflict_budget (Query.Repair { max_flips; k_slack }) pb)
+    with
+    | Engine.Repair r, _ -> r
+    | _ -> assert false
+  else Sat_reconstruct.repair ?conflict_budget ~k_slack ~max_flips pb
+
+(* the entry the repair says was actually logged: corrupted TP bits
+   inverted back, counter shifted back into agreement *)
+let corrected_problem (pb : problem) (r : Sat_reconstruct.repair) =
+  let tp =
+    Bitvec.logxor (Log_entry.tp pb.entry)
+      (Bitvec.of_indices ~width:(Encoding.b pb.encoding) r.r_flips)
+  in
+  { pb with entry = Log_entry.make ~tp ~k:(Log_entry.k pb.entry + r.r_k_delta) }
+
+(* [count]'s [repair] parameter shadows the function *)
+let repair_entry = repair
+
 let enumerate ?max_solutions ?conflict_budget pb =
   if planned pb then
     match Plan.run (query ?conflict_budget (Query.Enumerate { max_solutions }) pb) with
@@ -29,12 +51,26 @@ let enumerate ?max_solutions ?conflict_budget pb =
     | _ -> assert false
   else Sat_reconstruct.enumerate ?max_solutions ?conflict_budget pb
 
-let count ?max_solutions ?conflict_budget pb =
+let count_clean ?max_solutions ?conflict_budget pb =
   if planned pb then
     match Plan.run (query ?conflict_budget (Query.Count { max_solutions }) pb) with
     | Engine.Count (n, exactness), _ -> (n, exactness)
     | _ -> assert false
   else Sat_reconstruct.count ?max_solutions ?conflict_budget pb
+
+let count ?max_solutions ?conflict_budget ?(repair = 0) ?k_slack pb =
+  if repair = 0 then count_clean ?max_solutions ?conflict_budget pb
+  else
+    (* repair-mode counting: first diagnose the entry, then count the
+       preimage of the corrected entry. A repair search or enumeration
+       cut short by the conflict budget must surface as [`Lower_bound]
+       — an exhausted budget is not an exhausted preimage. *)
+    match repair_entry ?conflict_budget ?k_slack ~max_flips:repair pb with
+    | `Clean _ -> count_clean ?max_solutions ?conflict_budget pb
+    | `Repaired r ->
+        count_clean ?max_solutions ?conflict_budget (corrected_problem pb r)
+    | `Unrepairable -> (0, `Exact)
+    | `Unknown -> (0, `Lower_bound)
 
 let check ?conflict_budget pb prop =
   if planned pb then

@@ -77,11 +77,56 @@ val enumerate :
 val count :
   ?max_solutions:int ->
   ?conflict_budget:int ->
+  ?repair:int ->
+  ?k_slack:int ->
   problem ->
   int * [ `Exact | `Lower_bound ]
 (** Number of reconstructions. [`Exact] when the preimage was provably
     exhausted; [`Lower_bound] when cut short by [max_solutions] or the
-    conflict budget. Planned. *)
+    conflict budget. Planned.
+
+    With [repair > 0] the entry is first diagnosed ({!repair}) and the
+    count taken over the corrected entry's preimage: [0, `Exact] when
+    unrepairable within budget, and always [`Lower_bound] when either
+    the repair search or the enumeration ran out of conflict budget —
+    an exhausted budget is never reported as an exhausted preimage. *)
+
+type repair = Sat_reconstruct.repair = {
+  r_signal : Signal.t;  (** the reconstruction under the repair *)
+  r_flips : int list;
+      (** timeprint bit positions the repair inverted, increasing *)
+  r_k_delta : int;  (** the witness's change count minus the logged [k] *)
+}
+
+type repair_verdict =
+  [ `Clean of Signal.t
+  | `Repaired of repair
+  | `Unrepairable
+  | `Unknown ]
+
+val repair :
+  ?conflict_budget:int -> ?k_slack:int -> max_flips:int -> problem ->
+  repair_verdict
+(** Minimal-error reconstruction of a possibly corrupted entry: up to
+    [max_flips] timeprint bit errors and a counter off by at most
+    [k_slack] (default [0]). Planned — presolve still rank-refutes the
+    zero-error case for free; the exact engines declare themselves
+    incapable and the query runs on SAT
+    (see {!Sat_reconstruct.repair}). *)
+
+val pp_repair_verdict : Format.formatter -> repair_verdict -> unit
+
+type health = Sat_reconstruct.health =
+  | Clean
+  | Repaired of int  (** reconstructed after inverting this many TP bits *)
+  | Quarantined  (** no consistent explanation within the repair budget *)
+
+val pp_health : Format.formatter -> health -> unit
+
+val set_certify_unsat : bool -> unit
+(** Test-only knob: re-derive every [`Unsat] verdict of the SAT oracle
+    through the DRAT pipeline and fail unless the certificate checks
+    ({!Sat_reconstruct.set_certify_unsat}). *)
 
 type check_result =
   [ `Holds_in_all  (** every reconstruction satisfies the property *)
@@ -123,8 +168,11 @@ val batch :
   ?presolve:bool ->
   ?conflict_budget:int ->
   ?gauss:bool ->
+  ?repair:int ->
   Encoding.t ->
   Log_entry.t list ->
-  (verdict * Tp_sat.Solver.stats) list
+  (verdict * health * Tp_sat.Solver.stats) list
 (** See {!Sat_reconstruct.batch}: one parity-select solver for a whole
-    stream, per-entry presolve rank refutation included. *)
+    stream, per-entry presolve rank refutation included; with
+    [repair > 0] each entry climbs the shared error-budget ladder and
+    the {!health} column tags it [Clean]/[Repaired]/[Quarantined]. *)

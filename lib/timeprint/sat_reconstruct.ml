@@ -208,21 +208,6 @@ let solver_for pb e =
   Solver.boost s e.e_proj;
   s
 
-let solve_first ?conflict_budget pb =
-  match encode pb with
-  | `Unsat -> (`Unsat, None)
-  | `Enc e ->
-      let s = solver_for pb e in
-      let v =
-        match Solver.solve ?conflict_budget s with
-        | Sat -> `Signal (e.e_extract (Solver.value s))
-        | Unsat -> `Unsat
-        | Unknown -> `Unknown
-      in
-      (v, Some (Solver.stats s))
-
-let first ?conflict_budget pb = fst (solve_first ?conflict_budget pb)
-
 type certified =
   [ `Signal of Signal.t | `Unsat_certified of string | `Unknown ]
 
@@ -239,6 +224,43 @@ let first_certified ?conflict_budget pb : certified =
       match Drat.check clausal proof with
       | Ok () -> `Unsat_certified proof
       | Error e -> failwith ("Reconstruct.first_certified: bad certificate: " ^ e))
+
+(* Test-only knob: re-run every [`Unsat] answer of {!solve_first}
+   (rank refutations included) through the proof-carrying pipeline and
+   fail loudly unless the DRAT certificate checks out. Property suites
+   flip this on to assert that no refutation rests on the solver's
+   word alone. *)
+let certify_unsat = ref false
+let set_certify_unsat b = certify_unsat := b
+
+let recheck_unsat pb =
+  match first_certified pb with
+  | `Unsat_certified _ -> ()
+  | `Signal _ ->
+      failwith
+        "Reconstruct.certify_unsat: UNSAT verdict but the certified rerun \
+         found a model"
+  | `Unknown ->
+      failwith "Reconstruct.certify_unsat: certified rerun was inconclusive"
+
+let solve_first ?conflict_budget pb =
+  match encode pb with
+  | `Unsat ->
+      if !certify_unsat then recheck_unsat pb;
+      (`Unsat, None)
+  | `Enc e ->
+      let s = solver_for pb e in
+      let v =
+        match Solver.solve ?conflict_budget s with
+        | Sat -> `Signal (e.e_extract (Solver.value s))
+        | Unsat ->
+            if !certify_unsat then recheck_unsat pb;
+            `Unsat
+        | Unknown -> `Unknown
+      in
+      (v, Some (Solver.stats s))
+
+let first ?conflict_budget pb = fst (solve_first ?conflict_budget pb)
 
 type enumeration = { signals : Signal.t list; complete : bool }
 
@@ -338,6 +360,143 @@ let pp_check_result ppf r =
     | `Mixed -> "holds in some reconstructions, violated in others"
     | `Vacuous -> "no reconstruction exists"
     | `Unknown -> "unknown (budget exhausted)")
+
+(* ------------------------------------------------------------------ *)
+(* Repair: minimal-error consistent explanations of corrupted entries  *)
+
+type repair = {
+  r_signal : Signal.t;
+  r_flips : int list;
+  r_k_delta : int;
+}
+
+type repair_verdict =
+  [ `Clean of Signal.t | `Repaired of repair | `Unrepairable | `Unknown ]
+
+type health = Clean | Repaired of int | Quarantined
+
+let pp_health ppf = function
+  | Clean -> Format.pp_print_string ppf "clean"
+  | Repaired w -> Format.fprintf ppf "repaired (error weight %d)" w
+  | Quarantined -> Format.pp_print_string ppf "quarantined"
+
+let pp_repair_verdict ppf = function
+  | `Clean _ -> Format.pp_print_string ppf "clean"
+  | `Repaired { r_flips; r_k_delta; _ } ->
+      Format.fprintf ppf "repaired (TP bits {%s}%s)"
+        (String.concat "," (List.map string_of_int r_flips))
+        (if r_k_delta = 0 then ""
+         else Format.asprintf ", k off by %+d" r_k_delta)
+  | `Unrepairable -> Format.pp_print_string ppf "unrepairable within budget"
+  | `Unknown -> Format.pp_print_string ppf "unknown (budget exhausted)"
+
+(* The corrupted entry [(TP, k)] is explained by a signal [x] plus an
+   error vector [err ∈ F₂ᵇ] and a counter deviation [c]: the XOR rows
+   become [A·x = TP ⊕ err] — one error literal per timeprint bit, XORed
+   into its row — and the cardinality window [k − c .. k + c] replaces
+   [exactly k]. Each budget split [(f, d)] (≤ f flips, ≤ d deviation)
+   lives under its own guard literal; trials run in increasing total
+   weight [f + d]. A model found at trial [(f, d)] has flip weight
+   exactly [f] and deviation exactly [d]: any cheaper split of its
+   weight was a complete earlier trial that came back UNSAT. So the
+   first SAT answer is a {e minimal-error} explanation, and the clean
+   [(0, 0)] split — disposed of for free by the rank refutation when
+   the linear system is inconsistent — makes uncorrupted entries come
+   back [`Clean] with no repair machinery engaged. *)
+let solve_repair ?conflict_budget ?(k_slack = 0) ~max_flips pb =
+  if max_flips < 0 then invalid_arg "Reconstruct.repair: negative max_flips";
+  if k_slack < 0 then invalid_arg "Reconstruct.repair: negative k_slack";
+  let m = Encoding.m pb.encoding and b = Encoding.b pb.encoding in
+  let k = Log_entry.k pb.entry in
+  let max_flips = min max_flips b in
+  let refuted = Presolve.refutes pb.encoding pb.entry in
+  if refuted && max_flips = 0 then (`Unrepairable, None)
+  else begin
+    let cnf = Cnf.create () in
+    let xvars = Array.init m (fun _ -> Cnf.new_var cnf) in
+    let evars = Array.init b (fun _ -> Cnf.new_var cnf) in
+    let tp = Log_entry.tp pb.entry in
+    let gauss = gauss_choice pb in
+    for j = 0 to b - 1 do
+      let vars = ref [ evars.(j) ] in
+      for i = 0 to m - 1 do
+        if Bitvec.get (Encoding.timestamp pb.encoding i) j then
+          vars := xvars.(i) :: !vars
+      done;
+      if gauss then Cnf.add_xor cnf ~vars:!vars ~parity:(Bitvec.get tp j)
+      else Cnf.add_xor_chunked cnf ~vars:!vars ~parity:(Bitvec.get tp j)
+    done;
+    List.iter
+      (fun p -> Property.assert_holds cnf ~m ~xvar:(fun i -> xvars.(i)) p)
+      pb.assume;
+    let x_lits = Array.to_list (Array.map Lit.pos xvars) in
+    let e_lits = Array.to_list (Array.map Lit.pos evars) in
+    let solver = Solver.create ~gauss () in
+    let flushed_clauses = ref 0 and flushed_xors = ref 0 in
+    let flush () =
+      Solver.add_cnf_from solver cnf ~nclauses:!flushed_clauses
+        ~nxors:!flushed_xors;
+      flushed_clauses := Cnf.nclauses cnf;
+      flushed_xors := Cnf.nxors cnf
+    in
+    flush ();
+    Solver.boost solver (Array.to_list xvars);
+    (* one guarded constraint group per budget split, with the counter
+       auxiliaries pinned to the guard as in [batch] *)
+    let groups = Hashtbl.create 8 in
+    let group (f, d) =
+      match Hashtbl.find_opt groups (f, d) with
+      | Some g -> g
+      | None ->
+          let g = Lit.pos (Cnf.new_var cnf) in
+          let first_aux = Cnf.nvars cnf in
+          Cardinality.at_most ~guard:g cnf e_lits f;
+          Cardinality.at_least ~guard:g cnf x_lits (max 0 (k - d));
+          Cardinality.at_most ~guard:g cnf x_lits (min m (k + d));
+          for v = first_aux to Cnf.nvars cnf - 1 do
+            Cnf.add_clause cnf [ g; Lit.neg_of v ]
+          done;
+          flush ();
+          Hashtbl.add groups (f, d) g;
+          g
+    in
+    let splits =
+      List.concat_map
+        (fun f -> List.init (k_slack + 1) (fun d -> (f, d)))
+        (List.init (max_flips + 1) Fun.id)
+      |> List.filter (fun (f, _) -> not (refuted && f = 0))
+      |> List.sort (fun (f1, d1) (f2, d2) ->
+             compare (f1 + d1, d1) (f2 + d2, d2))
+    in
+    let rec run = function
+      | [] -> `Unrepairable
+      | split :: rest -> (
+          let active = group split in
+          let assumptions =
+            active
+            :: Hashtbl.fold
+                 (fun _ g acc ->
+                   if Lit.equal g active then acc else Lit.negate g :: acc)
+                 groups []
+          in
+          match Solver.solve ?conflict_budget ~assumptions solver with
+          | Unknown -> `Unknown
+          | Unsat -> run rest
+          | Sat ->
+              let value = Solver.value solver in
+              let signal = signal_of_model m xvars value in
+              let flips =
+                List.filter (fun j -> value evars.(j)) (List.init b Fun.id)
+              in
+              let k_delta = Signal.num_changes signal - k in
+              if flips = [] && k_delta = 0 then `Clean signal
+              else `Repaired { r_signal = signal; r_flips = flips; r_k_delta = k_delta })
+    in
+    (run splits, Some (Solver.stats solver))
+  end
+
+let repair ?conflict_budget ?k_slack ~max_flips pb =
+  fst (solve_repair ?conflict_budget ?k_slack ~max_flips pb)
 
 (* ------------------------------------------------------------------ *)
 (* Incremental sessions                                                *)
@@ -514,10 +673,21 @@ end
    the timeprint — and pin the p_j per entry through assumptions. The
    per-entry cardinality [exactly k] is cached under a guard literal
    per distinct [k]. All structure learned about [A] (and the assumed
-   properties) transfers across entries. *)
-let batch ?(assume = []) ?(presolve = true) ?conflict_budget ?gauss encoding
-    entries =
+   properties) transfers across entries.
+
+   With [repair = e > 0] the rows additionally close on shared error
+   variables [err_j] (so they read [⊕ vars_j ⊕ p_j ⊕ err_j = 0]) and
+   each entry runs the budget ladder [f = 0, 1, .., e]: the [f = 0]
+   trial pins every [err_j] false — exactly today's clean solve — and
+   each [f > 0] trial assumes a cached guarded [≤ f] bound over the
+   error literals. The first SAT rung names the entry's minimal flip
+   weight ([Repaired f]); a ladder that UNSATs through [e] quarantines
+   the entry instead of poisoning the log. *)
+let batch ?(assume = []) ?(presolve = true) ?conflict_budget ?gauss
+    ?(repair = 0) encoding entries =
+  if repair < 0 then invalid_arg "Reconstruct.batch: negative repair budget";
   let m = Encoding.m encoding and b = Encoding.b encoding in
+  let repair = min repair b in
   List.iter
     (fun e ->
       if Bitvec.width (Log_entry.tp e) <> b then
@@ -526,8 +696,12 @@ let batch ?(assume = []) ?(presolve = true) ?conflict_budget ?gauss encoding
   let cnf = Cnf.create () in
   let xvars = Array.init m (fun _ -> Cnf.new_var cnf) in
   let pvars = Array.init b (fun _ -> Cnf.new_var cnf) in
+  let evars =
+    if repair > 0 then Some (Array.init b (fun _ -> Cnf.new_var cnf)) else None
+  in
   for j = 0 to b - 1 do
     let vars = ref [ pvars.(j) ] in
+    (match evars with Some ev -> vars := ev.(j) :: !vars | None -> ());
     for i = 0 to m - 1 do
       if Bitvec.get (Encoding.timestamp encoding i) j then
         vars := xvars.(i) :: !vars
@@ -572,40 +746,97 @@ let batch ?(assume = []) ?(presolve = true) ?conflict_budget ?gauss encoding
         Hashtbl.add k_guards k g;
         g
   in
+  (* cached [≤ f] bounds over the error literals, one guard per rung *)
+  let e_guards = Hashtbl.create 4 in
+  let e_guard ev f =
+    match Hashtbl.find_opt e_guards f with
+    | Some g -> g
+    | None ->
+        let g = Lit.pos (Cnf.new_var cnf) in
+        let first_aux = Cnf.nvars cnf in
+        Cardinality.at_most ~guard:g cnf
+          (Array.to_list (Array.map Lit.pos ev))
+          f;
+        for v = first_aux to Cnf.nvars cnf - 1 do
+          Cnf.add_clause cnf [ g; Lit.neg_of v ]
+        done;
+        flush ();
+        Hashtbl.add e_guards f g;
+        g
+  in
+  let other_guards table active acc =
+    Hashtbl.fold
+      (fun _ g acc -> if Lit.equal g active then acc else Lit.negate g :: acc)
+      table acc
+  in
   List.map
     (fun entry ->
       (* the shared [A] rows are consistent by themselves; what varies
          per entry is the augmentation [A | TP], so the rank refutation
-         must run per entry — refuted entries cost zero solver work *)
-      if presolve && Presolve.refutes encoding entry then (`Unsat, zero_stats)
+         must run per entry — refuted entries cost zero solver work,
+         and a refuted entry without a repair budget is quarantined on
+         the spot *)
+      let refuted = presolve && Presolve.refutes encoding entry in
+      if refuted && repair = 0 then (`Unsat, Quarantined, zero_stats)
       else
-      let tp = Log_entry.tp entry in
-      let active = k_guard (Log_entry.k entry) in
-      let assumptions =
-        active
-        :: List.init b (fun j -> Lit.make pvars.(j) (Bitvec.get tp j))
-        @ Hashtbl.fold
-            (fun _ g acc -> if Lit.equal g active then acc else Lit.negate g :: acc)
-            k_guards []
-      in
-      let before = Solver.stats solver in
-      let verdict =
-        match Solver.solve ?conflict_budget ~assumptions solver with
-        | Sat -> `Signal (signal_of_model m xvars (Solver.value solver))
-        | Unsat -> `Unsat
-        | Unknown -> `Unknown
-      in
-      let after = Solver.stats solver in
-      ( verdict,
-        {
-          Solver.conflicts = after.conflicts - before.conflicts;
-          decisions = after.decisions - before.decisions;
-          propagations = after.propagations - before.propagations;
-          learnt = after.learnt;
-          restarts = after.restarts - before.restarts;
-          gauss_rows = after.gauss_rows;
-          gauss_elims = after.gauss_elims;
-          gauss_props = after.gauss_props - before.gauss_props;
-          gauss_conflicts = after.gauss_conflicts - before.gauss_conflicts;
-        } ))
+        let tp = Log_entry.tp entry in
+        let active = k_guard (Log_entry.k entry) in
+        let base =
+          active :: List.init b (fun j -> Lit.make pvars.(j) (Bitvec.get tp j))
+        in
+        let before = Solver.stats solver in
+        (* the budget ladder: rung f = 0 is the clean solve (all err_j
+           assumed false), rung f > 0 relaxes to ≤ f error bits; first
+           SAT wins with minimal flip weight since every lower rung
+           already came back UNSAT *)
+        let rec climb f =
+          if f > repair then (`Unsat, Quarantined)
+          else if f = 0 && refuted then climb 1
+          else begin
+            let err_assumptions =
+              match evars with
+              | None -> []
+              | Some ev ->
+                  if f = 0 then
+                    Array.to_list (Array.map (fun v -> Lit.make v false) ev)
+                    @ other_guards e_guards active []
+                  else
+                    let g = e_guard ev f in
+                    g :: other_guards e_guards g []
+            in
+            let assumptions =
+              base @ err_assumptions @ other_guards k_guards active []
+            in
+            match Solver.solve ?conflict_budget ~assumptions solver with
+            | Sat ->
+                let signal = signal_of_model m xvars (Solver.value solver) in
+                let weight =
+                  match evars with
+                  | None -> 0
+                  | Some ev ->
+                      Array.fold_left
+                        (fun n v -> if Solver.value solver v then n + 1 else n)
+                        0 ev
+                in
+                ( `Signal signal,
+                  if weight = 0 then Clean else Repaired weight )
+            | Unsat -> climb (f + 1)
+            | Unknown -> (`Unknown, Quarantined)
+          end
+        in
+        let verdict, health = climb 0 in
+        let after = Solver.stats solver in
+        ( verdict,
+          health,
+          {
+            Solver.conflicts = after.conflicts - before.conflicts;
+            decisions = after.decisions - before.decisions;
+            propagations = after.propagations - before.propagations;
+            learnt = after.learnt;
+            restarts = after.restarts - before.restarts;
+            gauss_rows = after.gauss_rows;
+            gauss_elims = after.gauss_elims;
+            gauss_props = after.gauss_props - before.gauss_props;
+            gauss_conflicts = after.gauss_conflicts - before.gauss_conflicts;
+          } ))
     entries

@@ -130,6 +130,69 @@ val solve_check :
 
 val pp_check_result : Format.formatter -> check_result -> unit
 
+(** {1 Repair: reconstructing from corrupted entries}
+
+    Logs arrive damaged — flipped timeprint bits on the trace channel,
+    off-by-δ change counters ({!Fault} models both). A plain
+    reconstruction of such an entry is UNSAT; {!repair} instead finds
+    the {e minimal-error} consistent explanation: the XOR rows are
+    relaxed to [A·x = TP ⊕ err] with one error literal per timeprint
+    bit, the cardinality constraint to a [±d] window around [k], and
+    budget splits [(f, d)] are tried in increasing total weight
+    [f + d] under Sinz [≤] bounds, so the first satisfiable split is a
+    provably lightest repair. *)
+
+type repair = {
+  r_signal : Signal.t;  (** the reconstruction under the repair *)
+  r_flips : int list;
+      (** timeprint bit positions the repair inverted, increasing *)
+  r_k_delta : int;  (** the witness's change count minus the logged [k] *)
+}
+
+type repair_verdict =
+  [ `Clean of Signal.t
+    (** the entry needs no repair; this is an ordinary witness *)
+  | `Repaired of repair  (** minimal-error explanation within budget *)
+  | `Unrepairable  (** no explanation within the budget exists *)
+  | `Unknown ]
+
+val repair :
+  ?conflict_budget:int -> ?k_slack:int -> max_flips:int -> problem ->
+  repair_verdict
+(** Minimal-error reconstruction: up to [max_flips] timeprint bit
+    errors (clamped to [b]) and a counter off by at most [k_slack]
+    (default [0]). With [max_flips = 0] and [k_slack = 0] this is
+    {!first} in different clothing: [`Clean] iff a witness exists. The
+    rank refutation disposes of every zero-flip split for free, so
+    clean entries pay nothing for the repair machinery. Raises
+    [Invalid_argument] on negative budgets. *)
+
+val solve_repair :
+  ?conflict_budget:int -> ?k_slack:int -> max_flips:int -> problem ->
+  repair_verdict * Tp_sat.Solver.stats option
+(** {!repair} plus the solver work across all budget splits; [None]
+    when the rank refutation answered without a solver ([max_flips = 0]
+    on an inconsistent system). *)
+
+type health =
+  | Clean  (** reconstructed as logged *)
+  | Repaired of int  (** reconstructed after inverting this many TP bits *)
+  | Quarantined
+      (** no consistent explanation within the repair budget (or the
+          budget was exhausted) — excluded rather than trusted *)
+
+val pp_health : Format.formatter -> health -> unit
+val pp_repair_verdict : Format.formatter -> repair_verdict -> unit
+
+val set_certify_unsat : bool -> unit
+(** Test-only knob (global): when on, every [`Unsat] answer of
+    {!first}/{!solve_first} — rank refutations included — is re-derived
+    through the proof-carrying pipeline ({!first_certified}) and the
+    DRAT certificate checked with {!Tp_sat.Drat.check}; a refutation
+    that cannot be certified raises [Failure]. Off by default; property
+    suites flip it on to make "UNSAT" mean "UNSAT with a checked
+    certificate". *)
+
 (** {1 Incremental sessions}
 
     The cold entry points above build a fresh solver per query, so
@@ -185,9 +248,10 @@ val batch :
   ?presolve:bool ->
   ?conflict_budget:int ->
   ?gauss:bool ->
+  ?repair:int ->
   Encoding.t ->
   Log_entry.t list ->
-  (verdict * Tp_sat.Solver.stats) list
+  (verdict * health * Tp_sat.Solver.stats) list
 (** Reconstruct a stream of trace-cycle log entries against one
     encoding with a single solver. The timestamp-matrix structure is
     emitted once in parity-select form — each XOR row closes on a fresh
@@ -200,6 +264,18 @@ val batch :
     (default [true]), each entry first takes the F₂ rank check
     ({!Presolve.refutes}): an inconsistent [A | TP] is answered
     [`Unsat] with an all-zero stats record and no solver call. Returns,
-    per entry in order, the {!verdict} and the solver-work delta that
-    entry cost. [conflict_budget] bounds each entry's solve. Raises
-    [Invalid_argument] on a timeprint width mismatch. *)
+    per entry in order, the {!verdict}, the entry's {!health}, and the
+    solver-work delta that entry cost. [conflict_budget] bounds each
+    individual solve.
+
+    [repair] (default [0], clamped to [b]) is the per-entry flip
+    budget: the shared XOR rows additionally close on [b] error
+    variables, and each entry climbs the ladder [f = 0, 1, .., repair]
+    — the [f = 0] rung pins every error bit false (exactly the clean
+    solve), each higher rung assumes a cached guarded [≤ f] Sinz bound
+    — so the first SAT rung is the entry's minimal flip weight
+    ([Repaired f]). An entry whose ladder runs out (or whose budget is
+    exhausted) is [Quarantined] and the batch moves on; with
+    [repair = 0] the health column is just [Clean]/[Quarantined].
+    Raises [Invalid_argument] on a timeprint width mismatch or a
+    negative repair budget. *)

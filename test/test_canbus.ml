@@ -237,7 +237,7 @@ let test_forensics_locate () =
     Forensics.locate_transmission ~window:(10, 40) enc entry Message.gearbox_info
   with
   | Error e -> Alcotest.fail e
-  | Ok { Forensics.start_cycle; end_cycle } ->
+  | Ok { Forensics.start_cycle; end_cycle; _ } ->
       Alcotest.(check int) "start located" start start_cycle;
       Alcotest.(check int) "end located"
         (start + Frame.length (Frame.of_message Message.gearbox_info))

@@ -171,14 +171,15 @@ let test_batch_presolve_refutes () =
   let bad = Log_entry.make ~tp:(Bitvec.of_int ~width:4 8) ~k:1 in
   let results = Reconstruct.batch e [ good; bad ] in
   (match results with
-  | [ (`Signal _, _); (`Unsat, st) ] ->
+  | [ (`Signal _, Reconstruct.Clean, _); (`Unsat, Reconstruct.Quarantined, st) ]
+    ->
       Alcotest.(check int) "zero conflicts" 0 st.Tp_sat.Solver.conflicts;
       Alcotest.(check int) "zero decisions" 0 st.Tp_sat.Solver.decisions;
       Alcotest.(check int) "zero propagations" 0 st.Tp_sat.Solver.propagations
   | _ -> Alcotest.fail "expected [witness; refuted]");
   (* same verdicts with the presolve disabled (the solver ground it out) *)
   match Reconstruct.batch ~presolve:false e [ good; bad ] with
-  | [ (`Signal _, _); (`Unsat, _) ] -> ()
+  | [ (`Signal _, _, _); (`Unsat, _, _) ] -> ()
   | _ -> Alcotest.fail "presolve must not change batch verdicts"
 
 let test_plan_refutes_for_free () =
@@ -220,12 +221,17 @@ let test_run_stream () =
   let results = Plan.run_stream e entries in
   Alcotest.(check int) "one result per entry" 3 (List.length results);
   List.iter2
-    (fun entry (verdict, tag) ->
+    (fun entry (verdict, health, tag) ->
       (* verdicts match the cold single-entry path *)
       let cold = Reconstruct.first (Reconstruct.problem e entry) in
       (match (verdict, cold) with
       | `Signal _, `Signal _ | `Unsat, `Unsat -> ()
       | _ -> Alcotest.fail "stream verdict <> cold verdict");
+      (* without a repair budget, health is Clean/Quarantined in step
+         with the verdict *)
+      (match (verdict, health) with
+      | `Signal _, Reconstruct.Clean | `Unsat, Reconstruct.Quarantined -> ()
+      | _ -> Alcotest.fail "health out of step with verdict");
       match tag with
       | `Presolve ->
           Alcotest.(check bool) "refuted entries tagged presolve" true
@@ -235,7 +241,7 @@ let test_run_stream () =
   (* all three entries have k <= 4 and no properties: the refuted one
      is tagged presolve, the rest mitm — no SAT work at all *)
   List.iter
-    (fun (_, tag) ->
+    (fun (_, _, tag) ->
       match tag with
       | `Sat _ -> Alcotest.fail "stream burned SAT work on a mitm-able entry"
       | `Presolve | `Mitm -> ())

@@ -827,7 +827,7 @@ let test_batch_equals_cold_firsts () =
   Alcotest.(check int) "one verdict per entry" (List.length entries)
     (List.length batched);
   List.iter2
-    (fun en (v, st) ->
+    (fun en (v, _, st) ->
       (match (Reconstruct.first (Reconstruct.problem e en), v) with
       | `Signal _, `Signal sol ->
           Alcotest.check entry "batch solution abstracts back" en
@@ -846,7 +846,8 @@ let test_batch_with_properties () =
       [ fig4_entry ]
   in
   match batched with
-  | [ (`Signal s, _) ] -> Alcotest.check signal "the actual signal" fig4_signal s
+  | [ (`Signal s, _, _) ] ->
+      Alcotest.check signal "the actual signal" fig4_signal s
   | _ -> Alcotest.fail "expected one SAT verdict"
 
 let test_batch_width_mismatch () =
@@ -891,7 +892,7 @@ let prop_batch_equals_cold =
       in
       let batched = Reconstruct.batch e entries in
       List.for_all2
-        (fun en (v, _) ->
+        (fun en (v, _, _) ->
           match v with
           | `Signal sol -> Log_entry.equal en (Logger.abstract e sol)
           | `Unsat | `Unknown -> false)
@@ -964,7 +965,7 @@ let test_batch_gauss_modes_agree () =
   in
   let check label verdicts =
     List.iter2
-      (fun en (v, _) ->
+      (fun en (v, _, _) ->
         match v with
         | `Signal w ->
             Alcotest.check entry
