@@ -1071,6 +1071,230 @@ let engines_grid ~full ~smoke () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Multicore scaling (section "parallel") → BENCH_pr5.json: the
+   domain-pool stream on a corrupted 48-entry log swept over pool
+   sizes, with the byte-identical-triage check run right here, plus a
+   populous-preimage count through the cube-and-conquer path. The
+   "cores" field records what the container actually offers — on a
+   single hardware thread the pool can only demonstrate invariance,
+   not speedup, and the JSON says so rather than implying otherwise. *)
+
+type par_row = {
+  pr_jobs : int;
+  pr_time_s : float;
+  pr_clean : int;
+  pr_repaired : int;
+  pr_quarantined : int;
+  pr_identical : bool; (* triage byte-identical to the jobs=1 row *)
+}
+
+type par_results = {
+  mutable ps_m : int;
+  mutable ps_b : int;
+  mutable ps_entries : int;
+  mutable ps_seq_s : float;
+  mutable ps_rows : par_row list;
+  mutable ps_cube_count : int;
+  mutable ps_cube_exact : bool;
+  mutable ps_cube_rows : (int * float * bool) list; (* jobs, time, agrees *)
+}
+
+let par_results =
+  {
+    ps_m = 0;
+    ps_b = 0;
+    ps_entries = 0;
+    ps_seq_s = -1.;
+    ps_rows = [];
+    ps_cube_count = -1;
+    ps_cube_exact = false;
+    ps_cube_rows = [];
+  }
+
+let write_parallel_json () =
+  match List.rev par_results.ps_rows with
+  | [] -> ()
+  | rows ->
+      let buf = Buffer.create 1024 in
+      let base =
+        match List.find_opt (fun r -> r.pr_jobs = 1) rows with
+        | Some r -> r.pr_time_s
+        | None -> -1.
+      in
+      Printf.bprintf buf
+        "{\n  \"cores\": %d,\n\
+        \  \"stream\": {\"m\": %d, \"b\": %d, \"entries\": %d, \
+         \"repair\": 2, \"sequential_s\": %.6f,\n    \"rows\": [\n"
+        (Domain.recommended_domain_count ())
+        par_results.ps_m par_results.ps_b par_results.ps_entries
+        par_results.ps_seq_s;
+      let last = List.length rows - 1 in
+      List.iteri
+        (fun i r ->
+          Printf.bprintf buf
+            "      {\"jobs\": %d, \"time_s\": %.6f, \"speedup\": %.3f, \
+             \"clean\": %d, \"repaired\": %d, \"quarantined\": %d, \
+             \"identical\": %b}%s\n"
+            r.pr_jobs r.pr_time_s
+            (if base > 0. && r.pr_time_s > 0. then base /. r.pr_time_s else -1.)
+            r.pr_clean r.pr_repaired r.pr_quarantined r.pr_identical
+            (if i = last then "" else ","))
+        rows;
+      Buffer.add_string buf "  ]},\n";
+      Printf.bprintf buf
+        "  \"cube\": {\"count\": %d, \"exact\": %b, \"rows\": [\n"
+        par_results.ps_cube_count par_results.ps_cube_exact;
+      let crows = List.rev par_results.ps_cube_rows in
+      let last = List.length crows - 1 in
+      List.iteri
+        (fun i (jobs, t, agrees) ->
+          Printf.bprintf buf
+            "      {\"jobs\": %d, \"time_s\": %.6f, \"agrees\": %b}%s\n" jobs t
+            agrees
+            (if i = last then "" else ","))
+        crows;
+      Buffer.add_string buf "  ]}\n}\n";
+      Out_channel.with_open_text "BENCH_pr5.json" (fun oc ->
+          Out_channel.output_string oc (Buffer.contents buf));
+      Format.printf "@.wrote BENCH_pr5.json (%d pool sizes on %d core(s))@."
+        (List.length rows)
+        (Domain.recommended_domain_count ())
+
+let parallel_bench ~full ~smoke ~max_jobs () =
+  let open Tp_canbus in
+  Format.printf "@.== Multicore scaling: domain-pool stream and cube split ==@.";
+  let budget = if smoke then !conflict_budget else max !conflict_budget 50_000 in
+  let m = if full then 256 else if smoke then 48 else 128 in
+  let b = if full then 20 else 16 in
+  let enc = Encoding.random_constrained ~m ~b ~seed:2019 () in
+  let periodics =
+    [
+      Scheduler.periodic Message.engine_data ~period:(4 * m) ~offset:25;
+      Scheduler.periodic Message.gearbox_info ~period:(6 * m) ~offset:(m / 2);
+    ]
+  in
+  let duration = (if smoke then 24 else 48) * m in
+  let requests = Scheduler.requests ~duration periodics in
+  let tl = Bus.simulate ~bitrate:5_000_000 ~duration requests in
+  let clean_log = Forensics.log_timeline enc tl in
+  let spec = Fault.spec ~rate:0.3 ~max_flips:2 () in
+  let corrupted, events = Fault.inject ~seed:0xfa17 spec ~m clean_log in
+  par_results.ps_m <- m;
+  par_results.ps_b <- b;
+  par_results.ps_entries <- List.length corrupted;
+  Format.printf "m=%d b=%d, %d trace-cycles, %d corrupted, repair<=2@." m b
+    (List.length corrupted)
+    (List.length (Fault.indices events));
+  (* the invariance check compares the full per-entry triage — verdict
+     witness included — rendered to text *)
+  let digest results =
+    String.concat "|"
+      (List.map
+         (fun (v, h, tag) ->
+           Format.asprintf "%s/%a/%s"
+             (match v with
+             | `Signal s -> Format.asprintf "S%a" Signal.pp s
+             | `Unsat -> "U"
+             | `Unknown -> "?")
+             Reconstruct.pp_health h
+             (match tag with `Presolve -> "p" | `Mitm -> "m" | `Sat _ -> "s"))
+         results)
+  in
+  let stream ?jobs () =
+    Plan.run_stream ~conflict_budget:budget ~repair:2 ?jobs enc corrupted
+  in
+  let t_seq, _ = time (fun () -> stream ()) in
+  par_results.ps_seq_s <- t_seq;
+  Format.printf "  sequential (no pool)      : %a@." pp_time t_seq;
+  let reference = ref "" in
+  let sweep =
+    List.filter (fun j -> j <= max_jobs) (if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ])
+  in
+  List.iter
+    (fun jobs ->
+      let t, results = time (fun () -> stream ~jobs ()) in
+      let clean, repaired, quarantined =
+        List.fold_left
+          (fun (c, r, q) (_, health, _) ->
+            match health with
+            | Reconstruct.Clean -> (c + 1, r, q)
+            | Reconstruct.Repaired _ -> (c, r + 1, q)
+            | Reconstruct.Quarantined -> (c, r, q + 1))
+          (0, 0, 0) results
+      in
+      let d = digest results in
+      if jobs = 1 then reference := d;
+      let identical = d = !reference in
+      Format.printf
+        "  jobs=%d: %a  %d clean / %d repaired / %d quarantined%s@." jobs
+        pp_time t clean repaired quarantined
+        (if identical then "" else "  TRIAGE DIVERGED");
+      par_results.ps_rows <-
+        {
+          pr_jobs = jobs;
+          pr_time_s = t;
+          pr_clean = clean;
+          pr_repaired = repaired;
+          pr_quarantined = quarantined;
+          pr_identical = identical;
+        }
+        :: par_results.ps_rows)
+    sweep;
+
+  (* cube-and-conquer: a populous preimage (m=24, b=10, k=8 is ~2^9.5
+     solutions, above the engage threshold) counted exactly, forced
+     onto the SAT engine so the cube path runs rather than the coset
+     sweep the auto policy would rightly prefer *)
+  Format.printf "  cube split (m=24 b=10 k=8, exact count):@.";
+  let enc_c = Encoding.random_constrained ~m:24 ~b:10 ~seed:7 () in
+  let s_c = constrained_signal ~m:24 ~k:8 in
+  let q =
+    Query.make ~conflict_budget:budget
+      ~answer:(Query.Count { max_solutions = None })
+      enc_c
+      (Logger.abstract enc_c s_c)
+  in
+  let count_of = function
+    | Engine.Count (n, e) -> (n, e = `Exact)
+    | _ -> (-1, false)
+  in
+  let t0, seq = time (fun () -> Plan.run ~engine:`Sat q) in
+  let n0, exact0 = count_of (fst seq) in
+  Format.printf "    sequential: %d solutions%s in %a@." n0
+    (if exact0 then " (exact)" else " (lower bound)")
+    pp_time t0;
+  (* the invariance bar is across pool sizes: every jobs value must
+     report the same (count, exactness). The sequential row is context
+     only — under a tight smoke budget it can stop at a lower bound
+     where the cubes, each with its own conflict budget, finish. *)
+  let cube_ref = ref None in
+  List.iter
+    (fun jobs ->
+      let t, (outcome, report) =
+        time (fun () -> Plan.run ~engine:`Sat ~jobs q)
+      in
+      let n, exact = count_of outcome in
+      if !cube_ref = None then begin
+        cube_ref := Some (n, exact);
+        par_results.ps_cube_count <- n;
+        par_results.ps_cube_exact <- exact
+      end;
+      let agrees = Some (n, exact) = !cube_ref in
+      let cubes =
+        match report.Plan.parallel with
+        | Plan.Cubed { cubes; _ } -> cubes
+        | _ -> 0
+      in
+      Format.printf "    jobs=%d (%d cubes): %d solutions%s in %a%s@." jobs
+        cubes n
+        (if exact then " (exact)" else " (lower bound)")
+        pp_time t
+        (if agrees then "" else "  COUNT DIVERGED");
+      par_results.ps_cube_rows <- (jobs, t, agrees) :: par_results.ps_cube_rows)
+    sweep;
+  ignore full
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let () =
@@ -1079,6 +1303,16 @@ let () =
   let smoke = List.mem "--smoke" argv in
   if full then conflict_budget := 5_000_000;
   if smoke then conflict_budget := 5_000;
+  (* --jobs N caps the parallel section's pool-size sweep *)
+  let max_jobs = ref max_int in
+  let rec strip = function
+    | "--jobs" :: v :: rest ->
+        max_jobs := int_of_string v;
+        strip rest
+    | a :: rest -> a :: strip rest
+    | [] -> []
+  in
+  let argv = strip argv in
   let sections =
     List.filter
       (fun a -> String.length a > 0 && a.[0] <> '-')
@@ -1096,10 +1330,12 @@ let () =
   if want "faults" then faults ~full ~smoke ();
   if want "soc" then soc ~full ();
   if want "engines" then engines_grid ~full ~smoke ();
+  if want "parallel" then parallel_bench ~full ~smoke ~max_jobs:!max_jobs ();
   if want "ablation" then ablation ();
   if want "baseline" then baseline ();
   if want "micro" then micro ();
   write_bench_json ();
   write_engines_json ();
   write_faults_json ();
+  write_parallel_json ();
   Format.printf "@.done.@."

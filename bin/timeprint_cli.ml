@@ -141,6 +141,17 @@ let explain_flag =
           "Print the plan: chosen engine, preimage-size estimate, presolve \
            outcome and per-stage solver stats.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~env:(Cmd.Env.info "TIMEPRINTS_JOBS")
+        ~doc:
+          "Solve on $(i,N) domains: hard queries split into cubes, log \
+           streams fan out in chunks. $(b,0) means the runtime's \
+           recommended domain count. Answers never depend on $(i,N).")
+
 let maybe_explain explain report =
   if explain then Format.printf "%a@." Plan.pp_report report
 
@@ -211,7 +222,7 @@ let k_slack_arg =
 
 let reconstruct_cmd =
   let run enc entry p2 pulse deadline window max_solutions engine repair
-      k_slack explain =
+      k_slack jobs explain =
     let assume = assume_of p2 pulse deadline window in
     if repair > 0 || k_slack > 0 then (
       let q =
@@ -219,7 +230,7 @@ let reconstruct_cmd =
           ~answer:(Query.Repair { max_flips = repair; k_slack })
           enc entry
       in
-      let outcome, report = Plan.run ~engine q in
+      let outcome, report = Plan.run ~engine ?jobs q in
       maybe_explain explain report;
       match outcome with
       | Engine.Repair v ->
@@ -236,7 +247,7 @@ let reconstruct_cmd =
           ~answer:(Query.Enumerate { max_solutions = Some max_solutions })
           enc entry
       in
-      let outcome, report = Plan.run ~engine q in
+      let outcome, report = Plan.run ~engine ?jobs q in
       maybe_explain explain report;
       match outcome with
       | Engine.Enumeration { signals; complete } ->
@@ -259,7 +270,7 @@ let reconstruct_cmd =
     Term.(
       const run $ enc_term $ entry_args $ p2_flag $ pulse_flag $ deadline_opt
       $ window_opt $ max_arg $ engine_arg $ repair_arg $ k_slack_arg
-      $ explain_flag)
+      $ jobs_arg $ explain_flag)
 
 (* ------------------------------------------------------------------ *)
 (* stream / corrupt: whole-log commands over "<tp-bits> <k>" lines      *)
@@ -305,11 +316,11 @@ let log_file_arg =
            $(b,#) starts a comment.")
 
 let stream_cmd =
-  let run enc path p2 pulse deadline window repair explain =
+  let run enc path p2 pulse deadline window repair jobs explain =
     let entries = read_log path in
     let results =
-      Plan.run_stream ~assume:(assume_of p2 pulse deadline window) ~repair enc
-        entries
+      Plan.run_stream ~assume:(assume_of p2 pulse deadline window) ~repair
+        ?jobs enc entries
     in
     let clean = ref 0 and repaired = ref 0 and quarantined = ref 0 in
     List.iteri
@@ -347,7 +358,7 @@ let stream_cmd =
           when anything was quarantined.")
     Term.(
       const run $ enc_term $ log_file_arg $ p2_flag $ pulse_flag $ deadline_opt
-      $ window_opt $ repair_arg $ explain_flag)
+      $ window_opt $ repair_arg $ jobs_arg $ explain_flag)
 
 let corrupt_cmd =
   let run enc path rate max_flips max_delta drop_rate seed =

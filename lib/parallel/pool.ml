@@ -1,0 +1,140 @@
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  pending : Condition.t; (* a task was queued, or the pool is closing *)
+  progress : Condition.t; (* a task completed *)
+  queue : task Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+  tasks : int Atomic.t;
+}
+
+let jobs t = t.jobs
+let tasks_run t = Atomic.get t.tasks
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closing do
+    Condition.wait t.pending t.mutex
+  done;
+  match Queue.take_opt t.queue with
+  | None -> Mutex.unlock t.mutex (* closing and drained: exit *)
+  | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      worker_loop t
+
+let create ~jobs =
+  let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      pending = Condition.create ();
+      progress = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [];
+      tasks = Atomic.make 0;
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closing <- true;
+  Condition.broadcast t.pending;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+(* Run one application, capturing the outcome so worker domains never
+   unwind across the pool machinery. *)
+let capture f x =
+  try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
+
+let harvest slots =
+  (* Re-raise the lowest-indexed failure so the reported error does not
+     depend on scheduling. *)
+  Array.iter
+    (function
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) | None -> ())
+    slots;
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error _) | None -> assert false)
+    slots
+
+let map t f inputs =
+  let n = Array.length inputs in
+  if n = 0 then [||]
+  else begin
+    let slots = Array.make n None in
+    if t.jobs = 1 || n = 1 then
+      (* Sequential fast path: no locking, no queueing. *)
+      Array.iteri
+        (fun i x ->
+          Atomic.incr t.tasks;
+          slots.(i) <- Some (capture f x))
+        inputs
+    else begin
+      let completed = ref 0 in
+      let make_task i x () =
+        let r = capture f x in
+        Atomic.incr t.tasks;
+        Mutex.lock t.mutex;
+        slots.(i) <- Some r;
+        incr completed;
+        Condition.broadcast t.progress;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      Array.iteri (fun i x -> Queue.push (make_task i x) t.queue) inputs;
+      Condition.broadcast t.pending;
+      (* The caller is the last lane: drain the queue alongside the
+         workers, then wait for stragglers still executing elsewhere. *)
+      while !completed < n do
+        match Queue.take_opt t.queue with
+        | Some task ->
+            Mutex.unlock t.mutex;
+            task ();
+            Mutex.lock t.mutex
+        | None -> Condition.wait t.progress t.mutex
+      done;
+      Mutex.unlock t.mutex
+    end;
+    harvest slots
+  end
+
+let map_list t f inputs =
+  Array.to_list (map t f (Array.of_list inputs))
+
+(* Process-global cached pool, so layered callers get
+   spawn-once/reuse semantics from a bare [--jobs] integer. *)
+let cached = ref None
+let exit_hook = ref false
+
+let get ~jobs =
+  let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
+  match !cached with
+  | Some p when p.jobs = jobs -> p
+  | prev ->
+      (match prev with Some p -> shutdown p | None -> ());
+      let p = create ~jobs in
+      cached := Some p;
+      if not !exit_hook then begin
+        exit_hook := true;
+        at_exit (fun () ->
+            match !cached with
+            | Some p ->
+                cached := None;
+                shutdown p
+            | None -> ())
+      end;
+      p

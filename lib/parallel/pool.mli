@@ -1,0 +1,55 @@
+(** A small fixed-size domain pool for fan-out/fan-in parallelism.
+
+    The pool spawns its worker domains once at {!create} and reuses
+    them for every subsequent {!map}; tasks flow through a shared
+    queue guarded by a [Mutex]/[Condition] pair, and results land in
+    slots indexed by input position, so the output order never
+    depends on scheduling. The calling domain participates in the
+    work loop (a pool of [jobs] executes on [jobs] domains total:
+    [jobs - 1] spawned workers plus the caller), and [jobs = 1]
+    degenerates to a plain sequential loop with no domains spawned
+    and no locking on the hot path.
+
+    Pools are not reentrant: a single coordinator drives one {!map}
+    at a time. Tasks themselves must not call back into the same
+    pool. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns a pool of [jobs] execution lanes
+    ([jobs - 1] worker domains; the caller is the last lane).
+    [jobs <= 0] (and [jobs = 0] in particular) resolves to
+    [Domain.recommended_domain_count ()]. *)
+
+val jobs : t -> int
+(** Number of execution lanes (resolved, always [>= 1]). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f inputs] applies [f] to every element of [inputs],
+    running the applications concurrently on the pool's lanes, and
+    returns the results in input order: output slot [i] holds
+    [f inputs.(i)] regardless of which domain computed it or when.
+    If one or more tasks raise, the remaining tasks still run to
+    completion and the exception of the lowest-indexed failing task
+    is re-raised in the caller. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists, preserving order. *)
+
+val tasks_run : t -> int
+(** Total tasks executed by this pool since {!create} (monotonic,
+    read from an [Atomic] counter; includes tasks run inline by the
+    calling domain). *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. The pool must be idle (no
+    {!map} in flight). Idempotent. *)
+
+val get : jobs:int -> t
+(** [get ~jobs] returns a process-global cached pool of exactly
+    [jobs] lanes, creating it on first use and transparently
+    replacing (and shutting down) a cached pool of a different
+    size. The cached pool is shut down at process exit. Intended
+    for callers that thread a [--jobs] knob through layers and want
+    spawn-once/reuse semantics without plumbing a pool handle. *)

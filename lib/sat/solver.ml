@@ -78,6 +78,10 @@ type t = {
   mutable cla_inc : float;
   (* status *)
   mutable ok : bool;
+  mutable stop : bool Atomic.t;
+      (* cooperative cancellation: polled at conflict/restart
+         boundaries; replaceable ([share_stop]) so sibling solvers on
+         other domains can be interrupted as a group *)
   mutable proof : Buffer.t option;
   mutable model : bool array;
   mutable model_valid : bool;
@@ -152,6 +156,7 @@ let create ?gauss () =
       var_inc = 1.0;
       cla_inc = 1.0;
       ok = true;
+      stop = Atomic.make false;
       proof = None;
       model = [||];
       model_valid = false;
@@ -921,6 +926,11 @@ let search s ~assumptions ~max_conflicts =
   let result = ref None in
   while !result = None do
     match propagate s with
+    | Some _ when Atomic.get s.stop ->
+        (* conflict boundary: the cheapest point that is still hit
+           regularly on hard instances *)
+        cancel_until s 0;
+        result := Some Unknown
     | Some confl ->
         s.n_conflicts <- s.n_conflicts + 1;
         incr conflicts;
@@ -1009,7 +1019,7 @@ let solve ?(conflict_budget = max_int) ?(assumptions = []) s =
       else begin
         let budget_left = ref conflict_budget in
         let rec loop i =
-          if !budget_left <= 0 then Unknown
+          if !budget_left <= 0 || Atomic.get s.stop then Unknown
           else begin
             let max_conflicts =
               min !budget_left (int_of_float (luby 2.0 i *. 100.0))
@@ -1033,6 +1043,11 @@ let solve ?(conflict_budget = max_int) ?(assumptions = []) s =
      (* unsatisfiable independently of the assumptions *)
      s.last_core <- Some []);
   r
+
+let interrupt s = Atomic.set s.stop true
+let interrupted s = Atomic.get s.stop
+let clear_interrupt s = Atomic.set s.stop false
+let share_stop s flag = s.stop <- flag
 
 let unsat_core s =
   match s.last_core with

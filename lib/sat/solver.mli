@@ -30,7 +30,8 @@
 type t
 
 type result = Sat | Unsat | Unknown
-(** [Unknown] is only returned when a conflict budget was exhausted. *)
+(** [Unknown] is only returned when a conflict budget was exhausted or
+    the solver was {!interrupt}ed. *)
 
 type stats = {
   conflicts : int;
@@ -118,6 +119,27 @@ val solve : ?conflict_budget:int -> ?assumptions:Lit.t list -> t -> result
     the subset to blame. The solver state (learnt clauses, activities,
     phases) survives across calls, which is what makes closely related
     queries cheap. *)
+
+val interrupt : t -> unit
+(** Trip the cooperative stop flag. The flag is an [Atomic.t] polled at
+    conflict and restart boundaries, so it is safe to call from another
+    domain while {!solve} is running; the in-flight call (and every
+    subsequent one) returns [Unknown] until {!clear_interrupt}. The
+    flag deliberately stays tripped across calls so that one interrupt
+    also stops a multi-[solve] loop such as an AllSAT enumeration —
+    previously a runaway enumeration could only be stopped by
+    pre-committing a conflict budget. *)
+
+val interrupted : t -> bool
+(** Whether the stop flag is currently tripped. *)
+
+val clear_interrupt : t -> unit
+(** Re-arm the solver after an {!interrupt}. *)
+
+val share_stop : t -> bool Atomic.t -> unit
+(** Replace this solver's stop flag with an external atomic, so a group
+    of solvers (one per domain, e.g. sibling cubes of a split query)
+    can be interrupted collectively by a single [Atomic.set _ true]. *)
 
 val unsat_core : t -> Lit.t list
 (** After {!solve} returned [Unsat]: a subset [A'] of the assumption

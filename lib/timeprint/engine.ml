@@ -90,6 +90,20 @@ let exact_outcome (q : Query.t)
 let no_certificate = "cannot produce a DRAT certificate"
 let no_repair = "cannot repair corrupted entries"
 
+(* The Parallel capability: which answers survive cube-and-conquer
+   splitting. First/Enumerate/Count partition over cubes; the other
+   three are pinned to a single domain — the planner records the
+   reason in its report. *)
+let parallelizable (q : Query.t) =
+  match q.answer with
+  | Query.First | Query.Enumerate _ | Query.Count _ -> Ok ()
+  | Query.Certified ->
+      Error "certified: DRAT emission is per-solver and must stay linear"
+  | Query.Repair _ ->
+      Error "repair: the minimal-weight ladder is inherently sequential"
+  | Query.Check _ ->
+      Error "check: two dependent solves on one incremental solver"
+
 (* ------------------------------------------------------------------ *)
 (* SAT adapter *)
 

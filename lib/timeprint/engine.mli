@@ -51,6 +51,14 @@ val context : Query.t -> ctx
 (** Rank/nullity via one Gauss reduction of [A]; cheap relative to any
     solve. *)
 
+val parallelizable : Query.t -> (unit, string) result
+(** The Parallel capability: [Ok ()] for the answers that split
+    soundly into disjoint cubes ([First], [Enumerate], [Count]);
+    [Error reason] for the answers the planner must pin to a single
+    domain ([Certified] — DRAT emission is per-solver and must stay
+    linear; [Repair] — the minimal-weight ladder is sequential;
+    [Check] — two dependent solves on one incremental solver). *)
+
 val sat : t
 (** The CDCL + XOR + cardinality oracle. Capable of everything,
     including [Certified] and [Repair]; runs with [presolve = true] and

@@ -1,0 +1,218 @@
+open Tp_sat
+open Tp_parallel
+
+(* Chunk size for entry-level parallelism. Fixed — never derived from
+   the pool size — so the partition of a log into per-chunk solvers is
+   a pure function of the log, and the batch output is byte-identical
+   for every jobs value. Large enough that the parity-select solver
+   still amortizes its encoding across several entries, small enough
+   that a 48-entry log fans out over 6 lanes. *)
+let default_chunk = 8
+
+(* 2^3 cubes per hard query. Also fixed independently of jobs: the cube
+   set, the per-cube answers and the merged result are identical
+   whether one domain solves all eight cubes or eight domains solve one
+   each. *)
+let default_cube_bits = 3
+
+let resolve_jobs jobs =
+  if jobs <= 0 then Domain.recommended_domain_count () else jobs
+
+let chunk_list size xs =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if n = size then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 xs
+
+let batch ?assume ?presolve ?conflict_budget ?gauss ?repair ~jobs encoding
+    entries =
+  let pool = Pool.get ~jobs:(resolve_jobs jobs) in
+  (* the encoding-only half of the rank check: computed once here,
+     shared read-only by every chunk worker *)
+  let shared = Presolve.shared encoding in
+  chunk_list default_chunk entries
+  |> Pool.map_list pool (fun chunk ->
+         Sat_reconstruct.batch ?assume ?presolve ?conflict_budget ?gauss
+           ?repair ~shared encoding chunk)
+  |> List.concat
+
+(* ------------------------------------------------------------------ *)
+(* Query-level parallelism: cube-and-conquer on the pool               *)
+
+type cube_summary = {
+  cs_jobs : int;
+  cs_cubes : int;
+  cs_incomplete : int;
+  cs_stages : Engine.stage list;
+}
+
+let pp_cube c =
+  String.concat ""
+    (List.map
+       (fun l ->
+         Printf.sprintf "%sx%d" (if Lit.sign l then "+" else "-") (Lit.var l))
+       c)
+
+let cube_stage i n cube stats =
+  {
+    Engine.stage = Printf.sprintf "sat.cube[%d/%d]" i n;
+    detail = (if cube = [] then "(empty cube)" else pp_cube cube);
+    stats;
+  }
+
+(* First: the answer is the witness of the LOWEST-indexed Sat cube —
+   not the first to finish. Any Sat cube cancels only higher-indexed
+   siblings, so every cube below the lowest Sat index runs to its
+   deterministic completion and the lowest Sat index itself can never
+   be cancelled: the chosen witness is independent of scheduling and
+   of the pool size. Cancelled cubes surface as `Unknown, which the
+   merge ignores whenever a Sat cube exists. *)
+let run_first ?conflict_budget pool pb cubes =
+  let n = List.length cubes in
+  let cubes_a = Array.of_list cubes in
+  let stops = Array.init n (fun _ -> Atomic.make false) in
+  let results =
+    Pool.map pool
+      (fun i ->
+        if Atomic.get stops.(i) then ((`Unknown :> Sat_reconstruct.verdict), None)
+        else begin
+          let v, st =
+            Sat_reconstruct.solve_first_cube ?conflict_budget
+              ~stop:stops.(i) ~cube:cubes_a.(i) pb
+          in
+          (match v with
+          | `Signal _ ->
+              for j = i + 1 to n - 1 do
+                Atomic.set stops.(j) true
+              done
+          | `Unsat | `Unknown -> ());
+          (v, st)
+        end)
+      (Array.init n Fun.id)
+  in
+  let verdict = ref `Unsat in
+  (* scan downward so the lowest Sat index wins *)
+  for i = n - 1 downto 0 do
+    match (fst results.(i), !verdict) with
+    | `Signal s, _ -> verdict := `Signal s
+    | `Unknown, `Unsat -> verdict := `Unknown
+    | _ -> ()
+  done;
+  let unknowns =
+    Array.fold_left
+      (fun acc (v, _) -> if v = `Unknown then acc + 1 else acc)
+      0 results
+  in
+  let stages =
+    List.mapi (fun i (_, st) -> cube_stage i n cubes_a.(i) st)
+      (Array.to_list results)
+  in
+  (Engine.Verdict !verdict, unknowns, stages)
+
+(* Enumerate/Count: no cancellation — every cube runs to completion so
+   the merge is deterministic. The cubes partition the preimage, so
+   the per-cube signal lists concatenate (in cube order) without
+   duplicates and the counts sum; a cube cut short by its cap or its
+   conflict budget makes the aggregate incomplete, never silently
+   wrong. *)
+let run_enumerations ?max_solutions ?conflict_budget pool pb cubes =
+  let n = List.length cubes in
+  let cubes_a = Array.of_list cubes in
+  let results =
+    Pool.map pool
+      (fun i ->
+        Sat_reconstruct.solve_enumerate_cube ?max_solutions ?conflict_budget
+          ~cube:cubes_a.(i) pb)
+      (Array.init n Fun.id)
+  in
+  let signals =
+    List.concat_map
+      (fun (e, _) -> e.Sat_reconstruct.signals)
+      (Array.to_list results)
+  in
+  let all_complete =
+    Array.for_all (fun (e, _) -> e.Sat_reconstruct.complete) results
+  in
+  let incomplete =
+    Array.fold_left
+      (fun acc (e, _) -> if e.Sat_reconstruct.complete then acc else acc + 1)
+      0 results
+  in
+  let stages =
+    List.mapi (fun i (_, st) -> cube_stage i n cubes_a.(i) st)
+      (Array.to_list results)
+  in
+  (signals, all_complete, incomplete, stages)
+
+let refuted_outcome (q : Query.t) =
+  match q.answer with
+  | Query.First -> Engine.Verdict `Unsat
+  | Query.Enumerate _ -> Engine.Enumeration { signals = []; complete = true }
+  | Query.Count _ -> Engine.Count (0, `Exact)
+  | Query.Check _ | Query.Certified | Query.Repair _ -> assert false
+
+let run_query ?(cube_bits = default_cube_bits) ~jobs (q : Query.t) =
+  (match q.answer with
+  | Query.First | Query.Enumerate _ | Query.Count _ -> ()
+  | Query.Check _ | Query.Certified | Query.Repair _ ->
+      invalid_arg "Par_reconstruct.run_query: answer kind is pinned");
+  let jobs = resolve_jobs jobs in
+  let pool = Pool.get ~jobs in
+  let pb = Sat_reconstruct.problem ~assume:q.assume q.encoding q.entry in
+  let budget = q.conflict_budget in
+  match Sat_reconstruct.cubes ~bits:cube_bits pb with
+  | None ->
+      ( refuted_outcome q,
+        { cs_jobs = jobs; cs_cubes = 0; cs_incomplete = 0; cs_stages = [] } )
+  | Some cubes ->
+      let header n =
+        {
+          Engine.stage = "sat.parallel";
+          detail = Printf.sprintf "jobs=%d cubes=%d (d=%d)" jobs n cube_bits;
+          stats = None;
+        }
+      in
+      let summary n incomplete stages =
+        {
+          cs_jobs = jobs;
+          cs_cubes = n;
+          cs_incomplete = incomplete;
+          cs_stages = header n :: stages;
+        }
+      in
+      let n = List.length cubes in
+      (match q.answer with
+      | Query.First ->
+          let outcome, unknowns, stages =
+            run_first ?conflict_budget:budget pool pb cubes
+          in
+          (outcome, summary n unknowns stages)
+      | Query.Enumerate { max_solutions } ->
+          let signals, complete, incomplete, stages =
+            run_enumerations ?max_solutions ?conflict_budget:budget pool pb
+              cubes
+          in
+          let signals, complete =
+            match max_solutions with
+            | Some cap when List.length signals > cap ->
+                (List.filteri (fun i _ -> i < cap) signals, false)
+            | _ -> (signals, complete)
+          in
+          ( Engine.Enumeration { signals; complete },
+            summary n incomplete stages )
+      | Query.Count { max_solutions } ->
+          let signals, complete, incomplete, stages =
+            run_enumerations ?max_solutions ?conflict_budget:budget pool pb
+              cubes
+          in
+          let total = List.length signals in
+          let count, exactness =
+            match max_solutions with
+            | Some cap when total > cap -> (cap, `Lower_bound)
+            | _ -> (total, if complete then `Exact else `Lower_bound)
+          in
+          (Engine.Count (count, exactness), summary n incomplete stages)
+      | _ -> assert false)

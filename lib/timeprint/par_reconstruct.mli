@@ -1,0 +1,72 @@
+(** The multicore execution layer: entry-level and query-level
+    parallelism on a shared domain pool ({!Tp_parallel.Pool}).
+
+    Two orthogonal fan-outs, both with results that are {e independent
+    of the pool size by construction}:
+
+    - {b entry-level} ({!batch}): a log is cut into fixed-size chunks
+      (the chunk size never depends on [jobs]), each chunk is
+      reconstructed by its own parity-select batch solver
+      ({!Sat_reconstruct.batch}) on whichever domain picks it up, and
+      the per-chunk result lists concatenate in log order. The CDCL
+      solver is mutable and single-owner, so each domain owns its
+      chunk's solver outright; the only shared state — the F₂ rank
+      check of the encoding ({!Presolve.shared}) — is computed once
+      and read-only.
+    - {b query-level} ({!run_query}): one hard [First]/[Enumerate]/
+      [Count] query is split into [2^d] cubes over the top-ranked
+      splitting variables ({!Sat_reconstruct.cubes}); cubes solve
+      concurrently and merge structurally (disjoint unions, summed
+      counts, any incomplete cube downgrades [`Exact] to
+      [`Lower_bound]). A [First] query cancels higher-indexed sibling
+      cubes as soon as a witness is found — the answer is the witness
+      of the {e lowest-indexed} satisfiable cube, which cancellation
+      can never reach, so even it is scheduling-independent. *)
+
+val default_chunk : int
+(** Entries per chunk in {!batch} (8). *)
+
+val default_cube_bits : int
+(** Splitting variables per hard query (3, i.e. 8 cubes). *)
+
+val resolve_jobs : int -> int
+(** [jobs <= 0] resolves to [Domain.recommended_domain_count ()]. *)
+
+val batch :
+  ?assume:Property.t list ->
+  ?presolve:bool ->
+  ?conflict_budget:int ->
+  ?gauss:bool ->
+  ?repair:int ->
+  jobs:int ->
+  Encoding.t ->
+  Log_entry.t list ->
+  (Sat_reconstruct.verdict * Sat_reconstruct.health * Tp_sat.Solver.stats)
+  list
+(** Chunked-parallel {!Sat_reconstruct.batch}: same parameters, same
+    per-entry result order. Each chunk gets a fresh parity-select
+    solver, so the output is a pure function of the inputs and the
+    chunk size — byte-identical across [jobs ∈ {1, 2, 4, ...}]. (It
+    may differ from the single-solver [Sat_reconstruct.batch] in
+    which witness a satisfiable entry reports, never in verdict kind
+    or health.) *)
+
+type cube_summary = {
+  cs_jobs : int;  (** pool lanes used *)
+  cs_cubes : int;  (** cubes solved (0: presolve refuted the query) *)
+  cs_incomplete : int;
+      (** cubes that came back [`Unknown]/incomplete — cancelled
+          siblings of a [First] witness, or budget-exhausted cubes
+          that forced a [`Lower_bound] *)
+  cs_stages : Engine.stage list;
+      (** one header stage plus one stage per cube, with that cube's
+          private-solver stats (per-domain conflict counts) *)
+}
+
+val run_query :
+  ?cube_bits:int -> jobs:int -> Query.t -> Engine.outcome * cube_summary
+(** Cube-and-conquer the query on the pool. Only [First], [Enumerate]
+    and [Count] answers split soundly; [Check]/[Certified]/[Repair]
+    raise [Invalid_argument] (the planner pins those to a single
+    domain instead). A [Count] whose cubes were cut short by the
+    conflict budget is never [`Exact]. *)

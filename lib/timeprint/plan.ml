@@ -2,6 +2,18 @@ type engine_choice = [ `Auto | `Sat | `Linear | `Mitm ]
 
 let linear_nullity_threshold = 14
 
+(* Cube-and-conquer only pays once the instance is hard; below this
+   preimage-size estimate the single-threaded path wins (8 solver
+   builds for a query a warm solver answers in microseconds). The
+   engage decision depends on the instance, never on the jobs value,
+   so a query's answer is identical for every pool size. *)
+let parallel_threshold_bits = 6.
+
+type parallelism =
+  | Off
+  | Cubed of { jobs : int; cubes : int }
+  | Pinned of string
+
 type report = {
   chosen : string;
   presolve :
@@ -13,6 +25,7 @@ type report = {
   preimage_bits : float;
   considered : (string * [ `Cost of float | `Rejected of string ]) list;
   fallbacks : (string * string) list;
+  parallel : parallelism;
   stages : Engine.stage list;
 }
 
@@ -48,9 +61,27 @@ let policy_eligible (ctx : Engine.ctx) (q : Query.t) (e : Engine.t) =
              linear_nullity_threshold)
       else Ok ()
 
-let run ?(engine = `Auto) (q : Query.t) =
+let run ?(engine = `Auto) ?jobs (q : Query.t) =
   let ctx = Engine.context q in
-  let base chosen presolve considered fallbacks stages =
+  (* how a SAT run of this query would parallelize — decided from the
+     query and the instance estimates alone, never from the jobs
+     value, so the engage decision (and hence the answer) is the same
+     for every pool size *)
+  let parallel_plan =
+    match jobs with
+    | None -> `Off
+    | Some j -> (
+        match Engine.parallelizable q with
+        | Error reason -> `Pinned reason
+        | Ok () ->
+            if ctx.Engine.preimage_bits < parallel_threshold_bits then
+              `Pinned
+                (Printf.sprintf
+                   "below cost threshold: |preimage|~2^%.1f < 2^%.1f"
+                   ctx.Engine.preimage_bits parallel_threshold_bits)
+            else `Cubes (Par_reconstruct.resolve_jobs j))
+  in
+  let base chosen presolve parallel considered fallbacks stages =
     {
       chosen;
       presolve;
@@ -58,6 +89,7 @@ let run ?(engine = `Auto) (q : Query.t) =
       preimage_bits = ctx.Engine.preimage_bits;
       considered;
       fallbacks;
+      parallel;
       stages;
     }
   in
@@ -65,8 +97,35 @@ let run ?(engine = `Auto) (q : Query.t) =
     List.find_opt (fun e -> e.Engine.name = name) Engine.all
   in
   let run_engine ?(fallbacks = []) presolve considered (e : Engine.t) =
-    let outcome, stages = e.Engine.run ctx q in
-    (outcome, base e.Engine.name presolve considered fallbacks stages)
+    let outcome, parallel, stages =
+      if e.Engine.name = "sat" then
+        match parallel_plan with
+        | `Cubes j ->
+            let outcome, s = Par_reconstruct.run_query ~jobs:j q in
+            ( outcome,
+              Cubed
+                {
+                  jobs = s.Par_reconstruct.cs_jobs;
+                  cubes = s.Par_reconstruct.cs_cubes;
+                },
+              s.Par_reconstruct.cs_stages )
+        | `Off ->
+            let outcome, stages = e.Engine.run ctx q in
+            (outcome, Off, stages)
+        | `Pinned r ->
+            let outcome, stages = e.Engine.run ctx q in
+            (outcome, Pinned r, stages)
+      else
+        let outcome, stages = e.Engine.run ctx q in
+        let parallel =
+          match parallel_plan with
+          | `Off -> Off
+          | `Cubes _ | `Pinned _ ->
+              Pinned (e.Engine.name ^ ": engine is single-threaded")
+        in
+        (outcome, parallel, stages)
+    in
+    (outcome, base e.Engine.name presolve parallel considered fallbacks stages)
   in
   match engine with
   | (`Sat | `Linear | `Mitm) as f -> (
@@ -109,10 +168,22 @@ let run ?(engine = `Auto) (q : Query.t) =
                 | Engine.Repair (`Repaired _) -> `Refuted_but_repairable
                 | _ -> `Refuted
               in
-              (outcome, base "sat" presolve considered [] stages)
+              let parallel =
+                match parallel_plan with
+                | `Off -> Off
+                | `Pinned r -> Pinned r
+                | `Cubes _ -> assert false (* Repair is never cubeable *)
+              in
+              (outcome, base "sat" presolve parallel considered [] stages)
           | _ ->
+              let parallel =
+                match parallel_plan with
+                | `Off -> Off
+                | `Pinned r -> Pinned r
+                | `Cubes _ -> Pinned "presolve answered the query"
+              in
               ( refuted_outcome q,
-                base "presolve" `Refuted
+                base "presolve" `Refuted parallel
                   [ ("presolve", `Cost 0.) ]
                   [] [] ))
       | `Reduced _ | `Skipped -> (
@@ -140,16 +211,20 @@ let run ?(engine = `Auto) (q : Query.t) =
               run_engine presolve considered (Option.get (forced winner))
           | [] -> run_engine presolve considered Engine.sat))
 
-let run_stream ?(assume = []) ?conflict_budget ?gauss ?(repair = 0) encoding
-    entries =
+let run_stream ?(assume = []) ?conflict_budget ?gauss ?(repair = 0) ?jobs
+    encoding entries =
   if repair < 0 then invalid_arg "Plan.run_stream: negative repair budget";
   let entries = Array.of_list entries in
   let n = Array.length entries in
   let out = Array.make n None in
   let sat_idx = ref [] in
+  (* encoding-only half of the rank check: one reduction for the whole
+     stream (and, with [jobs], the read-only copy every chunk worker
+     shares) *)
+  let shared = Presolve.shared encoding in
   Array.iteri
     (fun i e ->
-      if Presolve.refutes encoding e then
+      if Presolve.refutes_with shared e then
         (* inconsistent as logged: quarantined outright without a
            budget, SAT's repair ladder with one *)
         if repair = 0 then
@@ -177,9 +252,17 @@ let run_stream ?(assume = []) ?conflict_budget ?gauss ?(repair = 0) encoding
         (* with a repair budget the batch re-runs the rank check so its
            ladder can skip the zero-flip rung of refuted entries; with
            none, every surviving entry already passed it above *)
-        Sat_reconstruct.batch ~assume ~presolve:(repair > 0) ?conflict_budget
-          ?gauss ~repair encoding
-          (List.map (fun i -> entries.(i)) sat_idx)
+        let selected = List.map (fun i -> entries.(i)) sat_idx in
+        (match jobs with
+        | None ->
+            Sat_reconstruct.batch ~assume ~presolve:(repair > 0)
+              ?conflict_budget ?gauss ~repair ~shared encoding selected
+        | Some jobs ->
+            (* classification above is sequential and jobs-independent;
+               only the SAT leftovers fan out, in fixed-size chunks, so
+               the merged triage is identical for every pool size *)
+            Par_reconstruct.batch ~assume ~presolve:(repair > 0)
+              ?conflict_budget ?gauss ~repair ~jobs encoding selected)
   in
   List.iter2
     (fun i (v, h, st) -> out.(i) <- Some (v, h, `Sat st))
@@ -208,6 +291,12 @@ let pp_report ppf r =
   List.iter
     (fun (name, why) -> fprintf ppf "fallback: %s unavailable (%s) -> sat@," name why)
     r.fallbacks;
+  (match r.parallel with
+  | Off -> ()
+  | Cubed { jobs; cubes } ->
+      fprintf ppf "parallel: %d cubes on %d jobs@," cubes jobs
+  | Pinned reason ->
+      fprintf ppf "parallel: pinned to one domain (%s)@," reason);
   List.iter
     (fun (st : Engine.stage) ->
       match st.Engine.stats with

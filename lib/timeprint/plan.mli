@@ -25,6 +25,24 @@ val linear_nullity_threshold : int
     enumerate in well under a millisecond, while the hard capability
     cap {!Linear_reconstruct.max_nullity} is only about termination. *)
 
+val parallel_threshold_bits : float
+(** Auto-policy cutoff (6) for cube-and-conquer: below an estimated
+    [2^6] preimage the query is pinned to a single domain — eight cold
+    cube solvers cannot beat one warm solver on an easy instance. The
+    engage decision depends only on the instance, never on the [jobs]
+    value, so answers are identical for every pool size. *)
+
+type parallelism =
+  | Off  (** no [jobs] requested *)
+  | Cubed of { jobs : int; cubes : int }
+      (** the query ran cube-and-conquer on the domain pool *)
+  | Pinned of string
+      (** [jobs] was requested but the query stayed on one domain — the
+          string says why (engine incapability per
+          {!Engine.parallelizable}, cost below
+          {!parallel_threshold_bits}, a non-SAT engine won, or presolve
+          answered outright) *)
+
 type report = {
   chosen : string;
       (** engine that produced the outcome; ["presolve"] when the rank
@@ -45,21 +63,32 @@ type report = {
   fallbacks : (string * string) list;
       (** forced engines that could not run: [(name, reason)]; the
           query silently fell through to SAT *)
+  parallel : parallelism;
   stages : Engine.stage list;
 }
 
-val run : ?engine:engine_choice -> Query.t -> Engine.outcome * report
+val run : ?engine:engine_choice -> ?jobs:int -> Query.t -> Engine.outcome * report
 (** Answer the query. [`Auto] (default) applies the dispatch policy
     above; forcing an engine bypasses the policy but not the
     capability guards — an incapable forced engine is recorded in
     [fallbacks] and the query runs on SAT instead (never an
-    exception). *)
+    exception).
+
+    [jobs] enables query-level parallelism: when the SAT engine runs a
+    [First]/[Enumerate]/[Count] query whose preimage estimate clears
+    {!parallel_threshold_bits}, it is split into cubes and solved on
+    the domain pool ({!Par_reconstruct.run_query}; [jobs = 0] means
+    [Domain.recommended_domain_count ()]). Certified and repair
+    queries, and any query another engine wins, are pinned to a single
+    domain — the report's [parallel] field records the decision either
+    way. Answers never depend on [jobs]. *)
 
 val run_stream :
   ?assume:Property.t list ->
   ?conflict_budget:int ->
   ?gauss:bool ->
   ?repair:int ->
+  ?jobs:int ->
   Encoding.t ->
   Log_entry.t list ->
   (Sat_reconstruct.verdict
@@ -81,6 +110,14 @@ val run_stream :
     [Repaired w] (reconstructed after inverting [w] timeprint bits) or
     [Quarantined] (no explanation within budget — one corrupted
     trace-cycle no longer poisons the log). Raises [Invalid_argument]
-    on a negative budget. *)
+    on a negative budget.
+
+    [jobs] enables entry-level parallelism: the entries the fast paths
+    leave for SAT fan out over the domain pool in fixed-size chunks
+    ({!Par_reconstruct.batch}), each chunk on its own parity-select
+    solver sharing one read-only presolve reduction. Classification
+    and chunking never depend on [jobs], so the triage is byte-for-byte
+    identical for every pool size; [jobs = 0] means
+    [Domain.recommended_domain_count ()]. *)
 
 val pp_report : Format.formatter -> report -> unit

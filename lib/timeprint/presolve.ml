@@ -27,6 +27,46 @@ let refutes encoding entry =
   | `Unsat -> true
   | `Reduced _ -> false
 
+(* The per-entry rank check re-reduces the whole augmented system
+   [A | TP] from scratch. Over a stream against one encoding, only TP
+   varies, so the reduction of [A] itself can be done once: row-reduce
+   [A' | I_b] (rows indexed by timeprint bit, identity riding along),
+   and every row whose [A']-part vanishes names a linear combination of
+   timeprint bits that is forced to 0 by the timestamps. These
+   combinations span the left null space of [A'], so the augmented
+   system is inconsistent exactly when one of them hits TP with odd
+   parity — an O(b²/w) check per entry instead of a fresh O(b·m²/w)
+   elimination. Read-only after construction, so worker domains can
+   share one copy. *)
+type shared = { masks : Bitvec.t list }
+
+let shared encoding =
+  let m = Encoding.m encoding and b = Encoding.b encoding in
+  let rows =
+    Array.init b (fun j ->
+        let r = Bitvec.create (m + b) in
+        for i = 0 to m - 1 do
+          if Bitvec.get (Encoding.timestamp encoding i) j then
+            Bitvec.set r i true
+        done;
+        Bitvec.set r (m + j) true;
+        r)
+  in
+  ignore (F2_matrix.rref_rows rows ~cols:m);
+  let masks = ref [] in
+  for j = b - 1 downto 0 do
+    let r = rows.(j) in
+    if Bitvec.is_zero (Bitvec.extract r ~pos:0 ~len:m) then
+      masks := Bitvec.extract r ~pos:m ~len:b :: !masks
+  done;
+  { masks = !masks }
+
+let refutes_with { masks } entry =
+  let tp = Log_entry.tp entry in
+  List.exists
+    (fun mask -> Bitvec.popcount (Bitvec.logand mask tp) land 1 = 1)
+    masks
+
 let run encoding entry =
   match Xor_simp.reduce ~extract_aliases:true (system encoding entry) with
   | `Unsat -> `Unsat

@@ -53,3 +53,18 @@ val refutes : Encoding.t -> Log_entry.t -> bool
 (** Rank check alone: [true] iff the augmented system [A | TP] is
     inconsistent over F₂. Cheaper than {!run} (no alias extraction);
     used to refute stream entries with zero solver work. *)
+
+type shared
+(** The encoding-only part of the rank check, factored out of the
+    per-entry reduction: a basis of the left null space of [A], i.e.
+    the combinations of timeprint bits the timestamps force to zero.
+    Immutable once built — one copy can be read concurrently by every
+    worker domain of a parallel batch. *)
+
+val shared : Encoding.t -> shared
+(** One Gauss reduction of [A | I_b]; do this once per stream. *)
+
+val refutes_with : shared -> Log_entry.t -> bool
+(** Same answer as {!refutes}, in O(b²) bit operations per entry: the
+    augmented system is inconsistent iff some basis mask hits [TP]
+    with odd parity. *)

@@ -78,3 +78,17 @@ let check ?conflict_budget pb prop =
     | Engine.Check r, _ -> r
     | _ -> assert false
   else Sat_reconstruct.check ?conflict_budget pb prop
+
+(* [batch ~jobs] fans fixed-size chunks of the log out to per-domain
+   parity-select solvers; without [jobs] the legacy single-solver path
+   runs unchanged. The shadowing keeps every existing caller on the
+   exact code it always ran. *)
+let batch ?assume ?presolve ?conflict_budget ?gauss ?repair ?shared ?jobs
+    encoding entries =
+  match jobs with
+  | None ->
+      Sat_reconstruct.batch ?assume ?presolve ?conflict_budget ?gauss ?repair
+        ?shared encoding entries
+  | Some jobs ->
+      Par_reconstruct.batch ?assume ?presolve ?conflict_budget ?gauss ?repair
+        ~jobs encoding entries

@@ -169,10 +169,20 @@ val batch :
   ?conflict_budget:int ->
   ?gauss:bool ->
   ?repair:int ->
+  ?shared:Presolve.shared ->
+  ?jobs:int ->
   Encoding.t ->
   Log_entry.t list ->
   (verdict * health * Tp_sat.Solver.stats) list
 (** See {!Sat_reconstruct.batch}: one parity-select solver for a whole
     stream, per-entry presolve rank refutation included; with
     [repair > 0] each entry climbs the shared error-budget ladder and
-    the {!health} column tags it [Clean]/[Repaired]/[Quarantined]. *)
+    the {!health} column tags it [Clean]/[Repaired]/[Quarantined].
+
+    With [jobs] the log runs on the domain pool instead
+    ({!Par_reconstruct.batch}): fixed-size chunks, one parity-select
+    solver per chunk, results in log order and independent of the
+    pool size; [jobs = 0] means [Domain.recommended_domain_count ()].
+    [shared] (ignored when [jobs] is set — the parallel path computes
+    its own) lets sequential callers reuse a precomputed
+    {!Presolve.shared}. *)

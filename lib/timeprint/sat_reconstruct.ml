@@ -684,8 +684,14 @@ end
    weight ([Repaired f]); a ladder that UNSATs through [e] quarantines
    the entry instead of poisoning the log. *)
 let batch ?(assume = []) ?(presolve = true) ?conflict_budget ?gauss
-    ?(repair = 0) encoding entries =
+    ?(repair = 0) ?shared encoding entries =
   if repair < 0 then invalid_arg "Reconstruct.batch: negative repair budget";
+  (* the encoding-only half of the rank check is computed once (or
+     taken pre-computed from a parallel caller) and reused per entry *)
+  let shared =
+    lazy
+      (match shared with Some s -> s | None -> Presolve.shared encoding)
+  in
   let m = Encoding.m encoding and b = Encoding.b encoding in
   let repair = min repair b in
   List.iter
@@ -776,7 +782,7 @@ let batch ?(assume = []) ?(presolve = true) ?conflict_budget ?gauss
          must run per entry — refuted entries cost zero solver work,
          and a refuted entry without a repair budget is quarantined on
          the spot *)
-      let refuted = presolve && Presolve.refutes encoding entry in
+      let refuted = presolve && Presolve.refutes_with (Lazy.force shared) entry in
       if refuted && repair = 0 then (`Unsat, Quarantined, zero_stats)
       else
         let tp = Log_entry.tp entry in
@@ -840,3 +846,95 @@ let batch ?(assume = []) ?(presolve = true) ?conflict_budget ?gauss
             gauss_conflicts = after.gauss_conflicts - before.gauss_conflicts;
           } ))
     entries
+
+(* ------------------------------------------------------------------ *)
+(* Cube-and-conquer hooks
+
+   A hard single query is split into 2^d sub-queries ("cubes") by
+   assigning d splitting variables to every combination of truth
+   values; each cube is an independent problem a worker domain can own
+   outright. Splitting variables are the projection variables that sit
+   on the most XOR rows — the densest columns of the reduced linear
+   system, which is what the in-solver Gauss engine branches on first
+   anyway — ranked on the deterministic encoding with ties broken by
+   variable index, so the cube set is a pure function of the problem:
+   it never depends on how many domains end up solving it.
+
+   Soundness of the merge is structural: the cubes assign d projection
+   variables to all 2^d combinations, every model extends exactly one
+   combination, and [e_extract] is injective on projected models, so
+   the per-cube signal sets partition the preimage — unions are the
+   full answer and counts add. The cube entry points deliberately
+   bypass the [certify_unsat] knob: a cube's `Unsat says nothing
+   about the whole problem, so there is no refutation to certify. *)
+
+type cube = Lit.t list
+
+let split_vars e ~bits =
+  let occ = Hashtbl.create 64 in
+  List.iter
+    (fun (x : Cnf.xor_constraint) ->
+      List.iter
+        (fun v ->
+          Hashtbl.replace occ v
+            (1 + Option.value ~default:0 (Hashtbl.find_opt occ v)))
+        x.Cnf.vars)
+    (Cnf.xors e.e_cnf);
+  let count v = Option.value ~default:0 (Hashtbl.find_opt occ v) in
+  let ranked =
+    List.stable_sort
+      (fun a b ->
+        let c = compare (count b) (count a) in
+        if c <> 0 then c else compare a b)
+      e.e_proj
+  in
+  List.filteri (fun i _ -> i < bits) ranked
+
+let cubes ~bits pb =
+  if bits < 0 then invalid_arg "Reconstruct.cubes: negative bits";
+  match encode pb with
+  | `Unsat -> None
+  | `Enc e ->
+      let vs = split_vars e ~bits in
+      Some
+        (List.init
+           (1 lsl List.length vs)
+           (fun c ->
+             List.mapi (fun j v -> Lit.make v ((c lsr j) land 1 = 1)) vs))
+
+(* a cube's solver is private to its worker, so the cube literals can
+   be asserted as unit clauses rather than assumptions *)
+let cube_solver ?stop pb e cube =
+  let s = solver_for pb e in
+  (match stop with Some flag -> Solver.share_stop s flag | None -> ());
+  List.iter (fun l -> Solver.add_clause s [ l ]) cube;
+  s
+
+let solve_first_cube ?conflict_budget ?stop ~cube pb =
+  match encode pb with
+  | `Unsat -> (`Unsat, None)
+  | `Enc e ->
+      let s = cube_solver ?stop pb e cube in
+      let v =
+        match Solver.solve ?conflict_budget s with
+        | Sat -> `Signal (e.e_extract (Solver.value s))
+        | Unsat -> `Unsat
+        | Unknown -> `Unknown
+      in
+      (v, Some (Solver.stats s))
+
+let solve_enumerate_cube ?max_solutions ?conflict_budget ?stop ~cube pb =
+  match encode pb with
+  | `Unsat -> ({ signals = []; complete = true }, None)
+  | `Enc e ->
+      let s = cube_solver ?stop pb e cube in
+      let { Allsat.models; complete } =
+        Allsat.enumerate ?max_models:max_solutions ?conflict_budget s
+          ~project:e.e_proj
+      in
+      ( {
+          signals =
+            List.map (fun model -> e.e_extract (fun v -> model.(v))) models;
+          complete;
+        },
+        Some (Solver.stats s) )

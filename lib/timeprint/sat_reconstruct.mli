@@ -249,6 +249,7 @@ val batch :
   ?conflict_budget:int ->
   ?gauss:bool ->
   ?repair:int ->
+  ?shared:Presolve.shared ->
   Encoding.t ->
   Log_entry.t list ->
   (verdict * health * Tp_sat.Solver.stats) list
@@ -278,4 +279,55 @@ val batch :
     exhausted) is [Quarantined] and the batch moves on; with
     [repair = 0] the health column is just [Clean]/[Quarantined].
     Raises [Invalid_argument] on a timeprint width mismatch or a
-    negative repair budget. *)
+    negative repair budget.
+
+    [shared] is the encoding-only half of the rank check
+    ({!Presolve.shared}); parallel callers that split a log into
+    chunks compute it once and hand the same read-only copy to every
+    chunk, instead of each chunk re-reducing [A]. Omitted, it is
+    computed lazily on first use. *)
+
+(** {1 Cube-and-conquer hooks}
+
+    A hard single query is split into [2^d] disjoint sub-queries by
+    assigning [d] splitting variables every combination of truth
+    values; each cube is solved by a private solver (typically on its
+    own domain) and the answers merge structurally: the cubes
+    partition the preimage, so unions are the whole answer, counts
+    add, and any cube left incomplete leaves the aggregate a lower
+    bound. {!Par_reconstruct} owns the merge; these hooks only expose
+    the deterministic split and the per-cube solves. *)
+
+type cube = Tp_sat.Lit.t list
+(** The literals defining one cube. *)
+
+val cubes : bits:int -> problem -> cube list option
+(** The [2^min(bits, surviving vars)] cubes over the top-ranked
+    splitting variables â the projection variables on the most XOR
+    rows of the (deterministic) encoding, ties broken by variable
+    index â or [None] when the presolve rank check refutes the
+    problem outright. A pure function of the problem: the cube set
+    never depends on how many domains solve it. Raises
+    [Invalid_argument] on negative [bits]. *)
+
+val solve_first_cube :
+  ?conflict_budget:int ->
+  ?stop:bool Atomic.t ->
+  cube:cube ->
+  problem ->
+  verdict * Tp_sat.Solver.stats option
+(** {!solve_first} restricted to one cube. [stop] installs a shared
+    stop flag ({!Tp_sat.Solver.share_stop}) so a sibling's witness can
+    cancel this solve; a cancelled (or budget-exhausted) cube answers
+    [`Unknown]. A cube's [`Unsat] says nothing about the whole
+    problem, so the [certify_unsat] knob deliberately does not fire
+    here. *)
+
+val solve_enumerate_cube :
+  ?max_solutions:int ->
+  ?conflict_budget:int ->
+  ?stop:bool Atomic.t ->
+  cube:cube ->
+  problem ->
+  enumeration * Tp_sat.Solver.stats option
+(** {!solve_enumerate} restricted to one cube. *)
