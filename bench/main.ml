@@ -1295,6 +1295,148 @@ let parallel_bench ~full ~smoke ~max_jobs () =
   ignore full
 
 (* ------------------------------------------------------------------ *)
+(* Compiled design packs (section "pack") → BENCH_pr6.json: the
+   per-request setup cost, cold (re-encode the parity-select system
+   from scratch) versus warm (clone the pack's solver snapshot), over
+   the Table 1 workload, plus the full save/load round trip and the
+   byte-identity check of a packed stream against a cold one. Both
+   checks are deterministic, so they fail the smoke run loudly instead
+   of letting a regression ship as a slightly different verdict. *)
+
+type pack_row = {
+  pk_m : int;
+  pk_b : int;
+  pk_entries : int;
+  pk_compile_s : float;
+  pk_save_load_s : float;
+  pk_cold_setup_s : float;
+  pk_warm_setup_s : float;
+  pk_cold_stream_s : float;
+  pk_warm_stream_s : float;
+}
+
+let pack_rows : pack_row list ref = ref []
+
+let write_pack_json () =
+  match List.rev !pack_rows with
+  | [] -> ()
+  | rows ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "{\n  \"rows\": [\n";
+      let last = List.length rows - 1 in
+      List.iteri
+        (fun i r ->
+          Printf.bprintf buf
+            "    {\"m\": %d, \"b\": %d, \"entries\": %d, \"compile_s\": %.6f, \
+             \"save_load_s\": %.6f, \"cold_setup_s\": %.6f, \
+             \"warm_setup_s\": %.6f, \"setup_speedup\": %.3f, \
+             \"cold_stream_s\": %.6f, \"warm_stream_s\": %.6f}%s\n"
+            r.pk_m r.pk_b r.pk_entries r.pk_compile_s r.pk_save_load_s
+            r.pk_cold_setup_s r.pk_warm_setup_s
+            (if r.pk_warm_setup_s > 0. then r.pk_cold_setup_s /. r.pk_warm_setup_s
+             else -1.)
+            r.pk_cold_stream_s r.pk_warm_stream_s
+            (if i = last then "" else ","))
+        rows;
+      Buffer.add_string buf "  ]\n}\n";
+      Out_channel.with_open_text "BENCH_pr6.json" (fun oc ->
+          Out_channel.output_string oc (Buffer.contents buf));
+      Format.printf "@.wrote BENCH_pr6.json (%d designs)@." (List.length rows)
+
+let pack_bench ~full ~smoke () =
+  Format.printf "@.== Design packs: cold vs warm per-request setup ==@.";
+  Format.printf "%-9s %9s %12s %12s %8s %11s %11s@." "m/b" "compile"
+    "cold-setup" "warm-setup" "speedup" "cold-stream" "warm-stream";
+  let ms = if smoke then [ 48 ] else if full then [ 64; 128; 512 ] else [ 64; 128 ] in
+  let reps = if smoke then 5 else 9 in
+  (* inner amplification beats clock granularity on microsecond setups *)
+  let inner = 10 in
+  let med_time f =
+    median
+      (List.init reps (fun _ ->
+           let t, () =
+             time (fun () ->
+                 for _ = 1 to inner do
+                   f ()
+                 done)
+           in
+           t /. float_of_int inner))
+  in
+  List.iter
+    (fun m ->
+      let enc = encoding_for m in
+      let b = Encoding.b enc in
+      let st = Random.State.make [| 0x9ac4; m |] in
+      let entries =
+        List.concat_map
+          (fun k ->
+            List.init
+              (if smoke then 2 else 4)
+              (fun _ -> Logger.abstract enc (Signal.random st ~m ~k)))
+          (if smoke then [ 2; 3; 4; 8 ] else [ 3; 4; 8 ])
+      in
+      let compile_s, pack = time (fun () -> Pack.compile enc) in
+      let path = Filename.temp_file "timeprints" ".tpk" in
+      let save_load_s, loaded =
+        time (fun () ->
+            Pack.save pack path;
+            match Pack.load path with
+            | Ok p -> p
+            | Error e ->
+                failwith
+                  (Format.asprintf "pack bench: round trip failed: %a"
+                     Pack.pp_load_error e))
+      in
+      Sys.remove path;
+      if not (Pack.matches loaded enc) then
+        failwith "pack bench: loaded pack does not match its encoding";
+      (* per-request setup: the whole batch construction on an empty
+         stream — encode + load + propagate cold, copy + clone warm *)
+      let cold_setup_s =
+        med_time (fun () -> ignore (Reconstruct.batch enc []))
+      in
+      let warm = Pack.warm loaded in
+      let warm_setup_s =
+        med_time (fun () -> ignore (Reconstruct.batch ~warm enc []))
+      in
+      let budget = !conflict_budget in
+      let cold_stream_s, cold_results =
+        time (fun () -> Plan.run_stream ~conflict_budget:budget enc entries)
+      in
+      let warm_stream_s, warm_results =
+        time (fun () ->
+            Plan.run_stream ~conflict_budget:budget ~pack:loaded enc entries)
+      in
+      if cold_results <> warm_results then
+        failwith "pack bench: packed stream differs from cold stream";
+      (* the acceptance bar: stamping out a warm session must be at
+         least 10x cheaper than compiling the design pack *)
+      if warm_setup_s *. 10. > compile_s then
+        failwith
+          (Printf.sprintf
+             "pack bench: warm setup %.6fs not 10x cheaper than compile %.6fs"
+             warm_setup_s compile_s);
+      Format.printf "%-9s %a %a %a %7.1fx %a %a@."
+        (Printf.sprintf "%d/%d" m b)
+        pp_time compile_s pp_time cold_setup_s pp_time warm_setup_s
+        (if warm_setup_s > 0. then cold_setup_s /. warm_setup_s else -1.)
+        pp_time cold_stream_s pp_time warm_stream_s;
+      pack_rows :=
+        {
+          pk_m = m;
+          pk_b = b;
+          pk_entries = List.length entries;
+          pk_compile_s = compile_s;
+          pk_save_load_s = save_load_s;
+          pk_cold_setup_s = cold_setup_s;
+          pk_warm_setup_s = warm_setup_s;
+          pk_cold_stream_s = cold_stream_s;
+          pk_warm_stream_s = warm_stream_s;
+        }
+        :: !pack_rows)
+    ms
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let () =
@@ -1331,6 +1473,7 @@ let () =
   if want "soc" then soc ~full ();
   if want "engines" then engines_grid ~full ~smoke ();
   if want "parallel" then parallel_bench ~full ~smoke ~max_jobs:!max_jobs ();
+  if want "pack" then pack_bench ~full ~smoke ();
   if want "ablation" then ablation ();
   if want "baseline" then baseline ();
   if want "micro" then micro ();
@@ -1338,4 +1481,5 @@ let () =
   write_engines_json ();
   write_faults_json ();
   write_parallel_json ();
+  write_pack_json ();
   Format.printf "@.done.@."

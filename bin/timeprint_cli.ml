@@ -155,6 +155,27 @@ let jobs_arg =
 let maybe_explain explain report =
   if explain then Format.printf "%a@." Plan.pp_report report
 
+(* compiled design packs: accelerate-only, so every load failure is a
+   warning and a cold run, never an error *)
+let pack_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pack" ] ~docv:"PATH"
+        ~doc:
+          "Load a compiled design pack (see $(b,compile)). A pack that is \
+           missing, corrupt or compiled for another encoding is reported and \
+           ignored; answers never depend on it.")
+
+let load_pack = function
+  | None -> None
+  | Some path -> (
+      match Pack.load path with
+      | Ok p -> Some p
+      | Error e ->
+          Format.eprintf "warning: %a; running cold@." Pack.pp_load_error e;
+          None)
+
 (* ------------------------------------------------------------------ *)
 (* encode                                                              *)
 
@@ -202,6 +223,30 @@ let log_cmd =
     Term.(const run $ enc_term $ signal_arg)
 
 (* ------------------------------------------------------------------ *)
+(* compile                                                             *)
+
+let compile_cmd =
+  let run enc out =
+    let p = Pack.compile enc in
+    Pack.save p out;
+    Format.printf "compiled pack %s: %s@." out (Pack.describe p)
+  in
+  let out_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PACKFILE" ~doc:"Output pack file.")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Compile a design pack for an encoding — the presolve reduction, \
+          cube-selection ranking and parity-select solver skeleton — into a \
+          versioned, checksummed file that $(b,reconstruct --pack) and \
+          $(b,stream --pack) load instead of recomputing per run.")
+    Term.(const run $ enc_term $ out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* reconstruct                                                         *)
 
 let repair_arg =
@@ -222,15 +267,16 @@ let k_slack_arg =
 
 let reconstruct_cmd =
   let run enc entry p2 pulse deadline window max_solutions engine repair
-      k_slack jobs explain =
+      k_slack jobs pack explain =
     let assume = assume_of p2 pulse deadline window in
+    let pack = load_pack pack in
     if repair > 0 || k_slack > 0 then (
       let q =
         Query.make ~assume
           ~answer:(Query.Repair { max_flips = repair; k_slack })
           enc entry
       in
-      let outcome, report = Plan.run ~engine ?jobs q in
+      let outcome, report = Plan.run ~engine ?jobs ?pack q in
       maybe_explain explain report;
       match outcome with
       | Engine.Repair v ->
@@ -247,7 +293,7 @@ let reconstruct_cmd =
           ~answer:(Query.Enumerate { max_solutions = Some max_solutions })
           enc entry
       in
-      let outcome, report = Plan.run ~engine ?jobs q in
+      let outcome, report = Plan.run ~engine ?jobs ?pack q in
       maybe_explain explain report;
       match outcome with
       | Engine.Enumeration { signals; complete } ->
@@ -270,38 +316,42 @@ let reconstruct_cmd =
     Term.(
       const run $ enc_term $ entry_args $ p2_flag $ pulse_flag $ deadline_opt
       $ window_opt $ max_arg $ engine_arg $ repair_arg $ k_slack_arg
-      $ jobs_arg $ explain_flag)
+      $ jobs_arg $ pack_arg $ explain_flag)
 
 (* ------------------------------------------------------------------ *)
 (* stream / corrupt: whole-log commands over "<tp-bits> <k>" lines      *)
 
+(* Malformed lines are skipped with a warning but counted: dropping a
+   line silently shifts the indices of every later entry, so callers
+   must not exit 0 when the count is nonzero (stream/corrupt exit 3,
+   distinct from stream's quarantine exit 2). *)
 let read_log path =
   let ic = if path = "-" then stdin else open_in path in
+  let malformed = ref 0 in
+  let bad line =
+    incr malformed;
+    Format.eprintf "warning: malformed log line %S@." line;
+    None
+  in
   let parse line =
-    match
-      String.split_on_char ' ' (String.trim line)
-      |> List.filter (fun s -> s <> "")
-    with
-    | [ tp; k ] -> (
-        try
-          Some (Log_entry.make ~tp:(Tp_bitvec.Bitvec.of_string tp)
-                  ~k:(int_of_string k))
-        with _ ->
-          Format.eprintf "error: malformed log line %S@." line;
-          exit 1)
-    | [] -> None
-    | _ ->
-        if String.length (String.trim line) > 0 && (String.trim line).[0] = '#'
-        then None
-        else (
-          Format.eprintf "error: malformed log line %S@." line;
-          exit 1)
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then None
+    else
+      match
+        String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+      with
+      | [ tp; k ] -> (
+          try
+            Some (Log_entry.make ~tp:(Tp_bitvec.Bitvec.of_string tp)
+                    ~k:(int_of_string k))
+          with Failure _ | Invalid_argument _ -> bad line)
+      | _ -> bad line
   in
   let rec go acc =
     match input_line ic with
     | exception End_of_file ->
         if ic != stdin then close_in ic;
-        List.rev acc
+        (List.rev acc, !malformed)
     | line -> go (match parse line with Some e -> e :: acc | None -> acc)
   in
   go []
@@ -316,11 +366,16 @@ let log_file_arg =
            $(b,#) starts a comment.")
 
 let stream_cmd =
-  let run enc path p2 pulse deadline window repair jobs explain =
-    let entries = read_log path in
+  let run enc path p2 pulse deadline window repair jobs pack explain =
+    let entries, malformed = read_log path in
+    let pack = load_pack pack in
+    (match pack with
+    | Some p when not (Pack.matches p enc) ->
+        Format.eprintf "warning: pack is stale (encoding mismatch); running cold@."
+    | _ -> ());
     let results =
       Plan.run_stream ~assume:(assume_of p2 pulse deadline window) ~repair
-        ?jobs enc entries
+        ?jobs ?pack enc entries
     in
     let clean = ref 0 and repaired = ref 0 and quarantined = ref 0 in
     List.iteri
@@ -348,6 +403,9 @@ let stream_cmd =
       results;
     Format.printf "%d clean, %d repaired, %d quarantined@." !clean !repaired
       !quarantined;
+    if malformed > 0 then (
+      Format.eprintf "error: %d malformed log line(s) skipped@." malformed;
+      exit 3);
     if !quarantined > 0 then exit 2
   in
   Cmd.v
@@ -355,14 +413,15 @@ let stream_cmd =
        ~doc:
          "Reconstruct a whole log through the planner's streaming path, \
           quarantining entries no repair within budget can explain. Exits 2 \
-          when anything was quarantined.")
+          when anything was quarantined, 3 when the log held malformed \
+          lines.")
     Term.(
       const run $ enc_term $ log_file_arg $ p2_flag $ pulse_flag $ deadline_opt
-      $ window_opt $ repair_arg $ jobs_arg $ explain_flag)
+      $ window_opt $ repair_arg $ jobs_arg $ pack_arg $ explain_flag)
 
 let corrupt_cmd =
   let run enc path rate max_flips max_delta drop_rate seed =
-    let entries = read_log path in
+    let entries, malformed = read_log path in
     let spec = Fault.spec ~rate ~max_flips ~max_delta ~drop_rate () in
     let log, faults = Fault.inject ~seed spec ~m:(Encoding.m enc) entries in
     List.iter
@@ -371,7 +430,10 @@ let corrupt_cmd =
           (Tp_bitvec.Bitvec.to_string (Log_entry.tp e))
           (Log_entry.k e))
       log;
-    List.iter (fun f -> Format.eprintf "%a@." Fault.pp_fault f) faults
+    List.iter (fun f -> Format.eprintf "%a@." Fault.pp_fault f) faults;
+    if malformed > 0 then (
+      Format.eprintf "error: %d malformed log line(s) skipped@." malformed;
+      exit 3)
   in
   let rate =
     Arg.(
@@ -543,6 +605,7 @@ let () =
           [
             encode_cmd;
             log_cmd;
+            compile_cmd;
             reconstruct_cmd;
             stream_cmd;
             corrupt_cmd;

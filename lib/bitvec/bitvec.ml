@@ -193,3 +193,41 @@ let extract v ~pos ~len =
     if get v (pos + i) then set r i true
   done;
   r
+
+(* ---- Binary (de)serialization --------------------------------------- *)
+
+(* Fixed-width little-endian format: one 8-byte word for the width,
+   then one 8-byte word per 62-bit payload word. Fixed width lets the
+   reader validate lengths before allocating anything. *)
+
+let max_serialized_width = 1 lsl 30
+
+let to_buffer buf v =
+  Buffer.add_int64_le buf (Int64.of_int v.width);
+  Array.iter (fun w -> Buffer.add_int64_le buf (Int64.of_int w)) v.words
+
+let read_fail msg = failwith ("Bitvec.read: " ^ msg)
+
+let read bytes ~pos =
+  let len = Bytes.length bytes in
+  if pos < 0 || pos + 8 > len then read_fail "truncated width";
+  let w64 = Bytes.get_int64_le bytes pos in
+  if Int64.compare w64 1L < 0
+     || Int64.compare w64 (Int64.of_int max_serialized_width) > 0
+  then read_fail "width out of range";
+  let width = Int64.to_int w64 in
+  let nwords = words_for width in
+  if pos + 8 + (8 * nwords) > len then read_fail "truncated words";
+  let words =
+    Array.init nwords (fun i ->
+        let x = Bytes.get_int64_le bytes (pos + 8 + (8 * i)) in
+        if Int64.compare x 0L < 0
+           || Int64.compare x (Int64.of_int word_mask) > 0
+        then read_fail "word out of range";
+        Int64.to_int x)
+  in
+  let last = nwords - 1 in
+  let used = width - (last * bits_per_word) in
+  if used < bits_per_word && words.(last) land lnot ((1 lsl used) - 1) <> 0 then
+    read_fail "set bits beyond width";
+  ({ width; words }, pos + 8 + (8 * nwords))

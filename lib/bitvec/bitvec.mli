@@ -96,3 +96,14 @@ val append : t -> t -> t
 val extract : t -> pos:int -> len:int -> t
 (** [extract v ~pos ~len] is the slice of [len] bits starting at
     bit [pos]. *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** Append a binary serialization of the vector: the width, then the
+    payload words, all as 8-byte little-endian integers. Fixed-width
+    fields so the reader can validate lengths before allocating. *)
+
+val read : Bytes.t -> pos:int -> t * int
+(** [read bytes ~pos] decodes a vector written by {!to_buffer} starting
+    at [pos] and returns it with the offset one past its last byte.
+    Raises [Failure] on truncated input, an out-of-range width, or
+    payload words with bits outside the declared width. *)

@@ -230,3 +230,37 @@ let pp ppf m =
   for i = 0 to m.nrows - 1 do
     Format.fprintf ppf "%a@." Bitvec.pp m.data.(i)
   done
+
+let equal a b =
+  a.nrows = b.nrows && a.ncols = b.ncols
+  && Array.for_all2 Bitvec.equal a.data b.data
+
+(* ---- Binary (de)serialization --------------------------------------- *)
+
+let to_buffer buf m =
+  Buffer.add_int64_le buf (Int64.of_int m.nrows);
+  Buffer.add_int64_le buf (Int64.of_int m.ncols);
+  Array.iter (fun r -> Bitvec.to_buffer buf r) m.data
+
+let read_fail msg = failwith ("F2_matrix.read: " ^ msg)
+
+let read bytes ~pos =
+  let len = Bytes.length bytes in
+  if pos < 0 || pos + 16 > len then read_fail "truncated header";
+  let r64 = Bytes.get_int64_le bytes pos in
+  let c64 = Bytes.get_int64_le bytes (pos + 8) in
+  let dim_max = Int64.of_int (1 lsl 30) in
+  if Int64.compare r64 1L < 0 || Int64.compare r64 dim_max > 0 then
+    read_fail "row count out of range";
+  if Int64.compare c64 1L < 0 || Int64.compare c64 dim_max > 0 then
+    read_fail "column count out of range";
+  let nrows = Int64.to_int r64 and ncols = Int64.to_int c64 in
+  let cursor = ref (pos + 16) in
+  let data =
+    Array.init nrows (fun _ ->
+        let r, next = Bitvec.read bytes ~pos:!cursor in
+        if Bitvec.width r <> ncols then read_fail "row width mismatch";
+        cursor := next;
+        r)
+  in
+  ({ nrows; ncols; data }, !cursor)

@@ -87,3 +87,15 @@ val independent : Bitvec.t list -> bool
 (** Whether the vectors are linearly independent. *)
 
 val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+(** Entry-wise equality (dimensions must match too). *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** Append a binary serialization: row and column counts as 8-byte
+    little-endian integers, then each row via {!Bitvec.to_buffer}. *)
+
+val read : Bytes.t -> pos:int -> t * int
+(** [read bytes ~pos] decodes a matrix written by {!to_buffer} starting
+    at [pos] and returns it with the offset one past its last byte.
+    Raises [Failure] on truncated or malformed input. *)

@@ -5,8 +5,13 @@ type t = {
   mutex : Mutex.t;
   pending : Condition.t; (* a task was queued, or the pool is closing *)
   progress : Condition.t; (* a task completed *)
+  idle : Condition.t; (* the in-flight map count dropped to zero *)
   queue : task Queue.t;
   mutable closing : bool;
+  mutable retired : bool;
+      (* evicted from the cache while busy: the last map in flight
+         performs the shutdown when it drains *)
+  mutable active : int; (* maps currently in flight *)
   mutable workers : unit Domain.t list;
   tasks : int Atomic.t;
 }
@@ -34,8 +39,11 @@ let create ~jobs =
       mutex = Mutex.create ();
       pending = Condition.create ();
       progress = Condition.create ();
+      idle = Condition.create ();
       queue = Queue.create ();
       closing = false;
+      retired = false;
+      active = 0;
       workers = [];
       tasks = Atomic.make 0;
     }
@@ -43,14 +51,40 @@ let create ~jobs =
   t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
-let shutdown t =
+(* Flag the workers down and join them. Must not hold the mutex; takes
+   the worker list under the lock so concurrent calls join disjoint
+   (possibly empty) sets, which is what makes shutdown idempotent. *)
+let stop_workers t =
   Mutex.lock t.mutex;
   t.closing <- true;
   Condition.broadcast t.pending;
-  Mutex.unlock t.mutex;
   let workers = t.workers in
   t.workers <- [];
+  Mutex.unlock t.mutex;
   List.iter Domain.join workers
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  while t.active > 0 do
+    Condition.wait t.idle t.mutex
+  done;
+  Mutex.unlock t.mutex;
+  stop_workers t
+
+let enter t =
+  Mutex.lock t.mutex;
+  t.active <- t.active + 1;
+  Mutex.unlock t.mutex
+
+let leave t =
+  Mutex.lock t.mutex;
+  t.active <- t.active - 1;
+  let last = t.active = 0 in
+  if last then Condition.broadcast t.idle;
+  let deferred = last && t.retired in
+  if deferred then t.retired <- false;
+  Mutex.unlock t.mutex;
+  if deferred then stop_workers t
 
 (* Run one application, capturing the outcome so worker domains never
    unwind across the pool machinery. *)
@@ -75,41 +109,48 @@ let map t f inputs =
   let n = Array.length inputs in
   if n = 0 then [||]
   else begin
-    let slots = Array.make n None in
-    if t.jobs = 1 || n = 1 then
-      (* Sequential fast path: no locking, no queueing. *)
-      Array.iteri
-        (fun i x ->
-          Atomic.incr t.tasks;
-          slots.(i) <- Some (capture f x))
-        inputs
-    else begin
-      let completed = ref 0 in
-      let make_task i x () =
-        let r = capture f x in
-        Atomic.incr t.tasks;
-        Mutex.lock t.mutex;
-        slots.(i) <- Some r;
-        incr completed;
-        Condition.broadcast t.progress;
-        Mutex.unlock t.mutex
-      in
-      Mutex.lock t.mutex;
-      Array.iteri (fun i x -> Queue.push (make_task i x) t.queue) inputs;
-      Condition.broadcast t.pending;
-      (* The caller is the last lane: drain the queue alongside the
-         workers, then wait for stragglers still executing elsewhere. *)
-      while !completed < n do
-        match Queue.take_opt t.queue with
-        | Some task ->
-            Mutex.unlock t.mutex;
-            task ();
-            Mutex.lock t.mutex
-        | None -> Condition.wait t.progress t.mutex
-      done;
-      Mutex.unlock t.mutex
-    end;
-    harvest slots
+    enter t;
+    Fun.protect
+      ~finally:(fun () -> leave t)
+      (fun () ->
+        let slots = Array.make n None in
+        if t.jobs = 1 || n = 1 then
+          (* Sequential fast path: no locking, no queueing. *)
+          Array.iteri
+            (fun i x ->
+              Atomic.incr t.tasks;
+              slots.(i) <- Some (capture f x))
+            inputs
+        else begin
+          let completed = ref 0 in
+          let make_task i x () =
+            let r = capture f x in
+            Atomic.incr t.tasks;
+            Mutex.lock t.mutex;
+            slots.(i) <- Some r;
+            incr completed;
+            Condition.broadcast t.progress;
+            Mutex.unlock t.mutex
+          in
+          Mutex.lock t.mutex;
+          Array.iteri (fun i x -> Queue.push (make_task i x) t.queue) inputs;
+          Condition.broadcast t.pending;
+          (* The caller is the last lane: drain the queue alongside the
+             workers, then wait for stragglers still executing
+             elsewhere. On a pool whose workers already exited
+             (retired/closing), the caller drains everything itself, so
+             the map still completes. *)
+          while !completed < n do
+            match Queue.take_opt t.queue with
+            | Some task ->
+                Mutex.unlock t.mutex;
+                task ();
+                Mutex.lock t.mutex
+            | None -> Condition.wait t.progress t.mutex
+          done;
+          Mutex.unlock t.mutex
+        end;
+        harvest slots)
   end
 
 let map_list t f inputs =
@@ -120,12 +161,26 @@ let map_list t f inputs =
 let cached = ref None
 let exit_hook = ref false
 
+(* Evict [p] from the cache: shut it down when idle; when a map is in
+   flight (another caller still holds a reference), defer — the last
+   map to drain joins the workers instead of us yanking them away. *)
+let retire p =
+  Mutex.lock p.mutex;
+  if p.active > 0 then begin
+    p.retired <- true;
+    Mutex.unlock p.mutex
+  end
+  else begin
+    Mutex.unlock p.mutex;
+    stop_workers p
+  end
+
 let get ~jobs =
   let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
   match !cached with
   | Some p when p.jobs = jobs -> p
   | prev ->
-      (match prev with Some p -> shutdown p | None -> ());
+      (match prev with Some p -> retire p | None -> ());
       let p = create ~jobs in
       cached := Some p;
       if not !exit_hook then begin

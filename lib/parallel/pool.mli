@@ -43,13 +43,19 @@ val tasks_run : t -> int
     calling domain). *)
 
 val shutdown : t -> unit
-(** Stop and join the worker domains. The pool must be idle (no
-    {!map} in flight). Idempotent. *)
+(** Stop and join the worker domains. Blocks until any {!map} in
+    flight has drained first — a pool is never torn down under a
+    caller that still holds a reference. Idempotent. Must not be
+    called from inside one of this pool's own tasks. *)
 
 val get : jobs:int -> t
 (** [get ~jobs] returns a process-global cached pool of exactly
     [jobs] lanes, creating it on first use and transparently
-    replacing (and shutting down) a cached pool of a different
-    size. The cached pool is shut down at process exit. Intended
-    for callers that thread a [--jobs] knob through layers and want
-    spawn-once/reuse semantics without plumbing a pool handle. *)
+    replacing a cached pool of a different size. The replaced pool is
+    shut down immediately when idle; when another caller still has a
+    {!map} in flight on it, the shutdown is deferred to the moment
+    that map drains (a {!map} already running keeps its pool working
+    until it completes). The cached pool is shut down at process
+    exit. Intended for callers that thread a [--jobs] knob through
+    layers and want spawn-once/reuse semantics without plumbing a
+    pool handle. *)

@@ -1,6 +1,17 @@
 let to_buffer buf p =
+  (* Empty XOR constraints cannot be written as x-lines: `x 0` reads
+     back as the odd (unsatisfiable) constraint whatever the parity
+     was. {!Cnf.add_xor} normalizes empty rows away, so these cases are
+     unreachable through the public API, but render them defensively:
+     odd (0 = 1) as the empty CNF clause, even (0 = 0) as nothing —
+     which means the even rows must not count in the header either. *)
+  let trivial_xors =
+    List.length
+      (List.filter (fun { Cnf.vars; parity; _ } -> vars = [] && not parity) (Cnf.xors p))
+  in
   Buffer.add_string buf
-    (Printf.sprintf "p cnf %d %d\n" (Cnf.nvars p) (Cnf.nclauses p + Cnf.nxors p));
+    (Printf.sprintf "p cnf %d %d\n" (Cnf.nvars p)
+       (Cnf.nclauses p + Cnf.nxors p - trivial_xors));
   List.iter
     (fun clause ->
       List.iter
@@ -15,15 +26,15 @@ let to_buffer buf p =
       if guard <> None then
         invalid_arg "Dimacs.to_buffer: guarded XOR constraints cannot be serialized";
       (* encode parity by negating the first literal when parity=false *)
-      Buffer.add_char buf 'x';
-      (match vars with
-      | [] -> ()
+      match vars with
+      | [] -> if parity then Buffer.add_string buf "0\n"
       | v0 :: rest ->
+          Buffer.add_char buf 'x';
           Buffer.add_string buf (string_of_int (if parity then v0 + 1 else -(v0 + 1)));
           List.iter
             (fun v -> Buffer.add_string buf (" " ^ string_of_int (v + 1)))
-            rest);
-      Buffer.add_string buf " 0\n")
+            rest;
+          Buffer.add_string buf " 0\n")
     (Cnf.xors p)
 
 let to_string p =
@@ -84,9 +95,7 @@ let parse_string text =
       match int_of_string_opt tok with
       | None -> fail lineno ("bad literal " ^ tok)
       | Some 0 -> emit ()
-      | Some n ->
-          if !pending_xor && n = 0 then fail lineno "zero literal in xor";
-          pending := n :: !pending
+      | Some n -> pending := n :: !pending
   in
   let lines = String.split_on_char '\n' text in
   List.iteri

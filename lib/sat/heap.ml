@@ -76,6 +76,9 @@ let remove_max h =
   if h.len > 0 then sift_down h 0;
   x
 
+let copy h ~score =
+  { heap = Array.copy h.heap; pos = Array.copy h.pos; len = h.len; score }
+
 let rebuild h xs =
   for i = 0 to h.len - 1 do
     h.pos.(h.heap.(i)) <- -1;

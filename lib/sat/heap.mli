@@ -27,5 +27,11 @@ val update : t -> int -> unit
 val remove_max : t -> int
 (** Raises [Not_found] when empty. *)
 
+val copy : t -> score:(int -> float) -> t
+(** Structural copy of the heap with a fresh scoring function — used
+    when cloning a solver, whose score closure must read the clone's
+    own activity array. The caller must supply a [score] that agrees
+    with the original on every stored element, or heap order is lost. *)
+
 val rebuild : t -> int list -> unit
 (** Clear and re-insert the given elements. *)

@@ -866,6 +866,175 @@ let add_cnf_from s p ~nclauses ~nxors =
     (drop nxors (Cnf.xors p))
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot / clone                                                    *)
+
+(* A frozen image of a root-level solver, with every inter-structure
+   pointer (watcher -> clause, xwatch -> xclause) flattened to an
+   index. The record is immutable after construction, so one snapshot
+   can be cloned concurrently from many domains; [clone] performs pure
+   reads of the snapshot and allocates everything fresh.
+
+   Fidelity matters more than minimality here: the warm path must be
+   byte-identical to a cold re-encode, so the clone reproduces watch
+   lists, trail, phases, activities, heap layout and stats counters in
+   the exact state (and order) the source solver had. Reasons of root
+   literals are deliberately dropped — no code path reads the reason of
+   a level-0 variable (conflict analysis and final-conflict analysis
+   both skip level 0, and learnt-DB locking only compares against
+   learnt clauses). *)
+type snapshot = {
+  sn_nvars : int;
+  sn_clauses : Lit.t array array;
+  sn_watches : (int * Lit.t) array array; (* per lit: (clause idx, blocker) *)
+  sn_xors : (int array * bool * Lit.t option * bool) array;
+      (* (xvars, parity, guard, covered) *)
+  sn_xwatches : int array array; (* per var: xclause indices *)
+  sn_assigns : int array;
+  sn_levels : int array;
+  sn_phase : bool array;
+  sn_activity : float array;
+  sn_trail : Lit.t array;
+  sn_order : Heap.t;
+  sn_var_inc : float;
+  sn_cla_inc : float;
+  sn_ok : bool;
+  sn_gauss_mode : bool option;
+  sn_gauss_dirty : bool;
+  sn_lbd_gen : int;
+  sn_conflicts : int;
+  sn_decisions : int;
+  sn_propagations : int;
+  sn_restarts : int;
+  sn_gauss_rows : int;
+  sn_gauss_elims : int;
+  sn_gauss_props : int;
+  sn_gauss_conflicts : int;
+}
+
+let snapshot s =
+  if decision_level s <> 0 then invalid_arg "Solver.snapshot: not at root level";
+  if Vec.size s.learnts <> 0 then
+    invalid_arg "Solver.snapshot: learnt clauses present";
+  if s.proof <> None then invalid_arg "Solver.snapshot: proof logging enabled";
+  if s.gauss <> None then
+    invalid_arg "Solver.snapshot: live Gauss engine (snapshot before solving)";
+  if s.qhead <> Vec.size s.trail then
+    invalid_arg "Solver.snapshot: propagation incomplete";
+  let n = s.nvars in
+  (* Index the problem clauses through the lbd field — zero on every
+     problem clause at the root, so it is free scratch space here. *)
+  let nc = Vec.size s.clauses in
+  for i = 0 to nc - 1 do
+    (Vec.get s.clauses i).lbd <- i + 1
+  done;
+  let sn_watches =
+    Array.init (2 * n) (fun li ->
+        Array.init (Vec.size s.watches.(li)) (fun j ->
+            let w = Vec.get s.watches.(li) j in
+            (w.wc.lbd - 1, w.blocker)))
+  in
+  let sn_clauses = Array.init nc (fun i -> Array.copy (Vec.get s.clauses i).lits) in
+  for i = 0 to nc - 1 do
+    (Vec.get s.clauses i).lbd <- 0
+  done;
+  (* xclauses have no scratch field; resolve indices by physical
+     equality (each lives in at most two watch lists) *)
+  let nx = Vec.size s.xors in
+  let xor_index xc =
+    let rec go j =
+      if j >= nx then invalid_arg "Solver.snapshot: dangling xwatch"
+      else if Vec.get s.xors j == xc then j
+      else go (j + 1)
+    in
+    go 0
+  in
+  let sn_xwatches =
+    Array.init n (fun v ->
+        Array.init (Vec.size s.xwatches.(v)) (fun j ->
+            xor_index (Vec.get s.xwatches.(v) j)))
+  in
+  let sn_xors =
+    Array.init nx (fun i ->
+        let xc = Vec.get s.xors i in
+        (Array.copy xc.xvars, xc.xparity, xc.xguard, xc.xcovered))
+  in
+  let sub a = Array.sub a 0 n in
+  let sn_activity = sub s.activity in
+  {
+    sn_nvars = n;
+    sn_clauses;
+    sn_watches;
+    sn_xors;
+    sn_xwatches;
+    sn_assigns = sub s.assigns;
+    sn_levels = sub s.levels;
+    sn_phase = sub s.phase;
+    sn_activity;
+    sn_trail = Array.init (Vec.size s.trail) (Vec.get s.trail);
+    sn_order = Heap.copy s.order ~score:(fun v -> sn_activity.(v));
+    sn_var_inc = s.var_inc;
+    sn_cla_inc = s.cla_inc;
+    sn_ok = s.ok;
+    sn_gauss_mode = s.gauss_mode;
+    sn_gauss_dirty = s.gauss_dirty;
+    sn_lbd_gen = s.lbd_gen;
+    sn_conflicts = s.n_conflicts;
+    sn_decisions = s.n_decisions;
+    sn_propagations = s.n_propagations;
+    sn_restarts = s.n_restarts;
+    sn_gauss_rows = s.n_gauss_rows;
+    sn_gauss_elims = s.n_gauss_elims;
+    sn_gauss_props = s.n_gauss_props;
+    sn_gauss_conflicts = s.n_gauss_conflicts;
+  }
+
+let clone snap =
+  let s = create () in
+  s.gauss_mode <- snap.sn_gauss_mode;
+  let n = snap.sn_nvars in
+  grow_arrays s n;
+  s.nvars <- n;
+  let blit src dst = Array.blit src 0 dst 0 n in
+  blit snap.sn_assigns s.assigns;
+  blit snap.sn_levels s.levels;
+  blit snap.sn_phase s.phase;
+  blit snap.sn_activity s.activity;
+  let clauses = Array.map (fun lits -> mk_clause (Array.copy lits)) snap.sn_clauses in
+  Array.iter (Vec.push s.clauses) clauses;
+  for li = 0 to (2 * n) - 1 do
+    Array.iter
+      (fun (ci, blocker) -> Vec.push s.watches.(li) { wc = clauses.(ci); blocker })
+      snap.sn_watches.(li)
+  done;
+  let xors =
+    Array.map
+      (fun (xvars, xparity, xguard, xcovered) ->
+        { xvars = Array.copy xvars; xparity; xguard; xcovered })
+      snap.sn_xors
+  in
+  Array.iter (Vec.push s.xors) xors;
+  for v = 0 to n - 1 do
+    Array.iter (fun xi -> Vec.push s.xwatches.(v) xors.(xi)) snap.sn_xwatches.(v)
+  done;
+  Array.iter (Vec.push s.trail) snap.sn_trail;
+  s.qhead <- Vec.size s.trail;
+  s.order <- Heap.copy snap.sn_order ~score:(fun v -> s.activity.(v));
+  s.var_inc <- snap.sn_var_inc;
+  s.cla_inc <- snap.sn_cla_inc;
+  s.ok <- snap.sn_ok;
+  s.gauss_dirty <- snap.sn_gauss_dirty;
+  s.lbd_gen <- snap.sn_lbd_gen;
+  s.n_conflicts <- snap.sn_conflicts;
+  s.n_decisions <- snap.sn_decisions;
+  s.n_propagations <- snap.sn_propagations;
+  s.n_restarts <- snap.sn_restarts;
+  s.n_gauss_rows <- snap.sn_gauss_rows;
+  s.n_gauss_elims <- snap.sn_gauss_elims;
+  s.n_gauss_props <- snap.sn_gauss_props;
+  s.n_gauss_conflicts <- snap.sn_gauss_conflicts;
+  s
+
+(* ------------------------------------------------------------------ *)
 (* Search                                                              *)
 
 let luby y x =

@@ -108,6 +108,31 @@ val boost : t -> int list -> unit
     signal variables before the cardinality-counter auxiliaries prunes
     markedly faster. *)
 
+type snapshot
+(** A frozen image of a root-level solver. Immutable once built, so a
+    single snapshot may be {!clone}d concurrently from many domains —
+    the intended pattern for compiled design packs: encode the per-design
+    CNF/XOR skeleton once, snapshot it, then stamp out one warm solver
+    per request instead of re-encoding. *)
+
+val snapshot : t -> snapshot
+(** Capture the solver's complete root state: clauses, XOR rows, watch
+    lists (in order), trail, phases, activities, branching heap and
+    stats counters. The clone of a snapshot behaves identically to the
+    source solver at capture time — same propagations, same decisions,
+    same models.
+
+    Preconditions (raises [Invalid_argument] otherwise): the solver is
+    at decision level 0 with propagation complete, has no learnt
+    clauses, no DRAT proof in progress, and no live Gauss engine —
+    i.e. snapshot after loading constraints but before solving. *)
+
+val clone : snapshot -> t
+(** A fresh, fully independent solver restored from the snapshot. The
+    clone shares no mutable state with the snapshot or with other
+    clones (its stop flag is its own; use {!share_stop} to group).
+    Thread-safe with respect to the snapshot: pure reads only. *)
+
 val solve : ?conflict_budget:int -> ?assumptions:Lit.t list -> t -> result
 (** [conflict_budget] bounds the number of conflicts before giving up
     with [Unknown] (default: unbounded).

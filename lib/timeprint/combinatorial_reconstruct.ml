@@ -10,7 +10,9 @@ end)
 let supported ~k = k >= 0 && k <= 4
 
 (* pair table: v -> list of (i, j), i < j, with TS(i) ⊕ TS(j) = v *)
-let pair_table enc =
+type table = (int * int) list H.t
+
+let pair_table enc : table =
   let m = Encoding.m enc in
   let tbl = H.create (m * m / 2) in
   for i = 0 to m - 1 do
@@ -21,7 +23,10 @@ let pair_table enc =
   done;
   tbl
 
-let preimage ?max_solutions enc entry =
+let table_for ?table enc =
+  match table with Some t -> t | None -> pair_table enc
+
+let preimage ?max_solutions ?table enc entry =
   let k = Log_entry.k entry in
   if not (supported ~k) then
     invalid_arg "Combinatorial_reconstruct: k > 4 unsupported";
@@ -36,11 +41,11 @@ let preimage ?max_solutions enc entry =
         if Bitvec.equal (Encoding.timestamp enc i) tp then emit [ i ]
       done
   | 2 ->
-      let pairs = pair_table enc in
+      let pairs = table_for ?table enc in
       List.iter (fun (i, j) -> emit [ i; j ]) (try H.find pairs tp with Not_found -> [])
   | 3 ->
       (* TP = TS(i) ⊕ (pair): one lookup per i, deduplicated by i < pair *)
-      let pairs = pair_table enc in
+      let pairs = table_for ?table enc in
       for i = 0 to m - 1 do
         let rest = Bitvec.logxor tp (Encoding.timestamp enc i) in
         List.iter
@@ -51,7 +56,7 @@ let preimage ?max_solutions enc entry =
       (* TP = pair ⊕ pair with all four indices distinct; canonical
          order: first pair's low index below the second pair's low
          index, and no index shared *)
-      let pairs = pair_table enc in
+      let pairs = table_for ?table enc in
       H.iter
         (fun v lhs ->
           let rest = Bitvec.logxor tp v in
@@ -72,16 +77,16 @@ let preimage ?max_solutions enc entry =
   | None -> sols
   | Some n -> List.filteri (fun i _ -> i < n) sols
 
-let preimage_with ?max_solutions enc entry ~assume =
+let preimage_with ?max_solutions ?table enc entry ~assume =
   let keep s = List.for_all (fun p -> Property.eval p s) assume in
-  let all = List.filter keep (preimage enc entry) in
+  let all = List.filter keep (preimage ?table enc entry) in
   match max_solutions with
   | None -> all
   | Some n -> List.filteri (fun i _ -> i < n) all
 
 exception Found of Signal.t
 
-let first ?(assume = []) enc entry =
+let first ?(assume = []) ?table enc entry =
   let k = Log_entry.k entry in
   if not (supported ~k) then
     invalid_arg "Combinatorial_reconstruct: k > 4 unsupported";
@@ -89,7 +94,7 @@ let first ?(assume = []) enc entry =
      before truncating; witness queries want the early exit *)
   let keep s = List.for_all (fun p -> Property.eval p s) assume in
   if assume <> [] then
-    match preimage_with ~max_solutions:1 enc entry ~assume with
+    match preimage_with ~max_solutions:1 ?table enc entry ~assume with
     | s :: _ -> Some s
     | [] -> None
   else
@@ -107,12 +112,12 @@ let first ?(assume = []) enc entry =
             if Bitvec.equal (Encoding.timestamp enc i) tp then emit [ i ]
           done
       | 2 ->
-          let pairs = pair_table enc in
+          let pairs = table_for ?table enc in
           List.iter
             (fun (i, j) -> emit [ i; j ])
             (try H.find pairs tp with Not_found -> [])
       | 3 ->
-          let pairs = pair_table enc in
+          let pairs = table_for ?table enc in
           for i = 0 to m - 1 do
             let rest = Bitvec.logxor tp (Encoding.timestamp enc i) in
             List.iter
@@ -120,7 +125,7 @@ let first ?(assume = []) enc entry =
               (try H.find pairs rest with Not_found -> [])
           done
       | 4 ->
-          let pairs = pair_table enc in
+          let pairs = table_for ?table enc in
           H.iter
             (fun v lhs ->
               let rest = Bitvec.logxor tp v in

@@ -12,13 +12,28 @@
 val supported : k:int -> bool
 (** [k <= 4]. *)
 
+type table
+(** The meet-in-the-middle pair table: every XOR of two distinct
+    timestamps, hashed. Building it is the dominant setup cost of a
+    [k ∈ {2,3,4}] query — [O(m²)] — and it depends only on the
+    encoding, so build it once ({!pair_table}) and pass it to any
+    number of queries via [?table]. Read-only after construction;
+    safe to share across domains. *)
+
+val pair_table : Encoding.t -> table
+(** Compile the pair table for an encoding. Deterministic: two calls
+    on equal encodings produce tables with identical iteration order,
+    which keeps the [k = 4] witness choice of {!first} reproducible. *)
+
 val preimage :
-  ?max_solutions:int -> Encoding.t -> Log_entry.t -> Signal.t list
-(** All signals with [α̃(S) = entry], sorted. Raises [Invalid_argument]
-    when [not (supported ~k)]. *)
+  ?max_solutions:int -> ?table:table -> Encoding.t -> Log_entry.t -> Signal.t list
+(** All signals with [α̃(S) = entry], sorted. [?table] reuses a
+    prebuilt {!pair_table} (it must belong to this encoding). Raises
+    [Invalid_argument] when [not (supported ~k)]. *)
 
 val preimage_with :
   ?max_solutions:int ->
+  ?table:table ->
   Encoding.t ->
   Log_entry.t ->
   assume:Property.t list ->
@@ -26,7 +41,11 @@ val preimage_with :
 (** {!preimage} filtered by reference property semantics. *)
 
 val first :
-  ?assume:Property.t list -> Encoding.t -> Log_entry.t -> Signal.t option
+  ?assume:Property.t list ->
+  ?table:table ->
+  Encoding.t ->
+  Log_entry.t ->
+  Signal.t option
 (** One witness, with an early exit as soon as a combination matches —
     a [`Signal]/[`Unsat] verdict without materializing the preimage.
     Raises [Invalid_argument] when [not (supported ~k)]. *)

@@ -33,9 +33,13 @@ let log2_choose m k =
     done;
     !acc)
 
-let context (q : Query.t) =
+let context ?rank (q : Query.t) =
   let m = Encoding.m q.encoding and b = Encoding.b q.encoding in
-  let rank = F2_matrix.rank (Encoding.matrix q.encoding) in
+  let rank =
+    match rank with
+    | Some r -> r
+    | None -> F2_matrix.rank (Encoding.matrix q.encoding)
+  in
   {
     rank;
     nullity = m - rank;

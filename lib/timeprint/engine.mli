@@ -47,9 +47,11 @@ type t = {
   run : ctx -> Query.t -> outcome * stage list;
 }
 
-val context : Query.t -> ctx
+val context : ?rank:int -> Query.t -> ctx
 (** Rank/nullity via one Gauss reduction of [A]; cheap relative to any
-    solve. *)
+    solve. [?rank] supplies a precomputed rank (a design pack stores
+    it) and skips the reduction — the caller is trusted that it is the
+    rank of this encoding's matrix. *)
 
 val parallelizable : Query.t -> (unit, string) result
 (** The Parallel capability: [Ok ()] for the answers that split

@@ -27,16 +27,20 @@ let chunk_list size xs =
   in
   go [] [] 0 xs
 
-let batch ?assume ?presolve ?conflict_budget ?gauss ?repair ~jobs encoding
-    entries =
+let batch ?assume ?presolve ?conflict_budget ?gauss ?repair ?shared ?warm
+    ~jobs encoding entries =
   let pool = Pool.get ~jobs:(resolve_jobs jobs) in
-  (* the encoding-only half of the rank check: computed once here,
-     shared read-only by every chunk worker *)
-  let shared = Presolve.shared encoding in
+  (* the encoding-only half of the rank check: computed once here (or
+     handed in, e.g. from a design pack), shared read-only by every
+     chunk worker. The warm skeleton is likewise read-only: each chunk
+     clones its own solver from the one snapshot. *)
+  let shared =
+    match shared with Some s -> s | None -> Presolve.shared encoding
+  in
   chunk_list default_chunk entries
   |> Pool.map_list pool (fun chunk ->
          Sat_reconstruct.batch ?assume ?presolve ?conflict_budget ?gauss
-           ?repair ~shared encoding chunk)
+           ?repair ~shared ?warm encoding chunk)
   |> List.concat
 
 (* ------------------------------------------------------------------ *)

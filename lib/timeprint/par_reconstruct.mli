@@ -38,6 +38,8 @@ val batch :
   ?conflict_budget:int ->
   ?gauss:bool ->
   ?repair:int ->
+  ?shared:Presolve.shared ->
+  ?warm:Sat_reconstruct.warm ->
   jobs:int ->
   Encoding.t ->
   Log_entry.t list ->
@@ -49,7 +51,10 @@ val batch :
     chunk size — byte-identical across [jobs ∈ {1, 2, 4, ...}]. (It
     may differ from the single-solver [Sat_reconstruct.batch] in
     which witness a satisfiable entry reports, never in verdict kind
-    or health.) *)
+    or health.) [shared] hands in the read-only rank-check reduction
+    (computed here otherwise); [warm] is a compiled skeleton each
+    chunk clones its solver from, with the same eligibility rule as
+    {!Sat_reconstruct.batch}. *)
 
 type cube_summary = {
   cs_jobs : int;  (** pool lanes used *)

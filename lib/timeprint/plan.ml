@@ -26,6 +26,7 @@ type report = {
   considered : (string * [ `Cost of float | `Rejected of string ]) list;
   fallbacks : (string * string) list;
   parallel : parallelism;
+  pack : [ `Hit | `Miss | `Stale ];
   stages : Engine.stage list;
 }
 
@@ -61,8 +62,17 @@ let policy_eligible (ctx : Engine.ctx) (q : Query.t) (e : Engine.t) =
              linear_nullity_threshold)
       else Ok ()
 
-let run ?(engine = `Auto) ?jobs (q : Query.t) =
-  let ctx = Engine.context q in
+let run ?(engine = `Auto) ?jobs ?pack (q : Query.t) =
+  (* a pack accelerates only — a stale one (compiled for a different
+     design) is recorded and ignored, never an error *)
+  let pack_status, rank =
+    match pack with
+    | None -> (`Miss, None)
+    | Some p ->
+        if Pack.matches p q.encoding then (`Hit, Some (Pack.rank p))
+        else (`Stale, None)
+  in
+  let ctx = Engine.context ?rank q in
   (* how a SAT run of this query would parallelize — decided from the
      query and the instance estimates alone, never from the jobs
      value, so the engage decision (and hence the answer) is the same
@@ -90,6 +100,7 @@ let run ?(engine = `Auto) ?jobs (q : Query.t) =
       considered;
       fallbacks;
       parallel;
+      pack = pack_status;
       stages;
     }
   in
@@ -212,16 +223,30 @@ let run ?(engine = `Auto) ?jobs (q : Query.t) =
           | [] -> run_engine presolve considered Engine.sat))
 
 let run_stream ?(assume = []) ?conflict_budget ?gauss ?(repair = 0) ?jobs
-    encoding entries =
+    ?pack encoding entries =
   if repair < 0 then invalid_arg "Plan.run_stream: negative repair budget";
   let entries = Array.of_list entries in
   let n = Array.length entries in
   let out = Array.make n None in
   let sat_idx = ref [] in
+  (* a matching pack supplies the whole per-stream setup — rank-check
+     masks, MITM pair table, warm solver skeleton; a stale one is
+     dropped here so every use below is already validated *)
+  let pack =
+    match pack with
+    | Some p when Pack.matches p encoding -> Some p
+    | _ -> None
+  in
+  let table = Option.map Pack.table pack in
+  let warm = Option.map Pack.warm pack in
   (* encoding-only half of the rank check: one reduction for the whole
      stream (and, with [jobs], the read-only copy every chunk worker
      shares) *)
-  let shared = Presolve.shared encoding in
+  let shared =
+    match pack with
+    | Some p -> Pack.shared p
+    | None -> Presolve.shared encoding
+  in
   Array.iteri
     (fun i e ->
       if Presolve.refutes_with shared e then
@@ -234,7 +259,7 @@ let run_stream ?(assume = []) ?conflict_budget ?gauss ?(repair = 0) ?jobs
         assume = []
         && Combinatorial_reconstruct.supported ~k:(Log_entry.k e)
       then
-        match Combinatorial_reconstruct.first encoding e with
+        match Combinatorial_reconstruct.first ?table encoding e with
         | Some s -> out.(i) <- Some (`Signal s, Sat_reconstruct.Clean, `Mitm)
         | None ->
             (* linearly consistent yet no exact-k witness: cardinality
@@ -256,13 +281,14 @@ let run_stream ?(assume = []) ?conflict_budget ?gauss ?(repair = 0) ?jobs
         (match jobs with
         | None ->
             Sat_reconstruct.batch ~assume ~presolve:(repair > 0)
-              ?conflict_budget ?gauss ~repair ~shared encoding selected
+              ?conflict_budget ?gauss ~repair ~shared ?warm encoding selected
         | Some jobs ->
             (* classification above is sequential and jobs-independent;
                only the SAT leftovers fan out, in fixed-size chunks, so
                the merged triage is identical for every pool size *)
             Par_reconstruct.batch ~assume ~presolve:(repair > 0)
-              ?conflict_budget ?gauss ~repair ~jobs encoding selected)
+              ?conflict_budget ?gauss ~repair ~shared ?warm ~jobs encoding
+              selected)
   in
   List.iter2
     (fun i (v, h, st) -> out.(i) <- Some (v, h, `Sat st))
@@ -297,6 +323,10 @@ let pp_report ppf r =
       fprintf ppf "parallel: %d cubes on %d jobs@," cubes jobs
   | Pinned reason ->
       fprintf ppf "parallel: pinned to one domain (%s)@," reason);
+  (match r.pack with
+  | `Miss -> ()
+  | `Hit -> fprintf ppf "pack: hit@,"
+  | `Stale -> fprintf ppf "pack: stale (encoding mismatch), ignored@,");
   List.iter
     (fun (st : Engine.stage) ->
       match st.Engine.stats with

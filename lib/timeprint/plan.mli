@@ -64,10 +64,20 @@ type report = {
       (** forced engines that could not run: [(name, reason)]; the
           query silently fell through to SAT *)
   parallel : parallelism;
+  pack : [ `Hit | `Miss | `Stale ];
+      (** [`Hit]: a matching design pack supplied the instance facts;
+          [`Miss]: no pack was offered; [`Stale]: a pack was offered
+          but was compiled for a different encoding and ignored.
+          Answers are identical in all three cases. *)
   stages : Engine.stage list;
 }
 
-val run : ?engine:engine_choice -> ?jobs:int -> Query.t -> Engine.outcome * report
+val run :
+  ?engine:engine_choice ->
+  ?jobs:int ->
+  ?pack:Pack.t ->
+  Query.t ->
+  Engine.outcome * report
 (** Answer the query. [`Auto] (default) applies the dispatch policy
     above; forcing an engine bypasses the policy but not the
     capability guards — an incapable forced engine is recorded in
@@ -81,7 +91,12 @@ val run : ?engine:engine_choice -> ?jobs:int -> Query.t -> Engine.outcome * repo
     [Domain.recommended_domain_count ()]). Certified and repair
     queries, and any query another engine wins, are pinned to a single
     domain — the report's [parallel] field records the decision either
-    way. Answers never depend on [jobs]. *)
+    way. Answers never depend on [jobs].
+
+    [pack] offers a compiled design pack ({!Pack}): when it
+    {!Pack.matches} the query's encoding, its stored rank replaces the
+    context's Gauss reduction (the report says [`Hit]); otherwise it
+    is ignored ([`Stale]). Answers never depend on [pack]. *)
 
 val run_stream :
   ?assume:Property.t list ->
@@ -89,6 +104,7 @@ val run_stream :
   ?gauss:bool ->
   ?repair:int ->
   ?jobs:int ->
+  ?pack:Pack.t ->
   Encoding.t ->
   Log_entry.t list ->
   (Sat_reconstruct.verdict
@@ -118,6 +134,12 @@ val run_stream :
     solver sharing one read-only presolve reduction. Classification
     and chunking never depend on [jobs], so the triage is byte-for-byte
     identical for every pool size; [jobs = 0] means
-    [Domain.recommended_domain_count ()]. *)
+    [Domain.recommended_domain_count ()].
+
+    [pack] offers a compiled design pack: when it matches the
+    encoding, the stream starts from the pack's rank-check masks, MITM
+    pair table and warm solver skeleton instead of recomputing them; a
+    stale pack is ignored. Either way the triage and every verdict,
+    witness and health column are byte-identical to a pack-less run. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -61,6 +61,9 @@ let shared encoding =
   done;
   { masks = !masks }
 
+let masks { masks } = masks
+let of_masks masks = { masks }
+
 let refutes_with { masks } entry =
   let tp = Log_entry.tp entry in
   List.exists

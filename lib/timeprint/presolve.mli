@@ -68,3 +68,12 @@ val refutes_with : shared -> Log_entry.t -> bool
 (** Same answer as {!refutes}, in O(b²) bit operations per entry: the
     augmented system is inconsistent iff some basis mask hits [TP]
     with odd parity. *)
+
+val masks : shared -> Tp_bitvec.Bitvec.t list
+(** The null-space basis masks, in the order {!refutes_with} consults
+    them — exposed so design packs can serialize the reduction. *)
+
+val of_masks : Tp_bitvec.Bitvec.t list -> shared
+(** Rebuild a [shared] from serialized masks. The caller is trusted to
+    pass masks produced by {!masks} for the same encoding (design
+    packs verify this with a checksum and an encoding match). *)

@@ -83,12 +83,12 @@ let check ?conflict_budget pb prop =
    parity-select solvers; without [jobs] the legacy single-solver path
    runs unchanged. The shadowing keeps every existing caller on the
    exact code it always ran. *)
-let batch ?assume ?presolve ?conflict_budget ?gauss ?repair ?shared ?jobs
+let batch ?assume ?presolve ?conflict_budget ?gauss ?repair ?shared ?warm ?jobs
     encoding entries =
   match jobs with
   | None ->
       Sat_reconstruct.batch ?assume ?presolve ?conflict_budget ?gauss ?repair
-        ?shared encoding entries
+        ?shared ?warm encoding entries
   | Some jobs ->
       Par_reconstruct.batch ?assume ?presolve ?conflict_budget ?gauss ?repair
-        ~jobs encoding entries
+        ?shared ?warm ~jobs encoding entries

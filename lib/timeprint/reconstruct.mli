@@ -170,6 +170,7 @@ val batch :
   ?gauss:bool ->
   ?repair:int ->
   ?shared:Presolve.shared ->
+  ?warm:Sat_reconstruct.warm ->
   ?jobs:int ->
   Encoding.t ->
   Log_entry.t list ->
@@ -183,6 +184,7 @@ val batch :
     ({!Par_reconstruct.batch}): fixed-size chunks, one parity-select
     solver per chunk, results in log order and independent of the
     pool size; [jobs = 0] means [Domain.recommended_domain_count ()].
-    [shared] (ignored when [jobs] is set — the parallel path computes
-    its own) lets sequential callers reuse a precomputed
-    {!Presolve.shared}. *)
+    [shared] lets callers reuse a precomputed {!Presolve.shared};
+    [warm] a compiled parity-select skeleton ({!Sat_reconstruct.warm},
+    usually from a design pack) — both pure accelerations with the
+    same eligibility rules as the engines they feed. *)

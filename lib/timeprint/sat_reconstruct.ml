@@ -665,6 +665,57 @@ module Session = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Compiled batch skeleton                                             *)
+
+(* The encoding-only prefix of [batch]'s construction — cycle and
+   select variables, the parity-select XOR rows, the primed and
+   boosted solver — compiled once and stamped out per request:
+   [batch ?warm] replays it as one [Cnf.copy] plus one [Solver.clone]
+   instead of re-encoding [A] and re-propagating it from scratch. The
+   skeleton covers exactly the default configuration (no assumed
+   properties, no repair budget, [gauss = None]); anything else
+   changes the shared structure itself, so such calls fall back to the
+   cold construction unchanged. *)
+type warm = {
+  w_m : int;
+  w_b : int;
+  w_cnf : Cnf.t;
+  w_snapshot : Solver.snapshot;
+}
+
+let warm encoding =
+  let m = Encoding.m encoding and b = Encoding.b encoding in
+  let cnf = Cnf.create () in
+  let xvars = Array.init m (fun _ -> Cnf.new_var cnf) in
+  let pvars = Array.init b (fun _ -> Cnf.new_var cnf) in
+  for j = 0 to b - 1 do
+    let vars = ref [ pvars.(j) ] in
+    for i = 0 to m - 1 do
+      if Bitvec.get (Encoding.timestamp encoding i) j then
+        vars := xvars.(i) :: !vars
+    done;
+    Cnf.add_xor cnf ~vars:!vars ~parity:false
+  done;
+  let solver = Solver.create () in
+  Solver.add_cnf_from solver cnf ~nclauses:0 ~nxors:0;
+  Solver.boost solver (Array.to_list xvars);
+  { w_m = m; w_b = b; w_cnf = cnf; w_snapshot = Solver.snapshot solver }
+
+let warm_skeleton w = w.w_cnf
+
+(* Rebuild a skeleton from its serialized CNF (design packs store the
+   clause/XOR skeleton, not solver state): loading the same CNF into a
+   fresh solver is deterministic, so the snapshot — and every clone cut
+   from it — is identical to one compiled from the encoding. *)
+let warm_of_skeleton ~m ~b cnf =
+  if Cnf.nvars cnf <> m + b then
+    invalid_arg "Reconstruct.warm_of_skeleton: skeleton nvars <> m + b";
+  let solver = Solver.create () in
+  Solver.add_cnf_from solver cnf ~nclauses:0 ~nxors:0;
+  Solver.boost solver (List.init m Fun.id);
+  { w_m = m; w_b = b; w_cnf = cnf; w_snapshot = Solver.snapshot solver }
+
+(* ------------------------------------------------------------------ *)
 (* Batched reconstruction over a stream of log entries                 *)
 
 (* One solver serves every trace-cycle of a log: the timestamp matrix
@@ -684,7 +735,7 @@ end
    weight ([Repaired f]); a ladder that UNSATs through [e] quarantines
    the entry instead of poisoning the log. *)
 let batch ?(assume = []) ?(presolve = true) ?conflict_budget ?gauss
-    ?(repair = 0) ?shared encoding entries =
+    ?(repair = 0) ?shared ?warm encoding entries =
   if repair < 0 then invalid_arg "Reconstruct.batch: negative repair budget";
   (* the encoding-only half of the rank check is computed once (or
      taken pre-computed from a parallel caller) and reused per entry *)
@@ -699,39 +750,73 @@ let batch ?(assume = []) ?(presolve = true) ?conflict_budget ?gauss
       if Bitvec.width (Log_entry.tp e) <> b then
         invalid_arg "Reconstruct.batch: timeprint width <> encoding b")
     entries;
-  let cnf = Cnf.create () in
-  let xvars = Array.init m (fun _ -> Cnf.new_var cnf) in
-  let pvars = Array.init b (fun _ -> Cnf.new_var cnf) in
-  let evars =
-    if repair > 0 then Some (Array.init b (fun _ -> Cnf.new_var cnf)) else None
+  (* a compiled skeleton stands in for the construction below only in
+     the exact configuration it was compiled for; any other call falls
+     back to the cold path, whose answers the warm path must reproduce
+     byte for byte *)
+  let warm =
+    match warm with
+    | Some w when assume = [] && repair = 0 && gauss = None ->
+        if w.w_m <> m || w.w_b <> b then
+          invalid_arg "Reconstruct.batch: warm skeleton shape <> encoding";
+        Some w
+    | _ -> None
   in
-  for j = 0 to b - 1 do
-    let vars = ref [ pvars.(j) ] in
-    (match evars with Some ev -> vars := ev.(j) :: !vars | None -> ());
-    for i = 0 to m - 1 do
-      if Bitvec.get (Encoding.timestamp encoding i) j then
-        vars := xvars.(i) :: !vars
-    done;
-    (* monolithic rows feed the in-solver Gauss engine (the select
-       variables p_j are ordinary matrix columns to it); chunked rows
-       only when the engine is explicitly off *)
-    if gauss = Some false then Cnf.add_xor_chunked cnf ~vars:!vars ~parity:false
-    else Cnf.add_xor cnf ~vars:!vars ~parity:false
-  done;
-  List.iter
-    (fun p -> Property.assert_holds cnf ~m ~xvar:(fun i -> xvars.(i)) p)
-    assume;
-  let solver = Solver.create ?gauss () in
+  let cnf, xvars, pvars, evars, solver =
+    match warm with
+    | Some w ->
+        (* the skeleton numbered its variables exactly as the cold path
+           below does: cycles first, then the select variables *)
+        ( Cnf.copy w.w_cnf,
+          Array.init m Fun.id,
+          Array.init b (fun j -> m + j),
+          None,
+          Solver.clone w.w_snapshot )
+    | None ->
+        let cnf = Cnf.create () in
+        let xvars = Array.init m (fun _ -> Cnf.new_var cnf) in
+        let pvars = Array.init b (fun _ -> Cnf.new_var cnf) in
+        let evars =
+          if repair > 0 then Some (Array.init b (fun _ -> Cnf.new_var cnf))
+          else None
+        in
+        for j = 0 to b - 1 do
+          let vars = ref [ pvars.(j) ] in
+          (match evars with Some ev -> vars := ev.(j) :: !vars | None -> ());
+          for i = 0 to m - 1 do
+            if Bitvec.get (Encoding.timestamp encoding i) j then
+              vars := xvars.(i) :: !vars
+          done;
+          (* monolithic rows feed the in-solver Gauss engine (the select
+             variables p_j are ordinary matrix columns to it); chunked
+             rows only when the engine is explicitly off *)
+          if gauss = Some false then
+            Cnf.add_xor_chunked cnf ~vars:!vars ~parity:false
+          else Cnf.add_xor cnf ~vars:!vars ~parity:false
+        done;
+        List.iter
+          (fun p -> Property.assert_holds cnf ~m ~xvar:(fun i -> xvars.(i)) p)
+          assume;
+        (cnf, xvars, pvars, evars, Solver.create ?gauss ())
+  in
   let flushed_clauses = ref 0 and flushed_xors = ref 0 in
   let flush () =
     Solver.add_cnf_from solver cnf ~nclauses:!flushed_clauses ~nxors:!flushed_xors;
     flushed_clauses := Cnf.nclauses cnf;
     flushed_xors := Cnf.nxors cnf
   in
-  flush ();
-  (* branch on the signal variables before select/auxiliary variables:
-     they determine everything else through the XOR rows and counters *)
-  Solver.boost solver (Array.to_list xvars);
+  (match warm with
+  | Some _ ->
+      (* the skeleton is already flushed into the snapshot and its
+         cycle variables boosted; only set the flush watermark *)
+      flushed_clauses := Cnf.nclauses cnf;
+      flushed_xors := Cnf.nxors cnf
+  | None ->
+      flush ();
+      (* branch on the signal variables before select/auxiliary
+         variables: they determine everything else through the XOR rows
+         and counters *)
+      Solver.boost solver (Array.to_list xvars));
   let k_guards = Hashtbl.create 8 in
   let k_guard k =
     match Hashtbl.find_opt k_guards k with

@@ -243,6 +243,33 @@ module Session : sig
       the current database size. *)
 end
 
+type warm
+(** A compiled skeleton of {!batch}'s per-call construction for the
+    default configuration (no assumed properties, no repair budget,
+    [gauss] unset): the parity-select CNF — cycle variables, select
+    variables, the XOR rows of [A] — plus a {!Tp_sat.Solver.snapshot}
+    of a solver already loaded, propagated and activity-boosted with
+    it. Immutable; one value can serve any number of concurrent
+    {!batch} calls (each clones its own solver). Design packs
+    ({!Pack}) persist the inputs and rebuild this at load. *)
+
+val warm : Encoding.t -> warm
+(** Compile the skeleton — the one-off cost that {!batch} otherwise
+    pays on every call. *)
+
+val warm_skeleton : warm -> Tp_sat.Cnf.t
+(** The skeleton's CNF (cycle variables [0..m-1], select variables
+    [m..m+b-1], the XOR rows; no clauses, no guards) — what design
+    packs serialize. Treat as read-only. *)
+
+val warm_of_skeleton : m:int -> b:int -> Tp_sat.Cnf.t -> warm
+(** Rebuild a skeleton from a deserialized CNF. Loading the same CNF
+    is deterministic, so the result is indistinguishable from
+    {!val:warm} on the encoding that produced it. Raises
+    [Invalid_argument] when the CNF's variable count is not [m + b].
+    The caller is trusted on the CNF's content (design packs verify it
+    with a checksum). *)
+
 val batch :
   ?assume:Property.t list ->
   ?presolve:bool ->
@@ -250,6 +277,7 @@ val batch :
   ?gauss:bool ->
   ?repair:int ->
   ?shared:Presolve.shared ->
+  ?warm:warm ->
   Encoding.t ->
   Log_entry.t list ->
   (verdict * health * Tp_sat.Solver.stats) list
@@ -285,7 +313,16 @@ val batch :
     ({!Presolve.shared}); parallel callers that split a log into
     chunks compute it once and hand the same read-only copy to every
     chunk, instead of each chunk re-reducing [A]. Omitted, it is
-    computed lazily on first use. *)
+    computed lazily on first use.
+
+    [warm] is a compiled skeleton ({!val:warm}): the batch starts from
+    a copy of its CNF and a clone of its solver snapshot instead of
+    re-encoding and re-propagating the XOR rows. Used only when the
+    call matches the compiled configuration ([assume = []],
+    [repair = 0], [gauss] unset) — otherwise it is silently ignored
+    and the cold construction runs; either way the answers are
+    identical to a cold call. Raises [Invalid_argument] when the
+    skeleton's dimensions disagree with [encoding]. *)
 
 (** {1 Cube-and-conquer hooks}
 

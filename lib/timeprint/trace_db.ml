@@ -34,12 +34,19 @@ let window db ~from_cycle ~to_cycle =
   go hi []
 
 let entry_at_time db ~clock_hz time =
-  if time < 0. || clock_hz <= 0. then None
+  if Float.is_nan time || time < 0. || clock_hz <= 0. then None
   else begin
-    (* guard against float round-off for times on a cycle boundary *)
+    (* Guard against float round-off for times on a cycle boundary.
+       The slack must be relative: an absolute epsilon falls below one
+       ulp once the entry index passes ~2^23, silently landing boundary
+       times in the previous entry. A few round-off ulps is all the
+       conversion above can introduce, so 1e-12 relative is ample. *)
     let cycles = time *. clock_hz /. float_of_int (Encoding.m db.enc) in
-    let i = int_of_float (Float.floor (cycles +. 1e-9)) in
-    match entry db i with Some e -> Some (i, e) | None -> None
+    let i_f = Float.floor (cycles *. (1. +. 1e-12)) in
+    if (not (Float.is_finite i_f)) || i_f >= float_of_int max_int then None
+    else
+      let i = int_of_float i_f in
+      match entry db i with Some e -> Some (i, e) | None -> None
   end
 
 let bits_stored db =

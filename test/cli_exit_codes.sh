@@ -1,0 +1,48 @@
+#!/bin/sh
+# Exit-code contract of the log-ingestion commands:
+#   0 clean, 2 quarantined entries, 3 malformed log lines (3 wins when
+#   both apply — a skipped line shifts every later index, so the log
+#   must not be trusted). Also: a broken --pack warns and runs cold.
+# Usage: cli_exit_codes.sh path/to/timeprint_cli.exe
+set -u
+cli="$1"
+enc="--scheme one-hot -m 8"
+fail() { echo "cli_exit_codes: $1" >&2; exit 1; }
+
+expect() {
+  want="$1"; name="$2"; shift 2
+  "$@" >out.txt 2>err.txt
+  got=$?
+  [ "$got" -eq "$want" ] || {
+    cat out.txt err.txt >&2
+    fail "$name: expected exit $want, got $got"
+  }
+}
+
+# clean log: weight-k timeprints are realizable under one-hot
+printf '00000011 2\n# comment\n\n10000000 1\n' >clean.log
+expect 0 "clean log" $cli stream $enc clean.log
+
+# a malformed line is counted and reported via exit 3
+printf '00000011 2\nbogus\n' >malformed.log
+expect 3 "malformed line" $cli stream $enc malformed.log
+grep -q "malformed log line(s) skipped" err.txt || fail "malformed: missing count on stderr"
+
+# an unexplainable entry quarantines: exit 2, distinct from 3
+printf '10000000 3\n' >quarantine.log
+expect 2 "quarantined entry" $cli stream $enc quarantine.log
+
+# malformed wins over quarantine
+printf '10000000 3\nbogus\n' >both.log
+expect 3 "malformed beats quarantine" $cli stream $enc both.log
+
+# corrupt shares the reader and the exit code
+expect 3 "corrupt sees malformed" $cli corrupt $enc malformed.log
+
+# a truncated pack is a warning plus a cold run, never a failure
+expect 0 "compile pack" $cli compile $enc pack.tpk
+head -c 20 pack.tpk >broken.tpk
+expect 0 "broken pack runs cold" $cli stream $enc --pack broken.tpk clean.log
+grep -q "running cold" err.txt || fail "broken pack: missing cold-run warning"
+
+echo "cli exit codes ok"

@@ -111,6 +111,22 @@ let prop_string_roundtrip =
   QCheck.Test.make ~name:"of_string (to_string v) = v" ~count:500 arb_bitvec
     (fun v -> Bitvec.equal (Bitvec.of_string (Bitvec.to_string v)) v)
 
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"to_buffer/read round trip" ~count:500
+    QCheck.(pair arb_bitvec arb_bitvec) (fun (v, w) ->
+      (* two vectors back to back, plus trailing garbage: read must
+         return each vector and the exact cursor for the next *)
+      let buf = Buffer.create 64 in
+      Bitvec.to_buffer buf v;
+      let n1 = Buffer.length buf in
+      Bitvec.to_buffer buf w;
+      let n2 = Buffer.length buf in
+      Buffer.add_string buf "!!";
+      let bytes = Buffer.to_bytes buf in
+      let v', pos1 = Bitvec.read bytes ~pos:0 in
+      let w', pos2 = Bitvec.read bytes ~pos:pos1 in
+      Bitvec.equal v v' && Bitvec.equal w w' && pos1 = n1 && pos2 = n2)
+
 let prop_xor_assoc_comm =
   QCheck.Test.make ~name:"xor is commutative and self-inverse" ~count:500
     QCheck.(pair arb_bitvec arb_bitvec)
@@ -262,6 +278,16 @@ let arb_matrix =
     ~print:(fun m -> Format.asprintf "%a" F2_matrix.pp m)
     gen_matrix
 
+let prop_matrix_wire_roundtrip =
+  QCheck.Test.make ~name:"matrix to_buffer/read round trip" ~count:300
+    arb_matrix (fun m ->
+      let buf = Buffer.create 256 in
+      F2_matrix.to_buffer buf m;
+      let n = Buffer.length buf in
+      Buffer.add_char buf '!';
+      let m', pos = F2_matrix.read (Buffer.to_bytes buf) ~pos:0 in
+      F2_matrix.equal m m' && pos = n)
+
 let prop_solve_sound =
   QCheck.Test.make ~name:"solve returns a genuine solution" ~count:300
     QCheck.(pair arb_matrix (int_bound 255))
@@ -379,6 +405,7 @@ let () =
             prop_xor_assoc_comm;
             prop_popcount_indices;
             prop_succ_is_increment;
+            prop_wire_roundtrip;
           ] );
       ( "f2-matrix-unit",
         [
@@ -404,5 +431,6 @@ let () =
             prop_rref_pivot_structure;
             prop_rref_preserves_rank;
             prop_rref_rows_solves_augmented;
+            prop_matrix_wire_roundtrip;
           ] );
     ]

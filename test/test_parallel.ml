@@ -58,6 +58,44 @@ let test_pool_exception_propagation () =
       Pool.shutdown pool)
     [ 1; 3 ]
 
+let test_pool_get_eviction_defers_shutdown () =
+  (* Evicting the cached pool while it has a map in flight must not
+     join its workers under the running map: [get] returns the fresh
+     pool at once and the retired one shuts down when the map drains.
+     Before the deferred shutdown, the [get] below joined worker
+     domains that were blocked inside the map's tasks — deadlock until
+     the tasks gave up. *)
+  let p1 = Pool.get ~jobs:3 in
+  let started = Atomic.make 0 in
+  let released = Atomic.make false in
+  let evicted = Atomic.make false in
+  let mapper =
+    Domain.spawn (fun () ->
+        Pool.map p1
+          (fun _ ->
+            Atomic.incr started;
+            let spins = ref 0 in
+            while (not (Atomic.get released)) && !spins < 300_000_000 do
+              incr spins;
+              Domain.cpu_relax ()
+            done;
+            Atomic.get evicted)
+          (Array.make 4 ()))
+  in
+  while Atomic.get started = 0 do
+    Domain.cpu_relax ()
+  done;
+  let p2 = Pool.get ~jobs:2 in
+  Atomic.set evicted true;
+  Atomic.set released true;
+  let results = Domain.join mapper in
+  Alcotest.(check int) "replacement pool has the new size" 2 (Pool.jobs p2);
+  Alcotest.(check (array bool)) "map drained after eviction, not before"
+    (Array.make 4 true) results;
+  (* the retired pool's deferred shutdown has run; the fresh one works *)
+  Alcotest.(check (array int)) "fresh pool serves maps" [| 0; 1; 2 |]
+    (Pool.map p2 (fun i -> i) [| 0; 1; 2 |])
+
 let test_pool_zero_means_recommended () =
   let pool = Pool.create ~jobs:0 in
   Alcotest.(check bool) "at least one domain" true (Pool.jobs pool >= 1);
@@ -305,6 +343,8 @@ let () =
             test_pool_exception_propagation;
           Alcotest.test_case "jobs=0 means recommended" `Quick
             test_pool_zero_means_recommended;
+          Alcotest.test_case "get eviction defers shutdown of a busy pool"
+            `Quick test_pool_get_eviction_defers_shutdown;
         ] );
       ( "interrupt",
         [

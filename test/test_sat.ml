@@ -534,6 +534,29 @@ let test_dimacs_xor_spanning_lines () =
       Alcotest.(check bool) "xor 2 parity" false x2.Cnf.parity
   | _ -> Alcotest.fail "expected two xors"
 
+let test_dimacs_empty_xor_roundtrip () =
+  (* `x 0` is the odd empty constraint 0 = 1; [Cnf.add_xor] normalizes
+     it to the empty clause, so it must serialize as the empty clause
+     `0` — an `x 0` rendering would survive, but an {e even} empty row
+     written the same way would read back as a contradiction *)
+  let p = Dimacs.parse_string "p cnf 1 2\nx 0\n1 0\n" in
+  Alcotest.(check int) "odd empty xor is the empty clause" 2 (Cnf.nclauses p);
+  Alcotest.(check int) "no xor rows survive" 0 (Cnf.nxors p);
+  Alcotest.(check bool) "unsat" true (brute_models p = []);
+  let q = Dimacs.parse_string (Dimacs.to_string p) in
+  Alcotest.(check int) "round trip keeps both clauses" 2 (Cnf.nclauses q);
+  Alcotest.(check bool) "round trip still unsat" true (brute_models q = []);
+  (* the even empty constraint 0 = 0 (a cancelling pair) is trivially
+     true and vanishes — and the serialized header must agree *)
+  let r = Dimacs.parse_string "p cnf 1 2\nx1 -1 0\n1 0\n" in
+  Alcotest.(check int) "even empty xor dropped" 0 (Cnf.nxors r);
+  Alcotest.(check int) "only the real clause" 1 (Cnf.nclauses r);
+  let r' = Dimacs.parse_string (Dimacs.to_string r) in
+  Alcotest.(check int) "header stays consistent" 1 (Cnf.nclauses r');
+  Alcotest.(check (list (list bool))) "same models"
+    (List.map Array.to_list (brute_models r))
+    (List.map Array.to_list (brute_models r'))
+
 let test_dimacs_guarded_xor_unserializable () =
   let p = Cnf.create () in
   let a = Cnf.new_var p and b = Cnf.new_var p in
@@ -677,6 +700,22 @@ let prop_dimacs_roundtrip =
       (* note: xor normalization may shrink variable count references,
          but nvars is pinned by the p-line *)
       norm p = norm q)
+
+let prop_dimacs_structural_roundtrip =
+  (* stronger than model equality: serialize/parse is the identity on
+     the normalized problem — same header counts, same clauses, same
+     xor rows. [gen_problem]'s xors draw variables with repetition, so
+     this regularly exercises rows that normalize to fewer variables
+     or to the degenerate empty constraints. *)
+  QCheck.Test.make ~name:"dimacs round trip is structural identity" ~count:300
+    (QCheck.make ~print:print_problem gen_problem) (fun spec ->
+      let p = problem_of spec in
+      let q = Dimacs.parse_string (Dimacs.to_string p) in
+      Cnf.nvars p = Cnf.nvars q
+      && Cnf.nclauses p = Cnf.nclauses q
+      && Cnf.nxors p = Cnf.nxors q
+      && Cnf.clauses p = Cnf.clauses q
+      && Cnf.xors p = Cnf.xors q)
 
 (* ------------------------------------------------------------------ *)
 (* Gauss engine and XOR presolve cross-checks                          *)
@@ -969,6 +1008,8 @@ let () =
           Alcotest.test_case "clause spanning lines" `Quick
             test_dimacs_clause_spanning_lines;
           Alcotest.test_case "xor spanning lines" `Quick test_dimacs_xor_spanning_lines;
+          Alcotest.test_case "empty xor round trip" `Quick
+            test_dimacs_empty_xor_roundtrip;
           Alcotest.test_case "guarded xor unserializable" `Quick
             test_dimacs_guarded_xor_unserializable;
         ] );
@@ -993,6 +1034,7 @@ let () =
             prop_xor_expansion_equiv;
             prop_assumptions_vs_brute;
             prop_dimacs_roundtrip;
+            prop_dimacs_structural_roundtrip;
             prop_gauss_vs_brute;
             prop_gauss_allsat;
             prop_xor_simp_equiv;

@@ -664,6 +664,34 @@ let test_trace_db_time_lookup () =
   | Some (i, _) -> Alcotest.(check int) "trace-cycle of 2.2534 s" 11267 i
   | None -> Alcotest.fail "entry should exist"
 
+let test_trace_db_time_boundary () =
+  let m = 16 in
+  let e = Encoding.random_constrained ~m ~b:10 () in
+  let db = Trace_db.create ~capacity:8 e in
+  let entry0 = Logger.abstract e (Signal.of_changes ~m [ 1 ]) in
+  for _ = 1 to 4 do Trace_db.append db entry0 done;
+  (* non-finite and overflowing times answer None — int_of_float on
+     NaN or 1e300 is unspecified (0 on amd64), which used to alias
+     these queries to trace-cycle 0 *)
+  let none t = Trace_db.entry_at_time db ~clock_hz:16. t = None in
+  Alcotest.(check bool) "nan" true (none Float.nan);
+  Alcotest.(check bool) "huge" true (none 1e300);
+  Alcotest.(check bool) "inf" true (none Float.infinity);
+  Alcotest.(check bool) "negative" true (none (-1.));
+  (* a boundary time one ulp short of trace-cycle 2^26: an absolute
+     epsilon is smaller than one ulp at that magnitude, so the old
+     guard landed in the previous entry; the relative guard recovers
+     the boundary index *)
+  let i0 = 1 lsl 26 in
+  for _ = 1 to i0 - 3 do Trace_db.append db entry0 done;
+  (* clock_hz = m: one trace-cycle per second, cycles = time exactly *)
+  match
+    Trace_db.entry_at_time db ~clock_hz:(float_of_int m)
+      (Float.pred (float_of_int i0))
+  with
+  | Some (i, _) -> Alcotest.(check int) "boundary index" i0 i
+  | None -> Alcotest.fail "boundary entry should exist"
+
 let test_first_certified () =
   (* SAT side: finds a signal like first does *)
   let pb = Reconstruct.problem fig4_encoding fig4_entry in
@@ -1075,6 +1103,8 @@ let () =
           Alcotest.test_case "combinatorial fig4" `Quick test_combinatorial_fig4;
           Alcotest.test_case "trace db wear-out" `Quick test_trace_db_roundtrip;
           Alcotest.test_case "trace db time lookup" `Quick test_trace_db_time_lookup;
+          Alcotest.test_case "trace db boundary and overflow guards" `Quick
+            test_trace_db_time_boundary;
           Alcotest.test_case "certified UNSAT" `Quick test_first_certified;
           Alcotest.test_case "trace buffer overflow" `Quick test_trace_buffer_exact_until_overflow;
           Alcotest.test_case "trace buffer vs db storage" `Quick test_trace_buffer_vs_trace_db_storage;
