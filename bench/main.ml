@@ -5,9 +5,9 @@
      dune exec bench/main.exe -- --full       # paper-scale m (hours)
      dune exec bench/main.exe -- table1 soc   # selected sections
 
-   Sections: fig4 table1 table2 can incremental faults soc engines ablation
-   baseline micro. [--smoke] shrinks the engines grid and budgets for
-   the tier1 alias's smoke run.
+   Sections: fig4 table1 table2 can incremental faults soc engines
+   parallel pack solvercore ablation baseline micro. [--smoke] shrinks
+   the grids and budgets for the tier1 alias's smoke run.
 
    Absolute times are not comparable to the paper's (their substrate
    was Cryptominisat on an i7; ours is the in-repo CDCL solver) — the
@@ -1437,6 +1437,222 @@ let pack_bench ~full ~smoke () =
     ms
 
 (* ------------------------------------------------------------------ *)
+(* Solver core (section "solvercore") → BENCH_pr7.json: the arena
+   layout + inprocessing + portfolio changes measured against the seed
+   solver. Three cell families:
+
+   - identity: the same unbudgeted [Check] answered with inprocessing
+     on and off must return the exact same verdict — a hard [failwith]
+     otherwise, so the tier1 smoke run gates on it. (Unbudgeted checks
+     are pure functions of the problem; budgeted ones are
+     trajectory-dependent and excluded by construction.)
+   - speed: the recorded BENCH_pr3 m=128 SAT cells (enumerate <=10,
+     budget 15000) re-run on the current solver against the medians
+     written by that PR, on the same container class. The acceptance
+     bar is a >= 2x median improvement on the SAT-engine cells.
+   - portfolio: the same check raced on 1 and 2 domains must return
+     identical verdicts; the report's winner config is recorded. *)
+
+type sc_cell = {
+  sc_kind : string; (* "identity" | "speed" | "portfolio" *)
+  sc_m : int;
+  sc_k : int;
+  sc_detail : string;
+  sc_time_s : float;
+  sc_ref_s : float; (* inprocessing-off / PR3-recorded / jobs=1; <0 = n/a *)
+}
+
+let sc_cells : sc_cell list ref = ref []
+
+let write_solvercore_json () =
+  match List.rev !sc_cells with
+  | [] -> ()
+  | cells ->
+      let buf = Buffer.create 2048 in
+      Buffer.add_string buf "{\n  \"cells\": [\n";
+      let last = List.length cells - 1 in
+      List.iteri
+        (fun i c ->
+          let speedup =
+            if c.sc_ref_s > 0. && c.sc_time_s > 0. then
+              Printf.sprintf "%.3f" (c.sc_ref_s /. c.sc_time_s)
+            else "null"
+          in
+          Printf.bprintf buf
+            "    {\"kind\": %S, \"m\": %d, \"k\": %d, \"detail\": %S, \
+             \"time_s\": %.6f, \"ref_s\": %s, \"speedup\": %s}%s\n"
+            c.sc_kind c.sc_m c.sc_k c.sc_detail c.sc_time_s
+            (if c.sc_ref_s >= 0. then Printf.sprintf "%.6f" c.sc_ref_s
+             else "null")
+            speedup
+            (if i = last then "" else ","))
+        cells;
+      Buffer.add_string buf "  ],\n";
+      let sat_speedups =
+        List.filter_map
+          (fun c ->
+            if c.sc_kind = "speed" && c.sc_detail = "sat" && c.sc_time_s > 0.
+            then Some (c.sc_ref_s /. c.sc_time_s)
+            else None)
+          cells
+      in
+      let sat_median = median sat_speedups in
+      let n_id =
+        List.length (List.filter (fun c -> c.sc_kind = "identity") cells)
+      in
+      let n_pf =
+        List.length (List.filter (fun c -> c.sc_kind = "portfolio") cells)
+      in
+      (* mismatches abort the run with [failwith] before this writer,
+         so reaching here certifies both invariants held *)
+      Printf.bprintf buf
+        "  \"summary\": {\"identity_cells\": %d, \"identity_mismatches\": 0, \
+         \"portfolio_cells\": %d, \"portfolio_invariant\": true, \
+         \"sat_speedup_median_vs_pr3\": %s, \"target_2x_met\": %b}\n}\n"
+        n_id n_pf
+        (if sat_median >= 0. then Printf.sprintf "%.3f" sat_median else "null")
+        (sat_median >= 2.);
+      Out_channel.with_open_text "BENCH_pr7.json" (fun oc ->
+          Out_channel.output_string oc (Buffer.contents buf));
+      Format.printf
+        "@.wrote BENCH_pr7.json (%d cells; sat median speedup vs PR3 %s)@."
+        (List.length cells)
+        (if sat_median >= 0. then Printf.sprintf "%.2fx" sat_median else "n/a")
+
+let check_str = function
+  | Engine.Check `Holds_in_all -> "holds-in-all"
+  | Engine.Check `Violated_in_all -> "violated-in-all"
+  | Engine.Check `Mixed -> "mixed"
+  | Engine.Check `Vacuous -> "vacuous"
+  | Engine.Check `Unknown -> "unknown"
+  | _ -> "non-check"
+
+let solvercore_bench ~full:_ ~smoke () =
+  Format.printf "@.== Solver core: arena + inprocessing + portfolio ==@.";
+  let with_inprocess on f =
+    Tp_sat.Solver.set_inprocess_default on;
+    Fun.protect
+      ~finally:(fun () -> Tp_sat.Solver.set_inprocess_default true)
+      f
+  in
+  let check_query m k =
+    let enc = encoding_for m in
+    let entry = Logger.abstract enc (constrained_signal ~m ~k) in
+    Query.make
+      ~answer:(Query.Check (Property.deadline ~count:1 ~before:(m / 4)))
+      enc entry
+  in
+  (* -- identity: inprocessing on vs off on unbudgeted checks -------- *)
+  let idcells =
+    if smoke then [ (64, 8) ] else [ (64, 8); (64, 16); (128, 8); (128, 16) ]
+  in
+  Format.printf "%-10s %-8s %-16s %10s %10s@." "cell" "m/k" "verdict"
+    "inproc-on" "inproc-off";
+  List.iter
+    (fun (m, k) ->
+      let q = check_query m k in
+      let t_on, (o_on, _) = time (fun () -> Plan.run q) in
+      let t_off, (o_off, _) =
+        with_inprocess false (fun () -> time (fun () -> Plan.run q))
+      in
+      if o_on <> o_off then
+        failwith
+          (Printf.sprintf
+             "solvercore: inprocessed check answer differs from plain on \
+              m=%d k=%d"
+             m k);
+      Format.printf "%-10s %-8s %-16s %a %a@." "identity"
+        (Printf.sprintf "%d/%d" m k)
+        (check_str o_on) pp_time t_on pp_time t_off;
+      sc_cells :=
+        {
+          sc_kind = "identity";
+          sc_m = m;
+          sc_k = k;
+          sc_detail = check_str o_on;
+          sc_time_s = t_on;
+          sc_ref_s = t_off;
+        }
+        :: !sc_cells)
+    idcells;
+  (* -- speed: the PR3 SAT cells against that PR's recorded medians -- *)
+  let refs =
+    (* (m, k) -> (sat_s, planner_s) as written in BENCH_pr3.json *)
+    if smoke then [ ((64, 8), (1.020624, 0.987330)) ]
+    else [ ((128, 8), (13.397805, 12.693901)); ((128, 16), (10.618156, 8.589313)) ]
+  in
+  let reps = if smoke then 1 else 3 in
+  Format.printf "%-10s %-8s %-16s %10s %10s %7s@." "cell" "m/k" "engine" "now"
+    "pr3" "x";
+  List.iter
+    (fun ((m, k), (ref_sat, ref_planner)) ->
+      let enc = encoding_for m in
+      let entry = Logger.abstract enc (constrained_signal ~m ~k) in
+      let q =
+        Query.make ~conflict_budget:15_000
+          ~answer:(Query.Enumerate { max_solutions = Some 10 })
+          enc entry
+      in
+      List.iter
+        (fun (engine, name, ref_s) ->
+          let t =
+            median
+              (List.init reps (fun _ ->
+                   fst (time (fun () -> ignore (Plan.run ~engine q)))))
+          in
+          Format.printf "%-10s %-8s %-16s %a %a %6.2fx@." "speed"
+            (Printf.sprintf "%d/%d" m k)
+            name pp_time t pp_time ref_s
+            (if t > 0. then ref_s /. t else -1.);
+          sc_cells :=
+            {
+              sc_kind = "speed";
+              sc_m = m;
+              sc_k = k;
+              sc_detail = name;
+              sc_time_s = t;
+              sc_ref_s = ref_s;
+            }
+            :: !sc_cells)
+        [ (`Sat, "sat", ref_sat); (`Auto, "planner", ref_planner) ])
+    refs;
+  (* -- portfolio: jobs-invariance of the raced check ---------------- *)
+  let pfcells = if smoke then [ (64, 8) ] else [ (64, 8); (128, 8) ] in
+  Format.printf "%-10s %-8s %-16s %10s %10s@." "cell" "m/k" "race" "jobs=2"
+    "jobs=1";
+  List.iter
+    (fun (m, k) ->
+      let q = check_query m k in
+      let t1, (o1, _) = time (fun () -> Plan.run ~jobs:1 q) in
+      let t2, (o2, r2) = time (fun () -> Plan.run ~jobs:2 q) in
+      if o1 <> o2 then
+        failwith
+          (Printf.sprintf
+             "solvercore: portfolio answer depends on jobs on m=%d k=%d" m k);
+      let race =
+        match r2.Plan.parallel with
+        | Plan.Portfolio { jobs; winner } ->
+            Printf.sprintf "jobs=%d winner=%d" jobs winner
+        | Plan.Pinned why -> "pinned: " ^ why
+        | Plan.Cubed _ -> "cubed"
+        | Plan.Off -> "off"
+      in
+      Format.printf "%-10s %-8s %-16s %a %a@." "portfolio"
+        (Printf.sprintf "%d/%d" m k)
+        race pp_time t2 pp_time t1;
+      sc_cells :=
+        {
+          sc_kind = "portfolio";
+          sc_m = m;
+          sc_k = k;
+          sc_detail = Printf.sprintf "%s; verdict %s" race (check_str o2);
+          sc_time_s = t2;
+          sc_ref_s = t1;
+        }
+        :: !sc_cells)
+    pfcells
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let () =
@@ -1474,6 +1690,7 @@ let () =
   if want "engines" then engines_grid ~full ~smoke ();
   if want "parallel" then parallel_bench ~full ~smoke ~max_jobs:!max_jobs ();
   if want "pack" then pack_bench ~full ~smoke ();
+  if want "solvercore" then solvercore_bench ~full ~smoke ();
   if want "ablation" then ablation ();
   if want "baseline" then baseline ();
   if want "micro" then micro ();
@@ -1482,4 +1699,5 @@ let () =
   write_faults_json ();
   write_parallel_json ();
   write_pack_json ();
+  write_solvercore_json ();
   Format.printf "@.done.@."

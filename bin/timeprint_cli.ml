@@ -474,7 +474,7 @@ let corrupt_cmd =
 (* check                                                               *)
 
 let check_cmd =
-  let run enc entry p2 pulse deadline window q_deadline engine explain =
+  let run enc entry p2 pulse deadline window q_deadline engine jobs explain =
     let prop =
       match q_deadline with
       | Some (count, before) -> Property.deadline ~count ~before
@@ -485,7 +485,7 @@ let check_cmd =
         ~assume:(assume_of p2 pulse deadline window)
         ~answer:(Query.Check prop) enc entry
     in
-    let outcome, report = Plan.run ~engine q in
+    let outcome, report = Plan.run ~engine ?jobs q in
     maybe_explain explain report;
     match outcome with
     | Engine.Check r -> Format.printf "%a@." Reconstruct.pp_check_result r
@@ -505,7 +505,7 @@ let check_cmd =
        ~doc:"Decide whether a property holds in all/some reconstructions.")
     Term.(
       const run $ enc_term $ entry_args $ p2_flag $ pulse_flag $ deadline_opt
-      $ window_opt $ q_deadline $ engine_arg $ explain_flag)
+      $ window_opt $ q_deadline $ engine_arg $ jobs_arg $ explain_flag)
 
 (* ------------------------------------------------------------------ *)
 (* dimacs                                                              *)

@@ -14,11 +14,12 @@
    implied units/equivalences re-enter the formula as unit clauses and
    binary XORs so every DIMACS variable stays reportable in `v` lines.
    [-no-presolve] skips that; [-no-gauss] turns the in-solver Gauss
-   engine off (it is otherwise in auto mode). *)
+   engine off (it is otherwise in auto mode); [-no-inprocess] disables
+   the between-restart clause-database simplification. *)
 
 let usage =
   "usage: tpsat [-budget N] [-models N] [-assume \"LITS\"] [-stats] \
-   [-no-gauss] [-no-presolve] [FILE | -]"
+   [-no-gauss] [-no-presolve] [-no-inprocess] [FILE | -]"
 
 (* Gauss–Jordan-reduce the unguarded XOR rows of [cnf] at the formula
    level. Units and aliases are added back as unit clauses / binary
@@ -56,6 +57,7 @@ let () =
   let show_stats = ref false in
   let gauss = ref None in
   let use_presolve = ref true in
+  let inprocess = ref true in
   let path = ref None in
   let rec parse = function
     | [] -> ()
@@ -92,6 +94,9 @@ let () =
         parse rest
     | "-no-presolve" :: rest ->
         use_presolve := false;
+        parse rest
+    | "-no-inprocess" :: rest ->
+        inprocess := false;
         parse rest
     | [ p ] -> path := Some p
     | _ ->
@@ -135,6 +140,7 @@ let () =
               out
       in
       let solver = Tp_sat.Solver.of_cnf ?gauss:!gauss cnf in
+      Tp_sat.Solver.set_inprocess solver !inprocess;
       let query = ref 0 in
       let solve () =
         let before = Tp_sat.Solver.stats solver in
@@ -154,7 +160,16 @@ let () =
             "c gauss %d: rows=%d elims=%d propagations=%d conflicts=%d\n"
             !query a.gauss_rows a.gauss_elims
             (a.gauss_props - before.gauss_props)
-            (a.gauss_conflicts - before.gauss_conflicts)
+            (a.gauss_conflicts - before.gauss_conflicts);
+          Printf.printf
+            "c inprocess %d: subsumed=%d strengthened=%d eliminated=%d \
+             vivified=%d xors-recovered=%d\n"
+            !query
+            (a.subsumed - before.subsumed)
+            (a.strengthened - before.strengthened)
+            (a.eliminated - before.eliminated)
+            (a.vivified - before.vivified)
+            (a.xors_recovered - before.xors_recovered)
         end;
         r
       in

@@ -1,0 +1,107 @@
+(* Clause layout at word offset [c]:
+     data.(c)     size lsl 3  |  learnt:bit0  deleted:bit1  reloced:bit2
+     data.(c + 1) LBD — or the forwarding cref once the clause moved
+     data.(c + 2) activity as float bits shifted right by one
+     data.(c + 3 ..) literals (Lit.to_index)
+   Activities are non-negative, so dropping the lowest mantissa bit to
+   fit OCaml's 63-bit ints preserves ordering exactly and value to one
+   ulp. *)
+
+type t = { mutable data : int array; mutable len : int; mutable wasted : int }
+type cref = int
+
+let header = 3
+
+let create ?(capacity = 1024) () =
+  { data = Array.make (max capacity 16) 0; len = 0; wasted = 0 }
+
+let ensure a needed =
+  let cap = Array.length a.data in
+  if needed > cap then begin
+    let data = Array.make (max needed (2 * cap)) 0 in
+    Array.blit a.data 0 data 0 a.len;
+    a.data <- data
+  end
+
+let alloc a ~learnt lits =
+  let n = Array.length lits in
+  let c = a.len in
+  ensure a (c + header + n);
+  a.data.(c) <- (n lsl 3) lor (if learnt then 1 else 0);
+  a.data.(c + 1) <- 0;
+  a.data.(c + 2) <- 0;
+  for i = 0 to n - 1 do
+    a.data.(c + header + i) <- Lit.to_index lits.(i)
+  done;
+  a.len <- c + header + n;
+  c
+
+let size a c = Array.unsafe_get a.data c lsr 3
+let learnt a c = a.data.(c) land 1 <> 0
+let deleted a c = a.data.(c) land 2 <> 0
+let reloced a c = a.data.(c) land 4 <> 0
+let lit a c i = Lit.of_index (Array.unsafe_get a.data (c + header + i))
+let set_lit a c i l = Array.unsafe_set a.data (c + header + i) (Lit.to_index l)
+
+let swap_lits a c i j =
+  let d = a.data in
+  let tmp = d.(c + header + i) in
+  d.(c + header + i) <- d.(c + header + j);
+  d.(c + header + j) <- tmp
+
+let lits a c = Array.init (size a c) (fun i -> lit a c i)
+
+let delete a c =
+  if not (deleted a c) then begin
+    a.wasted <- a.wasted + header + size a c;
+    a.data.(c) <- a.data.(c) lor 2
+  end
+
+let shrink_clause a c n =
+  let old = size a c in
+  if n > old || n < 0 then invalid_arg "Arena.shrink_clause";
+  if n < old then begin
+    a.wasted <- a.wasted + (old - n);
+    a.data.(c) <- (n lsl 3) lor (a.data.(c) land 7)
+  end
+
+let remove_lit_at a c i =
+  let n = size a c in
+  let d = a.data in
+  for j = i to n - 2 do
+    d.(c + header + j) <- d.(c + header + j + 1)
+  done;
+  shrink_clause a c (n - 1)
+
+let lbd a c = a.data.(c + 1)
+let set_lbd a c v = a.data.(c + 1) <- v
+
+let activity a c =
+  Int64.float_of_bits (Int64.shift_left (Int64.of_int a.data.(c + 2)) 1)
+
+let set_activity a c f =
+  a.data.(c + 2) <- Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float f) 1)
+
+let words a = a.len
+let wasted a = a.wasted
+
+let move ~src ~dst c =
+  let n = size src c in
+  let c' = dst.len in
+  ensure dst (c' + header + n);
+  Array.blit src.data c dst.data c' (header + n);
+  dst.len <- c' + header + n;
+  src.data.(c) <- src.data.(c) lor 4;
+  src.data.(c + 1) <- c';
+  c'
+
+let forward a c = if reloced a c then a.data.(c + 1) else c
+
+let raw a = (Array.sub a.data 0 a.len, a.len, a.wasted)
+
+let of_raw (data, len, wasted) =
+  let a = create ~capacity:(max len 16) () in
+  Array.blit data 0 a.data 0 len;
+  a.len <- len;
+  a.wasted <- wasted;
+  a

@@ -1,0 +1,71 @@
+(** Contiguous clause storage.
+
+    Every clause — problem and learnt alike — lives in one growable int
+    array: a three-word header (size + flags, LBD, activity) followed
+    by the literals. Clauses are addressed by integer refs ([cref]s,
+    word offsets into the array), so the clause database has no
+    per-clause boxing, watch lists can be flat int pairs, and cloning a
+    solver's clause DB is a single array blit.
+
+    Deletion only marks the header (and grows the [wasted] count); the
+    space is reclaimed by a relocating pass driven by the solver:
+    {!move} copies a clause into a fresh arena and leaves a forwarding
+    ref behind, {!forward} resolves refs through it. *)
+
+type t
+type cref = int
+
+val create : ?capacity:int -> unit -> t
+val alloc : t -> learnt:bool -> Lit.t array -> cref
+
+val size : t -> cref -> int
+(** Number of literals. *)
+
+val lit : t -> cref -> int -> Lit.t
+val set_lit : t -> cref -> int -> Lit.t -> unit
+val swap_lits : t -> cref -> int -> int -> unit
+
+val lits : t -> cref -> Lit.t array
+(** Fresh copy of the literal block. *)
+
+val learnt : t -> cref -> bool
+val deleted : t -> cref -> bool
+
+val delete : t -> cref -> unit
+(** Mark deleted; the words count as wasted until the next relocation. *)
+
+val shrink_clause : t -> cref -> int -> unit
+(** Truncate to the first [n] literals (strengthening in place). *)
+
+val remove_lit_at : t -> cref -> int -> unit
+(** Drop the literal at one position (order of the rest is preserved). *)
+
+val lbd : t -> cref -> int
+val set_lbd : t -> cref -> int -> unit
+
+val activity : t -> cref -> float
+(** Stored in the header as shifted float bits: non-negative activities
+    round-trip with at most one ulp of loss, which VSIDS-style ordering
+    never notices. *)
+
+val set_activity : t -> cref -> float -> unit
+
+val words : t -> int
+(** Words in use (live + wasted). *)
+
+val wasted : t -> int
+
+(* Relocation *)
+
+val move : src:t -> dst:t -> cref -> cref
+(** Copy a clause into [dst] and leave a forwarding ref in [src]. *)
+
+val forward : t -> cref -> cref
+(** Resolve a ref through any forwarding left by {!move}. *)
+
+(* Snapshot support *)
+
+val raw : t -> int array * int * int
+(** [(data copy, words, wasted)] — the serializable image. *)
+
+val of_raw : int array * int * int -> t

@@ -1,0 +1,72 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 8) () = { data = Array.make (max capacity 2) 0; len = 0 }
+let size v = v.len
+let is_empty v = v.len = 0
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Ivec.get";
+  Array.unsafe_get v.data i
+
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Ivec.set";
+  Array.unsafe_set v.data i x
+
+let grow v needed =
+  let cap = Array.length v.data in
+  if needed > cap then begin
+    let data = Array.make (max needed (2 * cap)) 0 in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  grow v (v.len + 1);
+  Array.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let push2 v x y =
+  grow v (v.len + 2);
+  Array.unsafe_set v.data v.len x;
+  Array.unsafe_set v.data (v.len + 1) y;
+  v.len <- v.len + 2
+
+let clear v = v.len <- 0
+
+let shrink v n =
+  if n < 0 || n > v.len then invalid_arg "Ivec.shrink";
+  v.len <- n
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let to_array v = Array.sub v.data 0 v.len
+
+let filter_in_place p v =
+  let j = ref 0 in
+  for i = 0 to v.len - 1 do
+    let x = Array.unsafe_get v.data i in
+    if p x then begin
+      Array.unsafe_set v.data !j x;
+      incr j
+    end
+  done;
+  v.len <- !j
+
+let filter_pairs_in_place p v =
+  if v.len land 1 <> 0 then invalid_arg "Ivec.filter_pairs_in_place: odd size";
+  let j = ref 0 in
+  let i = ref 0 in
+  while !i < v.len do
+    let a = Array.unsafe_get v.data !i in
+    let b = Array.unsafe_get v.data (!i + 1) in
+    if p a b then begin
+      Array.unsafe_set v.data !j a;
+      Array.unsafe_set v.data (!j + 1) b;
+      j := !j + 2
+    end;
+    i := !i + 2
+  done;
+  v.len <- !j

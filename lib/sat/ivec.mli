@@ -1,0 +1,33 @@
+(** Flat int vectors.
+
+    The cache-lean sibling of {!Vec}: no dummy element, no boxing, and
+    a handful of stride-2 helpers for the solver's watch lists, which
+    store [(clause ref, blocker literal)] pairs as two consecutive
+    ints. Keeping watchers flat is the point of the arena layout — a
+    watch-list traversal is a linear walk over one int array instead of
+    a pointer chase through a record per watcher. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val size : t -> int
+val is_empty : t -> bool
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val push : t -> int -> unit
+
+val push2 : t -> int -> int -> unit
+(** Append a pair in one grow check. *)
+
+val clear : t -> unit
+val shrink : t -> int -> unit
+(** Truncate to the first [n] entries. *)
+
+val iter : (int -> unit) -> t -> unit
+val to_array : t -> int array
+val filter_in_place : (int -> bool) -> t -> unit
+
+val filter_pairs_in_place : (int -> int -> bool) -> t -> unit
+(** Stride-2 filter: [f a b] decides whether the pair at positions
+    [(2i, 2i+1)] survives. The vector must hold an even number of
+    entries. *)

@@ -1,5 +1,6 @@
 (* CDCL with two-watched literals, native XOR propagation, 1UIP
-   learning, VSIDS, phase saving, Luby restarts, DB reduction.
+   learning, VSIDS, phase saving, Luby restarts, DB reduction, and
+   inprocessing between restarts.
 
    Literal/assignment conventions:
    - literals are [Lit.t] stored as raw ints (MiniSat packing);
@@ -7,23 +8,13 @@
    - a clause watches [lits.(0)] and [lits.(1)] and sits in the watch
      lists indexed by the *negations* of those literals, so the list
      [watches.(Lit.to_index p)] holds exactly the clauses that must be
-     visited when [p] becomes true. *)
+     visited when [p] becomes true.
 
-type clause = {
-  mutable lits : Lit.t array;
-  mutable activity : float;
-  mutable lbd : int;
-      (* literal block distance: number of distinct decision levels in
-         the clause when learnt (glucose); refreshed downward when the
-         clause serves as a reason in later conflicts *)
-  learnt : bool;
-  mutable deleted : bool;
-}
-
-type watcher = { wc : clause; mutable blocker : Lit.t }
-(* A clause in a watch list paired with one of its other literals: if
-   the blocker is true the clause is satisfied and the visit costs one
-   array read instead of touching the (cold) clause at all. *)
+   Clause storage is an {!Arena}: every clause is a header plus a run
+   of literal words in one contiguous int array, addressed by integer
+   refs. Watch lists are flat [(cref, blocker)] int pairs ({!Ivec}), so
+   the propagation loop walks int arrays without pointer chasing, and
+   [snapshot]/[clone] reduce to array blits. *)
 
 type xclause = {
   xvars : int array; (* watch positions are indices 0 and 1 *)
@@ -50,24 +41,40 @@ type stats = {
   gauss_elims : int;
   gauss_props : int;
   gauss_conflicts : int;
+  subsumed : int;
+  strengthened : int;
+  eliminated : int;
+  vivified : int;
+  xors_recovered : int;
 }
+
+(* Reason encoding: a non-negative int is an arena cref; [no_reason]
+   marks decisions and root facts; [array_reason] marks an ephemeral
+   literal-array reason (XOR rows, Gauss engine) stored in [ereasons]. *)
+let no_reason = -1
+let array_reason = -2
+let empty_lits : Lit.t array = [||]
 
 type t = {
   mutable nvars : int;
   (* per-variable state, indexed by var *)
   mutable assigns : int array;
   mutable levels : int array;
-  mutable reasons : clause option array;
+  mutable reasons : int array;
+  mutable ereasons : Lit.t array array;
   mutable activity : float array;
   mutable phase : bool array;
   mutable seen : bool array;
-  (* watch lists *)
-  mutable watches : watcher Vec.t array; (* indexed by lit *)
-  mutable xwatches : xclause Vec.t array; (* indexed by var *)
+  mutable frozen : bool array; (* never eligible for elimination *)
+  mutable elim : bool array; (* currently eliminated by BVE *)
   (* clause DB *)
-  clauses : clause Vec.t;
-  learnts : clause Vec.t;
+  mutable arena : Arena.t;
+  clauses : Ivec.t; (* crefs of problem clauses *)
+  learnts : Ivec.t; (* crefs of learnt clauses *)
   xors : xclause Vec.t;
+  (* watch lists *)
+  mutable watches : Ivec.t array; (* indexed by lit: (cref, blocker) pairs *)
+  mutable xwatches : xclause Vec.t array; (* indexed by var *)
   (* trail *)
   trail : Lit.t Vec.t;
   trail_lim : int Vec.t;
@@ -87,6 +94,14 @@ type t = {
   mutable model_valid : bool;
   mutable last_core : Lit.t list option;
       (* assumption subset blamed by the last [Unsat] answer *)
+  (* bounded variable elimination: per eliminated var, the original
+     clauses removed with it, most recent elimination first *)
+  mutable elim_stack : (int * Lit.t array list) list;
+  (* inprocessing *)
+  mutable inprocess_on : bool;
+  mutable inprocess_interval : int;
+  mutable inprocess_next : int; (* conflict count of the next pass *)
+  mutable inprocess_rounds : int;
   (* stats *)
   mutable n_conflicts : int;
   mutable n_decisions : int;
@@ -97,6 +112,11 @@ type t = {
          learnt-DB reduction slack must track restarts of this search,
          not the solver's lifetime, or incremental sessions inflate the
          threshold until reduction never fires *)
+  mutable n_subsumed : int;
+  mutable n_strengthened : int;
+  mutable n_eliminated : int;
+  mutable n_vivified : int;
+  mutable n_xors_recovered : int;
   (* LBD computation scratch: distinct decision levels are counted by
      stamping [lbd_marks.(level)] with a fresh generation *)
   mutable lbd_marks : int array;
@@ -111,14 +131,7 @@ type t = {
   mutable n_gauss_conflicts : int;
 }
 
-let dummy_clause =
-  { lits = [||]; activity = 0.; lbd = 0; learnt = false; deleted = false }
-
-let mk_clause ?(learnt = false) lits =
-  { lits; activity = 0.; lbd = 0; learnt; deleted = false }
-
 let dummy_xclause = { xvars = [||]; xparity = false; xguard = None; xcovered = false }
-let dummy_watcher = { wc = dummy_clause; blocker = Lit.pos 0 }
 
 let var_decay = 1.0 /. 0.95
 let clause_decay = 1.0 /. 0.999
@@ -134,6 +147,14 @@ let gauss_threshold = 4
    the cap. *)
 let gauss_auto_max_rows = 128
 
+(* Process-wide default for newly created solvers, so benchmarks and
+   agreement tests can compare inprocessing on/off without threading a
+   flag through every construction site. Set once up front; solvers
+   read it at [create] time only. *)
+let inprocess_default = ref true
+let set_inprocess_default b = inprocess_default := b
+let default_inprocess_interval = 2000
+
 let create ?gauss () =
   let s =
     {
@@ -141,14 +162,18 @@ let create ?gauss () =
       assigns = [||];
       levels = [||];
       reasons = [||];
+      ereasons = [||];
       activity = [||];
       phase = [||];
       seen = [||];
+      frozen = [||];
+      elim = [||];
+      arena = Arena.create ();
+      clauses = Ivec.create ();
+      learnts = Ivec.create ();
+      xors = Vec.create ~dummy:dummy_xclause ();
       watches = [||];
       xwatches = [||];
-      clauses = Vec.create ~dummy:dummy_clause ();
-      learnts = Vec.create ~dummy:dummy_clause ();
-      xors = Vec.create ~dummy:dummy_xclause ();
       trail = Vec.create ~dummy:(Lit.pos 0) ();
       trail_lim = Vec.create ~dummy:0 ();
       qhead = 0;
@@ -161,11 +186,21 @@ let create ?gauss () =
       model = [||];
       model_valid = false;
       last_core = None;
+      elim_stack = [];
+      inprocess_on = !inprocess_default;
+      inprocess_interval = default_inprocess_interval;
+      inprocess_next = default_inprocess_interval;
+      inprocess_rounds = 0;
       n_conflicts = 0;
       n_decisions = 0;
       n_propagations = 0;
       n_restarts = 0;
       restarts_base = 0;
+      n_subsumed = 0;
+      n_strengthened = 0;
+      n_eliminated = 0;
+      n_vivified = 0;
+      n_xors_recovered = 0;
       lbd_marks = [||];
       lbd_gen = 0;
       gauss = None;
@@ -195,10 +230,13 @@ let grow_arrays s n =
     in
     s.assigns <- extend s.assigns (-1);
     s.levels <- extend s.levels (-1);
-    s.reasons <- extend s.reasons None;
+    s.reasons <- extend s.reasons no_reason;
+    s.ereasons <- extend s.ereasons empty_lits;
     s.activity <- extend s.activity 0.;
     s.phase <- extend s.phase false;
     s.seen <- extend s.seen false;
+    s.frozen <- extend s.frozen false;
+    s.elim <- extend s.elim false;
     (* decision levels range over 0 .. nvars, hence cap + 1 *)
     let lm = Array.make (cap + 1) 0 in
     Array.blit s.lbd_marks 0 lm 0 (Array.length s.lbd_marks);
@@ -208,13 +246,8 @@ let grow_arrays s n =
     in
     s.xwatches <- xw;
     let w = Array.init (2 * cap) (fun i ->
-        if i < 2 * old then s.watches.(i) else Vec.create ~dummy:dummy_watcher ())
+        if i < 2 * old then s.watches.(i) else Ivec.create ~capacity:4 ())
     in
-    (* NB: old watch lists live at lit indices < 2*old which are the
-       same indices in the new array, so a plain copy is correct. *)
-    for i = 0 to (2 * old) - 1 do
-      w.(i) <- s.watches.(i)
-    done;
     s.watches <- w;
     Heap.grow s.order cap
   end
@@ -254,12 +287,20 @@ let enqueue s l reason =
   s.phase.(v) <- Lit.sign l;
   Vec.push s.trail l
 
+(* enqueue with a literal-array reason (XOR rows, Gauss engine) *)
+let enqueue_a s l lits =
+  let v = Lit.var l in
+  s.ereasons.(v) <- lits;
+  enqueue s l array_reason
+
 (* ------------------------------------------------------------------ *)
 (* Watches                                                             *)
 
-let watch_clause s c =
-  Vec.push s.watches.(Lit.to_index (Lit.negate c.lits.(0))) { wc = c; blocker = c.lits.(1) };
-  Vec.push s.watches.(Lit.to_index (Lit.negate c.lits.(1))) { wc = c; blocker = c.lits.(0) }
+let watch_clause s cr =
+  let a = s.arena in
+  let l0 = Arena.lit a cr 0 and l1 = Arena.lit a cr 1 in
+  Ivec.push2 s.watches.(Lit.to_index (Lit.negate l0)) cr (Lit.to_index l1);
+  Ivec.push2 s.watches.(Lit.to_index (Lit.negate l1)) cr (Lit.to_index l0)
 
 let xor_assigned_parity s xc skip =
   (* XOR of the boolean values of all assigned vars except index [skip] *)
@@ -273,7 +314,7 @@ let xor_assigned_parity s xc skip =
    propagated literal (if any) plus the falsified current assignments
    of every other variable, plus the guard's negation when the row is
    guarded (unless ¬g is itself the propagated literal). *)
-let xor_reason_clause s xc ~propagated =
+let xor_reason s xc ~propagated =
   let lits = ref [] in
   Array.iter
     (fun v ->
@@ -294,60 +335,81 @@ let xor_reason_clause s xc ~propagated =
         Lit.negate g :: lits
     | _ -> lits
   in
-  mk_clause (Array.of_list lits)
+  Array.of_list lits
 
 (* ------------------------------------------------------------------ *)
 (* Propagation                                                         *)
 
-exception Conflict of clause
+type confl = Cref of int | Clits of Lit.t array
+
+exception Conflict of confl
 
 let propagate_clauses s p =
-  (* p just became true; visit clauses watching ¬p *)
+  (* p just became true; visit clauses watching ¬p. The list is
+     compacted in place (copy-back): surviving pairs slide to the
+     front, pairs whose clause found a new watch are dropped. *)
+  let a = s.arena in
   let wl = s.watches.(Lit.to_index p) in
+  let false_lit = Lit.negate p in
   let i = ref 0 in
-  while !i < Vec.size wl do
-    let w = Vec.get wl !i in
-    if lit_value s w.blocker = 1 then incr i (* satisfied; clause untouched *)
-    else begin
-      let c = w.wc in
-      let false_lit = Lit.negate p in
-      (* normalize: put the false literal at position 1 *)
-      if Lit.equal c.lits.(0) false_lit then begin
-        c.lits.(0) <- c.lits.(1);
-        c.lits.(1) <- false_lit
-      end;
-      if lit_value s c.lits.(0) = 1 then begin
-        (* satisfied by the other watch: remember it as the blocker *)
-        w.blocker <- c.lits.(0);
-        incr i
-      end
+  let j = ref 0 in
+  let keep cr blk =
+    Ivec.set wl !j cr;
+    Ivec.set wl (!j + 1) blk;
+    j := !j + 2
+  in
+  try
+    while !i < Ivec.size wl do
+      let cr = Ivec.get wl !i in
+      let blk = Ivec.get wl (!i + 1) in
+      i := !i + 2;
+      if lit_value s (Lit.of_index blk) = 1 then keep cr blk
+        (* blocker satisfied; clause untouched *)
       else begin
-        (* look for a new literal to watch *)
-        let n = Array.length c.lits in
-        let found = ref false in
-        let j = ref 2 in
-        while (not !found) && !j < n do
-          if lit_value s c.lits.(!j) <> 0 then begin
-            let l = c.lits.(!j) in
-            c.lits.(!j) <- c.lits.(1);
-            c.lits.(1) <- l;
-            Vec.push s.watches.(Lit.to_index (Lit.negate l)) { wc = c; blocker = c.lits.(0) };
-            Vec.swap_remove wl !i;
-            found := true
+        (* normalize: put the false literal at position 1 *)
+        if Lit.equal (Arena.lit a cr 0) false_lit then Arena.swap_lits a cr 0 1;
+        let l0 = Arena.lit a cr 0 in
+        if lit_value s l0 = 1 then
+          (* satisfied by the other watch: remember it as the blocker *)
+          keep cr (Lit.to_index l0)
+        else begin
+          (* look for a new literal to watch *)
+          let n = Arena.size a cr in
+          let found = ref false in
+          let k = ref 2 in
+          while (not !found) && !k < n do
+            let l = Arena.lit a cr !k in
+            if lit_value s l <> 0 then begin
+              Arena.set_lit a cr !k (Arena.lit a cr 1);
+              Arena.set_lit a cr 1 l;
+              Ivec.push2 s.watches.(Lit.to_index (Lit.negate l)) cr (Lit.to_index l0);
+              found := true
+            end
+            else incr k
+          done;
+          if not !found then begin
+            keep cr (Lit.to_index l0);
+            if lit_value s l0 = 0 then raise (Conflict (Cref cr))
+            else begin
+              (* unit: propagate lits.(0) *)
+              s.n_propagations <- s.n_propagations + 1;
+              enqueue s l0 cr
+            end
           end
-          else incr j
-        done;
-        if not !found then
-          if lit_value s c.lits.(0) = 0 then raise (Conflict c)
-          else begin
-            (* unit: propagate lits.(0) *)
-            s.n_propagations <- s.n_propagations + 1;
-            enqueue s c.lits.(0) (Some c);
-            incr i
-          end
+        end
       end
-    end
-  done
+    done;
+    Ivec.shrink wl !j
+  with Conflict c ->
+    (* copy the unvisited tail back before surfacing the conflict *)
+    while !i < Ivec.size wl do
+      Ivec.set wl !j (Ivec.get wl !i);
+      Ivec.set wl (!j + 1) (Ivec.get wl (!i + 1));
+      i := !i + 2;
+      j := !j + 2
+    done;
+    Ivec.shrink wl !j;
+    raise (Conflict c)
 
 let propagate_xors s v =
   let wl = s.xwatches.(v) in
@@ -385,23 +447,23 @@ let propagate_xors s v =
             (* unit on [other]: other must make total parity = xparity *)
             let needed = xc.xparity <> xor_assigned_parity s xc 0 in
             let l = Lit.make other needed in
-            let reason = xor_reason_clause s xc ~propagated:(Some l) in
+            let reason = xor_reason s xc ~propagated:(Some l) in
             s.n_propagations <- s.n_propagations + 1;
-            enqueue s l (Some reason)
+            enqueue_a s l reason
           end
           (* guard and one variable both free: nothing forced yet *)
         end
         else if xor_assigned_parity s xc (-1) <> xc.xparity then begin
           if gval = 1 then
-            raise (Conflict (xor_reason_clause s xc ~propagated:None))
+            raise (Conflict (Clits (xor_reason s xc ~propagated:None)))
           else begin
             (* every variable assigned with the wrong parity: the only
                way out is switching the row off *)
             let g = match xc.xguard with Some g -> g | None -> assert false in
             let l = Lit.negate g in
-            let reason = xor_reason_clause s xc ~propagated:(Some l) in
+            let reason = xor_reason s xc ~propagated:(Some l) in
             s.n_propagations <- s.n_propagations + 1;
-            enqueue s l (Some reason)
+            enqueue_a s l reason
           end
         end;
         incr i
@@ -417,7 +479,7 @@ let propagate_gauss s v =
       | Gauss.Nothing -> ()
       | Gauss.Confl lits ->
           s.n_gauss_conflicts <- s.n_gauss_conflicts + 1;
-          raise (Conflict (mk_clause lits))
+          raise (Conflict (Clits lits))
       | Gauss.Props ps ->
           List.iter
             (fun (l, reason) ->
@@ -426,12 +488,12 @@ let propagate_gauss s v =
               | -1 ->
                   s.n_propagations <- s.n_propagations + 1;
                   s.n_gauss_props <- s.n_gauss_props + 1;
-                  enqueue s l (Some (mk_clause reason))
+                  enqueue_a s l reason
               | _ ->
                   (* forced both ways by two rows: the reason clause,
                      whose head is now false, is the conflict *)
                   s.n_gauss_conflicts <- s.n_gauss_conflicts + 1;
-                  raise (Conflict (mk_clause reason)))
+                  raise (Conflict (Clits reason)))
             ps)
 
 let propagate s =
@@ -457,7 +519,8 @@ let cancel_until s level =
       (* the Gauss counters read the assignment, so unwind them first *)
       (match s.gauss with Some g -> Gauss.on_unassign g v | None -> ());
       s.assigns.(v) <- -1;
-      s.reasons.(v) <- None;
+      s.reasons.(v) <- no_reason;
+      s.ereasons.(v) <- empty_lits;
       s.levels.(v) <- -1;
       if not (Heap.mem s.order v) then Heap.insert s.order v
     done;
@@ -498,14 +561,32 @@ let bump_var s v =
 
 let decay_var_activity s = s.var_inc <- s.var_inc *. var_decay
 
-let bump_clause s (c : clause) =
-  c.activity <- c.activity +. s.cla_inc;
-  if c.activity > 1e20 then begin
-    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
-    s.cla_inc <- s.cla_inc *. 1e-20
-  end
+let rescale_clause_activity s =
+  let a = s.arena in
+  Ivec.iter (fun cr -> Arena.set_activity a cr (Arena.activity a cr *. 1e-20)) s.learnts;
+  s.cla_inc <- s.cla_inc *. 1e-20
 
-let decay_clause_activity s = s.cla_inc <- s.cla_inc *. clause_decay
+let bump_clause s cr =
+  let a = s.arena in
+  Arena.set_activity a cr (Arena.activity a cr +. s.cla_inc);
+  if Arena.activity a cr > 1e20 then rescale_clause_activity s
+
+(* The decay multiplies [cla_inc] by 1/0.999 every conflict; on long
+   runs it reaches [infinity] (~709k conflicts from 1.0) unless it is
+   rescaled here too — bumping alone only rescales when some clause
+   activity crosses the bar, which never happens once [cla_inc] is
+   already [inf] times a dormant DB. *)
+let decay_clause_activity s =
+  s.cla_inc <- s.cla_inc *. clause_decay;
+  if s.cla_inc > 1e20 then rescale_clause_activity s
+
+(* regression hooks for the overflow fix *)
+let debug_decay_clause_activity s n =
+  for _ = 1 to n do
+    decay_clause_activity s
+  done
+
+let debug_cla_inc s = s.cla_inc
 
 (* Literal block distance: number of distinct decision levels among the
    literals (level-0 literals do not count). *)
@@ -522,36 +603,54 @@ let compute_lbd s lits =
     lits;
   !n
 
+let compute_lbd_cref s cr =
+  let a = s.arena in
+  s.lbd_gen <- s.lbd_gen + 1;
+  let n = ref 0 in
+  for i = 0 to Arena.size a cr - 1 do
+    let lev = s.levels.(Lit.var (Arena.lit a cr i)) in
+    if lev > 0 && s.lbd_marks.(lev) <> s.lbd_gen then begin
+      s.lbd_marks.(lev) <- s.lbd_gen;
+      incr n
+    end
+  done;
+  !n
+
 (* ------------------------------------------------------------------ *)
 (* Conflict analysis (first UIP)                                       *)
 
 let analyze s confl =
+  let a = s.arena in
   let learnt = ref [] in
   let counter = ref 0 in
   let p = ref None in
   let index = ref (Vec.size s.trail - 1) in
   let confl = ref confl in
   let continue = ref true in
+  let visit q =
+    let skip = match !p with Some p -> Lit.equal p q | None -> false in
+    let v = Lit.var q in
+    if (not skip) && (not s.seen.(v)) && s.levels.(v) > 0 then begin
+      s.seen.(v) <- true;
+      bump_var s v;
+      if s.levels.(v) >= decision_level s then incr counter
+      else learnt := q :: !learnt
+    end
+  in
   while !continue do
-    let c : clause = !confl in
-    if c.learnt then begin
-      bump_clause s c;
-      (* glucose: a reason clause seen in conflict analysis gets its
-         LBD refreshed; keep the smaller (better) value *)
-      let l = compute_lbd s c.lits in
-      if l < c.lbd then c.lbd <- l
-    end;
-    Array.iter
-      (fun q ->
-        let skip = match !p with Some p -> Lit.equal p q | None -> false in
-        let v = Lit.var q in
-        if (not skip) && (not s.seen.(v)) && s.levels.(v) > 0 then begin
-          s.seen.(v) <- true;
-          bump_var s v;
-          if s.levels.(v) >= decision_level s then incr counter
-          else learnt := q :: !learnt
-        end)
-      c.lits;
+    (match !confl with
+    | Cref cr ->
+        if Arena.learnt a cr then begin
+          bump_clause s cr;
+          (* glucose: a reason clause seen in conflict analysis gets its
+             LBD refreshed; keep the smaller (better) value *)
+          let l = compute_lbd_cref s cr in
+          if l < Arena.lbd a cr then Arena.set_lbd a cr l
+        end;
+        for i = 0 to Arena.size a cr - 1 do
+          visit (Arena.lit a cr i)
+        done
+    | Clits lits -> Array.iter visit lits);
     (* pick the next seen literal from the trail *)
     let rec next_seen i =
       if s.seen.(Lit.var (Vec.get s.trail i)) then i else next_seen (i - 1)
@@ -562,10 +661,12 @@ let analyze s confl =
     p := Some pl;
     s.seen.(Lit.var pl) <- false;
     decr counter;
-    if !counter > 0 then
-      match s.reasons.(Lit.var pl) with
-      | Some r -> confl := r
-      | None -> assert false
+    if !counter > 0 then begin
+      let r = s.reasons.(Lit.var pl) in
+      if r >= 0 then confl := Cref r
+      else if r = array_reason then confl := Clits s.ereasons.(Lit.var pl)
+      else assert false
+    end
     else continue := false
   done;
   let uip = match !p with Some p -> Lit.negate p | None -> assert false in
@@ -573,13 +674,23 @@ let analyze s confl =
   let seen_lits = uip :: !learnt in
   List.iter (fun l -> s.seen.(Lit.var l) <- true) seen_lits;
   let redundant q =
-    match s.reasons.(Lit.var q) with
-    | None -> false
-    | Some r ->
-        Array.for_all
-          (fun l ->
-            Lit.var l = Lit.var q || s.seen.(Lit.var l) || s.levels.(Lit.var l) = 0)
-          r.lits
+    let v = Lit.var q in
+    let r = s.reasons.(v) in
+    let implied l =
+      Lit.var l = v || s.seen.(Lit.var l) || s.levels.(Lit.var l) = 0
+    in
+    if r >= 0 then begin
+      let all = ref true in
+      let i = ref 0 in
+      let n = Arena.size a r in
+      while !all && !i < n do
+        if not (implied (Arena.lit a r !i)) then all := false;
+        incr i
+      done;
+      !all
+    end
+    else if r = array_reason then Array.for_all implied s.ereasons.(v)
+    else false
   in
   let kept = List.filter (fun q -> not (redundant q)) !learnt in
   List.iter (fun l -> s.seen.(Lit.var l) <- false) seen_lits;
@@ -594,7 +705,7 @@ let record_learnt s lits =
   | [ l ] ->
       cancel_until s 0;
       if lit_value s l = -1 then begin
-        enqueue s l None;
+        enqueue s l no_reason;
         if propagate s <> None then begin
           s.ok <- false;
           proof_add s []
@@ -614,58 +725,135 @@ let record_learnt s lits =
       let tmp = arr.(1) in
       arr.(1) <- arr.(!max_i);
       arr.(!max_i) <- tmp;
-      let c = mk_clause ~learnt:true arr in
-      c.lbd <- compute_lbd s arr;
-      bump_clause s c;
-      Vec.push s.learnts c;
-      watch_clause s c;
-      enqueue s uip (Some c)
+      let cr = Arena.alloc s.arena ~learnt:true arr in
+      Arena.set_lbd s.arena cr (compute_lbd s arr);
+      bump_clause s cr;
+      Ivec.push s.learnts cr;
+      watch_clause s cr;
+      enqueue s uip cr
 
 (* ------------------------------------------------------------------ *)
-(* Learnt DB reduction                                                 *)
+(* Learnt DB reduction and arena compaction                            *)
 
-let locked s c =
-  Array.length c.lits > 0
+let locked s cr =
+  Arena.size s.arena cr > 0
   &&
-  let v = Lit.var c.lits.(0) in
-  match s.reasons.(v) with Some r -> r == c | None -> false
+  let v = Lit.var (Arena.lit s.arena cr 0) in
+  s.reasons.(v) = cr
+
+(* Relocating GC: copy every live clause into a fresh arena (in DB
+   order, so allocation order — and with it cache behaviour and any
+   future traversal order — is deterministic), then chase the
+   forwarding refs left behind from every cref holder: the clause
+   vectors, the watch lists, and the trail reasons. *)
+let collect s =
+  let src = s.arena in
+  let dst = Arena.create ~capacity:(max 16 (Arena.words src - Arena.wasted src + 64)) () in
+  let mv iv =
+    for i = 0 to Ivec.size iv - 1 do
+      Ivec.set iv i (Arena.move ~src ~dst (Ivec.get iv i))
+    done
+  in
+  mv s.clauses;
+  mv s.learnts;
+  Array.iter
+    (fun wl ->
+      let i = ref 0 in
+      while !i < Ivec.size wl do
+        Ivec.set wl !i (Arena.forward src (Ivec.get wl !i));
+        i := !i + 2
+      done)
+    s.watches;
+  Vec.iter
+    (fun l ->
+      let v = Lit.var l in
+      if s.reasons.(v) >= 0 then s.reasons.(v) <- Arena.forward src s.reasons.(v))
+    s.trail;
+  s.arena <- dst
 
 let reduce_db s =
-  let n = Vec.size s.learnts in
+  let a = s.arena in
+  let n = Ivec.size s.learnts in
   if n > 0 then begin
-    let arr = Array.init n (Vec.get s.learnts) in
+    let arr = Ivec.to_array s.learnts in
     (* glucose ordering: flush high-LBD clauses first, ties broken by
        low activity; "glue" clauses (LBD <= 2) are kept unconditionally *)
     Array.sort
-      (fun (a : clause) (b : clause) ->
-        if a.lbd <> b.lbd then Int.compare b.lbd a.lbd
-        else Float.compare a.activity b.activity)
+      (fun c d ->
+        let lc = Arena.lbd a c and ld = Arena.lbd a d in
+        if lc <> ld then Int.compare ld lc
+        else Float.compare (Arena.activity a c) (Arena.activity a d))
       arr;
     let target = n / 2 in
     let removed = ref 0 in
     Array.iter
-      (fun c ->
+      (fun cr ->
         if
-          !removed < target && c.lbd > 2 && (not (locked s c))
-          && Array.length c.lits > 2
+          !removed < target && Arena.lbd a cr > 2 && (not (locked s cr))
+          && Arena.size a cr > 2
         then begin
-          c.deleted <- true;
-          proof_delete s (Array.to_list c.lits);
+          proof_delete s (Array.to_list (Arena.lits a cr));
+          Arena.delete a cr;
           incr removed
         end)
       arr;
-    Vec.filter_in_place (fun c -> not c.deleted) s.learnts;
-    Array.iter (fun wl -> Vec.filter_in_place (fun w -> not w.wc.deleted) wl) s.watches
+    Ivec.filter_in_place (fun cr -> not (Arena.deleted a cr)) s.learnts;
+    Array.iter
+      (fun wl -> Ivec.filter_pairs_in_place (fun cr _ -> not (Arena.deleted a cr)) wl)
+      s.watches;
+    if Arena.wasted s.arena > Arena.words s.arena / 2 then collect s
   end
 
 (* ------------------------------------------------------------------ *)
-(* Adding constraints                                                  *)
+(* Adding constraints (and restoring BVE-eliminated variables)         *)
+
+(* A new constraint (or an assumption) may reference a variable that
+   inprocessing eliminated. Restoration re-adds the original clauses
+   that were removed with it — they are equivalent to the resolvents
+   plus the variable, and the resolvents are ordinary consequences, so
+   leaving those in place is sound. Stored clauses can themselves
+   mention variables eliminated later, hence the recursion. *)
+let rec restore_var s v =
+  if v < Array.length s.elim && s.elim.(v) then begin
+    s.elim.(v) <- false;
+    let entry = ref [] in
+    s.elim_stack <-
+      List.filter
+        (fun (w, stored) -> if w = v then (entry := stored; false) else true)
+        s.elim_stack;
+    List.iter
+      (fun lits ->
+        Array.iter (fun l -> restore_var s (Lit.var l)) lits;
+        attach_restored s lits)
+      !entry;
+    if s.assigns.(v) < 0 && not (Heap.mem s.order v) then Heap.insert s.order v
+  end
+
+(* Same normalization as [add_clause], minus the proof lines — BVE is
+   disabled under proof logging, so restoration never runs with it. *)
+and attach_restored s lits =
+  if s.ok then begin
+    let lits = List.sort_uniq Lit.compare (Array.to_list lits) in
+    if not (List.exists (fun l -> lit_value s l = 1) lits) then begin
+      let lits = List.filter (fun l -> lit_value s l <> 0) lits in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] ->
+          enqueue s l no_reason;
+          if propagate s <> None then s.ok <- false
+      | _ ->
+          let cr = Arena.alloc s.arena ~learnt:false (Array.of_list lits) in
+          Ivec.push s.clauses cr;
+          watch_clause s cr
+    end
+  end
 
 let add_clause s lits =
   cancel_until s 0;
   s.model_valid <- false;
   if s.ok then begin
     List.iter (fun l -> ensure_vars s (Lit.var l + 1)) lits;
+    List.iter (fun l -> restore_var s (Lit.var l)) lits;
     (* remove duplicates, detect tautologies, drop root-false literals *)
     let lits = List.sort_uniq Lit.compare lits in
     let tautology =
@@ -677,12 +865,12 @@ let add_clause s lits =
       match lits with
       | [] -> s.ok <- false
       | [ l ] ->
-          enqueue s l None;
+          enqueue s l no_reason;
           if propagate s <> None then s.ok <- false
       | _ ->
-          let c = mk_clause (Array.of_list lits) in
-          Vec.push s.clauses c;
-          watch_clause s c
+          let cr = Arena.alloc s.arena ~learnt:false (Array.of_list lits) in
+          Ivec.push s.clauses cr;
+          watch_clause s cr
     end
   end
 
@@ -694,6 +882,8 @@ let add_xor ?guard s ~vars ~parity =
   if s.ok then begin
     List.iter (fun v -> ensure_vars s (v + 1)) vars;
     (match guard with Some g -> ensure_vars s (Lit.var g + 1) | None -> ());
+    List.iter (fun v -> restore_var s v) vars;
+    (match guard with Some g -> restore_var s (Lit.var g) | None -> ());
     (* a root-decided guard degenerates to unguarded / vacuous *)
     let guard =
       match guard with Some g when lit_value s g = 1 -> None | g -> g
@@ -725,7 +915,7 @@ let add_xor ?guard s ~vars ~parity =
       | [], None -> if !parity then s.ok <- false
       | [], Some g -> if !parity then add_clause s [ Lit.negate g ]
       | [ v ], None ->
-          enqueue s (Lit.make v !parity) None;
+          enqueue s (Lit.make v !parity) no_reason;
           if propagate s <> None then s.ok <- false
       | [ v ], Some g -> add_clause s [ Lit.negate g; Lit.make v !parity ]
       | v0 :: v1 :: _, _ ->
@@ -765,7 +955,7 @@ let resurrect_xor s xc =
   end
   else if !w = 1 then begin
     let needed = xc.xparity <> xor_assigned_parity s xc 0 in
-    enqueue s (Lit.make xc.xvars.(0) needed) None
+    enqueue s (Lit.make xc.xvars.(0) needed) no_reason
   end
   else if xor_assigned_parity s xc (-1) <> xc.xparity then s.ok <- false
 
@@ -807,7 +997,7 @@ let rebuild_gauss s =
         List.iter
           (fun l ->
             match lit_value s l with
-            | -1 -> enqueue s l None
+            | -1 -> enqueue s l no_reason
             | 0 -> s.ok <- false
             | _ -> ())
           root_units
@@ -846,6 +1036,37 @@ let boost s vars =
       end)
     vars
 
+let freeze s vars =
+  List.iter
+    (fun v ->
+      if v >= 0 then begin
+        ensure_vars s (v + 1);
+        restore_var s v;
+        s.frozen.(v) <- true
+      end)
+    vars
+
+(* Deterministic per-seed perturbation of phases and branching order,
+   for portfolio racing. Seed 0 is the identity so the canonical config
+   stays byte-identical to a sequential run. *)
+let diversify s ~seed =
+  if seed <> 0 then begin
+    for v = 0 to s.nvars - 1 do
+      let h = (v * 0x9E3779B1) lxor (seed * 0x85EBCA77) in
+      let h = (h lxor (h lsr 13)) land max_int in
+      if h land 1 = 1 then s.phase.(v) <- not s.phase.(v);
+      s.activity.(v) <- s.activity.(v) +. (float_of_int ((h lsr 1) land 0xFFFF) *. 1e-7);
+      Heap.update s.order v
+    done
+  end
+
+let set_inprocess s b = s.inprocess_on <- b
+
+let set_inprocess_interval s n =
+  if n < 1 then invalid_arg "Solver.set_inprocess_interval";
+  s.inprocess_interval <- n;
+  s.inprocess_next <- min s.inprocess_next (s.n_conflicts + n)
+
 let of_cnf ?gauss p =
   let s = create ?gauss () in
   ensure_vars s (Cnf.nvars p);
@@ -866,26 +1087,639 @@ let add_cnf_from s p ~nclauses ~nxors =
     (drop nxors (Cnf.xors p))
 
 (* ------------------------------------------------------------------ *)
+(* Inprocessing                                                        *)
+
+(* All passes run at decision level 0 with the clause watch lists
+   DETACHED (cleared wholesale at entry) and re-attached afterwards;
+   XOR watches and the Gauss engine stay live, so [propagate] inside a
+   pass closes over the linear part only. Root-level reasons are never
+   read by analysis, so they are dropped at entry.
+
+   Soundness discipline: every transformation is an equivalence (or, for
+   BVE, an exact ∃-projection whose originals are restored the moment
+   the variable is referenced again), guards are ordinary variables in
+   every pass (a guarded clause keeps its ¬g literal through
+   subsumption/strengthening, so switching groups on and off later
+   still works), and under proof logging only RUP-expressible passes
+   (cleanup, subsumption, vivification) run. *)
+
+(* Root-level semantic cleanup, to fixpoint: delete satisfied clauses,
+   drop false literals, fold units into the trail, and propagate the
+   XOR/Gauss closure of any new root facts. *)
+let cleanup_pass s =
+  let changed = ref true in
+  while !changed && s.ok do
+    changed := false;
+    let scan iv =
+      for idx = 0 to Ivec.size iv - 1 do
+        if s.ok then begin
+          let cr = Ivec.get iv idx in
+          let a = s.arena in
+          if not (Arena.deleted a cr) then begin
+            let sz = Arena.size a cr in
+            let sat = ref false in
+            let nfalse = ref 0 in
+            for i = 0 to sz - 1 do
+              match lit_value s (Arena.lit a cr i) with
+              | 1 -> sat := true
+              | 0 -> incr nfalse
+              | _ -> ()
+            done;
+            if !sat then begin
+              proof_delete s (Array.to_list (Arena.lits a cr));
+              Arena.delete a cr;
+              changed := true
+            end
+            else if !nfalse = 0 then begin
+              if sz = 1 then begin
+                (* a stored unit: fold it into the trail; keep the fact
+                   in the proof DB (no delete line) — later RUP steps
+                   may hang off it *)
+                let l = Arena.lit a cr 0 in
+                Arena.delete a cr;
+                if lit_value s l = -1 then enqueue s l no_reason;
+                changed := true
+              end
+            end
+            else begin
+              let old = Array.to_list (Arena.lits a cr) in
+              let j = ref 0 in
+              for i = 0 to sz - 1 do
+                let l = Arena.lit a cr i in
+                if lit_value s l <> 0 then begin
+                  Arena.set_lit a cr !j l;
+                  incr j
+                end
+              done;
+              Arena.shrink_clause a cr !j;
+              changed := true;
+              if !j = 0 then begin
+                s.ok <- false;
+                proof_add s []
+              end
+              else if !j = 1 then begin
+                let l = Arena.lit a cr 0 in
+                proof_add s [ l ];
+                proof_delete s old;
+                Arena.delete a cr;
+                if lit_value s l = -1 then enqueue s l no_reason
+              end
+              else begin
+                proof_add s (Array.to_list (Arena.lits a cr));
+                proof_delete s old
+              end
+            end
+          end
+        end
+      done
+    in
+    scan s.clauses;
+    scan s.learnts;
+    if s.ok && s.qhead < Vec.size s.trail then begin
+      (match propagate s with
+      | Some _ ->
+          s.ok <- false;
+          proof_add s []
+      | None -> ());
+      changed := true
+    end
+  done
+
+(* Subsumption and self-subsuming resolution over the original clauses
+   (occurrence lists + 62-bit variable signatures, SatELite-style).
+   [c] subsumes [d] when every literal of [c] occurs in [d]; if exactly
+   one occurs negated, resolving removes that literal from [d]. *)
+let subsume_pass s =
+  let a = s.arena in
+  let crs = ref [] in
+  Ivec.iter (fun cr -> if not (Arena.deleted a cr) then crs := cr :: !crs) s.clauses;
+  let crs = Array.of_list (List.rev !crs) in
+  let n = Array.length crs in
+  if n > 1 then begin
+    let sigs = Array.make n 0 in
+    let occ = Array.make (max 1 s.nvars) [] in
+    let occn = Array.make (max 1 s.nvars) 0 in
+    for ci = 0 to n - 1 do
+      let cr = crs.(ci) in
+      let sg = ref 0 in
+      for i = 0 to Arena.size a cr - 1 do
+        let v = Lit.var (Arena.lit a cr i) in
+        sg := !sg lor (1 lsl (v mod 62));
+        occ.(v) <- ci :: occ.(v);
+        occn.(v) <- occn.(v) + 1
+      done;
+      sigs.(ci) <- !sg
+    done;
+    let max_subsumer = 10 in
+    for ci = 0 to n - 1 do
+      let c = crs.(ci) in
+      let sz = Arena.size a c in
+      if (not (Arena.deleted a c)) && sz <= max_subsumer && sz > 0 then begin
+        (* walk the occurrence list of c's rarest variable *)
+        let best = ref (Lit.var (Arena.lit a c 0)) in
+        for i = 1 to sz - 1 do
+          let v = Lit.var (Arena.lit a c i) in
+          if occn.(v) < occn.(!best) then best := v
+        done;
+        List.iter
+          (fun dj ->
+            let d = crs.(dj) in
+            if
+              dj <> ci
+              && (not (Arena.deleted a d))
+              && (not (Arena.deleted a c))
+              && Arena.size a d >= Arena.size a c
+              && sigs.(ci) land lnot sigs.(dj) = 0
+            then begin
+              (* neg_at: -2 = all found positively, >=0 = position in d
+                 of the single negated occurrence, -1 = no match *)
+              let neg_at = ref (-2) in
+              (try
+                 for i = 0 to Arena.size a c - 1 do
+                   let l = Arena.lit a c i in
+                   let nl = Lit.negate l in
+                   let dsz = Arena.size a d in
+                   let found = ref false in
+                   let k = ref 0 in
+                   while (not !found) && !k < dsz do
+                     let ld = Arena.lit a d !k in
+                     if Lit.equal ld l then found := true
+                     else if Lit.equal ld nl then
+                       if !neg_at = -2 then begin
+                         neg_at := !k;
+                         found := true
+                       end
+                       else begin
+                         neg_at := -1;
+                         raise Exit
+                       end
+                     else incr k
+                   done;
+                   if not !found then begin
+                     neg_at := -1;
+                     raise Exit
+                   end
+                 done
+               with Exit -> ());
+              if !neg_at = -2 then begin
+                proof_delete s (Array.to_list (Arena.lits a d));
+                Arena.delete a d;
+                s.n_subsumed <- s.n_subsumed + 1
+              end
+              else if !neg_at >= 0 then begin
+                let old = Array.to_list (Arena.lits a d) in
+                Arena.remove_lit_at a d !neg_at;
+                proof_add s (Array.to_list (Arena.lits a d));
+                proof_delete s old;
+                s.n_strengthened <- s.n_strengthened + 1
+              end
+            end)
+          occ.(!best)
+      end
+    done
+  end
+
+(* One resolvent of two clauses on pivot [v]; [None] on tautology. *)
+let resolve_on a v p q =
+  let acc = ref [] in
+  let addfrom cr =
+    for i = 0 to Arena.size a cr - 1 do
+      let l = Arena.lit a cr i in
+      if Lit.var l <> v then acc := l :: !acc
+    done
+  in
+  addfrom p;
+  addfrom q;
+  let ls = List.sort_uniq Lit.compare !acc in
+  (* packed literal order puts both polarities of a var adjacent *)
+  let rec taut = function
+    | x :: (y :: _ as tl) -> Lit.var x = Lit.var y || taut tl
+    | _ -> false
+  in
+  if taut ls then None else Some (Array.of_list ls)
+
+(* Bounded variable elimination (NiVER/SatELite): eliminate [v] when
+   the non-tautological resolvents don't outnumber the clauses they
+   replace. The removed originals go on [elim_stack] for restoration
+   and model extension. Not proof-expressible on restoration, so the
+   whole pass is gated on proof logging being off. Variables on XOR
+   rows (or guards of rows), frozen variables, and assigned variables
+   are untouchable. *)
+let bve_pass s =
+  let a = s.arena in
+  let nv = max 1 s.nvars in
+  let in_xor = Array.make nv false in
+  Vec.iter
+    (fun xc ->
+      Array.iter (fun v -> in_xor.(v) <- true) xc.xvars;
+      match xc.xguard with Some g -> in_xor.(Lit.var g) <- true | None -> ())
+    s.xors;
+  let occ_pos = Array.make nv [] in
+  let occ_neg = Array.make nv [] in
+  let register cr =
+    for i = 0 to Arena.size a cr - 1 do
+      let l = Arena.lit a cr i in
+      let v = Lit.var l in
+      if Lit.sign l then occ_pos.(v) <- cr :: occ_pos.(v)
+      else occ_neg.(v) <- cr :: occ_neg.(v)
+    done
+  in
+  Ivec.iter (fun cr -> if not (Arena.deleted a cr) then register cr) s.clauses;
+  let max_occ = 10 in
+  let max_res_len = 24 in
+  for v = 0 to s.nvars - 1 do
+    if
+      s.ok && (not s.frozen.(v)) && (not s.elim.(v)) && s.assigns.(v) < 0
+      && not in_xor.(v)
+    then begin
+      let live = List.filter (fun cr -> not (Arena.deleted a cr)) in
+      let pos = live occ_pos.(v) and neg = live occ_neg.(v) in
+      let np = List.length pos and nn = List.length neg in
+      if np <= max_occ && nn <= max_occ then begin
+        let limit = np + nn in
+        let resolvents = ref [] in
+        let count = ref 0 in
+        let feasible = ref true in
+        (try
+           List.iter
+             (fun p ->
+               List.iter
+                 (fun q ->
+                   match resolve_on a v p q with
+                   | None -> ()
+                   | Some lits ->
+                       incr count;
+                       if Array.length lits > max_res_len || !count > limit
+                       then begin
+                         feasible := false;
+                         raise Exit
+                       end;
+                       resolvents := lits :: !resolvents)
+                 neg)
+             pos
+         with Exit -> ());
+        if !feasible then begin
+          let stored = List.map (fun cr -> Arena.lits a cr) (pos @ neg) in
+          s.elim_stack <- (v, stored) :: s.elim_stack;
+          s.elim.(v) <- true;
+          s.n_eliminated <- s.n_eliminated + 1;
+          List.iter (fun cr -> Arena.delete a cr) (pos @ neg);
+          List.iter
+            (fun lits ->
+              match Array.length lits with
+              | 0 -> s.ok <- false
+              | 1 -> (
+                  match lit_value s lits.(0) with
+                  | -1 -> enqueue s lits.(0) no_reason
+                  | 0 -> s.ok <- false
+                  | _ -> ())
+              | _ ->
+                  let cr = Arena.alloc a ~learnt:false lits in
+                  Ivec.push s.clauses cr;
+                  register cr)
+            (List.rev !resolvents)
+        end
+      end
+    end
+  done
+
+let popcount x =
+  let rec go x n = if x = 0 then n else go (x lsr 1) (n + (x land 1)) in
+  go x 0
+
+(* XOR recovery: a variable set {v₁..vₙ} whose 2^(n-1) clauses each
+   forbid one odd-weight (or each one even-weight) assignment is
+   exactly the constraint v₁⊕…⊕vₙ = c. Detect complete pattern
+   buckets among the short original clauses, replace them by native
+   rows, and re-reduce the whole unguarded system through
+   {!Xor_simp.reduce}. Clause-level equivalence is exact, so guards
+   appearing inside the clauses are handled for free (their variable
+   just becomes part of the row's variable set — but such buckets are
+   never complete, see the counting above). *)
+let xor_recover_pass s =
+  let a = s.arena in
+  let tbl : (int list, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let keys = ref [] in
+  Ivec.iter
+    (fun cr ->
+      if not (Arena.deleted a cr) then begin
+        let n = Arena.size a cr in
+        if n >= 2 && n <= 5 then begin
+          let ls = Array.init n (fun i -> Arena.lit a cr i) in
+          Array.sort (fun l m -> Int.compare (Lit.var l) (Lit.var m)) ls;
+          let key = Array.to_list (Array.map Lit.var ls) in
+          let pat = ref 0 in
+          Array.iteri (fun i l -> if not (Lit.sign l) then pat := !pat lor (1 lsl i)) ls;
+          let bucket =
+            match Hashtbl.find_opt tbl key with
+            | Some b -> b
+            | None ->
+                let b = Hashtbl.create 8 in
+                Hashtbl.add tbl key b;
+                keys := key :: !keys;
+                b
+          in
+          if not (Hashtbl.mem bucket !pat) then Hashtbl.add bucket !pat cr
+        end
+      end)
+    s.clauses;
+  let recovered = ref 0 in
+  List.iter
+    (fun key ->
+      let bucket = Hashtbl.find tbl key in
+      let n = List.length key in
+      let need = 1 lsl (n - 1) in
+      for q = 0 to 1 do
+        let pats =
+          Hashtbl.fold
+            (fun pat cr acc -> if popcount pat land 1 = q then (pat, cr) :: acc else acc)
+            bucket []
+        in
+        if List.length pats = need then begin
+          (* forbidding every parity-q assignment ⟺ ⊕key = 1 - q *)
+          List.iter (fun (_, cr) -> Arena.delete a cr) pats;
+          incr recovered;
+          s.n_xors_recovered <- s.n_xors_recovered + 1;
+          let xc =
+            { xvars = Array.of_list key; xparity = (q = 0); xguard = None;
+              xcovered = false }
+          in
+          Vec.push s.xors xc
+          (* no watches yet: the whole XOR watch state is rebuilt below *)
+        end
+      done)
+    (List.rev !keys);
+  if !recovered > 0 && s.ok then begin
+    (* fold root assignments into the unguarded rows and re-reduce the
+       whole system; guarded rows stay as they are *)
+    let guarded = ref [] and rows = ref [] in
+    Vec.iter
+      (fun xc ->
+        if xc.xguard = None then begin
+          let parity = ref xc.xparity in
+          let vars =
+            List.filter
+              (fun v ->
+                if s.assigns.(v) >= 0 then begin
+                  if s.assigns.(v) = 1 then parity := not !parity;
+                  false
+                end
+                else true)
+              (Array.to_list xc.xvars)
+          in
+          match vars with
+          | [] -> if !parity then s.ok <- false
+          | _ -> rows := (vars, !parity) :: !rows
+        end
+        else guarded := xc :: !guarded)
+      s.xors;
+    if s.ok then begin
+      match Xor_simp.reduce ~extract_aliases:false (List.rev !rows) with
+      | `Unsat -> s.ok <- false
+      | `Reduced r ->
+          Vec.clear s.xors;
+          Array.iter Vec.clear s.xwatches;
+          List.iter
+            (fun xc ->
+              xc.xcovered <- false;
+              Vec.push s.xors xc;
+              if s.ok then resurrect_xor s xc)
+            (List.rev !guarded);
+          List.iter
+            (fun (v, b) ->
+              let l = Lit.make v b in
+              match lit_value s l with
+              | -1 -> enqueue s l no_reason
+              | 0 -> s.ok <- false
+              | _ -> ())
+            r.Xor_simp.units;
+          List.iter
+            (fun (vars, parity) ->
+              let xc =
+                { xvars = Array.of_list vars; xparity = parity; xguard = None;
+                  xcovered = false }
+              in
+              Vec.push s.xors xc;
+              if s.ok then resurrect_xor s xc)
+            r.Xor_simp.rows;
+          s.gauss_dirty <- true
+    end
+  end
+
+let detach_clause s cr =
+  let rm l =
+    Ivec.filter_pairs_in_place
+      (fun c _ -> c <> cr)
+      s.watches.(Lit.to_index (Lit.negate l))
+  in
+  rm (Arena.lit s.arena cr 0);
+  rm (Arena.lit s.arena cr 1)
+
+(* Vivification of high-LBD learnts: assert the negations of a clause's
+   literals one by one at throwaway decision levels; a propagated
+   truth, a conflict, or an implied-false literal each prove a shorter
+   (RUP) replacement. Runs with the clause watches ATTACHED — the
+   candidate itself is detached first so its own unit propagation
+   cannot fire on itself. *)
+let vivify_pass s =
+  let a = s.arena in
+  let budget = ref 100 in
+  let idx = ref 0 in
+  let total = Ivec.size s.learnts in
+  while !idx < total && !budget > 0 && s.ok do
+    let cr = Ivec.get s.learnts !idx in
+    incr idx;
+    if (not (Arena.deleted a cr)) && Arena.size a cr >= 3 && Arena.lbd a cr >= 3
+    then begin
+      decr budget;
+      detach_clause s cr;
+      (* earlier vivifications may have grown the root trail: pre-clean
+         this clause against the root facts first *)
+      let sz0 = Arena.size a cr in
+      let sat0 = ref false in
+      let j = ref 0 in
+      let old = Array.to_list (Arena.lits a cr) in
+      for i = 0 to sz0 - 1 do
+        let l = Arena.lit a cr i in
+        match lit_value s l with
+        | 1 -> sat0 := true
+        | 0 -> ()
+        | _ ->
+            Arena.set_lit a cr !j l;
+            incr j
+      done;
+      if !sat0 then begin
+        (* restore literal block before deciding: delete needs the old
+           lits only for the proof line, which uses [old] *)
+        proof_delete s old;
+        Arena.delete a cr;
+        s.n_vivified <- s.n_vivified + 1
+      end
+      else begin
+        Arena.shrink_clause a cr !j;
+        if !j <> sz0 then begin
+          proof_add s (Array.to_list (Arena.lits a cr));
+          proof_delete s old
+        end;
+        let sz = Arena.size a cr in
+        if sz <= 1 then begin
+          (* collapsed to a unit (or empty) under root facts *)
+          (if sz = 0 then begin
+             s.ok <- false;
+             proof_add s []
+           end
+           else begin
+             let l = Arena.lit a cr 0 in
+             Arena.delete a cr;
+             match lit_value s l with
+             | -1 ->
+                 enqueue s l no_reason;
+                 if propagate s <> None then begin
+                   s.ok <- false;
+                   proof_add s []
+                 end
+             | 0 ->
+                 s.ok <- false;
+                 proof_add s []
+             | _ -> ()
+           end);
+          s.n_vivified <- s.n_vivified + 1
+        end
+        else begin
+          let lits0 = Arena.lits a cr in
+          let kept = ref [] in
+          let final = ref None in
+          (try
+             Array.iter
+               (fun l ->
+                 match lit_value s l with
+                 | 1 ->
+                     (* implied by the negations asserted so far *)
+                     final := Some (List.rev (l :: !kept));
+                     raise Exit
+                 | 0 ->
+                     (* implied false: the literal is redundant *)
+                     ()
+                 | _ ->
+                     Vec.push s.trail_lim (Vec.size s.trail);
+                     enqueue s (Lit.negate l) no_reason;
+                     (match propagate s with
+                     | Some _ ->
+                         final := Some (List.rev (l :: !kept));
+                         raise Exit
+                     | None -> kept := l :: !kept))
+               lits0
+           with Exit -> ());
+          cancel_until s 0;
+          let newlits =
+            match !final with Some ls -> ls | None -> List.rev !kept
+          in
+          let nl = List.length newlits in
+          if nl < sz then begin
+            s.n_vivified <- s.n_vivified + 1;
+            proof_add s newlits;
+            proof_delete s (Array.to_list lits0);
+            match newlits with
+            | [] ->
+                Arena.delete a cr;
+                s.ok <- false
+            | [ l ] -> (
+                Arena.delete a cr;
+                match lit_value s l with
+                | -1 ->
+                    enqueue s l no_reason;
+                    if propagate s <> None then begin
+                      s.ok <- false;
+                      proof_add s []
+                    end
+                | 0 ->
+                    s.ok <- false;
+                    proof_add s []
+                | _ -> ())
+            | _ ->
+                List.iteri (fun i l -> Arena.set_lit a cr i l) newlits;
+                Arena.shrink_clause a cr nl;
+                watch_clause s cr
+          end
+          else watch_clause s cr
+        end
+      end
+    end
+  done
+
+(* The inprocessing driver. Clause watches are detached for the
+   rewriting passes (cleanup / subsume / BVE / XOR recovery), then the
+   surviving DB is re-attached, the Gauss engine rebuilt if rows
+   changed, and vivification runs against live watches. Finishes with
+   a relocating GC so the arena is compact for the search that
+   follows. *)
+let inprocess_now s =
+  if s.ok && decision_level s = 0 && s.qhead = Vec.size s.trail then begin
+    s.inprocess_rounds <- s.inprocess_rounds + 1;
+    Array.iter Ivec.clear s.watches;
+    Vec.iter
+      (fun l ->
+        let v = Lit.var l in
+        s.reasons.(v) <- no_reason;
+        s.ereasons.(v) <- empty_lits)
+      s.trail;
+    cleanup_pass s;
+    if s.ok then begin
+      subsume_pass s;
+      cleanup_pass s
+    end;
+    (* structure extraction before elimination: recovered rows mark
+       their variables as XOR-bound, which keeps BVE from resolving
+       away the very clauses that encode parity structure *)
+    if s.ok && s.proof = None && Ivec.size s.clauses > 0 then begin
+      xor_recover_pass s;
+      cleanup_pass s
+    end;
+    if s.ok && s.proof = None then begin
+      bve_pass s;
+      cleanup_pass s
+    end;
+    Ivec.filter_in_place (fun cr -> not (Arena.deleted s.arena cr)) s.clauses;
+    Ivec.filter_in_place (fun cr -> not (Arena.deleted s.arena cr)) s.learnts;
+    if s.ok then begin
+      Ivec.iter (watch_clause s) s.clauses;
+      Ivec.iter (watch_clause s) s.learnts;
+      if s.gauss_dirty then begin
+        rebuild_gauss s;
+        if s.ok && propagate s <> None then s.ok <- false
+      end;
+      if s.ok then vivify_pass s;
+      Ivec.filter_in_place (fun cr -> not (Arena.deleted s.arena cr)) s.learnts;
+      collect s
+    end;
+    s.inprocess_next <-
+      s.n_conflicts + (s.inprocess_interval * (s.inprocess_rounds + 1))
+  end
+
+let simplify s =
+  if s.ok && decision_level s = 0 && s.qhead = Vec.size s.trail then
+    inprocess_now s
+
+(* ------------------------------------------------------------------ *)
 (* Snapshot / clone                                                    *)
 
-(* A frozen image of a root-level solver, with every inter-structure
-   pointer (watcher -> clause, xwatch -> xclause) flattened to an
-   index. The record is immutable after construction, so one snapshot
-   can be cloned concurrently from many domains; [clone] performs pure
-   reads of the snapshot and allocates everything fresh.
+(* A frozen image of a root-level solver. The clause DB is the raw
+   arena image plus flat watch/cref arrays, so cloning is dominated by
+   [Array.blit]; xclauses are still flattened to indices by hand. The
+   record is immutable after construction, so one snapshot can be
+   cloned concurrently from many domains.
 
    Fidelity matters more than minimality here: the warm path must be
    byte-identical to a cold re-encode, so the clone reproduces watch
-   lists, trail, phases, activities, heap layout and stats counters in
-   the exact state (and order) the source solver had. Reasons of root
-   literals are deliberately dropped — no code path reads the reason of
-   a level-0 variable (conflict analysis and final-conflict analysis
-   both skip level 0, and learnt-DB locking only compares against
-   learnt clauses). *)
+   lists, trail, phases, activities, heap layout, inprocessing
+   schedule and stats counters in the exact state (and order) the
+   source solver had. Reasons of root literals are deliberately
+   dropped — no code path reads the reason of a level-0 variable. *)
 type snapshot = {
   sn_nvars : int;
-  sn_clauses : Lit.t array array;
-  sn_watches : (int * Lit.t) array array; (* per lit: (clause idx, blocker) *)
+  sn_arena : int array * int * int;
+  sn_clauses : int array;
+  sn_watches : int array array; (* per lit: flat (cref, blocker) pairs *)
   sn_xors : (int array * bool * Lit.t option * bool) array;
       (* (xvars, parity, guard, covered) *)
   sn_xwatches : int array array; (* per var: xclause indices *)
@@ -893,6 +1727,7 @@ type snapshot = {
   sn_levels : int array;
   sn_phase : bool array;
   sn_activity : float array;
+  sn_frozen : bool array;
   sn_trail : Lit.t array;
   sn_order : Heap.t;
   sn_var_inc : float;
@@ -901,10 +1736,19 @@ type snapshot = {
   sn_gauss_mode : bool option;
   sn_gauss_dirty : bool;
   sn_lbd_gen : int;
+  sn_inprocess_on : bool;
+  sn_inprocess_interval : int;
+  sn_inprocess_next : int;
+  sn_inprocess_rounds : int;
   sn_conflicts : int;
   sn_decisions : int;
   sn_propagations : int;
   sn_restarts : int;
+  sn_subsumed : int;
+  sn_strengthened : int;
+  sn_eliminated : int;
+  sn_vivified : int;
+  sn_xors_recovered : int;
   sn_gauss_rows : int;
   sn_gauss_elims : int;
   sn_gauss_props : int;
@@ -913,30 +1757,16 @@ type snapshot = {
 
 let snapshot s =
   if decision_level s <> 0 then invalid_arg "Solver.snapshot: not at root level";
-  if Vec.size s.learnts <> 0 then
+  if Ivec.size s.learnts <> 0 then
     invalid_arg "Solver.snapshot: learnt clauses present";
   if s.proof <> None then invalid_arg "Solver.snapshot: proof logging enabled";
   if s.gauss <> None then
     invalid_arg "Solver.snapshot: live Gauss engine (snapshot before solving)";
   if s.qhead <> Vec.size s.trail then
     invalid_arg "Solver.snapshot: propagation incomplete";
+  if s.elim_stack <> [] then
+    invalid_arg "Solver.snapshot: eliminated variables present (snapshot before solving)";
   let n = s.nvars in
-  (* Index the problem clauses through the lbd field — zero on every
-     problem clause at the root, so it is free scratch space here. *)
-  let nc = Vec.size s.clauses in
-  for i = 0 to nc - 1 do
-    (Vec.get s.clauses i).lbd <- i + 1
-  done;
-  let sn_watches =
-    Array.init (2 * n) (fun li ->
-        Array.init (Vec.size s.watches.(li)) (fun j ->
-            let w = Vec.get s.watches.(li) j in
-            (w.wc.lbd - 1, w.blocker)))
-  in
-  let sn_clauses = Array.init nc (fun i -> Array.copy (Vec.get s.clauses i).lits) in
-  for i = 0 to nc - 1 do
-    (Vec.get s.clauses i).lbd <- 0
-  done;
   (* xclauses have no scratch field; resolve indices by physical
      equality (each lives in at most two watch lists) *)
   let nx = Vec.size s.xors in
@@ -962,14 +1792,16 @@ let snapshot s =
   let sn_activity = sub s.activity in
   {
     sn_nvars = n;
-    sn_clauses;
-    sn_watches;
+    sn_arena = Arena.raw s.arena;
+    sn_clauses = Ivec.to_array s.clauses;
+    sn_watches = Array.init (2 * n) (fun li -> Ivec.to_array s.watches.(li));
     sn_xors;
     sn_xwatches;
     sn_assigns = sub s.assigns;
     sn_levels = sub s.levels;
     sn_phase = sub s.phase;
     sn_activity;
+    sn_frozen = sub s.frozen;
     sn_trail = Array.init (Vec.size s.trail) (Vec.get s.trail);
     sn_order = Heap.copy s.order ~score:(fun v -> sn_activity.(v));
     sn_var_inc = s.var_inc;
@@ -978,10 +1810,19 @@ let snapshot s =
     sn_gauss_mode = s.gauss_mode;
     sn_gauss_dirty = s.gauss_dirty;
     sn_lbd_gen = s.lbd_gen;
+    sn_inprocess_on = s.inprocess_on;
+    sn_inprocess_interval = s.inprocess_interval;
+    sn_inprocess_next = s.inprocess_next;
+    sn_inprocess_rounds = s.inprocess_rounds;
     sn_conflicts = s.n_conflicts;
     sn_decisions = s.n_decisions;
     sn_propagations = s.n_propagations;
     sn_restarts = s.n_restarts;
+    sn_subsumed = s.n_subsumed;
+    sn_strengthened = s.n_strengthened;
+    sn_eliminated = s.n_eliminated;
+    sn_vivified = s.n_vivified;
+    sn_xors_recovered = s.n_xors_recovered;
     sn_gauss_rows = s.n_gauss_rows;
     sn_gauss_elims = s.n_gauss_elims;
     sn_gauss_props = s.n_gauss_props;
@@ -999,12 +1840,11 @@ let clone snap =
   blit snap.sn_levels s.levels;
   blit snap.sn_phase s.phase;
   blit snap.sn_activity s.activity;
-  let clauses = Array.map (fun lits -> mk_clause (Array.copy lits)) snap.sn_clauses in
-  Array.iter (Vec.push s.clauses) clauses;
+  blit snap.sn_frozen s.frozen;
+  s.arena <- Arena.of_raw snap.sn_arena;
+  Array.iter (Ivec.push s.clauses) snap.sn_clauses;
   for li = 0 to (2 * n) - 1 do
-    Array.iter
-      (fun (ci, blocker) -> Vec.push s.watches.(li) { wc = clauses.(ci); blocker })
-      snap.sn_watches.(li)
+    Array.iter (Ivec.push s.watches.(li)) snap.sn_watches.(li)
   done;
   let xors =
     Array.map
@@ -1024,10 +1864,19 @@ let clone snap =
   s.ok <- snap.sn_ok;
   s.gauss_dirty <- snap.sn_gauss_dirty;
   s.lbd_gen <- snap.sn_lbd_gen;
+  s.inprocess_on <- snap.sn_inprocess_on;
+  s.inprocess_interval <- snap.sn_inprocess_interval;
+  s.inprocess_next <- snap.sn_inprocess_next;
+  s.inprocess_rounds <- snap.sn_inprocess_rounds;
   s.n_conflicts <- snap.sn_conflicts;
   s.n_decisions <- snap.sn_decisions;
   s.n_propagations <- snap.sn_propagations;
   s.n_restarts <- snap.sn_restarts;
+  s.n_subsumed <- snap.sn_subsumed;
+  s.n_strengthened <- snap.sn_strengthened;
+  s.n_eliminated <- snap.sn_eliminated;
+  s.n_vivified <- snap.sn_vivified;
+  s.n_xors_recovered <- snap.sn_xors_recovered;
   s.n_gauss_rows <- snap.sn_gauss_rows;
   s.n_gauss_elims <- snap.sn_gauss_elims;
   s.n_gauss_props <- snap.sn_gauss_props;
@@ -1054,9 +1903,30 @@ let pick_branch_var s =
     if Heap.is_empty s.order then None
     else
       let v = Heap.remove_max s.order in
-      if s.assigns.(v) < 0 then Some v else go ()
+      if s.assigns.(v) < 0 && not s.elim.(v) then Some v else go ()
   in
   go ()
+
+(* Extend a model of the post-BVE formula to the eliminated variables:
+   most recent elimination first, a variable is true exactly when some
+   stored clause with a positive occurrence has every other literal
+   false (i.e. only v can satisfy it); false is safe otherwise. *)
+let extend_model s =
+  List.iter
+    (fun (v, stored) ->
+      let lit_true l =
+        let b = s.model.(Lit.var l) in
+        if Lit.sign l then b else not b
+      in
+      let forced =
+        List.exists
+          (fun lits ->
+            Array.exists (fun l -> Lit.var l = v && Lit.sign l) lits
+            && Array.for_all (fun l -> Lit.var l = v || not (lit_true l)) lits)
+          stored
+      in
+      s.model.(v) <- forced)
+    s.elim_stack
 
 (* Final-conflict analysis (MiniSat's analyzeFinal): [p] is an
    assumption found false under the earlier assumption levels. Walk the
@@ -1074,16 +1944,19 @@ let analyze_final s p =
       let q = Vec.get s.trail i in
       let v = Lit.var q in
       if s.seen.(v) then begin
-        (match s.reasons.(v) with
-        | None ->
-            (* an assumption decision; [q] is that assumption literal *)
-            core := q :: !core
-        | Some r ->
-            Array.iter
-              (fun l ->
-                let w = Lit.var l in
-                if w <> v && s.levels.(w) > 0 then s.seen.(w) <- true)
-              r.lits);
+        let mark l =
+          let w = Lit.var l in
+          if w <> v && s.levels.(w) > 0 then s.seen.(w) <- true
+        in
+        let r = s.reasons.(v) in
+        if r = no_reason then
+          (* an assumption decision; [q] is that assumption literal *)
+          core := q :: !core
+        else if r >= 0 then
+          for i = 0 to Arena.size s.arena r - 1 do
+            mark (Arena.lit s.arena r i)
+          done
+        else Array.iter mark s.ereasons.(v);
         s.seen.(v) <- false
       end
     done;
@@ -1123,7 +1996,7 @@ let search s ~assumptions ~max_conflicts =
         end
         else begin
           if
-            Vec.size s.learnts - Vec.size s.trail
+            Ivec.size s.learnts - Vec.size s.trail
             > 4000 + (300 * (s.n_restarts - s.restarts_base))
           then reduce_db s;
           let dl = decision_level s in
@@ -1143,19 +2016,20 @@ let search s ~assumptions ~max_conflicts =
             | _ ->
                 s.n_decisions <- s.n_decisions + 1;
                 Vec.push s.trail_lim (Vec.size s.trail);
-                enqueue s p None
+                enqueue s p no_reason
           end
           else
             match pick_branch_var s with
             | None ->
                 (* complete assignment: a model *)
                 s.model <- Array.init s.nvars (fun v -> s.assigns.(v) = 1);
+                extend_model s;
                 s.model_valid <- true;
                 result := Some Sat
             | Some v ->
                 s.n_decisions <- s.n_decisions + 1;
                 Vec.push s.trail_lim (Vec.size s.trail);
-                enqueue s (Lit.make v s.phase.(v)) None
+                enqueue s (Lit.make v s.phase.(v)) no_reason
         end
   done;
   match !result with Some r -> r | None -> assert false
@@ -1165,6 +2039,15 @@ let solve ?(conflict_budget = max_int) ?(assumptions = []) s =
   s.last_core <- None;
   s.restarts_base <- s.n_restarts;
   List.iter (fun l -> ensure_vars s (Lit.var l + 1)) assumptions;
+  cancel_until s 0;
+  (* assumption variables must survive inprocessing untouched: restore
+     them if already eliminated, and pin them for future passes *)
+  List.iter
+    (fun l ->
+      let v = Lit.var l in
+      restore_var s v;
+      s.frozen.(v) <- true)
+    assumptions;
   let assumptions = Array.of_list assumptions in
   let r =
     if not s.ok then begin
@@ -1174,7 +2057,6 @@ let solve ?(conflict_budget = max_int) ?(assumptions = []) s =
       Unsat
     end
     else begin
-      cancel_until s 0;
       if s.gauss_dirty then rebuild_gauss s;
       if not s.ok then begin
         proof_add s [];
@@ -1197,7 +2079,20 @@ let solve ?(conflict_budget = max_int) ?(assumptions = []) s =
             | Unknown ->
                 budget_left := !budget_left - max_conflicts;
                 s.n_restarts <- s.n_restarts + 1;
-                loop (i + 1)
+                if
+                  s.inprocess_on
+                  && s.n_conflicts >= s.inprocess_next
+                  && !budget_left > 0
+                  && not (Atomic.get s.stop)
+                then begin
+                  inprocess_now s;
+                  if not s.ok then begin
+                    proof_add s [];
+                    Unsat
+                  end
+                  else loop (i + 1)
+                end
+                else loop (i + 1)
             | r -> r
           end
         in
@@ -1239,10 +2134,15 @@ let stats s =
     conflicts = s.n_conflicts;
     decisions = s.n_decisions;
     propagations = s.n_propagations;
-    learnt = Vec.size s.learnts;
+    learnt = Ivec.size s.learnts;
     restarts = s.n_restarts;
     gauss_rows = s.n_gauss_rows;
     gauss_elims = s.n_gauss_elims;
     gauss_props = s.n_gauss_props;
     gauss_conflicts = s.n_gauss_conflicts;
+    subsumed = s.n_subsumed;
+    strengthened = s.n_strengthened;
+    eliminated = s.n_eliminated;
+    vivified = s.n_vivified;
+    xors_recovered = s.n_xors_recovered;
   }

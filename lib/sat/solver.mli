@@ -45,6 +45,13 @@ type stats = {
           rows plus rows that collapsed to root units *)
   gauss_props : int;  (** literals propagated by the Gauss engine *)
   gauss_conflicts : int;  (** conflicts detected by the Gauss engine *)
+  subsumed : int;  (** clauses deleted by inprocessing subsumption *)
+  strengthened : int;
+      (** literals removed by self-subsuming resolution *)
+  eliminated : int;  (** variables eliminated by bounded VE *)
+  vivified : int;  (** learnt clauses shortened or deleted by vivification *)
+  xors_recovered : int;
+      (** XOR rows recovered from complete CNF pattern buckets *)
 }
 
 val create : ?gauss:bool -> unit -> t
@@ -108,6 +115,48 @@ val boost : t -> int list -> unit
     signal variables before the cardinality-counter auxiliaries prunes
     markedly faster. *)
 
+val freeze : t -> int list -> unit
+(** Pin variables against inprocessing: a frozen variable is never
+    eliminated by bounded variable elimination, so its model value and
+    its meaning in later [add_clause]/[add_xor] calls and assumptions
+    stay direct. Assumption variables are frozen automatically by
+    {!solve}; callers that consult {!value}/{!model} on specific
+    variables after adding further constraints should freeze those. *)
+
+val diversify : t -> seed:int -> unit
+(** Deterministically perturb saved phases and branching activities as
+    a function of [seed], for portfolio racing. [seed = 0] is the
+    identity, so the canonical portfolio member stays byte-identical to
+    a sequential run. *)
+
+val set_inprocess : t -> bool -> unit
+(** Enable/disable inprocessing (clause-database simplification between
+    restarts) for this solver. Defaults to the process-wide
+    {!set_inprocess_default} value at creation time. *)
+
+val set_inprocess_interval : t -> int -> unit
+(** Conflicts between inprocessing passes (default 2000; the gap also
+    widens with each round). Raises [Invalid_argument] on [n < 1]. *)
+
+val set_inprocess_default : bool -> unit
+(** Process-wide default consulted by {!create}; lets benchmarks and
+    agreement tests compare inprocessing on/off without threading a
+    flag through every construction site. *)
+
+val simplify : t -> unit
+(** Run one inprocessing pass immediately (subsumption,
+    self-subsuming resolution, bounded variable elimination, XOR
+    recovery, vivification — the proof-unsound passes are skipped when
+    DRAT logging is on). No-op unless the solver is at the root with
+    propagation complete. *)
+
+val debug_decay_clause_activity : t -> int -> unit
+(** Apply the per-conflict clause-activity decay [n] times — regression
+    hook for the increment-overflow rescale. *)
+
+val debug_cla_inc : t -> float
+(** Current clause-activity increment. *)
+
 type snapshot
 (** A frozen image of a root-level solver. Immutable once built, so a
     single snapshot may be {!clone}d concurrently from many domains —
@@ -124,8 +173,9 @@ val snapshot : t -> snapshot
 
     Preconditions (raises [Invalid_argument] otherwise): the solver is
     at decision level 0 with propagation complete, has no learnt
-    clauses, no DRAT proof in progress, and no live Gauss engine —
-    i.e. snapshot after loading constraints but before solving. *)
+    clauses, no DRAT proof in progress, no live Gauss engine, and no
+    BVE-eliminated variables — i.e. snapshot after loading constraints
+    but before solving. *)
 
 val clone : snapshot -> t
 (** A fresh, fully independent solver restored from the snapshot. The

@@ -220,3 +220,113 @@ let run_query ?(cube_bits = default_cube_bits) ~jobs (q : Query.t) =
           in
           (Engine.Count (count, exactness), summary n incomplete stages)
       | _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio racing: one hard Check query, 2-4 diversified solver
+   configurations
+
+   Check cannot be cube-split (its verdict quantifies over the WHOLE
+   preimage), but a completed check verdict is a pure function of the
+   problem — Holds_in_all / Mixed / ... do not depend on which model a
+   solver happens to visit first. So the configs race on the full
+   query and the first definite answer wins; diversification (Gauss
+   engine flipped, perturbed phases and activities) makes their solve
+   times decorrelated, and the race finishes in min- rather than
+   fixed-config time. Losers are cancelled through the shared stop
+   flag. Config 0 is the canonical configuration, untouched, so a
+   1-lane race degenerates to exactly the sequential run. *)
+
+type race_summary = {
+  rs_jobs : int;
+  rs_configs : int;
+  rs_winner : int;
+  rs_stages : Engine.stage list;
+}
+
+let race_check ~jobs pb prop =
+  let jobs = resolve_jobs jobs in
+  let n = min 4 (max 2 jobs) in
+  let pool = Pool.get ~jobs in
+  let base_gauss =
+    match pb.Sat_reconstruct.gauss with
+    | Some g -> g
+    | None -> Sat_reconstruct.auto_gauss pb
+  in
+  (* (gauss override, diversification seed); config 0 is canonical *)
+  let configs =
+    Array.sub
+      [|
+        (None, 0);
+        (Some (not base_gauss), 0);
+        (None, 1);
+        (Some (not base_gauss), 2);
+      |]
+      0 n
+  in
+  let stop = Atomic.make false in
+  let ticket = Atomic.make 0 in
+  let results =
+    Pool.map pool
+      (fun i ->
+        if Atomic.get stop then ((`Unknown : Sat_reconstruct.check_result), None, -1)
+        else begin
+          let gauss_override, seed = configs.(i) in
+          let pb =
+            match gauss_override with
+            | None -> pb
+            | Some g -> { pb with Sat_reconstruct.gauss = Some g }
+          in
+          let r, st = Sat_reconstruct.solve_check ~stop ~seed pb prop in
+          match r with
+          | `Unknown -> (r, st, -1)
+          | _ ->
+              (* finish order, not config order: the winner is the
+                 config that crossed the line first with a definite
+                 verdict *)
+              let t = Atomic.fetch_and_add ticket 1 in
+              Atomic.set stop true;
+              (r, st, t)
+        end)
+      (Array.init n Fun.id)
+  in
+  let verdict = ref (`Unknown : Sat_reconstruct.check_result) in
+  let winner = ref (-1) in
+  let best = ref max_int in
+  Array.iteri
+    (fun i (r, _, t) ->
+      if t >= 0 && t < !best then begin
+        best := t;
+        winner := i;
+        verdict := r
+      end)
+    results;
+  let config_stage i (r, st, t) =
+    let gauss_override, seed = configs.(i) in
+    {
+      Engine.stage = Printf.sprintf "sat.race[%d/%d]" i n;
+      detail =
+        Printf.sprintf "gauss=%s seed=%d -> %s"
+          (match gauss_override with
+          | None -> if base_gauss then "auto:on" else "auto:off"
+          | Some g -> if g then "on" else "off")
+          seed
+          (if i = !winner then "winner"
+           else if t >= 0 then "finished"
+           else match r with `Unknown -> "cancelled" | _ -> "finished");
+      stats = st;
+    }
+  in
+  let header =
+    {
+      Engine.stage = "sat.portfolio";
+      detail = Printf.sprintf "jobs=%d configs=%d" jobs n;
+      stats = None;
+    }
+  in
+  ( !verdict,
+    {
+      rs_jobs = jobs;
+      rs_configs = n;
+      rs_winner = !winner;
+      rs_stages = header :: Array.to_list (Array.mapi config_stage results);
+    } )

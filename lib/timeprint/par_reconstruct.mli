@@ -75,3 +75,31 @@ val run_query :
     raise [Invalid_argument] (the planner pins those to a single
     domain instead). A [Count] whose cubes were cut short by the
     conflict budget is never [`Exact]. *)
+
+type race_summary = {
+  rs_jobs : int;  (** pool lanes *)
+  rs_configs : int;  (** diversified configurations raced (2–4) *)
+  rs_winner : int;
+      (** index of the config whose definite verdict finished first
+          ([-1] only if every config was cancelled externally) *)
+  rs_stages : Engine.stage list;
+      (** one header stage plus one stage per config, marking the
+          winner and the cancelled losers *)
+}
+
+val race_check :
+  jobs:int ->
+  Sat_reconstruct.problem ->
+  Property.t ->
+  Sat_reconstruct.check_result * race_summary
+(** Portfolio-race one hard [Check] query: 2–4 diversified solver
+    configurations (config 0 canonical, then Gauss engine flipped and
+    phase/activity seeds perturbed) solve the {e whole} query
+    concurrently; the first definite verdict wins and cancels the rest
+    through a shared stop flag. Sound because a completed check verdict
+    is a pure function of the problem — it quantifies over the whole
+    preimage, so it cannot depend on the search trajectory; hence the
+    answer is jobs-invariant, and racing changes only the wall-clock
+    (min over configs instead of the canonical config's time). Only
+    unbudgeted checks race: a conflict-budgeted verdict {e does} depend
+    on the trajectory, so the planner pins those. *)

@@ -12,6 +12,7 @@ let parallel_threshold_bits = 6.
 type parallelism =
   | Off
   | Cubed of { jobs : int; cubes : int }
+  | Portfolio of { jobs : int; winner : int }
   | Pinned of string
 
 type report = {
@@ -77,19 +78,35 @@ let run ?(engine = `Auto) ?jobs ?pack (q : Query.t) =
      query and the instance estimates alone, never from the jobs
      value, so the engage decision (and hence the answer) is the same
      for every pool size *)
+  let below_threshold () =
+    Printf.sprintf "below cost threshold: |preimage|~2^%.1f < 2^%.1f"
+      ctx.Engine.preimage_bits parallel_threshold_bits
+  in
   let parallel_plan =
     match jobs with
     | None -> `Off
     | Some j -> (
-        match Engine.parallelizable q with
-        | Error reason -> `Pinned reason
-        | Ok () ->
+        match q.answer with
+        | Query.Check _ when q.conflict_budget = None ->
+            (* Check cannot cube-split, but an unbudgeted check races
+               as a portfolio: the verdict of a completed check is a
+               pure function of the problem, so any config that
+               finishes gives THE answer — jobs-invariant by
+               construction *)
             if ctx.Engine.preimage_bits < parallel_threshold_bits then
-              `Pinned
-                (Printf.sprintf
-                   "below cost threshold: |preimage|~2^%.1f < 2^%.1f"
-                   ctx.Engine.preimage_bits parallel_threshold_bits)
-            else `Cubes (Par_reconstruct.resolve_jobs j))
+              `Pinned (below_threshold ())
+            else `Race (Par_reconstruct.resolve_jobs j)
+        | Query.Check _ ->
+            `Pinned
+              "check: a conflict-budgeted verdict depends on the search \
+               trajectory"
+        | _ -> (
+            match Engine.parallelizable q with
+            | Error reason -> `Pinned reason
+            | Ok () ->
+                if ctx.Engine.preimage_bits < parallel_threshold_bits then
+                  `Pinned (below_threshold ())
+                else `Cubes (Par_reconstruct.resolve_jobs j)))
   in
   let base chosen presolve parallel considered fallbacks stages =
     {
@@ -120,6 +137,21 @@ let run ?(engine = `Auto) ?jobs ?pack (q : Query.t) =
                   cubes = s.Par_reconstruct.cs_cubes;
                 },
               s.Par_reconstruct.cs_stages )
+        | `Race j ->
+            let prop =
+              match q.answer with Query.Check p -> p | _ -> assert false
+            in
+            let pb =
+              Sat_reconstruct.problem ~assume:q.assume q.encoding q.entry
+            in
+            let r, s = Par_reconstruct.race_check ~jobs:j pb prop in
+            ( Engine.Check r,
+              Portfolio
+                {
+                  jobs = s.Par_reconstruct.rs_jobs;
+                  winner = s.Par_reconstruct.rs_winner;
+                },
+              s.Par_reconstruct.rs_stages )
         | `Off ->
             let outcome, stages = e.Engine.run ctx q in
             (outcome, Off, stages)
@@ -131,7 +163,7 @@ let run ?(engine = `Auto) ?jobs ?pack (q : Query.t) =
         let parallel =
           match parallel_plan with
           | `Off -> Off
-          | `Cubes _ | `Pinned _ ->
+          | `Cubes _ | `Race _ | `Pinned _ ->
               Pinned (e.Engine.name ^ ": engine is single-threaded")
         in
         (outcome, parallel, stages)
@@ -183,7 +215,8 @@ let run ?(engine = `Auto) ?jobs ?pack (q : Query.t) =
                 match parallel_plan with
                 | `Off -> Off
                 | `Pinned r -> Pinned r
-                | `Cubes _ -> assert false (* Repair is never cubeable *)
+                | `Cubes _ | `Race _ ->
+                    assert false (* Repair is never cubed or raced *)
               in
               (outcome, base "sat" presolve parallel considered [] stages)
           | _ ->
@@ -191,7 +224,7 @@ let run ?(engine = `Auto) ?jobs ?pack (q : Query.t) =
                 match parallel_plan with
                 | `Off -> Off
                 | `Pinned r -> Pinned r
-                | `Cubes _ -> Pinned "presolve answered the query"
+                | `Cubes _ | `Race _ -> Pinned "presolve answered the query"
               in
               ( refuted_outcome q,
                 base "presolve" `Refuted parallel
@@ -321,6 +354,9 @@ let pp_report ppf r =
   | Off -> ()
   | Cubed { jobs; cubes } ->
       fprintf ppf "parallel: %d cubes on %d jobs@," cubes jobs
+  | Portfolio { jobs; winner } ->
+      fprintf ppf "parallel: portfolio race on %d jobs, config %d won@," jobs
+        winner
   | Pinned reason ->
       fprintf ppf "parallel: pinned to one domain (%s)@," reason);
   (match r.pack with
@@ -333,8 +369,18 @@ let pp_report ppf r =
       | None -> fprintf ppf "stage %s: %s@," st.stage st.detail
       | Some s ->
           fprintf ppf
-            "stage %s: %s  conflicts=%d decisions=%d propagations=%d@,"
+            "stage %s: %s  conflicts=%d decisions=%d propagations=%d"
             st.stage st.detail s.Tp_sat.Solver.conflicts s.decisions
-            s.propagations)
+            s.propagations;
+          if
+            s.subsumed + s.strengthened + s.eliminated + s.vivified
+            + s.xors_recovered > 0
+          then
+            fprintf ppf
+              "  inprocess: subsumed=%d strengthened=%d eliminated=%d \
+               vivified=%d xors-recovered=%d"
+              s.subsumed s.strengthened s.eliminated s.vivified
+              s.xors_recovered;
+          fprintf ppf "@,")
     r.stages;
   fprintf ppf "@]"

@@ -36,6 +36,13 @@ type parallelism =
   | Off  (** no [jobs] requested *)
   | Cubed of { jobs : int; cubes : int }
       (** the query ran cube-and-conquer on the domain pool *)
+  | Portfolio of { jobs : int; winner : int }
+      (** an unbudgeted [Check] raced 2–4 diversified solver configs on
+          the pool ({!Par_reconstruct.race_check}); [winner] is the
+          config whose definite verdict finished first. The verdict of
+          a completed check is a pure function of the problem, so the
+          answer is identical for every pool size — racing changes only
+          the wall-clock. *)
   | Pinned of string
       (** [jobs] was requested but the query stayed on one domain — the
           string says why (engine incapability per

@@ -203,9 +203,14 @@ type verdict = [ `Signal of Signal.t | `Unsat | `Unknown ]
 (* branch on the (surviving) signal variables before the cardinality
    auxiliaries — same heuristic [batch] uses, and what lets the Gauss
    rows do the propagating *)
-let solver_for pb e =
+let solver_for ?stop ?(seed = 0) pb e =
   let s = Solver.of_cnf ~gauss:(gauss_choice pb) e.e_cnf in
   Solver.boost s e.e_proj;
+  (* portfolio hooks: seed 0 is the identity, so the canonical config
+     is byte-identical to a sequential run; a shared stop flag lets the
+     first finisher cancel its siblings *)
+  Solver.diversify s ~seed;
+  (match stop with Some f -> Solver.share_stop s f | None -> ());
   s
 
 type certified =
@@ -298,7 +303,7 @@ let count ?max_solutions ?conflict_budget pb =
 type check_result =
   [ `Holds_in_all | `Violated_in_all | `Mixed | `Vacuous | `Unknown ]
 
-let exists_with ?conflict_budget pb extra_polarity prop =
+let exists_with ?stop ?seed ?conflict_budget pb extra_polarity prop =
   match encode ~materialize:true pb with
   | `Unsat -> (`No, None)
   | `Enc e ->
@@ -311,7 +316,7 @@ let exists_with ?conflict_budget pb extra_polarity prop =
       (match extra_polarity with
       | `Holds -> Property.assert_holds cnf ~m ~xvar prop
       | `Violated -> Property.assert_violated cnf ~m ~xvar prop);
-      let s = solver_for pb e in
+      let s = solver_for ?stop ?seed pb e in
       let r =
         match Solver.solve ?conflict_budget s with
         | Sat -> `Yes
@@ -335,11 +340,18 @@ let add_stats a b =
           gauss_elims = a.gauss_elims + b.gauss_elims;
           gauss_props = a.gauss_props + b.gauss_props;
           gauss_conflicts = a.gauss_conflicts + b.gauss_conflicts;
+          subsumed = a.subsumed + b.subsumed;
+          strengthened = a.strengthened + b.strengthened;
+          eliminated = a.eliminated + b.eliminated;
+          vivified = a.vivified + b.vivified;
+          xors_recovered = a.xors_recovered + b.xors_recovered;
         }
 
-let solve_check ?conflict_budget pb prop =
-  let some_sat, st_sat = exists_with ?conflict_budget pb `Holds prop in
-  let some_viol, st_viol = exists_with ?conflict_budget pb `Violated prop in
+let solve_check ?stop ?seed ?conflict_budget pb prop =
+  let some_sat, st_sat = exists_with ?stop ?seed ?conflict_budget pb `Holds prop in
+  let some_viol, st_viol =
+    exists_with ?stop ?seed ?conflict_budget pb `Violated prop
+  in
   let r =
     match (some_sat, some_viol) with
     | `Yes, `Yes -> `Mixed
@@ -512,6 +524,11 @@ let zero_stats =
     gauss_elims = 0;
     gauss_props = 0;
     gauss_conflicts = 0;
+    subsumed = 0;
+    strengthened = 0;
+    eliminated = 0;
+    vivified = 0;
+    xors_recovered = 0;
   }
 
 module Session = struct
@@ -583,6 +600,11 @@ module Session = struct
         gauss_elims = a.gauss_elims;
         gauss_props = a.gauss_props - b.gauss_props;
         gauss_conflicts = a.gauss_conflicts - b.gauss_conflicts;
+        subsumed = a.subsumed - b.subsumed;
+        strengthened = a.strengthened - b.strengthened;
+        eliminated = a.eliminated - b.eliminated;
+        vivified = a.vivified - b.vivified;
+        xors_recovered = a.xors_recovered - b.xors_recovered;
       };
     r
 
@@ -655,6 +677,11 @@ module Session = struct
         gauss_elims = t.last_stats.gauss_elims;
         gauss_props = stats_sat.gauss_props + t.last_stats.gauss_props;
         gauss_conflicts = stats_sat.gauss_conflicts + t.last_stats.gauss_conflicts;
+        subsumed = stats_sat.subsumed + t.last_stats.subsumed;
+        strengthened = stats_sat.strengthened + t.last_stats.strengthened;
+        eliminated = stats_sat.eliminated + t.last_stats.eliminated;
+        vivified = stats_sat.vivified + t.last_stats.vivified;
+        xors_recovered = stats_sat.xors_recovered + t.last_stats.xors_recovered;
       };
     match (some_sat, some_viol) with
     | `Yes, `Yes -> `Mixed
@@ -929,6 +956,11 @@ let batch ?(assume = []) ?(presolve = true) ?conflict_budget ?gauss
             gauss_elims = after.gauss_elims;
             gauss_props = after.gauss_props - before.gauss_props;
             gauss_conflicts = after.gauss_conflicts - before.gauss_conflicts;
+            subsumed = after.subsumed - before.subsumed;
+            strengthened = after.strengthened - before.strengthened;
+            eliminated = after.eliminated - before.eliminated;
+            vivified = after.vivified - before.vivified;
+            xors_recovered = after.xors_recovered - before.xors_recovered;
           } ))
     entries
 

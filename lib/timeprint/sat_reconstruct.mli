@@ -122,11 +122,21 @@ val check : ?conflict_budget:int -> problem -> Property.t -> check_result
     that satisfies or breaks a certain temporal property"). *)
 
 val solve_check :
+  ?stop:bool Atomic.t ->
+  ?seed:int ->
   ?conflict_budget:int ->
   problem ->
   Property.t ->
   check_result * Tp_sat.Solver.stats option
-(** {!check} plus the summed work of its two solves. *)
+(** {!check} plus the summed work of its two solves.
+
+    [stop]/[seed] are the portfolio-racing hooks
+    ({!Par_reconstruct.race_check}): [stop] is shared as the solvers'
+    cancellation flag, [seed] diversifies phases and branching
+    activities ({!Tp_sat.Solver.diversify}; [0], the default, is the
+    identity). A tripped stop surfaces as [`Unknown]. The verdict of a
+    completed check depends only on the problem — every diversified
+    config that finishes returns the same answer. *)
 
 val pp_check_result : Format.formatter -> check_result -> unit
 

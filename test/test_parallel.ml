@@ -299,6 +299,7 @@ let test_certified_pinned () =
   (match report.Plan.parallel with
   | Plan.Pinned _ -> ()
   | Plan.Cubed _ -> Alcotest.fail "certified queries must not be cubed"
+  | Plan.Portfolio _ -> Alcotest.fail "certified queries must not be raced"
   | Plan.Off -> Alcotest.fail "jobs was requested; the report must say pinned");
   match outcome with
   | Engine.Certified _ -> ()
