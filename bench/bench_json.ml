@@ -1,0 +1,90 @@
+(* Shared writer for the BENCH_pr*.json result files. Every section
+   records the same top-level shape — bench name, host core count, a
+   flat list of cells, optional per-section medians, then any
+   section-specific extras — so the files stay machine-comparable
+   across PRs without each section hand-rolling its own Buffer
+   printfs (which is how they had drifted apart). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of string (* preformatted: exact float precision is per-field *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let int n = Num (string_of_int n)
+
+(* the bench-wide convention: negative seconds mean budget-exhausted
+   or not-applicable, which serializes as null *)
+let time_s f = if f < 0. then Null else Num (Printf.sprintf "%.6f" f)
+let ratio r = if r <= 0. then Null else Num (Printf.sprintf "%.3f" r)
+let opt f = function None -> Null | Some x -> f x
+
+let is_flat = function List _ | Obj _ -> false | _ -> true
+
+let rec emit buf ind v =
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Num s -> Buffer.add_string buf s
+  | Str s -> Printf.bprintf buf "%S" s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      let n = List.length items in
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          pad (ind + 2);
+          emit buf (ind + 2) item;
+          if i < n - 1 then Buffer.add_char buf ',';
+          Buffer.add_char buf '\n')
+        items;
+      pad ind;
+      Buffer.add_char buf ']'
+  | Obj fields when List.for_all (fun (_, v) -> is_flat v) fields ->
+      (* all-scalar objects (the cells) stay on one line for diffability *)
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Printf.bprintf buf "%S: " k;
+          emit buf ind v)
+        fields;
+      Buffer.add_char buf '}'
+  | Obj fields ->
+      let n = List.length fields in
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          pad (ind + 2);
+          Printf.bprintf buf "%S: " k;
+          emit buf (ind + 2) v;
+          if i < n - 1 then Buffer.add_char buf ',';
+          Buffer.add_char buf '\n')
+        fields;
+      pad ind;
+      Buffer.add_char buf '}'
+
+(* The uniform document: name, cores, cells, medians, extras. *)
+let document ~name ?(medians = []) ~cells extra =
+  Obj
+    (("bench", Str name)
+     :: ("cores", int (Domain.recommended_domain_count ()))
+     :: ("cells", List cells)
+     :: ((if medians = [] then []
+          else
+            [
+              ( "medians",
+                Obj (List.map (fun (k, v) -> (k, ratio v)) medians) );
+            ])
+        @ extra))
+
+let write file ~summary json =
+  let buf = Buffer.create 4096 in
+  emit buf 0 json;
+  Buffer.add_char buf '\n';
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Format.printf "@.wrote %s (%s)@." file summary

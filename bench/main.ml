@@ -6,8 +6,8 @@
      dune exec bench/main.exe -- table1 soc   # selected sections
 
    Sections: fig4 table1 table2 can incremental faults soc engines
-   parallel pack solvercore ablation baseline micro. [--smoke] shrinks
-   the grids and budgets for the tier1 alias's smoke run.
+   parallel pack solvercore daemon ablation baseline micro. [--smoke]
+   shrinks the grids and budgets for the tier1 alias's smoke run.
 
    Absolute times are not comparable to the paper's (their substrate
    was Cryptominisat on an i7; ours is the in-repo CDCL solver) — the
@@ -76,24 +76,26 @@ let write_bench_json () =
   match List.rev !bench_rows with
   | [] -> ()
   | rows ->
-      let buf = Buffer.create 4096 in
-      let fstr f = if f < 0. then "null" else Printf.sprintf "%.6f" f in
-      Buffer.add_string buf "{\n  \"rows\": [\n";
-      let last = List.length rows - 1 in
-      List.iteri
-        (fun i r ->
-          Printf.bprintf buf
-            "    {\"section\": %S, \"m\": %d, \"k\": %s, \"b\": %d, \
-             \"encoding\": %S, \"gauss\": %b, \"engaged\": %b, \
-             \"median_s\": %s, \"times_s\": [%s], \"conflicts\": %d, \
-             \"propagations\": %d}%s\n"
-            r.section r.m
-            (match r.k with Some k -> string_of_int k | None -> "null")
-            r.b r.encoding_name r.gauss_on r.engaged (fstr r.median_s)
-            (String.concat ", " (List.map fstr r.times_s))
-            r.conflicts r.propagations
-            (if i = last then "" else ","))
-        rows;
+      let open Bench_json in
+      let cells =
+        List.map
+          (fun r ->
+            Obj
+              [
+                ("section", Str r.section);
+                ("m", int r.m);
+                ("k", opt int r.k);
+                ("b", int r.b);
+                ("encoding", Str r.encoding_name);
+                ("gauss", Bool r.gauss_on);
+                ("engaged", Bool r.engaged);
+                ("median_s", time_s r.median_s);
+                ("times_s", List (List.map time_s r.times_s));
+                ("conflicts", int r.conflicts);
+                ("propagations", int r.propagations);
+              ])
+          rows
+      in
       let key r = (r.m, r.k, r.b, r.encoding_name) in
       let sections =
         List.sort_uniq compare (List.map (fun r -> r.section) rows)
@@ -120,29 +122,22 @@ let write_bench_json () =
             if ratios = [] then None else Some (sec, median ratios))
           sections
       in
-      let emit name speedups terminal =
-        Printf.bprintf buf "  %S: {\n" name;
-        let last = List.length speedups - 1 in
-        List.iteri
-          (fun i (sec, sp) ->
-            Printf.bprintf buf "    %S: %.3f%s\n" sec sp
-              (if i = last then "" else ","))
-          speedups;
-        Buffer.add_string buf (if terminal then "  }\n" else "  },\n")
-      in
-      Buffer.add_string buf "  ],\n";
       let headline = speedups_where (fun r -> r.engaged) in
-      emit "speedups" headline false;
-      emit "speedups_all_pairs" (speedups_where (fun _ -> true)) true;
-      Buffer.add_string buf "}\n";
-      Out_channel.with_open_text "BENCH_pr2.json" (fun oc ->
-          Out_channel.output_string oc (Buffer.contents buf));
-      Format.printf "@.wrote BENCH_pr2.json (%d rows;%s)@."
-        (List.length rows)
-        (String.concat ","
-           (List.map
-              (fun (sec, sp) -> Printf.sprintf " %s speedup %.2fx" sec sp)
-              headline))
+      write "BENCH_pr2.json"
+        ~summary:
+          (Printf.sprintf "%d rows;%s" (List.length rows)
+             (String.concat ","
+                (List.map
+                   (fun (sec, sp) -> Printf.sprintf " %s speedup %.2fx" sec sp)
+                   headline)))
+        (document ~name:"gauss-ablation" ~medians:headline ~cells
+           [
+             ( "speedups_all_pairs",
+               Obj
+                 (List.map
+                    (fun (sec, sp) -> (sec, ratio sp))
+                    (speedups_where (fun _ -> true))) );
+           ])
 
 (* ------------------------------------------------------------------ *)
 (* Engine crossover grid → BENCH_pr3.json: per-(m,k) medians for the
@@ -169,27 +164,24 @@ let write_engines_json () =
   match List.rev !engine_cells with
   | [] -> ()
   | cells ->
-      let buf = Buffer.create 4096 in
-      let fopt = function
-        | None -> "null"
-        | Some f when f < 0. -> "null"
-        | Some f -> Printf.sprintf "%.6f" f
+      let open Bench_json in
+      let rows =
+        List.map
+          (fun c ->
+            Obj
+              [
+                ("m", int c.ec_m);
+                ("k", int c.ec_k);
+                ("b", int c.ec_b);
+                ("nullity", int c.ec_nullity);
+                ("planner_engine", Str c.ec_chosen);
+                ("planner_s", time_s c.ec_planner_s);
+                ("sat_s", time_s c.ec_sat_s);
+                ("linear_s", opt time_s c.ec_linear_s);
+                ("mitm_s", opt time_s c.ec_mitm_s);
+              ])
+          cells
       in
-      Buffer.add_string buf "{\n  \"grid\": [\n";
-      let last = List.length cells - 1 in
-      List.iteri
-        (fun i c ->
-          Printf.bprintf buf
-            "    {\"m\": %d, \"k\": %d, \"b\": %d, \"nullity\": %d, \
-             \"planner_engine\": %S, \"planner_s\": %s, \"sat_s\": %s, \
-             \"linear_s\": %s, \"mitm_s\": %s}%s\n"
-            c.ec_m c.ec_k c.ec_b c.ec_nullity c.ec_chosen
-            (fopt (Some c.ec_planner_s))
-            (fopt (Some c.ec_sat_s))
-            (fopt c.ec_linear_s) (fopt c.ec_mitm_s)
-            (if i = last then "" else ","))
-        cells;
-      Buffer.add_string buf "  ],\n";
       let usable =
         List.filter (fun c -> c.ec_planner_s >= 0. && c.ec_sat_s >= 0.) cells
       in
@@ -207,16 +199,22 @@ let write_engines_json () =
             else acc)
           0. usable
       in
-      Printf.bprintf buf
-        "  \"summary\": {\"cells\": %d, \"planner_matches_or_beats_sat\": %d, \
-         \"best_nonsat_speedup\": %.3f}\n}\n"
-        (List.length usable) (List.length matches) best_nonsat;
-      Out_channel.with_open_text "BENCH_pr3.json" (fun oc ->
-          Out_channel.output_string oc (Buffer.contents buf));
-      Format.printf
-        "@.wrote BENCH_pr3.json (%d cells; planner matches/beats SAT on %d; \
-         best non-SAT speedup %.1fx)@."
-        (List.length usable) (List.length matches) best_nonsat
+      write "BENCH_pr3.json"
+        ~summary:
+          (Printf.sprintf
+             "%d cells; planner matches/beats SAT on %d; best non-SAT speedup \
+              %.1fx"
+             (List.length usable) (List.length matches) best_nonsat)
+        (document ~name:"engines" ~cells:rows
+           [
+             ( "summary",
+               Obj
+                 [
+                   ("cells", int (List.length usable));
+                   ("planner_matches_or_beats_sat", int (List.length matches));
+                   ("best_nonsat_speedup", ratio best_nonsat);
+                 ] );
+           ])
 
 (* one reconstruction timing: first solution and 10th solution *)
 let solve_times pb =
@@ -679,26 +677,30 @@ let write_faults_json () =
   match List.rev !fault_rows with
   | [] -> ()
   | rows ->
+      let open Bench_json in
       let m, b, n, faulty = !fault_meta in
-      let buf = Buffer.create 1024 in
-      Printf.bprintf buf
-        "{\n  \"m\": %d, \"b\": %d, \"entries\": %d, \"faulty\": %d,\n\
-        \  \"rows\": [\n"
-        m b n faulty;
-      let last = List.length rows - 1 in
-      List.iteri
-        (fun i r ->
-          Printf.bprintf buf
-            "    {\"repair\": %d, \"time_s\": %.6f, \"clean\": %d, \
-             \"repaired\": %d, \"quarantined\": %d, \"conflicts\": %d}%s\n"
-            r.f_repair r.f_time_s r.f_clean r.f_repaired r.f_quarantined
-            r.f_conflicts
-            (if i = last then "" else ","))
-        rows;
-      Buffer.add_string buf "  ]\n}\n";
-      Out_channel.with_open_text "BENCH_pr4.json" (fun oc ->
-          Out_channel.output_string oc (Buffer.contents buf));
-      Format.printf "@.wrote BENCH_pr4.json (%d budgets)@." (List.length rows)
+      write "BENCH_pr4.json"
+        ~summary:(Printf.sprintf "%d budgets" (List.length rows))
+        (document ~name:"faults"
+           ~cells:
+             (List.map
+                (fun r ->
+                  Obj
+                    [
+                      ("repair", int r.f_repair);
+                      ("time_s", time_s r.f_time_s);
+                      ("clean", int r.f_clean);
+                      ("repaired", int r.f_repaired);
+                      ("quarantined", int r.f_quarantined);
+                      ("conflicts", int r.f_conflicts);
+                    ])
+                rows)
+           [
+             ("m", int m);
+             ("b", int b);
+             ("entries", int n);
+             ("faulty", int faulty);
+           ])
 
 let faults ~full ~smoke () =
   let open Tp_canbus in
@@ -1115,50 +1117,63 @@ let write_parallel_json () =
   match List.rev par_results.ps_rows with
   | [] -> ()
   | rows ->
-      let buf = Buffer.create 1024 in
+      let open Bench_json in
       let base =
         match List.find_opt (fun r -> r.pr_jobs = 1) rows with
         | Some r -> r.pr_time_s
         | None -> -1.
       in
-      Printf.bprintf buf
-        "{\n  \"cores\": %d,\n\
-        \  \"stream\": {\"m\": %d, \"b\": %d, \"entries\": %d, \
-         \"repair\": 2, \"sequential_s\": %.6f,\n    \"rows\": [\n"
-        (Domain.recommended_domain_count ())
-        par_results.ps_m par_results.ps_b par_results.ps_entries
-        par_results.ps_seq_s;
-      let last = List.length rows - 1 in
-      List.iteri
-        (fun i r ->
-          Printf.bprintf buf
-            "      {\"jobs\": %d, \"time_s\": %.6f, \"speedup\": %.3f, \
-             \"clean\": %d, \"repaired\": %d, \"quarantined\": %d, \
-             \"identical\": %b}%s\n"
-            r.pr_jobs r.pr_time_s
-            (if base > 0. && r.pr_time_s > 0. then base /. r.pr_time_s else -1.)
-            r.pr_clean r.pr_repaired r.pr_quarantined r.pr_identical
-            (if i = last then "" else ","))
-        rows;
-      Buffer.add_string buf "  ]},\n";
-      Printf.bprintf buf
-        "  \"cube\": {\"count\": %d, \"exact\": %b, \"rows\": [\n"
-        par_results.ps_cube_count par_results.ps_cube_exact;
-      let crows = List.rev par_results.ps_cube_rows in
-      let last = List.length crows - 1 in
-      List.iteri
-        (fun i (jobs, t, agrees) ->
-          Printf.bprintf buf
-            "      {\"jobs\": %d, \"time_s\": %.6f, \"agrees\": %b}%s\n" jobs t
-            agrees
-            (if i = last then "" else ","))
-        crows;
-      Buffer.add_string buf "  ]}\n}\n";
-      Out_channel.with_open_text "BENCH_pr5.json" (fun oc ->
-          Out_channel.output_string oc (Buffer.contents buf));
-      Format.printf "@.wrote BENCH_pr5.json (%d pool sizes on %d core(s))@."
-        (List.length rows)
-        (Domain.recommended_domain_count ())
+      let cells =
+        List.map
+          (fun r ->
+            Obj
+              [
+                ("jobs", int r.pr_jobs);
+                ("time_s", time_s r.pr_time_s);
+                ( "speedup",
+                  ratio
+                    (if base > 0. && r.pr_time_s > 0. then base /. r.pr_time_s
+                     else -1.) );
+                ("clean", int r.pr_clean);
+                ("repaired", int r.pr_repaired);
+                ("quarantined", int r.pr_quarantined);
+                ("identical", Bool r.pr_identical);
+              ])
+          rows
+      in
+      write "BENCH_pr5.json"
+        ~summary:
+          (Printf.sprintf "%d pool sizes on %d core(s)" (List.length rows)
+             (Domain.recommended_domain_count ()))
+        (document ~name:"parallel" ~cells
+           [
+             ( "stream",
+               Obj
+                 [
+                   ("m", int par_results.ps_m);
+                   ("b", int par_results.ps_b);
+                   ("entries", int par_results.ps_entries);
+                   ("repair", int 2);
+                   ("sequential_s", time_s par_results.ps_seq_s);
+                 ] );
+             ( "cube",
+               Obj
+                 [
+                   ("count", int par_results.ps_cube_count);
+                   ("exact", Bool par_results.ps_cube_exact);
+                   ( "rows",
+                     List
+                       (List.map
+                          (fun (jobs, t, agrees) ->
+                            Obj
+                              [
+                                ("jobs", int jobs);
+                                ("time_s", time_s t);
+                                ("agrees", Bool agrees);
+                              ])
+                          (List.rev par_results.ps_cube_rows)) );
+                 ] );
+           ])
 
 let parallel_bench ~full ~smoke ~max_jobs () =
   let open Tp_canbus in
@@ -1321,27 +1336,32 @@ let write_pack_json () =
   match List.rev !pack_rows with
   | [] -> ()
   | rows ->
-      let buf = Buffer.create 1024 in
-      Buffer.add_string buf "{\n  \"rows\": [\n";
-      let last = List.length rows - 1 in
-      List.iteri
-        (fun i r ->
-          Printf.bprintf buf
-            "    {\"m\": %d, \"b\": %d, \"entries\": %d, \"compile_s\": %.6f, \
-             \"save_load_s\": %.6f, \"cold_setup_s\": %.6f, \
-             \"warm_setup_s\": %.6f, \"setup_speedup\": %.3f, \
-             \"cold_stream_s\": %.6f, \"warm_stream_s\": %.6f}%s\n"
-            r.pk_m r.pk_b r.pk_entries r.pk_compile_s r.pk_save_load_s
-            r.pk_cold_setup_s r.pk_warm_setup_s
-            (if r.pk_warm_setup_s > 0. then r.pk_cold_setup_s /. r.pk_warm_setup_s
-             else -1.)
-            r.pk_cold_stream_s r.pk_warm_stream_s
-            (if i = last then "" else ","))
-        rows;
-      Buffer.add_string buf "  ]\n}\n";
-      Out_channel.with_open_text "BENCH_pr6.json" (fun oc ->
-          Out_channel.output_string oc (Buffer.contents buf));
-      Format.printf "@.wrote BENCH_pr6.json (%d designs)@." (List.length rows)
+      let open Bench_json in
+      write "BENCH_pr6.json"
+        ~summary:(Printf.sprintf "%d designs" (List.length rows))
+        (document ~name:"packs"
+           ~cells:
+             (List.map
+                (fun r ->
+                  Obj
+                    [
+                      ("m", int r.pk_m);
+                      ("b", int r.pk_b);
+                      ("entries", int r.pk_entries);
+                      ("compile_s", time_s r.pk_compile_s);
+                      ("save_load_s", time_s r.pk_save_load_s);
+                      ("cold_setup_s", time_s r.pk_cold_setup_s);
+                      ("warm_setup_s", time_s r.pk_warm_setup_s);
+                      ( "setup_speedup",
+                        ratio
+                          (if r.pk_warm_setup_s > 0. then
+                             r.pk_cold_setup_s /. r.pk_warm_setup_s
+                           else -1.) );
+                      ("cold_stream_s", time_s r.pk_cold_stream_s);
+                      ("warm_stream_s", time_s r.pk_warm_stream_s);
+                    ])
+                rows)
+           [])
 
 let pack_bench ~full ~smoke () =
   Format.printf "@.== Design packs: cold vs warm per-request setup ==@.";
@@ -1468,26 +1488,26 @@ let write_solvercore_json () =
   match List.rev !sc_cells with
   | [] -> ()
   | cells ->
-      let buf = Buffer.create 2048 in
-      Buffer.add_string buf "{\n  \"cells\": [\n";
-      let last = List.length cells - 1 in
-      List.iteri
-        (fun i c ->
-          let speedup =
-            if c.sc_ref_s > 0. && c.sc_time_s > 0. then
-              Printf.sprintf "%.3f" (c.sc_ref_s /. c.sc_time_s)
-            else "null"
-          in
-          Printf.bprintf buf
-            "    {\"kind\": %S, \"m\": %d, \"k\": %d, \"detail\": %S, \
-             \"time_s\": %.6f, \"ref_s\": %s, \"speedup\": %s}%s\n"
-            c.sc_kind c.sc_m c.sc_k c.sc_detail c.sc_time_s
-            (if c.sc_ref_s >= 0. then Printf.sprintf "%.6f" c.sc_ref_s
-             else "null")
-            speedup
-            (if i = last then "" else ","))
-        cells;
-      Buffer.add_string buf "  ],\n";
+      let open Bench_json in
+      let rows =
+        List.map
+          (fun c ->
+            Obj
+              [
+                ("kind", Str c.sc_kind);
+                ("m", int c.sc_m);
+                ("k", int c.sc_k);
+                ("detail", Str c.sc_detail);
+                ("time_s", time_s c.sc_time_s);
+                ("ref_s", time_s c.sc_ref_s);
+                ( "speedup",
+                  ratio
+                    (if c.sc_ref_s > 0. && c.sc_time_s > 0. then
+                       c.sc_ref_s /. c.sc_time_s
+                     else -1.) );
+              ])
+          cells
+      in
       let sat_speedups =
         List.filter_map
           (fun c ->
@@ -1505,19 +1525,25 @@ let write_solvercore_json () =
       in
       (* mismatches abort the run with [failwith] before this writer,
          so reaching here certifies both invariants held *)
-      Printf.bprintf buf
-        "  \"summary\": {\"identity_cells\": %d, \"identity_mismatches\": 0, \
-         \"portfolio_cells\": %d, \"portfolio_invariant\": true, \
-         \"sat_speedup_median_vs_pr3\": %s, \"target_2x_met\": %b}\n}\n"
-        n_id n_pf
-        (if sat_median >= 0. then Printf.sprintf "%.3f" sat_median else "null")
-        (sat_median >= 2.);
-      Out_channel.with_open_text "BENCH_pr7.json" (fun oc ->
-          Out_channel.output_string oc (Buffer.contents buf));
-      Format.printf
-        "@.wrote BENCH_pr7.json (%d cells; sat median speedup vs PR3 %s)@."
-        (List.length cells)
-        (if sat_median >= 0. then Printf.sprintf "%.2fx" sat_median else "n/a")
+      write "BENCH_pr7.json"
+        ~summary:
+          (Printf.sprintf "%d cells; sat median speedup vs PR3 %s"
+             (List.length cells)
+             (if sat_median >= 0. then Printf.sprintf "%.2fx" sat_median
+              else "n/a"))
+        (document ~name:"solvercore" ~cells:rows
+           [
+             ( "summary",
+               Obj
+                 [
+                   ("identity_cells", int n_id);
+                   ("identity_mismatches", int 0);
+                   ("portfolio_cells", int n_pf);
+                   ("portfolio_invariant", Bool true);
+                   ("sat_speedup_median_vs_pr3", ratio sat_median);
+                   ("target_2x_met", Bool (sat_median >= 2.));
+                 ] );
+           ])
 
 let check_str = function
   | Engine.Check `Holds_in_all -> "holds-in-all"
@@ -1653,6 +1679,239 @@ let solvercore_bench ~full:_ ~smoke () =
     pfcells
 
 (* ------------------------------------------------------------------ *)
+(* Service core (section "daemon") → BENCH_pr8.json: what keeping the
+   pipeline resident buys. Three cell families, each gated hard so a
+   regression fails the smoke run instead of shipping as a slightly
+   worse number:
+
+   - cache: a repeat (design, entry, query) must be served from the
+     result cache at least 50x cheaper than the cold one-shot
+     [Plan.run] (which pays rank + planner + engine every time).
+   - registry: the second [load] of a design must be an LRU hit, and
+     a reconstruct on it must run against the cached pack ([pack=hit]
+     in the plan meta) — no recompile, no re-presolve.
+   - stream: the service's emitted verdict lines must be
+     byte-identical to the one-shot [Plan.run_stream] rendering for
+     jobs in {1, 2, 4}. *)
+
+type dm_cell = {
+  dm_kind : string; (* "cache" | "registry" | "stream" *)
+  dm_detail : string;
+  dm_jobs : int; (* 0 = n/a *)
+  dm_time_s : float;
+  dm_ref_s : float; (* cold / first-load / sequential reference; <0 = n/a *)
+  dm_ok : bool;
+}
+
+let dm_cells : dm_cell list ref = ref []
+
+let write_daemon_json () =
+  match List.rev !dm_cells with
+  | [] -> ()
+  | cells ->
+      let open Bench_json in
+      let rows =
+        List.map
+          (fun c ->
+            Obj
+              [
+                ("kind", Str c.dm_kind);
+                ("detail", Str c.dm_detail);
+                ("jobs", if c.dm_jobs = 0 then Null else int c.dm_jobs);
+                ("time_s", time_s c.dm_time_s);
+                ("ref_s", time_s c.dm_ref_s);
+                ( "speedup",
+                  ratio
+                    (if c.dm_ref_s > 0. && c.dm_time_s > 0. then
+                       c.dm_ref_s /. c.dm_time_s
+                     else -1.) );
+                ("ok", Bool c.dm_ok);
+              ])
+          cells
+      in
+      let cache_speedup =
+        List.fold_left
+          (fun acc c ->
+            if c.dm_kind = "cache" && c.dm_time_s > 0. then
+              max acc (c.dm_ref_s /. c.dm_time_s)
+            else acc)
+          (-1.) cells
+      in
+      let stream_identical =
+        List.for_all (fun c -> c.dm_ok) (List.filter (fun c -> c.dm_kind = "stream") cells)
+      in
+      (* gate failures abort with [failwith] before this writer runs *)
+      write "BENCH_pr8.json"
+        ~summary:
+          (Printf.sprintf "%d cells; cache hit %.0fx cheaper than cold"
+             (List.length cells) cache_speedup)
+        (document ~name:"daemon" ~cells:rows
+           [
+             ( "summary",
+               Obj
+                 [
+                   ("cache_speedup", ratio cache_speedup);
+                   ("target_50x_met", Bool (cache_speedup >= 50.));
+                   ("stream_identical_jobs_1_2_4", Bool stream_identical);
+                 ] );
+           ])
+
+let daemon_bench ~full ~smoke () =
+  let open Tp_service in
+  Format.printf
+    "@.== Service core: result cache, design registry, stream identity ==@.";
+  let m = if full then 128 else if smoke then 48 else 64 in
+  let enc = encoding_for m in
+  let b = Encoding.b enc in
+  let st = Random.State.make [| 0xd43; m |] in
+  let entries =
+    List.init
+      (if smoke then 8 else 24)
+      (fun i -> Logger.abstract enc (constrained_signal ~m ~k:(2 + (i mod 7))))
+  in
+  ignore st;
+  (* the k=8 entry: representative solver work, not the trivial path *)
+  let entry = List.nth entries 6 in
+  let answer = Query.Enumerate { max_solutions = Some 10 } in
+  let budget = !conflict_budget in
+  let svc = Service.create () in
+  (* -- registry: second load is a hit, reconstructs see pack=hit ----- *)
+  let first_load_s, _ = time (fun () -> Service.load svc ~name:"bench" enc) in
+  let second_load_s, (_, status2) =
+    time (fun () -> Service.load svc ~name:"bench" enc)
+  in
+  if status2 <> `Hit then
+    failwith "daemon bench: second load of an unchanged design was not a hit";
+  let run_reconstruct () =
+    match
+      Service.reconstruct svc ~design:"bench" ~conflict_budget:budget ~answer
+        entry
+    with
+    | Ok r -> r
+    | Error e -> failwith ("daemon bench: " ^ Service.error_line e)
+  in
+  let first = run_reconstruct () in
+  (* the registry-cached pack must have served the run: no recompile,
+     no re-presolve — the plan meta records the pack status *)
+  let pack_hit =
+    match first.Service.served with
+    | `Ran report ->
+        let meta = Plan.meta_line report in
+        let has_hit =
+          let needle = "pack=hit" in
+          let nl = String.length needle and ml = String.length meta in
+          let rec scan i =
+            i + nl <= ml && (String.sub meta i nl = needle || scan (i + 1))
+          in
+          scan 0
+        in
+        if not has_hit then
+          failwith
+            (Printf.sprintf
+               "daemon bench: reconstruct on a registered design ran cold \
+                (%s)"
+               meta);
+        true
+    | `Cache -> failwith "daemon bench: first reconstruct cannot be cached"
+  in
+  let rs = Design_registry.stats (Service.registry svc) in
+  if rs.Design_registry.misses <> 1 then
+    failwith
+      (Printf.sprintf "daemon bench: registry compiled %d times for one design"
+         rs.Design_registry.misses);
+  Format.printf "%-10s %-22s %a %a@." "registry"
+    (Printf.sprintf "m=%d b=%d compile/hit" m b)
+    pp_time first_load_s pp_time second_load_s;
+  dm_cells :=
+    {
+      dm_kind = "registry";
+      dm_detail = Printf.sprintf "m=%d load compile vs hit" m;
+      dm_jobs = 0;
+      dm_time_s = second_load_s;
+      dm_ref_s = first_load_s;
+      dm_ok = pack_hit;
+    }
+    :: !dm_cells;
+  (* -- cache: repeat query vs the cold one-shot --------------------- *)
+  let q = Query.make ~conflict_budget:budget ~answer enc entry in
+  let reps = if smoke then 3 else 5 in
+  let cold_s =
+    median (List.init reps (fun _ -> fst (time (fun () -> Plan.run q))))
+  in
+  let second = run_reconstruct () in
+  (match second.Service.served with
+  | `Cache -> ()
+  | `Ran _ -> failwith "daemon bench: repeat reconstruct missed the cache");
+  if second.Service.outcome <> first.Service.outcome then
+    failwith "daemon bench: cached outcome differs from the solver's";
+  let inner = 100 in
+  let hit_s =
+    let t, () =
+      time (fun () ->
+          for _ = 1 to inner do
+            ignore (run_reconstruct ())
+          done)
+    in
+    t /. float_of_int inner
+  in
+  if hit_s *. 50. > cold_s then
+    failwith
+      (Printf.sprintf
+         "daemon bench: cache hit %.6fs is not 50x cheaper than cold one-shot \
+          %.6fs"
+         hit_s cold_s);
+  Format.printf "%-10s %-22s %a %a %7.0fx@." "cache"
+    (Printf.sprintf "m=%d cold/hit" m)
+    pp_time cold_s pp_time hit_s (cold_s /. hit_s);
+  dm_cells :=
+    {
+      dm_kind = "cache";
+      dm_detail = Printf.sprintf "m=%d repeat enumerate" m;
+      dm_jobs = 0;
+      dm_time_s = hit_s;
+      dm_ref_s = cold_s;
+      dm_ok = true;
+    }
+    :: !dm_cells;
+  (* -- stream: byte identity with the one-shot path across jobs ----- *)
+  let oneshot =
+    Plan.run_stream ~conflict_budget:budget ~repair:1 enc entries
+  in
+  let oneshot_lines = List.mapi Render.entry_line oneshot in
+  List.iter
+    (fun jobs ->
+      let got = ref [] in
+      let t, () =
+        time (fun () ->
+            match
+              Service.stream svc ~design:"bench" ~repair:1 ~jobs entries
+                ~emit:(fun i tr -> got := Render.entry_line i tr :: !got)
+            with
+            | Ok () -> ()
+            | Error e -> failwith ("daemon bench: " ^ Service.error_line e))
+      in
+      let identical = List.rev !got = oneshot_lines in
+      if not identical then
+        failwith
+          (Printf.sprintf
+             "daemon bench: service stream differs from one-shot at jobs=%d"
+             jobs);
+      Format.printf "%-10s %-22s %a identical@." "stream"
+        (Printf.sprintf "jobs=%d entries=%d" jobs (List.length entries))
+        pp_time t;
+      dm_cells :=
+        {
+          dm_kind = "stream";
+          dm_detail = Printf.sprintf "m=%d entries=%d" m (List.length entries);
+          dm_jobs = jobs;
+          dm_time_s = t;
+          dm_ref_s = -1.;
+          dm_ok = identical;
+        }
+        :: !dm_cells)
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let () =
@@ -1691,6 +1950,7 @@ let () =
   if want "parallel" then parallel_bench ~full ~smoke ~max_jobs:!max_jobs ();
   if want "pack" then pack_bench ~full ~smoke ();
   if want "solvercore" then solvercore_bench ~full ~smoke ();
+  if want "daemon" then daemon_bench ~full ~smoke ();
   if want "ablation" then ablation ();
   if want "baseline" then baseline ();
   if want "micro" then micro ();
@@ -1700,4 +1960,5 @@ let () =
   write_parallel_json ();
   write_pack_json ();
   write_solvercore_json ();
+  write_daemon_json ();
   Format.printf "@.done.@."

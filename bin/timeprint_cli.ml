@@ -6,6 +6,10 @@
 
 open Cmdliner
 open Timeprint
+module Service = Tp_service.Service
+module Render = Tp_service.Render
+module Daemon = Tp_service.Daemon
+module Wire = Tp_service.Wire
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -141,16 +145,37 @@ let explain_flag =
           "Print the plan: chosen engine, preimage-size estimate, presolve \
            outcome and per-stage solver stats.")
 
+(* accepted as a raw string so that a bad TIMEPRINTS_JOBS (or --jobs)
+   value dies with one clear line and exit 64, instead of cmdliner's
+   usage dump — the env var is typically set far from the invocation
+   that trips over it *)
+let exit_usage = 64
+
 let jobs_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "j"; "jobs" ] ~docv:"N"
-        ~env:(Cmd.Env.info "TIMEPRINTS_JOBS")
-        ~doc:
-          "Solve on $(i,N) domains: hard queries split into cubes, log \
-           streams fan out in chunks. $(b,0) means the runtime's \
-           recommended domain count. Answers never depend on $(i,N).")
+  let raw =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~env:(Cmd.Env.info "TIMEPRINTS_JOBS")
+          ~doc:
+            "Solve on $(i,N) domains: hard queries split into cubes, log \
+             streams fan out in chunks. $(b,0) means the runtime's \
+             recommended domain count. Answers never depend on $(i,N).")
+  in
+  let validate = function
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 0 -> Some n
+        | Some _ ->
+            Format.eprintf "error: jobs must be a non-negative integer, got %s@." s;
+            exit exit_usage
+        | None ->
+            Format.eprintf "error: jobs must be a non-negative integer, got %S@." s;
+            exit exit_usage)
+  in
+  Term.(const validate $ raw)
 
 let maybe_explain explain report =
   if explain then Format.printf "%a@." Plan.pp_report report
@@ -175,6 +200,27 @@ let load_pack = function
       | Error e ->
           Format.eprintf "warning: %a; running cold@." Pack.pp_load_error e;
           None)
+
+(* reconstruct/stream are in-process clients of the same service core
+   timeprintd serves: a single-design registry per invocation. A good
+   pack file installs directly; otherwise the registry compiles one. *)
+let cli_design = "design"
+
+let cli_service enc pack ~warn_stale =
+  let svc = Service.create () in
+  (match load_pack pack with
+  | Some p when Pack.matches p enc ->
+      ignore (Service.load_pack svc ~name:cli_design p)
+  | Some _ ->
+      if warn_stale then
+        Format.eprintf "warning: pack is stale (encoding mismatch); running cold@.";
+      ignore (Service.load svc ~name:cli_design enc)
+  | None -> ignore (Service.load svc ~name:cli_design enc));
+  svc
+
+let service_error e =
+  Format.eprintf "error: %s@." (Service.error_line e);
+  exit 1
 
 (* ------------------------------------------------------------------ *)
 (* encode                                                              *)
@@ -269,39 +315,39 @@ let reconstruct_cmd =
   let run enc entry p2 pulse deadline window max_solutions engine repair
       k_slack jobs pack explain =
     let assume = assume_of p2 pulse deadline window in
-    let pack = load_pack pack in
-    if repair > 0 || k_slack > 0 then (
-      let q =
-        Query.make ~assume
-          ~answer:(Query.Repair { max_flips = repair; k_slack })
-          enc entry
-      in
-      let outcome, report = Plan.run ~engine ?jobs ?pack q in
-      maybe_explain explain report;
-      match outcome with
-      | Engine.Repair v ->
-          Format.printf "%a [engine: %s]@." Reconstruct.pp_repair_verdict v
-            report.Plan.chosen;
-          (match v with
-          | `Clean s | `Repaired { Reconstruct.r_signal = s; _ } ->
-              Format.printf "%a@." Signal.pp s
-          | `Unrepairable | `Unknown -> ())
-      | _ -> assert false)
-    else
-      let q =
-        Query.make ~assume
-          ~answer:(Query.Enumerate { max_solutions = Some max_solutions })
-          enc entry
-      in
-      let outcome, report = Plan.run ~engine ?jobs ?pack q in
-      maybe_explain explain report;
-      match outcome with
-      | Engine.Enumeration { signals; complete } ->
-          List.iter (fun s -> Format.printf "%a@." Signal.pp s) signals;
-          Format.printf "%d solution(s)%s [engine: %s]@." (List.length signals)
-            (if complete then "" else Printf.sprintf " (capped at %d)" max_solutions)
-            report.Plan.chosen
-      | _ -> assert false
+    let svc = cli_service enc pack ~warn_stale:false in
+    let answer =
+      if repair > 0 || k_slack > 0 then Query.Repair { max_flips = repair; k_slack }
+      else Query.Enumerate { max_solutions = Some max_solutions }
+    in
+    match
+      Service.reconstruct svc ~design:cli_design ~engine ~assume ?jobs ~answer
+        entry
+    with
+    | Error e -> service_error e
+    | Ok { Service.outcome; served } -> (
+        let chosen =
+          match served with
+          | `Cache -> "cache"
+          | `Ran report ->
+              maybe_explain explain report;
+              report.Plan.chosen
+        in
+        match outcome with
+        | Engine.Repair v ->
+            Format.printf "%a [engine: %s]@." Reconstruct.pp_repair_verdict v
+              chosen;
+            (match v with
+            | `Clean s | `Repaired { Reconstruct.r_signal = s; _ } ->
+                Format.printf "%a@." Signal.pp s
+            | `Unrepairable | `Unknown -> ())
+        | Engine.Enumeration { signals; complete } ->
+            List.iter (fun s -> Format.printf "%a@." Signal.pp s) signals;
+            Format.printf "%d solution(s)%s [engine: %s]@." (List.length signals)
+              (if complete then ""
+               else Printf.sprintf " (capped at %d)" max_solutions)
+              chosen
+        | _ -> assert false)
   in
   let max_arg =
     Arg.(
@@ -368,45 +414,32 @@ let log_file_arg =
 let stream_cmd =
   let run enc path p2 pulse deadline window repair jobs pack explain =
     let entries, malformed = read_log path in
-    let pack = load_pack pack in
-    (match pack with
-    | Some p when not (Pack.matches p enc) ->
-        Format.eprintf "warning: pack is stale (encoding mismatch); running cold@."
-    | _ -> ());
-    let results =
-      Plan.run_stream ~assume:(assume_of p2 pulse deadline window) ~repair
-        ?jobs ?pack enc entries
+    let svc = cli_service enc pack ~warn_stale:true in
+    (* verdict lines print from the service's emit callback as chunks
+       complete — the same Render strings the daemon streams, so the
+       two front ends agree byte for byte *)
+    let triages = ref [] in
+    let emit i t =
+      triages := t :: !triages;
+      print_string (Render.entry_line i t);
+      (if explain then
+         let _, _, tag = t in
+         Printf.printf "  [%s]" (Render.tag_name tag));
+      print_newline ()
     in
-    let clean = ref 0 and repaired = ref 0 and quarantined = ref 0 in
-    List.iteri
-      (fun i (verdict, health, tag) ->
-        (match health with
-        | Reconstruct.Clean -> incr clean
-        | Reconstruct.Repaired _ -> incr repaired
-        | Reconstruct.Quarantined -> incr quarantined);
-        let path_tag =
-          match tag with
-          | `Presolve -> "presolve"
-          | `Mitm -> "mitm"
-          | `Sat _ -> "sat"
-        in
-        (match verdict with
-        | `Signal s ->
-            Format.printf "entry %d: %a  %a" i Reconstruct.pp_health health
-              Signal.pp s
-        | `Unsat -> Format.printf "entry %d: %a" i Reconstruct.pp_health health
-        | `Unknown ->
-            Format.printf "entry %d: %a (solver budget exhausted)" i
-              Reconstruct.pp_health health);
-        if explain then Format.printf "  [%s]" path_tag;
-        Format.printf "@.")
-      results;
-    Format.printf "%d clean, %d repaired, %d quarantined@." !clean !repaired
-      !quarantined;
+    (match
+       Service.stream svc ~design:cli_design
+         ~assume:(assume_of p2 pulse deadline window) ~repair ?jobs entries
+         ~emit
+     with
+    | Error e -> service_error e
+    | Ok () -> ());
+    let c = Render.count !triages in
+    print_endline (Render.summary_line c);
     if malformed > 0 then (
       Format.eprintf "error: %d malformed log line(s) skipped@." malformed;
       exit 3);
-    if !quarantined > 0 then exit 2
+    if c.Render.quarantined > 0 then exit 2
   in
   Cmd.v
     (Cmd.info "stream"
@@ -525,6 +558,136 @@ let dimacs_cmd =
       $ window_opt)
 
 (* ------------------------------------------------------------------ *)
+(* serve / query: the daemon and its line-protocol client              *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let run socket registry_capacity cache_capacity max_running queue_limit
+      default_quota_bits =
+    let config =
+      Daemon.config ?registry_capacity ?cache_capacity ?max_running
+        ?queue_limit ?default_quota_bits socket
+    in
+    match Daemon.run config with
+    | () -> ()
+    | exception Unix.Unix_error (e, fn, arg) ->
+        Format.eprintf "error: %s %s: %s@." fn arg (Unix.error_message e);
+        exit 1
+  in
+  let registry =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "registry-capacity" ] ~docv:"N"
+          ~doc:"Designs kept loaded before LRU eviction (default 8).")
+  in
+  let cache =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Result-cache ring size per design (default 1024).")
+  in
+  let max_running =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-running" ] ~docv:"N"
+          ~doc:"Solver runs admitted concurrently.")
+  in
+  let queue_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:"Requests allowed to wait for a run slot (default 16).")
+  in
+  let quota =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "quota-bits" ] ~docv:"F"
+          ~doc:"Default per-request cost-bits quota (default: unlimited).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the reconstruction service on a Unix socket (same daemon as \
+          $(b,timeprintd)): designs compile once into a registry, repeat \
+          queries answer from the result cache, every solver run passes the \
+          cost-model admission gate.")
+    Term.(
+      const run $ socket_arg $ registry $ cache $ max_running $ queue_limit
+      $ quota)
+
+let query_cmd =
+  let run socket log words =
+    let body, words =
+      match log with
+      | None -> ([], words)
+      | Some path ->
+          let entries, malformed = read_log path in
+          if malformed > 0 then (
+            Format.eprintf "error: %d malformed log line(s) skipped@." malformed;
+            exit 3);
+          ( List.map Wire.render_entry entries,
+            words @ [ Printf.sprintf "n=%d" (List.length entries) ] )
+    in
+    if words = [] then (
+      Format.eprintf "error: empty request@.";
+      exit exit_usage);
+    match Daemon.connect socket with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 4
+    | Ok conn ->
+        let res =
+          Daemon.request conn ~body (String.concat " " words)
+            ~on_line:print_endline
+        in
+        Daemon.close conn;
+        (match res with
+        | Ok (`Ok header) -> Format.eprintf "%s@." header
+        | Ok (`Err header) ->
+            Format.eprintf "%s@." header;
+            exit 4
+        | Error msg ->
+            Format.eprintf "error: %s@." msg;
+            exit 4)
+  in
+  let log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Log file to send as a $(b,stream) body ($(b,-) for stdin); \
+             $(b,n=)$(i,COUNT) is appended to the request automatically.")
+  in
+  let words =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"WORD"
+          ~doc:
+            "Request tokens, e.g. $(b,load name=d scheme=random m=64) or \
+             $(b,stream design=d repair=1).")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Send one request to a running $(b,timeprintd) ($(b,serve)) and \
+          print the response: payload lines on stdout as they stream in, the \
+          response header on stderr. Exits 4 on an $(b,err) response or \
+          transport failure.")
+    Term.(const run $ socket_arg $ log $ words)
+
+(* ------------------------------------------------------------------ *)
 (* can-demo / soc-demo                                                 *)
 
 let can_demo_cmd =
@@ -611,6 +774,8 @@ let () =
             corrupt_cmd;
             check_cmd;
             dimacs_cmd;
+            serve_cmd;
+            query_cmd;
             can_demo_cmd;
             soc_demo_cmd;
           ]))

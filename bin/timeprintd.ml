@@ -1,0 +1,85 @@
+(* timeprintd — reconstruction-as-a-service daemon.
+
+   Serves the Wire line protocol over a Unix-domain socket: named
+   designs are compiled once into the registry, repeat queries answer
+   from the result cache, and every solver run passes the cost-model
+   admission gate. See `timeprint query --help` for the client. *)
+
+open Cmdliner
+module D = Tp_service.Daemon
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "s"; "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket to listen on (created, replacing any stale one).")
+
+let registry_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "registry-capacity" ] ~docv:"N"
+        ~doc:"Designs kept loaded before LRU eviction (default 8).")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"Result-cache ring size per design (default 1024).")
+
+let max_running_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-running" ] ~docv:"N"
+        ~doc:
+          "Solver runs admitted concurrently (default: the runtime's \
+           recommended domain count).")
+
+let queue_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "queue-limit" ] ~docv:"N"
+        ~doc:
+          "Requests allowed to wait for a run slot before $(b,queue-full) \
+           rejections start (default 16).")
+
+let quota_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "quota-bits" ] ~docv:"F"
+        ~doc:
+          "Default per-request cost-bits quota; dearer requests are rejected \
+           with $(b,over-quota) (default: unlimited). Per-tenant overrides \
+           via the $(b,quota) verb.")
+
+let run socket registry_capacity cache_capacity max_running queue_limit
+    default_quota_bits =
+  let config =
+    D.config ?registry_capacity ?cache_capacity ?max_running ?queue_limit
+      ?default_quota_bits socket
+  in
+  match D.run config with
+  | () -> 0
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Format.eprintf "timeprintd: %s %s: %s@." fn arg (Unix.error_message e);
+      1
+
+let () =
+  let info =
+    Cmd.info "timeprintd" ~version:"1.0.0"
+      ~doc:
+        "Timeprint reconstruction service: a Unix-socket daemon keeping \
+         compiled design packs, warm solver skeletons and recent answers \
+         resident across queries."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.v info
+          Term.(
+            const run $ socket_arg $ registry_arg $ cache_arg $ max_running_arg
+            $ queue_limit_arg $ quota_arg)))

@@ -156,6 +156,63 @@ let map t f inputs =
 let map_list t f inputs =
   Array.to_list (map t f (Array.of_list inputs))
 
+let map_emit t f inputs ~emit =
+  let n = Array.length inputs in
+  if n = 0 then ()
+  else begin
+    enter t;
+    Fun.protect
+      ~finally:(fun () -> leave t)
+      (fun () ->
+        let slots = Array.make n None in
+        let emit_mutex = Mutex.create () in
+        (* An exception raised by [emit] is captured like a task
+           failure, so the harvest below reports it and the remaining
+           tasks still run. *)
+        let apply i x =
+          let v = f x in
+          Mutex.lock emit_mutex;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock emit_mutex)
+            (fun () -> emit i v)
+        in
+        if t.jobs = 1 || n = 1 then
+          Array.iteri
+            (fun i x ->
+              Atomic.incr t.tasks;
+              slots.(i) <- Some (capture (apply i) x))
+            inputs
+        else begin
+          let completed = ref 0 in
+          let make_task i x () =
+            let r = capture (apply i) x in
+            Atomic.incr t.tasks;
+            Mutex.lock t.mutex;
+            slots.(i) <- Some r;
+            incr completed;
+            Condition.broadcast t.progress;
+            Mutex.unlock t.mutex
+          in
+          Mutex.lock t.mutex;
+          Array.iteri (fun i x -> Queue.push (make_task i x) t.queue) inputs;
+          Condition.broadcast t.pending;
+          while !completed < n do
+            match Queue.take_opt t.queue with
+            | Some task ->
+                Mutex.unlock t.mutex;
+                task ();
+                Mutex.lock t.mutex
+            | None -> Condition.wait t.progress t.mutex
+          done;
+          Mutex.unlock t.mutex
+        end;
+        Array.iter
+          (function
+            | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+            | Some (Ok ()) | None -> ())
+          slots)
+  end
+
 (* Process-global cached pool, so layered callers get
    spawn-once/reuse semantics from a bare [--jobs] integer. *)
 let cached = ref None

@@ -37,6 +37,18 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over lists, preserving order. *)
 
+val map_emit : t -> ('a -> 'b) -> 'a array -> emit:(int -> 'b -> unit) -> unit
+(** [map_emit pool f inputs ~emit] applies [f] to every element like
+    {!map}, but instead of collecting results it calls [emit i (f
+    inputs.(i))] as each application completes. Calls to [emit] are
+    serialized under an internal mutex but arrive in {e completion}
+    order, not input order — the index argument identifies the task;
+    callers wanting input order must reorder themselves. [emit] runs
+    on whichever pool lane finished the task (possibly the caller)
+    and must not call back into the pool. If a task or an [emit]
+    raises, the remaining tasks still run and the lowest-indexed
+    failure is re-raised in the caller, matching {!map}. *)
+
 val tasks_run : t -> int
 (** Total tasks executed by this pool since {!create} (monotonic,
     read from an [Atomic] counter; includes tasks run inline by the

@@ -1753,6 +1753,10 @@ type snapshot = {
   sn_gauss_elims : int;
   sn_gauss_props : int;
   sn_gauss_conflicts : int;
+  sn_clones : int Atomic.t;
+      (* lifecycle counter: sessions stamped out of this snapshot.
+         The only mutable field; atomic so concurrent clones from
+         many domains count correctly. *)
 }
 
 let snapshot s =
@@ -1827,9 +1831,13 @@ let snapshot s =
     sn_gauss_elims = s.n_gauss_elims;
     sn_gauss_props = s.n_gauss_props;
     sn_gauss_conflicts = s.n_gauss_conflicts;
+    sn_clones = Atomic.make 0;
   }
 
+let clones snap = Atomic.get snap.sn_clones
+
 let clone snap =
+  Atomic.incr snap.sn_clones;
   let s = create () in
   s.gauss_mode <- snap.sn_gauss_mode;
   let n = snap.sn_nvars in

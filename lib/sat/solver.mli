@@ -181,7 +181,14 @@ val clone : snapshot -> t
 (** A fresh, fully independent solver restored from the snapshot. The
     clone shares no mutable state with the snapshot or with other
     clones (its stop flag is its own; use {!share_stop} to group).
-    Thread-safe with respect to the snapshot: pure reads only. *)
+    Thread-safe with respect to the snapshot: the only write is an
+    atomic bump of the {!clones} lifecycle counter. *)
+
+val clones : snapshot -> int
+(** Number of solvers stamped out of this snapshot via {!clone} so
+    far (an atomic counter, safe to read from any domain). Service
+    layers use it to report how many sessions a cached design pack
+    has served. *)
 
 val solve : ?conflict_budget:int -> ?assumptions:Lit.t list -> t -> result
 (** [conflict_budget] bounds the number of conflicts before giving up

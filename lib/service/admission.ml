@@ -1,0 +1,133 @@
+type rejection =
+  | Over_quota of { tenant : string; cost_bits : float; quota_bits : float }
+  | Queue_full of { tenant : string; queued : int; limit : int }
+
+let rejection_line = function
+  | Over_quota { tenant; cost_bits; quota_bits } ->
+      Printf.sprintf "code=over-quota tenant=%s cost_bits=%.1f quota_bits=%.1f"
+        tenant cost_bits quota_bits
+  | Queue_full { tenant; queued; limit } ->
+      Printf.sprintf "code=queue-full tenant=%s queued=%d limit=%d" tenant
+        queued limit
+
+type ticket = { t_cost : float }
+
+type stats = {
+  admitted : int;
+  rejected_quota : int;
+  rejected_queue : int;
+  queued_peak : int;
+  running : int;
+  queued : int;
+  cost_bits_admitted : float;
+}
+
+type t = {
+  max_running : int;
+  queue_limit : int;
+  default_quota_bits : float;
+  mutex : Mutex.t;
+  can_run : Condition.t;
+  quotas : (string, float) Hashtbl.t;
+  mutable running : int;
+  mutable waiting : int;
+  mutable admitted : int;
+  mutable rejected_quota : int;
+  mutable rejected_queue : int;
+  mutable queued_peak : int;
+  mutable cost_admitted : float;
+}
+
+let create ?max_running ?(queue_limit = 16) ?(default_quota_bits = infinity)
+    () =
+  let max_running =
+    match max_running with
+    | Some n when n > 0 -> n
+    | Some _ -> invalid_arg "Admission.create: max_running <= 0"
+    | None -> Domain.recommended_domain_count ()
+  in
+  if queue_limit < 0 then invalid_arg "Admission.create: queue_limit < 0";
+  {
+    max_running;
+    queue_limit;
+    default_quota_bits;
+    mutex = Mutex.create ();
+    can_run = Condition.create ();
+    quotas = Hashtbl.create 8;
+    running = 0;
+    waiting = 0;
+    admitted = 0;
+    rejected_quota = 0;
+    rejected_queue = 0;
+    queued_peak = 0;
+    cost_admitted = 0.;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let set_quota t ~tenant bits =
+  locked t (fun () -> Hashtbl.replace t.quotas tenant bits)
+
+let quota t ~tenant =
+  locked t (fun () ->
+      Option.value
+        (Hashtbl.find_opt t.quotas tenant)
+        ~default:t.default_quota_bits)
+
+(* The three-way routing of the issue: reject (over quota), queue
+   (capacity busy, bounded backpressure — the caller blocks, which is
+   what pushes back on a socket client), or run. *)
+let admit t ~tenant ~cost_bits =
+  locked t (fun () ->
+      let quota_bits =
+        Option.value
+          (Hashtbl.find_opt t.quotas tenant)
+          ~default:t.default_quota_bits
+      in
+      if cost_bits > quota_bits then begin
+        t.rejected_quota <- t.rejected_quota + 1;
+        Error (Over_quota { tenant; cost_bits; quota_bits })
+      end
+      else if t.running >= t.max_running && t.waiting >= t.queue_limit then begin
+        t.rejected_queue <- t.rejected_queue + 1;
+        Error (Queue_full { tenant; queued = t.waiting; limit = t.queue_limit })
+      end
+      else begin
+        if t.running >= t.max_running then begin
+          t.waiting <- t.waiting + 1;
+          if t.waiting > t.queued_peak then t.queued_peak <- t.waiting;
+          while t.running >= t.max_running do
+            Condition.wait t.can_run t.mutex
+          done;
+          t.waiting <- t.waiting - 1
+        end;
+        t.running <- t.running + 1;
+        t.admitted <- t.admitted + 1;
+        t.cost_admitted <- t.cost_admitted +. cost_bits;
+        Ok { t_cost = cost_bits }
+      end)
+
+let release t (_ : ticket) =
+  locked t (fun () ->
+      t.running <- t.running - 1;
+      Condition.signal t.can_run)
+
+let with_ticket t ~tenant ~cost_bits f =
+  match admit t ~tenant ~cost_bits with
+  | Error _ as e -> e
+  | Ok ticket ->
+      Fun.protect ~finally:(fun () -> release t ticket) (fun () -> Ok (f ()))
+
+let stats t =
+  locked t (fun () ->
+      {
+        admitted = t.admitted;
+        rejected_quota = t.rejected_quota;
+        rejected_queue = t.rejected_queue;
+        queued_peak = t.queued_peak;
+        running = t.running;
+        queued = t.waiting;
+        cost_bits_admitted = t.cost_admitted;
+      })

@@ -1,0 +1,56 @@
+(** Cost-model admission control: every request is priced in the
+    planner's cost bits ({!Timeprint.Plan.cost_estimate}) and routed
+    three ways against its tenant's quota —
+
+    - {b reject} when the estimate exceeds the tenant's per-request
+      quota (a structured {!rejection}, never an exception);
+    - {b queue} when the estimate is within quota but the running
+      slots are full: the caller blocks until a slot frees, which is
+      exactly the backpressure a socket client should feel. The queue
+      is bounded; a request arriving when [queue_limit] callers are
+      already waiting is rejected [Queue_full];
+    - {b run} otherwise.
+
+    Thread-safe; tickets must be {!release}d (use {!with_ticket}). *)
+
+type rejection =
+  | Over_quota of { tenant : string; cost_bits : float; quota_bits : float }
+  | Queue_full of { tenant : string; queued : int; limit : int }
+
+val rejection_line : rejection -> string
+(** One stable machine-parseable line, e.g.
+    [code=over-quota tenant=acme cost_bits=23.1 quota_bits=16.0] —
+    what the daemon's [err] responses embed. *)
+
+type t
+type ticket
+
+type stats = {
+  admitted : int;
+  rejected_quota : int;
+  rejected_queue : int;
+  queued_peak : int;  (** most callers ever waiting at once *)
+  running : int;  (** current *)
+  queued : int;  (** current *)
+  cost_bits_admitted : float;  (** sum over admitted requests *)
+}
+
+val create :
+  ?max_running:int -> ?queue_limit:int -> ?default_quota_bits:float -> unit -> t
+(** [max_running] defaults to [Domain.recommended_domain_count ()];
+    [queue_limit] to 16 waiting callers; [default_quota_bits] to
+    [infinity] (no quota until {!set_quota}). *)
+
+val set_quota : t -> tenant:string -> float -> unit
+val quota : t -> tenant:string -> float
+
+val admit : t -> tenant:string -> cost_bits:float -> (ticket, rejection) result
+(** May block (bounded queue). An [Ok] ticket must be {!release}d. *)
+
+val release : t -> ticket -> unit
+
+val with_ticket :
+  t -> tenant:string -> cost_bits:float -> (unit -> 'a) -> ('a, rejection) result
+(** {!admit}, run, {!release} (also on exception). *)
+
+val stats : t -> stats

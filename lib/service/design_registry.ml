@@ -1,0 +1,153 @@
+open Timeprint
+
+type entry = {
+  e_name : string;
+  e_pack : Pack.t;
+  e_session : Plan.session;
+  mutable e_tick : int; (* last-touch stamp: smallest = least recent *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  stales : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+  clones : int;
+}
+
+type t = {
+  capacity : int;
+  mutex : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stales : int;
+  mutable evictions : int;
+  mutable on_evict : string -> unit;
+}
+
+let default_capacity = 8
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Design_registry.create: capacity <= 0";
+  {
+    capacity;
+    mutex = Mutex.create ();
+    tbl = Hashtbl.create 16;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    stales = 0;
+    evictions = 0;
+    on_evict = ignore;
+  }
+
+let on_evict t f = t.on_evict <- f
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.e_tick <- t.clock
+
+(* Evict least-recently-touched entries until the table fits. Linear
+   scan: the registry holds a handful of compiled designs, not
+   millions of keys. *)
+let enforce_capacity t =
+  while Hashtbl.length t.tbl > t.capacity do
+    let victim =
+      Hashtbl.fold
+        (fun _ e acc ->
+          match acc with
+          | Some v when v.e_tick <= e.e_tick -> acc
+          | _ -> Some e)
+        t.tbl None
+    in
+    match victim with
+    | None -> assert false (* length > capacity >= 1 *)
+    | Some v ->
+        Hashtbl.remove t.tbl v.e_name;
+        t.evictions <- t.evictions + 1;
+        t.on_evict v.e_name
+  done
+
+let insert t name pack =
+  let session = Plan.session ~pack (Pack.encoding pack) in
+  let e = { e_name = name; e_pack = pack; e_session = session; e_tick = 0 } in
+  touch t e;
+  Hashtbl.replace t.tbl name e;
+  enforce_capacity t;
+  e
+
+(* The compile happens OUTSIDE the registry lock: compiling a design
+   is the expensive path, and holding the lock across it would stall
+   every concurrent lookup. The small race (two domains compiling the
+   same design) costs a duplicate compile, never a wrong answer — the
+   second [Hashtbl.replace] wins. *)
+let load t ~name encoding =
+  let decision =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl name with
+        | Some e when Pack.matches e.e_pack encoding ->
+            t.hits <- t.hits + 1;
+            touch t e;
+            `Hit e.e_session
+        | Some _ ->
+            t.stales <- t.stales + 1;
+            `Stale
+        | None ->
+            t.misses <- t.misses + 1;
+            `Miss)
+  in
+  match decision with
+  | `Hit session -> (session, `Hit)
+  | (`Stale | `Miss) as status ->
+      let pack = Pack.compile encoding in
+      (locked t (fun () -> (insert t name pack).e_session), status)
+
+let put t ~name pack =
+  locked t (fun () -> (insert t name pack).e_session)
+
+let find t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some e ->
+          t.hits <- t.hits + 1;
+          touch t e;
+          Some e.e_session
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let describe t name =
+  locked t (fun () ->
+      Option.map (fun e -> Pack.describe e.e_pack) (Hashtbl.find_opt t.tbl name))
+
+let names t =
+  locked t (fun () ->
+      Hashtbl.fold (fun n _ acc -> n :: acc) t.tbl [] |> List.sort compare)
+
+let stats t =
+  locked t (fun () ->
+      let clones =
+        Hashtbl.fold
+          (fun _ e acc ->
+            match Plan.session_warm e.e_session with
+            | Some w -> acc + Sat_reconstruct.warm_clones w
+            | None -> acc)
+          t.tbl 0
+      in
+      {
+        hits = t.hits;
+        misses = t.misses;
+        stales = t.stales;
+        evictions = t.evictions;
+        size = Hashtbl.length t.tbl;
+        capacity = t.capacity;
+        clones;
+      })

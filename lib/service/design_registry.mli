@@ -1,0 +1,72 @@
+(** Named designs → compiled {!Timeprint.Pack}s, in a size-bounded
+    LRU.
+
+    The registry is the service core's answer to "which design is this
+    request about?": every named design is compiled once
+    ({!Timeprint.Pack.compile}) and every request against it reuses
+    the pack-backed {!Timeprint.Plan.session} — rank, presolve masks,
+    MITM table, warm solver skeleton — stamping out per-request
+    solvers via [Solver.clone] underneath. A design whose encoding
+    changed (checksum/timestamp mismatch against the cached pack) is
+    recompiled in place and counted [stale]; the least-recently-used
+    design is evicted when the registry is full.
+
+    Thread-safe: every operation takes the registry lock; the
+    expensive compile runs outside it. *)
+
+open Timeprint
+
+type t
+
+type stats = {
+  hits : int;  (** lookups served by a cached, matching pack *)
+  misses : int;  (** lookups that found no entry under the name *)
+  stales : int;
+      (** lookups that found a pack compiled for a different encoding
+          (recompiled in place, not counted as miss) *)
+  evictions : int;  (** entries dropped by the LRU bound *)
+  size : int;
+  capacity : int;
+  clones : int;
+      (** solver sessions stamped out of the cached packs' snapshots
+          so far ({!Timeprint.Sat_reconstruct.warm_clones}, summed) *)
+}
+
+val default_capacity : int
+(** 8 designs. *)
+
+val create : ?capacity:int -> unit -> t
+(** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val load :
+  t -> name:string -> Encoding.t -> Plan.session * [ `Hit | `Miss | `Stale ]
+(** [load t ~name enc] is the session for design [name]: the cached
+    one when its pack matches [enc] ([`Hit]); otherwise the design is
+    (re)compiled, cached under [name], and the fresh session returned
+    ([`Miss] when the name was absent, [`Stale] when the cached pack
+    was compiled for a different encoding — the caller should drop
+    any results cached against the old design). May evict the
+    least-recently-used design. *)
+
+val put : t -> name:string -> Pack.t -> Plan.session
+(** Install a preloaded pack (e.g. from a pack file) under [name],
+    replacing any cached entry, and return its session. *)
+
+val find : t -> string -> Plan.session option
+(** The session cached under a name, touching it ([hit]); [None]
+    (counted [miss]) when absent — the caller decides whether that is
+    an unknown-design error or a reason to {!load}. *)
+
+val describe : t -> string -> string option
+(** {!Timeprint.Pack.describe} of the cached pack, if any (no
+    counter effect). *)
+
+val names : t -> string list
+(** Cached design names, sorted. *)
+
+val on_evict : t -> (string -> unit) -> unit
+(** Register a callback invoked (under the registry lock) with the
+    name of every design evicted or replaced-by-eviction — the
+    service layer uses it to invalidate that design's result cache. *)
+
+val stats : t -> stats

@@ -1,0 +1,70 @@
+open Timeprint
+
+type triage =
+  Sat_reconstruct.verdict
+  * Sat_reconstruct.health
+  * [ `Presolve | `Mitm | `Sat of Tp_sat.Solver.stats ]
+
+(* THE rendering of a triaged stream entry: the CLI's [stream] command
+   and the daemon's [stream] verb both print exactly this string, so
+   "daemon output byte-identical to one-shot CLI" is true by
+   construction, not by parallel maintenance of two printf formats. *)
+let entry_line i ((verdict, health, _) : triage) =
+  match verdict with
+  | `Signal s ->
+      Format.asprintf "entry %d: %a  %a" i Sat_reconstruct.pp_health health
+        Signal.pp s
+  | `Unsat -> Format.asprintf "entry %d: %a" i Sat_reconstruct.pp_health health
+  | `Unknown ->
+      Format.asprintf "entry %d: %a (solver budget exhausted)" i
+        Sat_reconstruct.pp_health health
+
+let tag_name = function `Presolve -> "presolve" | `Mitm -> "mitm" | `Sat _ -> "sat"
+
+type counts = { clean : int; repaired : int; quarantined : int }
+
+let count ts =
+  List.fold_left
+    (fun c ((_, h, _) : triage) ->
+      match h with
+      | Sat_reconstruct.Clean -> { c with clean = c.clean + 1 }
+      | Sat_reconstruct.Repaired _ -> { c with repaired = c.repaired + 1 }
+      | Sat_reconstruct.Quarantined -> { c with quarantined = c.quarantined + 1 })
+    { clean = 0; repaired = 0; quarantined = 0 }
+    ts
+
+let summary_line { clean; repaired; quarantined } =
+  Printf.sprintf "%d clean, %d repaired, %d quarantined" clean repaired
+    quarantined
+
+let outcome_lines ~max_solutions outcome =
+  match (outcome : Engine.outcome) with
+  | Engine.Verdict `Unsat -> [ "unsat" ]
+  | Engine.Verdict `Unknown -> [ "unknown" ]
+  | Engine.Verdict (`Signal s) -> [ Signal.to_string s ]
+  | Engine.Enumeration { signals; complete } ->
+      List.map Signal.to_string signals
+      @ [
+          Printf.sprintf "%d solution(s)%s" (List.length signals)
+            (if complete then ""
+             else
+               match max_solutions with
+               | Some cap -> Printf.sprintf " (capped at %d)" cap
+               | None -> " (incomplete)");
+        ]
+  | Engine.Count (n, `Exact) -> [ Printf.sprintf "count %d exact" n ]
+  | Engine.Count (n, `Lower_bound) ->
+      [ Printf.sprintf "count %d lower-bound" n ]
+  | Engine.Check r ->
+      [ Format.asprintf "%a" Sat_reconstruct.pp_check_result r ]
+  | Engine.Certified (`Signal s) -> [ Signal.to_string s ]
+  | Engine.Certified (`Unsat_certified _) -> [ "unsat certified" ]
+  | Engine.Certified `Unknown -> [ "unknown" ]
+  | Engine.Repair v ->
+      let head = Format.asprintf "%a" Sat_reconstruct.pp_repair_verdict v in
+      head
+      ::
+      (match v with
+      | `Clean s | `Repaired { Sat_reconstruct.r_signal = s; _ } ->
+          [ Signal.to_string s ]
+      | `Unrepairable | `Unknown -> [])

@@ -1,0 +1,32 @@
+(** The single source of truth for human-readable verdict lines.
+
+    The one-shot CLI's [stream] command and the daemon's [stream] verb
+    both print exactly these strings, so their outputs are
+    byte-identical by construction — the acceptance invariant of the
+    service layer. Change a format here and both change together. *)
+
+open Timeprint
+
+type triage =
+  Sat_reconstruct.verdict
+  * Sat_reconstruct.health
+  * [ `Presolve | `Mitm | `Sat of Tp_sat.Solver.stats ]
+
+val entry_line : int -> triage -> string
+(** ["entry %d: <health>  <signal>"] / ["entry %d: <health>"] /
+    ["entry %d: <health> (solver budget exhausted)"] — no trailing
+    newline. *)
+
+val tag_name : [ `Presolve | `Mitm | `Sat of Tp_sat.Solver.stats ] -> string
+
+type counts = { clean : int; repaired : int; quarantined : int }
+
+val count : triage list -> counts
+
+val summary_line : counts -> string
+(** ["%d clean, %d repaired, %d quarantined"]. *)
+
+val outcome_lines : max_solutions:int option -> Engine.outcome -> string list
+(** A planner outcome as response payload lines (signals rendered via
+    {!Timeprint.Signal.to_string}, enumeration tail like the CLI's
+    ["%d solution(s)"] line). *)

@@ -1,0 +1,143 @@
+open Timeprint
+
+(* Key: which reconstruction this is. The log entry itself lives in
+   the shard's Trace_db; the key references it by trace-cycle index,
+   so a cached result is valid exactly as long as its entry has not
+   worn out of the ring — Trace_db's bounded retention IS the cache's
+   eviction policy, the same "stored until they wear out" story the
+   paper tells for the log itself. *)
+type key = {
+  k_tp : string; (* timeprint bits *)
+  k_k : int;
+  k_fp : string; (* query fingerprint: answer + assumptions + budget *)
+}
+
+type slot = { s_cycle : int; s_outcome : Engine.outcome }
+
+type shard = {
+  sh_db : Trace_db.t;
+  sh_tbl : (key, slot) Hashtbl.t;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+type t = {
+  capacity : int;
+  mutex : Mutex.t;
+  shards : (string, shard) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let default_capacity = 1024
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Result_cache.create: capacity <= 0";
+  {
+    capacity;
+    mutex = Mutex.create ();
+    shards = Hashtbl.create 16;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let key entry ~fingerprint =
+  {
+    k_tp = Tp_bitvec.Bitvec.to_string (Log_entry.tp entry);
+    k_k = Log_entry.k entry;
+    k_fp = fingerprint;
+  }
+
+(* A shard belongs to one (design, encoding): a design reloaded with a
+   different encoding gets a fresh shard (all its cached results are
+   answers to a different linear system). *)
+let shard_matches sh enc =
+  let e = Trace_db.encoding sh.sh_db in
+  Encoding.m e = Encoding.m enc && Encoding.b e = Encoding.b enc
+
+let shard t ~design enc =
+  match Hashtbl.find_opt t.shards design with
+  | Some sh when shard_matches sh enc -> sh
+  | stale ->
+      (match stale with
+      | Some sh -> t.evictions <- t.evictions + Hashtbl.length sh.sh_tbl
+      | None -> ());
+      let sh =
+        { sh_db = Trace_db.create ~capacity:t.capacity enc; sh_tbl = Hashtbl.create 64 }
+      in
+      Hashtbl.replace t.shards design sh;
+      sh
+
+let lookup t ~design enc entry ~fingerprint =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.shards design with
+      | None ->
+          t.misses <- t.misses + 1;
+          None
+      | Some sh when not (shard_matches sh enc) ->
+          t.misses <- t.misses + 1;
+          None
+      | Some sh -> (
+          let k = key entry ~fingerprint in
+          match Hashtbl.find_opt sh.sh_tbl k with
+          | None ->
+              t.misses <- t.misses + 1;
+              None
+          | Some slot ->
+              if slot.s_cycle < Trace_db.oldest sh.sh_db then begin
+                (* the backing entry wore out of the ring: the result
+                   is gone with it *)
+                Hashtbl.remove sh.sh_tbl k;
+                t.evictions <- t.evictions + 1;
+                t.misses <- t.misses + 1;
+                None
+              end
+              else begin
+                t.hits <- t.hits + 1;
+                Some slot.s_outcome
+              end))
+
+(* Sweep worn-out keys so the side table tracks the ring instead of
+   growing without bound; amortized by sweeping only when the table
+   outgrows the ring. *)
+let sweep t sh =
+  if Hashtbl.length sh.sh_tbl > 2 * Trace_db.capacity sh.sh_db then begin
+    let oldest = Trace_db.oldest sh.sh_db in
+    let dead =
+      Hashtbl.fold
+        (fun k slot acc -> if slot.s_cycle < oldest then k :: acc else acc)
+        sh.sh_tbl []
+    in
+    List.iter (Hashtbl.remove sh.sh_tbl) dead;
+    t.evictions <- t.evictions + List.length dead
+  end
+
+let store t ~design enc entry ~fingerprint outcome =
+  locked t (fun () ->
+      let sh = shard t ~design enc in
+      Trace_db.append sh.sh_db entry;
+      let cycle = Trace_db.total sh.sh_db - 1 in
+      Hashtbl.replace sh.sh_tbl (key entry ~fingerprint)
+        { s_cycle = cycle; s_outcome = outcome };
+      sweep t sh)
+
+let invalidate t ~design =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.shards design with
+      | None -> ()
+      | Some sh ->
+          t.evictions <- t.evictions + Hashtbl.length sh.sh_tbl;
+          Hashtbl.remove t.shards design)
+
+let stats t =
+  locked t (fun () ->
+      let entries =
+        Hashtbl.fold (fun _ sh acc -> acc + Hashtbl.length sh.sh_tbl) t.shards 0
+      in
+      { hits = t.hits; misses = t.misses; evictions = t.evictions; entries })

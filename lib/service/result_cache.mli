@@ -1,0 +1,66 @@
+(** Reconstructed-trace cache backed by {!Timeprint.Trace_db}: a
+    repeat query over the same (design, log entry, query) key is a
+    table lookup, not a solver run.
+
+    Per design, the cached log entries live in a bounded
+    {!Timeprint.Trace_db} ring — the paper's "stored until they wear
+    out" store — and each cached outcome references its entry by
+    trace-cycle index. When the ring overwrites an entry, every
+    result hanging off it is worn out too: the ring's retention bound
+    {e is} the eviction policy. A design reloaded with a different
+    encoding drops its shard (those results answer a different linear
+    system).
+
+    Thread-safe. Only single-entry planner queries are cached; stream
+    triage is deliberately not — a partially-cached stream would
+    re-chunk the leftovers and could report different (equally valid)
+    witnesses than the full run, breaking the byte-identity invariant
+    the streaming path guarantees. *)
+
+open Timeprint
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+      (** results dropped because their ring entry wore out, their
+          design's shard was invalidated, or the design's encoding
+          changed *)
+  entries : int;  (** currently cached results, all designs *)
+}
+
+val default_capacity : int
+(** 1024 trace-cycles per design ring. *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is each per-design ring's size in trace-cycles.
+    Raises [Invalid_argument] when [<= 0]. *)
+
+val lookup :
+  t ->
+  design:string ->
+  Encoding.t ->
+  Log_entry.t ->
+  fingerprint:string ->
+  Engine.outcome option
+(** The cached outcome for (design, entry, fingerprint), unless worn
+    out. [fingerprint] must determine the query apart from its entry
+    — answer kind, assumptions, budgets (the service builds it). *)
+
+val store :
+  t ->
+  design:string ->
+  Encoding.t ->
+  Log_entry.t ->
+  fingerprint:string ->
+  Engine.outcome ->
+  unit
+(** Append the entry to the design's ring and file the outcome under
+    it, possibly wearing out the oldest cached results. *)
+
+val invalidate : t -> design:string -> unit
+(** Drop a design's whole shard (registry eviction/replacement). *)
+
+val stats : t -> stats

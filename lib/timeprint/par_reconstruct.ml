@@ -43,6 +43,19 @@ let batch ?assume ?presolve ?conflict_budget ?gauss ?repair ?shared ?warm
            ?repair ~shared ?warm encoding chunk)
   |> List.concat
 
+let batch_emit ?assume ?presolve ?conflict_budget ?gauss ?repair ?shared ?warm
+    ~jobs encoding entries ~emit =
+  let pool = Pool.get ~jobs:(resolve_jobs jobs) in
+  let shared =
+    match shared with Some s -> s | None -> Presolve.shared encoding
+  in
+  let chunks = Array.of_list (chunk_list default_chunk entries) in
+  Pool.map_emit pool
+    (fun chunk ->
+      Sat_reconstruct.batch ?assume ?presolve ?conflict_budget ?gauss ?repair
+        ~shared ?warm encoding chunk)
+    chunks ~emit
+
 (* ------------------------------------------------------------------ *)
 (* Query-level parallelism: cube-and-conquer on the pool               *)
 

@@ -56,6 +56,34 @@ val batch :
     chunk clones its solver from, with the same eligibility rule as
     {!Sat_reconstruct.batch}. *)
 
+val batch_emit :
+  ?assume:Property.t list ->
+  ?presolve:bool ->
+  ?conflict_budget:int ->
+  ?gauss:bool ->
+  ?repair:int ->
+  ?shared:Presolve.shared ->
+  ?warm:Sat_reconstruct.warm ->
+  jobs:int ->
+  Encoding.t ->
+  Log_entry.t list ->
+  emit:
+    (int ->
+    (Sat_reconstruct.verdict * Sat_reconstruct.health * Tp_sat.Solver.stats)
+    list ->
+    unit) ->
+  unit
+(** Streaming {!batch}: same chunking, same per-chunk solvers, but
+    each chunk's result list is handed to [emit chunk_index results]
+    the moment that chunk completes on the pool, instead of being
+    collected. Chunk [i] covers entries
+    [i * default_chunk .. i * default_chunk + length results - 1] of
+    the input list. Calls to [emit] are serialized
+    ({!Tp_parallel.Pool.map_emit}) but arrive in {e completion}
+    order; callers wanting log order reorder by the index. The chunk
+    partition never depends on [jobs], so the union of emitted
+    results is byte-identical across pool sizes. *)
+
 type cube_summary = {
   cs_jobs : int;  (** pool lanes used *)
   cs_cubes : int;  (** cubes solved (0: presolve refuted the query) *)

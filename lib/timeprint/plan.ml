@@ -63,17 +63,76 @@ let policy_eligible (ctx : Engine.ctx) (q : Query.t) (e : Engine.t) =
              linear_nullity_threshold)
       else Ok ()
 
-let run ?(engine = `Auto) ?jobs ?pack (q : Query.t) =
+(* ------------------------------------------------------------------ *)
+(* Sessions: the per-design context every request-shaped caller reuses.
+
+   A session owns everything derivable from the encoding alone — the
+   F₂ rank, the shared left-nullspace reduction, and (when a matching
+   pack was offered) the MITM pair table and warm solver skeleton — so
+   a service holding one session per design answers repeat queries
+   without recomputing any of it. [run]/[run_stream] build a throwaway
+   session per call, which costs exactly what the pre-session code
+   paid: the rank and the reduction are lazy, forced only by the code
+   paths that needed them before. *)
+
+type session = {
+  ses_encoding : Encoding.t;
+  ses_pack : Pack.t option;  (* validated: matches [ses_encoding] *)
+  ses_status : [ `Hit | `Miss | `Stale ];
+  ses_rank : int Lazy.t;
+  ses_shared : Presolve.shared Lazy.t;
+  ses_warm : Sat_reconstruct.warm option;
+  ses_table : Combinatorial_reconstruct.table option;
+}
+
+let session ?pack encoding =
   (* a pack accelerates only — a stale one (compiled for a different
      design) is recorded and ignored, never an error *)
-  let pack_status, rank =
+  let pack, status =
     match pack with
-    | None -> (`Miss, None)
+    | None -> (None, `Miss)
     | Some p ->
-        if Pack.matches p q.encoding then (`Hit, Some (Pack.rank p))
-        else (`Stale, None)
+        if Pack.matches p encoding then (Some p, `Hit) else (None, `Stale)
   in
-  let ctx = Engine.context ?rank q in
+  {
+    ses_encoding = encoding;
+    ses_pack = pack;
+    ses_status = status;
+    ses_rank =
+      (match pack with
+      | Some p -> Lazy.from_val (Pack.rank p)
+      | None -> lazy (Tp_bitvec.F2_matrix.rank (Encoding.matrix encoding)));
+    ses_shared =
+      (match pack with
+      | Some p -> Lazy.from_val (Pack.shared p)
+      | None -> lazy (Presolve.shared encoding));
+    ses_warm = Option.map Pack.warm pack;
+    ses_table = Option.map Pack.table pack;
+  }
+
+let session_encoding s = s.ses_encoding
+let session_pack s = s.ses_pack
+let session_status s = s.ses_status
+let session_rank s = Lazy.force s.ses_rank
+let session_shared s = Lazy.force s.ses_shared
+let session_warm s = s.ses_warm
+let session_table s = s.ses_table
+
+let check_encoding ~who s enc =
+  let ok =
+    Encoding.m s.ses_encoding = Encoding.m enc
+    && Encoding.b s.ses_encoding = Encoding.b enc
+    && Array.for_all2 Tp_bitvec.Bitvec.equal
+         (Encoding.timestamps s.ses_encoding)
+         (Encoding.timestamps enc)
+  in
+  if not ok then
+    invalid_arg (who ^ ": query encoding does not match the session's design")
+
+let run_in ?(engine = `Auto) ?jobs (s : session) (q : Query.t) =
+  check_encoding ~who:"Plan.run_in" s q.encoding;
+  let pack_status = s.ses_status in
+  let ctx = Engine.context ~rank:(Lazy.force s.ses_rank) q in
   (* how a SAT run of this query would parallelize — decided from the
      query and the instance estimates alone, never from the jobs
      value, so the engage decision (and hence the answer) is the same
@@ -255,31 +314,48 @@ let run ?(engine = `Auto) ?jobs ?pack (q : Query.t) =
               run_engine presolve considered (Option.get (forced winner))
           | [] -> run_engine presolve considered Engine.sat))
 
-let run_stream ?(assume = []) ?conflict_budget ?gauss ?(repair = 0) ?jobs
-    ?pack encoding entries =
-  if repair < 0 then invalid_arg "Plan.run_stream: negative repair budget";
+let run ?engine ?jobs ?pack (q : Query.t) =
+  run_in ?engine ?jobs (session ?pack q.encoding) q
+
+(* What the auto policy would charge for this query, in cost bits —
+   the admission currency: the winning engine's [cost_bits] estimate,
+   computed from the session's cached rank without running anything.
+   An upper bound: a presolve rank refutation would answer for free,
+   but that cannot be known without doing the refutation. *)
+let cost_estimate (s : session) (q : Query.t) =
+  check_encoding ~who:"Plan.cost_estimate" s q.encoding;
+  let ctx = Engine.context ~rank:(Lazy.force s.ses_rank) q in
+  let eligible =
+    List.filter_map
+      (fun e ->
+        if e.Engine.name = "sat" then None
+        else
+          match policy_eligible ctx q e with
+          | Ok () -> Some (e.Engine.cost_bits ctx q)
+          | Error _ -> None)
+      Engine.all
+  in
+  match List.sort Float.compare eligible with
+  | c :: _ -> c
+  | [] -> Engine.sat.Engine.cost_bits ctx q
+
+let run_stream_emit ?(assume = []) ?conflict_budget ?gauss ?(repair = 0)
+    ?jobs (s : session) entries ~emit =
+  if repair < 0 then invalid_arg "Plan.run_stream_emit: negative repair budget";
+  let encoding = s.ses_encoding in
   let entries = Array.of_list entries in
   let n = Array.length entries in
   let out = Array.make n None in
   let sat_idx = ref [] in
-  (* a matching pack supplies the whole per-stream setup — rank-check
-     masks, MITM pair table, warm solver skeleton; a stale one is
-     dropped here so every use below is already validated *)
-  let pack =
-    match pack with
-    | Some p when Pack.matches p encoding -> Some p
-    | _ -> None
-  in
-  let table = Option.map Pack.table pack in
-  let warm = Option.map Pack.warm pack in
+  (* the session supplies the whole per-stream setup — rank-check
+     masks, MITM pair table, warm solver skeleton — compiled once per
+     design (from a pack on a hit, recomputed otherwise) *)
+  let table = s.ses_table in
+  let warm = s.ses_warm in
   (* encoding-only half of the rank check: one reduction for the whole
      stream (and, with [jobs], the read-only copy every chunk worker
      shares) *)
-  let shared =
-    match pack with
-    | Some p -> Pack.shared p
-    | None -> Presolve.shared encoding
-  in
+  let shared = Lazy.force s.ses_shared in
   Array.iteri
     (fun i e ->
       if Presolve.refutes_with shared e then
@@ -303,30 +379,83 @@ let run_stream ?(assume = []) ?conflict_budget ?gauss ?(repair = 0) ?jobs
       else sat_idx := i :: !sat_idx)
     entries;
   let sat_idx = List.rev !sat_idx in
-  let sat_results =
-    match sat_idx with
-    | [] -> []
-    | _ ->
-        (* with a repair budget the batch re-runs the rank check so its
-           ladder can skip the zero-flip rung of refuted entries; with
-           none, every surviving entry already passed it above *)
-        let selected = List.map (fun i -> entries.(i)) sat_idx in
-        (match jobs with
-        | None ->
+  (* Emission is strictly in entry order: slot [i] goes out only once
+     every slot below it has. Chunks completing out of order buffer in
+     [out] until the prefix is ready, so the emitted stream is
+     byte-identical for every [jobs] value — parallelism moves the
+     moments of emission, never the sequence. *)
+  let next = ref 0 in
+  let flush () =
+    while !next < n && out.(!next) <> None do
+      (match out.(!next) with Some r -> emit !next r | None -> assert false);
+      incr next
+    done
+  in
+  flush ();
+  (match sat_idx with
+  | [] -> ()
+  | _ ->
+      (* with a repair budget the batch re-runs the rank check so its
+         ladder can skip the zero-flip rung of refuted entries; with
+         none, every surviving entry already passed it above *)
+      let selected = List.map (fun i -> entries.(i)) sat_idx in
+      (match jobs with
+      | None ->
+          let results =
             Sat_reconstruct.batch ~assume ~presolve:(repair > 0)
               ?conflict_budget ?gauss ~repair ~shared ?warm encoding selected
-        | Some jobs ->
-            (* classification above is sequential and jobs-independent;
-               only the SAT leftovers fan out, in fixed-size chunks, so
-               the merged triage is identical for every pool size *)
-            Par_reconstruct.batch ~assume ~presolve:(repair > 0)
-              ?conflict_budget ?gauss ~repair ~shared ?warm ~jobs encoding
-              selected)
+          in
+          List.iter2
+            (fun i (v, h, st) -> out.(i) <- Some (v, h, `Sat st))
+            sat_idx results
+      | Some jobs ->
+          (* classification above is sequential and jobs-independent;
+             only the SAT leftovers fan out, in fixed-size chunks, so
+             the merged triage is identical for every pool size. Each
+             chunk's results land (and the ready prefix is emitted)
+             the moment that chunk completes on the pool. *)
+          let sat_idx_a = Array.of_list sat_idx in
+          Par_reconstruct.batch_emit ~assume ~presolve:(repair > 0)
+            ?conflict_budget ?gauss ~repair ~shared ?warm ~jobs encoding
+            selected
+            ~emit:(fun chunk results ->
+              List.iteri
+                (fun off (v, h, st) ->
+                  let at = (chunk * Par_reconstruct.default_chunk) + off in
+                  out.(sat_idx_a.(at)) <- Some (v, h, `Sat st))
+                results;
+              flush ())));
+  flush ();
+  assert (!next = n)
+
+let run_stream_in ?assume ?conflict_budget ?gauss ?repair ?jobs s entries =
+  let acc = ref [] in
+  run_stream_emit ?assume ?conflict_budget ?gauss ?repair ?jobs s entries
+    ~emit:(fun _ r -> acc := r :: !acc);
+  List.rev !acc
+
+let run_stream ?assume ?conflict_budget ?gauss ?repair ?jobs ?pack encoding
+    entries =
+  run_stream_in ?assume ?conflict_budget ?gauss ?repair ?jobs
+    (session ?pack encoding) entries
+
+(* One stable machine-parseable line carrying the report's dispatch
+   facts; the daemon's [stats] verb serves it verbatim and scripts
+   parse it, so the format is pinned by test — extend by appending
+   fields, never by reordering. *)
+let meta_line r =
+  let pack =
+    match r.pack with `Hit -> "hit" | `Miss -> "miss" | `Stale -> "stale"
   in
-  List.iter2
-    (fun i (v, h, st) -> out.(i) <- Some (v, h, `Sat st))
-    sat_idx sat_results;
-  Array.to_list (Array.map Option.get out)
+  let parallel, jobs, cubes, winner =
+    match r.parallel with
+    | Off -> ("off", 0, 0, -1)
+    | Cubed { jobs; cubes } -> ("cubed", jobs, cubes, -1)
+    | Portfolio { jobs; winner } -> ("portfolio", jobs, 0, winner)
+    | Pinned _ -> ("pinned", 0, 0, -1)
+  in
+  Printf.sprintf "engine=%s pack=%s parallel=%s jobs=%d cubes=%d winner=%d"
+    r.chosen pack parallel jobs cubes winner
 
 let pp_report ppf r =
   let open Format in
@@ -363,6 +492,7 @@ let pp_report ppf r =
   | `Miss -> ()
   | `Hit -> fprintf ppf "pack: hit@,"
   | `Stale -> fprintf ppf "pack: stale (encoding mismatch), ignored@,");
+  fprintf ppf "meta: %s@," (meta_line r);
   List.iter
     (fun (st : Engine.stage) ->
       match st.Engine.stats with

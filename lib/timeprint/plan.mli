@@ -79,6 +79,61 @@ type report = {
   stages : Engine.stage list;
 }
 
+type session
+(** The per-design context every request-shaped caller reuses: the
+    encoding, a validated design pack (when one was offered and
+    matched), the F₂ rank, the shared left-nullspace reduction, the
+    MITM pair table and the warm solver skeleton. Building one costs
+    at most one pack validation up front — the rank and the reduction
+    are computed lazily, once, on first use — so a service holding a
+    session per design answers repeat queries with no per-request
+    setup. Sessions are immutable after the lazy fields force;
+    concurrent use from several domains is safe (the solver skeleton
+    is cloned per chunk, never shared mutable). *)
+
+val session : ?pack:Pack.t -> Encoding.t -> session
+(** [session ?pack enc] builds the context for design [enc]. A [pack]
+    that {!Pack.matches} the encoding supplies the rank, reduction,
+    table and warm skeleton precompiled ({!session_status} says
+    [`Hit]); a mismatched pack is dropped and recorded [`Stale]; no
+    pack means [`Miss] and the session recomputes what it needs
+    lazily. Answers never depend on which of the three happened. *)
+
+val session_encoding : session -> Encoding.t
+val session_status : session -> [ `Hit | `Miss | `Stale ]
+val session_pack : session -> Pack.t option
+(** The validated pack ([None] unless {!session_status} is [`Hit]). *)
+
+val session_rank : session -> int
+(** The encoding's F₂ rank (forces the lazy Gauss reduction on first
+    call for a pack-less session; free afterwards). *)
+
+val session_shared : session -> Presolve.shared
+(** The shared rank-check reduction (lazily computed once). *)
+
+val session_warm : session -> Sat_reconstruct.warm option
+val session_table : session -> Combinatorial_reconstruct.table option
+
+val run_in :
+  ?engine:engine_choice ->
+  ?jobs:int ->
+  session ->
+  Query.t ->
+  Engine.outcome * report
+(** {!run} against an existing session: identical dispatch, outcomes
+    and reports, but the rank (and on a pack hit the warm machinery)
+    comes from the session instead of being recomputed. Raises
+    [Invalid_argument] when the query's encoding is not the session's
+    design (same m/b/timestamps test as {!Pack.matches}). *)
+
+val cost_estimate : session -> Query.t -> float
+(** The cost-bits estimate of the engine the auto policy would choose
+    for this query — the admission currency services charge quotas
+    in. Pure planning: nothing runs, no solver is built. An upper
+    bound, since a presolve rank refutation would answer for free but
+    cannot be predicted without running it. Raises [Invalid_argument]
+    on an encoding mismatch like {!run_in}. *)
+
 val run :
   ?engine:engine_choice ->
   ?jobs:int ->
@@ -148,5 +203,58 @@ val run_stream :
     pair table and warm solver skeleton instead of recomputing them; a
     stale pack is ignored. Either way the triage and every verdict,
     witness and health column are byte-identical to a pack-less run. *)
+
+val run_stream_in :
+  ?assume:Property.t list ->
+  ?conflict_budget:int ->
+  ?gauss:bool ->
+  ?repair:int ->
+  ?jobs:int ->
+  session ->
+  Log_entry.t list ->
+  (Sat_reconstruct.verdict
+  * Sat_reconstruct.health
+  * [ `Presolve | `Mitm | `Sat of Tp_sat.Solver.stats ])
+  list
+(** {!run_stream} against an existing session: the rank-check masks,
+    MITM table and warm skeleton come from the session (compiled once
+    per design) instead of being rebuilt per stream. Triage and
+    results are byte-identical to {!run_stream} with the session's
+    pack. *)
+
+val run_stream_emit :
+  ?assume:Property.t list ->
+  ?conflict_budget:int ->
+  ?gauss:bool ->
+  ?repair:int ->
+  ?jobs:int ->
+  session ->
+  Log_entry.t list ->
+  emit:
+    (int ->
+    Sat_reconstruct.verdict
+    * Sat_reconstruct.health
+    * [ `Presolve | `Mitm | `Sat of Tp_sat.Solver.stats ] ->
+    unit) ->
+  unit
+(** Streaming {!run_stream_in}: [emit i result] is called for every
+    entry, {e strictly in entry order} (index [0] first), each as soon
+    as it and every entry before it is decided. With [jobs], SAT
+    chunks land as they complete on the pool and the ready prefix
+    flushes immediately — a daemon can push verdicts over a socket
+    while later chunks still solve — but the emitted sequence is
+    byte-identical for every pool size; parallelism moves the moments
+    of emission, never the order or the contents. [emit] may be
+    called from pool worker domains (serialized, never concurrently)
+    and must not call back into the pool. *)
+
+val meta_line : report -> string
+(** The report's dispatch facts as one stable machine-parseable line:
+    [engine=<name> pack=<hit|miss|stale> parallel=<off|cubed|portfolio|pinned>
+    jobs=<n> cubes=<n> winner=<i>] — [jobs]/[cubes] are [0] and
+    [winner] is [-1] where not applicable. Also printed by
+    {!pp_report} as the [meta:] line; the daemon's [stats] verb
+    serves it verbatim. The format is pinned by test: fields are
+    appended, never reordered or renamed. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -83,8 +83,20 @@ let check ?conflict_budget pb prop =
    parity-select solvers; without [jobs] the legacy single-solver path
    runs unchanged. The shadowing keeps every existing caller on the
    exact code it always ran. *)
-let batch ?assume ?presolve ?conflict_budget ?gauss ?repair ?shared ?warm ?jobs
-    encoding entries =
+let batch ?assume ?presolve ?conflict_budget ?gauss ?repair ?shared ?warm
+    ?session ?jobs encoding entries =
+  (* an injected session supplies the per-design machinery; explicit
+     [shared]/[warm] arguments win over the session's so callers can
+     still override piecewise *)
+  let shared, warm =
+    match session with
+    | None -> (shared, warm)
+    | Some s ->
+        ( (match shared with
+          | Some _ -> shared
+          | None -> Some (Plan.session_shared s)),
+          match warm with Some _ -> warm | None -> Plan.session_warm s )
+  in
   match jobs with
   | None ->
       Sat_reconstruct.batch ?assume ?presolve ?conflict_budget ?gauss ?repair

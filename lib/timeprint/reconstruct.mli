@@ -171,6 +171,7 @@ val batch :
   ?repair:int ->
   ?shared:Presolve.shared ->
   ?warm:Sat_reconstruct.warm ->
+  ?session:Plan.session ->
   ?jobs:int ->
   Encoding.t ->
   Log_entry.t list ->
@@ -187,4 +188,8 @@ val batch :
     [shared] lets callers reuse a precomputed {!Presolve.shared};
     [warm] a compiled parity-select skeleton ({!Sat_reconstruct.warm},
     usually from a design pack) — both pure accelerations with the
-    same eligibility rules as the engines they feed. *)
+    same eligibility rules as the engines they feed. [session]
+    injects a {!Plan.session}'s reduction and warm skeleton in one
+    argument (explicit [shared]/[warm] still win); the service layer
+    passes its per-design session here so a batch on a cached design
+    pays no setup. *)

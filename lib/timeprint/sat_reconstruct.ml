@@ -729,6 +729,7 @@ let warm encoding =
   { w_m = m; w_b = b; w_cnf = cnf; w_snapshot = Solver.snapshot solver }
 
 let warm_skeleton w = w.w_cnf
+let warm_clones w = Solver.clones w.w_snapshot
 
 (* Rebuild a skeleton from its serialized CNF (design packs store the
    clause/XOR skeleton, not solver state): loading the same CNF into a

@@ -272,6 +272,11 @@ val warm_skeleton : warm -> Tp_sat.Cnf.t
     [m..m+b-1], the XOR rows; no clauses, no guards) — what design
     packs serialize. Treat as read-only. *)
 
+val warm_clones : warm -> int
+(** How many solvers have been cloned off this skeleton's snapshot so
+    far ({!Tp_sat.Solver.clones}) — the per-design session count a
+    service registry reports. *)
+
 val warm_of_skeleton : m:int -> b:int -> Tp_sat.Cnf.t -> warm
 (** Rebuild a skeleton from a deserialized CNF. Loading the same CNF
     is deterministic, so the result is indistinguishable from

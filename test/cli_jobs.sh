@@ -1,0 +1,54 @@
+# Regression: --jobs / TIMEPRINTS_JOBS must reject non-numeric and
+# negative values with a one-line error and exit 64 (EX_USAGE), and
+# still accept well-formed values. Note the --jobs=-2 spelling: the
+# space-separated form hands "-2" to the option parser as an unknown
+# flag before our validator ever sees it.
+set -eu
+
+cli="$1"
+
+log=$(mktemp)
+err=$(mktemp)
+trap 'rm -f "$log" "$err"' EXIT INT TERM
+
+printf '00000011 2\n10000000 1\n' > "$log"
+
+expect() {
+  want=$1
+  shift
+  status=0
+  "$@" > /dev/null 2> "$err" || status=$?
+  if [ "$status" -ne "$want" ]; then
+    echo "FAIL: '$*' exited $status, wanted $want" >&2
+    cat "$err" >&2
+    exit 1
+  fi
+}
+
+expect_64() {
+  expect 64 "$@"
+  if [ "$(wc -l < "$err")" -ne 1 ]; then
+    echo "FAIL: '$*' did not produce a one-line error" >&2
+    cat "$err" >&2
+    exit 1
+  fi
+  grep -q "jobs must be a non-negative integer" "$err" || {
+    echo "FAIL: '$*' error does not name the jobs contract" >&2
+    cat "$err" >&2
+    exit 1
+  }
+}
+
+expect_64 env TIMEPRINTS_JOBS=banana "$cli" stream --scheme one-hot -m 8 "$log"
+expect_64 env TIMEPRINTS_JOBS=-3 "$cli" stream --scheme one-hot -m 8 "$log"
+expect_64 env TIMEPRINTS_JOBS= "$cli" stream --scheme one-hot -m 8 "$log"
+expect_64 "$cli" stream --scheme one-hot -m 8 --jobs=-2 "$log"
+expect_64 "$cli" stream --scheme one-hot -m 8 --jobs=2x "$log"
+expect_64 "$cli" stream --scheme one-hot -m 8 --jobs= "$log"
+
+# well-formed values still run (0 = auto)
+expect 0 env TIMEPRINTS_JOBS=2 "$cli" stream --scheme one-hot -m 8 "$log"
+expect 0 "$cli" stream --scheme one-hot -m 8 --jobs=0 "$log"
+expect 0 "$cli" stream --scheme one-hot -m 8 --jobs " 1 " "$log"
+
+echo "cli_jobs: all jobs-validation cases pass"

@@ -262,6 +262,53 @@ let test_explain_report () =
   Alcotest.(check bool) "report renders engine name" true
     (report.Plan.chosen <> "" && contains rendered report.Plan.chosen)
 
+(* the meta line is a machine-parseable contract shared with the
+   daemon's [stats] verb: exactly these keys, in exactly this order
+   (new fields are appended, never reordered), every value a bare
+   token. pp_report republishes it verbatim on a ["meta: "] line. *)
+let test_meta_line () =
+  let e = Encoding.random_constrained ~m:10 ~b:8 ~seed:7 () in
+  let en = Logger.abstract e (Signal.of_changes ~m:10 [ 2; 5 ]) in
+  let check_line ~expect_pack report =
+    let line = Plan.meta_line report in
+    let fields =
+      List.map
+        (fun tok ->
+          match String.index_opt tok '=' with
+          | Some i ->
+              ( String.sub tok 0 i,
+                String.sub tok (i + 1) (String.length tok - i - 1) )
+          | None -> Alcotest.failf "meta token %S is not key=value" tok)
+        (String.split_on_char ' ' line)
+    in
+    Alcotest.(check (list string))
+      "meta keys pinned in order"
+      [ "engine"; "pack"; "parallel"; "jobs"; "cubes"; "winner" ]
+      (List.map fst fields);
+    Alcotest.(check string) "engine value" report.Plan.chosen
+      (List.assoc "engine" fields);
+    Alcotest.(check string) "pack value" expect_pack
+      (List.assoc "pack" fields);
+    List.iter
+      (fun key ->
+        match int_of_string_opt (List.assoc key fields) with
+        | Some _ -> ()
+        | None -> Alcotest.failf "meta %s is not an integer" key)
+      [ "jobs"; "cubes"; "winner" ];
+    let rendered = Format.asprintf "%a" Plan.pp_report report in
+    let needle = "meta: " ^ line in
+    let n = String.length needle and h = String.length rendered in
+    let rec go i =
+      i + n <= h && (String.sub rendered i n = needle || go (i + 1))
+    in
+    Alcotest.(check bool) "pp_report embeds the meta line" true (go 0)
+  in
+  let q = Query.make ~answer:Query.First e en in
+  let _, cold = Plan.run q in
+  check_line ~expect_pack:"miss" cold;
+  let _, warm = Plan.run ~pack:(Pack.compile e) q in
+  check_line ~expect_pack:"hit" warm
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "plan"
@@ -291,5 +338,6 @@ let () =
           Alcotest.test_case "policy choices" `Quick test_planner_choices;
           Alcotest.test_case "stream dispatch" `Quick test_run_stream;
           Alcotest.test_case "explainable report" `Quick test_explain_report;
+          Alcotest.test_case "meta line format pinned" `Quick test_meta_line;
         ] );
     ]
