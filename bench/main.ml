@@ -6,8 +6,9 @@
      dune exec bench/main.exe -- table1 soc   # selected sections
 
    Sections: fig4 table1 table2 can incremental faults soc engines
-   parallel pack solvercore daemon ablation baseline micro. [--smoke]
-   shrinks the grids and budgets for the tier1 alias's smoke run.
+   parallel pack solvercore daemon flow ablation baseline micro.
+   [--smoke] shrinks the grids and budgets for the tier1 alias's smoke
+   run.
 
    Absolute times are not comparable to the paper's (their substrate
    was Cryptominisat on an i7; ours is the in-repo CDCL solver) — the
@@ -1911,6 +1912,191 @@ let daemon_bench ~full ~smoke () =
         :: !dm_cells)
     [ 1; 2; 4 ]
 
+(* Multi-signal flows (section "flow") → BENCH_pr9.json: the three
+   ROADMAP scenarios (bus-deadlock, DMA/refresh interference, lost CAN
+   arbitration) reconstructed end to end — per-channel observation
+   through the planner, witness stitching into protocol chains — plus
+   the observability-selection pass. Gated hard:
+
+   - every scenario's stitched chains must equal its injected ground
+     truth ([Scenario.check] = []);
+   - the rendered reconstruction must be byte-identical across jobs
+     (the flow layer inherits the planner's jobs invariance);
+   - selection at the scenario's 0.75x-naive budget must keep at least
+     2 of its 3 properties decidable. *)
+
+type fl_cell = {
+  fl_scenario : string;
+  fl_kind : string; (* "reconstruct" | "select" *)
+  fl_jobs : int; (* 0 = n/a *)
+  fl_time_s : float;
+  fl_flows : int; (* select: decidable properties *)
+  fl_definite : int;
+  fl_broken : int;
+  fl_ok : bool;
+}
+
+let fl_cells : fl_cell list ref = ref []
+
+let write_flow_json () =
+  match List.rev !fl_cells with
+  | [] -> ()
+  | cells ->
+      let open Bench_json in
+      let rows =
+        List.map
+          (fun c ->
+            Obj
+              [
+                ("scenario", Str c.fl_scenario);
+                ("kind", Str c.fl_kind);
+                ("jobs", if c.fl_jobs = 0 then Null else int c.fl_jobs);
+                ("time_s", time_s c.fl_time_s);
+                ("flows", int c.fl_flows);
+                ("definite", int c.fl_definite);
+                ("broken", int c.fl_broken);
+                ("ok", Bool c.fl_ok);
+              ])
+          cells
+      in
+      let scenarios =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun c ->
+               if c.fl_kind = "reconstruct" then Some c.fl_scenario else None)
+             cells)
+      in
+      let decidable =
+        List.fold_left
+          (fun acc c -> if c.fl_kind = "select" then c.fl_flows else acc)
+          0 cells
+      in
+      (* gate failures abort with [failwith] before this writer runs *)
+      write "BENCH_pr9.json"
+        ~summary:
+          (Printf.sprintf
+             "%d scenarios reconstruct their injected chains; selection keeps \
+              %d properties decidable at 0.75x naive"
+             (List.length scenarios) decidable)
+        (document ~name:"flow" ~cells:rows
+           [
+             ( "summary",
+               Obj
+                 [
+                   ("scenarios", int (List.length scenarios));
+                   ("chains_match_ground_truth", Bool true);
+                   ("jobs_identical", Bool true);
+                   ("select_decidable", int decidable);
+                 ] );
+           ])
+
+let flow_bench ~full ~smoke () =
+  let open Tp_flow in
+  Format.printf
+    "@.== Multi-signal flows: scenario reconstruction and selection ==@.";
+  ignore full;
+  let jobs_list = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let render (observed, (stitched : Flow.stitched)) =
+    String.concat "\n"
+      (List.map
+         (fun (o : Flow.observed) ->
+           Printf.sprintf "%s %s" o.Flow.o_name
+             (String.concat ","
+                (Array.to_list
+                   (Array.map
+                      (function
+                        | Flow.Exact s -> "e" ^ Signal.to_string s
+                        | Flow.Choice { alts; _ } ->
+                            "c" ^ string_of_int (List.length alts)
+                        | Flow.Opaque -> "o")
+                      o.Flow.obs))))
+         observed
+      @ List.map (Format.asprintf "%a" Flow.pp_flow) stitched.Flow.flows)
+  in
+  List.iter
+    (fun sc ->
+      let reference = ref None in
+      List.iter
+        (fun jobs ->
+          let t, res = time (fun () -> Scenario.reconstruct ~jobs sc) in
+          let _, stitched = res in
+          (match Scenario.check sc stitched with
+          | [] -> ()
+          | mism :: _ ->
+              failwith
+                (Printf.sprintf "flow bench: %s at jobs=%d: %s"
+                   sc.Scenario.sc_name jobs mism));
+          let rendered = render res in
+          (match !reference with
+          | None -> reference := Some rendered
+          | Some r0 ->
+              if not (String.equal r0 rendered) then
+                failwith
+                  (Printf.sprintf
+                     "flow bench: %s renders differently at jobs=%d"
+                     sc.Scenario.sc_name jobs));
+          let count p = List.length (List.filter p stitched.Flow.flows) in
+          let definite =
+            count (fun (f : Flow.flow) ->
+                match f.Flow.f_status with Flow.Definite _ -> true | _ -> false)
+          in
+          let broken =
+            count (fun (f : Flow.flow) ->
+                match f.Flow.f_status with Flow.Broken _ -> true | _ -> false)
+          in
+          Format.printf "%-18s jobs=%d flows=%d definite=%d broken=%d %a@."
+            sc.Scenario.sc_name jobs
+            (List.length stitched.Flow.flows)
+            definite broken pp_time t;
+          fl_cells :=
+            {
+              fl_scenario = sc.Scenario.sc_name;
+              fl_kind = "reconstruct";
+              fl_jobs = jobs;
+              fl_time_s = t;
+              fl_flows = List.length stitched.Flow.flows;
+              fl_definite = definite;
+              fl_broken = broken;
+              fl_ok = true;
+            }
+            :: !fl_cells)
+        jobs_list)
+    (Scenario.all ());
+  (* observability selection at the scenario's 0.75x-naive budget *)
+  let sc = Scenario.dma_refresh () in
+  let t, report =
+    time (fun () ->
+        Select.select ~budget:sc.Scenario.sc_budget sc.Scenario.sc_candidates
+          sc.Scenario.sc_properties)
+  in
+  let decidable =
+    List.length (List.filter (fun (_, _, d) -> d) report.Select.r_properties)
+  in
+  let total = List.length report.Select.r_properties in
+  if decidable < 2 then
+    failwith
+      (Printf.sprintf
+         "flow bench: selection kept %d/%d properties decidable at 0.75x \
+          naive budget (want >= 2)"
+         decidable total);
+  if report.Select.r_used > report.Select.r_budget then
+    failwith "flow bench: selection overspent its budget";
+  List.iter (Format.printf "  %s@.") (Select.report_lines report);
+  Format.printf "%-18s decidable=%d/%d budget=%d %a@." "select" decidable total
+    report.Select.r_budget pp_time t;
+  fl_cells :=
+    {
+      fl_scenario = sc.Scenario.sc_name;
+      fl_kind = "select";
+      fl_jobs = 0;
+      fl_time_s = t;
+      fl_flows = decidable;
+      fl_definite = 0;
+      fl_broken = 0;
+      fl_ok = true;
+    }
+    :: !fl_cells
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
@@ -1951,6 +2137,7 @@ let () =
   if want "pack" then pack_bench ~full ~smoke ();
   if want "solvercore" then solvercore_bench ~full ~smoke ();
   if want "daemon" then daemon_bench ~full ~smoke ();
+  if want "flow" then flow_bench ~full ~smoke ();
   if want "ablation" then ablation ();
   if want "baseline" then baseline ();
   if want "micro" then micro ();
@@ -1961,4 +2148,5 @@ let () =
   write_pack_json ();
   write_solvercore_json ();
   write_daemon_json ();
+  write_flow_json ();
   Format.printf "@.done.@."

@@ -626,17 +626,39 @@ let serve_cmd =
       $ quota)
 
 let query_cmd =
-  let run socket log words =
+  let run socket log spec words =
     let body, words =
-      match log with
-      | None -> ([], words)
-      | Some path ->
+      match (log, spec) with
+      | Some _, Some _ ->
+          Format.eprintf "error: --log and --spec are mutually exclusive@.";
+          exit exit_usage
+      | None, None -> ([], words)
+      | Some path, None ->
           let entries, malformed = read_log path in
           if malformed > 0 then (
             Format.eprintf "error: %d malformed log line(s) skipped@." malformed;
             exit 3);
           ( List.map Wire.render_entry entries,
             words @ [ Printf.sprintf "n=%d" (List.length entries) ] )
+      | None, Some path ->
+          (* raw body lines — the daemon parses the Flow_spec grammar *)
+          let ic =
+            if path = "-" then stdin
+            else
+              try open_in path
+              with Sys_error msg ->
+                Format.eprintf "error: %s@." msg;
+                exit exit_usage
+          in
+          let rec go acc =
+            match input_line ic with
+            | exception End_of_file ->
+                if ic != stdin then close_in ic;
+                List.rev acc
+            | line -> go (line :: acc)
+          in
+          let lines = go [] in
+          (lines, words @ [ Printf.sprintf "n=%d" (List.length lines) ])
     in
     if words = [] then (
       Format.eprintf "error: empty request@.";
@@ -669,6 +691,15 @@ let query_cmd =
             "Log file to send as a $(b,stream) body ($(b,-) for stdin); \
              $(b,n=)$(i,COUNT) is appended to the request automatically.")
   in
+  let spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:
+            "Flow-spec file to send as a $(b,flow) body, raw lines ($(b,-) \
+             for stdin); $(b,n=)$(i,COUNT) is appended automatically.")
+  in
   let words =
     Arg.(
       value
@@ -685,7 +716,149 @@ let query_cmd =
           print the response: payload lines on stdout as they stream in, the \
           response header on stderr. Exits 4 on an $(b,err) response or \
           transport failure.")
-    Term.(const run $ socket_arg $ log $ words)
+    Term.(const run $ socket_arg $ log $ spec $ words)
+
+(* ------------------------------------------------------------------ *)
+(* flow: multi-signal reconstruction over a Flow_spec request          *)
+
+module Flow = Tp_flow.Flow
+module Flow_spec = Tp_flow.Flow_spec
+module Select = Tp_flow.Select
+
+let spec_file_arg =
+  Arg.(
+    value
+    & pos 0 string "-"
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Flow spec ($(b,-) for stdin): $(b,channel)/$(b,entry)/\
+           $(b,template)/$(b,property)/$(b,budget) lines, one directive per \
+           line.")
+
+(* a malformed spec is a usage error (64), same as a bad flag: nothing
+   was reconstructed, the request itself is wrong *)
+let read_spec path =
+  let ic =
+    if path = "-" then stdin
+    else
+      try open_in path
+      with Sys_error msg ->
+        Format.eprintf "error: %s@." msg;
+        exit exit_usage
+  in
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file ->
+        if ic != stdin then close_in ic;
+        List.rev acc
+    | line -> go (line :: acc)
+  in
+  match Flow_spec.parse (go []) with
+  | Ok spec -> spec
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      exit exit_usage
+
+let max_alts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-alts" ] ~docv:"N"
+        ~doc:
+          "Enumerate at most $(i,N) witnesses per ambiguous entry (default \
+           16); an entry that exceeds it stays ambiguous with a truncated \
+           alternative set.")
+
+let flow_reconstruct_cmd =
+  let run path repair jobs max_alts =
+    let spec = read_spec path in
+    match Flow_spec.channels spec with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        exit exit_usage
+    | Ok channels -> (
+        let svc = Service.create () in
+        match
+          Service.flow svc ~repair ?jobs ?max_alts channels
+            spec.Flow_spec.sp_templates
+        with
+        | Error e -> service_error e
+        | Ok { Service.fl_observed; fl_stitched } ->
+            List.iter
+              (fun o -> print_endline (Render.flow_health_line o))
+              fl_observed;
+            List.iter
+              (fun f -> print_endline (Render.flow_line f))
+              fl_stitched.Flow.flows;
+            print_endline (Render.flow_summary_line fl_stitched);
+            if
+              List.exists
+                (fun (f : Flow.flow) ->
+                  match f.Flow.f_status with
+                  | Flow.Broken _ -> true
+                  | Flow.Definite _ | Flow.Ambiguous _ -> false)
+                fl_stitched.Flow.flows
+            then exit 2)
+  in
+  Cmd.v
+    (Cmd.info "reconstruct"
+       ~doc:
+         "Reconstruct every channel of a flow spec independently, stitch the \
+          witnesses into protocol transactions against the spec's templates, \
+          and report each flow as definite, ambiguous or broken. Exits 2 \
+          when any flow is broken (a template step has no witness in its \
+          window), 64 on a malformed spec.")
+    Term.(const run $ spec_file_arg $ repair_arg $ jobs_arg $ max_alts_arg)
+
+let flow_select_cmd =
+  let run path budget =
+    let spec = read_spec path in
+    match Flow_spec.candidates spec with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        exit exit_usage
+    | Ok candidates -> (
+        let budget =
+          match budget with Some b -> Some b | None -> spec.Flow_spec.sp_budget
+        in
+        match budget with
+        | None ->
+            Format.eprintf
+              "error: select needs --budget or a 'budget bits=' spec line@.";
+            exit exit_usage
+        | Some budget -> (
+            match Select.select ~budget candidates spec.Flow_spec.sp_properties with
+            | exception Invalid_argument msg ->
+                Format.eprintf "error: %s@." msg;
+                exit exit_usage
+            | report -> List.iter print_endline (Select.report_lines report)))
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"BITS"
+          ~doc:
+            "Total register bits to spend across channels (overrides the \
+             spec's $(b,budget bits=) line).")
+  in
+  Cmd.v
+    (Cmd.info "select"
+       ~doc:
+         "Observability selection: greedily assign per-channel timestamp \
+          widths under a total register-bit budget and report which \
+          properties stay decidable. Exits 64 on a malformed spec or a \
+          missing budget.")
+    Term.(const run $ spec_file_arg $ budget_arg)
+
+let flow_cmd =
+  Cmd.group
+    (Cmd.info "flow"
+       ~doc:
+         "Multi-signal timeprint flows: reconstruct concurrent channels and \
+          stitch protocol transactions, or select per-channel widths under a \
+          bit budget.")
+    [ flow_reconstruct_cmd; flow_select_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* can-demo / soc-demo                                                 *)
@@ -776,6 +949,7 @@ let () =
             dimacs_cmd;
             serve_cmd;
             query_cmd;
+            flow_cmd;
             can_demo_cmd;
             soc_demo_cmd;
           ]))

@@ -51,3 +51,53 @@ let simulate ?(stuffed = false) ?(ifs = 3) ~bitrate ~duration requests =
 
 let time_of_bit t bit = float_of_int bit /. float_of_int t.bitrate
 let bit_of_time t s = int_of_float (Float.round (s *. float_of_int t.bitrate))
+
+type contention = {
+  c_request : request;
+  c_losses : int list;
+  c_start : int option;
+}
+
+let arbitration_losses timeline requests =
+  let remaining = ref timeline.transmissions in
+  (* i-th request of an id matches its i-th transmission in start order *)
+  let claim id =
+    let rec go acc = function
+      | [] -> None
+      | (t : transmission) :: rest when t.message.Message.id = id ->
+          remaining := List.rev_append acc rest;
+          Some t
+      | t :: rest -> go (t :: acc) rest
+    in
+    go [] !remaining
+  in
+  let ordered =
+    List.stable_sort
+      (fun (_, a) (_, b) -> Int.compare a.release b.release)
+      (List.mapi (fun i r -> (i, r)) requests)
+  in
+  let horizon = Array.length timeline.wire in
+  let resolved =
+    List.map
+      (fun (i, (r : request)) ->
+        let own = claim r.message.Message.id in
+        let upto = match own with Some t -> t.start_bit | None -> horizon in
+        let losses =
+          List.filter_map
+            (fun (t : transmission) ->
+              if t.start_bit >= r.release && t.start_bit < upto then
+                Some t.start_bit
+              else None)
+            timeline.transmissions
+          |> List.sort Int.compare
+        in
+        ( i,
+          {
+            c_request = r;
+            c_losses = losses;
+            c_start = Option.map (fun (t : transmission) -> t.start_bit) own;
+          } ))
+      ordered
+  in
+  List.map snd (List.sort (fun (i, _) (j, _) -> Int.compare i j) resolved)
+

@@ -38,3 +38,21 @@ val time_of_bit : timeline -> int -> float
 (** Bit index to seconds. *)
 
 val bit_of_time : timeline -> float -> int
+
+type contention = {
+  c_request : request;
+  c_losses : int list;
+      (** SOF bit times of frames that won arbitration while this
+          request was pending, ascending *)
+  c_start : int option;  (** own SOF, [None] when the frame was dropped *)
+}
+
+val arbitration_losses : timeline -> request list -> contention list
+(** Per request, the arbitration rounds it lost before (finally)
+    winning the bus: every transmission whose SOF falls in
+    [\[release, own start)] beat it — the events a timeprint channel
+    on the node's arbitration-lost flag would record. Requests are
+    matched to transmissions of the same identifier in release /
+    start order; a request with no matching transmission was dropped
+    and counts losses to the end of the timeline. Results follow
+    [requests] order. *)

@@ -1,0 +1,323 @@
+open Timeprint
+
+type observation =
+  | Exact of Signal.t
+  | Choice of { alts : Signal.t list; complete : bool }
+  | Opaque
+
+type channel = {
+  name : string;
+  encoding : Encoding.t;
+  entries : Log_entry.t list;
+}
+
+type observed = {
+  o_name : string;
+  o_m : int;
+  obs : observation array;
+  health : Sat_reconstruct.health array;
+}
+
+let dedup_sorted = function
+  | [] -> []
+  | x :: rest ->
+      let rec go acc prev = function
+        | [] -> List.rev acc
+        | y :: tl ->
+            if Signal.equal y prev then go acc prev tl else go (y :: acc) y tl
+      in
+      go [ x ] x rest
+
+let observe ?(repair = 0) ?jobs ?(max_alts = 16) session channel =
+  let enc = channel.encoding in
+  let triage = Plan.run_stream_in ~repair ?jobs session channel.entries in
+  let obs_of entry (verdict, health, _tag) =
+    match (verdict, health) with
+    | _, Sat_reconstruct.Quarantined -> Opaque
+    | (`Unsat | `Unknown), _ -> Opaque
+    | `Signal s, Sat_reconstruct.Repaired _ ->
+        (* the minimal-flip explanation: reported exact relative to it *)
+        Exact s
+    | `Signal s, Sat_reconstruct.Clean ->
+        let k = Log_entry.k entry in
+        (* two distinct k-change witnesses XOR to ≤ 2k dependent
+           columns, impossible under LI-2k: no probe needed *)
+        if k = 0 || 2 * k <= Encoding.depth enc then Exact s
+        else begin
+          let query =
+            Query.make
+              ~answer:(Query.Enumerate { max_solutions = Some max_alts })
+              enc entry
+          in
+          match Plan.run_in ?jobs session query with
+          | Engine.Enumeration { signals; complete }, _ -> (
+              let alts = dedup_sorted (List.sort Signal.compare signals) in
+              match alts with
+              | [] -> Opaque
+              | [ only ] when complete -> Exact only
+              | alts -> Choice { alts; complete })
+          | _ -> Exact s
+        end
+  in
+  {
+    o_name = channel.name;
+    o_m = Encoding.m enc;
+    obs =
+      Array.of_list (List.map2 obs_of channel.entries triage);
+    health = Array.of_list (List.map (fun (_, h, _) -> h) triage);
+  }
+
+type step = { s_channel : string; s_min : int; s_max : int }
+type template = { t_name : string; t_start : string; t_steps : step list }
+type link = { l_channel : string; l_cycle : int }
+type chain = link list
+type missing_link = { ml_channel : string; ml_after : chain }
+
+type status =
+  | Definite of chain
+  | Ambiguous of chain list
+  | Broken of missing_link
+
+type flow = { f_template : string; f_start : int; f_status : status }
+type stitched = { flows : flow list; worlds : int; truncated : bool }
+
+let compare_link a b =
+  match String.compare a.l_channel b.l_channel with
+  | 0 -> Int.compare a.l_cycle b.l_cycle
+  | c -> c
+
+let compare_chain a b = List.compare compare_link a b
+
+(* one observed cell, flattened to absolute-cycle alternatives *)
+type cell = { alts : int list array; cell_complete : bool }
+
+type world_result =
+  | Complete of chain
+  | Failed of int * chain  (* steps matched before the miss, prefix *)
+  | No_start
+
+let stitch ?(max_worlds = 4096) observed templates =
+  if max_worlds < 1 then invalid_arg "Flow.stitch: max_worlds < 1";
+  let m =
+    match observed with
+    | [] -> invalid_arg "Flow.stitch: no channels"
+    | o :: rest ->
+        List.iter
+          (fun o' ->
+            if o'.o_m <> o.o_m then
+              invalid_arg
+                (Printf.sprintf "Flow.stitch: channel %s has m = %d, want %d"
+                   o'.o_name o'.o_m o.o_m))
+          rest;
+        o.o_m
+  in
+  let channels = Array.of_list observed in
+  let index_of name =
+    let rec go i =
+      if i >= Array.length channels then
+        invalid_arg (Printf.sprintf "Flow.stitch: unknown channel %s" name)
+      else if channels.(i).o_name = name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  List.iter
+    (fun t ->
+      ignore (index_of t.t_start : int);
+      List.iter
+        (fun s ->
+          ignore (index_of s.s_channel : int);
+          if s.s_min < 0 || s.s_max < s.s_min then
+            invalid_arg
+              (Printf.sprintf "Flow.stitch: bad window %d..%d on %s" s.s_min
+                 s.s_max s.s_channel))
+        t.t_steps)
+    templates;
+  let cells =
+    Array.map
+      (fun o ->
+        Array.mapi
+          (fun j ob ->
+            let abs s = List.map (fun c -> (j * m) + c) (Signal.changes s) in
+            match ob with
+            | Exact s -> { alts = [| abs s |]; cell_complete = true }
+            | Opaque -> { alts = [| [] |]; cell_complete = true }
+            | Choice { alts; complete } ->
+                {
+                  alts = Array.of_list (List.map abs alts);
+                  cell_complete = complete;
+                })
+          o.obs)
+      channels
+  in
+  let incomplete_probe =
+    Array.exists (Array.exists (fun c -> not c.cell_complete)) cells
+  in
+  (* choice points: cells with more than one alternative *)
+  let points =
+    let acc = ref [] in
+    Array.iteri
+      (fun ci per_entry ->
+        Array.iteri
+          (fun ei c ->
+            if Array.length c.alts > 1 then
+              acc := ((ci, ei), Array.length c.alts) :: !acc)
+          per_entry)
+      cells;
+    Array.of_list (List.rev !acc)
+  in
+  let total_worlds =
+    Array.fold_left
+      (fun acc (_, n) -> if acc > max_worlds then acc else acc * n)
+      1 points
+  in
+  let truncated = total_worlds > max_worlds in
+  let n_worlds = min total_worlds max_worlds in
+  (* world w -> chosen alternative per choice point (mixed radix, last
+     point fastest) *)
+  let choice_of = Hashtbl.create 16 in
+  Array.iteri (fun p ((ci, ei), _) -> Hashtbl.replace choice_of (ci, ei) p) points;
+  let assign = Array.make (max 1 (Array.length points)) 0 in
+  let set_world w =
+    let rest = ref w in
+    for p = Array.length points - 1 downto 0 do
+      let _, n = points.(p) in
+      assign.(p) <- !rest mod n;
+      rest := !rest / n
+    done
+  in
+  let events ci =
+    let per_entry = cells.(ci) in
+    let acc = ref [] in
+    for ei = Array.length per_entry - 1 downto 0 do
+      let c = per_entry.(ei) in
+      let choice =
+        match Hashtbl.find_opt choice_of (ci, ei) with
+        | Some p -> assign.(p)
+        | None -> 0
+      in
+      acc := c.alts.(choice) @ !acc
+    done;
+    !acc
+  in
+  (* all events the start channel can have in any world *)
+  let start_candidates ci =
+    let per_entry = cells.(ci) in
+    Array.to_list per_entry
+    |> List.concat_map (fun c -> List.concat (Array.to_list c.alts))
+    |> List.sort_uniq Int.compare
+  in
+  let match_world t ~start_events ~step_events e0 =
+    if not (List.mem e0 start_events) then No_start
+    else
+      let rec go prev acc matched = function
+        | [] -> Complete (List.rev acc)
+        | (s, evs) :: rest -> (
+            let lo = prev + s.s_min and hi = prev + s.s_max in
+            match List.find_opt (fun e -> e >= lo && e <= hi) evs with
+            | Some e ->
+                go e
+                  ({ l_channel = s.s_channel; l_cycle = e } :: acc)
+                  (matched + 1) rest
+            | None -> Failed (matched, List.rev acc))
+      in
+      go e0
+        [ { l_channel = t.t_start; l_cycle = e0 } ]
+        0
+        (List.map (fun s -> (s, step_events s)) t.t_steps)
+  in
+  let flows =
+    List.concat_map
+      (fun t ->
+        let start_ci = index_of t.t_start in
+        let starts = start_candidates start_ci in
+        List.map
+          (fun e0 ->
+            let completions = ref [] in
+            let failures = ref [] in
+            let all_complete = ref true in
+            for w = 0 to n_worlds - 1 do
+              set_world w;
+              let step_events =
+                let cache = Hashtbl.create 8 in
+                fun (s : step) ->
+                  match Hashtbl.find_opt cache s.s_channel with
+                  | Some evs -> evs
+                  | None ->
+                      let evs = events (index_of s.s_channel) in
+                      Hashtbl.replace cache s.s_channel evs;
+                      evs
+              in
+              match
+                match_world t ~start_events:(events start_ci) ~step_events e0
+              with
+              | Complete chain -> completions := chain :: !completions
+              | Failed (matched, prefix) ->
+                  all_complete := false;
+                  failures := (matched, prefix) :: !failures
+              | No_start -> all_complete := false
+            done;
+            let distinct =
+              List.sort_uniq compare_chain (List.rev !completions)
+            in
+            let status =
+              match distinct with
+              | [] ->
+                  (* furthest progress; ties break to the smallest prefix *)
+                  let best =
+                    List.fold_left
+                      (fun acc (n, p) ->
+                        match acc with
+                        | None -> Some (n, p)
+                        | Some (bn, bp) ->
+                            if
+                              n > bn || (n = bn && compare_chain p bp < 0)
+                            then Some (n, p)
+                            else acc)
+                      None !failures
+                  in
+                  let matched, prefix =
+                    match best with
+                    | Some (n, p) -> (n, p)
+                    | None -> (0, [ { l_channel = t.t_start; l_cycle = e0 } ])
+                  in
+                  let missing =
+                    match List.nth_opt t.t_steps matched with
+                    | Some s -> s.s_channel
+                    | None -> t.t_start
+                  in
+                  Broken { ml_channel = missing; ml_after = prefix }
+              | [ only ]
+                when !all_complete && (not truncated) && not incomplete_probe
+                ->
+                  Definite only
+              | chains -> Ambiguous chains
+            in
+            { f_template = t.t_name; f_start = e0; f_status = status })
+          starts)
+      templates
+  in
+  { flows; worlds = n_worlds; truncated }
+
+let pp_link ppf l = Format.fprintf ppf "%s@%d" l.l_channel l.l_cycle
+
+let pp_chain ppf chain =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+    pp_link ppf chain
+
+let pp_status ppf = function
+  | Definite chain -> Format.fprintf ppf "definite %a" pp_chain chain
+  | Ambiguous chains ->
+      Format.fprintf ppf "ambiguous {%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+           pp_chain)
+        chains
+  | Broken { ml_channel; ml_after } ->
+      Format.fprintf ppf "broken missing=%s after=%a" ml_channel pp_chain
+        ml_after
+
+let pp_flow ppf f =
+  Format.fprintf ppf "flow %s start=%d: %a" f.f_template f.f_start pp_status
+    f.f_status

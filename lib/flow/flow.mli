@@ -1,0 +1,117 @@
+(** Multi-signal flow reconstruction: from per-channel timeprint logs
+    to protocol transactions and causal chains.
+
+    The paper reconstructs one signal per timeprint; post-silicon
+    protocol debug correlates many. This layer takes several channels
+    logged against a {e shared} cycle counter ({!Tp_soc.Multilog}),
+    reconstructs each independently through the existing planner
+    ({!Timeprint.Plan} — packs, domain pool and repair ladder
+    unchanged), and stitches the per-channel witnesses into
+    transaction chains matched against protocol templates
+    (request→grant→transfer→done with timing windows).
+
+    Honesty is the contract. A channel's witness is not always unique:
+    an [Enumerate] probe may return several signals for one entry. The
+    stitcher therefore works over {e worlds} — one choice of witness
+    per ambiguous entry — and a flow is reported [Definite] only when
+    every world tells the same story; otherwise it is [Ambiguous] with
+    the alternative chains, or [Broken] with the exact link no world
+    could supply. *)
+
+open Timeprint
+
+(** {1 Per-channel observation} *)
+
+type observation =
+  | Exact of Signal.t  (** a unique witness (or the minimal repair) *)
+  | Choice of { alts : Signal.t list; complete : bool }
+      (** several witnesses explain the entry; [alts] is sorted and
+          duplicate-free, [complete] says the enumeration was not
+          truncated at the probe cap *)
+  | Opaque
+      (** no witness within the repair budget (quarantined entry, or
+          an unsolved probe) — the channel is dark for this
+          trace-cycle *)
+
+type channel = {
+  name : string;
+  encoding : Encoding.t;
+  entries : Log_entry.t list;  (** trace-cycle order *)
+}
+
+type observed = {
+  o_name : string;
+  o_m : int;
+  obs : observation array;  (** per entry, trace-cycle order *)
+  health : Sat_reconstruct.health array;  (** the stream triage's column *)
+}
+
+val observe :
+  ?repair:int -> ?jobs:int -> ?max_alts:int -> Plan.session -> channel -> observed
+(** Reconstruct one channel: {!Plan.run_stream_in} (with the repair
+    ladder at [repair], default 0) triages every entry; entries whose
+    unique witness is not already guaranteed by the encoding's LI
+    depth are probed with an [Enumerate] capped at [max_alts]
+    (default 16). Deterministic and jobs-invariant, like the planner
+    underneath. Raises [Invalid_argument] when the session is not the
+    channel's design. *)
+
+(** {1 Templates and stitching} *)
+
+type step = {
+  s_channel : string;
+  s_min : int;  (** earliest delay from the previous event, inclusive *)
+  s_max : int;  (** latest delay, inclusive *)
+}
+
+type template = {
+  t_name : string;
+  t_start : string;  (** channel whose events open a flow instance *)
+  t_steps : step list;
+}
+
+type link = {
+  l_channel : string;
+  l_cycle : int;  (** absolute cycle: trace-cycle index × m + offset *)
+}
+
+type chain = link list
+(** Start link first, then one link per template step. *)
+
+type missing_link = {
+  ml_channel : string;  (** the step channel no world could supply *)
+  ml_after : chain;  (** the furthest prefix that did match *)
+}
+
+type status =
+  | Definite of chain
+  | Ambiguous of chain list  (** distinct chains, sorted *)
+  | Broken of missing_link
+
+type flow = { f_template : string; f_start : int; f_status : status }
+
+type stitched = {
+  flows : flow list;  (** template order, then ascending start cycle *)
+  worlds : int;  (** witness combinations actually explored *)
+  truncated : bool;  (** the world product exceeded [max_worlds] *)
+}
+
+val stitch : ?max_worlds:int -> observed list -> template list -> stitched
+(** Match templates over every world. For each template and each
+    possible start event, a world's chain is matched greedily — each
+    step takes the {e earliest} event of its channel inside
+    [[prev + s_min, prev + s_max]] — so a world yields at most one
+    chain per start. The flow is [Definite] when every world (at most
+    [max_worlds], default 4096) yields that same chain and no
+    enumeration was truncated or incomplete; [Ambiguous] when worlds
+    disagree (or certainty is unattainable: truncated worlds,
+    incomplete probes); [Broken] when no world completes the chain,
+    carrying the furthest-matching prefix. Raises [Invalid_argument]
+    when channels disagree on [m], a template names an unknown
+    channel, or a step window is invalid ([s_min < 0] or
+    [s_max < s_min]). *)
+
+val compare_chain : chain -> chain -> int
+
+val pp_status : Format.formatter -> status -> unit
+val pp_flow : Format.formatter -> flow -> unit

@@ -1,0 +1,449 @@
+open Timeprint
+
+type scheme = [ `One_hot | `Random | `Incremental | `Bch ]
+
+type channel_spec = {
+  cs_name : string;
+  cs_scheme : scheme;
+  cs_m : int;
+  cs_b : int;
+  cs_seed : int;
+  cs_depth : int;
+  cs_kmax : int;
+  cs_naive : int;
+  cs_options : int list;
+}
+
+type spec = {
+  sp_channels : (channel_spec * Log_entry.t list) list;
+  sp_templates : Flow.template list;
+  sp_properties : Select.property list;
+  sp_budget : int option;
+}
+
+let scheme_name = function
+  | `One_hot -> "one-hot"
+  | `Random -> "random"
+  | `Incremental -> "incremental"
+  | `Bch -> "bch"
+
+let scheme_of_name = function
+  | "one-hot" -> Ok `One_hot
+  | "random" -> Ok `Random
+  | "incremental" -> Ok `Incremental
+  | "bch" -> Ok `Bch
+  | s -> Error (Printf.sprintf "unknown scheme %S" s)
+
+let name_ok s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-')
+       s
+
+let ( let* ) = Result.bind
+
+let fields tokens =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest -> (
+        match String.index_opt tok '=' with
+        | None -> Error (Printf.sprintf "expected key=value, got %S" tok)
+        | Some i ->
+            go
+              ((String.sub tok 0 i,
+                String.sub tok (i + 1) (String.length tok - i - 1))
+              :: acc)
+              rest)
+  in
+  go [] tokens
+
+let get kvs key = Option.map snd (List.find_opt (fun (k, _) -> k = key) kvs)
+
+let req kvs key =
+  match get kvs key with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing %s=" key)
+
+let int_of key v =
+  match int_of_string_opt v with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "%s=%S is not an integer" key v)
+
+let int_field kvs key =
+  let* v = req kvs key in
+  int_of key v
+
+let opt_int_field kvs key ~default =
+  match get kvs key with None -> Ok default | Some v -> int_of key v
+
+let known kvs allowed =
+  match
+    List.find_opt (fun (k, _) -> not (List.mem k allowed)) kvs
+  with
+  | Some (k, _) -> Error (Printf.sprintf "unknown field %s=" k)
+  | None -> Ok ()
+
+let derived_b scheme ~m ~b =
+  match (scheme, b) with
+  | `One_hot, _ -> Ok m
+  | `Bch, _ ->
+      (* 2⌈log₂(m+1)⌉: the width the generator will produce *)
+      let rec q n acc = if n <= 1 then acc else q ((n + 1) / 2) (acc + 1) in
+      Ok (2 * q (m + 1) 0)
+  | (`Random | `Incremental), Some b -> Ok b
+  | (`Random | `Incremental), None -> Error "missing b="
+
+let parse_channel kvs =
+  let* () =
+    known kvs
+      [ "name"; "scheme"; "m"; "b"; "seed"; "depth"; "kmax"; "naive"; "boptions" ]
+  in
+  let* name = req kvs "name" in
+  if not (name_ok name) then Error (Printf.sprintf "bad channel name %S" name)
+  else
+    let* scheme_s = req kvs "scheme" in
+    let* scheme = scheme_of_name scheme_s in
+    let* m = int_field kvs "m" in
+    if m < 1 then Error "m= must be positive"
+    else
+      let* b_opt =
+        match get kvs "b" with
+        | None -> Ok None
+        | Some v ->
+            let* b = int_of "b" v in
+            Ok (Some b)
+      in
+      let* b = derived_b scheme ~m ~b:b_opt in
+      if b < 1 then Error "b= must be positive"
+      else
+        let* seed = opt_int_field kvs "seed" ~default:0 in
+        let* depth =
+          opt_int_field kvs "depth"
+            ~default:(match scheme with `One_hot -> m | _ -> 4)
+        in
+        let* kmax = opt_int_field kvs "kmax" ~default:2 in
+        let* naive = opt_int_field kvs "naive" ~default:b in
+        let* options =
+          match get kvs "boptions" with
+          | None -> Ok [ b ]
+          | Some v -> (
+              let parts = String.split_on_char ',' v in
+              let rec go acc = function
+                | [] -> Ok (List.rev acc)
+                | p :: rest -> (
+                    match int_of_string_opt p with
+                    | Some n when n >= 1 -> go (n :: acc) rest
+                    | _ ->
+                        Error (Printf.sprintf "boptions=%S is not a width list" v))
+              in
+              go [] parts)
+        in
+        Ok
+          {
+            cs_name = name;
+            cs_scheme = scheme;
+            cs_m = m;
+            cs_b = b;
+            cs_seed = seed;
+            cs_depth = depth;
+            cs_kmax = kmax;
+            cs_naive = naive;
+            cs_options = options;
+          }
+
+let parse_step v =
+  match String.index_opt v ':' with
+  | None -> Error (Printf.sprintf "step=%S wants channel:min..max" v)
+  | Some i -> (
+      let ch = String.sub v 0 i in
+      let w = String.sub v (i + 1) (String.length v - i - 1) in
+      match
+        match String.index_opt w '.' with
+        | Some j
+          when j + 1 < String.length w && w.[j + 1] = '.' ->
+            Some
+              ( String.sub w 0 j,
+                String.sub w (j + 2) (String.length w - j - 2) )
+        | _ -> None
+      with
+      | None -> Error (Printf.sprintf "step=%S wants channel:min..max" v)
+      | Some (lo, hi) -> (
+          match (int_of_string_opt lo, int_of_string_opt hi) with
+          | Some lo, Some hi when 0 <= lo && lo <= hi ->
+              Ok { Flow.s_channel = ch; s_min = lo; s_max = hi }
+          | _ -> Error (Printf.sprintf "step=%S has a bad window" v)))
+
+let parse_template kvs =
+  let* () = known kvs [ "name"; "start"; "step" ] in
+  let* name = req kvs "name" in
+  let* start = req kvs "start" in
+  let steps = List.filter_map (fun (k, v) -> if k = "step" then Some v else None) kvs in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | v :: rest ->
+        let* s = parse_step v in
+        go (s :: acc) rest
+  in
+  let* steps = go [] steps in
+  if not (name_ok name) then Error (Printf.sprintf "bad template name %S" name)
+  else Ok { Flow.t_name = name; t_start = start; t_steps = steps }
+
+let parse lines =
+  let channels = ref [] (* (spec, entries rev) in reverse decl order *) in
+  let templates = ref [] in
+  let properties = ref [] in
+  let budget = ref None in
+  let declared name = List.exists (fun (c, _) -> c.cs_name = name) !channels in
+  let line_err i msg = Error (Printf.sprintf "line %d: %s" (i + 1) msg) in
+  let step i line =
+    match
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun s -> s <> "")
+    with
+    | [] -> Ok ()
+    | directive :: rest -> (
+        match fields rest with
+        | Error e -> line_err i e
+        | Ok kvs -> (
+            match directive with
+            | "channel" -> (
+                match parse_channel kvs with
+                | Error e -> line_err i e
+                | Ok c ->
+                    if declared c.cs_name then
+                      line_err i
+                        (Printf.sprintf "duplicate channel %s" c.cs_name)
+                    else begin
+                      channels := (c, ref []) :: !channels;
+                      Ok ()
+                    end)
+            | "entry" -> (
+                match
+                  let* () = known kvs [ "channel"; "tp"; "k" ] in
+                  let* name = req kvs "channel" in
+                  let* tp = req kvs "tp" in
+                  let* k = int_field kvs "k" in
+                  match
+                    List.find_opt (fun (c, _) -> c.cs_name = name) !channels
+                  with
+                  | None -> Error (Printf.sprintf "undeclared channel %s" name)
+                  | Some (_, entries) -> (
+                      match
+                        Log_entry.make ~tp:(Tp_bitvec.Bitvec.of_string tp) ~k
+                      with
+                      | e ->
+                          entries := e :: !entries;
+                          Ok ()
+                      | exception (Invalid_argument m | Failure m) -> Error m)
+                with
+                | Ok () -> Ok ()
+                | Error e -> line_err i e)
+            | "template" -> (
+                match parse_template kvs with
+                | Error e -> line_err i e
+                | Ok t ->
+                    let missing =
+                      List.filter
+                        (fun n -> not (declared n))
+                        (t.Flow.t_start
+                        :: List.map (fun s -> s.Flow.s_channel) t.Flow.t_steps)
+                    in
+                    if missing <> [] then
+                      line_err i
+                        (Printf.sprintf "undeclared channel %s"
+                           (List.hd missing))
+                    else if
+                      List.exists
+                        (fun t' -> t'.Flow.t_name = t.Flow.t_name)
+                        !templates
+                    then
+                      line_err i
+                        (Printf.sprintf "duplicate template %s" t.Flow.t_name)
+                    else begin
+                      templates := t :: !templates;
+                      Ok ()
+                    end)
+            | "property" -> (
+                match
+                  let* () = known kvs [ "name"; "needs" ] in
+                  let* name = req kvs "name" in
+                  let* needs = req kvs "needs" in
+                  if not (name_ok name) then
+                    Error (Printf.sprintf "bad property name %S" name)
+                  else
+                    let needs = String.split_on_char ',' needs in
+                    match List.find_opt (fun n -> not (declared n)) needs with
+                    | Some n ->
+                        Error (Printf.sprintf "undeclared channel %s" n)
+                    | None -> Ok { Select.p_name = name; p_needs = needs }
+                with
+                | Error e -> line_err i e
+                | Ok p ->
+                    if
+                      List.exists
+                        (fun p' -> p'.Select.p_name = p.Select.p_name)
+                        !properties
+                    then
+                      line_err i
+                        (Printf.sprintf "duplicate property %s" p.Select.p_name)
+                    else begin
+                      properties := p :: !properties;
+                      Ok ()
+                    end)
+            | "budget" -> (
+                match
+                  let* () = known kvs [ "bits" ] in
+                  int_field kvs "bits"
+                with
+                | Error e -> line_err i e
+                | Ok bits ->
+                    if bits < 0 then line_err i "budget bits= must be >= 0"
+                    else if !budget <> None then line_err i "duplicate budget"
+                    else begin
+                      budget := Some bits;
+                      Ok ()
+                    end)
+            | d -> line_err i (Printf.sprintf "unknown directive %S" d)))
+  in
+  let rec run i = function
+    | [] -> Ok ()
+    | line :: rest ->
+        let* () = step i line in
+        run (i + 1) rest
+  in
+  let* () = run 0 lines in
+  if !channels = [] then Error "no channels declared"
+  else
+    Ok
+      {
+        sp_channels =
+          List.rev_map (fun (c, entries) -> (c, List.rev !entries)) !channels;
+        sp_templates = List.rev !templates;
+        sp_properties = List.rev !properties;
+        sp_budget = !budget;
+      }
+
+let render spec =
+  let channel (c, _) =
+    let base =
+      Printf.sprintf "channel name=%s scheme=%s m=%d" c.cs_name
+        (scheme_name c.cs_scheme) c.cs_m
+    in
+    let b =
+      match c.cs_scheme with
+      | `One_hot | `Bch -> ""
+      | `Random | `Incremental -> Printf.sprintf " b=%d" c.cs_b
+    in
+    Printf.sprintf "%s%s seed=%d depth=%d kmax=%d naive=%d boptions=%s" base b
+      c.cs_seed c.cs_depth c.cs_kmax c.cs_naive
+      (String.concat "," (List.map string_of_int c.cs_options))
+  in
+  let entries (c, es) =
+    List.map
+      (fun e ->
+        Printf.sprintf "entry channel=%s tp=%s k=%d" c.cs_name
+          (Tp_bitvec.Bitvec.to_string (Log_entry.tp e))
+          (Log_entry.k e))
+      es
+  in
+  let template (t : Flow.template) =
+    String.concat " "
+      (Printf.sprintf "template name=%s start=%s" t.t_name t.t_start
+      :: List.map
+           (fun (s : Flow.step) ->
+             Printf.sprintf "step=%s:%d..%d" s.s_channel s.s_min s.s_max)
+           t.t_steps)
+  in
+  let property (p : Select.property) =
+    Printf.sprintf "property name=%s needs=%s" p.p_name
+      (String.concat "," p.p_needs)
+  in
+  List.map channel spec.sp_channels
+  @ List.concat_map entries spec.sp_channels
+  @ List.map template spec.sp_templates
+  @ List.map property spec.sp_properties
+  @
+  match spec.sp_budget with
+  | None -> []
+  | Some bits -> [ Printf.sprintf "budget bits=%d" bits ]
+
+let encoding_of c =
+  match c.cs_scheme with
+  | `One_hot -> Ok (Encoding.one_hot ~m:c.cs_m)
+  | `Bch -> (
+      match Encoding.bch ~m:c.cs_m with
+      | enc -> Ok enc
+      | exception (Invalid_argument e | Failure e) -> Error e)
+  | `Random -> (
+      match
+        Encoding.random_constrained ~depth:c.cs_depth ~seed:c.cs_seed ~m:c.cs_m
+          ~b:c.cs_b ()
+      with
+      | enc -> Ok enc
+      | exception Failure e -> Error e)
+  | `Incremental -> (
+      match Encoding.incremental ~depth:c.cs_depth ~m:c.cs_m ~b:c.cs_b () with
+      | enc -> Ok enc
+      | exception Failure e -> Error e)
+
+let channels spec =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (c, entries) :: rest -> (
+        match encoding_of c with
+        | Error e ->
+            Error (Printf.sprintf "channel %s: %s" c.cs_name e)
+        | Ok enc -> (
+            let b = Encoding.b enc in
+            match
+              List.find_opt
+                (fun e -> Tp_bitvec.Bitvec.width (Log_entry.tp e) <> b)
+                entries
+            with
+            | Some e ->
+                Error
+                  (Printf.sprintf
+                     "channel %s: entry timeprint width %d, want %d" c.cs_name
+                     (Tp_bitvec.Bitvec.width (Log_entry.tp e))
+                     b)
+            | None ->
+                go ({ Flow.name = c.cs_name; encoding = enc; entries } :: acc)
+                  rest))
+  in
+  go [] spec.sp_channels
+
+let candidates spec =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (c, _) :: rest -> (
+        match c.cs_scheme with
+        | `One_hot | `Bch ->
+            Error
+              (Printf.sprintf
+                 "channel %s: scheme %s cannot sweep widths (use random or \
+                  incremental)"
+                 c.cs_name (scheme_name c.cs_scheme))
+        | `Random | `Incremental ->
+            go
+              ({
+                 Select.c_name = c.cs_name;
+                 c_scheme =
+                   (match c.cs_scheme with
+                   | `Random -> `Random
+                   | `Incremental -> `Incremental
+                   | _ -> assert false);
+                 c_seed = c.cs_seed;
+                 c_depth = c.cs_depth;
+                 c_m = c.cs_m;
+                 c_kmax = c.cs_kmax;
+                 c_naive = c.cs_naive;
+                 c_options = c.cs_options;
+               }
+              :: acc)
+              rest)
+  in
+  go [] spec.sp_channels

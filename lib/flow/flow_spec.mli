@@ -1,0 +1,58 @@
+(** The textual flow-request grammar shared by the CLI verbs and the
+    daemon's [flow] body — one directive per line:
+
+    {v
+    channel name=bus scheme=random m=48 b=18 seed=7 depth=4 kmax=2 naive=24 boptions=12,16,24
+    entry channel=bus tp=0101... k=2
+    template name=xfer start=req step=bus:2..8 step=uart:5..5
+    property name=p_grant needs=req,bus
+    budget bits=36
+    v}
+
+    [channel] declares a design (schemes: [one-hot], [random],
+    [incremental], [bch]; [b] is required for [random]/[incremental]
+    and derived otherwise); [entry] appends a log entry to a declared
+    channel, trace-cycle order; [template] gives the protocol shape
+    (step windows are inclusive delays from the previous event);
+    [property]/[budget] feed the observability-selection pass. Every
+    reference must name a declared channel — {!parse} rejects the
+    rest, so a malformed spec never reaches the planner. *)
+
+type scheme = [ `One_hot | `Random | `Incremental | `Bch ]
+
+type channel_spec = {
+  cs_name : string;
+  cs_scheme : scheme;
+  cs_m : int;
+  cs_b : int;
+  cs_seed : int;
+  cs_depth : int;
+  cs_kmax : int;
+  cs_naive : int;
+  cs_options : int list;
+}
+
+type spec = {
+  sp_channels : (channel_spec * Timeprint.Log_entry.t list) list;
+      (** declaration order; entries in trace-cycle order *)
+  sp_templates : Flow.template list;
+  sp_properties : Select.property list;
+  sp_budget : int option;
+}
+
+val parse : string list -> (spec, string) result
+(** Errors carry the 1-based line number. Blank lines are skipped. *)
+
+val render : spec -> string list
+(** Canonical form: channels, their entries, templates, properties,
+    budget. [parse (render s)] re-reads [s] exactly. *)
+
+val channels : spec -> (Flow.channel list, string) result
+(** Build each channel's encoding and validate every entry's timeprint
+    width against it. [Error] on infeasible generation ([Failure] from
+    the encoding generators) or a width mismatch. *)
+
+val candidates : spec -> (Select.candidate list, string) result
+(** The selection candidates. [Error] when a channel's scheme is not
+    [random]/[incremental] — the only generators the selection pass
+    can sweep widths over. *)

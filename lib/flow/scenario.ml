@@ -1,0 +1,296 @@
+open Timeprint
+
+type expect = Expect_chain of (string * int) list | Expect_broken of string
+
+type t = {
+  sc_name : string;
+  sc_channels : Flow.channel list;
+  sc_templates : Flow.template list;
+  sc_expects : (Flow.template * int * expect) list;
+  sc_candidates : Select.candidate list;
+  sc_properties : Select.property list;
+  sc_budget : int;
+}
+
+(* deterministic per-channel encodings: distinct seeds, shared m *)
+let soc_encoding ~m ~seed = Encoding.random_constrained ~seed ~m ~b:18 ()
+
+let channels_of_waves ~m waves =
+  let named =
+    List.mapi
+      (fun i (name, wave) -> (name, soc_encoding ~m ~seed:(41 + (7 * i)), wave))
+      waves
+  in
+  let logs = Tp_soc.Multilog.log_waveforms named in
+  List.map2
+    (fun (name, enc, _) (name', entries) ->
+      assert (name = name');
+      { Flow.name; encoding = enc; entries })
+    named logs
+
+let soc_candidates =
+  let mk name scheme kmax seed =
+    {
+      Select.c_name = name;
+      c_scheme = scheme;
+      c_seed = seed;
+      c_depth = 4;
+      c_m = 48;
+      c_kmax = kmax;
+      c_naive = 24;
+      c_options = [ 10; 12; 14; 16; 18; 20; 24 ];
+    }
+  in
+  [
+    mk "dma_req" `Random 2 11;
+    mk "bus_grant" `Random 2 12;
+    mk "uart_busy" `Incremental 2 0;
+    mk "refresh_stall" `Random 12 13;
+  ]
+
+let soc_properties =
+  [
+    { Select.p_name = "p_grant"; p_needs = [ "dma_req"; "bus_grant" ] };
+    { Select.p_name = "p_done"; p_needs = [ "bus_grant"; "uart_busy" ] };
+    { Select.p_name = "p_stall"; p_needs = [ "refresh_stall" ] };
+  ]
+
+let soc_budget =
+  (* 0.75 × the naive per-channel sum *)
+  List.fold_left (fun acc c -> acc + c.Select.c_naive) 0 soc_candidates * 3 / 4
+
+let soc_scenario ~name ~grant_window cfg =
+  let m = 48 in
+  let waves = Tp_soc.Channels.synthesize cfg in
+  let template =
+    {
+      Flow.t_name = "dma_xfer";
+      t_start = "dma_req";
+      t_steps =
+        [
+          { Flow.s_channel = "bus_grant"; s_min = fst grant_window; s_max = snd grant_window };
+          {
+            Flow.s_channel = "uart_busy";
+            s_min = cfg.Tp_soc.Channels.uart_latency;
+            s_max = cfg.Tp_soc.Channels.uart_latency;
+          };
+        ];
+    }
+  in
+  let expects =
+    List.map
+      (fun (txn : Tp_soc.Channels.transaction) ->
+        match (txn.grant_cycle, txn.done_cycle) with
+        | Some g, Some d ->
+            ( template,
+              txn.req_cycle,
+              Expect_chain
+                [
+                  ("dma_req", txn.req_cycle);
+                  ("bus_grant", g);
+                  ("uart_busy", d);
+                ] )
+        | None, _ -> (template, txn.req_cycle, Expect_broken "bus_grant")
+        | Some _, None -> (template, txn.req_cycle, Expect_broken "uart_busy"))
+      waves.w_transactions
+  in
+  {
+    sc_name = name;
+    sc_channels = channels_of_waves ~m waves.w_changes;
+    sc_templates = [ template ];
+    sc_expects = expects;
+    sc_candidates = soc_candidates;
+    sc_properties = soc_properties;
+    sc_budget = soc_budget;
+  }
+
+let soc_config =
+  {
+    Tp_soc.Channels.dma =
+      { Tp_soc.Dma.base = 0xA000; burst = 4; interval = 97; start = 13; stride = 4 };
+    grant_latency = 2;
+    uart_latency = 5;
+    refresh = None;
+    celsius = 25.0;
+    deadlock_at = None;
+    cycles = 480;
+  }
+
+let bus_deadlock () =
+  soc_scenario ~name:"bus_deadlock" ~grant_window:(2, 2)
+    { soc_config with deadlock_at = Some 2 }
+
+let dma_refresh () =
+  soc_scenario ~name:"dma_refresh" ~grant_window:(2, 8)
+    {
+      soc_config with
+      refresh =
+        Some
+          {
+            Tp_soc.Sram.base_interval = 120;
+            reference_celsius = 25.0;
+            cycles_per_degree = 1.0;
+            min_interval = 20;
+            duration = 2;
+          };
+    }
+
+let lost_arbitration () =
+  let m = 64 in
+  let bitrate = 5_000_000 in
+  let flood = Tp_canbus.Message.make ~name:"BrakeCmd" ~id:0x40 ~data:[| 1; 2; 3; 4 |] in
+  let victim =
+    Tp_canbus.Message.make ~name:"Telemetry" ~id:0x300
+      ~data:[| 9; 9; 9; 9; 9; 9; 9; 9 |]
+  in
+  let frame_bits msg =
+    let tl =
+      Tp_canbus.Bus.simulate ~bitrate ~duration:4096
+        [ { Tp_canbus.Bus.message = msg; release = 0 } ]
+    in
+    match tl.transmissions with
+    | [ t ] -> t.end_bit - t.start_bit
+    | _ -> invalid_arg "Scenario.lost_arbitration: frame did not fit"
+  in
+  let lf = frame_bits flood and lv = frame_bits victim in
+  (* flood and victim contend at 0 (victim loses, recovers after the
+     flood); a second contention late enough that the victim's retry
+     cannot finish before the capture window closes *)
+  let late = lf + 3 + lv + 8 in
+  let duration = (late + lf + 8 + m - 1) / m * m in
+  let requests =
+    [
+      { Tp_canbus.Bus.message = victim; release = 0 };
+      { Tp_canbus.Bus.message = flood; release = 0 };
+      { Tp_canbus.Bus.message = flood; release = late };
+      { Tp_canbus.Bus.message = victim; release = late };
+    ]
+  in
+  let timeline = Tp_canbus.Bus.simulate ~bitrate ~duration requests in
+  let contentions = Tp_canbus.Bus.arbitration_losses timeline requests in
+  let arb_loss = Array.make duration false in
+  let tx_start = Array.make duration false in
+  List.iter
+    (fun (c : Tp_canbus.Bus.contention) ->
+      if c.c_request.message.Tp_canbus.Message.id = victim.Tp_canbus.Message.id
+      then begin
+        List.iter (fun bit -> arb_loss.(bit) <- true) c.c_losses;
+        Option.iter (fun bit -> tx_start.(bit) <- true) c.c_start
+      end)
+    contentions;
+  let template =
+    {
+      Flow.t_name = "arb_recover";
+      t_start = "arb_loss";
+      t_steps = [ { Flow.s_channel = "tx_start"; s_min = 1; s_max = duration } ];
+    }
+  in
+  let expects =
+    List.filter_map
+      (fun (c : Tp_canbus.Bus.contention) ->
+        if
+          c.c_request.message.Tp_canbus.Message.id
+          <> victim.Tp_canbus.Message.id
+        then None
+        else
+          match (c.c_losses, c.c_start) with
+          | [], _ -> None (* won outright: no causal chain to stitch *)
+          | loss :: _, Some sof ->
+              Some
+                ( template,
+                  loss,
+                  Expect_chain [ ("arb_loss", loss); ("tx_start", sof) ] )
+          | loss :: _, None -> Some (template, loss, Expect_broken "tx_start"))
+      contentions
+  in
+  let candidates =
+    [
+      {
+        Select.c_name = "arb_loss";
+        c_scheme = `Random;
+        c_seed = 21;
+        c_depth = 4;
+        c_m = m;
+        c_kmax = 2;
+        c_naive = 24;
+        c_options = [ 10; 12; 14; 16; 18; 20; 24 ];
+      };
+      {
+        Select.c_name = "tx_start";
+        c_scheme = `Random;
+        c_seed = 22;
+        c_depth = 4;
+        c_m = m;
+        c_kmax = 2;
+        c_naive = 24;
+        c_options = [ 10; 12; 14; 16; 18; 20; 24 ];
+      };
+    ]
+  in
+  {
+    sc_name = "lost_arbitration";
+    sc_channels =
+      channels_of_waves ~m
+        [ ("arb_loss", arb_loss); ("tx_start", tx_start) ];
+    sc_templates = [ template ];
+    sc_expects = expects;
+    sc_candidates = candidates;
+    sc_properties =
+      [ { Select.p_name = "p_recover"; p_needs = [ "arb_loss"; "tx_start" ] } ];
+    sc_budget =
+      List.fold_left (fun acc c -> acc + c.Select.c_naive) 0 candidates * 3 / 4;
+  }
+
+let all () = [ bus_deadlock (); dma_refresh (); lost_arbitration () ]
+
+let reconstruct ?(repair = 0) ?jobs sc =
+  let observed =
+    List.map
+      (fun (ch : Flow.channel) ->
+        Flow.observe ~repair ?jobs (Plan.session ch.encoding) ch)
+      sc.sc_channels
+  in
+  (observed, Flow.stitch observed sc.sc_templates)
+
+let check sc (stitched : Flow.stitched) =
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let chain_links chain =
+    List.map (fun (l : Flow.link) -> (l.l_channel, l.l_cycle)) chain
+  in
+  List.iter
+    (fun ((t : Flow.template), start, expect) ->
+      match
+        List.find_opt
+          (fun (f : Flow.flow) ->
+            f.f_template = t.t_name && f.f_start = start)
+          stitched.flows
+      with
+      | None -> note "%s: no flow %s start=%d" sc.sc_name t.t_name start
+      | Some f -> (
+          match (expect, f.f_status) with
+          | Expect_chain want, Definite chain ->
+              if chain_links chain <> want then
+                note "%s: %s start=%d wrong chain" sc.sc_name t.t_name start
+          | Expect_broken ch, Broken { ml_channel; _ } ->
+              if ml_channel <> ch then
+                note "%s: %s start=%d broken at %s, want %s" sc.sc_name
+                  t.t_name start ml_channel ch
+          | Expect_chain _, status | Expect_broken _, status ->
+              note "%s: %s start=%d unexpected status %s" sc.sc_name t.t_name
+                start
+                (Format.asprintf "%a" Flow.pp_status status)))
+    sc.sc_expects;
+  List.iter
+    (fun (f : Flow.flow) ->
+      if
+        not
+          (List.exists
+             (fun ((t : Flow.template), start, _) ->
+               f.f_template = t.t_name && f.f_start = start)
+             sc.sc_expects)
+      then
+        note "%s: unexpected flow %s start=%d" sc.sc_name f.f_template
+          f.f_start)
+    stitched.flows;
+  List.rev !problems

@@ -1,0 +1,48 @@
+(** The multi-signal scenario family the ROADMAP asks for: bus-deadlock
+    forensics, DMA/refresh interference, and lost CAN arbitration —
+    each a deterministic ground-truth run ({!Tp_soc.Channels} or
+    {!Tp_canbus.Bus}) logged through a {!Tp_soc.Multilog} bank, with
+    the transaction chains the flow layer must recover. *)
+
+type expect =
+  | Expect_chain of (string * int) list
+      (** the flow must be [Definite] with exactly this chain *)
+  | Expect_broken of string
+      (** the flow must be [Broken], missing this channel *)
+
+type t = {
+  sc_name : string;
+  sc_channels : Flow.channel list;
+  sc_templates : Flow.template list;
+  sc_expects : (Flow.template * int * expect) list;
+      (** template, start cycle, expectation — one per flow *)
+  sc_candidates : Select.candidate list;
+  sc_properties : Select.property list;
+  sc_budget : int;  (** 0.75 × the naive per-channel width sum *)
+}
+
+val bus_deadlock : unit -> t
+(** Five DMA bursts over the AHB; the arbiter wedges on the third
+    request, which is never granted — the flow breaks at [bus_grant]
+    while the other four transactions complete. *)
+
+val dma_refresh : unit -> t
+(** Same traffic with the SRAM refresh controller enabled: pending
+    refreshes steal three would-be grant cycles, visible as
+    [refresh_stall] events and widened request→grant windows. *)
+
+val lost_arbitration : unit -> t
+(** CAN bit-time domain: a low-priority message loses arbitration to a
+    higher-priority frame, recovers, then loses again with no bus time
+    left — the second causal chain is broken at [tx_start]. *)
+
+val all : unit -> t list
+
+val reconstruct :
+  ?repair:int -> ?jobs:int -> t -> Flow.observed list * Flow.stitched
+(** Observe every channel through the planner and stitch. *)
+
+val check : t -> Flow.stitched -> string list
+(** Mismatches between the stitched flows and the scenario's ground
+    truth, both directions (missing and unexpected); [[]] means the
+    reconstruction recovered the injected schedule exactly. *)

@@ -1,0 +1,72 @@
+(** Observability selection: which signals get timeprint loggers?
+
+    Given a total accumulator-bit budget B, per-channel width options
+    and a set of cross-signal properties (each needing a subset of the
+    channels), assign per-channel widths greedily and report which
+    properties stay checkable. The decidability signal is the
+    planner's, not a guess: a channel is decidable at width [b] when
+    the encoding's presolve rank carries the entropy of its worst-case
+    entry ([rank ≥ log₂ C(m, kmax)]) and {!Timeprint.Plan.cost_estimate}
+    for the disambiguating [Enumerate] probe stays under a cost cap.
+
+    The budget counts XOR-accumulator bits only: the change and cycle
+    counters cost the same at every width, so they cancel out of any
+    comparison. *)
+
+type candidate = {
+  c_name : string;
+  c_scheme : [ `Random | `Incremental ];
+  c_seed : int;  (** ignored by [`Incremental] *)
+  c_depth : int;
+  c_m : int;
+  c_kmax : int;  (** worst-case changes per trace-cycle to resolve *)
+  c_naive : int;  (** the width you'd pick with no budget pressure *)
+  c_options : int list;  (** candidate widths, ascending *)
+}
+
+type property = {
+  p_name : string;
+  p_needs : string list;  (** channels that must all be decidable *)
+}
+
+type assignment = {
+  a_name : string;
+  a_b : int option;  (** [None]: no logger for this channel *)
+  a_rank : int;  (** presolve rank at the chosen width, 0 when none *)
+  a_decidable : bool;
+  a_cost : float;  (** probe cost estimate in bits, [nan] when none *)
+}
+
+type report = {
+  r_budget : int;
+  r_naive_total : int;  (** sum of [c_naive] *)
+  r_used : int;
+  r_assignments : assignment list;  (** candidate order *)
+  r_properties : (string * string list * bool) list;
+      (** property, needed channels, decidable under budget *)
+}
+
+val select :
+  ?cost_cap:float -> budget:int -> candidate list -> property list -> report
+(** Greedy: repeatedly pick the cheapest not-yet-decidable property —
+    cheapest meaning the fewest extra accumulator bits to lift every
+    channel it needs to its smallest decidable width — and apply it
+    while the budget holds; leftover budget then gives still-unassigned
+    channels their smallest feasible width (observability is never
+    wasted). Widths whose encoding generation fails (LI-[depth]
+    infeasible at that [b]) are skipped. Deterministic: ties break on
+    property and channel names. [cost_cap] (default 24.0) bounds the
+    acceptable probe estimate. Raises [Invalid_argument] on a negative
+    budget, duplicate candidate names, or a property needing an
+    unknown channel. *)
+
+val report_lines : report -> string list
+(** Stable, machine-parseable rendering — the same bytes from CLI,
+    daemon and bench:
+    {v
+    select budget=72 naive=96 used=44
+    channel dma_req b=16 rank=16 decidable=yes cost=9.2
+    channel refresh_stall b=- rank=0 decidable=no cost=-
+    property p_grant decidable=yes needs=dma_req,bus_grant
+    decidable 2/3 properties under budget 72 (naive 96)
+    v} *)

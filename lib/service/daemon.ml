@@ -158,6 +158,99 @@ let handle_stream svc ic oc (r : Wire.request) =
               write_line oc (Render.summary_line (Render.count !triages))))
   | _ -> assert false
 
+(* Flow bodies are raw {!Flow_spec} lines — consumed in full before
+   parsing, so a spec error never desynchronizes the connection. *)
+let read_flow_body ic n =
+  let rec go acc i =
+    if i = n then Ok (List.rev acc)
+    else
+      match input_line ic with
+      | exception End_of_file -> Error "flow body truncated"
+      | line -> go (line :: acc) (i + 1)
+  in
+  go [] 0
+
+let handle_flow svc ic oc (r : Wire.request) =
+  match r with
+  | Wire.Flow { mode; tenant; n; repair; jobs; max_alts; budget } -> (
+      match read_flow_body ic n with
+      | Error msg -> write_line oc (Wire.err_line (Service.Bad_request msg))
+      | Ok body -> (
+          match Tp_flow.Flow_spec.parse body with
+          | Error msg ->
+              write_line oc (Wire.err_line (Service.Bad_request msg))
+          | Ok spec -> (
+              match mode with
+              | `Reconstruct -> (
+                  match Tp_flow.Flow_spec.channels spec with
+                  | Error msg ->
+                      write_line oc
+                        (Wire.err_line (Service.Bad_request msg))
+                  | Ok channels -> (
+                      match
+                        Service.flow svc ?tenant ~repair ?jobs ?max_alts
+                          channels spec.Tp_flow.Flow_spec.sp_templates
+                      with
+                      | Error e -> write_line oc (Wire.err_line e)
+                      | Ok { Service.fl_observed; fl_stitched } ->
+                          let payload =
+                            List.map Render.flow_health_line fl_observed
+                            @ List.map Render.flow_line
+                                fl_stitched.Tp_flow.Flow.flows
+                            @ [ Render.flow_summary_line fl_stitched ]
+                          in
+                          write_line oc
+                            (Wire.ok_line
+                               [
+                                 ("mode", "reconstruct");
+                                 ( "channels",
+                                   string_of_int (List.length fl_observed) );
+                                 ( "flows",
+                                   string_of_int
+                                     (List.length
+                                        fl_stitched.Tp_flow.Flow.flows) );
+                               ]
+                               ~lines:(List.length payload));
+                          List.iter (write_line oc) payload))
+              | `Select -> (
+                  match Tp_flow.Flow_spec.candidates spec with
+                  | Error msg ->
+                      write_line oc
+                        (Wire.err_line (Service.Bad_request msg))
+                  | Ok candidates -> (
+                      let budget =
+                        match budget with
+                        | Some b -> Some b
+                        | None -> spec.Tp_flow.Flow_spec.sp_budget
+                      in
+                      match budget with
+                      | None ->
+                          write_line oc
+                            (Wire.err_line
+                               (Service.Bad_request
+                                  "select needs budget= (request or spec)"))
+                      | Some budget -> (
+                          match
+                            Tp_flow.Select.select ~budget candidates
+                              spec.Tp_flow.Flow_spec.sp_properties
+                          with
+                          | exception Invalid_argument msg ->
+                              write_line oc
+                                (Wire.err_line (Service.Bad_request msg))
+                          | report ->
+                              let payload =
+                                Tp_flow.Select.report_lines report
+                              in
+                              write_line oc
+                                (Wire.ok_line
+                                   [
+                                     ("mode", "select");
+                                     ("budget", string_of_int budget);
+                                   ]
+                                   ~lines:(List.length payload));
+                              List.iter (write_line oc) payload))))))
+  | _ -> assert false
+
 exception Shutdown_requested
 
 let handle_request svc ic oc line =
@@ -172,6 +265,7 @@ let handle_request svc ic oc line =
            ~lines:0)
   | Ok (Wire.Reconstruct _ as r) -> handle_reconstruct svc oc r
   | Ok (Wire.Stream _ as r) -> handle_stream svc ic oc r
+  | Ok (Wire.Flow _ as r) -> handle_flow svc ic oc r
   | Ok Wire.Stats ->
       let lines = Service.stats_lines svc in
       write_line oc (Wire.ok_line [] ~lines:(List.length lines));

@@ -68,3 +68,33 @@ let outcome_lines ~max_solutions outcome =
       | `Clean s | `Repaired { Sat_reconstruct.r_signal = s; _ } ->
           [ Signal.to_string s ]
       | `Unrepairable | `Unknown -> [])
+
+(* Flow rendering: like [entry_line], the CLI [flow] verbs and the
+   daemon's [flow] verb print exactly these strings. *)
+let flow_line f = Format.asprintf "%a" Tp_flow.Flow.pp_flow f
+
+let flow_health_line (o : Tp_flow.Flow.observed) =
+  let exact, ambiguous, opaque =
+    Array.fold_left
+      (fun (e, a, op) -> function
+        | Tp_flow.Flow.Exact _ -> (e + 1, a, op)
+        | Tp_flow.Flow.Choice _ -> (e, a + 1, op)
+        | Tp_flow.Flow.Opaque -> (e, a, op + 1))
+      (0, 0, 0) o.obs
+  in
+  Printf.sprintf "channel %s: %d entries, %d exact, %d ambiguous, %d opaque"
+    o.o_name (Array.length o.obs) exact ambiguous opaque
+
+let flow_summary_line (s : Tp_flow.Flow.stitched) =
+  let definite, ambiguous, broken =
+    List.fold_left
+      (fun (d, a, b) (f : Tp_flow.Flow.flow) ->
+        match f.f_status with
+        | Tp_flow.Flow.Definite _ -> (d + 1, a, b)
+        | Tp_flow.Flow.Ambiguous _ -> (d, a + 1, b)
+        | Tp_flow.Flow.Broken _ -> (d, a, b + 1))
+      (0, 0, 0) s.flows
+  in
+  Printf.sprintf "%d definite, %d ambiguous, %d broken (%d worlds)%s" definite
+    ambiguous broken s.worlds
+    (if s.truncated then " truncated" else "")

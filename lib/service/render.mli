@@ -30,3 +30,17 @@ val outcome_lines : max_solutions:int option -> Engine.outcome -> string list
 (** A planner outcome as response payload lines (signals rendered via
     {!Timeprint.Signal.to_string}, enumeration tail like the CLI's
     ["%d solution(s)"] line). *)
+
+val flow_line : Tp_flow.Flow.flow -> string
+(** ["flow <template> start=<cycle>: definite a@3 -> b@5"] /
+    ["... ambiguous {a@3 -> b@5 | a@3 -> b@9}"] /
+    ["... broken missing=b after=a@3"] — {!Tp_flow.Flow.pp_flow}
+    verbatim; CLI [flow reconstruct] and the daemon's [flow] verb both
+    print exactly these. *)
+
+val flow_health_line : Tp_flow.Flow.observed -> string
+(** ["channel <name>: N entries, N exact, N ambiguous, N opaque"]. *)
+
+val flow_summary_line : Tp_flow.Flow.stitched -> string
+(** ["%d definite, %d ambiguous, %d broken (%d worlds)"], with
+    [" truncated"] appended when world enumeration was capped. *)

@@ -159,6 +159,74 @@ let stream t ?(tenant = default_tenant) ~design ?(assume = []) ?(repair = 0)
         | Error r -> Error (Rejected r)
         | Ok () -> Ok ())
 
+type flow_result = {
+  fl_observed : Tp_flow.Flow.observed list;
+  fl_stitched : Tp_flow.Flow.stitched;
+}
+
+let flow t ?(tenant = default_tenant) ?(repair = 0) ?jobs ?max_alts channels
+    templates =
+  if repair < 0 then Error (Bad_request "negative repair budget")
+  else if channels = [] then Error (Bad_request "no channels")
+  else begin
+    let sessions =
+      List.map
+        (fun (ch : Tp_flow.Flow.channel) ->
+          let session, _ = load t ~name:("flow:" ^ ch.name) ch.encoding in
+          (ch, session))
+        channels
+    in
+    match
+      List.find_opt
+        (fun ((ch : Tp_flow.Flow.channel), _) ->
+          List.exists
+            (fun e ->
+              Tp_bitvec.Bitvec.width (Log_entry.tp e)
+              <> Encoding.b ch.encoding)
+            ch.entries)
+        sessions
+    with
+    | Some (ch, _) ->
+        Error
+          (Bad_request
+             (Printf.sprintf "channel %s: timeprint width does not match"
+                ch.name))
+    | None -> (
+        (* one ticket for the whole flow: per-channel stream costs are
+           log₂ of step sums, so the total is their log-sum-exp (the
+           per-entry ambiguity probes ride inside the same estimate
+           regime) *)
+        let costs =
+          List.map
+            (fun ((ch : Tp_flow.Flow.channel), session) ->
+              stream_cost session ~assume:[] ~repair ch.entries)
+            sessions
+        in
+        let cost_bits =
+          match costs with
+          | [] -> 0.
+          | b ->
+              let hi = List.fold_left Float.max neg_infinity b in
+              hi +. (Float.log
+                       (List.fold_left (fun a x -> a +. (2. ** (x -. hi))) 0. b)
+                    /. Float.log 2.)
+        in
+        match
+          Admission.with_ticket t.admission ~tenant ~cost_bits (fun () ->
+              let observed =
+                List.map
+                  (fun (ch, session) ->
+                    Tp_flow.Flow.observe ~repair ?jobs ?max_alts session ch)
+                  sessions
+              in
+              (observed, Tp_flow.Flow.stitch observed templates))
+        with
+        | Error r -> Error (Rejected r)
+        | Ok (observed, stitched) ->
+            Ok { fl_observed = observed; fl_stitched = stitched }
+        | exception Invalid_argument msg -> Error (Bad_request msg))
+  end
+
 let stats_lines t =
   let r = Design_registry.stats t.registry in
   let c = Result_cache.stats t.cache in

@@ -94,6 +94,29 @@ val stream :
     Byte-identical to the one-shot path for every [jobs]; not cached
     (see {!Result_cache}). *)
 
+type flow_result = {
+  fl_observed : Tp_flow.Flow.observed list;
+  fl_stitched : Tp_flow.Flow.stitched;
+}
+
+val flow :
+  t ->
+  ?tenant:string ->
+  ?repair:int ->
+  ?jobs:int ->
+  ?max_alts:int ->
+  Tp_flow.Flow.channel list ->
+  Tp_flow.Flow.template list ->
+  (flow_result, error) result
+(** Multi-signal flow reconstruction as a service: every channel is
+    registered in the {!Design_registry} under ["flow:<name>"] (so
+    repeat flows over the same designs reuse compiled sessions, LRU
+    and all), the whole request is priced as {e one} admission ticket
+    (per-channel stream costs log₂-summed, like {!stream}), and the
+    channels are observed and stitched ({!Tp_flow.Flow.observe} /
+    {!Tp_flow.Flow.stitch}) inside it. Deterministic and
+    jobs-invariant like everything beneath it. *)
+
 val stats_lines : t -> string list
 (** Machine-parseable service counters, one subsystem per line:
     [registry ...], [cache ...], [admission ...], and [plan <meta>]

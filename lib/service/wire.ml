@@ -30,6 +30,15 @@ type request =
       repair : int;
       jobs : int option;
     }
+  | Flow of {
+      mode : [ `Reconstruct | `Select ];
+      tenant : string option;
+      n : int;
+      repair : int;
+      jobs : int option;
+      max_alts : int option;
+      budget : int option;
+    }
   | Stats
   | Shutdown
 
@@ -214,6 +223,36 @@ let parse_request line =
           let* repair = int_field fs "repair" ~default:0 in
           let* jobs = int_opt_field fs "jobs" in
           Ok (Stream { design; tenant = get fs "tenant"; n; repair; jobs })
+      | "flow" ->
+          let* n =
+            match get fs "n" with
+            | None -> Error "missing n="
+            | Some v -> (
+                match int_of_string_opt v with
+                | Some n when n >= 0 -> Ok n
+                | _ -> Error (Printf.sprintf "n=%s is not a count" v))
+          in
+          let* mode =
+            match Option.value (get fs "mode") ~default:"reconstruct" with
+            | "reconstruct" -> Ok `Reconstruct
+            | "select" -> Ok `Select
+            | v -> Error (Printf.sprintf "unknown mode=%s" v)
+          in
+          let* repair = int_field fs "repair" ~default:0 in
+          let* jobs = int_opt_field fs "jobs" in
+          let* max_alts = int_opt_field fs "max_alts" in
+          let* budget = int_opt_field fs "budget" in
+          Ok
+            (Flow
+               {
+                 mode;
+                 tenant = get fs "tenant";
+                 n;
+                 repair;
+                 jobs;
+                 max_alts;
+                 budget;
+               })
       | "stats" -> Ok Stats
       | "shutdown" -> Ok Shutdown
       | v -> Error (Printf.sprintf "unknown verb %S" v))

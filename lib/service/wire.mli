@@ -11,12 +11,18 @@
                 [count=1] [repair=E] [k_slack=D] [budget=N] [jobs=N]
                 [p2=1] [pulse=1] [deadline=K,D] [window=LO,HI]
     stream design=ID n=N [tenant=ID] [repair=E] [jobs=N] [p2=1] ...
+    flow n=N [mode=reconstruct|select] [tenant=ID] [repair=E]
+         [jobs=N] [max_alts=N] [budget=B]
     stats
     shutdown
     v}
 
     A [stream] request is followed by exactly [n] body lines in the
-    CLI log-file syntax ["<tp-bits> <k>"].
+    CLI log-file syntax ["<tp-bits> <k>"]. A [flow] request is
+    followed by exactly [n] body lines in the {!Flow_spec} grammar;
+    [mode=select] runs the observability-selection pass instead of
+    reconstruction ([budget=] overrides the spec's [budget bits=]
+    directive).
 
     Responses: one header line — [ok key=value ... lines=N] followed
     by exactly [N] payload lines, or a single [err code=... ...]
@@ -49,6 +55,15 @@ type request =
       n : int;  (** body lines that follow *)
       repair : int;
       jobs : int option;
+    }
+  | Flow of {
+      mode : [ `Reconstruct | `Select ];
+      tenant : string option;
+      n : int;  (** body lines that follow, {!Flow_spec} grammar *)
+      repair : int;
+      jobs : int option;
+      max_alts : int option;
+      budget : int option;
     }
   | Stats
   | Shutdown

@@ -1,0 +1,120 @@
+type transaction = {
+  req_cycle : int;
+  grant_cycle : int option;
+  done_cycle : int option;
+  stalled : bool;
+}
+
+type config = {
+  dma : Dma.config;
+  grant_latency : int;
+  uart_latency : int;
+  refresh : Sram.refresh_config option;
+  celsius : float;
+  deadlock_at : int option;
+  cycles : int;
+}
+
+let default =
+  {
+    dma = Dma.default;
+    grant_latency = 2;
+    uart_latency = 5;
+    refresh = None;
+    celsius = 25.0;
+    deadlock_at = None;
+    cycles = 600;
+  }
+
+let channel_names = [ "dma_req"; "bus_grant"; "uart_busy"; "refresh_stall" ]
+
+type waves = {
+  w_cycles : int;
+  w_changes : (string * bool array) list;
+  w_transactions : transaction list;
+}
+
+let synthesize cfg =
+  if cfg.cycles <= 0 then invalid_arg "Channels.synthesize: cycles <= 0";
+  if cfg.grant_latency < 0 || cfg.uart_latency < 0 then
+    invalid_arg "Channels.synthesize: negative latency";
+  let n = cfg.cycles in
+  let dma_req = Array.make n false in
+  let bus_grant = Array.make n false in
+  let uart_busy = Array.make n false in
+  let refresh_stall = Array.make n false in
+  let sram =
+    Option.map (fun r -> Sram.create ~refresh:r ~wait_states:0 ()) cfg.refresh
+  in
+  (* one request per burst start in the DMA engine's own schedule *)
+  let req_cycles =
+    Dma.schedule cfg.dma ~until:n
+    |> List.filter_map (fun (a : Cpu.access) ->
+           if (a.cycle - cfg.dma.start) mod cfg.dma.interval = 0 then
+             Some a.cycle
+           else None)
+  in
+  let count = List.length req_cycles in
+  let reqs = Array.of_list req_cycles in
+  let grant = Array.make count None in
+  let done_ = Array.make count None in
+  let stalled = Array.make count false in
+  let pend_grant = ref [] in
+  let pend_done = ref [] in
+  for c = 0 to n - 1 do
+    Option.iter (fun s -> Sram.step s ~celsius:cfg.celsius) sram;
+    Array.iteri
+      (fun i r ->
+        if r = c then begin
+          dma_req.(c) <- true;
+          match cfg.deadlock_at with
+          | Some d when d = i -> () (* arbiter wedged: never granted *)
+          | _ -> pend_grant := !pend_grant @ [ (i, c + cfg.grant_latency) ]
+        end)
+      reqs;
+    pend_grant :=
+      List.concat_map
+        (fun (i, due) ->
+          if due <> c then [ (i, due) ]
+          else
+            match sram with
+            | Some s when Sram.refreshing s ->
+                ignore (Sram.consume_refresh s : bool);
+                refresh_stall.(c) <- true;
+                stalled.(i) <- true;
+                [ (i, c + Sram.delay_cycles s) ]
+            | _ ->
+                bus_grant.(c) <- true;
+                grant.(i) <- Some c;
+                pend_done := !pend_done @ [ (i, c + cfg.uart_latency) ];
+                [])
+        !pend_grant;
+    pend_done :=
+      List.filter
+        (fun (i, due) ->
+          if due = c then begin
+            uart_busy.(c) <- true;
+            done_.(i) <- Some c;
+            false
+          end
+          else true)
+        !pend_done
+  done;
+  {
+    w_cycles = n;
+    w_changes =
+      [
+        ("dma_req", dma_req);
+        ("bus_grant", bus_grant);
+        ("uart_busy", uart_busy);
+        ("refresh_stall", refresh_stall);
+      ];
+    w_transactions =
+      List.init count (fun i ->
+          {
+            req_cycle = reqs.(i);
+            grant_cycle = grant.(i);
+            done_cycle = done_.(i);
+            stalled = stalled.(i);
+          });
+  }

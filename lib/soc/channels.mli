@@ -1,0 +1,54 @@
+(** Multi-signal scenario synthesizer: the change waveforms a
+    {!Multilog} bank would see on a small SoC where a burst DMA engine
+    contends for the AHB against a refresh-stealing SRAM and streams
+    completion status over the UART.
+
+    One transaction per DMA burst:
+
+    - [dma_req] pulses when the burst raises its bus request
+      ({!Dma.schedule} burst starts);
+    - [bus_grant] pulses [grant_latency] cycles later — unless a
+      pending SRAM refresh steals the array first, in which case
+      [refresh_stall] pulses at the would-be grant cycle and the grant
+      slips by {!Sram.delay_cycles};
+    - [uart_busy] pulses [uart_latency] cycles after the grant (burst
+      transfer plus the UART status frame, abstracted to one edge).
+
+    [deadlock_at] wedges the arbiter on the n-th request — it is never
+    granted, the bus-deadlock forensics scenario. Events past [cycles]
+    fall off the end of the trace (their option fields are [None]),
+    exactly as a real capture window truncates. *)
+
+type transaction = {
+  req_cycle : int;
+  grant_cycle : int option;
+  done_cycle : int option;
+  stalled : bool;  (** a refresh stole at least one would-be grant cycle *)
+}
+
+type config = {
+  dma : Dma.config;
+  grant_latency : int;  (** request to grant, uncontended *)
+  uart_latency : int;  (** grant to completion edge *)
+  refresh : Sram.refresh_config option;
+  celsius : float;
+  deadlock_at : int option;  (** index of the request the arbiter never grants *)
+  cycles : int;
+}
+
+val default : config
+(** {!Dma.default} bursts, 2-cycle grants, no refresh, 600 cycles. *)
+
+val channel_names : string list
+(** [["dma_req"; "bus_grant"; "uart_busy"; "refresh_stall"]] — the
+    order {!synthesize} lists waveforms in. *)
+
+type waves = {
+  w_cycles : int;
+  w_changes : (string * bool array) list;  (** per {!channel_names} order *)
+  w_transactions : transaction list;  (** ground truth, request order *)
+}
+
+val synthesize : config -> waves
+(** Deterministic: same config, same waves. Raises [Invalid_argument]
+    on a non-positive cycle count or negative latency. *)

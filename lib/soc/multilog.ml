@@ -1,0 +1,76 @@
+open Timeprint
+
+type t = {
+  names : string array;
+  units : Agglog.t array;
+  m : int;
+  mutable cycle : int;
+}
+
+let create ?(fifo_depth = 4096) channels =
+  if channels = [] then invalid_arg "Multilog.create: no channels";
+  let names = Array.of_list (List.map fst channels) in
+  let uniq = List.sort_uniq compare (Array.to_list names) in
+  if List.length uniq <> Array.length names then
+    invalid_arg "Multilog.create: duplicate channel name";
+  let m = Encoding.m (snd (List.hd channels)) in
+  List.iter
+    (fun (name, enc) ->
+      if Encoding.m enc <> m then
+        invalid_arg
+          (Printf.sprintf "Multilog.create: channel %s has m = %d, want %d"
+             name (Encoding.m enc) m))
+    channels;
+  {
+    names;
+    units =
+      Array.of_list
+        (List.map (fun (_, enc) -> Agglog.create ~fifo_depth enc) channels);
+    m;
+    cycle = 0;
+  }
+
+let m t = t.m
+let names t = Array.to_list t.names
+let cycle t = t.cycle
+
+let clock t ~changes =
+  if Array.length changes <> Array.length t.units then
+    invalid_arg "Multilog.clock: changes length <> channel count";
+  Array.iteri (fun i u -> Agglog.clock u ~change:changes.(i)) t.units;
+  t.cycle <- t.cycle + 1
+
+let drain t =
+  List.map2
+    (fun name u -> (name, Agglog.drain u))
+    (Array.to_list t.names) (Array.to_list t.units)
+
+let overflowed t =
+  List.filter_map
+    (fun (name, u) -> if Agglog.overflowed u then Some name else None)
+    (List.combine (Array.to_list t.names) (Array.to_list t.units))
+
+let registers_bits t =
+  Array.fold_left (fun acc u -> acc + Agglog.registers_bits u) 0 t.units
+
+let log_waveforms ?fifo_depth channels =
+  let bank = create ?fifo_depth (List.map (fun (n, e, _) -> (n, e)) channels) in
+  let waves = Array.of_list (List.map (fun (_, _, w) -> w) channels) in
+  let len =
+    match Array.to_list waves with
+    | [] -> 0
+    | w :: rest ->
+        let l = Array.length w in
+        List.iter
+          (fun w' ->
+            if Array.length w' <> l then
+              invalid_arg "Multilog.log_waveforms: waveform lengths differ")
+          rest;
+        l
+  in
+  (* whole trace-cycles only: a partial accumulator never latches *)
+  let total = len / m bank * m bank in
+  for c = 0 to total - 1 do
+    clock bank ~changes:(Array.map (fun w -> w.(c)) waves)
+  done;
+  drain bank

@@ -1,0 +1,56 @@
+(** A bank of agg-log units tracing several on-chip signals at once.
+
+    Real post-silicon debug correlates many signals — bus grant, DMA
+    request, UART busy, refresh stall — so the multi-channel logger
+    clocks one {!Agglog} per signal against a {e shared} cycle counter:
+    every unit sees the same clock edge, so trace-cycle [j] of channel
+    [x] covers exactly the same cycles as trace-cycle [j] of channel
+    [y]. That alignment is what lets the flow layer stitch per-channel
+    witnesses into cross-signal transactions on one absolute time
+    axis.
+
+    Channels may use different encodings (the observability-selection
+    pass assigns each its own width [b]) but must share the
+    trace-cycle length [m] — a unit with a different [m] would latch
+    entries at different boundaries and the shared counter would be a
+    lie. *)
+
+type t
+
+val create : ?fifo_depth:int -> (string * Timeprint.Encoding.t) list -> t
+(** One agg-log unit per named channel (default [fifo_depth] 4096 —
+    the host-side drain, not the tiny on-chip FIFO). Raises
+    [Invalid_argument] on duplicate names, an empty channel list, or
+    encodings that disagree on [m]. *)
+
+val m : t -> int
+val names : t -> string list
+(** Channel names, declaration order. *)
+
+val cycle : t -> int
+(** The shared cycle counter: clock edges seen so far. *)
+
+val clock : t -> changes:bool array -> unit
+(** One shared clock edge; [changes.(i)] is channel [i]'s change
+    trigger (declaration order). Raises [Invalid_argument] when the
+    array length is not the channel count. *)
+
+val drain : t -> (string * Timeprint.Log_entry.t list) list
+(** Per channel, the latched entries of every completed trace-cycle,
+    oldest first, declaration order. *)
+
+val overflowed : t -> string list
+(** Channels whose FIFO dropped an entry. *)
+
+val registers_bits : t -> int
+(** Total state-register width across the bank — the hardware cost the
+    observability-selection budget is spent on. *)
+
+val log_waveforms :
+  ?fifo_depth:int ->
+  (string * Timeprint.Encoding.t * bool array) list ->
+  (string * Timeprint.Log_entry.t list) list
+(** Convenience: clock a bank over per-channel change waveforms in
+    lockstep and drain it. All waveforms must share one length; the
+    trailing partial trace-cycle is dropped (same convention as
+    {!Tp_canbus.Forensics.trace_signals}). *)

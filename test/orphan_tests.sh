@@ -1,0 +1,17 @@
+#!/bin/sh
+# Every test_*.ml in test/ must be listed in the (tests (names ...))
+# stanza of test/dune — an orphaned test file compiles green in an
+# editor while `dune runtest` silently never executes it.
+# Usage: orphan_tests.sh path/to/test/dune test_*.ml...
+set -u
+dunefile="$1"; shift
+status=0
+for f in "$@"; do
+  base=$(basename "$f" .ml)
+  grep -qw "$base" "$dunefile" || {
+    echo "orphan test: $base.ml is not in the (names ...) stanza of test/dune" >&2
+    status=1
+  }
+done
+[ "$status" -eq 0 ] && echo "no orphan tests"
+exit $status

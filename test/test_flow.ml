@@ -1,0 +1,558 @@
+(* Multi-signal flow reconstruction: oracle agreement, ambiguity
+   honesty, jobs invariance, fault-injection round-trips, the spec
+   grammar, and the scenario family. *)
+
+open Timeprint
+open Tp_flow
+
+(* ------------------------------------------------------------------ *)
+(* Scenario round-trips                                                *)
+
+let scenario_roundtrip sc () =
+  let _observed, stitched = Scenario.reconstruct sc in
+  Alcotest.(check (list string))
+    (sc.Scenario.sc_name ^ " recovers the injected schedule")
+    []
+    (Scenario.check sc stitched)
+
+let select_under_budget () =
+  let sc = Scenario.dma_refresh () in
+  let report =
+    Select.select ~budget:sc.Scenario.sc_budget sc.Scenario.sc_candidates
+      sc.Scenario.sc_properties
+  in
+  let decidable =
+    List.filter (fun (_, _, d) -> d) report.Select.r_properties
+  in
+  Alcotest.(check bool)
+    "at least 2 of 3 properties stay decidable at 0.75x naive"
+    true
+    (List.length decidable >= 2);
+  Alcotest.(check bool)
+    "budget respected" true
+    (report.Select.r_used <= report.Select.r_budget);
+  List.iter print_endline (Select.report_lines report)
+
+let select_deterministic () =
+  let sc = Scenario.dma_refresh () in
+  let run () =
+    Select.report_lines
+      (Select.select ~budget:sc.Scenario.sc_budget sc.Scenario.sc_candidates
+         sc.Scenario.sc_properties)
+  in
+  Alcotest.(check (list string)) "same report twice" (run ()) (run ())
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force oracle for the stitcher                                 *)
+(*                                                                     *)
+(* Worlds are enumerated as the full cartesian product over every      *)
+(* cell's alternatives (no choice-point indexing, no truncation), and  *)
+(* each world is matched with a fresh greedy earliest-event matcher.   *)
+(* Generated instances keep the product small so the oracle is total.  *)
+
+let abs_changes m j s = List.map (fun c -> (j * m) + c) (Signal.changes s)
+
+let cell_alternatives m j = function
+  | Flow.Exact s -> [ abs_changes m j s ]
+  | Flow.Opaque -> [ [] ]
+  | Flow.Choice { alts; _ } -> List.map (abs_changes m j) alts
+
+(* all (name, events) assignments — one per world *)
+let oracle_worlds (os : Flow.observed list) =
+  let rec product = function
+    | [] -> [ [] ]
+    | alts :: rest ->
+        List.concat_map
+          (fun pick -> List.map (fun tl -> pick :: tl) (product rest))
+          alts
+  in
+  let per_channel =
+    List.map
+      (fun (o : Flow.observed) ->
+        let cells =
+          Array.to_list
+            (Array.mapi (fun j ob -> cell_alternatives o.Flow.o_m j ob) o.Flow.obs)
+        in
+        List.map
+          (fun picks -> (o.Flow.o_name, List.sort compare (List.concat picks)))
+          (product cells))
+      os
+  in
+  product (List.map (fun ws -> List.map (fun w -> [ w ]) ws) per_channel)
+  |> List.map List.concat
+
+let oracle_match (t : Flow.template) world e0 =
+  let events name = List.assoc name world in
+  if not (List.mem e0 (events t.Flow.t_start)) then `No_start
+  else
+    let rec go prev acc matched = function
+      | [] -> `Complete (List.rev acc)
+      | (s : Flow.step) :: rest -> (
+          let lo = prev + s.Flow.s_min and hi = prev + s.Flow.s_max in
+          match
+            List.find_opt (fun e -> e >= lo && e <= hi) (events s.Flow.s_channel)
+          with
+          | Some e ->
+              go e
+                ({ Flow.l_channel = s.Flow.s_channel; l_cycle = e } :: acc)
+                (matched + 1) rest
+          | None -> `Failed (matched, List.rev acc))
+    in
+    go e0 [ { Flow.l_channel = t.Flow.t_start; l_cycle = e0 } ] 0 t.Flow.t_steps
+
+let oracle_status os (t : Flow.template) e0 =
+  let worlds = oracle_worlds os in
+  let incomplete_probe =
+    List.exists
+      (fun (o : Flow.observed) ->
+        Array.exists
+          (function Flow.Choice { complete; _ } -> not complete | _ -> false)
+          o.Flow.obs)
+      os
+  in
+  let completions = ref [] and failures = ref [] and all_complete = ref true in
+  List.iter
+    (fun w ->
+      match oracle_match t w e0 with
+      | `Complete chain -> completions := chain :: !completions
+      | `Failed (n, p) ->
+          all_complete := false;
+          failures := (n, p) :: !failures
+      | `No_start -> all_complete := false)
+    worlds;
+  let distinct = List.sort_uniq Flow.compare_chain (List.rev !completions) in
+  match distinct with
+  | [] ->
+      let best =
+        List.fold_left
+          (fun acc (n, p) ->
+            match acc with
+            | None -> Some (n, p)
+            | Some (bn, bp) ->
+                if n > bn || (n = bn && Flow.compare_chain p bp < 0) then
+                  Some (n, p)
+                else acc)
+          None !failures
+      in
+      let matched, prefix =
+        match best with
+        | Some (n, p) -> (n, p)
+        | None -> (0, [ { Flow.l_channel = t.Flow.t_start; l_cycle = e0 } ])
+      in
+      let missing =
+        match List.nth_opt t.Flow.t_steps matched with
+        | Some s -> s.Flow.s_channel
+        | None -> t.Flow.t_start
+      in
+      Flow.Broken { Flow.ml_channel = missing; ml_after = prefix }
+  | [ only ] when !all_complete && not incomplete_probe -> Flow.Definite only
+  | chains -> Flow.Ambiguous chains
+
+(* union of every alternative's events across every cell — the start
+   candidates the stitcher enumerates *)
+let oracle_starts (os : Flow.observed list) start =
+  let o = List.find (fun (o : Flow.observed) -> o.Flow.o_name = start) os in
+  Array.to_list
+    (Array.mapi (fun j ob -> cell_alternatives o.Flow.o_m j ob) o.Flow.obs)
+  |> List.concat_map List.concat
+  |> List.sort_uniq compare
+
+let status_str = Format.asprintf "%a" Flow.pp_status
+
+(* generator: 2 channels x 2 entries over m=6, at most 4 binary choice
+   cells -> at most 16 worlds, far under the stitcher's default cap *)
+let gen_signal m =
+  let open QCheck.Gen in
+  list_size (int_range 0 2) (int_range 0 (m - 1)) >|= fun cs ->
+  Signal.of_changes ~m (List.sort_uniq compare cs)
+
+let gen_observation m =
+  let open QCheck.Gen in
+  frequency
+    [
+      (5, gen_signal m >|= fun s -> Flow.Exact s);
+      (1, return Flow.Opaque);
+      ( 3,
+        pair (gen_signal m) (gen_signal m) >>= fun (a, b) ->
+        bool >|= fun complete ->
+        if Signal.equal a b then Flow.Exact a
+        else
+          Flow.Choice
+            { alts = List.sort Signal.compare [ a; b ]; complete } );
+    ]
+
+let gen_observed name m entries =
+  let open QCheck.Gen in
+  list_repeat entries (gen_observation m) >|= fun obs ->
+  {
+    Flow.o_name = name;
+    o_m = m;
+    obs = Array.of_list obs;
+    health = Array.make entries Sat_reconstruct.Clean;
+  }
+
+let gen_step names =
+  let open QCheck.Gen in
+  oneofl names >>= fun ch ->
+  int_range 0 4 >>= fun lo ->
+  int_range 0 5 >|= fun w -> { Flow.s_channel = ch; s_min = lo; s_max = lo + w }
+
+let gen_case =
+  let m = 6 in
+  let names = [ "c0"; "c1" ] in
+  let open QCheck.Gen in
+  pair (gen_observed "c0" m 2) (gen_observed "c1" m 2) >>= fun (o0, o1) ->
+  list_size (int_range 1 2) (gen_step names) >|= fun steps ->
+  ( [ o0; o1 ],
+    { Flow.t_name = "t"; t_start = "c0"; t_steps = steps } )
+
+let print_case (os, (t : Flow.template)) =
+  let obs_str (o : Flow.observed) =
+    Printf.sprintf "%s:[%s]" o.Flow.o_name
+      (String.concat ";"
+         (Array.to_list
+            (Array.mapi
+               (fun j ob ->
+                 String.concat "|"
+                   (List.map
+                      (fun evs ->
+                        "{" ^ String.concat "," (List.map string_of_int evs) ^ "}")
+                      (cell_alternatives o.Flow.o_m j ob)))
+               o.Flow.obs)))
+  in
+  Printf.sprintf "%s tmpl start=%s steps=%s"
+    (String.concat " " (List.map obs_str os))
+    t.Flow.t_start
+    (String.concat ","
+       (List.map
+          (fun (s : Flow.step) ->
+            Printf.sprintf "%s:%d..%d" s.Flow.s_channel s.Flow.s_min s.Flow.s_max)
+          t.Flow.t_steps))
+
+let prop_stitch_matches_oracle =
+  QCheck.Test.make ~count:300 ~name:"stitch agrees with brute-force oracle"
+    (QCheck.make ~print:print_case gen_case)
+    (fun (os, t) ->
+      let stitched = Flow.stitch os [ t ] in
+      QCheck.assume (not stitched.Flow.truncated);
+      let starts = oracle_starts os t.Flow.t_start in
+      List.length stitched.Flow.flows = List.length starts
+      && List.for_all
+           (fun e0 ->
+             match
+               List.find_opt
+                 (fun (f : Flow.flow) -> f.Flow.f_start = e0)
+                 stitched.Flow.flows
+             with
+             | None -> false
+             | Some f ->
+                 String.equal
+                   (status_str f.Flow.f_status)
+                   (status_str (oracle_status os t e0)))
+           starts)
+
+(* ------------------------------------------------------------------ *)
+(* Honesty: a single-witness channel is never reported ambiguous       *)
+
+let prop_single_witness_never_ambiguous =
+  (* one-hot encodings: every (TP, k) has a unique witness, so every
+     observation must come back Exact and no stitch can be Ambiguous *)
+  QCheck.Test.make ~count:40
+    ~name:"one-hot channels: all Exact, stitch never Ambiguous"
+    QCheck.(
+      make
+        ~print:(fun (w0, w1) ->
+          let s l = String.concat "" (List.map (fun b -> if b then "1" else "0") l) in
+          s w0 ^ " " ^ s w1)
+        Gen.(pair (list_repeat 16 bool) (list_repeat 16 bool)))
+    (fun (w0, w1) ->
+      let m = 8 in
+      let enc = Encoding.one_hot ~m in
+      let wave l = Array.of_list l in
+      let logged =
+        Tp_soc.Multilog.log_waveforms
+          [ ("a", enc, wave w0); ("b", enc, wave w1) ]
+      in
+      let session = Plan.session enc in
+      let observed =
+        List.map
+          (fun (name, entries) ->
+            Flow.observe session { Flow.name; encoding = enc; entries })
+          logged
+      in
+      List.for_all
+        (fun (o : Flow.observed) ->
+          Array.for_all
+            (function Flow.Exact _ -> true | _ -> false)
+            o.Flow.obs)
+        observed
+      &&
+      let t =
+        {
+          Flow.t_name = "t";
+          t_start = "a";
+          t_steps = [ { Flow.s_channel = "b"; s_min = 0; s_max = 4 } ];
+        }
+      in
+      let stitched = Flow.stitch observed [ t ] in
+      stitched.Flow.worlds = 1
+      && List.for_all
+           (fun (f : Flow.flow) ->
+             match f.Flow.f_status with
+             | Flow.Ambiguous _ -> false
+             | Flow.Definite _ | Flow.Broken _ -> true)
+           stitched.Flow.flows)
+
+(* ------------------------------------------------------------------ *)
+(* Jobs invariance: rendered flows are byte-identical across jobs      *)
+
+let render_reconstruction (observed, (stitched : Flow.stitched)) =
+  String.concat "\n"
+    (List.map
+       (fun (o : Flow.observed) ->
+         Printf.sprintf "%s %s" o.Flow.o_name
+           (String.concat ","
+              (Array.to_list
+                 (Array.map
+                    (function
+                      | Flow.Exact s -> "e" ^ Signal.to_string s
+                      | Flow.Choice { alts; _ } ->
+                          "c" ^ string_of_int (List.length alts)
+                      | Flow.Opaque -> "o")
+                    o.Flow.obs))))
+       observed
+    @ List.map (Format.asprintf "%a" Flow.pp_flow) stitched.Flow.flows
+    @ [ Printf.sprintf "worlds=%d" stitched.Flow.worlds ])
+
+let jobs_identity sc () =
+  let reference = render_reconstruction (Scenario.reconstruct ~jobs:1 sc) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s: jobs=%d == jobs=1" sc.Scenario.sc_name jobs)
+        reference
+        (render_reconstruction (Scenario.reconstruct ~jobs sc)))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection through the repair ladder                           *)
+
+let flip_bit bits i =
+  String.mapi (fun j c -> if j = i then (if c = '0' then '1' else '0') else c) bits
+
+let corrupt_channel sc ~channel ~entry_index =
+  let corrupt (ch : Flow.channel) =
+    if ch.Flow.name <> channel then ch
+    else
+      {
+        ch with
+        Flow.entries =
+          List.mapi
+            (fun i e ->
+              if i <> entry_index then e
+              else
+                Log_entry.make
+                  ~tp:
+                    (Tp_bitvec.Bitvec.of_string
+                       (flip_bit
+                          (Tp_bitvec.Bitvec.to_string (Log_entry.tp e))
+                          0))
+                  ~k:(Log_entry.k e))
+            ch.Flow.entries;
+      }
+  in
+  { sc with Scenario.sc_channels = List.map corrupt sc.Scenario.sc_channels }
+
+let fault_repair_recovers () =
+  (* flip one TP bit on a k = 0 entry: the zero timeprint is the only
+     signal-consistent one, so the 1-flip repair is provably unique and
+     the reconstruction must recover the injected schedule exactly *)
+  let sc = Scenario.bus_deadlock () in
+  let sc' = corrupt_channel sc ~channel:"refresh_stall" ~entry_index:0 in
+  let observed, stitched = Scenario.reconstruct ~repair:1 sc' in
+  let o =
+    List.find (fun (o : Flow.observed) -> o.Flow.o_name = "refresh_stall") observed
+  in
+  (match o.Flow.health.(0) with
+  | Sat_reconstruct.Repaired 1 -> ()
+  | h ->
+      Alcotest.failf "expected Repaired 1, got %s"
+        (match h with
+        | Sat_reconstruct.Clean -> "Clean"
+        | Sat_reconstruct.Repaired n -> Printf.sprintf "Repaired %d" n
+        | Sat_reconstruct.Quarantined -> "Quarantined"));
+  Alcotest.(check (list string))
+    "repair=1 recovers the schedule" [] (Scenario.check sc' stitched)
+
+let fault_quarantine_breaks () =
+  (* same flip on a grant-bearing entry with no repair budget: the
+     entry quarantines, the channel goes dark for that trace-cycle and
+     the flow that needed the grant must report Broken at bus_grant *)
+  let sc = Scenario.bus_deadlock () in
+  let grant =
+    List.find
+      (fun (ch : Flow.channel) -> ch.Flow.name = "bus_grant")
+      sc.Scenario.sc_channels
+  in
+  let entry_index =
+    match
+      List.mapi (fun i e -> (i, e)) grant.Flow.entries
+      |> List.find_opt (fun (_, e) -> Log_entry.k e > 0)
+    with
+    | Some (i, _) -> i
+    | None -> Alcotest.fail "no grant-bearing entry"
+  in
+  let sc' = corrupt_channel sc ~channel:"bus_grant" ~entry_index in
+  let observed, stitched = Scenario.reconstruct ~repair:0 sc' in
+  let o =
+    List.find (fun (o : Flow.observed) -> o.Flow.o_name = "bus_grant") observed
+  in
+  Alcotest.(check bool)
+    "corrupted entry is opaque" true
+    (match o.Flow.obs.(entry_index) with Flow.Opaque -> true | _ -> false);
+  Alcotest.(check bool)
+    "ground truth no longer matches" true
+    (Scenario.check sc' stitched <> []);
+  Alcotest.(check bool)
+    "some flow broke at bus_grant" true
+    (List.exists
+       (fun (f : Flow.flow) ->
+         match f.Flow.f_status with
+         | Flow.Broken { Flow.ml_channel = "bus_grant"; _ } -> true
+         | _ -> false)
+       stitched.Flow.flows)
+
+(* ------------------------------------------------------------------ *)
+(* Flow_spec grammar                                                   *)
+
+let demo_spec_lines =
+  [
+    "channel name=req scheme=one-hot m=8";
+    "channel name=ack scheme=random m=8 b=12 seed=3 depth=4 kmax=2 naive=12 \
+     boptions=8,10,12";
+    "entry channel=req tp=00000100 k=1";
+    "template name=xfer start=req step=ack:3..5";
+    "property name=p1 needs=req,ack";
+    "budget bits=18";
+  ]
+
+let spec_roundtrip () =
+  match Flow_spec.parse demo_spec_lines with
+  | Error msg -> Alcotest.failf "demo spec rejected: %s" msg
+  | Ok spec -> (
+      let rendered = Flow_spec.render spec in
+      match Flow_spec.parse rendered with
+      | Error msg -> Alcotest.failf "rendered spec rejected: %s" msg
+      | Ok spec' ->
+          Alcotest.(check (list string))
+            "parse . render is the identity on canonical form" rendered
+            (Flow_spec.render spec'))
+
+let spec_rejects () =
+  let reject name lines =
+    match Flow_spec.parse lines with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" name
+    | Error msg ->
+        Alcotest.(check bool)
+          (name ^ " carries a line number") true
+          (String.length msg >= 5 && String.sub msg 0 5 = "line ")
+  in
+  reject "missing m" [ "channel name=a scheme=one-hot" ];
+  reject "duplicate channel"
+    [ "channel name=a scheme=one-hot m=4"; "channel name=a scheme=one-hot m=4" ];
+  reject "unknown entry channel"
+    [ "channel name=a scheme=one-hot m=4"; "entry channel=b tp=0000 k=0" ];
+  reject "bad window"
+    [
+      "channel name=a scheme=one-hot m=4";
+      "template name=t start=a step=a:5..2";
+    ];
+  reject "unknown scheme" [ "channel name=a scheme=gray m=4" ];
+  (* an empty spec is rejected whole, no line to blame *)
+  match Flow_spec.parse [ "" ] with
+  | Ok _ -> Alcotest.fail "empty spec: expected a parse error"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Multilog: the bank is Logger.abstract per channel, per trace-cycle  *)
+
+let prop_multilog_matches_logger =
+  QCheck.Test.make ~count:60
+    ~name:"Multilog.log_waveforms = per-trace-cycle Logger.abstract"
+    QCheck.(
+      make
+        ~print:(fun (m, waves) ->
+          Printf.sprintf "m=%d n=%d len=%d" m (List.length waves)
+            (match waves with w :: _ -> List.length w | [] -> 0))
+        Gen.(
+          int_range 4 8 >>= fun m ->
+          int_range 1 3 >>= fun n ->
+          int_range 0 (3 * m) >>= fun len ->
+          list_repeat n (list_repeat len bool) >|= fun waves -> (m, waves)))
+    (fun (m, waves) ->
+      let enc = Encoding.one_hot ~m in
+      let named =
+        List.mapi
+          (fun i w -> (Printf.sprintf "ch%d" i, enc, Array.of_list w))
+          waves
+      in
+      let banked = Tp_soc.Multilog.log_waveforms named in
+      let entry_eq a b =
+        Log_entry.k a = Log_entry.k b
+        && String.equal
+             (Tp_bitvec.Bitvec.to_string (Log_entry.tp a))
+             (Tp_bitvec.Bitvec.to_string (Log_entry.tp b))
+      in
+      List.for_all2
+        (fun (name, _, wave) (name', entries) ->
+          let cycles = Array.length wave / m in
+          let reference =
+            List.init cycles (fun j ->
+                let changes =
+                  List.filter
+                    (fun c -> wave.((j * m) + c))
+                    (List.init m Fun.id)
+                in
+                Logger.abstract enc (Signal.of_changes ~m changes))
+          in
+          String.equal name name'
+          && List.length entries = cycles
+          && List.for_all2 entry_eq entries reference)
+        named banked)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "flow"
+    [
+      ( "scenarios",
+        List.map
+          (fun sc ->
+            Alcotest.test_case sc.Scenario.sc_name `Quick
+              (scenario_roundtrip sc))
+          (Scenario.all ()) );
+      ( "select",
+        [
+          Alcotest.test_case "budget" `Quick select_under_budget;
+          Alcotest.test_case "deterministic" `Quick select_deterministic;
+        ] );
+      ("oracle", qt [ prop_stitch_matches_oracle ]);
+      ("honesty", qt [ prop_single_witness_never_ambiguous ]);
+      ( "jobs",
+        List.map
+          (fun sc ->
+            Alcotest.test_case sc.Scenario.sc_name `Quick (jobs_identity sc))
+          (Scenario.all ()) );
+      ( "faults",
+        [
+          Alcotest.test_case "repair recovers" `Quick fault_repair_recovers;
+          Alcotest.test_case "quarantine breaks" `Quick fault_quarantine_breaks;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "roundtrip" `Quick spec_roundtrip;
+          Alcotest.test_case "rejects" `Quick spec_rejects;
+        ] );
+      ("multilog", qt [ prop_multilog_matches_logger ]);
+    ]

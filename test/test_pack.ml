@@ -167,6 +167,26 @@ let test_pack_integrity () =
         | Ok _ -> Alcotest.fail "phantom pack"
         | Error e -> e))
 
+(* A file that is BOTH version-bumped and payload-truncated must
+   report Version, not Corrupt: once the 32-byte header is whole the
+   reader cannot judge the integrity of a format it does not know, so
+   the version check comes first. Truncation INSIDE the header wins
+   the other way — there is no version field to trust yet. This pins
+   the check order in [Pack.load]; reordering it would misreport
+   future-version packs as corruption. *)
+let test_pack_error_ordering () =
+  with_pack_file (fun path ->
+      Pack.save (Pack.compile enc) path;
+      let pristine = read_file path in
+      let b = Bytes.sub pristine 0 (Bytes.length pristine - 7) in
+      Bytes.set b 8 (Char.chr 9);
+      write_file path b;
+      check_load "version bump + truncated payload" (Pack.Version 9) path;
+      let b = Bytes.sub pristine 0 16 in
+      Bytes.set b 8 (Char.chr 9);
+      write_file path b;
+      check_load "version bump + truncated header" (Pack.Corrupt "") path)
+
 (* ------------------------------------------------------------------ *)
 (* Answers never depend on the pack                                    *)
 
@@ -266,6 +286,7 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick test_pack_roundtrip;
           Alcotest.test_case "integrity rejections" `Quick test_pack_integrity;
+          Alcotest.test_case "error ordering" `Quick test_pack_error_ordering;
         ] );
       ( "identity",
         [

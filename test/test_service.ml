@@ -225,6 +225,36 @@ let test_service_reconstruct_cache () =
       Alcotest.fail "stale design served a cached answer for the old design"
   | Error e -> Alcotest.fail (Service.error_line e))
 
+(* the stale reload drops the shard — but the cache must come back to
+   life for the NEW design: same request twice after the reload is one
+   run, one hit (a shard invalidated forever would silently turn every
+   repeat query into a solver run) *)
+let test_cache_refills_after_stale () =
+  let svc = Service.create () in
+  let answer = Query.Enumerate { max_solutions = Some 5 } in
+  let serve enc =
+    match Service.reconstruct svc ~design:"d" ~answer (entry_k enc 3) with
+    | Ok r -> r.Service.served
+    | Error e -> Alcotest.fail (Service.error_line e)
+  in
+  let enc1 = enc_seed 41 in
+  ignore (Service.load svc ~name:"d" enc1);
+  (match serve enc1 with
+  | `Ran _ -> ()
+  | `Cache -> Alcotest.fail "first answer cannot be cached");
+  (match serve enc1 with
+  | `Cache -> ()
+  | `Ran _ -> Alcotest.fail "warm repeat missed the cache");
+  let enc2 = enc_seed 42 in
+  let _, status = Service.load svc ~name:"d" enc2 in
+  Alcotest.(check bool) "reload is stale" true (status = `Stale);
+  (match serve enc2 with
+  | `Ran _ -> ()
+  | `Cache -> Alcotest.fail "post-stale request served from the dropped shard");
+  match serve enc2 with
+  | `Cache -> ()
+  | `Ran _ -> Alcotest.fail "post-stale repeat did not re-cache"
+
 let test_service_stream_matches_oneshot () =
   let svc = Service.create () in
   let enc = enc_seed 21 in
@@ -419,6 +449,8 @@ let () =
         [
           Alcotest.test_case "reconstruct + result cache" `Quick
             test_service_reconstruct_cache;
+          Alcotest.test_case "cache refills after stale reload" `Quick
+            test_cache_refills_after_stale;
           Alcotest.test_case "stream matches one-shot" `Quick
             test_service_stream_matches_oneshot;
           Alcotest.test_case "per-tenant quota" `Quick test_service_quota;
