@@ -1,0 +1,198 @@
+(* Schema check for the committed BENCH_pr*.json files.
+
+   Every bench writer goes through [Bench_json.document], which pins
+   the top-level shape: a "bench" name, the host "cores" count, a
+   "cells" list, and (optionally) a "medians" object of ratios. This
+   checker re-parses the committed files against that contract so a
+   writer regression (or a hand-edited file) fails [dune runtest]
+   instead of silently de-normalizing the series.
+
+   The parser is a deliberately small recursive-descent JSON reader —
+   no external dependency, and it only needs to be as liberal as what
+   [Bench_json.emit] can produce plus hand-formatted whitespace. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of string
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n then
+      match s.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+  in
+  let expect c =
+    if peek () <> c then fail (Printf.sprintf "expected %C" c);
+    advance ()
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_body () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            (* enough for the writer's %S output: keep the escaped
+               character verbatim, the check never inspects contents *)
+            Buffer.add_char buf s.[!pos];
+            advance ();
+            if !pos >= n then fail "unterminated escape";
+            Buffer.add_char buf s.[!pos];
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    Num (String.sub s start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let rec fields acc =
+            skip_ws ();
+            let k = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                fields ((k, v) :: acc)
+            | '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields []
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          List []
+        end
+        else
+          let rec items acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                items (v :: acc)
+            | ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+    | '"' -> Str (string_body ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> number ()
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ---- The contract ---------------------------------------------------- *)
+
+let check_document file json =
+  let die msg = raise (Bad (file ^ ": " ^ msg)) in
+  let fields =
+    match json with Obj f -> f | _ -> die "top level is not an object"
+  in
+  let find k = List.assoc_opt k fields in
+  (match find "bench" with
+  | Some (Str _) -> ()
+  | Some _ -> die {|"bench" is not a string|}
+  | None -> die {|missing "bench"|});
+  (match find "cores" with
+  | Some (Num _) -> ()
+  | Some _ -> die {|"cores" is not a number|}
+  | None -> die {|missing "cores"|});
+  (match find "cells" with
+  | Some (List _) -> ()
+  | Some _ -> die {|"cells" is not a list|}
+  | None -> die {|missing "cells"|});
+  match find "medians" with
+  | None -> ()
+  | Some (Obj ms) ->
+      List.iter
+        (function
+          | _, (Num _ | Null) -> ()
+          | k, _ -> die (Printf.sprintf {|median %S is not a number or null|} k))
+        ms
+  | Some _ -> die {|"medians" is not an object|}
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: check FILE.json ...";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun file ->
+      match In_channel.with_open_text file In_channel.input_all with
+      | exception Sys_error e ->
+          Printf.eprintf "check: %s\n" e;
+          failed := true
+      | contents -> (
+          match check_document file (parse contents) with
+          | () -> ()
+          | exception Bad msg ->
+              Printf.eprintf "check: %s: %s\n" file msg;
+              failed := true))
+    files;
+  if !failed then exit 1;
+  Printf.printf "check: %d bench file(s) conform\n" (List.length files)

@@ -134,7 +134,9 @@ let engine_arg =
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
           "Reconstruction engine: $(b,auto) (cost-model planner, default), \
-           or force $(b,sat), $(b,linear), $(b,mitm). A forced engine that \
+           or force $(b,sat), $(b,linear), $(b,mitm). The MITM engine's \
+           sorted-meet join covers k <= 6 change positions (half-sum \
+           tables; triples gated by a memory bound). A forced engine that \
            cannot answer the query falls through to SAT.")
 
 let explain_flag =

@@ -78,15 +78,55 @@ let xor_in_place dst src =
     dst.words.(i) <- dst.words.(i) lxor src.words.(i)
   done
 
-let nibble_popcount = [| 0; 1; 1; 2; 1; 2; 2; 3; 1; 2; 2; 3; 2; 3; 3; 4 |]
-
+(* Constant-time SWAR popcount on a 62-bit payload word. The usual
+   64-bit constants shifted into an OCaml int: the pair mask
+   0x5555_5555_5555_5555 does not fit in 63 bits, but only the shifted
+   operand [(w lsr 1)] is masked, whose bit 61 is already 0 — so the
+   62-bit even-position mask 0x1555… suffices. The multiply-shift sum
+   lands in bits 56..62 (the total is at most 62 < 2^7, so no carry
+   escapes the top byte). *)
 let popcount_word w =
-  let rec go w acc =
-    if w = 0 then acc else go (w lsr 4) (acc + nibble_popcount.(w land 0xf))
-  in
-  go w 0
+  let w = w - ((w lsr 1) land 0x1555555555555555) in
+  let w = (w land 0x3333333333333333) + ((w lsr 2) land 0x3333333333333333) in
+  let w = (w + (w lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (w * 0x0101010101010101) lsr 56
 
-let popcount v = Array.fold_left (fun acc w -> acc + popcount_word w) 0 v.words
+let popcount v =
+  let acc = ref 0 in
+  for i = 0 to Array.length v.words - 1 do
+    acc := !acc + popcount_word v.words.(i)
+  done;
+  !acc
+
+(* Parity of |a ∧ b| without allocating the intermediate vector: the
+   row-times-vector dot product over F₂, the inner loop of [mul_vec]
+   and of the presolve rank check. XOR-folding the ANDed words first
+   keeps it to a single popcount. *)
+let parity_and a b =
+  check_same_width a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc lxor (a.words.(i) land b.words.(i))
+  done;
+  popcount_word !acc land 1
+
+(* Raw word access for the blocked kernels in [F2_matrix]: callers get
+   the 62-bit payload words directly and own the invariant that bits
+   beyond [width] stay zero ([set_word] re-masks the last word). *)
+
+let word_count v = Array.length v.words
+
+let get_word v i = v.words.(i)
+
+let set_word v i w =
+  v.words.(i) <- w land word_mask;
+  if i = Array.length v.words - 1 then begin
+    let used = v.width - (i * bits_per_word) in
+    if used < bits_per_word then
+      v.words.(i) <- v.words.(i) land ((1 lsl used) - 1)
+  end
+
+let unsafe_words v = v.words
 
 let of_int ~width:n x =
   if x < 0 then invalid_arg "Bitvec.of_int: negative";

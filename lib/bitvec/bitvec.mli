@@ -51,7 +51,44 @@ val xor_in_place : t -> t -> unit
     hardware aggregation step: one XOR per traced change. *)
 
 val popcount : t -> int
-(** Number of set bits (Hamming weight). *)
+(** Number of set bits (Hamming weight). Constant-time SWAR per word —
+    no table lookups, no data-dependent branches. *)
+
+val parity_and : t -> t -> int
+(** [parity_and a b] is [popcount (logand a b) land 1] — the dot
+    product [⟨a, b⟩] over [F₂] — computed without allocating the
+    intermediate vector. This is the inner loop of matrix-vector
+    products and rank refutation. Raises [Invalid_argument] on width
+    mismatch. *)
+
+(** {2 Raw word access}
+
+    Internal kernel interface for the blocked linear-algebra routines
+    in {!F2_matrix}. Vectors pack {!bits_per_word} payload bits per
+    OCaml [int]; words are indexed from the least-significant end.
+    Callers own the invariant that bits at or beyond {!width} stay
+    zero — {!set_word} enforces it by re-masking the last word. *)
+
+val bits_per_word : int
+(** Payload bits per word: 62. *)
+
+val word_count : t -> int
+(** Number of payload words backing the vector. *)
+
+val get_word : t -> int -> int
+(** [get_word v i] is payload word [i] (62 significant bits). No bounds
+    check beyond the array's own. *)
+
+val set_word : t -> int -> int -> unit
+(** [set_word v i w] stores the low 62 bits of [w] as word [i],
+    clearing any bits beyond the vector's width when [i] is the last
+    word. *)
+
+val unsafe_words : t -> int array
+(** The live backing array itself — not a copy. The hot-loop escape
+    hatch for {!F2_matrix}'s blocked kernels: writes must keep every
+    bit at or beyond the vector's width zero, or all other operations
+    on the vector are off. *)
 
 val of_int : width:int -> int -> t
 (** [of_int ~width x] takes the low [width] bits of [x] ([x >= 0]). *)

@@ -36,6 +36,11 @@ val of_columns : rows:int -> Bitvec.t array -> t
 val column : t -> int -> Bitvec.t
 
 val transpose : t -> t
+(** Blocked transpose over 32×32 bit tiles (word-level gather,
+    in-register tile transpose, word-level scatter). *)
+
+val transpose_naive : t -> t
+(** Reference bit-at-a-time transpose; kept for agreement tests. *)
 
 val mul_vec : t -> Bitvec.t -> Bitvec.t
 (** [mul_vec a x] is [A·x]; [x] must have width [cols a]. *)
@@ -60,7 +65,33 @@ val rref_rows : Bitvec.t array -> cols:int -> (int * int) list
     columns are eligible as pivots, so an augmented system [A | b] can
     be reduced by passing rows of width [cols + w] — the trailing [w]
     columns ride along under the row operations. This is the workhorse
-    behind the SAT-side XOR presolve and the in-solver Gauss engine. *)
+    behind the SAT-side XOR presolve and the in-solver Gauss engine.
+
+    Dispatches between the naive sweep and the blocked
+    Method-of-Four-Russians kernel according to {!rref_policy}; the two
+    kernels produce byte-identical rows and pivots, so the choice never
+    changes results, only speed. *)
+
+val rref_rows_naive : Bitvec.t array -> cols:int -> (int * int) list
+(** The column-at-a-time Gauss–Jordan sweep, unconditionally. *)
+
+val rref_rows_m4ri : Bitvec.t array -> cols:int -> (int * int) list
+(** Method-of-Four-Russians elimination: columns in blocks of
+    [κ = clamp(log₂ rows, 2, 8)], pivots chosen on κ-bit windows, a
+    Gray-code table of all [2^s] pivot-row combinations, then one table
+    XOR per remaining row per block. Byte-identical output to
+    {!rref_rows_naive} (same pivots, same reduced rows), roughly κ×
+    fewer row XOR passes. All rows must share one width [≥ cols]. *)
+
+type rref_policy = [ `Auto | `Naive | `M4ri ]
+(** [`Auto] uses the M4RI kernel when both the row count and [cols]
+    reach the profitability threshold (24), the naive sweep below it. *)
+
+val set_rref_policy : rref_policy -> unit
+(** Process-global policy knob for {!rref_rows} — the [-no-m4ri]-style
+    A/B switch used by the CLI and the kernel bench. *)
+
+val rref_policy : unit -> rref_policy
 
 val rank : t -> int
 

@@ -15,7 +15,14 @@ type stage = {
   stats : Tp_sat.Solver.stats option;
 }
 
-type ctx = { rank : int; nullity : int; preimage_bits : float }
+type ctx = {
+  rank : int;
+  nullity : int;
+  preimage_bits : float;
+  table : Combinatorial_reconstruct.table Lazy.t option;
+      (** a session-scoped MITM table to reuse instead of rebuilding
+          the O(m²) half-sum tables per query *)
+}
 
 type t = {
   name : string;
@@ -33,7 +40,7 @@ let log2_choose m k =
     done;
     !acc)
 
-let context ?rank (q : Query.t) =
+let context ?rank ?table (q : Query.t) =
   let m = Encoding.m q.encoding and b = Encoding.b q.encoding in
   let rank =
     match rank with
@@ -44,6 +51,7 @@ let context ?rank (q : Query.t) =
     rank;
     nullity = m - rank;
     preimage_bits = log2_choose m (Log_entry.k q.entry) -. float_of_int b;
+    table;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -142,20 +150,32 @@ let sat =
             let v, stats = Sat_reconstruct.solve_first ?conflict_budget:budget pb in
             (Verdict v, [ stage ?stats "sat.first" ])
         | Query.Enumerate { max_solutions } ->
+            (* probe one solution past the cap — the exact oracles'
+               convention — so a solution set that exactly fills the
+               cap still reads complete/`Exact *)
+            let probe = Option.map succ max_solutions in
             let e, stats =
-              Sat_reconstruct.solve_enumerate ?max_solutions
+              Sat_reconstruct.solve_enumerate ?max_solutions:probe
                 ?conflict_budget:budget pb
             in
-            ( Enumeration { signals = e.Sat_reconstruct.signals; complete = e.complete },
+            let signals, complete =
+              match max_solutions with
+              | Some n when List.length e.Sat_reconstruct.signals > n ->
+                  (List.filteri (fun i _ -> i < n) e.Sat_reconstruct.signals, false)
+              | _ -> (e.Sat_reconstruct.signals, e.complete)
+            in
+            ( Enumeration { signals; complete },
               [ stage ?stats "sat.enumerate" ] )
         | Query.Count { max_solutions } ->
+            let probe = Option.map succ max_solutions in
             let e, stats =
-              Sat_reconstruct.solve_enumerate ?max_solutions
+              Sat_reconstruct.solve_enumerate ?max_solutions:probe
                 ?conflict_budget:budget pb
             in
-            ( Count
-                ( List.length e.Sat_reconstruct.signals,
-                  if e.complete then `Exact else `Lower_bound ),
+            let found = List.length e.Sat_reconstruct.signals in
+            ( (match max_solutions with
+              | Some n when found > n -> Count (n, `Lower_bound)
+              | _ -> Count (found, if e.complete then `Exact else `Lower_bound)),
               [ stage ?stats "sat.count" ] )
         | Query.Check p ->
             let r, stats = Sat_reconstruct.solve_check ?conflict_budget:budget pb p in
@@ -215,6 +235,18 @@ let linear =
 (* ------------------------------------------------------------------ *)
 (* Meet-in-the-middle adapter *)
 
+(* Baseline SAT price (see [sat.cost_bits] above): the stream fast
+   path and the planner both compare exact-engine estimates to it. *)
+let sat_cost_baseline = 20.
+
+(* log₂ of the sorted-meet work: C(m, ⌊k/2⌋) probes, each a binary
+   search over the C(m, ⌈k/2⌉)-entry half table. *)
+let mitm_cost_bits ~m ~k =
+  let lg x = log x /. log 2. in
+  if k <= 2 then lg (float_of_int (max 1 m))
+  else
+    log2_choose m (k / 2) +. lg (max 1. (log2_choose m ((k + 1) / 2)))
+
 let mitm =
   {
     name = "mitm";
@@ -225,30 +257,37 @@ let mitm =
         | Query.Repair _ -> Error no_repair
         | _ ->
             let k = Log_entry.k q.entry in
-            if Combinatorial_reconstruct.supported ~k then Ok ()
-            else Error (Printf.sprintf "k=%d > 4" k));
-    (* one hash pass for k<=2, a pair table for k<=4 *)
+            if not (Combinatorial_reconstruct.supported ~k) then
+              Error (Printf.sprintf "k=%d > 6" k)
+            else if not (Combinatorial_reconstruct.feasible q.encoding ~k) then
+              Error
+                (Printf.sprintf "k=%d: triple table infeasible at m=%d" k
+                   (Encoding.m q.encoding))
+            else Ok ());
     cost_bits =
       (fun _ q ->
-        let lg_m = log (float_of_int (Encoding.m q.encoding)) /. log 2. in
-        if Log_entry.k q.entry <= 2 then lg_m else 2. *. lg_m);
+        mitm_cost_bits ~m:(Encoding.m q.encoding) ~k:(Log_entry.k q.entry));
     run =
-      (fun _ q ->
+      (fun ctx q ->
         let k = Log_entry.k q.entry in
+        let table = Option.map Lazy.force ctx.table in
         let preimage ?max_solutions () =
-          Combinatorial_reconstruct.preimage_with ?max_solutions q.encoding
-            q.entry ~assume:q.assume
+          Combinatorial_reconstruct.preimage_with ?max_solutions ?table
+            q.encoding q.entry ~assume:q.assume
         in
         let first () =
-          Combinatorial_reconstruct.first ~assume:q.assume q.encoding q.entry
+          Combinatorial_reconstruct.first ~assume:q.assume ?table q.encoding
+            q.entry
         in
         ( exact_outcome q ~preimage ~first,
           [
             {
-              stage = "mitm.hash";
+              stage = "mitm.meet";
               detail =
                 (if k <= 2 then Printf.sprintf "k=%d, O(m) scan" k
-                 else Printf.sprintf "k=%d, O(m^2) pair table" k);
+                 else if k <= 4 then
+                   Printf.sprintf "k=%d, sorted pair meet" k
+                 else Printf.sprintf "k=%d, sorted triple meet" k);
               stats = None;
             };
           ] ));

@@ -31,6 +31,10 @@ type ctx = {
   preimage_bits : float;
       (** [log₂ C(m,k) − b], the expected-preimage-size estimate that
           already drives [auto_gauss] *)
+  table : Combinatorial_reconstruct.table Lazy.t option;
+      (** session-scoped MITM half-sum tables; when present, the MITM
+          adapter forces and reuses them instead of rebuilding O(m²)
+          state per query *)
 }
 (** Instance facts the planner computes once and hands to every
     engine's [capable]/[cost_bits]/[run] — engines never re-derive
@@ -47,11 +51,21 @@ type t = {
   run : ctx -> Query.t -> outcome * stage list;
 }
 
-val context : ?rank:int -> Query.t -> ctx
+val context : ?rank:int -> ?table:Combinatorial_reconstruct.table Lazy.t -> Query.t -> ctx
 (** Rank/nullity via one Gauss reduction of [A]; cheap relative to any
     solve. [?rank] supplies a precomputed rank (a design pack stores
     it) and skips the reduction — the caller is trusted that it is the
-    rank of this encoding's matrix. *)
+    rank of this encoding's matrix. [?table] supplies shared MITM
+    tables (from a pack or a session) for the same encoding. *)
+
+val sat_cost_baseline : float
+(** The flat [cost_bits] the SAT adapter reports for non-repair
+    queries; exact engines price themselves against it. *)
+
+val mitm_cost_bits : m:int -> k:int -> float
+(** The MITM adapter's cost model: [log₂ m] for [k ≤ 2], otherwise
+    [log₂ (C(m,⌊k/2⌋) · log₂ C(m,⌈k/2⌉))] — probes times binary-search
+    depth. Exposed for the stream fast-path gate. *)
 
 val parallelizable : Query.t -> (unit, string) result
 (** The Parallel capability: [Ok ()] for the answers that split
@@ -73,9 +87,11 @@ val linear : t
     given — they cannot relax it); cost grows as [2^nullity]. *)
 
 val mitm : t
-(** Meet-in-the-middle hashing. Capable when [k ≤ 4] and the query is
-    neither [Certified] nor [Repair]; [O(m)] for [k ≤ 2], [O(m²)] for
-    [k ≤ 4]. *)
+(** Meet-in-the-middle sorted-meet join. Capable when [k ≤ 6] (triple
+    table within its materialization cap for [k ∈ {5,6}], see
+    {!Combinatorial_reconstruct.feasible}) and the query is neither
+    [Certified] nor [Repair]; [O(m)] for [k ≤ 2], sorted pair/triple
+    meets beyond. *)
 
 val all : t list
 (** [[mitm; linear; sat]] — cheapest-regime first. *)

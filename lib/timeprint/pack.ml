@@ -22,12 +22,12 @@ open Tp_sat
 
    The checksum covers the payload only, so a truncated, bit-flipped or
    version-bumped file is rejected before any of it is interpreted.
-   Solver state and the pair table are deliberately NOT serialized: the
-   skeleton CNF reloads into a fresh solver deterministically, and the
-   pair table is rebuilt from the timestamps through the same
-   [Combinatorial_reconstruct.pair_table] code path — identical hash
-   table state, identical iteration order, so the k = 4 witness choice
-   is byte-identical to a cold run at a fraction of the file size. *)
+   Solver state and the MITM tables are deliberately NOT serialized:
+   the skeleton CNF reloads into a fresh solver deterministically, and
+   the half-sum tables are rebuilt from the timestamps through the
+   same [Combinatorial_reconstruct.pair_table] code path — identical
+   sorted arrays, identical probe order, so every witness choice is
+   byte-identical to a cold run at a fraction of the file size. *)
 
 type t = {
   enc : Encoding.t;

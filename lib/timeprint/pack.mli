@@ -17,11 +17,11 @@
     only moves work out of the request. A pack that fails to load or
     does not {!matches} the live encoding is reported and ignored.
 
-    Solver state and the pair table are deliberately not serialized:
+    Solver state and the MITM tables are deliberately not serialized:
     the skeleton CNF reloads into a fresh solver deterministically, and
-    the pair table is rebuilt from the serialized timestamps through
-    the same code path — identical hash-table iteration order, so even
-    the [k = 4] witness choice survives the round trip. *)
+    the half-sum tables are rebuilt from the serialized timestamps
+    through the same code path — identical sorted arrays and probe
+    order, so every witness choice survives the round trip. *)
 
 type t
 
@@ -64,7 +64,7 @@ val shared : t -> Presolve.shared
 (** The rank-check masks, ready for {!Presolve.refutes_with}. *)
 
 val table : t -> Combinatorial_reconstruct.table
-(** The MITM pair table (rebuilt at load). *)
+(** The MITM half-sum tables (rebuilt at load). *)
 
 val ranking : t -> int list
 (** Cube-selection ranking of the [m] cycle variables on the

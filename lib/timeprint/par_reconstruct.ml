@@ -208,9 +208,13 @@ let run_query ?(cube_bits = default_cube_bits) ~jobs (q : Query.t) =
           in
           (outcome, summary n unknowns stages)
       | Query.Enumerate { max_solutions } ->
+          (* per-cube probe one past the cap, the engine-wide
+             convention, so an exactly-cap-filling merge still reads
+             complete *)
+          let probe = Option.map succ max_solutions in
           let signals, complete, incomplete, stages =
-            run_enumerations ?max_solutions ?conflict_budget:budget pool pb
-              cubes
+            run_enumerations ?max_solutions:probe ?conflict_budget:budget
+              pool pb cubes
           in
           let signals, complete =
             match max_solutions with
@@ -221,9 +225,10 @@ let run_query ?(cube_bits = default_cube_bits) ~jobs (q : Query.t) =
           ( Engine.Enumeration { signals; complete },
             summary n incomplete stages )
       | Query.Count { max_solutions } ->
+          let probe = Option.map succ max_solutions in
           let signals, complete, incomplete, stages =
-            run_enumerations ?max_solutions ?conflict_budget:budget pool pb
-              cubes
+            run_enumerations ?max_solutions:probe ?conflict_budget:budget
+              pool pb cubes
           in
           let total = List.length signals in
           let count, exactness =

@@ -82,7 +82,7 @@ type session = {
   ses_rank : int Lazy.t;
   ses_shared : Presolve.shared Lazy.t;
   ses_warm : Sat_reconstruct.warm option;
-  ses_table : Combinatorial_reconstruct.table option;
+  ses_table : Combinatorial_reconstruct.table Lazy.t;
 }
 
 let session ?pack encoding =
@@ -107,7 +107,12 @@ let session ?pack encoding =
       | Some p -> Lazy.from_val (Pack.shared p)
       | None -> lazy (Presolve.shared encoding));
     ses_warm = Option.map Pack.warm pack;
-    ses_table = Option.map Pack.table pack;
+    ses_table =
+      (* memoized per session: without a pack the O(m²) half-sum build
+         runs at most once per design, not once per entry *)
+      (match pack with
+      | Some p -> Lazy.from_val (Pack.table p)
+      | None -> lazy (Combinatorial_reconstruct.pair_table encoding));
   }
 
 let session_encoding s = s.ses_encoding
@@ -116,7 +121,7 @@ let session_status s = s.ses_status
 let session_rank s = Lazy.force s.ses_rank
 let session_shared s = Lazy.force s.ses_shared
 let session_warm s = s.ses_warm
-let session_table s = s.ses_table
+let session_table s = Lazy.force s.ses_table
 
 let check_encoding ~who s enc =
   let ok =
@@ -132,7 +137,7 @@ let check_encoding ~who s enc =
 let run_in ?(engine = `Auto) ?jobs (s : session) (q : Query.t) =
   check_encoding ~who:"Plan.run_in" s q.encoding;
   let pack_status = s.ses_status in
-  let ctx = Engine.context ~rank:(Lazy.force s.ses_rank) q in
+  let ctx = Engine.context ~rank:(Lazy.force s.ses_rank) ~table:s.ses_table q in
   (* how a SAT run of this query would parallelize — decided from the
      query and the instance estimates alone, never from the jobs
      value, so the engage decision (and hence the answer) is the same
@@ -154,7 +159,16 @@ let run_in ?(engine = `Auto) ?jobs (s : session) (q : Query.t) =
                construction *)
             if ctx.Engine.preimage_bits < parallel_threshold_bits then
               `Pinned (below_threshold ())
-            else `Race (Par_reconstruct.resolve_jobs j)
+            else begin
+              (* racing diversified configs on one domain only adds
+                 scheduling overhead (BENCH_pr7 measured 0.13–0.44×
+                 there); a single-core pool runs the canonical config
+                 pinned instead *)
+              let rj = Par_reconstruct.resolve_jobs j in
+              if rj <= 1 then
+                `Pinned "single-core: portfolio racing needs at least 2 domains"
+              else `Race rj
+            end
         | Query.Check _ ->
             `Pinned
               "check: a conflict-budgeted verdict depends on the search \
@@ -348,10 +362,18 @@ let run_stream_emit ?(assume = []) ?conflict_budget ?gauss ?(repair = 0)
   let out = Array.make n None in
   let sat_idx = ref [] in
   (* the session supplies the whole per-stream setup — rank-check
-     masks, MITM pair table, warm solver skeleton — compiled once per
-     design (from a pack on a hit, recomputed otherwise) *)
+     masks, MITM half-sum tables, warm solver skeleton — compiled once
+     per design (from a pack on a hit, lazily memoized otherwise) *)
   let table = s.ses_table in
   let warm = s.ses_warm in
+  let m = Encoding.m encoding in
+  (* which entries take the MITM fast path: any supported-and-feasible
+     k ≤ 4, and k ∈ {5, 6} only when the sorted-meet estimate still
+     beats a warm SAT solve *)
+  let mitm_fast k =
+    Combinatorial_reconstruct.feasible encoding ~k
+    && (k <= 4 || Engine.mitm_cost_bits ~m ~k < Engine.sat_cost_baseline)
+  in
   (* encoding-only half of the rank check: one reduction for the whole
      stream (and, with [jobs], the read-only copy every chunk worker
      shares) *)
@@ -364,11 +386,10 @@ let run_stream_emit ?(assume = []) ?conflict_budget ?gauss ?(repair = 0)
         if repair = 0 then
           out.(i) <- Some (`Unsat, Sat_reconstruct.Quarantined, `Presolve)
         else sat_idx := i :: !sat_idx
-      else if
-        assume = []
-        && Combinatorial_reconstruct.supported ~k:(Log_entry.k e)
-      then
-        match Combinatorial_reconstruct.first ?table encoding e with
+      else if assume = [] && mitm_fast (Log_entry.k e) then
+        match
+          Combinatorial_reconstruct.first ~table:(Lazy.force table) encoding e
+        with
         | Some s -> out.(i) <- Some (`Signal s, Sat_reconstruct.Clean, `Mitm)
         | None ->
             (* linearly consistent yet no exact-k witness: cardinality

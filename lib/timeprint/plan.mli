@@ -6,8 +6,9 @@
     + {b rank-refute}: the F₂ presolve runs first; an inconsistent
       [A | TP] answers the query with zero solver work (skipped for
       [Certified] queries, which must produce a DRAT refutation);
-    + {b MITM} when [k ≤ 4] and no properties are assumed —
-      [O(m)]–[O(m²)] hashing beats any search;
+    + {b MITM} when [k ≤ 6] (triples memory-gated), no properties are
+      assumed, and its {!Engine.t.cost_bits} beats SAT — the sorted
+      half-sum meet turns the search into binary-searched joins;
     + {b coset enumeration} when the nullity is at most
       {!linear_nullity_threshold} — the whole solution space is smaller
       than a SAT solver's warm-up (when both MITM and linear apply, the
@@ -112,7 +113,11 @@ val session_shared : session -> Presolve.shared
 (** The shared rank-check reduction (lazily computed once). *)
 
 val session_warm : session -> Sat_reconstruct.warm option
-val session_table : session -> Combinatorial_reconstruct.table option
+
+val session_table : session -> Combinatorial_reconstruct.table
+(** The session's MITM half-sum tables — from the pack on a hit, else
+    built (and memoized) on first call, so a pack-less session pays the
+    O(m²) construction at most once across all its entries. *)
 
 val run_in :
   ?engine:engine_choice ->
@@ -175,7 +180,8 @@ val run_stream :
   list
 (** Planned witness reconstruction of a log stream, in order: each
     entry is rank-refuted for free when inconsistent, answered by MITM
-    when [k ≤ 4] and no properties are assumed, and the rest share one
+    when it is feasible ([k ≤ 6], triples memory-gated), cheaper than
+    SAT and no properties are assumed, and the rest share one
     incremental parity-select solver ({!Sat_reconstruct.batch} — the
     stream capability the planner exploits). The tag says which path
     answered each entry.

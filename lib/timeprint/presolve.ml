@@ -66,9 +66,7 @@ let of_masks masks = { masks }
 
 let refutes_with { masks } entry =
   let tp = Log_entry.tp entry in
-  List.exists
-    (fun mask -> Bitvec.popcount (Bitvec.logand mask tp) land 1 = 1)
-    masks
+  List.exists (fun mask -> Bitvec.parity_and mask tp = 1) masks
 
 let run encoding entry =
   match Xor_simp.reduce ~extract_aliases:true (system encoding entry) with

@@ -12,7 +12,11 @@ type answer =
   | Enumerate of { max_solutions : int option }
       (** the preimage, possibly truncated *)
   | Count of { max_solutions : int option }
-      (** the preimage size, [`Exact] when provably exhausted *)
+      (** the preimage size, [`Exact] when provably exhausted. Every
+          engine probes one solution past a cap, so a preimage that
+          exactly fills it still reads [`Exact] — capped answers only
+          degrade to [`Lower_bound] when solutions genuinely remain or
+          a conflict budget ran out *)
   | Check of Property.t
       (** the four-way verdict of a suspected property *)
   | Certified

@@ -1,0 +1,204 @@
+(* Agreement suites for the blocked F2 kernels (PR 10): the SWAR
+   popcount, the tiled transpose, and the M4RI RREF must be
+   observationally identical to their naive references — the planner,
+   packs, and linear witness enumeration all depend on byte-identical
+   reduced rows. The MITM sorted-meet join is checked against the
+   planner's forced-SAT Enumerate path on random encodings. *)
+
+open Tp_bitvec
+open Timeprint
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+let gen_bitvec ~max_width =
+  QCheck.Gen.(
+    int_range 1 max_width >>= fun n ->
+    list_size (return n) bool >|= fun bits ->
+    let v = Bitvec.create n in
+    List.iteri (fun i b -> if b then Bitvec.set v i true) bits;
+    v)
+
+let arb_bitvec ~max_width =
+  QCheck.make ~print:Bitvec.to_string (gen_bitvec ~max_width)
+
+(* Random row array for rref: [nrows] rows of width [cols + extra] so
+   the augmented-system path (trailing columns riding along) is
+   exercised too. *)
+let gen_rref_instance =
+  QCheck.Gen.(
+    int_range 1 40 >>= fun nrows ->
+    int_range 1 80 >>= fun cols ->
+    int_range 0 20 >>= fun extra ->
+    list_size (return (nrows * (cols + extra))) bool >|= fun bits ->
+    let bits = Array.of_list bits in
+    let rows =
+      Array.init nrows (fun i ->
+          let v = Bitvec.create (cols + extra) in
+          for j = 0 to cols + extra - 1 do
+            if bits.((i * (cols + extra)) + j) then Bitvec.set v j true
+          done;
+          v)
+    in
+    (rows, cols))
+
+let print_rref_instance (rows, cols) =
+  Printf.sprintf "cols=%d rows=[%s]" cols
+    (String.concat ";" (Array.to_list (Array.map Bitvec.to_string rows)))
+
+let arb_rref_instance = QCheck.make ~print:print_rref_instance gen_rref_instance
+
+(* ------------------------------------------------------------------ *)
+(* SWAR popcount vs the nibble-table reference                         *)
+
+let nibble_popcount = [| 0; 1; 1; 2; 1; 2; 2; 3; 1; 2; 2; 3; 2; 3; 3; 4 |]
+
+let popcount_reference v =
+  (* bit-at-a-time via the nibble table over the binary rendering *)
+  let s = Bitvec.to_string v in
+  let acc = ref 0 in
+  String.iter (fun c -> if c = '1' then incr acc) s;
+  ignore nibble_popcount.(0);
+  !acc
+
+let popcount_word_reference w =
+  let rec go w acc =
+    if w = 0 then acc else go (w lsr 4) (acc + nibble_popcount.(w land 0xf))
+  in
+  go w 0
+
+let prop_popcount_agrees =
+  QCheck.Test.make ~name:"SWAR popcount = nibble-table popcount" ~count:1000
+    (arb_bitvec ~max_width:300) (fun v ->
+      let by_words =
+        let acc = ref 0 in
+        for i = 0 to Bitvec.word_count v - 1 do
+          acc := !acc + popcount_word_reference (Bitvec.get_word v i)
+        done;
+        !acc
+      in
+      Bitvec.popcount v = popcount_reference v && Bitvec.popcount v = by_words)
+
+let prop_parity_and_agrees =
+  QCheck.Test.make ~name:"parity_and = popcount of AND, mod 2" ~count:1000
+    QCheck.(
+      make
+        ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+        Gen.(pair (int_range 1 200) (int_range 0 1000000)))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed |] in
+      let a = Bitvec.random st n and b = Bitvec.random st n in
+      Bitvec.parity_and a b = Bitvec.popcount (Bitvec.logand a b) land 1)
+
+(* ------------------------------------------------------------------ *)
+(* Blocked transpose vs naive                                          *)
+
+let prop_transpose_agrees =
+  QCheck.Test.make ~name:"blocked transpose = naive transpose" ~count:400
+    QCheck.(
+      make
+        ~print:(fun (r, c, seed) -> Printf.sprintf "r=%d c=%d seed=%d" r c seed)
+        Gen.(triple (int_range 1 150) (int_range 1 150) (int_range 0 10000)))
+    (fun (r, c, seed) ->
+      let st = Random.State.make [| seed |] in
+      let rows = Array.init r (fun _ -> Bitvec.random st c) in
+      let m = F2_matrix.of_rows rows in
+      F2_matrix.equal (F2_matrix.transpose m) (F2_matrix.transpose_naive m))
+
+(* ------------------------------------------------------------------ *)
+(* M4RI RREF vs naive: same pivots AND byte-identical rows             *)
+
+let prop_rref_m4ri_agrees =
+  QCheck.Test.make ~name:"rref_rows_m4ri = rref_rows_naive (pivots + rows)"
+    ~count:600 arb_rref_instance (fun (rows, cols) ->
+      let a = Array.map Bitvec.copy rows in
+      let b = Array.map Bitvec.copy rows in
+      let pa = F2_matrix.rref_rows_naive a ~cols in
+      let pb = F2_matrix.rref_rows_m4ri b ~cols in
+      pa = pb
+      && Array.length a = Array.length b
+      && Array.for_all2 Bitvec.equal a b)
+
+let prop_rref_dispatch_agrees =
+  QCheck.Test.make ~name:"rref_rows dispatch honors policy, identical output"
+    ~count:200 arb_rref_instance (fun (rows, cols) ->
+      let saved = F2_matrix.rref_policy () in
+      Fun.protect
+        ~finally:(fun () -> F2_matrix.set_rref_policy saved)
+        (fun () ->
+          let a = Array.map Bitvec.copy rows in
+          let b = Array.map Bitvec.copy rows in
+          F2_matrix.set_rref_policy `Naive;
+          let pa = F2_matrix.rref_rows a ~cols in
+          F2_matrix.set_rref_policy `M4ri;
+          let pb = F2_matrix.rref_rows b ~cols in
+          pa = pb && Array.for_all2 Bitvec.equal a b))
+
+(* ------------------------------------------------------------------ *)
+(* MITM sorted-meet join vs forced-SAT enumeration                     *)
+
+let signal_set signals = List.sort compare (List.map Signal.changes signals)
+
+let prop_mitm_agrees_with_sat =
+  QCheck.Test.make
+    ~name:"MITM preimage (k<=6) = forced-SAT Enumerate, exact witness sets"
+    ~count:60
+    QCheck.(
+      make
+        ~print:(fun (m, k, seed) -> Printf.sprintf "m=%d k=%d seed=%d" m k seed)
+        Gen.(triple (int_range 7 16) (int_range 0 6) (int_range 0 100000)))
+    (fun (m, k, seed) ->
+      let enc = Encoding.random_constrained_auto ~seed ~m () in
+      let st = Random.State.make [| seed; 7 |] in
+      let entry = Logger.abstract enc (Signal.random st ~m ~k) in
+      let mitm = signal_set (Combinatorial_reconstruct.preimage enc entry) in
+      let q =
+        Query.make ~answer:(Query.Enumerate { max_solutions = None }) enc entry
+      in
+      match fst (Plan.run ~engine:`Sat q) with
+      | Engine.Enumeration { signals; complete } ->
+          complete && signal_set signals = mitm
+      | _ -> false)
+
+(* one_hot with m > 62 exercises the wide-key (b > 62) verification
+   path: there every timeprint pins its signal uniquely for any k *)
+let prop_mitm_wide_b =
+  QCheck.Test.make ~name:"MITM wide-b (one_hot m=70) unique preimages"
+    ~count:40
+    QCheck.(
+      make
+        ~print:(fun (k, seed) -> Printf.sprintf "k=%d seed=%d" k seed)
+        Gen.(pair (int_range 0 6) (int_range 0 100000)))
+    (fun (k, seed) ->
+      let m = 70 in
+      let enc = Encoding.one_hot ~m in
+      let st = Random.State.make [| seed; 11 |] in
+      let sg = Signal.random st ~m ~k in
+      match Combinatorial_reconstruct.preimage enc (Logger.abstract enc sg) with
+      | [ s ] -> Signal.changes s = Signal.changes sg
+      | _ -> false)
+
+let test_mitm_supported_bounds () =
+  let enc = Encoding.one_hot ~m:8 in
+  Alcotest.(check bool) "k=5 supported" true (Combinatorial_reconstruct.supported ~k:5);
+  Alcotest.(check bool) "k=6 supported" true (Combinatorial_reconstruct.supported ~k:6);
+  Alcotest.(check bool) "k=7 unsupported" false (Combinatorial_reconstruct.supported ~k:7);
+  Alcotest.(check bool) "feasible k=6 small m" true
+    (Combinatorial_reconstruct.feasible enc ~k:6);
+  let en = Log_entry.make ~tp:(Bitvec.of_indices ~width:8 [ 0 ]) ~k:7 in
+  Alcotest.check_raises "k=7 raises"
+    (Invalid_argument "Combinatorial_reconstruct: k > 6 unsupported") (fun () ->
+      ignore (Combinatorial_reconstruct.preimage enc en))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "kernels"
+    [
+      ( "bitvec-kernels",
+        qt [ prop_popcount_agrees; prop_parity_and_agrees ] );
+      ("transpose", qt [ prop_transpose_agrees ]);
+      ("rref-m4ri", qt [ prop_rref_m4ri_agrees; prop_rref_dispatch_agrees ]);
+      ( "mitm",
+        qt [ prop_mitm_agrees_with_sat; prop_mitm_wide_b ]
+        @ [ Alcotest.test_case "supported/feasible bounds" `Quick test_mitm_supported_bounds ] );
+    ]

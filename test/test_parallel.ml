@@ -315,6 +315,26 @@ let test_easy_query_pinned_below_threshold () =
   | Plan.Pinned _ -> ()
   | _ -> Alcotest.fail "easy instances stay on one domain"
 
+let test_single_core_check_pinned () =
+  (* racing diversified configs on one domain only adds scheduling
+     overhead; a jobs=1 check must run pinned and say why, while the
+     same query with two domains still races *)
+  let enc, entry = hard_instance 5 in
+  let q =
+    Query.make ~answer:(Query.Check (Property.deadline ~count:2 ~before:9))
+      enc entry
+  in
+  let _, r1 = Plan.run ~engine:`Sat ~jobs:1 q in
+  (match r1.Plan.parallel with
+  | Plan.Pinned reason ->
+      Alcotest.(check bool) "reason names the single core" true
+        (String.length reason >= 11 && String.sub reason 0 11 = "single-core")
+  | _ -> Alcotest.fail "jobs=1 check must be pinned, not raced");
+  let _, r2 = Plan.run ~engine:`Sat ~jobs:2 q in
+  match r2.Plan.parallel with
+  | Plan.Portfolio { jobs = 2; _ } -> ()
+  | _ -> Alcotest.fail "jobs=2 unbudgeted check must race a portfolio"
+
 let test_reconstruct_batch_jobs_facade () =
   let enc, log = fault_stream_instance 99 in
   let kinds results =
@@ -371,6 +391,8 @@ let () =
             test_certified_pinned;
           Alcotest.test_case "easy queries pinned below threshold" `Quick
             test_easy_query_pinned_below_threshold;
+          Alcotest.test_case "single-core check pinned, not raced" `Quick
+            test_single_core_check_pinned;
           Alcotest.test_case "Reconstruct.batch ~jobs facade" `Quick
             test_reconstruct_batch_jobs_facade;
         ] );

@@ -130,9 +130,9 @@ let huge_nullity_encoding () =
 
 let test_huge_nullity_falls_through () =
   let e = huge_nullity_encoding () in
-  let s = Signal.of_changes ~m:70 [ 3; 11; 19; 33; 52 ] in
+  let s = Signal.of_changes ~m:70 [ 3; 11; 19; 33; 52; 60; 65 ] in
   let en = Logger.abstract e s in
-  Alcotest.(check int) "k = 5 (mitm incapable)" 5 (Log_entry.k en);
+  Alcotest.(check int) "k = 7 (mitm incapable)" 7 (Log_entry.k en);
   let q = Query.make ~answer:Query.First e en in
   (* forced linear: incapable, must silently fall through to SAT *)
   let outcome, report = Plan.run ~engine:`Linear q in
@@ -309,6 +309,30 @@ let test_meta_line () =
   let _, warm = Plan.run ~pack:(Pack.compile e) q in
   check_line ~expect_pack:"hit" warm
 
+(* ------------------------------------------------------------------ *)
+(* Satellite: one MITM table per session, not one per entry            *)
+
+let test_session_table_memoized () =
+  let e = Encoding.random_constrained ~m:12 ~b:10 ~seed:3 () in
+  let s = Plan.session e in
+  Alcotest.(check bool) "repeat calls return the same table" true
+    (Plan.session_table s == Plan.session_table s);
+  (* and a stream over the session answers identically to the facade *)
+  let entries =
+    List.map
+      (fun mask ->
+        Logger.abstract e (Signal.of_bitvec (Bitvec.of_int ~width:12 mask)))
+      [ 0b11; 0b10100; 0b111000000001 ]
+  in
+  let via_session = Plan.run_stream_in s entries in
+  let via_facade = Plan.run_stream e entries in
+  Alcotest.(check int) "same length" (List.length via_facade)
+    (List.length via_session);
+  List.iter2
+    (fun (v1, h1, _) (v2, h2, _) ->
+      Alcotest.(check bool) "same verdict" true (v1 = v2 && h1 = h2))
+    via_session via_facade
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "plan"
@@ -325,6 +349,8 @@ let () =
         [
           Alcotest.test_case "huge nullity falls through to SAT" `Quick
             test_huge_nullity_falls_through;
+          Alcotest.test_case "session table memoized" `Quick
+            test_session_table_memoized;
         ] );
       ( "batch-presolve",
         [
